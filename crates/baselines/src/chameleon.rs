@@ -1,0 +1,214 @@
+//! Chameleon\* (§5.3): content-adaptive profiling-based tuning with a
+//! bolted-on buffer.
+//!
+//! Chameleon (Jiang et al., SIGCOMM'18) periodically re-profiles a leader
+//! set of knob configurations *by running them on the live video* and then
+//! uses the best-performing affordable configuration until the next
+//! profiling event. It assumes the hardware can process every configuration
+//! in real time ("peak provisioning") and is agnostic to lag. The paper's
+//! adaptation equips it with a buffer so it can run on cheap machines, but:
+//!
+//! * the periodic profiling adds significant work (the paper: "Chameleon*
+//!   suffered from large profiling overheads"), and
+//! * nothing bounds the backlog, so the unmanaged buffer can overflow — the
+//!   run **crashes** (the paper only reports non-crashing setups).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use skyscraper::{KnobConfig, Workload};
+use vetl_sim::{Backlog, HardwareSpec};
+use vetl_video::Segment;
+
+use crate::BaselineOutcome;
+
+/// Options for a Chameleon\* run.
+#[derive(Debug, Clone)]
+pub struct ChameleonOptions {
+    /// Seconds between profiling events (Chameleon's profiling interval).
+    pub profile_period_secs: f64,
+    /// Number of candidate configurations profiled per event (the "leader
+    /// set").
+    pub candidates: usize,
+    /// Capacity headroom factor when judging a configuration affordable.
+    pub headroom: f64,
+    /// Reported-quality noise seed.
+    pub seed: u64,
+}
+
+impl Default for ChameleonOptions {
+    fn default() -> Self {
+        Self { profile_period_secs: 30.0, candidates: 8, headroom: 0.9, seed: 99 }
+    }
+}
+
+/// Run Chameleon\* over `segments` on `hardware`.
+///
+/// The candidate set spans the work spectrum of the *full* configuration
+/// space (Chameleon has no offline Pareto filtering — that is part of why
+/// its profiling is expensive).
+pub fn run_chameleon<W: Workload + ?Sized>(
+    workload: &W,
+    segments: &[Segment],
+    hardware: &HardwareSpec,
+    opts: &ChameleonOptions,
+) -> BaselineOutcome {
+    assert!(!segments.is_empty(), "need segments");
+    let seg_len = workload.segment_len();
+    let capacity_per_seg = hardware.cluster.throughput() * seg_len;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Candidate set: configurations evenly spaced across the work spectrum.
+    let mut all: Vec<KnobConfig> = workload.config_space().iter().collect();
+    let reference = segments[0].content;
+    all.sort_by(|a, b| {
+        workload
+            .work(a, &reference)
+            .partial_cmp(&workload.work(b, &reference))
+            .expect("finite work")
+    });
+    let k = opts.candidates.min(all.len()).max(1);
+    let candidates: Vec<KnobConfig> = (0..k)
+        .map(|i| all[i * (all.len() - 1) / (k - 1).max(1)].clone())
+        .collect();
+
+    let profile_every = ((opts.profile_period_secs / seg_len).round() as usize).max(1);
+    let mut backlog = Backlog::new();
+    let mut current = candidates[0].clone();
+    let mut quality = 0.0;
+    let mut work = 0.0;
+
+    for (i, seg) in segments.iter().enumerate() {
+        // ---- Periodic profiling: run every candidate on this segment. ----
+        if i % profile_every == 0 {
+            let mut profile_work = 0.0;
+            let quals: Vec<(f64, f64)> = candidates
+                .iter()
+                .map(|cand| {
+                    let w_cand = workload.work(cand, &seg.content);
+                    // Profiling work is real work performed on the stream.
+                    profile_work += w_cand;
+                    let q = workload.reported_quality(cand, &seg.content, &mut rng);
+                    (w_cand, q)
+                })
+                .collect();
+            backlog.push(0.0, profile_work);
+            work += profile_work;
+            // Chameleon budgets against the capacity left after its own
+            // (amortized) profiling overhead, but stays agnostic to the
+            // backlog it has already accumulated — that lag-blindness is
+            // what eventually overflows the unmanaged buffer.
+            let amortized = profile_work / profile_every as f64;
+            let budget = (capacity_per_seg - amortized) * opts.headroom;
+            let mut best: Option<(usize, f64)> = None;
+            for (ci, &(w_cand, q)) in quals.iter().enumerate() {
+                if w_cand <= budget {
+                    let better = best.is_none_or(|(_, bq)| q > bq);
+                    if better {
+                        best = Some((ci, q));
+                    }
+                }
+            }
+            if let Some((ci, _)) = best {
+                current = candidates[ci].clone();
+            }
+        }
+
+        // ---- Process the segment with the current configuration. ----
+        let w_seg = workload.work(&current, &seg.content);
+        work += w_seg;
+        quality += workload.true_quality(&current, &seg.content);
+        backlog.push(seg.bytes, w_seg);
+        let _ = backlog.process(capacity_per_seg);
+
+        // ---- Unmanaged buffer: overflow crashes the system. ----
+        if backlog.bytes() > hardware.buffer_bytes {
+            return BaselineOutcome {
+                mean_quality: quality / (i + 1) as f64,
+                work_core_secs: work,
+                cloud_usd: 0.0,
+                crashed: true,
+                crashed_at_secs: Some(seg.start().as_secs()),
+            };
+        }
+    }
+
+    BaselineOutcome {
+        mean_quality: quality / segments.len() as f64,
+        work_core_secs: work,
+        cloud_usd: 0.0,
+        crashed: false,
+        crashed_at_secs: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+    use vetl_workloads::CovidWorkload;
+
+    fn stream(hours: f64) -> Vec<Segment> {
+        let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
+        Recording::record(&mut cam, hours * 3_600.0).segments().to_vec()
+    }
+
+    #[test]
+    fn chameleon_adapts_and_reports_quality() {
+        let w = CovidWorkload::new();
+        let segs = stream(4.0);
+        let out = run_chameleon(
+            &w,
+            &segs,
+            &HardwareSpec::with_cores(16),
+            &ChameleonOptions::default(),
+        );
+        assert!(out.mean_quality > 0.3);
+        assert!(out.work_core_secs > 0.0);
+    }
+
+    #[test]
+    fn profiling_overhead_is_charged() {
+        // With more frequent profiling, total work must grow.
+        let w = CovidWorkload::new();
+        let segs = stream(2.0);
+        let hw = HardwareSpec::with_cores(16);
+        let rare = run_chameleon(
+            &w,
+            &segs,
+            &hw,
+            &ChameleonOptions { profile_period_secs: 600.0, ..Default::default() },
+        );
+        let frequent = run_chameleon(
+            &w,
+            &segs,
+            &hw,
+            &ChameleonOptions { profile_period_secs: 10.0, ..Default::default() },
+        );
+        assert!(
+            frequent.work_core_secs > rare.work_core_secs * 1.2,
+            "profiling every 10 s ({}) must cost well over every 600 s ({})",
+            frequent.work_core_secs,
+            rare.work_core_secs
+        );
+    }
+
+    #[test]
+    fn tiny_buffer_makes_chameleon_crash() {
+        let w = CovidWorkload::new();
+        let segs = stream(6.0);
+        let hw = HardwareSpec::with_cores(4).with_buffer(1e6); // 1 MB buffer
+        let out = run_chameleon(&w, &segs, &hw, &ChameleonOptions::default());
+        assert!(out.crashed, "lag-agnostic tuning must overflow a tiny buffer");
+        assert!(out.crashed_at_secs.is_some());
+    }
+
+    #[test]
+    fn big_machine_and_buffer_survive() {
+        let w = CovidWorkload::new();
+        let segs = stream(3.0);
+        let hw = HardwareSpec::with_cores(60).with_buffer(8e9);
+        let out = run_chameleon(&w, &segs, &hw, &ChameleonOptions::default());
+        assert!(!out.crashed);
+    }
+}

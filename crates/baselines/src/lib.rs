@@ -1,0 +1,41 @@
+//! # vetl-baselines — the systems Skyscraper is compared against
+//!
+//! * [`static_baseline`] — processing the whole stream with one fixed knob
+//!   configuration (the *Static* baseline of §5.3; also ablation variant 1a
+//!   "no buffering, no cloud").
+//! * [`chameleon`] — **Chameleon\*** (§5.3): the content-adaptive tuner of
+//!   Jiang et al. adapted with a buffer. It periodically *profiles*
+//!   candidate configurations by running them (the overhead the paper calls
+//!   out), assumes peak provisioning, is lag-agnostic, and therefore crashes
+//!   when its unmanaged buffer overflows.
+//! * [`videostorm`] — **VideoStorm\*** (Appendix G): query-load-adaptive
+//!   only; content-agnostic. Fills the buffer early, then settles on the
+//!   most qualitative configuration that runs in real time.
+//! * [`oracle`] — the **Optimum** baseline (§5.4): full ground-truth
+//!   knowledge, greedy multiple-choice-knapsack assignment of
+//!   configurations to segments under a work budget.
+
+pub mod chameleon;
+pub mod oracle;
+pub mod static_baseline;
+pub mod videostorm;
+
+pub use chameleon::{run_chameleon, ChameleonOptions};
+pub use oracle::{greedy_mckp, run_optimum};
+pub use static_baseline::{best_static_config, run_static};
+pub use videostorm::run_videostorm;
+
+/// Common outcome shape for baseline runs.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOutcome {
+    /// Mean ground-truth quality over processed segments, in `[0, 1]`.
+    pub mean_quality: f64,
+    /// Total work performed, reference-core-seconds.
+    pub work_core_secs: f64,
+    /// Cloud dollars spent (baselines other than the oracle use none).
+    pub cloud_usd: f64,
+    /// Whether the run crashed with a buffer overflow (Chameleon* only).
+    pub crashed: bool,
+    /// Stream time of the crash, if any.
+    pub crashed_at_secs: Option<f64>,
+}

@@ -1,0 +1,116 @@
+//! The Static baseline (§5.3): one fixed knob configuration throughout.
+//!
+//! For a given machine the achievable operating point is the most
+//! qualitative configuration that the machine can sustain in real time —
+//! exactly what the paper's "no buffering, no cloud" ablation variant (1a)
+//! reduces Skyscraper to.
+
+use skyscraper::{KnobConfig, Workload};
+use vetl_video::{ContentState, Segment};
+
+use crate::BaselineOutcome;
+
+/// Pick the best static configuration for a cluster of `cores`: the
+/// highest-quality configuration whose **worst-case** work rate over
+/// `samples` fits the cluster throughput.
+///
+/// Peak provisioning is the defining property of the static baseline: with
+/// no buffer and no cloud, the fixed configuration must process even the
+/// busiest content in real time — which is why static quality on small
+/// machines is low (§5.3) and why Skyscraper's buffering/bursting pays.
+pub fn best_static_config<W: Workload + ?Sized>(
+    workload: &W,
+    samples: &[ContentState],
+    cores: f64,
+) -> KnobConfig {
+    assert!(!samples.is_empty(), "need sample contents");
+    let space = workload.config_space();
+    let mut best: Option<(KnobConfig, f64)> = None;
+    for config in space.iter() {
+        let peak_rate = samples
+            .iter()
+            .map(|s| workload.work_rate(&config, s))
+            .fold(0.0f64, f64::max);
+        if peak_rate > cores {
+            continue;
+        }
+        let mean_q = samples
+            .iter()
+            .map(|s| workload.true_quality(&config, s))
+            .sum::<f64>()
+            / samples.len() as f64;
+        let better = best.as_ref().is_none_or(|(_, q)| mean_q > *q);
+        if better {
+            best = Some((config, mean_q));
+        }
+    }
+    best.map(|(c, _)| c).unwrap_or_else(|| space.min_config())
+}
+
+/// Process every segment with `config`; report quality and work.
+pub fn run_static<W: Workload + ?Sized>(
+    workload: &W,
+    config: &KnobConfig,
+    segments: &[Segment],
+) -> BaselineOutcome {
+    let mut quality = 0.0;
+    let mut work = 0.0;
+    for seg in segments {
+        quality += workload.true_quality(config, &seg.content);
+        work += workload.work(config, &seg.content);
+    }
+    BaselineOutcome {
+        mean_quality: quality / segments.len().max(1) as f64,
+        work_core_secs: work,
+        cloud_usd: 0.0,
+        crashed: false,
+        crashed_at_secs: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_workloads::CovidWorkload;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn data() -> (CovidWorkload, Vec<Segment>) {
+        let w = CovidWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::shopping_street(3), 2.0);
+        let rec = Recording::record(&mut cam, 6.0 * 3_600.0);
+        (w, rec.segments().to_vec())
+    }
+
+    #[test]
+    fn bigger_machines_pick_better_configs() {
+        let (w, segs) = data();
+        let samples: Vec<ContentState> =
+            segs.iter().step_by(600).map(|s| s.content).collect();
+        let small = best_static_config(&w, &samples, 4.0);
+        let large = best_static_config(&w, &samples, 60.0);
+        let q =
+            |c: &KnobConfig| samples.iter().map(|s| w.true_quality(c, s)).sum::<f64>();
+        assert!(q(&large) > q(&small), "60 cores must beat 4 cores");
+        // And the large config costs more.
+        let work = |c: &KnobConfig| samples.iter().map(|s| w.work(c, s)).sum::<f64>();
+        assert!(work(&large) > work(&small));
+    }
+
+    #[test]
+    fn static_run_reports_quality_and_work() {
+        let (w, segs) = data();
+        let cheap = w.config_space().min_config();
+        let out = run_static(&w, &cheap, &segs);
+        assert!(out.mean_quality > 0.0 && out.mean_quality <= 1.0);
+        assert!(out.work_core_secs > 0.0);
+        assert!(!out.crashed);
+    }
+
+    #[test]
+    fn infeasible_capacity_falls_back_to_cheapest() {
+        let (w, segs) = data();
+        let samples: Vec<ContentState> = segs.iter().take(5).map(|s| s.content).collect();
+        let c = best_static_config(&w, &samples, 0.0);
+        assert_eq!(c, w.config_space().min_config());
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 15: impact of knob-switcher misclassifications.
+//!
+//! Compares three classification modes (§5.6): *Standard* (Eq. 5 on the
+//! previous segment's quality — Type-A + Type-B errors), *No Type-B errors*
+//! (classifying on the upcoming segment's quality — only Type-A remains) and
+//! *Ground truth*. Reproduction targets: Standard misclassifies a few
+//! percent (paper: 2.1 % COVID, 6.6 % MOT, of which Type-A is 0.5 % / 3.7 %)
+//! and No-Type-B nearly matches the ground truth end-to-end.
+
+use skyscraper::{ClassificationMode, IngestDriver, IngestOptions};
+use vetl_bench::{data_scale, pct, Table};
+use vetl_workloads::{PaperWorkload, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    println!("Figure 15 — switcher misclassification ablation ({scale:?} scale)");
+
+    for which in [PaperWorkload::Covid, PaperWorkload::Mot] {
+        let mut table = Table::new(
+            format!("{} — classification modes", which.name()),
+            &["machine", "mode", "misclass rate", "quality"],
+        );
+        let mut std_rate = 0.0;
+        let mut type_a_rate = 0.0;
+        for machine in &MACHINES[..3] {
+            let fitted = vetl_bench::fit_on(which, machine, scale);
+            for (name, mode) in [
+                ("Standard", ClassificationMode::Standard),
+                ("No Type-B", ClassificationMode::NoTypeB),
+                ("Ground truth", ClassificationMode::GroundTruth),
+            ] {
+                let opts = IngestOptions {
+                    classification: mode,
+                    cloud_budget_usd: 0.3,
+                    ..Default::default()
+                };
+                let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
+                    .run(&fitted.spec.online)
+                    .expect("ingest");
+                if machine.vcpus == 8 {
+                    match mode {
+                        ClassificationMode::Standard => std_rate = out.misclassification_rate,
+                        ClassificationMode::NoTypeB => type_a_rate = out.misclassification_rate,
+                        ClassificationMode::GroundTruth => {}
+                    }
+                }
+                table.row(vec![
+                    machine.name.into(),
+                    name.into(),
+                    pct(out.misclassification_rate),
+                    pct(out.mean_quality),
+                ]);
+            }
+        }
+        table.print();
+        println!(
+            "{}: Standard error rate {} (paper: {}), of which Type-A {} (paper: {})",
+            which.name(),
+            pct(std_rate),
+            if which == PaperWorkload::Covid { "2.1%" } else { "6.6%" },
+            pct(type_a_rate),
+            if which == PaperWorkload::Covid { "0.5%" } else { "3.7%" },
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 17 (Appendix B.2): KMeans vs Gaussian-mixture content categories.
+//!
+//! Reproduction target: no meaningful end-to-end difference — which is why
+//! the paper recommends KMeans ("because it is simpler").
+
+use skyscraper::category::ClusteringAlgo;
+use skyscraper::offline::run_offline_with;
+use skyscraper::{IngestDriver, IngestOptions};
+use vetl_bench::{data_scale, pct, Table, SEED};
+use vetl_workloads::{PaperWorkload, WorkloadSpec, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    println!("Figure 17 (App. B.2) — clustering algorithm ablation (COVID, {scale:?} scale)");
+
+    let mut table = Table::new(
+        "KMeans vs GMM content categories",
+        &["machine", "KMeans quality", "GMM quality", "gap"],
+    );
+    for machine in &MACHINES[..3] {
+        let spec = WorkloadSpec::build(PaperWorkload::Covid, scale, SEED);
+        let hardware = machine.hardware(4e9);
+        let mut quals = Vec::new();
+        for algo in [ClusteringAlgo::KMeans, ClusteringAlgo::Gmm] {
+            let (model, _) = run_offline_with(
+                spec.workload.as_ref(),
+                &spec.labeled,
+                &spec.unlabeled,
+                hardware,
+                &spec.hyper,
+                algo,
+            )
+            .expect("offline fit");
+            let out = IngestDriver::new(
+                &model,
+                spec.workload.as_ref(),
+                IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+            )
+            .run(&spec.online)
+            .expect("ingest");
+            quals.push(out.mean_quality);
+        }
+        table.row(vec![
+            machine.name.into(),
+            pct(quals[0]),
+            pct(quals[1]),
+            format!("{:+.1}pp", 100.0 * (quals[0] - quals[1])),
+        ]);
+    }
+    table.print();
+    println!("\nShape check: gaps within a couple of percentage points — use KMeans.");
+}

@@ -1,0 +1,123 @@
+//! Figure 4 + Table 2: end-to-end cost-quality trade-off of Skyscraper,
+//! Chameleon* and the Static baseline on all four workloads across the
+//! Google-Cloud machine table.
+//!
+//! Reproduction target (shape): Skyscraper reaches near-best-static quality
+//! on the smallest machines — the paper reports up to 8.7× cost reduction on
+//! MOT and 3.7× over Chameleon*; Chameleon* crashes on configurations where
+//! its unmanaged buffer overflows (those rows are marked CRASH).
+
+use skyscraper::{IngestDriver, IngestOptions};
+use vetl_baselines::{best_static_config, run_chameleon, run_static, ChameleonOptions};
+use vetl_bench::{data_scale, f2, pct, sample_contents, usd, Table, SEED};
+use vetl_sim::CostModel;
+use vetl_workloads::{paper_workloads, total_cost_usd, WorkloadSpec, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    let cost_model = CostModel::default();
+    println!("Figure 4 / Table 2 — cost-quality trade-off ({scale:?} scale)");
+
+    for which in paper_workloads() {
+        let mut table = Table::new(
+            format!("{} — quality and cost per system/machine", which.name()),
+            &["method", "machine", "vCPUs", "quality", "cloud $", "total $"],
+        );
+        // Build data once per workload; re-fit per machine (placements are
+        // hardware-specific).
+        let probe = WorkloadSpec::build(which, scale, SEED);
+        let duration = probe.online_secs();
+        let samples = sample_contents(&probe.online, 256);
+
+        let mut static_points: Vec<(f64, f64)> = Vec::new();
+        let mut sky_points: Vec<(f64, f64)> = Vec::new();
+
+        for machine in &MACHINES {
+            // ---- Static baseline. ----
+            let cfg =
+                best_static_config(probe.workload.as_ref(), &samples, machine.vcpus as f64);
+            let st = run_static(probe.workload.as_ref(), &cfg, &probe.online);
+            let st_cost = total_cost_usd(machine, duration, 0.0, &cost_model);
+            static_points.push((st_cost, st.mean_quality));
+            table.row(vec![
+                "Static".into(),
+                machine.name.into(),
+                machine.vcpus.to_string(),
+                pct(st.mean_quality),
+                "-".into(),
+                usd(st_cost),
+            ]);
+
+            // ---- Chameleon*. ----
+            let cham = run_chameleon(
+                probe.workload.as_ref(),
+                &probe.online,
+                &machine.hardware(4e9),
+                &ChameleonOptions::default(),
+            );
+            let cham_cost = total_cost_usd(machine, duration, 0.0, &cost_model);
+            table.row(vec![
+                "Chameleon*".into(),
+                machine.name.into(),
+                machine.vcpus.to_string(),
+                if cham.crashed {
+                    format!("CRASH@{:.1}h", cham.crashed_at_secs.unwrap_or(0.0) / 3600.0)
+                } else {
+                    pct(cham.mean_quality)
+                },
+                "-".into(),
+                usd(cham_cost),
+            ]);
+        }
+
+        // ---- Skyscraper: fit + ingest per machine. ----
+        for machine in &MACHINES {
+            let fitted = vetl_bench::fit_on(which, machine, scale);
+            let opts =
+                IngestOptions { cloud_budget_usd: 0.3, record_trace: false, ..Default::default() };
+            let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
+                .run(&fitted.spec.online)
+                .expect("ingest");
+            assert_eq!(out.overflows, 0, "Skyscraper must never overflow");
+            let total = total_cost_usd(machine, duration, out.cloud_usd, &cost_model);
+            sky_points.push((total, out.mean_quality));
+            table.row(vec![
+                "Skyscraper".into(),
+                machine.name.into(),
+                machine.vcpus.to_string(),
+                pct(out.mean_quality),
+                usd(out.cloud_usd),
+                usd(total),
+            ]);
+        }
+        table.print();
+
+        // Headline: cheapest Skyscraper point vs the static cost needed to
+        // match its quality.
+        if let Some((sky_cost, sky_q)) = sky_points.first() {
+            let matching_static = static_points
+                .iter()
+                .filter(|(_, q)| *q >= sky_q - 0.03)
+                .map(|(c, _)| *c)
+                .fold(f64::INFINITY, f64::min);
+            if matching_static.is_finite() {
+                println!(
+                    "{}: Skyscraper reaches {} at {} — {}x cheaper than the static \
+                     configuration of comparable quality ({}).",
+                    which.name(),
+                    pct(*sky_q),
+                    usd(*sky_cost),
+                    f2(matching_static / sky_cost),
+                    usd(matching_static),
+                );
+            } else {
+                println!(
+                    "{}: no static machine matches Skyscraper's quality {} (cost {}).",
+                    which.name(),
+                    pct(*sky_q),
+                    usd(*sky_cost)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Figures 6, 8, 10, 12: work (core·s) versus quality — Static vs
+//! Skyscraper vs the ground-truth Optimum.
+//!
+//! Reproduction target: "Skyscraper's work reduction method performs
+//! astonishingly close to optimum" for COVID/MOT/MOSEI-HIGH, with a visible
+//! gap remaining on MOSEI-LONG.
+
+use skyscraper::{IngestDriver, IngestOptions, KnobConfig};
+use vetl_baselines::{run_optimum, run_static};
+use vetl_bench::{data_scale, f3, pct, Table};
+use vetl_workloads::{paper_workloads, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    println!("Figures 6/8/10/12 — normalized work vs quality ({scale:?} scale)");
+
+    for which in paper_workloads() {
+        // Fit once on a mid-size machine; the work axis is hardware-free.
+        let fitted = vetl_bench::fit_on(which, &MACHINES[2], scale);
+        let workload = fitted.spec.workload.as_ref();
+        let online = &fitted.spec.online;
+        let configs: Vec<KnobConfig> = workload.config_space().iter().collect();
+
+        // Reference: the work of processing everything with the most
+        // expensive configuration (normalization denominator).
+        let max_config = workload.config_space().max_config();
+        let max_work: f64 =
+            online.iter().map(|s| workload.work(&max_config, &s.content)).sum();
+
+        let mut table = Table::new(
+            format!("{} — work vs quality", which.name()),
+            &["method", "norm. work", "quality"],
+        );
+
+        // Static sweep over the filtered configurations.
+        for k in &fitted.model.configs {
+            let st = run_static(workload, &k.config, online);
+            table.row(vec![
+                format!("Static {}", k.config),
+                f3(st.work_core_secs / max_work),
+                pct(st.mean_quality),
+            ]);
+        }
+
+        // Skyscraper sweep: machines induce different work budgets.
+        for machine in &MACHINES {
+            let f = vetl_bench::fit_on(which, machine, scale);
+            let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
+            let out = IngestDriver::new(&f.model, f.spec.workload.as_ref(), opts)
+                .run(&f.spec.online)
+                .expect("ingest");
+            table.row(vec![
+                format!("Skyscraper@{}", machine.name),
+                f3(out.work_core_secs / max_work),
+                pct(out.mean_quality),
+            ]);
+        }
+
+        // Optimum oracle at matched budget fractions.
+        for frac in [0.05, 0.1, 0.2, 0.4, 0.7, 1.0] {
+            let o = run_optimum(workload, &configs, online, frac * max_work);
+            table.row(vec![
+                format!("Optimum@{frac:.2}"),
+                f3(o.work_core_secs / max_work),
+                pct(o.mean_quality),
+            ]);
+        }
+        table.print();
+    }
+}

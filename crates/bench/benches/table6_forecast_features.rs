@@ -1,0 +1,63 @@
+//! Table 6 (Appendix I.3): forecaster MAE over input-span × split-count
+//! featurizations.
+//!
+//! Reproduction target: any featurization that covers the recent past at
+//! reasonable resolution (8 splits) keeps the MAE low; very coarse inputs
+//! (1 split over many days) wash out the recent dynamics and do worse.
+
+use rand::SeedableRng;
+
+use skyscraper::offline::forecast::{CategoryTimeline, Forecaster, ForecastSpec};
+use vetl_bench::{data_scale, f3, Table, SEED};
+use vetl_workloads::spec::DataScale;
+use vetl_workloads::{PaperWorkload, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    let day = 86_400.0;
+    println!("Table 6 (App. I.3) — forecaster featurization sweep (COVID, {scale:?} scale)");
+
+    let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[1], scale);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let timeline = CategoryTimeline::label(
+        fitted.spec.workload.as_ref(),
+        fitted.spec.unlabeled.segments(),
+        &fitted.model.configs[fitted.model.discriminator].config.clone(),
+        fitted.model.discriminator,
+        &fitted.model.categories,
+        &mut rng,
+    );
+
+    let (input_days, horizon) = match scale {
+        DataScale::Paper => (vec![0.5, 1.0, 2.0, 4.0, 8.0], 2.0 * day),
+        DataScale::Fast => (vec![0.125, 0.25, 0.5, 1.0], 0.25 * day),
+    };
+    let splits = [1usize, 2, 4, 8];
+
+    let mut table = Table::new(
+        "MAE by input days (rows) × splits (columns)",
+        &["input days", "1 split", "2 splits", "4 splits", "8 splits"],
+    );
+    for &days in &input_days {
+        let mut row = vec![format!("{days}")];
+        for &n_split in &splits {
+            let spec = ForecastSpec {
+                input_secs: days * day,
+                input_splits: n_split,
+                horizon_secs: horizon,
+                sample_every_secs: 900.0,
+            };
+            let mae = Forecaster::train(&timeline, spec, 25, 0.2, SEED)
+                .map(|f| f.val_mae)
+                .unwrap_or(f64::NAN);
+            row.push(if mae.is_nan() { "n/a".into() } else { f3(mae) });
+        }
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "\nShape check: with 8 splits every input span stays accurate \
+         (the paper: 'always significantly below what would cause \
+         performance deterioration')."
+    );
+}

@@ -1,0 +1,264 @@
+//! # vetl-bench — shared harness for the paper-reproduction experiments
+//!
+//! Every table and figure in the paper has a `[[bench]]` target (with
+//! `harness = false`) in this crate; `cargo bench --workspace` regenerates
+//! all of them. This library holds the shared machinery: table formatting,
+//! data-scale selection, fitting helpers and a synthetic-model factory for
+//! the overhead experiments.
+//!
+//! Scale: by default experiments run on **scaled-down data** (2 unlabeled
+//! days, 1 online day) so the whole suite finishes in minutes. Set
+//! `VETL_FULL=1` to run at the paper's scale (16 unlabeled days, 8 online
+//! days).
+
+use std::time::Instant;
+
+use skyscraper::offline::forecast::{CategoryTimeline, ForecastSpec, Forecaster};
+use skyscraper::offline::{run_offline, FittedModel, OfflineReport};
+use skyscraper::profile::{ConfigProfile, PlacementProfile};
+use skyscraper::{ContentCategories, KnobConfig, SkyscraperConfig};
+use vetl_sim::{HardwareSpec, Placement};
+use vetl_video::ContentState;
+use vetl_workloads::spec::DataScale;
+use vetl_workloads::{Machine, PaperWorkload, WorkloadSpec};
+
+/// Data scale chosen via the `VETL_FULL` environment variable.
+pub fn data_scale() -> DataScale {
+    if std::env::var("VETL_FULL").map(|v| v == "1").unwrap_or(false) {
+        DataScale::Paper
+    } else {
+        DataScale::Fast
+    }
+}
+
+/// Deterministic experiment seed.
+pub const SEED: u64 = 7;
+
+/// A fitted workload ready for online experiments.
+pub struct Fitted {
+    /// The spec with its data.
+    pub spec: WorkloadSpec,
+    /// The fitted model.
+    pub model: FittedModel,
+    /// The offline-phase report.
+    pub report: OfflineReport,
+    /// Wall-clock seconds the fit took.
+    pub fit_secs: f64,
+}
+
+/// Build and fit a workload on a machine.
+pub fn fit_on(which: PaperWorkload, machine: &Machine, scale: DataScale) -> Fitted {
+    fit_with(which, machine, scale, |h| h)
+}
+
+/// [`fit_on`] with a hyperparameter override hook.
+pub fn fit_with(
+    which: PaperWorkload,
+    machine: &Machine,
+    scale: DataScale,
+    tweak: impl FnOnce(SkyscraperConfig) -> SkyscraperConfig,
+) -> Fitted {
+    let mut spec = WorkloadSpec::build(which, scale, SEED);
+    spec.hyper = tweak(spec.hyper.clone());
+    let hardware = machine.hardware(4e9);
+    let t0 = Instant::now();
+    let (model, report) =
+        run_offline(spec.workload.as_ref(), &spec.labeled, &spec.unlabeled, hardware, &spec.hyper)
+            .unwrap_or_else(|e| panic!("offline fit failed for {:?} on {}: {e}", which, machine.name));
+    Fitted { spec, model, report, fit_secs: t0.elapsed().as_secs_f64() }
+}
+
+/// Evenly strided content samples from segments.
+pub fn sample_contents(segments: &[vetl_video::Segment], n: usize) -> Vec<ContentState> {
+    let stride = (segments.len() / n.max(1)).max(1);
+    segments.iter().step_by(stride).take(n).map(|s| s.content).collect()
+}
+
+/// A synthetic fitted model for the overhead experiments (Fig. 13): `n_k`
+/// configurations × `n_c` categories × `placements` placements per
+/// configuration, with plausible monotone cost/quality structure.
+pub fn synthetic_model(n_k: usize, n_c: usize, placements: usize) -> FittedModel {
+    assert!(n_k >= 1 && n_c >= 1 && placements >= 1);
+    let centers: Vec<Vec<f64>> = (0..n_c)
+        .map(|c| {
+            (0..n_k)
+                .map(|k| {
+                    let cap = 0.3 + 0.7 * k as f64 / (n_k.max(2) - 1) as f64;
+                    let diff = c as f64 / n_c as f64;
+                    (0.1 + cap * (1.0 - 0.6 * diff)).min(1.0)
+                })
+                .collect()
+        })
+        .collect();
+    let categories = ContentCategories::from_centers(centers);
+
+    let configs: Vec<ConfigProfile> = (0..n_k)
+        .map(|k| {
+            let work = 0.2 + 2.0 * k as f64;
+            let placements: Vec<PlacementProfile> = (0..placements)
+                .map(|p| PlacementProfile {
+                    placement: Placement::all_onprem(3),
+                    runtime_mean: work * (1.0 - 0.5 * p as f64 / placements as f64),
+                    runtime_max: work,
+                    cloud_usd: 0.001 * p as f64,
+                    onprem_work: work * (1.0 - 0.8 * p as f64 / placements as f64),
+                    onprem_work_max: work,
+                })
+                .collect();
+            ConfigProfile {
+                config: KnobConfig::new(vec![k]),
+                work_mean: work,
+                work_max: work * 1.2,
+                placements,
+                qual_by_category: (0..n_c).map(|c| categories.avg_quality(k, c)).collect(),
+                cost_by_category: vec![work; n_c],
+            }
+        })
+        .collect();
+
+    // A trivial forecaster trained on an alternating timeline.
+    let cats: Vec<usize> = (0..4000).map(|i| i % n_c).collect();
+    let timeline = CategoryTimeline::new(cats, 2.0, n_c);
+    let spec = ForecastSpec {
+        input_secs: 800.0,
+        input_splits: 4,
+        horizon_secs: 400.0,
+        sample_every_secs: 100.0,
+    };
+    let forecaster =
+        Forecaster::train(&timeline, spec, 2, 0.2, 1).expect("synthetic forecaster trains");
+
+    let cost_rank: Vec<usize> = (0..n_k).collect();
+    let mut quality_rank = cost_rank.clone();
+    quality_rank.reverse();
+    let tail = CategoryTimeline::new((0..400).map(|i| i % n_c).collect(), 2.0, n_c);
+
+    FittedModel {
+        workload_name: "synthetic".into(),
+        seg_len: 2.0,
+        configs,
+        quality_rank,
+        cost_rank,
+        categories,
+        forecaster,
+        discriminator: 0,
+        tail,
+        hyper: SkyscraperConfig::fast_test(),
+        hardware: HardwareSpec::with_cores(8),
+        residual_p99: 0.05,
+    }
+}
+
+/// Fixed-width table printer for the experiment outputs.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are preformatted strings).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("\n== {} ==", self.title);
+        let line = |ch: char| println!("{}", ch.to_string().repeat(total.min(120)));
+        line('-');
+        let mut header = String::from("|");
+        for (h, w) in self.headers.iter().zip(&widths) {
+            header.push_str(&format!(" {h:>w$} |"));
+        }
+        println!("{header}");
+        line('-');
+        for row in &self.rows {
+            let mut out = String::from("|");
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:>w$} |"));
+            }
+            println!("{out}");
+        }
+        line('-');
+    }
+}
+
+/// Format helpers.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", 100.0 * v)
+}
+
+/// Two-decimal format.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Three-decimal format.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Dollars.
+pub fn usd(v: f64) -> String {
+    format!("${v:.2}")
+}
+
+/// Normalize a series by its maximum (the paper's "normalized cost/work").
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    let max = series.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return series.to_vec();
+    }
+    series.iter().map(|v| v / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_model_is_consistent() {
+        let m = synthetic_model(5, 4, 3);
+        assert_eq!(m.n_configs(), 5);
+        assert_eq!(m.n_categories(), 4);
+        assert_eq!(m.configs[0].placements.len(), 3);
+        assert_eq!(m.quality_rank.len(), 5);
+        // Centers follow quality monotonicity in k.
+        for c in 0..4 {
+            for k in 1..5 {
+                assert!(m.categories.avg_quality(k, c) >= m.categories.avg_quality(k - 1, c));
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_caps_at_one() {
+        let n = normalize(&[1.0, 2.0, 4.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

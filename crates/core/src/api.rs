@@ -1,0 +1,141 @@
+//! User-facing facade mirroring the paper's Python API (Appendix F).
+//!
+//! The paper's example:
+//!
+//! ```python
+//! sky = Skyscraper(aws_key_id, aws_secret_key, fps=30)
+//! sky.set_resources(num_cores=8, bufferMB=4000, cloud_budget=1000)
+//! sky.register_knob("det_interval", [1, 5, 10])
+//! sky.fit(labeled_video, labels, unlabeled_video, proc_frame)
+//! while ok: status, state = sky.process(frame, state)
+//! ```
+//!
+//! In this Rust reproduction the knobs and the processing DAG live in the
+//! [`Workload`] implementation (the equivalent of `proc_frame` plus the
+//! `register_knob` calls), and `process` operates at segment granularity —
+//! the unit at which Skyscraper makes decisions anyway.
+
+use vetl_sim::{CostModel, HardwareSpec};
+use vetl_video::{Recording, Segment};
+
+use crate::config::SkyscraperConfig;
+use crate::error::SkyError;
+use crate::offline::{run_offline, FittedModel, OfflineReport};
+use crate::online::ingest::{IngestDriver, IngestOptions, IngestOutcome};
+use crate::workload::Workload;
+
+/// The Skyscraper system facade.
+pub struct Skyscraper<W: Workload> {
+    workload: W,
+    hardware: HardwareSpec,
+    hyper: SkyscraperConfig,
+    options: IngestOptions,
+    model: Option<FittedModel>,
+}
+
+impl<W: Workload> Skyscraper<W> {
+    /// Instantiate Skyscraper for a workload (the `Skyscraper(...)`
+    /// constructor of Appendix F; cloud credentials are implicit in the
+    /// simulated cloud).
+    pub fn new(workload: W) -> Self {
+        Self {
+            workload,
+            hardware: HardwareSpec::with_cores(8),
+            hyper: SkyscraperConfig::default(),
+            options: IngestOptions::default(),
+            model: None,
+        }
+    }
+
+    /// `sky.set_resources(num_cores=…, bufferMB=…, cloud_budget=…)`.
+    pub fn set_resources(
+        &mut self,
+        num_cores: usize,
+        buffer_mb: f64,
+        cloud_budget_usd: f64,
+    ) -> &mut Self {
+        self.hardware = HardwareSpec::with_cores(num_cores).with_buffer(buffer_mb * 1e6);
+        self.options.cloud_budget_usd = cloud_budget_usd;
+        self
+    }
+
+    /// Override hyperparameters (Appendix I tuning).
+    pub fn set_hyperparameters(&mut self, hyper: SkyscraperConfig) -> &mut Self {
+        self.hyper = hyper;
+        self
+    }
+
+    /// Override ingestion options (ablation gates, cost model, seeds).
+    pub fn set_options(&mut self, options: IngestOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Cost model used for budget conversions.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.options.cost_model
+    }
+
+    /// The workload being ingested.
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// `sky.fit(labeled_video, labels, unlabeled_video, proc_frame)` — run
+    /// the offline preparation phase (§3).
+    pub fn fit(
+        &mut self,
+        labeled: &Recording,
+        unlabeled: &Recording,
+    ) -> Result<OfflineReport, SkyError> {
+        let (model, report) =
+            run_offline(&self.workload, labeled, unlabeled, self.hardware, &self.hyper)?;
+        self.model = Some(model);
+        Ok(report)
+    }
+
+    /// The fitted model (after [`Self::fit`]).
+    pub fn model(&self) -> Result<&FittedModel, SkyError> {
+        self.model.as_ref().ok_or(SkyError::NotFitted)
+    }
+
+    /// Ingest a stream of segments online (§4). The paper's `sky.process`
+    /// frame loop, at segment granularity.
+    pub fn ingest(&self, segments: &[Segment]) -> Result<IngestOutcome, SkyError> {
+        let model = self.model()?;
+        IngestDriver::new(model, &self.workload, self.options.clone()).run(segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use vetl_video::{ContentParams, SyntheticCamera};
+
+    #[test]
+    fn facade_runs_the_paper_flow() {
+        // Appendix F flow: instantiate → set_resources → fit → process.
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        sky.set_resources(4, 4000.0, 1.0);
+        sky.set_hyperparameters(SkyscraperConfig::fast_test());
+
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let report = sky.fit(&labeled, &unlabeled).expect("fit succeeds");
+        assert!(report.n_configs >= 2);
+
+        let online = Recording::record(&mut cam, 3_600.0);
+        let out = sky.ingest(online.segments()).expect("ingestion succeeds");
+        assert_eq!(out.overflows, 0);
+        assert!(out.mean_quality > 0.0);
+    }
+
+    #[test]
+    fn ingest_before_fit_errors() {
+        let sky = Skyscraper::new(ToyWorkload::new());
+        let err = sky.ingest(&[]).unwrap_err();
+        assert_eq!(err, SkyError::NotFitted);
+    }
+}

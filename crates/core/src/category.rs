@@ -1,0 +1,257 @@
+//! Content categories (§3.2).
+//!
+//! Skyscraper discretizes video content into categories such that every knob
+//! configuration achieves similar quality on all segments of one category.
+//! Categories are KMeans clusters over `|K|`-dimensional *quality vectors*;
+//! a category's center `[q̂(k₁,c), …, q̂(k_|K|,c)]` is the average quality each
+//! configuration achieves on that category's content.
+//!
+//! The knob switcher classifies online using **one dimension only** — the
+//! reported quality of the currently running configuration (Eq. 5) — so the
+//! offline phase also selects a cheap *discriminating* configuration whose
+//! quality separates the categories (footnote 7, Appendix H).
+
+use vetl_ml::{GaussianMixture, GmmConfig, KMeans, KMeansConfig};
+
+/// Clustering algorithm for the categorization (Appendix B.2 ablates GMM
+/// against the default KMeans and finds no end-to-end difference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringAlgo {
+    /// Lloyd's KMeans with kmeans++ init (the paper's default).
+    KMeans,
+    /// Diagonal-covariance Gaussian mixture fitted with EM.
+    Gmm,
+}
+
+/// Fitted content categories, represented by their centers.
+#[derive(Debug, Clone)]
+pub struct ContentCategories {
+    /// One `|K|`-dimensional center per category.
+    centers: Vec<Vec<f64>>,
+}
+
+impl ContentCategories {
+    /// Cluster `quality_vectors` (one `|K|`-vector per sampled segment) into
+    /// `n_categories` categories with KMeans.
+    pub fn fit(quality_vectors: &[Vec<f64>], n_categories: usize, seed: u64) -> Self {
+        Self::fit_with(quality_vectors, n_categories, seed, ClusteringAlgo::KMeans)
+    }
+
+    /// Cluster with an explicit algorithm choice (Fig. 17 ablation).
+    pub fn fit_with(
+        quality_vectors: &[Vec<f64>],
+        n_categories: usize,
+        seed: u64,
+        algo: ClusteringAlgo,
+    ) -> Self {
+        let centers = match algo {
+            ClusteringAlgo::KMeans => {
+                let km = KMeans::fit(
+                    quality_vectors,
+                    &KMeansConfig { k: n_categories, seed, ..Default::default() },
+                );
+                km.centers().to_vec()
+            }
+            ClusteringAlgo::Gmm => {
+                let gmm = GaussianMixture::fit(
+                    quality_vectors,
+                    &GmmConfig { k: n_categories, seed, ..Default::default() },
+                );
+                gmm.means().to_vec()
+            }
+        };
+        Self { centers }
+    }
+
+    /// Build directly from known centers (tests, serialization).
+    pub fn from_centers(centers: Vec<Vec<f64>>) -> Self {
+        assert!(!centers.is_empty(), "need at least one category");
+        let dim = centers[0].len();
+        assert!(centers.iter().all(|c| c.len() == dim), "inconsistent center dimensions");
+        Self { centers }
+    }
+
+    /// Number of categories `|C|`.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True when no categories exist.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Average quality `q̂(k, c)` of configuration `k` on category `c`.
+    pub fn avg_quality(&self, config_idx: usize, category: usize) -> f64 {
+        self.centers[category][config_idx]
+    }
+
+    /// The full center of category `c`.
+    pub fn center(&self, category: usize) -> &[f64] {
+        &self.centers[category]
+    }
+
+    /// Offline classification: nearest center in full quality-vector space.
+    pub fn classify_full(&self, quality_vector: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in self.centers.iter().enumerate() {
+            let d: f64 = center
+                .iter()
+                .zip(quality_vector.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Eq. 5: online classification from the reported quality of the single
+    /// configuration `config_idx` that just ran.
+    pub fn classify_single(&self, config_idx: usize, reported_quality: f64) -> usize {
+        let mut best = 0;
+        let mut best_err = f64::INFINITY;
+        for (c, center) in self.centers.iter().enumerate() {
+            let err = (center[config_idx] - reported_quality).abs();
+            if err < best_err {
+                best_err = err;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// How well configuration `config_idx`'s quality alone separates the
+    /// categories: the minimum pairwise center gap along that dimension.
+    pub fn discrimination(&self, config_idx: usize) -> f64 {
+        let mut min_gap = f64::INFINITY;
+        for i in 0..self.centers.len() {
+            for j in (i + 1)..self.centers.len() {
+                let gap = (self.centers[i][config_idx] - self.centers[j][config_idx]).abs();
+                min_gap = min_gap.min(gap);
+            }
+        }
+        if min_gap.is_finite() {
+            min_gap
+        } else {
+            0.0
+        }
+    }
+
+    /// Pick the cheapest configuration (by the caller-provided cost order,
+    /// cheapest first) that discriminates the categories with at least
+    /// `min_gap` — footnote 7's "next cheapest configuration that is a good
+    /// discriminator". Falls back to the best available discriminator.
+    pub fn pick_discriminator(&self, cost_order_cheapest_first: &[usize], min_gap: f64) -> usize {
+        for &k in cost_order_cheapest_first {
+            if self.discrimination(k) >= min_gap {
+                return k;
+            }
+        }
+        // No configuration clears the bar — take the most discriminating one.
+        *cost_order_cheapest_first
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.discrimination(a)
+                    .partial_cmp(&self.discrimination(b))
+                    .expect("finite gaps")
+            })
+            .expect("at least one configuration")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three synthetic categories over two configurations: cheap config
+    /// quality separates them, expensive config saturates at ~1.
+    fn vectors() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for _ in 0..40 {
+            v.push(vec![0.9, 0.99]); // easy content
+            v.push(vec![0.5, 0.97]); // medium
+            v.push(vec![0.15, 0.95]); // hard
+        }
+        v
+    }
+
+    #[test]
+    fn fits_three_clear_categories() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        assert_eq!(cats.len(), 3);
+        let easy = cats.classify_full(&[0.88, 0.99]);
+        let hard = cats.classify_full(&[0.17, 0.94]);
+        assert_ne!(easy, hard);
+    }
+
+    #[test]
+    fn gmm_recovers_the_same_structure() {
+        let cats = ContentCategories::fit_with(&vectors(), 3, 1, ClusteringAlgo::Gmm);
+        assert_eq!(cats.len(), 3);
+        let easy = cats.classify_full(&[0.88, 0.99]);
+        let hard = cats.classify_full(&[0.17, 0.94]);
+        assert_ne!(easy, hard);
+    }
+
+    #[test]
+    fn single_dim_classification_matches_full_on_discriminating_dim() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        for q in [0.9, 0.5, 0.15] {
+            let full = cats.classify_full(&[q, 0.97]);
+            let single = cats.classify_single(0, q);
+            assert_eq!(full, single, "quality {q}");
+        }
+    }
+
+    #[test]
+    fn discrimination_prefers_the_cheap_config_dimension() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        assert!(cats.discrimination(0) > cats.discrimination(1));
+    }
+
+    #[test]
+    fn discriminator_selection_respects_cost_order_and_gap() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        // Expensive config first in cost order but non-discriminating (gap
+        // ~0.02): with min_gap 0.1 the cheap config must be chosen.
+        let pick = cats.pick_discriminator(&[1, 0], 0.1);
+        assert_eq!(pick, 0);
+        // With a tiny bar the first (cheapest-listed) config wins.
+        let pick = cats.pick_discriminator(&[1, 0], 0.001);
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn discriminator_falls_back_to_best_gap() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        // Impossible bar: fall back to the dimension with the best gap.
+        let pick = cats.pick_discriminator(&[1, 0], 10.0);
+        assert_eq!(pick, 0);
+    }
+
+    #[test]
+    fn centers_expose_avg_quality() {
+        let cats = ContentCategories::fit(&vectors(), 3, 1);
+        let hard = cats.classify_full(&[0.15, 0.95]);
+        assert!((cats.avg_quality(0, hard) - 0.15).abs() < 0.05);
+        assert!(cats.avg_quality(1, hard) > 0.9);
+        assert_eq!(cats.center(hard).len(), 2);
+    }
+
+    #[test]
+    fn from_centers_roundtrip() {
+        let cats = ContentCategories::from_centers(vec![vec![0.1, 0.9], vec![0.8, 1.0]]);
+        assert_eq!(cats.len(), 2);
+        assert_eq!(cats.classify_full(&[0.12, 0.88]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_centers_rejected() {
+        let _ = ContentCategories::from_centers(vec![]);
+    }
+}

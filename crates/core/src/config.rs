@@ -1,0 +1,110 @@
+//! Skyscraper hyperparameters.
+//!
+//! Appendix I lists every hyperparameter and recommends defaults that worked
+//! across all four paper workloads; [`SkyscraperConfig::default`] encodes
+//! exactly those. The paper finds end-to-end performance insensitive to most
+//! of them within reasonable ranges (Figs. 20–21, Tables 5–6).
+
+/// Hyperparameters of the offline and online phases.
+#[derive(Debug, Clone)]
+pub struct SkyscraperConfig {
+    /// Number of content categories — the "k in KMeans" (Appendix I: ≥ 3 is
+    /// enough; default 4).
+    pub n_categories: usize,
+    /// Seconds between knob-switcher invocations (Appendix I: 2–8 s all work;
+    /// default 4 s). Clamped up to the workload's segment length.
+    pub switch_period_secs: f64,
+    /// The planned interval `t_out`: how far the forecaster predicts and how
+    /// often the knob planner reruns (default 2 days).
+    pub planned_interval_secs: f64,
+    /// Forecaster input span `t_in` (default 2 days).
+    pub forecast_input_secs: f64,
+    /// Number of histograms the input span is split into (default 8).
+    pub forecast_input_splits: usize,
+    /// One forecaster training sample is created every this many seconds
+    /// (Appendix K.1: every 15 minutes).
+    pub forecast_sample_every_secs: f64,
+    /// Training epochs for the forecaster (Appendix K: 40).
+    pub forecast_epochs: usize,
+    /// Validation split for forecaster training (Appendix K: 20 %).
+    pub forecast_val_fraction: f64,
+    /// Segments pre-sampled uniformly before diverse selection (`n_pre`,
+    /// Appendix A.1).
+    pub n_presample: usize,
+    /// Diverse segments retained for the knob-configuration search
+    /// (`n_search`, Appendix I: 4–10).
+    pub n_search: usize,
+    /// Fraction of the unlabeled data sampled for content categorization
+    /// (Appendix I: 5–10 %).
+    pub categorize_fraction: f64,
+    /// Safety factor applied to profiled worst-case runtimes in the
+    /// switcher's buffer-overflow check.
+    pub runtime_safety: f64,
+    /// Master RNG seed for the offline phase.
+    pub seed: u64,
+}
+
+impl Default for SkyscraperConfig {
+    fn default() -> Self {
+        Self {
+            n_categories: 4,
+            switch_period_secs: 4.0,
+            planned_interval_secs: 2.0 * 86_400.0,
+            forecast_input_secs: 2.0 * 86_400.0,
+            forecast_input_splits: 8,
+            forecast_sample_every_secs: 15.0 * 60.0,
+            forecast_epochs: 40,
+            forecast_val_fraction: 0.2,
+            n_presample: 64,
+            n_search: 5,
+            categorize_fraction: 0.05,
+            runtime_safety: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+impl SkyscraperConfig {
+    /// A configuration scaled down for fast tests and CI: hours instead of
+    /// days, smaller samples. Semantics are unchanged.
+    pub fn fast_test() -> Self {
+        Self {
+            n_categories: 3,
+            switch_period_secs: 2.0,
+            planned_interval_secs: 4.0 * 3_600.0,
+            forecast_input_secs: 4.0 * 3_600.0,
+            forecast_input_splits: 4,
+            forecast_sample_every_secs: 10.0 * 60.0,
+            forecast_epochs: 15,
+            forecast_val_fraction: 0.2,
+            n_presample: 32,
+            n_search: 4,
+            categorize_fraction: 0.02,
+            runtime_safety: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_appendix_i() {
+        let c = SkyscraperConfig::default();
+        assert_eq!(c.n_categories, 4);
+        assert_eq!(c.switch_period_secs, 4.0);
+        assert_eq!(c.planned_interval_secs, 172_800.0);
+        assert_eq!(c.forecast_input_splits, 8);
+        assert_eq!(c.forecast_epochs, 40);
+        assert!((c.forecast_val_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(c.forecast_sample_every_secs, 900.0);
+    }
+
+    #[test]
+    fn fast_test_config_is_smaller() {
+        let c = SkyscraperConfig::fast_test();
+        assert!(c.planned_interval_secs < SkyscraperConfig::default().planned_interval_secs);
+    }
+}

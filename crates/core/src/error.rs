@@ -1,0 +1,68 @@
+//! Error types for the Skyscraper engine.
+
+use vetl_lp::LpError;
+
+/// Errors surfaced by the offline and online phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkyError {
+    /// The provisioned hardware cannot run even the cheapest knob
+    /// configuration in real time — no throughput guarantee is possible.
+    /// Carries the cheapest configuration's profiled work rate
+    /// (core-seconds per second of video) and the cluster throughput.
+    UnderProvisioned {
+        /// Work rate of the cheapest configuration, core-s per stream-s.
+        cheapest_work_rate: f64,
+        /// Cluster throughput, core-s per wall-s.
+        cluster_throughput: f64,
+    },
+    /// The knob planner's linear program failed to solve.
+    PlannerLp(LpError),
+    /// The offline phase was given insufficient data.
+    InsufficientData {
+        /// What was missing.
+        what: &'static str,
+    },
+    /// A method requiring a fitted model was called before fitting.
+    NotFitted,
+    /// Workload declared no knobs / empty configuration space.
+    EmptyConfigSpace,
+}
+
+impl std::fmt::Display for SkyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkyError::UnderProvisioned { cheapest_work_rate, cluster_throughput } => write!(
+                f,
+                "under-provisioned: cheapest configuration needs {cheapest_work_rate:.2} core-s/s \
+                 but the cluster only retires {cluster_throughput:.2} core-s/s"
+            ),
+            SkyError::PlannerLp(e) => write!(f, "knob planner LP failed: {e}"),
+            SkyError::InsufficientData { what } => {
+                write!(f, "offline phase needs more data: {what}")
+            }
+            SkyError::NotFitted => write!(f, "Skyscraper must be fitted before online ingestion"),
+            SkyError::EmptyConfigSpace => write!(f, "workload has an empty knob space"),
+        }
+    }
+}
+
+impl std::error::Error for SkyError {}
+
+impl From<LpError> for SkyError {
+    fn from(e: LpError) -> Self {
+        SkyError::PlannerLp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SkyError::UnderProvisioned { cheapest_work_rate: 3.0, cluster_throughput: 2.0 };
+        assert!(e.to_string().contains("under-provisioned"));
+        let e = SkyError::PlannerLp(LpError::Infeasible);
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

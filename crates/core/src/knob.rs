@@ -1,0 +1,267 @@
+//! Knobs, knob domains and knob configurations.
+//!
+//! Users register arbitrary knobs together with a *knob domain* — the set of
+//! values the knob may take (§2.1), e.g. `frame_rate ∈ {30, 15, 10, 5, 1}`.
+//! A [`KnobConfig`] instantiates every knob to one value of its domain; the
+//! number of configurations is exponential in the number of knobs, which is
+//! why the offline phase filters them (Appendix A.1).
+
+use std::fmt;
+
+/// A single value in a knob domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KnobValue {
+    /// Integral setting (e.g. detection interval in frames).
+    Int(i64),
+    /// Fractional setting (e.g. fraction of a sentence analysed).
+    Float(f64),
+    /// Named setting (e.g. model size "small"/"medium"/"large").
+    Text(&'static str),
+}
+
+impl KnobValue {
+    /// Integer content, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            KnobValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float content (ints coerce).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            KnobValue::Float(v) => Some(*v),
+            KnobValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Text content, if any.
+    pub fn as_text(&self) -> Option<&'static str> {
+        match self {
+            KnobValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobValue::Int(v) => write!(f, "{v}"),
+            KnobValue::Float(v) => write!(f, "{v}"),
+            KnobValue::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A registered knob: a name plus its user-defined domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knob {
+    /// Knob name ("frame_rate", "det_interval", …).
+    pub name: String,
+    /// Allowed values, in increasing-capability order by convention
+    /// (cheapest/least capable first).
+    pub domain: Vec<KnobValue>,
+}
+
+impl Knob {
+    /// Create a knob.
+    pub fn new(name: impl Into<String>, domain: Vec<KnobValue>) -> Self {
+        let name = name.into();
+        assert!(!domain.is_empty(), "knob '{name}' must have a non-empty domain");
+        Self { name, domain }
+    }
+
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// An instantiation of every registered knob: index `i` selects
+/// `knobs[i].domain[config[i]]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KnobConfig(Vec<usize>);
+
+impl KnobConfig {
+    /// Build from per-knob domain indices.
+    pub fn new(indices: Vec<usize>) -> Self {
+        Self(indices)
+    }
+
+    /// Domain index chosen for knob `knob_idx`.
+    pub fn index(&self, knob_idx: usize) -> usize {
+        self.0[knob_idx]
+    }
+
+    /// All indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of knobs covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-knob configuration.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Resolve the chosen value for knob `knob_idx` against its definition.
+    pub fn value<'k>(&self, knobs: &'k [Knob], knob_idx: usize) -> &'k KnobValue {
+        &knobs[knob_idx].domain[self.0[knob_idx]]
+    }
+
+    /// Neighbouring configurations that change exactly one knob by one
+    /// domain step — the moves greedy hill climbing explores.
+    pub fn neighbors(&self, knobs: &[Knob]) -> Vec<KnobConfig> {
+        let mut out = Vec::new();
+        for (i, knob) in knobs.iter().enumerate() {
+            let cur = self.0[i];
+            if cur + 1 < knob.cardinality() {
+                let mut v = self.0.clone();
+                v[i] = cur + 1;
+                out.push(KnobConfig(v));
+            }
+            if cur > 0 {
+                let mut v = self.0.clone();
+                v[i] = cur - 1;
+                out.push(KnobConfig(v));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for KnobConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The full cartesian configuration space of a knob set.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    cards: Vec<usize>,
+}
+
+impl ConfigSpace {
+    /// Space spanned by `knobs`.
+    pub fn new(knobs: &[Knob]) -> Self {
+        Self { cards: knobs.iter().map(Knob::cardinality).collect() }
+    }
+
+    /// Total number of configurations (product of cardinalities).
+    pub fn size(&self) -> usize {
+        self.cards.iter().product()
+    }
+
+    /// Iterate every configuration in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = KnobConfig> + '_ {
+        let n = self.size();
+        (0..n).map(move |mut idx| {
+            let mut v = vec![0usize; self.cards.len()];
+            for (i, &card) in self.cards.iter().enumerate().rev() {
+                v[i] = idx % card;
+                idx /= card;
+            }
+            KnobConfig(v)
+        })
+    }
+
+    /// The all-minimum (cheapest-by-convention) configuration.
+    pub fn min_config(&self) -> KnobConfig {
+        KnobConfig(vec![0; self.cards.len()])
+    }
+
+    /// The all-maximum (most capable) configuration.
+    pub fn max_config(&self) -> KnobConfig {
+        KnobConfig(self.cards.iter().map(|&c| c - 1).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knobs() -> Vec<Knob> {
+        vec![
+            Knob::new("frame_rate", vec![KnobValue::Int(1), KnobValue::Int(5), KnobValue::Int(30)]),
+            Knob::new("model", vec![KnobValue::Text("small"), KnobValue::Text("large")]),
+        ]
+    }
+
+    #[test]
+    fn config_space_size_and_iteration() {
+        let ks = knobs();
+        let space = ConfigSpace::new(&ks);
+        assert_eq!(space.size(), 6);
+        let all: Vec<KnobConfig> = space.iter().collect();
+        assert_eq!(all.len(), 6);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "configurations must be distinct");
+        assert!(all.contains(&space.min_config()));
+        assert!(all.contains(&space.max_config()));
+    }
+
+    #[test]
+    fn value_resolution() {
+        let ks = knobs();
+        let c = KnobConfig::new(vec![2, 1]);
+        assert_eq!(c.value(&ks, 0).as_int(), Some(30));
+        assert_eq!(c.value(&ks, 1).as_text(), Some("large"));
+    }
+
+    #[test]
+    fn neighbors_change_one_knob_by_one_step() {
+        let ks = knobs();
+        let c = KnobConfig::new(vec![1, 0]);
+        let ns = c.neighbors(&ks);
+        // knob 0 can go up/down, knob 1 only up.
+        assert_eq!(ns.len(), 3);
+        for n in &ns {
+            let diff: usize = n
+                .indices()
+                .iter()
+                .zip(c.indices())
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn corner_configs_have_fewer_neighbors() {
+        let ks = knobs();
+        let space = ConfigSpace::new(&ks);
+        assert_eq!(space.min_config().neighbors(&ks).len(), 2);
+        assert_eq!(space.max_config().neighbors(&ks).len(), 2);
+    }
+
+    #[test]
+    fn knob_value_coercions() {
+        assert_eq!(KnobValue::Int(5).as_float(), Some(5.0));
+        assert_eq!(KnobValue::Float(0.5).as_int(), None);
+        assert_eq!(KnobValue::Text("x").as_text(), Some("x"));
+        assert_eq!(format!("{}", KnobValue::Int(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_rejected() {
+        let _ = Knob::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # skyscraper — content-adaptive knob tuning for Video Extract-Transform-Load
+//!
+//! This crate is a from-scratch Rust reproduction of **Skyscraper** from
+//! *"Extract-Transform-Load for Video Streams"* (Kossmann et al., VLDB 2023).
+//!
+//! ## The V-ETL problem
+//!
+//! Video is easy to produce but expensive to store and query. A video
+//! warehouse ingests live streams by *transforming* them into an
+//! application-specific relational format (car counts, pedestrian tracks,
+//! sentiment labels, …). The Transform step must (1) keep up with the rate at
+//! which video arrives — lag is bounded by a fixed-size buffer (Eq. 1) — and
+//! (2) stay within a monetary budget. Skyscraper maximizes result quality
+//! under both constraints by **content-adaptive knob tuning**: expensive knob
+//! configurations (full frame rate, large models, tiling) are reserved for
+//! content that needs them, cheap configurations handle the easy content.
+//!
+//! ## Architecture
+//!
+//! * [`offline`] — the preparation phase (§3): diverse segment sampling and
+//!   greedy hill-climbing to filter knob configurations to a work/quality
+//!   Pareto set (Appendix A.1), exhaustive/beam placement search over the
+//!   Appendix-M simulator filtered to the cost/runtime Pareto set
+//!   (Appendix A.2), KMeans content categorization over quality vectors
+//!   (§3.2), and training of the feed-forward forecaster (§3.3, Appendix H).
+//! * [`online`] — the ingestion phase (§4): the predictive **knob planner**
+//!   solving the LP of Eqs. 2–4 every planned interval, the reactive
+//!   **knob switcher** implementing Eqs. 5–6 with the buffer-overflow
+//!   fallback recursion, and the ingestion driver that enforces the
+//!   throughput guarantee while tracking buffer, backlog, and cloud spend.
+//! * [`multistream`] — the Appendix-D generalization to many streams sharing
+//!   cloud credits (and optionally an on-premise cluster).
+//! * [`api`] — a user-facing facade mirroring the Python API of Appendix F.
+//!
+//! ## Quality model
+//!
+//! Skyscraper never inspects pixels: it consumes a scalar quality metric the
+//! user's UDFs report anyway (detector confidence, tracker failures). The
+//! [`Workload`] trait captures exactly that contract, which is what lets this
+//! reproduction replace real CV models with calibrated synthetic ones (see
+//! `vetl-workloads`) without touching any decision logic.
+
+pub mod api;
+pub mod category;
+pub mod config;
+pub mod error;
+pub mod knob;
+pub mod multistream;
+pub mod offline;
+pub mod online;
+pub mod profile;
+#[doc(hidden)]
+pub mod testkit;
+pub mod workload;
+
+pub use api::Skyscraper;
+pub use category::ContentCategories;
+pub use config::SkyscraperConfig;
+pub use error::SkyError;
+pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
+pub use offline::{run_offline, FittedModel, OfflineReport};
+pub use online::ingest::{
+    ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome,
+};
+pub use online::plan::KnobPlan;
+pub use online::planner::KnobPlanner;
+pub use online::switcher::{Decision, KnobSwitcher, SwitcherLimits};
+pub use profile::{ConfigProfile, PlacementProfile};
+pub use workload::Workload;

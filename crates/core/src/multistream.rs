@@ -1,0 +1,310 @@
+//! Multi-stream ingestion (Appendix D).
+//!
+//! Skyscraper's techniques extend naturally to many streams. The offline
+//! phase runs independently per stream; online, only the knob planner
+//! changes: a single **joint LP** allocates the shared budget across all
+//! streams' categories (Eqs. 7–9, the green-highlighted generalization of
+//! Eqs. 2–4). Knob switching stays per-stream and independent, except that
+//! cloud credits are drawn from a shared wallet.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vetl_lp::{solve, LpProblem, Relation};
+use vetl_sim::{simulate, Backlog, CostModel};
+use vetl_video::Segment;
+
+use crate::error::SkyError;
+use crate::offline::forecast::CategoryTimeline;
+use crate::offline::FittedModel;
+use crate::online::plan::KnobPlan;
+use crate::online::switcher::{KnobSwitcher, SwitcherLimits};
+use crate::workload::Workload;
+
+/// Joint knob planning across streams (Eqs. 7–9).
+///
+/// `rs[v]` is stream `v`'s forecast; `budget_per_seg_total` the shared
+/// budget in core-seconds per segment summed over streams.
+pub fn joint_plan(
+    models: &[&FittedModel],
+    rs: &[Vec<f64>],
+    budget_per_seg_total: f64,
+) -> Result<Vec<KnobPlan>, SkyError> {
+    assert_eq!(models.len(), rs.len(), "one forecast per stream");
+    assert!(!models.is_empty(), "need at least one stream");
+
+    let mut lp = LpProblem::new();
+    // Variables per stream: alpha[v][c][k].
+    let mut vars: Vec<Vec<Vec<vetl_lp::VarId>>> = Vec::with_capacity(models.len());
+    for (v, model) in models.iter().enumerate() {
+        let mut per_c = Vec::with_capacity(model.n_categories());
+        for c in 0..model.n_categories() {
+            let mut per_k = Vec::with_capacity(model.n_configs());
+            for k in 0..model.n_configs() {
+                let obj = rs[v][c] * model.categories.avg_quality(k, c);
+                per_k.push(lp.add_var(format!("a{v}_{k}_{c}"), obj));
+            }
+            per_c.push(per_k);
+        }
+        vars.push(per_c);
+    }
+    // Eq. 8: shared budget over all streams.
+    let mut budget_terms = Vec::new();
+    for (v, model) in models.iter().enumerate() {
+        for c in 0..model.n_categories() {
+            for k in 0..model.n_configs() {
+                budget_terms.push((vars[v][c][k], rs[v][c] * model.configs[k].work_mean));
+            }
+        }
+    }
+    lp.add_constraint(budget_terms, Relation::Le, budget_per_seg_total);
+    // Eq. 9: normalization for every category of every stream.
+    for (v, model) in models.iter().enumerate() {
+        for c in 0..model.n_categories() {
+            let terms: Vec<_> = (0..model.n_configs()).map(|k| (vars[v][c][k], 1.0)).collect();
+            lp.add_constraint(terms, Relation::Eq, 1.0);
+        }
+    }
+
+    match solve(&lp) {
+        Ok(sol) => Ok(models
+            .iter()
+            .enumerate()
+            .map(|(v, model)| {
+                let alpha: Vec<Vec<f64>> = (0..model.n_categories())
+                    .map(|c| {
+                        (0..model.n_configs()).map(|k| sol.value(vars[v][c][k])).collect()
+                    })
+                    .collect();
+                KnobPlan::new(alpha)
+            })
+            .collect()),
+        Err(vetl_lp::LpError::Infeasible) => Ok(models
+            .iter()
+            .map(|m| KnobPlan::single_config(m.n_categories(), m.n_configs(), m.cheapest()))
+            .collect()),
+        Err(e) => Err(SkyError::PlannerLp(e)),
+    }
+}
+
+/// Per-stream outcome of a multi-stream run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOutcome {
+    /// Mean ground-truth quality.
+    pub mean_quality: f64,
+    /// Throughput violations (must be 0).
+    pub overflows: usize,
+    /// On-premise + cloud work, core-seconds.
+    pub work_core_secs: f64,
+}
+
+/// Outcome of a multi-stream run.
+#[derive(Debug, Clone, Default)]
+pub struct MultiOutcome {
+    /// Per-stream results.
+    pub streams: Vec<StreamOutcome>,
+    /// Cloud dollars drawn from the shared wallet.
+    pub cloud_usd: f64,
+    /// Joint quality `Σ_v quality_v` (the paper's multi-stream objective).
+    pub joint_quality: f64,
+}
+
+/// Ingest several streams that share cloud credits; each stream keeps its
+/// own buffer and a fair share `⌊cores / V⌋` of the cluster (Appendix D).
+pub fn run_multistream<W: Workload + ?Sized>(
+    models: &[&FittedModel],
+    workloads: &[&W],
+    streams: &[Vec<Segment>],
+    shared_cloud_budget_usd: f64,
+    cost_model: &CostModel,
+    seed: u64,
+) -> Result<MultiOutcome, SkyError> {
+    assert_eq!(models.len(), workloads.len(), "one workload per stream");
+    assert_eq!(models.len(), streams.len(), "one segment vector per stream");
+    let n_streams = models.len();
+    assert!(n_streams > 0, "need at least one stream");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fair core allocation (Appendix D: ⌊n / |V|⌋ per stream; pessimistic
+    // but precludes overflows without under-utilization because unused
+    // cores serve other streams' tasks in the real executor).
+    let total_cores = models[0].hardware.cluster.throughput();
+    let fair_share = (total_cores / n_streams as f64).floor().max(1.0);
+
+    // Joint plan from each stream's bootstrap forecast.
+    let rs: Vec<Vec<f64>> =
+        models.iter().map(|m| m.forecaster.forecast(&m.tail)).collect();
+    let budget_total: f64 = models
+        .iter()
+        .map(|m| fair_share * m.seg_len)
+        .sum::<f64>()
+        + cost_model.cloud_usd_to_core_secs(shared_cloud_budget_usd)
+            / (streams.iter().map(Vec::len).max().unwrap_or(1) as f64);
+    let plans = joint_plan(models, &rs, budget_total)?;
+
+    let mut switchers: Vec<KnobSwitcher> = models
+        .iter()
+        .zip(plans)
+        .map(|(m, p)| KnobSwitcher::new(m, p))
+        .collect();
+    let mut backlogs: Vec<Backlog> = (0..n_streams).map(|_| Backlog::new()).collect();
+    let mut outcomes = vec![StreamOutcome::default(); n_streams];
+    let mut last_reported: Vec<Option<f64>> = vec![None; n_streams];
+    let mut cloud_left = shared_cloud_budget_usd;
+    let mut cloud_spent = 0.0;
+
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_len {
+        for v in 0..n_streams {
+            let Some(seg) = streams[v].get(i) else { continue };
+            let model = models[v];
+            let workload = workloads[v];
+            let capacity_per_seg = fair_share * model.seg_len;
+            let limits = SwitcherLimits {
+                buffer_capacity: model.hardware.buffer_bytes,
+                seg_bytes_reserve: seg.bytes,
+                capacity_per_seg,
+                safety: model.hyper.runtime_safety,
+                cloud_enabled: true,
+            };
+            let category = match last_reported[v] {
+                Some(q) => switchers[v].classify(model, q),
+                None => 0,
+            };
+            let d = switchers[v].decide(
+                model,
+                category,
+                backlogs[v].bytes(),
+                backlogs[v].work(),
+                cloud_left,
+                &limits,
+            );
+            let profile = &model.configs[d.config];
+            let graph = workload.task_graph(&profile.config, &seg.content);
+            let placement = &profile.placements[d.placement].placement;
+            let result =
+                simulate(&graph, placement, &model.hardware.cluster, &model.hardware.cloud);
+            cloud_left -= result.cloud_usd;
+            cloud_spent += result.cloud_usd;
+
+            backlogs[v].push(seg.bytes, result.onprem_busy_secs);
+            let _ = backlogs[v].process(capacity_per_seg);
+            if backlogs[v].bytes() > model.hardware.buffer_bytes + seg.bytes {
+                outcomes[v].overflows += 1;
+            }
+            outcomes[v].work_core_secs += result.onprem_busy_secs + result.cloud_busy_secs;
+            outcomes[v].mean_quality += workload.true_quality(&profile.config, &seg.content);
+            last_reported[v] =
+                Some(workload.reported_quality(&profile.config, &seg.content, &mut rng));
+        }
+    }
+
+    let mut joint_quality = 0.0;
+    for (v, out) in outcomes.iter_mut().enumerate() {
+        let n = streams[v].len().max(1) as f64;
+        out.mean_quality /= n;
+        joint_quality += out.mean_quality;
+    }
+    Ok(MultiOutcome { streams: outcomes, cloud_usd: cloud_spent, joint_quality })
+}
+
+/// Convenience: forecast each stream from a category history and joint-plan.
+pub fn joint_plan_from_histories(
+    models: &[&FittedModel],
+    histories: &[CategoryTimeline],
+    budget_per_seg_total: f64,
+) -> Result<Vec<KnobPlan>, SkyError> {
+    let rs: Vec<Vec<f64>> = models
+        .iter()
+        .zip(histories)
+        .map(|(m, h)| m.forecaster.forecast(h))
+        .collect();
+    joint_plan(models, &rs, budget_per_seg_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkyscraperConfig;
+    use crate::offline::run_offline;
+    use crate::testkit::ToyWorkload;
+    use vetl_sim::HardwareSpec;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn fit(seed: u64, cores: usize) -> (ToyWorkload, FittedModel, Vec<Segment>) {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let (model, _) = run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(cores),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap();
+        let online = Recording::record(&mut cam, 2.0 * 3_600.0);
+        (w, model, online.segments().to_vec())
+    }
+
+    #[test]
+    fn joint_plan_normalizes_every_stream_category() {
+        let (_, m1, _) = fit(3, 4);
+        let (_, m2, _) = fit(4, 4);
+        let models = vec![&m1, &m2];
+        let rs: Vec<Vec<f64>> = models
+            .iter()
+            .map(|m| vec![1.0 / m.n_categories() as f64; m.n_categories()])
+            .collect();
+        let plans = joint_plan(&models, &rs, 4.0).unwrap();
+        assert_eq!(plans.len(), 2);
+        for (p, m) in plans.iter().zip(&models) {
+            for c in 0..m.n_categories() {
+                assert!((p.histogram(c).iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_budget_is_respected_in_expectation() {
+        let (_, m1, _) = fit(3, 4);
+        let (_, m2, _) = fit(4, 4);
+        let models = vec![&m1, &m2];
+        let rs: Vec<Vec<f64>> = models
+            .iter()
+            .map(|m| vec![1.0 / m.n_categories() as f64; m.n_categories()])
+            .collect();
+        let budget = 3.0;
+        let plans = joint_plan(&models, &rs, budget).unwrap();
+        let total_cost: f64 = plans
+            .iter()
+            .zip(&models)
+            .zip(&rs)
+            .map(|((p, m), r)| p.expected_cost(r, |k| m.configs[k].work_mean))
+            .sum();
+        assert!(total_cost <= budget + 1e-6, "joint cost {total_cost} > {budget}");
+    }
+
+    #[test]
+    fn multistream_run_keeps_guarantees() {
+        let (w1, m1, s1) = fit(3, 8);
+        let (w2, m2, s2) = fit(4, 8);
+        let out = run_multistream(
+            &[&m1, &m2],
+            &[&w1, &w2],
+            &[s1, s2],
+            0.5,
+            &CostModel::default(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(out.streams.len(), 2);
+        for s in &out.streams {
+            assert_eq!(s.overflows, 0, "per-stream throughput guarantee");
+            assert!(s.mean_quality > 0.3);
+        }
+        assert!(out.cloud_usd <= 0.5 + 1e-9);
+        assert!(out.joint_quality > 0.0);
+    }
+}

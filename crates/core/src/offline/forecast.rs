@@ -1,0 +1,439 @@
+//! The content-distribution forecaster (§3.3, Appendices H and K).
+//!
+//! The forecaster predicts how often each content category appears in the
+//! next *planned interval* from how often categories appeared in the recent
+//! past. Inputs are `n_split` category histograms covering the last `t_in`
+//! seconds; the output is one histogram over the next `t_out` seconds.
+//!
+//! Training data is generated from the unlabeled recording by labelling every
+//! segment with the cheap discriminating configuration (Appendix H) and
+//! sliding a window at 15-minute steps (Appendix K.1). The network is the
+//! Appendix-K feed-forward net trained for 40 epochs with a 20 % validation
+//! split, keeping the best-validation weights.
+
+use rand::rngs::StdRng;
+
+use vetl_ml::nn::FitConfig;
+use vetl_ml::{mean_absolute_error, Adam, Loss, Mlp};
+
+use crate::category::ContentCategories;
+use crate::knob::KnobConfig;
+use crate::workload::Workload;
+
+/// A per-segment category timeline.
+#[derive(Debug, Clone)]
+pub struct CategoryTimeline {
+    /// Category index of each consecutive segment.
+    pub categories: Vec<usize>,
+    /// Segment duration in seconds.
+    pub seg_len: f64,
+    /// Number of distinct categories.
+    pub n_categories: usize,
+    /// Prefix counts `prefix[t][c]` = occurrences of `c` in segments `[0,t)`;
+    /// makes any window histogram O(|C|).
+    prefix: Vec<Vec<u32>>,
+}
+
+impl CategoryTimeline {
+    /// Build a timeline from raw per-segment categories.
+    pub fn new(categories: Vec<usize>, seg_len: f64, n_categories: usize) -> Self {
+        assert!(seg_len > 0.0, "segment length must be positive");
+        assert!(n_categories > 0, "need at least one category");
+        let mut prefix = Vec::with_capacity(categories.len() + 1);
+        prefix.push(vec![0u32; n_categories]);
+        for (i, &c) in categories.iter().enumerate() {
+            assert!(c < n_categories, "category out of range");
+            let mut row = prefix[i].clone();
+            row[c] += 1;
+            prefix.push(row);
+        }
+        Self { categories, seg_len, n_categories, prefix }
+    }
+
+    /// Label the contents of `segments` by running the discriminating
+    /// configuration and classifying its reported quality (Appendix H).
+    pub fn label<W: Workload + ?Sized>(
+        workload: &W,
+        segments: &[vetl_video::Segment],
+        discriminator: &KnobConfig,
+        discriminator_idx: usize,
+        categories: &ContentCategories,
+        rng: &mut StdRng,
+    ) -> Self {
+        let labels: Vec<usize> = segments
+            .iter()
+            .map(|s| {
+                let q = workload.reported_quality(discriminator, &s.content, rng);
+                categories.classify_single(discriminator_idx, q)
+            })
+            .collect();
+        Self::new(labels, workload.segment_len(), categories.len())
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// True when no segments are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Normalized histogram of categories over segment range `[from, to)`.
+    pub fn histogram(&self, from: usize, to: usize) -> Vec<f64> {
+        assert!(from <= to && to <= self.len(), "window out of range");
+        let n = (to - from).max(1) as f64;
+        (0..self.n_categories)
+            .map(|c| (self.prefix[to][c] - self.prefix[from][c]) as f64 / n)
+            .collect()
+    }
+
+    /// Ground-truth distribution over a *time* window `[from_s, to_s)`.
+    pub fn histogram_secs(&self, from_s: f64, to_s: f64) -> Vec<f64> {
+        let from = (from_s / self.seg_len).round().max(0.0) as usize;
+        let to = ((to_s / self.seg_len).round() as usize).min(self.len());
+        self.histogram(from.min(to), to)
+    }
+}
+
+/// Featurization/horizon parameters of the forecaster.
+#[derive(Debug, Clone, Copy)]
+pub struct ForecastSpec {
+    /// Input span `t_in` in seconds.
+    pub input_secs: f64,
+    /// Number of histograms the input span is split into.
+    pub input_splits: usize,
+    /// Forecast horizon `t_out` (the planned interval) in seconds.
+    pub horizon_secs: f64,
+    /// Stride between consecutive training samples in seconds.
+    pub sample_every_secs: f64,
+}
+
+/// Supervised dataset for the forecaster.
+#[derive(Debug, Clone, Default)]
+pub struct ForecastDataset {
+    /// Concatenated input histograms, one row per sample.
+    pub inputs: Vec<Vec<f64>>,
+    /// Target histogram per sample.
+    pub targets: Vec<Vec<f64>>,
+}
+
+impl ForecastDataset {
+    /// Slide a window over `timeline` per `spec` and emit samples.
+    pub fn build(timeline: &CategoryTimeline, spec: &ForecastSpec) -> Self {
+        let seg = timeline.seg_len;
+        let in_segs = (spec.input_secs / seg).round() as usize;
+        let out_segs = (spec.horizon_secs / seg).round() as usize;
+        let stride = ((spec.sample_every_secs / seg).round() as usize).max(1);
+        let split = (in_segs / spec.input_splits).max(1);
+
+        let mut ds = ForecastDataset::default();
+        if timeline.len() < in_segs + out_segs || in_segs == 0 || out_segs == 0 {
+            return ds;
+        }
+        let mut t = in_segs;
+        while t + out_segs <= timeline.len() {
+            let mut input = Vec::with_capacity(spec.input_splits * timeline.n_categories);
+            for s in 0..spec.input_splits {
+                let from = t - in_segs + s * split;
+                let to = (from + split).min(t);
+                input.extend(timeline.histogram(from, to));
+            }
+            ds.inputs.push(input);
+            ds.targets.push(timeline.histogram(t, t + out_segs));
+            t += stride;
+        }
+        ds
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when no samples were generated.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Keep only the first `n` samples (Fig. 18's data-efficiency sweep).
+    pub fn truncate(&mut self, n: usize) {
+        self.inputs.truncate(n);
+        self.targets.truncate(n);
+    }
+}
+
+/// The trained forecasting model `F`.
+#[derive(Debug, Clone)]
+pub struct Forecaster {
+    net: Mlp,
+    spec: ForecastSpec,
+    n_categories: usize,
+    /// Validation MAE from training (reported in Tables 5/6).
+    pub val_mae: f64,
+}
+
+impl Forecaster {
+    /// Train on a labeled timeline. Returns `None` when the timeline is too
+    /// short to produce a single sample.
+    pub fn train(
+        timeline: &CategoryTimeline,
+        spec: ForecastSpec,
+        epochs: usize,
+        val_fraction: f64,
+        seed: u64,
+    ) -> Option<Self> {
+        let ds = ForecastDataset::build(timeline, &spec);
+        Self::train_on(ds, spec, timeline.n_categories, epochs, val_fraction, seed)
+    }
+
+    /// Train on a pre-built dataset (used by the data-efficiency sweep).
+    pub fn train_on(
+        ds: ForecastDataset,
+        spec: ForecastSpec,
+        n_categories: usize,
+        epochs: usize,
+        val_fraction: f64,
+        seed: u64,
+    ) -> Option<Self> {
+        if ds.is_empty() {
+            return None;
+        }
+        let input_dim = ds.inputs[0].len();
+        let mut net = Mlp::forecaster(input_dim, n_categories, seed);
+        let mut opt = Adam::new(5e-3);
+        net.fit(
+            &ds.inputs,
+            &ds.targets,
+            &mut opt,
+            &FitConfig {
+                epochs,
+                batch_size: 16,
+                val_fraction,
+                loss: Loss::CrossEntropy,
+                seed,
+            },
+        );
+        // Report MAE on the tail 20 % as a pseudo-holdout (deterministic).
+        let n_val = (ds.len() as f64 * 0.2).ceil() as usize;
+        let start = ds.len().saturating_sub(n_val.max(1));
+        let preds: Vec<Vec<f64>> =
+            ds.inputs[start..].iter().map(|x| net.forward(x)).collect();
+        let val_mae = mean_absolute_error(&preds, &ds.targets[start..]);
+        Some(Self { net, spec, n_categories, val_mae })
+    }
+
+    /// Featurization parameters.
+    pub fn spec(&self) -> ForecastSpec {
+        self.spec
+    }
+
+    /// Number of categories forecast.
+    pub fn n_categories(&self) -> usize {
+        self.n_categories
+    }
+
+    /// Forecast the next-interval category distribution from the most recent
+    /// categories (one entry per segment, oldest first). The input is padded
+    /// by repetition if shorter than `t_in`.
+    pub fn forecast(&self, recent: &CategoryTimeline) -> Vec<f64> {
+        let seg = recent.seg_len;
+        let in_segs = ((self.spec.input_secs / seg).round() as usize).max(self.spec.input_splits);
+        let split = (in_segs / self.spec.input_splits).max(1);
+        let len = recent.len();
+        let mut input = Vec::with_capacity(self.spec.input_splits * self.n_categories);
+        for s in 0..self.spec.input_splits {
+            // Window positions counted back from the end; clamp into range.
+            let from_back = in_segs - s * split;
+            let to_back = from_back.saturating_sub(split);
+            let from = len.saturating_sub(from_back);
+            let to = len.saturating_sub(to_back).max(from + 1).min(len.max(1));
+            input.extend(recent.histogram(from.min(len), to.min(len)));
+        }
+        normalize(self.net.forward(&input))
+    }
+
+    /// Online fine-tuning (§3.3: "F can be fine-tuned in the online phase
+    /// using the recently ingested data"). Runs a few low-learning-rate
+    /// epochs on the recent timeline; returns the resulting training-tail
+    /// MAE, or `None` when the timeline is too short to build a sample.
+    pub fn fine_tune(
+        &mut self,
+        recent: &CategoryTimeline,
+        epochs: usize,
+        seed: u64,
+    ) -> Option<f64> {
+        let ds = ForecastDataset::build(recent, &self.spec);
+        if ds.is_empty() {
+            return None;
+        }
+        let mut opt = Adam::new(1e-3);
+        self.net.fit(
+            &ds.inputs,
+            &ds.targets,
+            &mut opt,
+            &FitConfig {
+                epochs,
+                batch_size: 16,
+                val_fraction: 0.0,
+                loss: Loss::CrossEntropy,
+                seed,
+            },
+        );
+        let preds: Vec<Vec<f64>> = ds.inputs.iter().map(|x| self.net.forward(x)).collect();
+        let mae = mean_absolute_error(&preds, &ds.targets);
+        self.val_mae = mae;
+        Some(mae)
+    }
+
+    /// Forecast MAE against ground truth on a held-out timeline.
+    pub fn evaluate(&self, timeline: &CategoryTimeline) -> f64 {
+        let ds = ForecastDataset::build(timeline, &self.spec);
+        if ds.is_empty() {
+            return f64::NAN;
+        }
+        let preds: Vec<Vec<f64>> = ds.inputs.iter().map(|x| self.net.forward(x)).collect();
+        mean_absolute_error(&preds, &ds.targets)
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 {
+        v.iter_mut().for_each(|x| *x /= s);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A timeline with strong diurnal structure: category 0 at "night",
+    /// 1 at "day", plus noise-free transitions.
+    fn diurnal_timeline(days: usize, seg_len: f64) -> CategoryTimeline {
+        let per_day = (86_400.0 / seg_len) as usize;
+        let mut cats = Vec::with_capacity(days * per_day);
+        for d in 0..days {
+            for s in 0..per_day {
+                let hour = 24.0 * s as f64 / per_day as f64;
+                let c = if (7.0..19.0).contains(&hour) { 1 } else { 0 };
+                let _ = d;
+                cats.push(c);
+            }
+        }
+        CategoryTimeline::new(cats, seg_len, 2)
+    }
+
+    fn spec(seg_len: f64) -> ForecastSpec {
+        let _ = seg_len;
+        ForecastSpec {
+            input_secs: 86_400.0,
+            input_splits: 4,
+            horizon_secs: 43_200.0,
+            sample_every_secs: 3_600.0,
+        }
+    }
+
+    #[test]
+    fn histograms_are_normalized_distributions() {
+        let tl = diurnal_timeline(2, 60.0);
+        let h = tl.histogram(0, tl.len());
+        assert_eq!(h.len(), 2);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Day category covers 12 h of 24 h.
+        assert!((h[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn prefix_counts_match_naive_histogram() {
+        let tl = CategoryTimeline::new(vec![0, 1, 1, 2, 0, 1], 1.0, 3);
+        let h = tl.histogram(1, 5);
+        assert_eq!(h, vec![0.25, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn dataset_windows_do_not_leak() {
+        let tl = diurnal_timeline(3, 60.0);
+        let ds = ForecastDataset::build(&tl, &spec(60.0));
+        assert!(!ds.is_empty());
+        // Input dimension = splits × categories.
+        assert_eq!(ds.inputs[0].len(), 4 * 2);
+        for t in &ds.targets {
+            assert!((t.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecaster_learns_diurnal_structure() {
+        let tl = diurnal_timeline(6, 60.0);
+        let f = Forecaster::train(&tl, spec(60.0), 30, 0.2, 1).expect("enough data");
+        assert!(
+            f.val_mae < 0.12,
+            "diurnal pattern should be learnable; MAE {}",
+            f.val_mae
+        );
+    }
+
+    #[test]
+    fn forecast_is_a_distribution() {
+        let tl = diurnal_timeline(5, 60.0);
+        let f = Forecaster::train(&tl, spec(60.0), 10, 0.2, 1).unwrap();
+        let recent = diurnal_timeline(2, 60.0);
+        let r = f.forecast(&recent);
+        assert_eq!(r.len(), 2);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn too_short_timeline_yields_none() {
+        let tl = CategoryTimeline::new(vec![0, 1, 0], 60.0, 2);
+        assert!(Forecaster::train(&tl, spec(60.0), 5, 0.2, 1).is_none());
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_a_shifted_distribution() {
+        // Train on a 12 h-day / 12 h-night pattern, then fine-tune on data
+        // whose "day" covers 18 h: the fine-tuned model must fit the new
+        // distribution better than the stale one.
+        let tl = diurnal_timeline(6, 60.0);
+        let mut f = Forecaster::train(&tl, spec(60.0), 25, 0.2, 1).unwrap();
+        let shifted = {
+            let per_day = (86_400.0 / 60.0) as usize;
+            let mut cats = Vec::new();
+            for _ in 0..4 {
+                for s in 0..per_day {
+                    let hour = 24.0 * s as f64 / per_day as f64;
+                    cats.push(usize::from((3.0..21.0).contains(&hour)));
+                }
+            }
+            CategoryTimeline::new(cats, 60.0, 2)
+        };
+        let before = f.evaluate(&shifted);
+        let after = f.fine_tune(&shifted, 15, 2).expect("enough data");
+        assert!(
+            after < before,
+            "fine-tuning must reduce MAE on the drifted data: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_on_short_timeline_is_none() {
+        let tl = diurnal_timeline(5, 60.0);
+        let mut f = Forecaster::train(&tl, spec(60.0), 5, 0.2, 1).unwrap();
+        let short = CategoryTimeline::new(vec![0, 1, 0, 1], 60.0, 2);
+        assert!(f.fine_tune(&short, 5, 1).is_none());
+    }
+
+    #[test]
+    fn evaluate_reports_finite_mae_on_fresh_data() {
+        let tl = diurnal_timeline(6, 60.0);
+        let f = Forecaster::train(&tl, spec(60.0), 20, 0.2, 1).unwrap();
+        let test = diurnal_timeline(3, 60.0);
+        let mae = f.evaluate(&test);
+        assert!(mae.is_finite());
+        assert!(mae < 0.2, "MAE {mae}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Knob-configuration filtering via greedy hill climbing (Appendix A.1).
+//!
+//! The number of knob configurations is exponential in the number of knobs,
+//! so Skyscraper uses VideoStorm's greedy hill-climbing search to construct
+//! an approximate work/quality Pareto frontier per sampled segment, then
+//! unions the per-segment frontiers and Pareto-filters the union by mean
+//! work / mean quality.
+
+use rand::rngs::StdRng;
+
+use vetl_video::ContentState;
+
+use crate::knob::KnobConfig;
+use crate::workload::Workload;
+
+/// A `(work, quality)` evaluation of a configuration on one segment.
+#[derive(Debug, Clone)]
+struct Eval {
+    config: KnobConfig,
+    work: f64,
+    quality: f64,
+}
+
+/// Greedy hill climb on one segment: start from the cheapest configuration
+/// and repeatedly take the single-knob move with the best marginal
+/// quality-per-work gain, collecting every configuration on the path.
+fn climb_one<W: Workload + ?Sized>(
+    workload: &W,
+    content: &ContentState,
+    rng: &mut StdRng,
+    max_steps: usize,
+) -> Vec<Eval> {
+    let knobs = workload.knobs();
+    let mut current = workload.config_space().min_config();
+    let mut visited: Vec<Eval> = Vec::new();
+    let eval = |c: &KnobConfig, rng: &mut StdRng| Eval {
+        config: c.clone(),
+        work: workload.work(c, content),
+        quality: workload.reported_quality(c, content, rng),
+    };
+    let mut cur_eval = eval(&current, rng);
+    visited.push(cur_eval.clone());
+
+    for _ in 0..max_steps {
+        let mut best: Option<Eval> = None;
+        let mut best_gain = 0.0;
+        for n in current.neighbors(knobs) {
+            if visited.iter().any(|v| v.config == n) {
+                continue;
+            }
+            let e = eval(&n, rng);
+            let dq = e.quality - cur_eval.quality;
+            let dw = e.work - cur_eval.work;
+            // Marginal quality per marginal work; free improvements are
+            // taken with top priority.
+            let gain = if dw <= 1e-12 {
+                if dq > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                dq / dw
+            };
+            if dq > 1e-4 && gain > best_gain {
+                best_gain = gain;
+                best = Some(e);
+            }
+        }
+        match best {
+            Some(e) => {
+                current = e.config.clone();
+                cur_eval = e.clone();
+                visited.push(e);
+            }
+            None => break,
+        }
+    }
+    visited
+}
+
+/// Pareto filter on (work ascending, quality): keep a configuration iff no
+/// other has both less-or-equal work and strictly better quality.
+fn pareto(evals: Vec<Eval>) -> Vec<Eval> {
+    let mut sorted = evals;
+    sorted.sort_by(|a, b| {
+        a.work
+            .partial_cmp(&b.work)
+            .expect("finite work")
+            .then(b.quality.partial_cmp(&a.quality).expect("finite quality"))
+    });
+    let mut out: Vec<Eval> = Vec::new();
+    let mut best_q = f64::NEG_INFINITY;
+    for e in sorted {
+        if e.quality > best_q + 1e-12 {
+            best_q = e.quality;
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Run the full filter: hill climb on each diverse sample, union the
+/// per-segment Pareto sets, and Pareto-filter the union on mean work / mean
+/// quality across all samples. `k_plus` is force-included so the most
+/// qualitative configuration always survives.
+pub fn filter_configs<W: Workload + ?Sized>(
+    workload: &W,
+    samples: &[ContentState],
+    k_plus: &KnobConfig,
+    rng: &mut StdRng,
+) -> Vec<KnobConfig> {
+    assert!(!samples.is_empty(), "config filtering needs sample segments");
+    let max_steps = workload.config_space().size();
+
+    let mut union: Vec<KnobConfig> = Vec::new();
+    for content in samples {
+        let climbed = climb_one(workload, content, rng, max_steps);
+        for e in pareto(climbed) {
+            if !union.contains(&e.config) {
+                union.push(e.config);
+            }
+        }
+    }
+    if !union.contains(k_plus) {
+        union.push(k_plus.clone());
+    }
+
+    // Final Pareto filter on means across all samples.
+    let evals: Vec<Eval> = union
+        .into_iter()
+        .map(|config| {
+            let mut work = 0.0;
+            let mut quality = 0.0;
+            for content in samples {
+                work += workload.work(&config, content);
+                quality += workload.reported_quality(&config, content, rng);
+            }
+            let n = samples.len() as f64;
+            Eval { config, work: work / n, quality: quality / n }
+        })
+        .collect();
+    let mut result: Vec<KnobConfig> = pareto(evals).into_iter().map(|e| e.config).collect();
+    if !result.contains(k_plus) {
+        result.push(k_plus.clone());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use rand::SeedableRng;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    fn contents() -> Vec<ContentState> {
+        let mut p = ContentProcess::new(ContentParams::traffic_intersection(5), 2.0);
+        let mut out = Vec::new();
+        // Space samples hours apart to get diverse difficulty.
+        for _ in 0..5 {
+            out.push(p.step());
+            p.skip_segments(3600);
+        }
+        out
+    }
+
+    #[test]
+    fn filtered_set_is_nonempty_and_within_space() {
+        let w = ToyWorkload::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let space_size = w.config_space().size();
+        let k_plus = w.config_space().max_config();
+        let filtered = filter_configs(&w, &contents(), &k_plus, &mut rng);
+        assert!(!filtered.is_empty());
+        assert!(filtered.len() <= space_size);
+        assert!(filtered.contains(&k_plus), "k+ must survive");
+    }
+
+    #[test]
+    fn filtered_set_contains_cheap_and_expensive_ends() {
+        let w = ToyWorkload::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let k_plus = w.config_space().max_config();
+        let filtered = filter_configs(&w, &contents(), &k_plus, &mut rng);
+        let samples = contents();
+        let works: Vec<f64> =
+            filtered.iter().map(|c| workload_mean_work(&w, c, &samples)).collect();
+        let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = works.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 3.0, "frontier should span a work range: {min} – {max}");
+    }
+
+    fn workload_mean_work(w: &ToyWorkload, c: &KnobConfig, samples: &[ContentState]) -> f64 {
+        samples.iter().map(|s| w.work(c, s)).sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn result_is_a_pareto_frontier_in_expectation() {
+        let w = ToyWorkload::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = contents();
+        let k_plus = w.config_space().max_config();
+        let filtered = filter_configs(&w, &samples, &k_plus, &mut rng);
+        // No config may dominate another on (mean true quality, mean work).
+        for a in &filtered {
+            for b in &filtered {
+                if a == b {
+                    continue;
+                }
+                let wa = workload_mean_work(&w, a, &samples);
+                let wb = workload_mean_work(&w, b, &samples);
+                let qa: f64 = samples.iter().map(|s| w.true_quality(a, s)).sum::<f64>();
+                let qb: f64 = samples.iter().map(|s| w.true_quality(b, s)).sum::<f64>();
+                let dominates = wa <= wb && qa > qb + 0.05 * samples.len() as f64;
+                assert!(
+                    !(dominates && wa < wb * 0.8),
+                    "{a} strongly dominates {b} — filter failed"
+                );
+            }
+        }
+    }
+}

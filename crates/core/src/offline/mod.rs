@@ -1,0 +1,520 @@
+//! The offline preparation phase (§3).
+//!
+//! Fits Skyscraper on historical data recorded from the source that will be
+//! ingested online:
+//!
+//! 1. **Filter knob configurations** — diverse sampling + greedy hill
+//!    climbing to an approximate work/quality Pareto set (Appendix A.1).
+//! 2. **Filter task placements** — exhaustive search over the Appendix-M
+//!    simulator, filtered to the cost/runtime Pareto frontier (Appendix A.2).
+//! 3. **Categorize video dynamics** — KMeans over quality vectors (§3.2).
+//! 4. **Train the forecasting model** — label the unlabeled data with a
+//!    cheap discriminating configuration, build sliding-window histograms,
+//!    train the Appendix-K network (§3.3, Appendix H).
+//!
+//! [`OfflineReport`] records per-step wall-clock runtimes — the data behind
+//! Table 3.
+
+pub mod forecast;
+pub mod hillclimb;
+pub mod sampling;
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vetl_sim::HardwareSpec;
+use vetl_video::{ContentState, Recording};
+
+use crate::category::{ClusteringAlgo, ContentCategories};
+use crate::config::SkyscraperConfig;
+use crate::error::SkyError;
+use crate::profile::{profile_configs, ConfigProfile};
+use crate::workload::Workload;
+use forecast::{CategoryTimeline, ForecastSpec, Forecaster};
+
+/// Everything the online phase needs, produced by [`run_offline`].
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    /// Workload name.
+    pub workload_name: String,
+    /// Segment length in seconds.
+    pub seg_len: f64,
+    /// Profiles of the filtered configurations (stable order; LP and
+    /// switcher index into this).
+    pub configs: Vec<ConfigProfile>,
+    /// Config indices sorted by mean quality, *descending* — the switcher's
+    /// "next less qualitative" fallback order (§4.2).
+    pub quality_rank: Vec<usize>,
+    /// Config indices sorted by mean work, ascending.
+    pub cost_rank: Vec<usize>,
+    /// Content categories.
+    pub categories: ContentCategories,
+    /// The trained forecaster.
+    pub forecaster: Forecaster,
+    /// Index (into `configs`) of the discriminating configuration used for
+    /// offline labelling.
+    pub discriminator: usize,
+    /// Category timeline over the tail of the offline data — bootstraps the
+    /// first online forecast.
+    pub tail: CategoryTimeline,
+    /// Hyperparameters used.
+    pub hyper: SkyscraperConfig,
+    /// Hardware the placements were profiled on.
+    pub hardware: HardwareSpec,
+    /// 99th percentile of the in-distribution classification residual
+    /// measured while labelling the unlabeled recording — the calibration
+    /// reference for the Appendix-E.2 drift detector.
+    pub residual_p99: f64,
+}
+
+impl FittedModel {
+    /// Number of surviving configurations `|K|`.
+    pub fn n_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of content categories `|C|`.
+    pub fn n_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Index of the cheapest configuration.
+    pub fn cheapest(&self) -> usize {
+        self.cost_rank[0]
+    }
+
+    /// Expected work of configuration `k` on content of category `c`,
+    /// core-seconds per segment (falls back to the global mean when the
+    /// categorization did not populate conditional costs).
+    pub fn cost(&self, k: usize, c: usize) -> f64 {
+        self.configs[k]
+            .cost_by_category
+            .get(c)
+            .copied()
+            .unwrap_or(self.configs[k].work_mean)
+    }
+
+    /// Ground-truth category of a content state: classify the *noiseless*
+    /// quality vector over all configurations. Only evaluation code uses
+    /// this (§5.6 microbenchmarks).
+    pub fn ground_truth_category<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        content: &ContentState,
+    ) -> usize {
+        let v: Vec<f64> = self
+            .configs
+            .iter()
+            .map(|p| workload.true_quality(&p.config, content))
+            .collect();
+        self.categories.classify_full(&v)
+    }
+}
+
+/// Wall-clock runtimes of the offline steps (Table 3) plus fit statistics.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineReport {
+    /// "Filter knob configurations" runtime, seconds.
+    pub filter_configs_secs: f64,
+    /// "Filter task placements" (profiling) runtime, seconds.
+    pub filter_placements_secs: f64,
+    /// "Compute content categories" runtime, seconds.
+    pub categorize_secs: f64,
+    /// "Create forecast training data" (labelling) runtime, seconds.
+    pub forecast_data_secs: f64,
+    /// "Train forecast model" runtime, seconds.
+    pub train_secs: f64,
+    /// Surviving configurations.
+    pub n_configs: usize,
+    /// Total Pareto placements across configurations.
+    pub n_placements: usize,
+    /// Categories.
+    pub n_categories: usize,
+    /// Forecaster validation MAE.
+    pub forecast_mae: f64,
+    /// Forecaster training samples generated.
+    pub n_train_samples: usize,
+}
+
+impl OfflineReport {
+    /// Total offline runtime in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.filter_configs_secs
+            + self.filter_placements_secs
+            + self.categorize_secs
+            + self.forecast_data_secs
+            + self.train_secs
+    }
+}
+
+/// Run the full offline phase.
+///
+/// `labeled` is the small ground-truth set (~20 min in the paper), `unlabeled`
+/// the large recording (~2 weeks). Returns the fitted model plus the step
+/// report, or an error when the data is insufficient or the hardware cannot
+/// sustain even the cheapest configuration.
+pub fn run_offline<W: Workload + ?Sized>(
+    workload: &W,
+    labeled: &Recording,
+    unlabeled: &Recording,
+    hardware: HardwareSpec,
+    hyper: &SkyscraperConfig,
+) -> Result<(FittedModel, OfflineReport), SkyError> {
+    run_offline_with(workload, labeled, unlabeled, hardware, hyper, ClusteringAlgo::KMeans)
+}
+
+/// [`run_offline`] with an explicit clustering algorithm (Fig. 17 ablation).
+pub fn run_offline_with<W: Workload + ?Sized>(
+    workload: &W,
+    labeled: &Recording,
+    unlabeled: &Recording,
+    hardware: HardwareSpec,
+    hyper: &SkyscraperConfig,
+    clustering: ClusteringAlgo,
+) -> Result<(FittedModel, OfflineReport), SkyError> {
+    if workload.config_space().size() == 0 {
+        return Err(SkyError::EmptyConfigSpace);
+    }
+    if labeled.is_empty() {
+        return Err(SkyError::InsufficientData { what: "labeled recording is empty" });
+    }
+    if unlabeled.is_empty() {
+        return Err(SkyError::InsufficientData { what: "unlabeled recording is empty" });
+    }
+
+    let mut rng = StdRng::seed_from_u64(hyper.seed);
+    let mut report = OfflineReport::default();
+
+    // ------ Step 1: filter knob configurations (Appendix A.1). ------
+    let t0 = Instant::now();
+    let (k_minus, k_plus) = sampling::anchor_configs(workload, labeled.segments());
+    let diverse = sampling::diverse_sample(
+        workload,
+        unlabeled.segments(),
+        &k_minus,
+        &k_plus,
+        hyper.n_presample,
+        hyper.n_search,
+        &mut rng,
+    );
+    let diverse_contents: Vec<ContentState> = diverse.iter().map(|s| s.content).collect();
+    let mut configs = hillclimb::filter_configs(workload, &diverse_contents, &k_plus, &mut rng);
+    if !configs.contains(&k_minus) {
+        configs.insert(0, k_minus.clone());
+    }
+    report.filter_configs_secs = t0.elapsed().as_secs_f64();
+
+    // ------ Step 2: profile configurations + placements (Appendix A.2). ------
+    // Means come from *representative* content (uniform stride over the
+    // unlabeled recording) because the knob planner's LP consumes them;
+    // maxes additionally cover the diverse samples plus constructed
+    // worst-case content, so the switcher's overflow check is a true upper
+    // bound (costs are monotone in activity/difficulty for CV workloads).
+    let t0 = Instant::now();
+    let rep_stride = (unlabeled.len() / 48).max(1);
+    let representative: Vec<ContentState> = unlabeled
+        .segments()
+        .iter()
+        .step_by(rep_stride)
+        .take(48)
+        .map(|s| s.content)
+        .collect();
+    let mut extreme_contents = diverse_contents.clone();
+    if let Some(base) = diverse_contents.first() {
+        let mut extreme = *base;
+        extreme.difficulty = 1.0;
+        extreme.activity = 1.0;
+        extreme_contents.push(extreme);
+    }
+    let mut profiles =
+        profile_configs(workload, &configs, &representative, &extreme_contents, &hardware);
+    report.filter_placements_secs = t0.elapsed().as_secs_f64();
+    report.n_configs = profiles.len();
+    report.n_placements = profiles.iter().map(|p| p.placements.len()).sum();
+
+    // Throughput-guarantee precondition: the cheapest configuration must run
+    // in real time on the cluster (otherwise no knob plan can keep up).
+    let cheapest_idx = argmin(&profiles, |p| p.work_mean);
+    let cheapest_rate = profiles[cheapest_idx].work_mean / workload.segment_len();
+    if cheapest_rate > hardware.cluster.throughput() {
+        return Err(SkyError::UnderProvisioned {
+            cheapest_work_rate: cheapest_rate,
+            cluster_throughput: hardware.cluster.throughput(),
+        });
+    }
+
+    // ------ Step 3: categorize video dynamics (§3.2). ------
+    let t0 = Instant::now();
+    let sample_stride =
+        ((1.0 / hyper.categorize_fraction.max(1e-6)).round() as usize).max(1);
+    let sampled: Vec<&ContentState> = unlabeled
+        .segments()
+        .iter()
+        .step_by(sample_stride)
+        .map(|s| &s.content)
+        .collect();
+    if sampled.len() < hyper.n_categories {
+        return Err(SkyError::InsufficientData { what: "too few segments for categorization" });
+    }
+    let quality_vectors: Vec<Vec<f64>> = sampled
+        .iter()
+        .map(|content| {
+            profiles
+                .iter()
+                .map(|p| workload.reported_quality(&p.config, content, &mut rng))
+                .collect()
+        })
+        .collect();
+    let categories =
+        ContentCategories::fit_with(&quality_vectors, hyper.n_categories, hyper.seed, clustering);
+    for (k, prof) in profiles.iter_mut().enumerate() {
+        prof.qual_by_category = (0..categories.len())
+            .map(|c| categories.avg_quality(k, c))
+            .collect();
+    }
+    // Category-conditional expected costs: work correlates with content
+    // (rush hour means more objects to track), so the planner's budget
+    // constraint charges each category what the configuration actually
+    // costs on it. Categories unseen in the sample fall back to the mean.
+    {
+        let labels: Vec<usize> =
+            quality_vectors.iter().map(|v| categories.classify_full(v)).collect();
+        let n_c = categories.len();
+        for (k, prof) in profiles.iter_mut().enumerate() {
+            let mut sums = vec![0.0f64; n_c];
+            let mut counts = vec![0usize; n_c];
+            for (content, &c) in sampled.iter().zip(labels.iter()) {
+                sums[c] += workload.work(&prof.config, content);
+                counts[c] += 1;
+            }
+            let _ = k;
+            prof.cost_by_category = (0..n_c)
+                .map(|c| if counts[c] > 0 { sums[c] / counts[c] as f64 } else { prof.work_mean })
+                .collect();
+        }
+    }
+    report.categorize_secs = t0.elapsed().as_secs_f64();
+    report.n_categories = categories.len();
+
+    // Ranking orders.
+    let cost_rank = rank_by(&profiles, |p| p.work_mean, false);
+    let quality_rank = rank_by(
+        &profiles,
+        |p| p.qual_by_category.iter().sum::<f64>() / categories.len() as f64,
+        true,
+    );
+
+    // Discriminating configuration (footnote 7).
+    let discriminator = categories.pick_discriminator(&cost_rank, 0.04);
+
+    // ------ Step 4: label data + train the forecaster (§3.3, App. H). ------
+    let t0 = Instant::now();
+    let timeline = CategoryTimeline::label(
+        workload,
+        unlabeled.segments(),
+        &profiles[discriminator].config.clone(),
+        discriminator,
+        &categories,
+        &mut rng,
+    );
+    report.forecast_data_secs = t0.elapsed().as_secs_f64();
+
+    // In-distribution residual scale (drift-detector calibration): distance
+    // of reported quality to the closest center along the discriminator's
+    // dimension, over a stride sample of the labelled data.
+    let residual_p99 = {
+        let mut residuals: Vec<f64> = unlabeled
+            .segments()
+            .iter()
+            .step_by(7)
+            .map(|s| {
+                let q = workload.reported_quality(
+                    &profiles[discriminator].config,
+                    &s.content,
+                    &mut rng,
+                );
+                let c = categories.classify_single(discriminator, q);
+                (categories.avg_quality(discriminator, c) - q).abs()
+            })
+            .collect();
+        residuals.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        residuals[(residuals.len() as f64 * 0.99) as usize % residuals.len().max(1)]
+    };
+
+    let t0 = Instant::now();
+    let spec = ForecastSpec {
+        input_secs: hyper.forecast_input_secs,
+        input_splits: hyper.forecast_input_splits,
+        horizon_secs: hyper.planned_interval_secs,
+        sample_every_secs: hyper.forecast_sample_every_secs,
+    };
+    let forecaster = Forecaster::train(
+        &timeline,
+        spec,
+        hyper.forecast_epochs,
+        hyper.forecast_val_fraction,
+        hyper.seed,
+    )
+    .ok_or(SkyError::InsufficientData {
+        what: "unlabeled recording shorter than forecaster input + horizon",
+    })?;
+    report.train_secs = t0.elapsed().as_secs_f64();
+    report.forecast_mae = forecaster.val_mae;
+    report.n_train_samples =
+        forecast::ForecastDataset::build(&timeline, &spec).len();
+
+    // Bootstrap tail: the most recent t_in of labels.
+    let tail_segs = ((hyper.forecast_input_secs / workload.segment_len()).round() as usize)
+        .min(timeline.len());
+    let tail_cats = timeline.categories[timeline.len() - tail_segs..].to_vec();
+    let tail = CategoryTimeline::new(tail_cats, workload.segment_len(), categories.len());
+
+    let model = FittedModel {
+        workload_name: workload.name().to_string(),
+        seg_len: workload.segment_len(),
+        configs: profiles,
+        quality_rank,
+        cost_rank,
+        categories,
+        forecaster,
+        discriminator,
+        tail,
+        hyper: hyper.clone(),
+        hardware,
+        residual_p99,
+    };
+    Ok((model, report))
+}
+
+fn argmin<T>(items: &[T], key: impl Fn(&T) -> f64) -> usize {
+    items
+        .iter()
+        .enumerate()
+        .min_by(|a, b| key(a.1).partial_cmp(&key(b.1)).expect("finite key"))
+        .expect("non-empty")
+        .0
+}
+
+fn rank_by<T>(items: &[T], key: impl Fn(&T) -> f64, descending: bool) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (ka, kb) = (key(&items[a]), key(&items[b]));
+        let ord = ka.partial_cmp(&kb).expect("finite key");
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    idx
+}
+
+pub use forecast::ForecastDataset;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use vetl_video::{ContentParams, SyntheticCamera};
+
+    fn fit() -> (FittedModel, OfflineReport) {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(4),
+            &SkyscraperConfig::fast_test(),
+        )
+        .expect("offline phase fits")
+    }
+
+    #[test]
+    fn offline_phase_produces_consistent_model() {
+        let (model, report) = fit();
+        assert!(model.n_configs() >= 2, "need a non-trivial Pareto set");
+        assert_eq!(model.n_categories(), 3);
+        assert_eq!(model.quality_rank.len(), model.n_configs());
+        assert_eq!(model.cost_rank.len(), model.n_configs());
+        // Every profile has per-category qualities and ≥ 1 placement.
+        for p in &model.configs {
+            assert_eq!(p.qual_by_category.len(), 3);
+            assert!(!p.placements.is_empty());
+        }
+        // Ranks are permutations.
+        let mut qr = model.quality_rank.clone();
+        qr.sort_unstable();
+        assert_eq!(qr, (0..model.n_configs()).collect::<Vec<_>>());
+        // Report carries timings and stats.
+        assert!(report.total_secs() > 0.0);
+        assert_eq!(report.n_configs, model.n_configs());
+        assert!(report.forecast_mae.is_finite());
+        assert!(report.n_train_samples > 10);
+    }
+
+    #[test]
+    fn quality_rank_is_descending_and_cost_rank_ascending() {
+        let (model, _) = fit();
+        let avg_q = |k: usize| {
+            model.configs[k].qual_by_category.iter().sum::<f64>()
+                / model.n_categories() as f64
+        };
+        for w in model.quality_rank.windows(2) {
+            assert!(avg_q(w[0]) >= avg_q(w[1]) - 1e-12);
+        }
+        for w in model.cost_rank.windows(2) {
+            assert!(model.configs[w[0]].work_mean <= model.configs[w[1]].work_mean + 1e-12);
+        }
+    }
+
+    #[test]
+    fn categories_discriminate_difficulty() {
+        let (model, _) = fit();
+        let w = ToyWorkload::new();
+        let mut proc =
+            vetl_video::ContentProcess::new(ContentParams::traffic_intersection(9), 2.0);
+        let mut easy = proc.step();
+        easy.difficulty = 0.05;
+        let mut hard = proc.step();
+        hard.difficulty = 0.95;
+        let ce = model.ground_truth_category(&w, &easy);
+        let ch = model.ground_truth_category(&w, &hard);
+        assert_ne!(ce, ch, "easy and hard content must land in different categories");
+    }
+
+    #[test]
+    fn under_provisioning_is_detected() {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 86_400.0);
+        // A "cluster" slower than the cheapest config's work rate.
+        let hw = HardwareSpec {
+            cluster: vetl_sim::ClusterSpec { cores: 1, core_speed: 0.02 },
+            ..HardwareSpec::with_cores(1)
+        };
+        let err = run_offline(&w, &labeled, &unlabeled, hw, &SkyscraperConfig::fast_test())
+            .unwrap_err();
+        assert!(matches!(err, SkyError::UnderProvisioned { .. }));
+    }
+
+    #[test]
+    fn empty_recordings_are_rejected() {
+        let w = ToyWorkload::new();
+        let empty = Recording::default();
+        let err = run_offline(
+            &w,
+            &empty,
+            &empty,
+            HardwareSpec::with_cores(4),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SkyError::InsufficientData { .. }));
+    }
+}

@@ -1,0 +1,185 @@
+//! Diverse segment sampling (Appendix A.1).
+//!
+//! The knob-configuration search needs a handful of segments with *widely
+//! different* content dynamics. Skyscraper (1) finds the cheapest
+//! configuration `k⁻` and the most qualitative configuration `k⁺`,
+//! (2) processes `n_pre` uniformly sampled segments with both, recording
+//! 2-dimensional quality vectors, and (3) greedily selects `n_search`
+//! segments by max-min distance in that quality space.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use vetl_video::Segment;
+
+use crate::knob::KnobConfig;
+use crate::workload::Workload;
+
+/// The `k⁻`/`k⁺` anchor configurations (Appendix A.1).
+///
+/// `k⁻` is the configuration with the least work at a reference content;
+/// `k⁺` the one with the best quality on the labeled data. Both are
+/// guaranteed members of the work/quality Pareto frontier.
+pub fn anchor_configs<W: Workload + ?Sized>(
+    workload: &W,
+    labeled: &[Segment],
+) -> (KnobConfig, KnobConfig) {
+    assert!(!labeled.is_empty(), "anchor selection needs labeled data");
+    let space = workload.config_space();
+    let reference = &labeled[labeled.len() / 2].content;
+
+    let k_minus = space
+        .iter()
+        .min_by(|a, b| {
+            workload
+                .work(a, reference)
+                .partial_cmp(&workload.work(b, reference))
+                .expect("finite work")
+        })
+        .expect("non-empty config space");
+
+    let k_plus = space
+        .iter()
+        .max_by(|a, b| {
+            let qa: f64 =
+                labeled.iter().map(|s| workload.true_quality(a, &s.content)).sum::<f64>();
+            let qb: f64 =
+                labeled.iter().map(|s| workload.true_quality(b, &s.content)).sum::<f64>();
+            qa.partial_cmp(&qb).expect("finite quality")
+        })
+        .expect("non-empty config space");
+
+    (k_minus, k_plus)
+}
+
+/// Greedy max-min diverse selection of `n_search` segments out of `n_pre`
+/// uniformly pre-sampled ones, in (quality(k⁻), quality(k⁺)) space.
+pub fn diverse_sample<W: Workload + ?Sized>(
+    workload: &W,
+    unlabeled: &[Segment],
+    k_minus: &KnobConfig,
+    k_plus: &KnobConfig,
+    n_pre: usize,
+    n_search: usize,
+    rng: &mut StdRng,
+) -> Vec<Segment> {
+    assert!(!unlabeled.is_empty(), "diverse sampling needs unlabeled data");
+    let n_pre = n_pre.min(unlabeled.len()).max(1);
+    let n_search = n_search.min(n_pre).max(1);
+
+    // Uniform pre-sample.
+    let pre: Vec<&Segment> =
+        (0..n_pre).map(|_| &unlabeled[rng.gen_range(0..unlabeled.len())]).collect();
+
+    // 2-D quality vectors under the anchors (reported quality — that is what
+    // the offline phase can actually measure).
+    let quals: Vec<[f64; 2]> = pre
+        .iter()
+        .map(|s| {
+            [
+                workload.reported_quality(k_minus, &s.content, rng),
+                workload.reported_quality(k_plus, &s.content, rng),
+            ]
+        })
+        .collect();
+
+    // Start with the smallest-norm segment, then greedy max-min.
+    let mut selected: Vec<usize> = Vec::with_capacity(n_search);
+    let first = (0..pre.len())
+        .min_by(|&a, &b| {
+            let na = quals[a][0].hypot(quals[a][1]);
+            let nb = quals[b][0].hypot(quals[b][1]);
+            na.partial_cmp(&nb).expect("finite norms")
+        })
+        .expect("non-empty pre-sample");
+    selected.push(first);
+
+    while selected.len() < n_search {
+        let next = (0..pre.len())
+            .filter(|i| !selected.contains(i))
+            .max_by(|&a, &b| {
+                let da = min_dist(&quals, &selected, a);
+                let db = min_dist(&quals, &selected, b);
+                da.partial_cmp(&db).expect("finite distances")
+            });
+        match next {
+            Some(i) => selected.push(i),
+            None => break,
+        }
+    }
+
+    selected.into_iter().map(|i| *pre[i]).collect()
+}
+
+fn min_dist(quals: &[[f64; 2]], selected: &[usize], candidate: usize) -> f64 {
+    selected
+        .iter()
+        .map(|&s| {
+            let dx = quals[s][0] - quals[candidate][0];
+            let dy = quals[s][1] - quals[candidate][1];
+            (dx * dx + dy * dy).sqrt()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use rand::SeedableRng;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn data() -> (Vec<Segment>, Vec<Segment>) {
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 8.0 * 3600.0);
+        (labeled.segments().to_vec(), unlabeled.segments().to_vec())
+    }
+
+    #[test]
+    fn anchors_are_cheapest_and_best() {
+        let w = ToyWorkload::new();
+        let (labeled, _) = data();
+        let (k_minus, k_plus) = anchor_configs(&w, &labeled);
+        let space = w.config_space();
+        assert_eq!(k_minus, space.min_config());
+        assert_eq!(k_plus, space.max_config());
+    }
+
+    #[test]
+    fn diverse_sample_returns_requested_count() {
+        let w = ToyWorkload::new();
+        let (labeled, unlabeled) = data();
+        let (km, kp) = anchor_configs(&w, &labeled);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 64, 5, &mut rng);
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn diverse_sample_spans_difficulty_range() {
+        // Selected segments should spread across difficulty, not cluster.
+        let w = ToyWorkload::new();
+        let (labeled, unlabeled) = data();
+        let (km, kp) = anchor_configs(&w, &labeled);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 128, 6, &mut rng);
+        let min = sel.iter().map(|s| s.content.difficulty).fold(f64::INFINITY, f64::min);
+        let max = sel.iter().map(|s| s.content.difficulty).fold(0.0f64, f64::max);
+        assert!(
+            max - min > 0.3,
+            "diverse sample should span difficulties; got [{min:.2}, {max:.2}]"
+        );
+    }
+
+    #[test]
+    fn handles_tiny_datasets() {
+        let w = ToyWorkload::new();
+        let (labeled, unlabeled) = data();
+        let (km, kp) = anchor_configs(&w, &labeled);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sel = diverse_sample(&w, &unlabeled[..2], &km, &kp, 64, 10, &mut rng);
+        assert!(!sel.is_empty());
+        assert!(sel.len() <= 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Content-drift detection (Appendix E.2).
+//!
+//! The offline content categories can become stale if the training data was
+//! incomplete ("there is no completely new type of heavy traffic" — but a
+//! camera can be remounted, a street re-routed). The paper notes Skyscraper
+//! can detect this online: *"the measured quality will then frequently be
+//! far from all of the KMeans cluster centers"*. [`DriftDetector`] implements
+//! that test with a sliding window over classification residuals. The
+//! residual bar is **calibrated from the offline phase**: labelling the
+//! unlabeled recording already measures the in-distribution residual
+//! distribution (continuum content makes any fixed absolute bar wrong — the
+//! categories tile the quality axis), and its high quantile is stored in the
+//! fitted model ([`crate::offline::FittedModel::residual_p99`]). The alarm
+//! fires when the fraction of residuals beyond the bar exceeds a threshold,
+//! letting the user recompute categories (cheap, Appendix E.2, because the
+//! offending segments are already identified).
+
+use std::collections::VecDeque;
+
+use crate::category::ContentCategories;
+
+/// Sliding-window detector over classification residuals.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    /// A residual beyond this bar counts as "far from every center".
+    pub threshold: f64,
+    /// Window length in observations.
+    pub window: usize,
+    /// Alarm when this fraction of the window is far.
+    pub alarm_fraction: f64,
+    history: VecDeque<bool>,
+    far_count: usize,
+    alarms: usize,
+}
+
+impl DriftDetector {
+    /// Create a detector with an explicit residual bar — normally the
+    /// offline phase's `residual_p99` times a small factor.
+    pub fn new(threshold: f64, window: usize, alarm_fraction: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(window > 0, "window must be non-empty");
+        assert!((0.0..=1.0).contains(&alarm_fraction), "fraction must be in [0,1]");
+        Self {
+            threshold,
+            window,
+            alarm_fraction,
+            history: VecDeque::with_capacity(window),
+            far_count: 0,
+            alarms: 0,
+        }
+    }
+
+    /// Calibrated from a fitted model: bar at 1.3× the offline residual p99
+    /// (floored above observation noise), 512-observation window, alarm at
+    /// 50 % far.
+    pub fn for_model(model: &crate::offline::FittedModel) -> Self {
+        Self::new((model.residual_p99 * 1.3).max(0.06), 512, 0.5)
+    }
+
+    /// The residual Eq. 5 minimizes: distance of the reported quality to the
+    /// closest center along the running configuration's dimension.
+    fn residual(
+        categories: &ContentCategories,
+        config_idx: usize,
+        reported_quality: f64,
+    ) -> f64 {
+        let c = categories.classify_single(config_idx, reported_quality);
+        (categories.avg_quality(config_idx, c) - reported_quality).abs()
+    }
+
+    /// Observe one segment's reported quality under the configuration that
+    /// processed it. Returns `true` when the drift alarm fires.
+    pub fn observe(
+        &mut self,
+        categories: &ContentCategories,
+        config_idx: usize,
+        reported_quality: f64,
+    ) -> bool {
+        let residual = Self::residual(categories, config_idx, reported_quality);
+        let far = residual > self.threshold;
+        if self.history.len() == self.window {
+            if self.history.pop_front() == Some(true) {
+                self.far_count -= 1;
+            }
+        }
+        self.history.push_back(far);
+        if far {
+            self.far_count += 1;
+        }
+
+        let full = self.history.len() == self.window;
+        let firing =
+            full && (self.far_count as f64 / self.window as f64) >= self.alarm_fraction;
+        if firing {
+            self.alarms += 1;
+        }
+        firing
+    }
+
+    /// Fraction of the current window that is far from every center.
+    pub fn far_fraction(&self) -> f64 {
+        if self.history.is_empty() {
+            0.0
+        } else {
+            self.far_count as f64 / self.history.len() as f64
+        }
+    }
+
+    /// Number of observations where the alarm fired.
+    pub fn alarm_count(&self) -> usize {
+        self.alarms
+    }
+
+    /// Reset the window after the categories were recomputed (keeps the
+    /// calibrated threshold).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.far_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn categories() -> ContentCategories {
+        // Two categories discriminated by configuration 0's quality.
+        ContentCategories::from_centers(vec![vec![0.2, 0.95], vec![0.8, 0.99]])
+    }
+
+    #[test]
+    fn in_distribution_quality_never_alarms() {
+        let cats = categories();
+        let mut d = DriftDetector::new(0.1, 32, 0.4);
+        for i in 0..500 {
+            let q = if i % 2 == 0 { 0.21 } else { 0.79 };
+            assert!(!d.observe(&cats, 0, q));
+        }
+        assert_eq!(d.alarm_count(), 0);
+        assert!(d.far_fraction() < 0.01);
+    }
+
+    #[test]
+    fn out_of_distribution_quality_alarms() {
+        let cats = categories();
+        let mut d = DriftDetector::new(0.1, 32, 0.4);
+        let mut fired = false;
+        for _ in 0..64 {
+            // Quality 0.5 sits 0.3 away from both centers on dim 0.
+            fired |= d.observe(&cats, 0, 0.5);
+        }
+        assert!(fired, "persistent far residuals must trip the alarm");
+        assert!(d.far_fraction() > 0.9);
+    }
+
+    #[test]
+    fn alarm_clears_after_reset_and_normal_content() {
+        let cats = categories();
+        let mut d = DriftDetector::new(0.1, 16, 0.5);
+        for _ in 0..16 {
+            let _ = d.observe(&cats, 0, 0.5);
+        }
+        assert!(d.far_fraction() > 0.9);
+        d.reset();
+        assert_eq!(d.far_fraction(), 0.0);
+        for _ in 0..16 {
+            assert!(!d.observe(&cats, 0, 0.2));
+        }
+    }
+
+    #[test]
+    fn occasional_outliers_do_not_alarm() {
+        let cats = categories();
+        let mut d = DriftDetector::new(0.1, 50, 0.4);
+        for i in 0..500 {
+            let q = if i % 10 == 0 { 0.5 } else { 0.8 };
+            assert!(!d.observe(&cats, 0, q), "10% outliers must stay under a 40% alarm");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_rejected() {
+        let _ = DriftDetector::new(0.1, 0, 0.3);
+    }
+}

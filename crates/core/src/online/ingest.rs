@@ -1,0 +1,562 @@
+//! The online ingestion driver (§4, Appendix N.2).
+//!
+//! Drives one stream through Skyscraper: per segment it classifies the
+//! content category, lets the knob switcher pick a configuration and
+//! placement, "executes" the resulting task graph on the Appendix-M
+//! simulator, and settles the buffer/backlog and cloud-credit accounting.
+//! Every planned interval it re-runs the knob planner on a fresh forecast.
+//!
+//! The driver exposes the feature gates the evaluation needs: buffering and
+//! cloud bursting can be disabled independently (§5.4 ablation), the
+//! classifier can be switched between *Standard*, *No-Type-B* and
+//! *Ground truth* (§5.6, Fig. 15), and the forecast can come from the model,
+//! from the ground truth, or be uniform (Fig. 14).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vetl_sim::{simulate, Backlog, CostModel, Trace, TracePoint};
+use vetl_video::Segment;
+
+use crate::error::SkyError;
+use crate::offline::forecast::CategoryTimeline;
+use crate::offline::FittedModel;
+use crate::online::plan::KnobPlan;
+use crate::online::planner::KnobPlanner;
+use crate::online::switcher::{KnobSwitcher, SwitcherLimits};
+use crate::workload::Workload;
+
+/// How the current content category is determined (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassificationMode {
+    /// Eq. 5 on the *previous* segment's reported quality (production mode;
+    /// subject to Type-A and Type-B errors).
+    #[default]
+    Standard,
+    /// Eq. 5 on the *current* segment's quality under the current
+    /// configuration — eliminates the timing mismatch (Type-B) and leaves
+    /// only Type-A errors (Fig. 15's "No Type-B errors" baseline).
+    NoTypeB,
+    /// Oracle: the ground-truth category (Fig. 15's "Ground truth").
+    GroundTruth,
+}
+
+/// Where the planner's forecast comes from (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForecastMode {
+    /// The trained forecasting model (production mode).
+    #[default]
+    Model,
+    /// Oracle: the actual category distribution of the upcoming interval.
+    GroundTruth,
+    /// A uniform distribution (ablation lower bound).
+    Uniform,
+}
+
+/// Options for one ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Allow setting video aside in the buffer (§5.4 gate 1b/1d).
+    pub enable_buffering: bool,
+    /// Allow cloud placements (§5.4 gate 1c/1d).
+    pub enable_cloud: bool,
+    /// Cloud credits granted per planned interval, dollars.
+    pub cloud_budget_usd: f64,
+    /// Category classification mode.
+    pub classification: ClassificationMode,
+    /// Forecast source.
+    pub forecast: ForecastMode,
+    /// Knob-switcher period in seconds (defaults to the fitted
+    /// hyperparameter; clamped to ≥ one segment).
+    pub switch_period_secs: Option<f64>,
+    /// Cost conversions.
+    pub cost_model: CostModel,
+    /// RNG seed for reported-quality noise.
+    pub seed: u64,
+    /// Record a full trace (Fig. 3); summaries are always computed.
+    pub record_trace: bool,
+    /// Run the Appendix-E.2 drift detector over classification residuals.
+    pub detect_drift: bool,
+    /// Fine-tune the forecaster online at every replanning point (§3.3).
+    pub finetune_forecaster: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            enable_buffering: true,
+            enable_cloud: true,
+            cloud_budget_usd: 1.0,
+            classification: ClassificationMode::Standard,
+            forecast: ForecastMode::Model,
+            switch_period_secs: None,
+            cost_model: CostModel::default(),
+            seed: 1234,
+            record_trace: false,
+            detect_drift: false,
+            finetune_forecaster: false,
+        }
+    }
+}
+
+/// Outcome of an ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Full trace (empty unless `record_trace`).
+    pub trace: Trace,
+    /// Mean ground-truth quality across segments (0–1).
+    pub mean_quality: f64,
+    /// Total on-premise work performed, core-seconds.
+    pub work_core_secs: f64,
+    /// Cloud dollars spent.
+    pub cloud_usd: f64,
+    /// Peak buffer fill in bytes.
+    pub buffer_peak: f64,
+    /// Throughput-guarantee violations (must be 0 for Skyscraper).
+    pub overflows: usize,
+    /// Knob switches performed.
+    pub switches: usize,
+    /// Fraction of segments whose category was misclassified w.r.t. the
+    /// ground truth.
+    pub misclassification_rate: f64,
+    /// Times the knob planner ran.
+    pub plans: usize,
+    /// Segments processed.
+    pub segments: usize,
+    /// Stream duration covered, seconds.
+    pub duration_secs: f64,
+    /// Segments at which the drift alarm fired (0 unless `detect_drift`).
+    pub drift_alarms: usize,
+}
+
+impl IngestOutcome {
+    /// Work rate in core-seconds per second of video.
+    pub fn work_rate(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.work_core_secs / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The ingestion driver.
+pub struct IngestDriver<'a, W: Workload + ?Sized> {
+    model: &'a FittedModel,
+    workload: &'a W,
+    options: IngestOptions,
+}
+
+impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
+    /// Create a driver for a fitted model.
+    pub fn new(model: &'a FittedModel, workload: &'a W, options: IngestOptions) -> Self {
+        Self { model, workload, options }
+    }
+
+    /// Ingest a pre-materialized stream of segments.
+    pub fn run(&self, segments: &[Segment]) -> Result<IngestOutcome, SkyError> {
+        let model = self.model;
+        let opts = &self.options;
+        let seg_len = model.seg_len;
+        let n_c = model.n_categories();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        let capacity_per_seg = model.hardware.cluster.throughput() * seg_len;
+        let seg_bytes_est = segments.iter().take(100).map(|s| s.bytes).sum::<f64>()
+            / segments.len().min(100).max(1) as f64;
+        let seg_bytes_max =
+            segments.iter().map(|s| s.bytes).fold(seg_bytes_est, f64::max);
+        let buffer_capacity = if opts.enable_buffering {
+            model.hardware.buffer_bytes
+        } else {
+            // Without buffering only frame-level pipelining slack remains.
+            3.0 * seg_bytes_max
+        };
+        // The byte reserve uses the worst-case segment size: accepting work
+        // against today's calm byte rate must still be safe when a stream
+        // spike multiplies arrivals while the backlog drains (MOSEI-LONG).
+        let limits = SwitcherLimits {
+            buffer_capacity,
+            seg_bytes_reserve: seg_bytes_max,
+            capacity_per_seg,
+            safety: model.hyper.runtime_safety,
+            cloud_enabled: opts.enable_cloud,
+        };
+
+        // Budget for the LP: on-premise capacity plus converted cloud
+        // credits, in core-seconds per segment (footnote 4).
+        let interval_secs = model.hyper.planned_interval_secs;
+        let segs_per_interval = (interval_secs / seg_len).max(1.0);
+        let cloud_core_secs = if opts.enable_cloud {
+            opts.cost_model.cloud_usd_to_core_secs(opts.cloud_budget_usd)
+        } else {
+            0.0
+        };
+        let budget_per_seg = capacity_per_seg + cloud_core_secs / segs_per_interval;
+
+        // Ground-truth categories (for accuracy stats and oracle modes).
+        let gt_categories: Vec<usize> = segments
+            .iter()
+            .map(|s| model.ground_truth_category(self.workload, &s.content))
+            .collect();
+
+        let mut planner = KnobPlanner::new();
+        let mut history: Vec<usize> = model.tail.categories.clone();
+        let forecast_r = |history: &[usize], start_seg: usize| -> Vec<f64> {
+            match opts.forecast {
+                ForecastMode::Model => {
+                    let tl = CategoryTimeline::new(history.to_vec(), seg_len, n_c);
+                    model.forecaster.forecast(&tl)
+                }
+                ForecastMode::GroundTruth => {
+                    let end = (start_seg + segs_per_interval as usize).min(segments.len());
+                    let window = &gt_categories[start_seg..end.max(start_seg + 1).min(segments.len())];
+                    let mut r = vec![0.0; n_c];
+                    for &c in window {
+                        r[c] += 1.0;
+                    }
+                    let s: f64 = r.iter().sum();
+                    if s > 0.0 {
+                        r.iter_mut().for_each(|v| *v /= s);
+                    }
+                    r
+                }
+                ForecastMode::Uniform => vec![1.0 / n_c as f64; n_c],
+            }
+        };
+
+        // Optional online machinery: drift detection (App. E.2) and
+        // forecaster fine-tuning (§3.3) on a driver-local copy.
+        let mut drift = opts
+            .detect_drift
+            .then(|| crate::online::drift::DriftDetector::for_model(model));
+        let mut drift_alarms = 0usize;
+        let mut tuned_forecaster =
+            opts.finetune_forecaster.then(|| model.forecaster.clone());
+
+        let r0 = forecast_r(&history, 0);
+        let plan0 = planner.plan(model, &r0, budget_per_seg)?;
+        let mut switcher = KnobSwitcher::new(model, plan0);
+        let mut plans = 1usize;
+
+        let switch_period = opts
+            .switch_period_secs
+            .unwrap_or(model.hyper.switch_period_secs)
+            .max(seg_len);
+        let switch_every = (switch_period / seg_len).round().max(1.0) as usize;
+
+        let mut backlog = Backlog::new();
+        let mut cloud_left = opts.cloud_budget_usd;
+        let mut cloud_spent_total = 0.0;
+        let mut work_total = 0.0;
+        let mut quality_total = 0.0;
+        let mut buffer_peak = 0.0f64;
+        let mut overflows = 0usize;
+        let mut misclassified = 0usize;
+        let mut trace = Trace::new();
+        let mut last_reported: Option<f64> = None;
+        let mut decision = None;
+        let mut prev_config = usize::MAX;
+        let mut switches = 0usize;
+
+        for (i, seg) in segments.iter().enumerate() {
+            // ---- Replanning at interval boundaries. ----
+            if i > 0 && (i % segs_per_interval as usize) == 0 {
+                let tail_len = history.len().min(
+                    (model.hyper.forecast_input_secs / seg_len).round() as usize,
+                );
+                let recent = &history[history.len() - tail_len..];
+                let r = match (&mut tuned_forecaster, opts.forecast) {
+                    (Some(f), ForecastMode::Model) => {
+                        // §3.3: fine-tune on the recently observed categories
+                        // before forecasting from them.
+                        let observed = CategoryTimeline::new(
+                            history.clone(),
+                            seg_len,
+                            n_c,
+                        );
+                        let _ = f.fine_tune(&observed, 3, opts.seed ^ i as u64);
+                        let tl = CategoryTimeline::new(recent.to_vec(), seg_len, n_c);
+                        f.forecast(&tl)
+                    }
+                    _ => forecast_r(recent, i),
+                };
+                let plan: KnobPlan = planner.plan(model, &r, budget_per_seg)?;
+                switcher.set_plan(plan);
+                cloud_left = opts.cloud_budget_usd;
+                plans += 1;
+            }
+
+            // ---- Classification (§5.6 modes). ----
+            let category = match opts.classification {
+                ClassificationMode::Standard => match last_reported {
+                    Some(q) => switcher.classify(model, q),
+                    None => gt_categories[i], // first segment: no observation yet
+                },
+                ClassificationMode::NoTypeB => {
+                    let cur = switcher.current_config();
+                    let q = self.workload.reported_quality(
+                        &model.configs[cur].config,
+                        &seg.content,
+                        &mut rng,
+                    );
+                    switcher.classify(model, q)
+                }
+                ClassificationMode::GroundTruth => gt_categories[i],
+            };
+            if category != gt_categories[i] {
+                misclassified += 1;
+            }
+
+            // ---- Knob switching. ----
+            let seg_limits = limits;
+            let need_decision = decision.is_none() || i % switch_every == 0 || {
+                // Re-decide early when the held decision is no longer
+                // affordable or the buffer projection got tight.
+                let d: &crate::online::switcher::Decision =
+                    decision.as_ref().expect("checked above");
+                let p = &model.configs[d.config].placements[d.placement];
+                let drain_segs = (backlog.work() + p.onprem_work_max * seg_limits.safety)
+                    / capacity_per_seg.max(1e-9);
+                p.cloud_usd > cloud_left
+                    || backlog.bytes() + (drain_segs + 1.0) * seg_limits.seg_bytes_reserve
+                        > buffer_capacity
+            };
+            if need_decision {
+                decision = Some(switcher.decide(
+                    model,
+                    category,
+                    backlog.bytes(),
+                    backlog.work(),
+                    cloud_left,
+                    &seg_limits,
+                ));
+            }
+            let d = decision.expect("decision just ensured");
+            if d.config != prev_config {
+                switches += usize::from(prev_config != usize::MAX);
+                prev_config = d.config;
+            }
+
+            // ---- Execute the segment on the simulator. ----
+            let profile = &model.configs[d.config];
+            let graph = self.workload.task_graph(&profile.config, &seg.content);
+            let placement = &profile.placements[d.placement].placement;
+            let result =
+                simulate(&graph, placement, &model.hardware.cluster, &model.hardware.cloud);
+            cloud_left -= result.cloud_usd;
+            cloud_spent_total += result.cloud_usd;
+            work_total += result.onprem_busy_secs + result.cloud_busy_secs;
+
+            // ---- Buffer / backlog settlement (Eq. 1). ----
+            backlog.push(seg.bytes, result.onprem_busy_secs);
+            let _freed = backlog.process(capacity_per_seg);
+            let buffered = backlog.bytes();
+            buffer_peak = buffer_peak.max(buffered);
+            if buffered > buffer_capacity + seg_bytes_max {
+                overflows += 1;
+            }
+
+            // ---- Quality bookkeeping. ----
+            let true_q = self.workload.true_quality(&profile.config, &seg.content);
+            quality_total += true_q;
+            let reported =
+                self.workload.reported_quality(&profile.config, &seg.content, &mut rng);
+            if let Some(det) = drift.as_mut() {
+                if det.observe(&model.categories, d.config, reported) {
+                    drift_alarms += 1;
+                }
+            }
+            last_reported = Some(reported);
+            history.push(category);
+
+            if opts.record_trace {
+                trace.push(TracePoint {
+                    t_secs: seg.start().as_secs(),
+                    quality: true_q,
+                    work_rate: (result.onprem_busy_secs + result.cloud_busy_secs) / seg_len,
+                    buffer_bytes: buffered,
+                    cloud_usd: cloud_spent_total,
+                    config: d.config,
+                    category,
+                });
+            }
+        }
+
+        let n = segments.len().max(1);
+        Ok(IngestOutcome {
+            trace,
+            mean_quality: quality_total / n as f64,
+            work_core_secs: work_total,
+            cloud_usd: cloud_spent_total,
+            buffer_peak,
+            overflows,
+            switches,
+            misclassification_rate: misclassified as f64 / n as f64,
+            plans,
+            segments: segments.len(),
+            duration_secs: segments.len() as f64 * seg_len,
+            drift_alarms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkyscraperConfig;
+    use crate::offline::run_offline;
+    use crate::testkit::ToyWorkload;
+    use vetl_sim::HardwareSpec;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn setup(cores: usize) -> (ToyWorkload, FittedModel, Vec<Segment>) {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let (model, _) = run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(cores),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap();
+        let online = Recording::record(&mut cam, 12.0 * 3_600.0);
+        (w, model, online.segments().to_vec())
+    }
+
+    #[test]
+    fn ingest_never_violates_the_throughput_guarantee() {
+        let (w, model, segments) = setup(2);
+        let driver = IngestDriver::new(&model, &w, IngestOptions::default());
+        let out = driver.run(&segments).unwrap();
+        assert_eq!(out.overflows, 0, "Eq. 1 must hold");
+        assert!(out.buffer_peak <= model.hardware.buffer_bytes + 1e6);
+        assert_eq!(out.segments, segments.len());
+    }
+
+    #[test]
+    fn more_cores_buy_more_quality() {
+        let (w2, m2, segs2) = setup(1);
+        let small = IngestDriver::new(&m2, &w2, IngestOptions::default()).run(&segs2).unwrap();
+        let (w8, m8, segs8) = setup(8);
+        let large = IngestDriver::new(&m8, &w8, IngestOptions::default()).run(&segs8).unwrap();
+        assert!(
+            large.mean_quality >= small.mean_quality,
+            "8 cores ({}) must not lose to 1 core ({})",
+            large.mean_quality,
+            small.mean_quality
+        );
+    }
+
+    #[test]
+    fn skyscraper_beats_always_cheapest_quality() {
+        let (w, model, segments) = setup(2);
+        let out = IngestDriver::new(&model, &w, IngestOptions::default()).run(&segments).unwrap();
+        // Quality of always-cheapest:
+        let cheap = &model.configs[model.cheapest()].config;
+        let cheap_q: f64 = segments.iter().map(|s| w.true_quality(cheap, &s.content)).sum::<f64>()
+            / segments.len() as f64;
+        assert!(
+            out.mean_quality > cheap_q + 0.02,
+            "adaptive ({}) must beat always-cheapest ({})",
+            out.mean_quality,
+            cheap_q
+        );
+    }
+
+    #[test]
+    fn disabling_cloud_spends_nothing() {
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions { enable_cloud: false, ..Default::default() };
+        let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
+        assert_eq!(out.cloud_usd, 0.0);
+        assert_eq!(out.overflows, 0);
+    }
+
+    #[test]
+    fn cloud_spending_respects_budget() {
+        let (w, model, segments) = setup(1);
+        let budget = 0.05;
+        let opts = IngestOptions { cloud_budget_usd: budget, ..Default::default() };
+        let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
+        // Budget is per planned interval; the run covers at most 3 intervals
+        // under the fast-test config (4 h each).
+        let intervals =
+            (out.duration_secs / model.hyper.planned_interval_secs).ceil().max(1.0);
+        assert!(
+            out.cloud_usd <= budget * intervals + 1e-9,
+            "spent {} over {} intervals of {}",
+            out.cloud_usd,
+            intervals,
+            budget
+        );
+    }
+
+    #[test]
+    fn ground_truth_classification_beats_standard() {
+        let (w, model, segments) = setup(2);
+        let std_out = IngestDriver::new(&model, &w, IngestOptions::default())
+            .run(&segments)
+            .unwrap();
+        let gt_opts = IngestOptions {
+            classification: ClassificationMode::GroundTruth,
+            ..Default::default()
+        };
+        let gt_out = IngestDriver::new(&model, &w, gt_opts).run(&segments).unwrap();
+        assert_eq!(gt_out.misclassification_rate, 0.0);
+        assert!(std_out.misclassification_rate >= 0.0);
+        assert!(gt_out.mean_quality >= std_out.mean_quality - 0.02);
+    }
+
+    #[test]
+    fn trace_is_recorded_on_request() {
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions { record_trace: true, ..Default::default() };
+        let out = IngestDriver::new(&model, &w, opts).run(&segments[..1000]).unwrap();
+        assert_eq!(out.trace.len(), 1000);
+        assert!(out.trace.mean_quality() > 0.0);
+    }
+
+    #[test]
+    fn drift_detector_stays_quiet_on_stationary_content() {
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions { detect_drift: true, ..Default::default() };
+        let out = IngestDriver::new(&model, &w, opts).run(&segments[..5000]).unwrap();
+        // The online stream is drawn from the same process the model was
+        // fitted on: the alarm must fire on at most a sliver of segments.
+        assert!(
+            (out.drift_alarms as f64) < 0.02 * 5000.0,
+            "{} drift alarms on stationary content",
+            out.drift_alarms
+        );
+    }
+
+    #[test]
+    fn finetuned_forecaster_keeps_guarantees_and_quality() {
+        let (w, model, segments) = setup(2);
+        let base = IngestDriver::new(&model, &w, IngestOptions::default())
+            .run(&segments)
+            .unwrap();
+        let opts = IngestOptions { finetune_forecaster: true, ..Default::default() };
+        let tuned = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
+        assert_eq!(tuned.overflows, 0);
+        assert!(
+            tuned.mean_quality > base.mean_quality - 0.05,
+            "fine-tuning must not collapse quality: {} vs {}",
+            tuned.mean_quality,
+            base.mean_quality
+        );
+    }
+
+    #[test]
+    fn uniform_forecast_does_not_crash_and_is_reasonable() {
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions { forecast: ForecastMode::Uniform, ..Default::default() };
+        let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
+        assert!(out.mean_quality > 0.3);
+        assert_eq!(out.overflows, 0);
+    }
+}

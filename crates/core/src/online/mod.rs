@@ -1,0 +1,13 @@
+//! The online ingestion phase (§4): predictive planning + reactive switching.
+
+pub mod drift;
+pub mod ingest;
+pub mod plan;
+pub mod planner;
+pub mod switcher;
+
+pub use drift::DriftDetector;
+pub use ingest::{ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome};
+pub use plan::KnobPlan;
+pub use planner::{KnobPlanner, PlannerStats};
+pub use switcher::{Decision, KnobSwitcher, SwitcherLimits};

@@ -1,0 +1,367 @@
+//! The reactive knob switcher (§4.2).
+//!
+//! Every couple of seconds the switcher:
+//!
+//! 1. determines the current content category from the *reported quality of
+//!    the configuration that just ran* (Eq. 5 — one-dimensional KMeans
+//!    classification),
+//! 2. looks the category up in the knob plan to get the target histogram
+//!    `α_c`, and picks the configuration with the largest planned-minus-
+//!    actual frequency deficit (Eq. 6),
+//! 3. picks the cheapest placement that cannot overflow the buffer; if none
+//!    exists, recursively falls back to the next less qualitative
+//!    configuration until a safe (configuration, placement) pair is found.
+//!
+//! The switcher is deliberately lightweight: its worst case is linear in the
+//! total number of placements (Fig. 13, < 1 ms).
+
+use crate::offline::FittedModel;
+use crate::online::plan::KnobPlan;
+
+/// Resource limits the switcher enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitcherLimits {
+    /// Buffer capacity in bytes; `0` disables buffering (ablation 1a/1c).
+    pub buffer_capacity: f64,
+    /// Reserve kept free for arriving video: a typical segment's bytes.
+    pub seg_bytes_reserve: f64,
+    /// Core-seconds the cluster retires per segment interval.
+    pub capacity_per_seg: f64,
+    /// Safety factor on profiled worst-case work.
+    pub safety: f64,
+    /// Whether cloud placements may be used (ablation 1a/1b).
+    pub cloud_enabled: bool,
+}
+
+/// A switching decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Chosen configuration index.
+    pub config: usize,
+    /// Chosen placement index within the configuration's Pareto set.
+    pub placement: usize,
+    /// Category the decision was made for.
+    pub category: usize,
+    /// True when the buffer/budget checks forced a deviation from the
+    /// planned configuration.
+    pub deviated: bool,
+}
+
+/// The knob switcher.
+#[derive(Debug, Clone)]
+pub struct KnobSwitcher {
+    plan: KnobPlan,
+    /// Actual usage counts `α̂[c][k]`.
+    usage: Vec<Vec<f64>>,
+    /// Configuration currently running (whose quality will be observed).
+    cur_config: usize,
+}
+
+impl KnobSwitcher {
+    /// Create a switcher with an initial plan; starts on the cheapest
+    /// configuration.
+    pub fn new(model: &FittedModel, plan: KnobPlan) -> Self {
+        assert_eq!(plan.n_configs(), model.n_configs(), "plan/model config mismatch");
+        assert_eq!(plan.n_categories(), model.n_categories(), "plan/model category mismatch");
+        let usage = vec![vec![0.0; model.n_configs()]; model.n_categories()];
+        Self { plan, usage, cur_config: model.cheapest() }
+    }
+
+    /// Install a fresh plan (new planned interval) and reset usage counts.
+    pub fn set_plan(&mut self, plan: KnobPlan) {
+        assert_eq!(plan.n_configs(), self.plan.n_configs(), "plan shape change");
+        assert_eq!(plan.n_categories(), self.plan.n_categories(), "plan shape change");
+        self.plan = plan;
+        for row in &mut self.usage {
+            row.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// The currently running configuration.
+    pub fn current_config(&self) -> usize {
+        self.cur_config
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &KnobPlan {
+        &self.plan
+    }
+
+    /// Actual usage histogram for a category, normalized.
+    pub fn usage_histogram(&self, category: usize) -> Vec<f64> {
+        let row = &self.usage[category];
+        let total: f64 = row.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; row.len()];
+        }
+        row.iter().map(|v| v / total).collect()
+    }
+
+    /// Eq. 5: classify the current content category from the reported
+    /// quality of the configuration that just ran.
+    pub fn classify(&self, model: &FittedModel, reported_quality: f64) -> usize {
+        model.categories.classify_single(self.cur_config, reported_quality)
+    }
+
+    /// Eq. 6: the planned configuration with the largest deficit between the
+    /// planned histogram and actual usage for `category`.
+    pub fn planned_config(&self, category: usize) -> usize {
+        let actual = self.usage_histogram(category);
+        let planned = self.plan.histogram(category);
+        let mut best = 0;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (k, (&p, &a)) in planned.iter().zip(actual.iter()).enumerate() {
+            let deficit = p - a;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Steps 2–3 of §4.2: pick the next configuration and placement.
+    ///
+    /// `buffer_bytes` / `backlog_work` describe the current backlog (bytes
+    /// set aside and core-seconds still owed to them); `cloud_budget_left`
+    /// the remaining cloud credits for the planned interval.
+    pub fn decide(
+        &mut self,
+        model: &FittedModel,
+        category: usize,
+        buffer_bytes: f64,
+        backlog_work: f64,
+        cloud_budget_left: f64,
+        limits: &SwitcherLimits,
+    ) -> Decision {
+        let planned = self.planned_config(category);
+
+        // Fallback chain: the planned configuration, then every less
+        // qualitative configuration in quality order (§4.2's recursion).
+        let rank_pos = model
+            .quality_rank
+            .iter()
+            .position(|&k| k == planned)
+            .expect("planned config is ranked");
+        let chain = model.quality_rank[rank_pos..].iter().copied();
+
+        for (step, k) in chain.enumerate() {
+            for (pi, p) in model.configs[k].placements.iter().enumerate() {
+                if !self.placement_allowed(p, buffer_bytes, backlog_work, cloud_budget_left, limits)
+                {
+                    continue;
+                }
+                self.commit(category, k);
+                return Decision {
+                    config: k,
+                    placement: pi,
+                    category,
+                    deviated: step > 0,
+                };
+            }
+        }
+
+        // Last resort: the cheapest configuration on the affordable
+        // placement with the least on-premise work — bursting to the cloud
+        // is exactly what drains a saturated buffer (Fig. 3's behaviour
+        // when the buffer fills at 2 PM).
+        let k = model.cheapest();
+        let placement = model.configs[k]
+            .placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.cloud_usd == 0.0
+                    || (limits.cloud_enabled && p.cloud_usd <= cloud_budget_left)
+            })
+            .min_by(|a, b| {
+                a.1.onprem_work_max
+                    .partial_cmp(&b.1.onprem_work_max)
+                    .expect("finite work")
+            })
+            .map(|(pi, _)| pi)
+            .unwrap_or(0);
+        self.commit(category, k);
+        Decision { config: k, placement, category, deviated: k != planned }
+    }
+
+    /// Would accepting placement `p` keep the buffer guarantee (Eq. 1)?
+    ///
+    /// The check is a potential argument: while the outstanding backlog work
+    /// `W` (plus this segment's worst-case work) drains at the cluster rate,
+    /// `W / capacity` further segments of video arrive and must be buffered.
+    /// Accepting only placements whose *projected* fill stays within the
+    /// buffer keeps the byte count bounded regardless of how work-dense the
+    /// already-buffered segments are.
+    fn placement_allowed(
+        &self,
+        p: &crate::profile::PlacementProfile,
+        buffer_bytes: f64,
+        backlog_work: f64,
+        cloud_budget_left: f64,
+        limits: &SwitcherLimits,
+    ) -> bool {
+        // Cloud gating: disabled cloud admits only free placements; enabled
+        // cloud requires remaining credits.
+        if p.cloud_usd > 0.0
+            && (!limits.cloud_enabled || p.cloud_usd > cloud_budget_left) {
+                return false;
+            }
+        let new_work = p.onprem_work_max * limits.safety;
+        let drain_segments =
+            (backlog_work + new_work) / limits.capacity_per_seg.max(1e-9);
+        let projected = buffer_bytes
+            + (drain_segments + 1.0) * limits.seg_bytes_reserve;
+        projected <= limits.buffer_capacity
+    }
+
+    /// Record that `config` was used on `category` and make it current.
+    fn commit(&mut self, category: usize, config: usize) {
+        self.usage[category][config] += 1.0;
+        self.cur_config = config;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkyscraperConfig;
+    use crate::offline::run_offline;
+    use crate::testkit::ToyWorkload;
+    use vetl_sim::HardwareSpec;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn model() -> FittedModel {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(4),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap()
+        .0
+    }
+
+    fn relaxed_limits() -> SwitcherLimits {
+        SwitcherLimits {
+            buffer_capacity: 4e9,
+            seg_bytes_reserve: 2e5,
+            capacity_per_seg: 8.0,
+            safety: 1.1,
+            cloud_enabled: true,
+        }
+    }
+
+    #[test]
+    fn follows_the_plan_when_resources_are_plentiful() {
+        let m = model();
+        // Plan: always use the most qualitative configuration.
+        let best = m.quality_rank[0];
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), best);
+        let mut sw = KnobSwitcher::new(&m, plan);
+        let d = sw.decide(&m, 0, 0.0, 0.0, 100.0, &relaxed_limits());
+        assert_eq!(d.config, best);
+        assert!(!d.deviated);
+    }
+
+    #[test]
+    fn usage_tracks_the_planned_histogram() {
+        let m = model();
+        // 50/50 plan between the two best configs for category 0.
+        let (a, b) = (m.quality_rank[0], m.quality_rank[1]);
+        let mut alpha = vec![vec![0.0; m.n_configs()]; m.n_categories()];
+        for c in 0..m.n_categories() {
+            alpha[c][a] = 0.5;
+            alpha[c][b] = 0.5;
+        }
+        let mut sw = KnobSwitcher::new(&m, KnobPlan::new(alpha));
+        for _ in 0..100 {
+            let _ = sw.decide(&m, 0, 0.0, 0.0, 1e9, &relaxed_limits());
+        }
+        let h = sw.usage_histogram(0);
+        assert!((h[a] - 0.5).abs() < 0.02, "usage {h:?}");
+        assert!((h[b] - 0.5).abs() < 0.02, "usage {h:?}");
+    }
+
+    #[test]
+    fn full_buffer_forces_cheapest_fallback() {
+        let m = model();
+        let best = m.quality_rank[0];
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), best);
+        let mut sw = KnobSwitcher::new(&m, plan);
+        // A full buffer with no cloud: the projected fill exceeds capacity
+        // for every placement, so the recursion must end at the cheapest
+        // configuration (which drains the backlog fastest).
+        let limits = SwitcherLimits {
+            buffer_capacity: 1e6,
+            seg_bytes_reserve: 6e5,
+            capacity_per_seg: m.configs[m.cheapest()].work_max * 1.2,
+            safety: 1.1,
+            cloud_enabled: false,
+        };
+        let d = sw.decide(&m, 0, 1e6, 50.0, 0.0, &limits);
+        assert_eq!(d.config, m.cheapest(), "full buffer must fall back to cheapest");
+        assert!(d.deviated);
+    }
+
+    #[test]
+    fn deep_backlog_rejects_expensive_configs_before_bytes_fill() {
+        // Even with byte headroom, a work-dense backlog means bytes will
+        // keep arriving while it drains — the projection must reject
+        // expensive configurations early.
+        let m = model();
+        let best = m.quality_rank[0];
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), best);
+        let mut sw = KnobSwitcher::new(&m, plan);
+        let limits = SwitcherLimits {
+            buffer_capacity: 4e6,
+            seg_bytes_reserve: 2e5,
+            capacity_per_seg: 8.0,
+            safety: 1.1,
+            cloud_enabled: false,
+        };
+        // Backlog work worth 30 segments of drain ⇒ 6 MB of arrivals > 4 MB.
+        let d = sw.decide(&m, 0, 1e6, 240.0, 0.0, &limits);
+        assert_eq!(d.config, m.cheapest());
+        assert!(d.deviated);
+    }
+
+    #[test]
+    fn cloud_budget_gates_paid_placements() {
+        let m = model();
+        let best = m.quality_rank[0];
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), best);
+        let mut sw = KnobSwitcher::new(&m, plan);
+        let limits = SwitcherLimits { cloud_enabled: true, ..relaxed_limits() };
+        // No cloud credits left: any decision must be a free placement.
+        let d = sw.decide(&m, 0, 0.0, 0.0, 0.0, &limits);
+        assert_eq!(m.configs[d.config].placements[d.placement].cloud_usd, 0.0);
+    }
+
+    #[test]
+    fn new_plan_resets_usage() {
+        let m = model();
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), m.cheapest());
+        let mut sw = KnobSwitcher::new(&m, plan.clone());
+        let _ = sw.decide(&m, 0, 0.0, 0.0, 1.0, &relaxed_limits());
+        assert!(sw.usage_histogram(0).iter().sum::<f64>() > 0.0);
+        sw.set_plan(plan);
+        assert_eq!(sw.usage_histogram(0).iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn classification_uses_current_config_dimension() {
+        let m = model();
+        let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), m.cheapest());
+        let sw = KnobSwitcher::new(&m, plan);
+        // The classification must be a valid category for any quality.
+        for q in [0.0, 0.3, 0.6, 0.95] {
+            assert!(sw.classify(&m, q) < m.n_categories());
+        }
+    }
+}

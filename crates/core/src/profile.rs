@@ -1,0 +1,250 @@
+//! Configuration profiling.
+//!
+//! The offline phase measures, for every surviving knob configuration,
+//! (a) the on-premise work it induces per segment and (b) the runtime and
+//! cloud cost of every Pareto-optimal task placement on the provisioned
+//! hardware (§3.1, Appendix A.2). The online knob switcher then only ever
+//! consults these profiles — it never reasons about UDF internals.
+
+use vetl_sim::{pareto_frontier, simulate, HardwareSpec, Placement, PlacementPoint};
+use vetl_video::ContentState;
+
+use crate::knob::KnobConfig;
+use crate::workload::Workload;
+
+/// One Pareto-optimal placement of a configuration's task graph.
+#[derive(Debug, Clone)]
+pub struct PlacementProfile {
+    /// The cloud/on-premise assignment.
+    pub placement: Placement,
+    /// Mean wall-clock runtime per segment over the profiled contents.
+    pub runtime_mean: f64,
+    /// Worst observed runtime (the switcher's overflow check uses this,
+    /// times a safety factor).
+    pub runtime_max: f64,
+    /// Mean cloud dollars per segment.
+    pub cloud_usd: f64,
+    /// Mean on-premise core-seconds per segment under this placement.
+    pub onprem_work: f64,
+    /// Worst observed on-premise core-seconds per segment (the switcher's
+    /// real-time check uses this).
+    pub onprem_work_max: f64,
+}
+
+/// Profile of one knob configuration on the provisioned hardware.
+#[derive(Debug, Clone)]
+pub struct ConfigProfile {
+    /// The configuration.
+    pub config: KnobConfig,
+    /// Mean all-on-premise work per segment, core-seconds.
+    pub work_mean: f64,
+    /// Worst-case all-on-premise work per segment, core-seconds.
+    pub work_max: f64,
+    /// Cost/runtime Pareto placements, ascending cloud cost. Index 0 is the
+    /// free (typically all-on-premise) placement.
+    pub placements: Vec<PlacementProfile>,
+    /// Mean quality per content category (cluster-center column for this
+    /// configuration), filled in by the categorization step.
+    pub qual_by_category: Vec<f64>,
+    /// Mean work per segment *conditioned on the content category*,
+    /// core-seconds; filled in by the categorization step. The knob
+    /// planner's budget constraint uses these (work correlates with content
+    /// difficulty, so a flat mean would over- or under-charge categories).
+    pub cost_by_category: Vec<f64>,
+}
+
+impl ConfigProfile {
+    /// Average quality across categories weighted by `r` (forecast ratios).
+    pub fn expected_quality(&self, r: &[f64]) -> f64 {
+        self.qual_by_category.iter().zip(r.iter()).map(|(q, w)| q * w).sum()
+    }
+
+    /// The cheapest placement (always present).
+    pub fn free_placement(&self) -> &PlacementProfile {
+        &self.placements[0]
+    }
+
+    /// Work rate in core-seconds per second of video.
+    pub fn work_rate(&self, seg_len: f64) -> f64 {
+        self.work_mean / seg_len
+    }
+}
+
+/// Profile `configs` on `hardware` using the Appendix-M simulator.
+///
+/// `mean_samples` must be *representative* content (they determine the
+/// expected costs the knob planner's LP consumes); `extreme_samples` are
+/// additional worst-case contents that only contribute to the `*_max`
+/// statistics the switcher's overflow check relies on.
+pub fn profile_configs<W: Workload + ?Sized>(
+    workload: &W,
+    configs: &[KnobConfig],
+    mean_samples: &[ContentState],
+    extreme_samples: &[ContentState],
+    hardware: &HardwareSpec,
+) -> Vec<ConfigProfile> {
+    assert!(!mean_samples.is_empty(), "profiling needs at least one sample segment");
+    configs
+        .iter()
+        .map(|config| profile_one(workload, config, mean_samples, extreme_samples, hardware))
+        .collect()
+}
+
+fn profile_one<W: Workload + ?Sized>(
+    workload: &W,
+    config: &KnobConfig,
+    mean_samples: &[ContentState],
+    extreme_samples: &[ContentState],
+    hardware: &HardwareSpec,
+) -> ConfigProfile {
+    let samples = mean_samples;
+    let n_nodes = workload.task_graph(config, &samples[0]).len();
+    let candidates: Vec<Placement> = if n_nodes <= 12 {
+        Placement::enumerate(n_nodes).collect()
+    } else {
+        // For larger DAGs fall back to single-node moves from all-on-prem:
+        // all placements with at most 2 cloud nodes plus the extremes.
+        let mut v = vec![Placement::all_onprem(n_nodes), Placement::all_cloud(n_nodes)];
+        for i in 0..n_nodes {
+            let mut p = Placement::all_onprem(n_nodes);
+            p.set_cloud(vetl_sim::NodeId(i), true);
+            v.push(p);
+        }
+        v
+    };
+
+    let mut work_sum = 0.0;
+    let mut work_max = 0.0f64;
+    // Per-candidate aggregates: (runtime sum, runtime max, cloud usd sum,
+    // on-prem work sum, on-prem work max).
+    let mut agg: Vec<(f64, f64, f64, f64, f64)> =
+        vec![(0.0, 0.0, 0.0, 0.0, 0.0); candidates.len()];
+    for content in samples {
+        let graph = workload.task_graph(config, content);
+        let w = graph.total_onprem_secs();
+        work_sum += w;
+        work_max = work_max.max(w);
+        for (ci, placement) in candidates.iter().enumerate() {
+            let r = simulate(&graph, placement, &hardware.cluster, &hardware.cloud);
+            let a = &mut agg[ci];
+            a.0 += r.makespan;
+            a.1 = a.1.max(r.makespan);
+            a.2 += r.cloud_usd;
+            a.3 += r.onprem_busy_secs;
+            a.4 = a.4.max(r.onprem_busy_secs);
+        }
+    }
+
+    // Extreme samples contribute to the max statistics only.
+    for content in extreme_samples {
+        let graph = workload.task_graph(config, content);
+        work_max = work_max.max(graph.total_onprem_secs());
+        for (ci, placement) in candidates.iter().enumerate() {
+            let r = simulate(&graph, placement, &hardware.cluster, &hardware.cloud);
+            let a = &mut agg[ci];
+            a.1 = a.1.max(r.makespan);
+            a.4 = a.4.max(r.onprem_busy_secs);
+        }
+    }
+
+    let n = samples.len() as f64;
+    let points: Vec<PlacementPoint> = candidates
+        .iter()
+        .enumerate()
+        .map(|(ci, p)| PlacementPoint {
+            placement: p.clone(),
+            runtime: agg[ci].0 / n,
+            cloud_usd: agg[ci].2 / n,
+        })
+        .collect();
+    let frontier = pareto_frontier(points);
+    let placements: Vec<PlacementProfile> = frontier
+        .into_iter()
+        .map(|pt| {
+            let ci = candidates.iter().position(|c| *c == pt.placement).expect("from candidates");
+            PlacementProfile {
+                placement: pt.placement,
+                runtime_mean: pt.runtime,
+                runtime_max: agg[ci].1,
+                cloud_usd: pt.cloud_usd,
+                onprem_work: agg[ci].3 / n,
+                onprem_work_max: agg[ci].4,
+            }
+        })
+        .collect();
+
+    ConfigProfile {
+        config: config.clone(),
+        work_mean: work_sum / n,
+        work_max,
+        placements,
+        qual_by_category: Vec::new(),
+        cost_by_category: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use crate::workload::Workload;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    fn samples(n: usize) -> Vec<ContentState> {
+        let mut p = ContentProcess::new(ContentParams::default(), 2.0);
+        (0..n).map(|_| p.step()).collect()
+    }
+
+    #[test]
+    fn profiles_cover_all_configs() {
+        let w = ToyWorkload::new();
+        let configs: Vec<_> = w.config_space().iter().collect();
+        let profs = profile_configs(&w, &configs, &samples(8), &[], &HardwareSpec::with_cores(4));
+        assert_eq!(profs.len(), configs.len());
+        for p in &profs {
+            assert!(p.work_mean > 0.0);
+            assert!(p.work_max >= p.work_mean);
+            assert!(!p.placements.is_empty());
+            // Placements sorted by ascending cloud cost; first one is free.
+            assert!(p.placements.windows(2).all(|w| w[0].cloud_usd <= w[1].cloud_usd));
+            assert_eq!(p.free_placement().cloud_usd, 0.0);
+        }
+    }
+
+    #[test]
+    fn pricier_placements_are_faster() {
+        let w = ToyWorkload::new();
+        // The most expensive config on a small cluster benefits from cloud.
+        let config = w.config_space().max_config();
+        let profs =
+            profile_configs(&w, &[config], &samples(8), &[], &HardwareSpec::with_cores(1));
+        let pls = &profs[0].placements;
+        if pls.len() > 1 {
+            assert!(
+                pls.last().unwrap().runtime_mean < pls[0].runtime_mean,
+                "paying for cloud must buy runtime on the Pareto frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_config_induces_more_work() {
+        let w = ToyWorkload::new();
+        let cheap = w.config_space().min_config();
+        let dear = w.config_space().max_config();
+        let profs =
+            profile_configs(&w, &[cheap, dear], &samples(6), &[], &HardwareSpec::with_cores(4));
+        assert!(profs[1].work_mean > 3.0 * profs[0].work_mean);
+    }
+
+    #[test]
+    fn expected_quality_weights_by_ratio() {
+        let w = ToyWorkload::new();
+        let configs: Vec<_> = vec![w.config_space().min_config()];
+        let mut profs =
+            profile_configs(&w, &configs, &samples(4), &[], &HardwareSpec::with_cores(4));
+        profs[0].qual_by_category = vec![0.2, 0.8];
+        assert!((profs[0].expected_quality(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert!((profs[0].expected_quality(&[1.0, 0.0]) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! A miniature workload used by the engine's own unit tests.
+//!
+//! `ToyWorkload` is a two-knob detect-and-track pipeline with the same
+//! *shape* as the paper's workloads (cheap configs fail on hard content,
+//! expensive configs always succeed, cost spans ~an order of magnitude) but
+//! small enough that offline fitting runs in milliseconds. The realistic
+//! workloads live in `vetl-workloads`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use vetl_sim::{TaskGraph, TaskNode};
+use vetl_video::ContentState;
+
+use crate::knob::{Knob, KnobConfig, KnobValue};
+use crate::workload::Workload;
+
+/// Logistic quality response shared by the synthetic workloads (same shape
+/// as `vetl-workloads`): a steep sigmoid in (capability − 0.85·difficulty),
+/// so expensive configurations stay reliable on the hardest content while
+/// under-powered ones collapse.
+pub fn logistic_quality(capability: f64, difficulty: f64) -> f64 {
+    let z = 12.0 * (capability - 0.85 * difficulty) + 0.8;
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Additive Gaussian observation noise, clamped to `[0, 1]` — the
+/// reported-quality channel.
+pub fn noisy(q: f64, sigma: f64, rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (q + sigma * g).clamp(0.0, 1.0)
+}
+
+/// A 3×2-configuration detect-and-track toy workload.
+#[derive(Debug, Clone)]
+pub struct ToyWorkload {
+    knobs: Vec<Knob>,
+    seg_len: f64,
+}
+
+impl ToyWorkload {
+    /// Create with 2-second segments.
+    pub fn new() -> Self {
+        Self {
+            knobs: vec![
+                Knob::new(
+                    "rate",
+                    vec![KnobValue::Float(0.2), KnobValue::Float(0.5), KnobValue::Float(1.0)],
+                ),
+                Knob::new("model", vec![KnobValue::Text("small"), KnobValue::Text("large")]),
+            ],
+            seg_len: 2.0,
+        }
+    }
+
+    fn rate(&self, config: &KnobConfig) -> f64 {
+        config.value(&self.knobs, 0).as_float().expect("rate knob is numeric")
+    }
+
+    fn large_model(&self, config: &KnobConfig) -> bool {
+        config.value(&self.knobs, 1).as_text() == Some("large")
+    }
+
+    /// Capability in `[0.38, 1.0]`.
+    pub fn capability(&self, config: &KnobConfig) -> f64 {
+        0.30 + 0.40 * self.rate(config) + if self.large_model(config) { 0.30 } else { 0.0 }
+    }
+}
+
+impl Default for ToyWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for ToyWorkload {
+    fn name(&self) -> &str {
+        "toy"
+    }
+
+    fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    fn segment_len(&self) -> f64 {
+        self.seg_len
+    }
+
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let rate = self.rate(config);
+        let model_mult = if self.large_model(config) { 3.0 } else { 1.0 };
+        let mut g = TaskGraph::new();
+        let decode = g.add_node(TaskNode::new("decode", 0.05 * self.seg_len, 0.0));
+        let detect = g.add_node(
+            TaskNode::new("detect", 0.9 * rate * model_mult * self.seg_len, 0.5 * rate * model_mult)
+                .with_payload(2.0e6 * rate, 1.0e4),
+        );
+        let track = g.add_node(
+            TaskNode::new("track", 0.25 * rate * (0.5 + content.activity) * self.seg_len, 0.15)
+                .with_payload(1.0e5, 1.0e4),
+        );
+        g.add_edge(decode, detect);
+        g.add_edge(detect, track);
+        g
+    }
+
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        logistic_quality(self.capability(config), content.difficulty)
+    }
+
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64 {
+        noisy(self.true_quality(config, content), 0.02, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_quality_shape() {
+        // Overpowered ⇒ ~1; matched ⇒ decent; underpowered ⇒ collapse.
+        assert!(logistic_quality(1.0, 0.0) > 0.999);
+        assert!(logistic_quality(1.0, 1.0) > 0.9);
+        assert!((0.6..0.95).contains(&logistic_quality(0.5, 0.5)));
+        assert!(logistic_quality(0.3, 0.9) < 0.05);
+    }
+
+    #[test]
+    fn capability_is_monotone_in_knobs() {
+        let w = ToyWorkload::new();
+        let space = w.config_space();
+        let caps: Vec<f64> = space.iter().map(|c| w.capability(&c)).collect();
+        let min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = caps.iter().cloned().fold(0.0f64, f64::max);
+        assert!((min - 0.38).abs() < 1e-9);
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_small_and_clamped() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let v = noisy(0.99, 0.02, &mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The workload contract: what a V-ETL user provides to Skyscraper.
+//!
+//! A workload is (1) a set of UDFs arranged in a DAG per knob configuration,
+//! (2) the registered knobs with their domains, and (3) a *quality metric*
+//! that the user code measures and returns while processing (§2.1, §4.2,
+//! Appendix F). Skyscraper is deliberately agnostic to everything else — it
+//! never inspects frames, which is why a synthetic workload with calibrated
+//! cost/quality responses exercises the identical decision logic as the
+//! paper's YOLO/KCF/TransMOT pipelines.
+
+use rand::rngs::StdRng;
+
+use vetl_sim::TaskGraph;
+use vetl_video::ContentState;
+
+use crate::knob::{ConfigSpace, Knob, KnobConfig};
+
+/// A user-defined V-ETL workload.
+pub trait Workload {
+    /// Workload name (for reports).
+    fn name(&self) -> &str;
+
+    /// The registered knobs, in a fixed order.
+    fn knobs(&self) -> &[Knob];
+
+    /// Segment length in seconds — the knob-switching granularity
+    /// (2 s for COVID/MOT, 7 s for MOSEI; §5.2, Appendix K.1).
+    fn segment_len(&self) -> f64;
+
+    /// Build the task graph executed when processing one segment of
+    /// `content` under `config`. Node runtimes may depend on the content
+    /// (more objects ⇒ more tracker work).
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph;
+
+    /// Ground-truth quality of `config` on `content`, in `[0, 1]` relative
+    /// to the best achievable. Only the *Optimum* oracle and evaluation
+    /// metrics may consult this.
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64;
+
+    /// The quality metric the user code reports while processing — a noisy
+    /// observation of [`Self::true_quality`] (detector confidences, tracker
+    /// error counts, model certainty; §5.2).
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64;
+
+    /// The full configuration space spanned by [`Self::knobs`].
+    fn config_space(&self) -> ConfigSpace {
+        ConfigSpace::new(self.knobs())
+    }
+
+    /// Total on-premise work of processing one segment of `content` under
+    /// `config`, in reference-core-seconds.
+    fn work(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        self.task_graph(config, content).total_onprem_secs()
+    }
+
+    /// Work rate of a configuration: core-seconds of compute per second of
+    /// video, at the given content.
+    fn work_rate(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        self.work(config, content) / self.segment_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::ToyWorkload;
+    use rand::SeedableRng;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    #[test]
+    fn toy_workload_honours_the_contract() {
+        let w = ToyWorkload::new();
+        assert!(!w.knobs().is_empty());
+        assert!(w.segment_len() > 0.0);
+        let space = w.config_space();
+        assert!(space.size() > 1);
+
+        let mut proc = ContentProcess::new(ContentParams::default(), w.segment_len());
+        let content = proc.step();
+        let mut rng = StdRng::seed_from_u64(1);
+        for config in space.iter() {
+            let g = w.task_graph(&config, &content);
+            assert!(!g.is_empty());
+            let q = w.true_quality(&config, &content);
+            assert!((0.0..=1.0).contains(&q));
+            let r = w.reported_quality(&config, &content, &mut rng);
+            assert!((0.0..=1.0).contains(&r));
+            assert!(w.work(&config, &content) > 0.0);
+        }
+    }
+
+    #[test]
+    fn expensive_configs_do_better_on_hard_content() {
+        let w = ToyWorkload::new();
+        let space = w.config_space();
+        let mut proc = ContentProcess::new(ContentParams::default(), w.segment_len());
+        let mut hard = proc.step();
+        hard.difficulty = 0.95;
+        let cheap_q = w.true_quality(&space.min_config(), &hard);
+        let best_q = w.true_quality(&space.max_config(), &hard);
+        assert!(best_q > cheap_q + 0.2, "best {best_q} vs cheap {cheap_q}");
+        // And the expensive config costs more.
+        assert!(w.work(&space.max_config(), &hard) > w.work(&space.min_config(), &hard));
+    }
+}

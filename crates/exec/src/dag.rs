@@ -1,0 +1,172 @@
+//! Dependency-aware DAG execution on an [`ActorPool`].
+//!
+//! Used by the Fig. 22/23 simulator-validation experiments: a task graph is
+//! executed for real on a pool of `n` workers (each task sleeping its
+//! profiled, time-scaled duration) and the measured finish times are compared
+//! against the Appendix-M simulator's estimates.
+
+use crossbeam::channel::unbounded;
+use std::time::{Duration, Instant};
+
+use crate::pool::ActorPool;
+
+/// A DAG of opaque jobs: `preds[i]` lists the tasks that must finish before
+/// task `i` starts.
+pub struct DagSpec {
+    /// Predecessor lists, one per task.
+    pub preds: Vec<Vec<usize>>,
+    /// The work of each task.
+    pub tasks: Vec<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl DagSpec {
+    /// Build a DAG where task `i` sleeps `durations[i]`.
+    pub fn sleeping(preds: Vec<Vec<usize>>, durations: Vec<Duration>) -> Self {
+        assert_eq!(preds.len(), durations.len(), "preds/durations length mismatch");
+        let tasks = durations
+            .into_iter()
+            .map(|d| Box::new(move || std::thread::sleep(d)) as Box<dyn FnOnce() + Send>)
+            .collect();
+        Self { preds, tasks }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+/// Measured outcome of a DAG execution.
+#[derive(Debug, Clone)]
+pub struct DagRun {
+    /// Per-task finish offsets from the run start.
+    pub finish: Vec<Duration>,
+    /// Wall-clock time from start to last finish.
+    pub makespan: Duration,
+}
+
+/// Execute `dag` on `pool`, respecting dependencies, and measure finishes.
+///
+/// # Panics
+/// Panics if the predecessor lists contain a cycle (no task ever becomes
+/// ready) or reference out-of-range tasks.
+pub fn run_dag(pool: &ActorPool, dag: DagSpec) -> DagRun {
+    let n = dag.len();
+    if n == 0 {
+        return DagRun { finish: Vec::new(), makespan: Duration::ZERO };
+    }
+    for preds in &dag.preds {
+        for &p in preds {
+            assert!(p < n, "predecessor index out of range");
+        }
+    }
+
+    // Successor lists + indegrees.
+    let mut succ = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (i, preds) in dag.preds.iter().enumerate() {
+        indeg[i] = preds.len();
+        for &p in preds {
+            succ[p].push(i);
+        }
+    }
+
+    let (done_tx, done_rx) = unbounded::<(usize, Instant)>();
+    let start = Instant::now();
+    let mut tasks: Vec<Option<Box<dyn FnOnce() + Send>>> =
+        dag.tasks.into_iter().map(Some).collect();
+
+    let submit = |i: usize, tasks: &mut Vec<Option<Box<dyn FnOnce() + Send>>>| {
+        let work = tasks[i].take().expect("task submitted twice");
+        let tx = done_tx.clone();
+        let _ = pool.submit(move || {
+            work();
+            let _ = tx.send((i, Instant::now()));
+        });
+    };
+
+    let mut remaining = n;
+    for i in 0..n {
+        if indeg[i] == 0 {
+            submit(i, &mut tasks);
+        }
+    }
+
+    let mut finish = vec![Duration::ZERO; n];
+    while remaining > 0 {
+        let (i, at) = done_rx
+            .recv()
+            .expect("DAG execution stalled: cyclic dependencies or worker panic");
+        finish[i] = at.duration_since(start);
+        remaining -= 1;
+        for &s in &succ[i].clone() {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                submit(s, &mut tasks);
+            }
+        }
+    }
+
+    let makespan = finish.iter().cloned().max().unwrap_or(Duration::ZERO);
+    DagRun { finish, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let pool = ActorPool::new(4);
+        let dag = DagSpec::sleeping(vec![vec![]; 4], vec![ms(40); 4]);
+        let run = run_dag(&pool, dag);
+        assert!(run.makespan < ms(120), "parallel run took {:?}", run.makespan);
+        assert!(run.makespan >= ms(38));
+    }
+
+    #[test]
+    fn chain_runs_serially() {
+        let pool = ActorPool::new(4);
+        let dag = DagSpec::sleeping(vec![vec![], vec![0], vec![1]], vec![ms(20); 3]);
+        let run = run_dag(&pool, dag);
+        assert!(run.makespan >= ms(55), "chain took only {:?}", run.makespan);
+        // Monotone finishes along the chain.
+        assert!(run.finish[0] <= run.finish[1] && run.finish[1] <= run.finish[2]);
+    }
+
+    #[test]
+    fn diamond_joins_correctly() {
+        let pool = ActorPool::new(2);
+        // 0 → {1,2} → 3
+        let dag =
+            DagSpec::sleeping(vec![vec![], vec![0], vec![0], vec![1, 2]], vec![ms(15); 4]);
+        let run = run_dag(&pool, dag);
+        assert!(run.finish[3] >= run.finish[1].max(run.finish[2]));
+        assert!(run.makespan >= ms(42)); // three levels of 15 ms
+    }
+
+    #[test]
+    fn pool_width_throttles_parallel_level() {
+        // 3 independent 30 ms tasks on 1 worker: strictly serial ≥ 90 ms.
+        let pool = ActorPool::new(1);
+        let dag = DagSpec::sleeping(vec![vec![]; 3], vec![ms(30); 3]);
+        let run = run_dag(&pool, dag);
+        assert!(run.makespan >= ms(85), "took {:?}", run.makespan);
+    }
+
+    #[test]
+    fn empty_dag() {
+        let pool = ActorPool::new(1);
+        let run = run_dag(&pool, DagSpec::sleeping(vec![], vec![]));
+        assert_eq!(run.makespan, Duration::ZERO);
+    }
+}

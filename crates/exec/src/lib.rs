@@ -1,0 +1,21 @@
+//! # vetl-exec — thread-pool actor executor
+//!
+//! The original Skyscraper implementation maps every UDF onto Ray actors and
+//! synchronizes them from the parent process with futures (§5.1, Appendix N).
+//! This crate is the Rust stand-in: a fixed-size worker pool (one worker per
+//! emulated core) plus promise-based synchronization, and a dependency-aware
+//! DAG runner used to validate the Appendix-M simulator against *real*
+//! multi-threaded executions (Figs. 22–23).
+//!
+//! Running a task graph on an [`ActorPool`] of `n` workers where each task
+//! sleeps its profiled duration reproduces, in real wall-clock time, the
+//! scheduling behaviour of an `n`-core machine: the pool size enforces the
+//! parallelism limit exactly like core count does.
+
+pub mod dag;
+pub mod pool;
+pub mod promise;
+
+pub use dag::{run_dag, DagRun, DagSpec};
+pub use pool::ActorPool;
+pub use promise::Promise;

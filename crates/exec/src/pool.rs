@@ -1,0 +1,151 @@
+//! A fixed-size worker pool emulating Ray actors.
+//!
+//! The pool's thread count is the emulated core count: at most `size` tasks
+//! run concurrently, just as at most `cores` UDFs run concurrently on the
+//! paper's machines ("the number of duplicate actors is based on the number
+//! of logical cores", §5.1).
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+use crate::promise::Promise;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of `size` worker threads consuming submitted jobs FIFO.
+#[derive(Debug)]
+pub struct ActorPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ActorPool {
+    /// Spawn a pool with `size` workers.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("vetl-actor-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { tx: Some(tx), workers }
+    }
+
+    /// Number of workers (the emulated core count).
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job; returns a [`Promise`] for its result.
+    pub fn submit<T, F>(&self, f: F) -> Promise<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (promise, resolver) = Promise::pair();
+        let job: Job = Box::new(move || {
+            let value = f();
+            let _ = resolver.resolve(value);
+        });
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("pool workers exited unexpectedly");
+        promise
+    }
+
+    /// Submit many jobs and wait for all results, in submission order.
+    pub fn map_wait<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let promises: Vec<Promise<T>> = jobs.into_iter().map(|f| self.submit(f)).collect();
+        promises.into_iter().map(Promise::wait).collect()
+    }
+}
+
+impl Drop for ActorPool {
+    fn drop(&mut self) {
+        // Closing the channel terminates the workers after draining.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn submit_returns_result() {
+        let pool = ActorPool::new(2);
+        let p = pool.submit(|| 6 * 7);
+        assert_eq!(p.wait(), 42);
+    }
+
+    #[test]
+    fn map_wait_preserves_order() {
+        let pool = ActorPool::new(4);
+        let jobs: Vec<_> = (0..16).map(|i| move || i * i).collect();
+        let out = pool.map_wait(jobs);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_size_limits_parallelism() {
+        // With 2 workers and 4 × 50 ms sleeps, wall time must be ≥ 100 ms
+        // (two waves), clearly below the 200 ms a serial run would take.
+        let pool = ActorPool::new(2);
+        let start = Instant::now();
+        let jobs: Vec<_> = (0..4)
+            .map(|_| move || std::thread::sleep(Duration::from_millis(50)))
+            .collect();
+        pool.map_wait(jobs);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(95), "elapsed {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(190), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let pool = ActorPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        pool.map_wait(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ActorPool::new(2);
+        let p = pool.submit(|| 1);
+        drop(pool); // must drain and join without deadlock
+        assert_eq!(p.wait(), 1);
+    }
+}

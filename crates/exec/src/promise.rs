@@ -1,0 +1,107 @@
+//! Promises — the Ray-future analogue used to synchronize UDF calls.
+//!
+//! Appendix N.2 describes how the knob switcher "waits on a quality Future,
+//! whose value is set by one of the UDFs processing the previous video
+//! segment". [`Promise`] is that future: a one-shot value produced by a pool
+//! worker and awaited by the coordinator.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Write-end of a one-shot value.
+#[derive(Debug)]
+pub struct Resolver<T> {
+    tx: Sender<T>,
+}
+
+impl<T> Resolver<T> {
+    /// Fulfil the promise. Returns `false` if the consumer is gone.
+    pub fn resolve(self, value: T) -> bool {
+        self.tx.send(value).is_ok()
+    }
+}
+
+/// Read-end of a one-shot value produced by a worker.
+#[derive(Debug)]
+pub struct Promise<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Promise<T> {
+    /// Create a connected `(Promise, Resolver)` pair.
+    pub fn pair() -> (Promise<T>, Resolver<T>) {
+        let (tx, rx) = bounded(1);
+        (Promise { rx }, Resolver { tx })
+    }
+
+    /// Block until the value arrives.
+    ///
+    /// # Panics
+    /// Panics if the producing worker dropped its [`Resolver`] without
+    /// resolving (e.g. the task panicked).
+    pub fn wait(self) -> T {
+        self.rx.recv().expect("promise abandoned: producing task panicked or was dropped")
+    }
+
+    /// Block with a timeout; `None` on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("promise abandoned: producing task panicked or was dropped")
+            }
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn resolve_then_wait() {
+        let (p, r) = Promise::pair();
+        assert!(r.resolve(42));
+        assert_eq!(p.wait(), 42);
+    }
+
+    #[test]
+    fn wait_blocks_until_resolved() {
+        let (p, r) = Promise::pair();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            r.resolve("done");
+        });
+        assert_eq!(p.wait(), "done");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (p, _r) = Promise::<u32>::pair();
+        assert_eq!(p.wait_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn try_get_polls() {
+        let (p, r) = Promise::pair();
+        assert_eq!(p.try_get(), None);
+        r.resolve(7);
+        assert_eq!(p.try_get(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "promise abandoned")]
+    fn dropped_resolver_panics_waiters() {
+        let (p, r) = Promise::<u32>::pair();
+        drop(r);
+        let _ = p.wait();
+    }
+}

@@ -1,0 +1,232 @@
+//! 0-1 knapsack solvers.
+//!
+//! The *Optimum* baseline of the ablation study (§5.4, baseline 2c) "uses the
+//! greedy 0-1 knapsack approximation to choose knob configurations that
+//! maximize quality under a certain budget", and the idealized system of
+//! Appendix B solves the same shape of problem per time slice. We implement
+//! the greedy density heuristic (with the classic best-single-item fix-up
+//! that restores the ½-approximation guarantee) and an exact dynamic program
+//! over integerized weights used for validation and small instances.
+
+/// One candidate item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnapsackItem {
+    /// Value gained when the item is packed.
+    pub value: f64,
+    /// Capacity consumed when the item is packed (non-negative).
+    pub weight: f64,
+}
+
+/// Result of a knapsack solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackSolution {
+    /// Indices of chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Total value of the chosen items.
+    pub value: f64,
+    /// Total weight of the chosen items.
+    pub weight: f64,
+}
+
+/// Greedy value/weight-density heuristic with best-single-item fix-up.
+///
+/// Sorts items by density, packs greedily, and returns the better of the
+/// greedy pack and the single most valuable fitting item — the standard
+/// ½-approximation for 0-1 knapsack.
+pub fn knapsack_greedy(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    assert!(items.iter().all(|i| i.weight >= 0.0), "weights must be non-negative");
+
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = density(items[a]);
+        let db = density(items[b]);
+        db.partial_cmp(&da).expect("densities are finite")
+    });
+
+    let mut chosen = Vec::new();
+    let mut weight = 0.0;
+    let mut value = 0.0;
+    for &i in &order {
+        if weight + items[i].weight <= capacity + 1e-12 {
+            chosen.push(i);
+            weight += items[i].weight;
+            value += items[i].value;
+        }
+    }
+
+    // Fix-up: the single best fitting item may beat the greedy pack.
+    let best_single = (0..items.len())
+        .filter(|&i| items[i].weight <= capacity + 1e-12)
+        .max_by(|&a, &b| items[a].value.partial_cmp(&items[b].value).expect("finite"));
+    if let Some(i) = best_single {
+        if items[i].value > value {
+            return KnapsackSolution {
+                chosen: vec![i],
+                value: items[i].value,
+                weight: items[i].weight,
+            };
+        }
+    }
+
+    chosen.sort_unstable();
+    KnapsackSolution { chosen, value, weight }
+}
+
+fn density(item: KnapsackItem) -> f64 {
+    if item.weight <= 0.0 {
+        // Zero-weight items are infinitely dense; pack them first.
+        f64::INFINITY
+    } else {
+        item.value / item.weight
+    }
+}
+
+/// Exact 0-1 knapsack via dynamic programming over an integer weight grid.
+///
+/// Weights are scaled by `resolution` grid cells per unit capacity, so the
+/// answer is exact for weights that are multiples of `capacity / resolution`
+/// and a (1-ε) approximation otherwise (weights round *up*, keeping the
+/// solution always feasible). Runtime is `O(items · resolution)`.
+pub fn knapsack_exact(
+    items: &[KnapsackItem],
+    capacity: f64,
+    resolution: usize,
+) -> KnapsackSolution {
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    assert!(resolution > 0, "resolution must be positive");
+    if items.is_empty() || capacity == 0.0 {
+        let chosen: Vec<usize> =
+            (0..items.len()).filter(|&i| items[i].weight == 0.0).collect();
+        let value = chosen.iter().map(|&i| items[i].value).sum();
+        return KnapsackSolution { chosen, value, weight: 0.0 };
+    }
+
+    let cell = capacity / resolution as f64;
+    let scaled: Vec<usize> = items
+        .iter()
+        .map(|i| (i.weight / cell).ceil() as usize) // round up: stay feasible
+        .collect();
+
+    // dp[w] = best value using capacity w; parent pointers for reconstruction.
+    let mut dp = vec![0.0f64; resolution + 1];
+    let mut take = vec![vec![false; resolution + 1]; items.len()];
+    for (i, (&sw, item)) in scaled.iter().zip(items.iter()).enumerate() {
+        if sw > resolution {
+            continue;
+        }
+        for w in (sw..=resolution).rev() {
+            let candidate = dp[w - sw] + item.value;
+            if candidate > dp[w] + 1e-15 {
+                dp[w] = candidate;
+                take[i][w] = true;
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut w = resolution;
+    let mut chosen = Vec::new();
+    for i in (0..items.len()).rev() {
+        if take[i][w] {
+            chosen.push(i);
+            w -= scaled[i];
+        }
+    }
+    chosen.sort_unstable();
+    let value = chosen.iter().map(|&i| items[i].value).sum();
+    let weight = chosen.iter().map(|&i| items[i].weight).sum();
+    KnapsackSolution { chosen, value, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(pairs: &[(f64, f64)]) -> Vec<KnapsackItem> {
+        pairs.iter().map(|&(value, weight)| KnapsackItem { value, weight }).collect()
+    }
+
+    #[test]
+    fn greedy_packs_by_density() {
+        let its = items(&[(6.0, 2.0), (10.0, 5.0), (12.0, 8.0)]);
+        let s = knapsack_greedy(&its, 10.0);
+        // densities: 3.0, 2.0, 1.5 → pack item 0 (w=2) and item 1 (w=5) = 16.
+        assert_eq!(s.chosen, vec![0, 1]);
+        assert!((s.value - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_fixup_prefers_big_single_item() {
+        // Density favours the small item, but one big item dominates.
+        let its = items(&[(1.0, 0.1), (10.0, 10.0)]);
+        let s = knapsack_greedy(&its, 10.0);
+        assert_eq!(s.chosen, vec![1]);
+        assert!((s.value - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_items_always_fit() {
+        let its = items(&[(5.0, 0.0), (3.0, 1.0)]);
+        let s = knapsack_greedy(&its, 0.5);
+        assert!(s.chosen.contains(&0));
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let its = items(&[(6.0, 2.0), (10.0, 5.0), (12.0, 8.0), (7.0, 3.0)]);
+        let capacity = 10.0;
+        let s = knapsack_exact(&its, capacity, 1000);
+        // Brute force over all 16 subsets.
+        let mut best = 0.0f64;
+        for mask in 0..16u32 {
+            let (mut v, mut w) = (0.0, 0.0);
+            for i in 0..4 {
+                if mask & (1 << i) != 0 {
+                    v += its[i].value;
+                    w += its[i].weight;
+                }
+            }
+            if w <= capacity {
+                best = best.max(v);
+            }
+        }
+        assert!((s.value - best).abs() < 1e-9, "dp {} vs brute {}", s.value, best);
+    }
+
+    #[test]
+    fn greedy_is_at_least_half_of_exact() {
+        let its = items(&[
+            (4.0, 3.0),
+            (9.0, 6.0),
+            (3.0, 2.0),
+            (7.0, 7.0),
+            (2.0, 1.0),
+            (8.0, 5.0),
+        ]);
+        // Capacity and resolution chosen so every weight is an exact
+        // multiple of the DP grid cell (12/1200 = 0.01); otherwise the DP's
+        // round-up makes it a lower bound rather than the exact optimum.
+        let cap = 12.0;
+        let g = knapsack_greedy(&its, cap);
+        let e = knapsack_exact(&its, cap, 1200);
+        assert!(g.value >= 0.5 * e.value - 1e-9, "greedy {} exact {}", g.value, e.value);
+        assert!(g.value <= e.value + 1e-9);
+    }
+
+    #[test]
+    fn exact_respects_capacity() {
+        let its = items(&[(10.0, 4.0), (10.0, 4.0), (10.0, 4.0)]);
+        let s = knapsack_exact(&its, 8.0, 100);
+        assert!(s.weight <= 8.0 + 1e-9);
+        assert_eq!(s.chosen.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert_eq!(knapsack_greedy(&[], 5.0).value, 0.0);
+        let its = items(&[(3.0, 1.0)]);
+        let s = knapsack_exact(&its, 0.0, 10);
+        assert!(s.chosen.is_empty());
+    }
+}

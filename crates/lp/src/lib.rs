@@ -1,0 +1,25 @@
+//! # vetl-lp — linear programming and knapsack solvers
+//!
+//! Skyscraper's knob planner formulates the assignment of knob configurations
+//! to content categories as a linear program (§4.1, Eqs. 2–4) and solves it
+//! with an off-the-shelf solver (SciPy `linprog` in the original artifact).
+//! The *Optimum* oracle baseline and the idealized system of Appendix B use a
+//! greedy 0-1 knapsack approximation.
+//!
+//! This crate supplies both from scratch:
+//!
+//! * [`LpProblem`] / [`solve`] — a dense two-phase primal simplex supporting
+//!   `≤`, `≥` and `=` constraints over non-negative variables. The planner's
+//!   LPs have `|C|·|K|` variables and `1 + 2|C|` constraints (Fig. 13), i.e.
+//!   at most a few hundred variables — well within dense-tableau territory.
+//! * [`knapsack`] — greedy ratio approximation (with the classic best-item
+//!   fix-up giving a ½-approximation guarantee) and an exact dynamic program
+//!   used in tests and the Appendix-B idealized system.
+
+pub mod knapsack;
+pub mod problem;
+pub mod simplex;
+
+pub use knapsack::{knapsack_exact, knapsack_greedy, KnapsackItem, KnapsackSolution};
+pub use problem::{Constraint, LpProblem, LpSolution, Relation, VarId};
+pub use simplex::{solve, LpError};

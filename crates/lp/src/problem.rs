@@ -1,0 +1,168 @@
+//! LP problem construction API.
+//!
+//! A thin builder over the dense data the simplex solver consumes. Variables
+//! are non-negative reals; the objective is always *maximized* (Skyscraper
+//! maximizes expected quality). Minimization callers negate their objective.
+
+/// Opaque handle to a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in solution vectors.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A linear constraint over a sparse set of variables.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program `maximize c·x  s.t.  constraints, x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) names: Vec<String>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Create an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a non-negative variable with the given objective coefficient.
+    pub fn add_var(&mut self, name: impl Into<String>, objective_coeff: f64) -> VarId {
+        self.objective.push(objective_coeff);
+        self.names.push(name.into());
+        VarId(self.objective.len() - 1)
+    }
+
+    /// Add a constraint `Σ terms  relation  rhs`.
+    ///
+    /// # Panics
+    /// Panics if a term references an unknown variable.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
+        for (v, _) in &terms {
+            assert!(v.0 < self.objective.len(), "constraint references unknown variable");
+        }
+        self.constraints.push(Constraint { terms, relation, rhs });
+    }
+
+    /// Convenience: add an upper bound `x ≤ bound` on a single variable.
+    pub fn add_upper_bound(&mut self, var: VarId, bound: f64) {
+        self.add_constraint(vec![(var, 1.0)], Relation::Le, bound);
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (diagnostics).
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var.0]
+    }
+
+    /// Evaluate the objective at a candidate point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "point dimension mismatch");
+        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check feasibility of a candidate point within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|(v, a)| a * x[v.0]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// Solution returned by [`crate::solve`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal variable assignment, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Simplex pivots performed (diagnostics; Fig. 13 overhead reporting).
+    pub pivots: usize,
+}
+
+impl LpSolution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vars_and_constraints() {
+        let mut p = LpProblem::new();
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        p.add_upper_bound(y, 4.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 2);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.objective_value(&[1.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = LpProblem::new();
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        assert!(p.is_feasible(&[3.0], 1e-9));
+        assert!(!p.is_feasible(&[6.0], 1e-9));
+        assert!(!p.is_feasible(&[0.5], 1e-9));
+        assert!(!p.is_feasible(&[-1.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_on_unknown_variable_panics() {
+        let mut p = LpProblem::new();
+        let _ = p.add_var("x", 1.0);
+        p.add_constraint(vec![(VarId(3), 1.0)], Relation::Le, 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the LP and knapsack solvers.
+
+use proptest::prelude::*;
+use vetl_lp::{solve, LpError, LpProblem, Relation};
+
+proptest! {
+    /// Randomized planner-shaped LPs (k configs × c categories): the solve
+    /// must succeed, every histogram row must normalize, the budget must
+    /// hold, and the objective must beat the all-cheapest plan.
+    #[test]
+    fn planner_shaped_lps_solve_correctly(
+        n_k in 2usize..6,
+        n_c in 1usize..5,
+        quals in prop::collection::vec(0.0f64..1.0, 30),
+        budget_scale in 0.1f64..1.0,
+    ) {
+        // Costs grow with k; qualities arbitrary in [0,1] but monotone in k
+        // (sorted per category) so "cheapest" is never optimal by accident.
+        let cost = |k: usize| 1.0 + 3.0 * k as f64;
+        let r = vec![1.0 / n_c as f64; n_c];
+        let mut qual = vec![vec![0.0; n_k]; n_c];
+        for c in 0..n_c {
+            let mut col: Vec<f64> =
+                (0..n_k).map(|k| quals[(c * n_k + k) % quals.len()]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            qual[c] = col;
+        }
+        let budget = cost(0) + budget_scale * (cost(n_k - 1) - cost(0));
+
+        let mut lp = LpProblem::new();
+        let mut vars = vec![vec![]; n_c];
+        for (c, row) in vars.iter_mut().enumerate() {
+            for k in 0..n_k {
+                row.push(lp.add_var(format!("a{k}_{c}"), r[c] * qual[c][k]));
+            }
+        }
+        let mut budget_terms = Vec::new();
+        for c in 0..n_c {
+            for k in 0..n_k {
+                budget_terms.push((vars[c][k], r[c] * cost(k)));
+            }
+        }
+        lp.add_constraint(budget_terms, Relation::Le, budget);
+        for row in &vars {
+            let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(terms, Relation::Eq, 1.0);
+        }
+
+        let s = solve(&lp).expect("feasible planner LP");
+        prop_assert!(lp.is_feasible(&s.values, 1e-6));
+        // Objective ≥ the all-cheapest feasible plan's objective.
+        let cheapest_obj: f64 = (0..n_c).map(|c| r[c] * qual[c][0]).sum();
+        prop_assert!(s.objective >= cheapest_obj - 1e-6);
+        // Rows normalize.
+        for row in &vars {
+            let total: f64 = row.iter().map(|&v| s.value(v)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Contradictory bounds must be reported infeasible, never mis-solved.
+    #[test]
+    fn contradictions_are_infeasible(lo in 1.0f64..50.0, gap in 0.1f64..10.0) {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, lo + gap);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, lo);
+        prop_assert_eq!(solve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    /// Scaling the objective scales the optimum but not the argmax.
+    #[test]
+    fn objective_scaling_invariance(c in 0.1f64..10.0, b in 1.0f64..20.0, scale in 0.5f64..4.0) {
+        let build = |coef: f64| {
+            let mut lp = LpProblem::new();
+            let x = lp.add_var("x", coef);
+            lp.add_constraint(vec![(x, 1.0)], Relation::Le, b);
+            (lp, x)
+        };
+        let (lp1, x1) = build(c);
+        let (lp2, x2) = build(c * scale);
+        let s1 = solve(&lp1).unwrap();
+        let s2 = solve(&lp2).unwrap();
+        prop_assert!((s1.value(x1) - s2.value(x2)).abs() < 1e-9);
+        prop_assert!((s2.objective - s1.objective * scale).abs() < 1e-6 * s2.objective.abs().max(1.0));
+    }
+}

@@ -1,0 +1,278 @@
+//! Diagonal-covariance Gaussian mixture model fitted with EM.
+//!
+//! Appendix B.2 of the paper compares the KMeans content categorization
+//! against a Gaussian mixture model and finds no end-to-end difference
+//! (Fig. 17). This module provides that ablation. Components use diagonal
+//! covariances, which is sufficient for the low-dimensional quality vectors
+//! Skyscraper clusters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// Configuration for [`GaussianMixture::fit`].
+#[derive(Debug, Clone)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the per-point average log-likelihood.
+    pub tol: f64,
+    /// Variance floor guarding against singular components.
+    pub var_floor: f64,
+    /// RNG seed (KMeans initialization).
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        Self { k: 4, max_iter: 200, tol: 1e-7, var_floor: 1e-6, seed: 7 }
+    }
+}
+
+/// A fitted mixture of diagonal Gaussians.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    variances: Vec<Vec<f64>>,
+    log_likelihood: f64,
+    iterations: usize,
+}
+
+impl GaussianMixture {
+    /// Fit the mixture with EM, initialized from a KMeans solution (the
+    /// standard warm start; also what scikit-learn does by default).
+    pub fn fit(points: &[Vec<f64>], config: &GmmConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(!points.is_empty(), "cannot fit a GMM on an empty point set");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+        let _rng = StdRng::seed_from_u64(config.seed);
+
+        let km = KMeans::fit(
+            points,
+            &KMeansConfig { k: config.k, seed: config.seed, ..Default::default() },
+        );
+        let k = km.k();
+        let mut means: Vec<Vec<f64>> = km.centers().to_vec();
+        let mut weights = vec![1.0 / k as f64; k];
+        let global_var = global_variance(points, config.var_floor);
+        let mut variances = vec![global_var.clone(); k];
+
+        let n = points.len();
+        let mut resp = vec![vec![0.0f64; k]; n];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut ll = prev_ll;
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iter {
+            iterations = iter + 1;
+            // E-step: responsibilities via log-sum-exp.
+            ll = 0.0;
+            for (p, r) in points.iter().zip(resp.iter_mut()) {
+                let mut logp = vec![0.0; k];
+                for c in 0..k {
+                    logp[c] = weights[c].ln()
+                        + diag_log_pdf(p, &means[c], &variances[c]);
+                }
+                let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum: f64 = logp.iter().map(|l| (l - m).exp()).sum();
+                let lse = m + sum.ln();
+                ll += lse;
+                for c in 0..k {
+                    r[c] = (logp[c] - lse).exp();
+                }
+            }
+            ll /= n as f64;
+
+            // M-step.
+            for c in 0..k {
+                let nc: f64 = resp.iter().map(|r| r[c]).sum();
+                let nc_safe = nc.max(1e-12);
+                weights[c] = nc / n as f64;
+                let mean = &mut means[c];
+                mean.iter_mut().for_each(|v| *v = 0.0);
+                for (p, r) in points.iter().zip(resp.iter()) {
+                    for (m, &x) in mean.iter_mut().zip(p.iter()) {
+                        *m += r[c] * x;
+                    }
+                }
+                mean.iter_mut().for_each(|v| *v /= nc_safe);
+                let var = &mut variances[c];
+                var.iter_mut().for_each(|v| *v = 0.0);
+                for (p, r) in points.iter().zip(resp.iter()) {
+                    for ((v, &x), &m) in var.iter_mut().zip(p.iter()).zip(mean.iter()) {
+                        *v += r[c] * (x - m) * (x - m);
+                    }
+                }
+                for v in var.iter_mut() {
+                    *v = (*v / nc_safe).max(config.var_floor);
+                }
+            }
+
+            if (ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Self { weights, means, variances, log_likelihood: ll, iterations }
+    }
+
+    /// Mixture weights (sum to one).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means — the GMM analogue of KMeans cluster centers,
+    /// consumed by the content categorization ablation.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Diagonal variances per component.
+    pub fn variances(&self) -> &[Vec<f64>] {
+        &self.variances
+    }
+
+    /// Final per-point average log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// EM iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Most-probable component for a point (MAP assignment).
+    pub fn predict(&self, point: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_lp = f64::NEG_INFINITY;
+        for c in 0..self.k() {
+            let lp = self.weights[c].ln() + diag_log_pdf(point, &self.means[c], &self.variances[c]);
+            if lp > best_lp {
+                best_lp = lp;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Posterior responsibilities `p(c | point)`.
+    pub fn predict_proba(&self, point: &[f64]) -> Vec<f64> {
+        let k = self.k();
+        let mut logp = vec![0.0; k];
+        for c in 0..k {
+            logp[c] = self.weights[c].ln() + diag_log_pdf(point, &self.means[c], &self.variances[c]);
+        }
+        let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = logp.iter().map(|l| (l - m).exp()).sum();
+        let lse = m + sum.ln();
+        logp.iter().map(|l| (l - lse).exp()).collect()
+    }
+}
+
+fn global_variance(points: &[Vec<f64>], floor: f64) -> Vec<f64> {
+    let dim = points[0].len();
+    let n = points.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for p in points {
+        for (m, &x) in mean.iter_mut().zip(p.iter()) {
+            *m += x;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= n);
+    let mut var = vec![0.0; dim];
+    for p in points {
+        for ((v, &x), &m) in var.iter_mut().zip(p.iter()).zip(mean.iter()) {
+            *v += (x - m) * (x - m);
+        }
+    }
+    var.iter_mut().for_each(|v| *v = (*v / n).max(floor));
+    var
+}
+
+/// Log density of a diagonal Gaussian.
+fn diag_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    const LOG_2PI: f64 = 1.8378770664093453;
+    let mut acc = 0.0;
+    for ((&xi, &mi), &vi) in x.iter().zip(mean.iter()).zip(var.iter()) {
+        let d = xi - mi;
+        acc += -0.5 * (LOG_2PI + vi.ln() + d * d / vi);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pts = Vec::new();
+        for &(cx, s) in &[(0.0, 0.3), (8.0, 0.6)] {
+            for _ in 0..80 {
+                pts.push(vec![cx + s * (rng.gen::<f64>() - 0.5), s * (rng.gen::<f64>() - 0.5)]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = two_blobs();
+        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        let a = gmm.predict(&pts[0]);
+        let b = gmm.predict(&pts[100]);
+        assert_ne!(a, b);
+        assert!(pts[..80].iter().all(|p| gmm.predict(p) == a));
+        assert!(pts[80..].iter().all(|p| gmm.predict(p) == b));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let pts = two_blobs();
+        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 3, ..Default::default() });
+        let s: f64 = gmm.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posterior_is_a_distribution() {
+        let pts = two_blobs();
+        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        let p = gmm.predict_proba(&[4.0, 0.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn log_likelihood_improves_over_iterations() {
+        // EM guarantees monotone likelihood; check the final value beats a
+        // one-iteration fit.
+        let pts = two_blobs();
+        let short = GaussianMixture::fit(&pts, &GmmConfig { k: 2, max_iter: 1, ..Default::default() });
+        let long = GaussianMixture::fit(&pts, &GmmConfig { k: 2, max_iter: 100, ..Default::default() });
+        assert!(long.log_likelihood() >= short.log_likelihood() - 1e-9);
+    }
+
+    #[test]
+    fn variance_floor_prevents_singularities() {
+        let pts = vec![vec![1.0, 1.0]; 30]; // zero-variance data
+        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        for var in gmm.variances() {
+            assert!(var.iter().all(|&v| v >= 1e-6));
+        }
+    }
+}

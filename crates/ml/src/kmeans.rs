@@ -1,0 +1,320 @@
+//! KMeans clustering (Lloyd's algorithm with kmeans++ initialization).
+//!
+//! Skyscraper clusters the `|K|`-dimensional *quality vectors* of sampled
+//! video segments into content categories (§3.2). A content category is then
+//! characterized by its cluster center `[q̂(k₁,c), …, q̂(k_|K|,c)]` — the
+//! average quality every knob configuration achieves on content of that
+//! category.
+//!
+//! Two classification modes are provided:
+//!
+//! * [`KMeans::predict`] — ordinary nearest-center assignment over the full
+//!   vector (used offline, where every configuration's quality is known), and
+//! * [`KMeans::predict_single_dim`] — the knob switcher's online
+//!   classification (Eq. 5 of the paper), which only observes the quality of
+//!   the *currently running* configuration and therefore matches against a
+//!   single dimension of each center.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters ("the k in KMeans"; the paper's default is 3–5).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total center movement (L2).
+    pub tol: f64,
+    /// RNG seed for the kmeans++ initialization.
+    pub seed: u64,
+    /// Number of random restarts; the fit with the lowest inertia wins.
+    pub n_init: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 4, max_iter: 100, tol: 1e-9, seed: 7, n_init: 4 }
+    }
+}
+
+/// A fitted KMeans model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centers: Vec<Vec<f64>>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fit `config.k` clusters on `points` (each point a feature vector of
+    /// equal dimensionality).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty, dimensions are inconsistent, or
+    /// `config.k == 0`.
+    pub fn fit(points: &[Vec<f64>], config: &KMeansConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(!points.is_empty(), "cannot cluster an empty point set");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+
+        let mut best: Option<KMeans> = None;
+        for restart in 0..config.n_init.max(1) {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64 * 0x9e37));
+            let fitted = Self::fit_once(points, config, &mut rng);
+            let better = best.as_ref().is_none_or(|b| fitted.inertia < b.inertia);
+            if better {
+                best = Some(fitted);
+            }
+        }
+        best.expect("at least one restart ran")
+    }
+
+    fn fit_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut StdRng) -> Self {
+        let k = config.k.min(points.len());
+        let mut centers = kmeans_plus_plus_init(points, k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iter {
+            iterations = iter + 1;
+            // Assignment step.
+            for (a, p) in assignments.iter_mut().zip(points.iter()) {
+                *a = nearest_center(p, &centers).0;
+            }
+            // Update step.
+            let mut new_centers = vec![vec![0.0; points[0].len()]; k];
+            let mut counts = vec![0usize; k];
+            for (&a, p) in assignments.iter().zip(points.iter()) {
+                counts[a] += 1;
+                for (acc, &v) in new_centers[a].iter_mut().zip(p.iter()) {
+                    *acc += v;
+                }
+            }
+            for (c, (center, count)) in new_centers.iter_mut().zip(counts.iter()).enumerate() {
+                if *count == 0 {
+                    // Re-seed an empty cluster at a random point; keeps k stable.
+                    let p = &points[rng.gen_range(0..points.len())];
+                    center.copy_from_slice(p);
+                    let _ = c;
+                } else {
+                    center.iter_mut().for_each(|v| *v /= *count as f64);
+                }
+            }
+            let movement: f64 = centers
+                .iter()
+                .zip(new_centers.iter())
+                .map(|(a, b)| squared_distance(a, b))
+                .sum::<f64>()
+                .sqrt();
+            centers = new_centers;
+            if movement < config.tol {
+                break;
+            }
+        }
+
+        let inertia =
+            points.iter().map(|p| nearest_center(p, &centers).1).sum::<f64>();
+        Self { centers, inertia, iterations }
+    }
+
+    /// Cluster centers, one `dim`-vector per cluster.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Sum of squared distances of every training point to its center.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations that were run.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Nearest-center index for a full feature vector.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest_center(point, &self.centers).0
+    }
+
+    /// Eq. 5 of the paper: classify using only dimension `dim` of the
+    /// centers, i.e. pick `argmin_c |center_c[dim] - value|`.
+    ///
+    /// This is how the knob switcher determines the current content category
+    /// from the reported quality of the single configuration that is
+    /// currently running.
+    pub fn predict_single_dim(&self, dim: usize, value: f64) -> usize {
+        let mut best = 0;
+        let mut best_err = f64::INFINITY;
+        for (c, center) in self.centers.iter().enumerate() {
+            let err = (center[dim] - value).abs();
+            if err < best_err {
+                best_err = err;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// How well dimension `dim` alone discriminates between the clusters:
+    /// the minimum pairwise center gap along that dimension. The offline
+    /// phase uses this to pick a *discriminating* cheap configuration for
+    /// labelling unlabeled data (Appendix H, footnote 7).
+    pub fn dim_discrimination(&self, dim: usize) -> f64 {
+        let mut min_gap = f64::INFINITY;
+        for i in 0..self.centers.len() {
+            for j in (i + 1)..self.centers.len() {
+                let gap = (self.centers[i][dim] - self.centers[j][dim]).abs();
+                min_gap = min_gap.min(gap);
+            }
+        }
+        if min_gap.is_infinite() {
+            0.0
+        } else {
+            min_gap
+        }
+    }
+}
+
+/// kmeans++ seeding: first center uniform, subsequent centers sampled with
+/// probability proportional to squared distance from the nearest chosen one.
+fn kmeans_plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| squared_distance(p, &centers[0]))
+        .collect();
+
+    while centers.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with existing centers; pick uniformly.
+            points[rng.gen_range(0..points.len())].clone()
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            points[chosen].clone()
+        };
+        for (d, p) in dists.iter_mut().zip(points.iter()) {
+            *d = d.min(squared_distance(p, &next));
+        }
+        centers.push(next);
+    }
+    centers
+}
+
+fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d = squared_distance(point, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
+            for _ in 0..50 {
+                pts.push(vec![cx + rng.gen::<f64>() - 0.5, cy + rng.gen::<f64>() - 0.5]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = three_blobs();
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        // Every blob should map to a single distinct cluster.
+        let labels: Vec<usize> = pts.iter().map(|p| km.predict(p)).collect();
+        for blob in 0..3 {
+            let first = labels[blob * 50];
+            assert!(labels[blob * 50..(blob + 1) * 50].iter().all(|&l| l == first));
+        }
+        let mut distinct: Vec<usize> = vec![labels[0], labels[50], labels[100]];
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = three_blobs();
+        let i1 = KMeans::fit(&pts, &KMeansConfig { k: 1, ..Default::default() }).inertia();
+        let i2 = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() }).inertia();
+        let i3 = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() }).inertia();
+        assert!(i1 > i2, "k=1 inertia {i1} should exceed k=2 inertia {i2}");
+        assert!(i2 > i3, "k=2 inertia {i2} should exceed k=3 inertia {i3}");
+    }
+
+    #[test]
+    fn single_dim_classification_matches_full_when_dim_discriminates() {
+        // Centers differ strongly along dimension 0.
+        let pts = three_blobs();
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        for p in &pts {
+            let full = km.predict(p);
+            // dim 0 separates (0, 10, -10) blobs.
+            let single = km.predict_single_dim(0, p[0]);
+            assert_eq!(full, single);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 10, ..Default::default() });
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn identical_points_yield_zero_inertia() {
+        let pts = vec![vec![2.0, 2.0]; 20];
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        assert!(km.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn dim_discrimination_identifies_informative_dimension() {
+        // Dimension 0 separates the clusters, dimension 1 does not.
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            let x = if i < 20 { 0.0 } else { 5.0 };
+            pts.push(vec![x, 1.0]);
+        }
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() });
+        assert!(km.dim_discrimination(0) > 4.0);
+        assert!(km.dim_discrimination(1) < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Loss functions for training the forecasting network.
+//!
+//! The forecaster outputs a *distribution* over content categories (softmax
+//! head) and is trained against the observed frequency histogram of the
+//! following planned interval — i.e. soft labels. Cross-entropy with soft
+//! targets is the natural loss; MSE is kept for diagnostics and ablations.
+
+/// Supported training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error `Σ (p_i - t_i)² / n`.
+    Mse,
+    /// Cross-entropy with soft targets `-Σ t_i · ln(p_i)`.
+    CrossEntropy,
+}
+
+impl Loss {
+    /// Loss value for a single (prediction, target) pair.
+    pub fn value(&self, prediction: &[f64], target: &[f64]) -> f64 {
+        assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+        match self {
+            Loss::Mse => {
+                let n = prediction.len() as f64;
+                prediction
+                    .iter()
+                    .zip(target.iter())
+                    .map(|(p, t)| (p - t) * (p - t))
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::CrossEntropy => prediction
+                .iter()
+                .zip(target.iter())
+                .map(|(p, t)| -t * p.max(1e-12).ln())
+                .sum(),
+        }
+    }
+
+    /// Gradient of the loss with respect to the prediction (post-activation
+    /// outputs). The network's activation backward pass then maps this to the
+    /// pre-activation gradient; composed with a softmax head, cross-entropy
+    /// yields the familiar `p - t` pre-activation gradient.
+    pub fn grad_into(&self, prediction: &[f64], target: &[f64], out: &mut [f64]) {
+        assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+        assert_eq!(prediction.len(), out.len(), "gradient buffer length mismatch");
+        match self {
+            Loss::Mse => {
+                let n = prediction.len() as f64;
+                for ((o, &p), &t) in out.iter_mut().zip(prediction.iter()).zip(target.iter()) {
+                    *o = 2.0 * (p - t) / n;
+                }
+            }
+            Loss::CrossEntropy => {
+                for ((o, &p), &t) in out.iter_mut().zip(prediction.iter()).zip(target.iter()) {
+                    *o = -t / p.max(1e-12);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_vectors_is_zero() {
+        let v = [0.2, 0.8];
+        assert_eq!(Loss::Mse.value(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let p = [1.0, 0.0];
+        let t = [0.0, 0.0];
+        assert!((Loss::Mse.value(&p, &t) - 0.5).abs() < 1e-12);
+        let mut g = [0.0; 2];
+        Loss::Mse.grad_into(&p, &t, &mut g);
+        assert_eq!(g, [1.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_is_minimized_at_target() {
+        let t = [0.3, 0.7];
+        let at_target = Loss::CrossEntropy.value(&t, &t);
+        let off = Loss::CrossEntropy.value(&[0.5, 0.5], &t);
+        assert!(at_target < off);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let p = [0.4, 0.6];
+        let t = [0.25, 0.75];
+        let mut g = [0.0; 2];
+        Loss::CrossEntropy.grad_into(&p, &t, &mut g);
+        let eps = 1e-7;
+        for i in 0..2 {
+            let mut p2 = p;
+            p2[i] += eps;
+            let fd = (Loss::CrossEntropy.value(&p2, &t) - Loss::CrossEntropy.value(&p, &t)) / eps;
+            assert!((g[i] - fd).abs() < 1e-4, "dim {i}: analytic {} vs fd {}", g[i], fd);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_clamps_zero_probabilities() {
+        let v = Loss::CrossEntropy.value(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,224 @@
+//! A minimal dense row-major matrix used by the neural network and the GMM.
+//!
+//! Only the operations the rest of the crate needs are implemented. The
+//! matrices involved are tiny (at most a few thousand elements), so the
+//! implementation favours obviousness over cache blocking or SIMD.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Create a matrix by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow a row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow a row as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix-vector product writing into a caller-provided buffer
+    /// (allocation-free hot path for NN inference).
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        assert_eq!(out.len(), self.rows, "output dimension mismatch in matvec");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x` (used by backprop).
+    pub fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_transposed");
+        assert_eq!(out.len(), self.cols, "output dimension mismatch");
+        out.iter_mut().for_each(|o| *o = 0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &w) in out.iter_mut().zip(row.iter()) {
+                *o += w * xr;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += scale * a * bᵀ` (used to accumulate weight
+    /// gradients: `a` is the upstream error, `b` the layer input).
+    pub fn add_outer(&mut self, a: &[f64], b: &[f64], scale: f64) {
+        assert_eq!(a.len(), self.rows, "outer-product row mismatch");
+        assert_eq!(b.len(), self.cols, "outer-product col mismatch");
+        for (r, &ar) in a.iter().enumerate() {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, &bc) in row.iter_mut().zip(b.iter()) {
+                *w += scale * ar * bc;
+            }
+        }
+    }
+
+    /// Set every element to zero (gradient reset between mini-batches).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Frobenius norm, used in tests and gradient-clipping diagnostics.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(0, 2)], 2.0);
+        assert_eq!(m[(1, 0)], 10.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![1.0 - 3.0, 4.0 - 6.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_hand_computation() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        m.matvec_transposed_into(&[1.0, 2.0], &mut out);
+        // column dot products: [1+8, 2+10, 3+12]
+        assert_eq!(out, vec![9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0], 1.0);
+        assert_eq!(m[(0, 0)], 3.0);
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(1, 0)], 6.0);
+        assert_eq!(m[(1, 1)], 8.0);
+        m.add_outer(&[1.0, 1.0], &[1.0, 1.0], -1.0);
+        assert_eq!(m[(1, 1)], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dimensions() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let m = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

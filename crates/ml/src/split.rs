@@ -1,0 +1,55 @@
+//! Deterministic train/validation splitting helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Split `n` sample indices into `(train, val)` with `val_fraction` of the
+/// samples held out, shuffled deterministically by `seed`.
+///
+/// At least one sample always remains in the training set.
+pub fn train_val_split(n: usize, val_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n > 0, "cannot split an empty dataset");
+    assert!((0.0..1.0).contains(&val_fraction), "val_fraction must be in [0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..idx.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let n_val = ((n as f64) * val_fraction).round() as usize;
+    let n_val = n_val.min(n - 1);
+    let val = idx[..n_val].to_vec();
+    let train = idx[n_val..].to_vec();
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let (train, val) = train_val_split(100, 0.2, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(val.iter()).cloned().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_val_split(50, 0.3, 7);
+        let b = train_val_split(50, 0.3, 7);
+        assert_eq!(a, b);
+        let c = train_val_split(50, 0.3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn training_set_never_empty() {
+        let (train, val) = train_val_split(1, 0.9, 1);
+        assert_eq!(train.len(), 1);
+        assert!(val.is_empty());
+    }
+}

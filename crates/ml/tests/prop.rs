@@ -1,0 +1,72 @@
+//! Property tests for the ML substrate.
+
+use proptest::prelude::*;
+use vetl_ml::nn::FitConfig;
+use vetl_ml::{Adam, KMeans, KMeansConfig, Loss, Mlp};
+
+proptest! {
+    /// Every point is assigned to its nearest center (KMeans consistency).
+    #[test]
+    fn kmeans_assignments_are_nearest_center(
+        pts in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 10..40),
+    ) {
+        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        for p in &pts {
+            let assigned = km.predict(p);
+            let d = |c: &[f64]| -> f64 {
+                c.iter().zip(p.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let assigned_d = d(&km.centers()[assigned]);
+            for center in km.centers() {
+                prop_assert!(assigned_d <= d(center) + 1e-9);
+            }
+        }
+    }
+
+    /// Softmax outputs are always valid distributions for arbitrary inputs
+    /// and weights.
+    #[test]
+    fn mlp_softmax_is_always_a_distribution(
+        input in prop::collection::vec(-10.0f64..10.0, 6),
+        seed in 0u64..1000,
+    ) {
+        let net = Mlp::forecaster(6, 4, seed);
+        let y = net.forward(&input);
+        prop_assert_eq!(y.len(), 4);
+        prop_assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Training never produces NaN parameters (numerical robustness).
+    #[test]
+    fn training_stays_finite(
+        seed in 0u64..100,
+        lr in 0.001f64..0.1,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..32).map(|i| vec![(i % 4) as f64 / 3.0]).collect();
+        let targets: Vec<Vec<f64>> = (0..32)
+            .map(|i| if i % 4 < 2 { vec![1.0, 0.0] } else { vec![0.0, 1.0] })
+            .collect();
+        let mut net = Mlp::forecaster(1, 2, seed);
+        let mut opt = Adam::new(lr);
+        net.fit(
+            &inputs,
+            &targets,
+            &mut opt,
+            &FitConfig { epochs: 10, batch_size: 8, loss: Loss::CrossEntropy, ..Default::default() },
+        );
+        let y = net.forward(&[0.5]);
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    /// Cross-entropy against a one-hot target is minimized by predicting
+    /// that class with high probability.
+    #[test]
+    fn cross_entropy_orders_predictions(p_hit in 0.5f64..0.99) {
+        let target = [1.0, 0.0];
+        let good = [p_hit, 1.0 - p_hit];
+        let bad = [1.0 - p_hit, p_hit];
+        prop_assert!(Loss::CrossEntropy.value(&good, &target)
+            < Loss::CrossEntropy.value(&bad, &target));
+    }
+}

@@ -1,0 +1,255 @@
+//! The video buffer and processing backlog.
+//!
+//! Eq. 1 of the paper is Skyscraper's throughput guarantee: the bytes of
+//! produced-but-unprocessed frames may never exceed the buffer size `B`.
+//! [`VideoBuffer`] enforces that invariant; [`Backlog`] tracks the FIFO of
+//! set-aside segments together with the compute work still owed to them, so
+//! the ingestion loop can convert spare core-seconds into freed buffer
+//! bytes.
+
+/// Error returned when a push would exceed the buffer capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferOverflow {
+    /// Bytes that were attempted.
+    pub attempted: f64,
+    /// Bytes currently used.
+    pub used: f64,
+    /// Capacity in bytes.
+    pub capacity: f64,
+}
+
+impl std::fmt::Display for BufferOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "buffer overflow: push of {:.0} B onto {:.0}/{:.0} B",
+            self.attempted, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for BufferOverflow {}
+
+/// A fixed-capacity byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoBuffer {
+    capacity: f64,
+    used: f64,
+}
+
+impl VideoBuffer {
+    /// Create an empty buffer of `capacity` bytes.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity >= 0.0, "capacity must be non-negative");
+        Self { capacity, used: 0.0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Remaining headroom in bytes.
+    pub fn headroom(&self) -> f64 {
+        (self.capacity - self.used).max(0.0)
+    }
+
+    /// Fill level in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0.0 {
+            if self.used > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (self.used / self.capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Add bytes, failing if capacity would be exceeded.
+    pub fn push(&mut self, bytes: f64) -> Result<(), BufferOverflow> {
+        assert!(bytes >= 0.0, "cannot push negative bytes");
+        if self.used + bytes > self.capacity + 1e-6 {
+            return Err(BufferOverflow { attempted: bytes, used: self.used, capacity: self.capacity });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Would `bytes` fit right now?
+    pub fn fits(&self, bytes: f64) -> bool {
+        self.used + bytes <= self.capacity + 1e-6
+    }
+
+    /// Remove bytes (clamped at zero).
+    pub fn drain(&mut self, bytes: f64) {
+        assert!(bytes >= 0.0, "cannot drain negative bytes");
+        self.used = (self.used - bytes).max(0.0);
+    }
+}
+
+/// One set-aside chunk of video: its buffered bytes and the on-premise
+/// core-seconds of work still owed before the bytes can be released.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BacklogEntry {
+    bytes: f64,
+    work_remaining: f64,
+}
+
+/// FIFO backlog of set-aside video.
+///
+/// `process(core_secs)` retires work head-first and frees bytes
+/// *proportionally* to the work completed within each entry — the fluid
+/// approximation the paper's own simulator uses (Appendix M.1 treats video
+/// as a continuous stream of per-segment work items).
+#[derive(Debug, Clone, Default)]
+pub struct Backlog {
+    entries: std::collections::VecDeque<BacklogEntry>,
+    total_bytes: f64,
+    total_work: f64,
+}
+
+impl Backlog {
+    /// Empty backlog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a chunk with `bytes` buffered and `work` core-seconds owed.
+    pub fn push(&mut self, bytes: f64, work: f64) {
+        assert!(bytes >= 0.0 && work >= 0.0, "bytes/work must be non-negative");
+        self.entries.push_back(BacklogEntry { bytes, work_remaining: work });
+        self.total_bytes += bytes;
+        self.total_work += work;
+    }
+
+    /// Spend up to `core_secs` of compute, returning the bytes freed.
+    pub fn process(&mut self, mut core_secs: f64) -> f64 {
+        assert!(core_secs >= 0.0, "cannot process negative work");
+        let mut freed = 0.0;
+        while core_secs > 0.0 {
+            let Some(head) = self.entries.front_mut() else { break };
+            if head.work_remaining <= core_secs {
+                core_secs -= head.work_remaining;
+                self.total_work -= head.work_remaining;
+                freed += head.bytes;
+                self.total_bytes -= head.bytes;
+                self.entries.pop_front();
+            } else {
+                let fraction = core_secs / head.work_remaining;
+                let released = head.bytes * fraction;
+                head.bytes -= released;
+                head.work_remaining -= core_secs;
+                self.total_work -= core_secs;
+                self.total_bytes -= released;
+                freed += released;
+                core_secs = 0.0;
+            }
+        }
+        // Guard against negative drift from float arithmetic.
+        if self.entries.is_empty() {
+            self.total_bytes = 0.0;
+            self.total_work = 0.0;
+        }
+        freed
+    }
+
+    /// Outstanding buffered bytes.
+    pub fn bytes(&self) -> f64 {
+        self.total_bytes.max(0.0)
+    }
+
+    /// Outstanding core-seconds of work.
+    pub fn work(&self) -> f64 {
+        self.total_work.max(0.0)
+    }
+
+    /// Number of queued chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_push_and_drain() {
+        let mut b = VideoBuffer::new(100.0);
+        b.push(60.0).unwrap();
+        assert_eq!(b.used(), 60.0);
+        assert_eq!(b.headroom(), 40.0);
+        b.drain(80.0);
+        assert_eq!(b.used(), 0.0);
+    }
+
+    #[test]
+    fn buffer_rejects_overflow() {
+        let mut b = VideoBuffer::new(100.0);
+        b.push(90.0).unwrap();
+        let err = b.push(20.0).unwrap_err();
+        assert_eq!(err.capacity, 100.0);
+        assert_eq!(b.used(), 90.0, "failed push must not change state");
+        assert!(!b.fits(20.0));
+        assert!(b.fits(10.0));
+    }
+
+    #[test]
+    fn fill_fraction_bounds() {
+        let mut b = VideoBuffer::new(10.0);
+        assert_eq!(b.fill_fraction(), 0.0);
+        b.push(5.0).unwrap();
+        assert!((b.fill_fraction() - 0.5).abs() < 1e-12);
+        let z = VideoBuffer::new(0.0);
+        assert_eq!(z.fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn backlog_fifo_processing() {
+        let mut q = Backlog::new();
+        q.push(100.0, 10.0);
+        q.push(200.0, 5.0);
+        assert_eq!(q.bytes(), 300.0);
+        assert_eq!(q.work(), 15.0);
+        // Complete the first entry exactly.
+        let freed = q.process(10.0);
+        assert!((freed - 100.0).abs() < 1e-9);
+        assert_eq!(q.len(), 1);
+        // Half of the second entry.
+        let freed = q.process(2.5);
+        assert!((freed - 100.0).abs() < 1e-9);
+        assert!((q.bytes() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_processing_more_than_work_empties_it() {
+        let mut q = Backlog::new();
+        q.push(50.0, 1.0);
+        let freed = q.process(100.0);
+        assert!((freed - 50.0).abs() < 1e-9);
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0.0);
+        assert_eq!(q.work(), 0.0);
+    }
+
+    #[test]
+    fn backlog_partial_processing_frees_proportionally() {
+        let mut q = Backlog::new();
+        q.push(100.0, 4.0);
+        let freed = q.process(1.0);
+        assert!((freed - 25.0).abs() < 1e-9);
+        assert!((q.work() - 3.0).abs() < 1e-9);
+    }
+}

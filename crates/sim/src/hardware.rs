@@ -1,0 +1,120 @@
+//! Hardware provisioning model.
+//!
+//! Industrial live-video deployments are provisioned with three resource
+//! types (§1, citing VideoEdge): a local compute cluster, a fixed-size video
+//! buffer, and on-demand cloud credits. [`HardwareSpec`] bundles the three.
+//! Cloud constants default to the paper's AWS-Lambda setup (3 GB functions,
+//! §5.1) and Appendix-L pricing.
+
+/// The on-premise cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of (v)CPU cores.
+    pub cores: usize,
+    /// Speed multiplier relative to the reference core that UDF runtimes
+    /// were profiled on (1.0 = reference).
+    pub core_speed: f64,
+}
+
+impl ClusterSpec {
+    /// A cluster of `cores` reference-speed cores.
+    pub fn with_cores(cores: usize) -> Self {
+        Self { cores, core_speed: 1.0 }
+    }
+
+    /// Core-seconds of work the cluster retires per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.cores as f64 * self.core_speed
+    }
+}
+
+/// On-demand cloud (AWS-Lambda-like FaaS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudSpec {
+    /// Network round-trip latency to the cloud, seconds.
+    pub rtt_secs: f64,
+    /// Uplink bandwidth from the cluster to the cloud, bytes/second.
+    pub uplink_bytes_per_sec: f64,
+    /// Downlink bandwidth from the cloud, bytes/second.
+    pub downlink_bytes_per_sec: f64,
+    /// Price per billed second of one cloud function.
+    pub usd_per_compute_sec: f64,
+    /// Flat price per invocation (Lambda request fee).
+    pub usd_per_invocation: f64,
+}
+
+impl Default for CloudSpec {
+    fn default() -> Self {
+        // AWS Lambda 3 GB: $0.0000166667/GB-s ⇒ 3 GB ≈ $0.00005/s, plus the
+        // $0.20 per 1M request fee. Bandwidth reflects the commodity uplink
+        // the paper verified between GCP VMs and Lambda (~50 MB/s up).
+        Self {
+            rtt_secs: 0.06,
+            uplink_bytes_per_sec: 50e6,
+            downlink_bytes_per_sec: 100e6,
+            usd_per_compute_sec: 5.0e-5,
+            usd_per_invocation: 2.0e-7,
+        }
+    }
+}
+
+/// Full provisioning: cluster + buffer + cloud.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareSpec {
+    /// On-premise cluster.
+    pub cluster: ClusterSpec,
+    /// Cloud parameters.
+    pub cloud: CloudSpec,
+    /// Video buffer capacity in bytes (paper's Fig. 3 uses 4 GB).
+    pub buffer_bytes: f64,
+}
+
+impl HardwareSpec {
+    /// A typical provisioning: `cores` reference cores, 4 GB buffer,
+    /// default cloud.
+    pub fn with_cores(cores: usize) -> Self {
+        Self {
+            cluster: ClusterSpec::with_cores(cores),
+            cloud: CloudSpec::default(),
+            buffer_bytes: 4e9,
+        }
+    }
+
+    /// Replace the buffer size.
+    pub fn with_buffer(mut self, bytes: f64) -> Self {
+        self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Replace the cloud spec.
+    pub fn with_cloud(mut self, cloud: CloudSpec) -> Self {
+        self.cloud = cloud;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_throughput() {
+        let c = ClusterSpec { cores: 8, core_speed: 1.5 };
+        assert!((c.throughput() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_cloud_is_lambda_priced() {
+        let c = CloudSpec::default();
+        // 1 hour of one 3 GB function ≈ $0.18.
+        let hourly = c.usd_per_compute_sec * 3600.0;
+        assert!((hourly - 0.18).abs() < 0.01);
+    }
+
+    #[test]
+    fn hardware_builders() {
+        let h = HardwareSpec::with_cores(16).with_buffer(1e9);
+        assert_eq!(h.cluster.cores, 16);
+        assert_eq!(h.buffer_bytes, 1e9);
+    }
+}

@@ -1,0 +1,313 @@
+//! The Appendix-M makespan simulator.
+//!
+//! Faithful implementation of the algorithm in Appendix M.1:
+//!
+//! * tasks are simulated in order of earliest dependency-resolution time;
+//! * an on-premise task occupies the core with the lowest availability time
+//!   (UDFs are assumed single-core, §M.1);
+//! * a cloud task first waits for uplink bandwidth — the simulator "assumes
+//!   that each task will occupy the bandwidth fully for the amount of time
+//!   required to upload/download their payloads" — then pays the round-trip
+//!   latency and its billed compute time, then serializes on the downlink;
+//! * the makespan is the time the last task finishes.
+
+use crate::hardware::{CloudSpec, ClusterSpec};
+use crate::placement::Placement;
+use crate::task::TaskGraph;
+
+/// Outcome of simulating one task-graph execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock time at which the last task finishes (seconds).
+    pub makespan: f64,
+    /// Cloud dollars spent (billed compute + invocation fees).
+    pub cloud_usd: f64,
+    /// Per-task finish times, indexed by node id.
+    pub finish_times: Vec<f64>,
+    /// Core-seconds of on-premise occupancy.
+    pub onprem_busy_secs: f64,
+    /// Billed cloud compute seconds.
+    pub cloud_busy_secs: f64,
+}
+
+/// Simulate one execution of `graph` under `placement` on the given
+/// hardware.
+///
+/// # Panics
+/// Panics if the cluster has zero cores while any task is placed on-premise,
+/// or if a cloud-placed task transfers bytes over a zero-bandwidth link.
+pub fn simulate(
+    graph: &TaskGraph,
+    placement: &Placement,
+    cluster: &ClusterSpec,
+    cloud: &CloudSpec,
+) -> SimResult {
+    assert_eq!(placement.len(), graph.len(), "placement/graph size mismatch");
+    let n = graph.len();
+    let mut finish = vec![f64::NAN; n];
+    let mut scheduled = vec![false; n];
+
+    let mut core_avail = vec![0.0f64; cluster.cores];
+    let mut uplink_free = 0.0f64;
+    let mut downlink_free = 0.0f64;
+    let mut cloud_usd = 0.0f64;
+    let mut onprem_busy = 0.0f64;
+    let mut cloud_busy = 0.0f64;
+
+    for _ in 0..n {
+        // Pick the unscheduled, dependency-resolved task with the earliest
+        // ready time (Appendix M.1).
+        let mut chosen: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if scheduled[i] {
+                continue;
+            }
+            let id = crate::task::NodeId(i);
+            let mut ready = 0.0f64;
+            let mut ok = true;
+            for p in graph.predecessors(id) {
+                if !scheduled[p.0] {
+                    ok = false;
+                    break;
+                }
+                ready = ready.max(finish[p.0]);
+            }
+            if !ok {
+                continue;
+            }
+            match chosen {
+                None => chosen = Some((i, ready)),
+                Some((_, best)) if ready < best => chosen = Some((i, ready)),
+                _ => {}
+            }
+        }
+        let (i, ready) = chosen.expect("acyclic graph always has a ready task");
+        let id = crate::task::NodeId(i);
+        let node = graph.node(id);
+
+        if placement.is_cloud(id) {
+            // Upload serializes on the uplink.
+            let upload_time = if node.upload_bytes > 0.0 {
+                assert!(cloud.uplink_bytes_per_sec > 0.0, "zero uplink bandwidth");
+                node.upload_bytes / cloud.uplink_bytes_per_sec
+            } else {
+                0.0
+            };
+            let upload_start = ready.max(uplink_free);
+            let upload_end = upload_start + upload_time;
+            uplink_free = upload_end;
+
+            let compute_done = upload_end + cloud.rtt_secs + node.cloud_compute_secs;
+
+            let download_time = if node.download_bytes > 0.0 {
+                assert!(cloud.downlink_bytes_per_sec > 0.0, "zero downlink bandwidth");
+                node.download_bytes / cloud.downlink_bytes_per_sec
+            } else {
+                0.0
+            };
+            let download_start = compute_done.max(downlink_free);
+            let download_end = download_start + download_time;
+            downlink_free = downlink_free.max(download_end);
+
+            finish[i] = download_end;
+            cloud_usd +=
+                node.cloud_compute_secs * cloud.usd_per_compute_sec + cloud.usd_per_invocation;
+            cloud_busy += node.cloud_compute_secs;
+        } else {
+            assert!(cluster.cores > 0, "on-premise task but cluster has no cores");
+            // Cheapest-available core.
+            let (c, &avail) = core_avail
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("at least one core");
+            let start = ready.max(avail);
+            let runtime = node.onprem_secs / cluster.core_speed;
+            finish[i] = start + runtime;
+            core_avail[c] = finish[i];
+            onprem_busy += runtime;
+        }
+        scheduled[i] = true;
+    }
+
+    let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
+    SimResult {
+        makespan,
+        cloud_usd,
+        finish_times: finish,
+        onprem_busy_secs: onprem_busy,
+        cloud_busy_secs: cloud_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskGraph, TaskNode};
+
+    fn indep(n: usize, secs: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_node(TaskNode::new(format!("t{i}"), secs, secs / 2.0));
+        }
+        g
+    }
+
+    #[test]
+    fn independent_tasks_pack_onto_cores() {
+        // 4 tasks of 1 s on 2 cores → makespan 2 s.
+        let g = indep(4, 1.0);
+        let r = simulate(
+            &g,
+            &Placement::all_onprem(4),
+            &ClusterSpec::with_cores(2),
+            &CloudSpec::default(),
+        );
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!((r.onprem_busy_secs - 4.0).abs() < 1e-9);
+        assert_eq!(r.cloud_usd, 0.0);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let mut g = TaskGraph::new();
+        let a = g.add_node(TaskNode::new("a", 1.0, 0.5));
+        let b = g.add_node(TaskNode::new("b", 2.0, 1.0));
+        g.add_edge(a, b);
+        let r = simulate(
+            &g,
+            &Placement::all_onprem(2),
+            &ClusterSpec::with_cores(8),
+            &CloudSpec::default(),
+        );
+        assert!((r.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_cores_shrink_makespan() {
+        let g = indep(2, 1.0);
+        let slow = simulate(
+            &g,
+            &Placement::all_onprem(2),
+            &ClusterSpec { cores: 1, core_speed: 1.0 },
+            &CloudSpec::default(),
+        );
+        let fast = simulate(
+            &g,
+            &Placement::all_onprem(2),
+            &ClusterSpec { cores: 1, core_speed: 2.0 },
+            &CloudSpec::default(),
+        );
+        assert!((slow.makespan - 2.0).abs() < 1e-9);
+        assert!((fast.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cloud_pays_rtt_and_bandwidth() {
+        let mut g = TaskGraph::new();
+        g.add_node(TaskNode::new("up", 10.0, 1.0).with_payload(50e6, 0.0));
+        let cloud = CloudSpec {
+            rtt_secs: 0.1,
+            uplink_bytes_per_sec: 50e6,
+            downlink_bytes_per_sec: 100e6,
+            usd_per_compute_sec: 1e-4,
+            usd_per_invocation: 0.0,
+        };
+        let r = simulate(&g, &Placement::all_cloud(1), &ClusterSpec::with_cores(1), &cloud);
+        // 1 s upload + 0.1 s RTT + 1 s compute.
+        assert!((r.makespan - 2.1).abs() < 1e-9);
+        assert!((r.cloud_usd - 1e-4).abs() < 1e-12);
+        assert_eq!(r.onprem_busy_secs, 0.0);
+    }
+
+    #[test]
+    fn uplink_serializes_concurrent_cloud_tasks() {
+        // Two cloud tasks each needing 1 s of upload: the second waits.
+        let mut g = TaskGraph::new();
+        for i in 0..2 {
+            g.add_node(TaskNode::new(format!("c{i}"), 5.0, 0.5).with_payload(50e6, 0.0));
+        }
+        let cloud = CloudSpec { rtt_secs: 0.0, ..CloudSpec::default() };
+        let r = simulate(&g, &Placement::all_cloud(2), &ClusterSpec::with_cores(1), &cloud);
+        // Task A: upload 0–1, compute 1–1.5. Task B: upload 1–2, compute 2–2.5.
+        assert!((r.makespan - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_helps_when_cluster_is_saturated() {
+        // 4 × 1 s tasks on one core: 4 s on-prem; offloading two of them
+        // overlaps cloud latency with local compute.
+        let mut g = TaskGraph::new();
+        for i in 0..4 {
+            g.add_node(TaskNode::new(format!("t{i}"), 1.0, 1.0).with_payload(1e6, 1e5));
+        }
+        let onprem = simulate(
+            &g,
+            &Placement::all_onprem(4),
+            &ClusterSpec::with_cores(1),
+            &CloudSpec::default(),
+        );
+        let hybrid = simulate(
+            &g,
+            &Placement::from_mask(4, 0b1100),
+            &ClusterSpec::with_cores(1),
+            &CloudSpec::default(),
+        );
+        assert!(hybrid.makespan < onprem.makespan);
+        assert!(hybrid.cloud_usd > 0.0);
+    }
+
+    #[test]
+    fn adding_work_never_reduces_makespan() {
+        let mut g = indep(3, 1.0);
+        let r3 = simulate(
+            &g,
+            &Placement::all_onprem(3),
+            &ClusterSpec::with_cores(2),
+            &CloudSpec::default(),
+        );
+        g.add_node(TaskNode::new("extra", 0.5, 0.2));
+        let r4 = simulate(
+            &g,
+            &Placement::all_onprem(4),
+            &ClusterSpec::with_cores(2),
+            &CloudSpec::default(),
+        );
+        assert!(r4.makespan >= r3.makespan - 1e-12);
+    }
+
+    #[test]
+    fn diamond_respects_dependencies() {
+        let mut g = TaskGraph::new();
+        let a = g.add_node(TaskNode::new("a", 1.0, 0.5));
+        let b = g.add_node(TaskNode::new("b", 1.0, 0.5));
+        let c = g.add_node(TaskNode::new("c", 1.0, 0.5));
+        let d = g.add_node(TaskNode::new("d", 1.0, 0.5));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let r = simulate(
+            &g,
+            &Placement::all_onprem(4),
+            &ClusterSpec::with_cores(2),
+            &CloudSpec::default(),
+        );
+        // a: 0–1, b and c in parallel 1–2, d 2–3.
+        assert!((r.makespan - 3.0).abs() < 1e-9);
+        assert!(r.finish_times[3] >= r.finish_times[1].max(r.finish_times[2]));
+    }
+
+    #[test]
+    fn empty_graph_is_instant() {
+        let g = TaskGraph::new();
+        let r = simulate(
+            &g,
+            &Placement::all_onprem(0),
+            &ClusterSpec::with_cores(1),
+            &CloudSpec::default(),
+        );
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.cloud_usd, 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Task graphs: DAGs of user-defined functions.
+//!
+//! Each knob configuration `k` corresponds to a task graph `G_k` whose nodes
+//! are UDF executions (object detector, tracker, classifier, …) and whose
+//! edges are data dependencies (§2, Appendix A.2). Nodes carry the profile
+//! data the Appendix-M simulator needs: on-premise runtime, cloud compute
+//! time, and the payload sizes exchanged when the node runs in the cloud.
+
+/// Index of a node within its [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One UDF execution with its profiled characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskNode {
+    /// Human-readable UDF name ("yolo", "kcf", …).
+    pub name: String,
+    /// Runtime on a single reference on-premise core, seconds (Appendix M:
+    /// UDFs are assumed to occupy one core each).
+    pub onprem_secs: f64,
+    /// Billed compute time of the cloud version, seconds.
+    pub cloud_compute_secs: f64,
+    /// Bytes uploaded when the node is placed on the cloud (JPEG + Base64).
+    pub upload_bytes: f64,
+    /// Bytes downloaded back on completion.
+    pub download_bytes: f64,
+}
+
+impl TaskNode {
+    /// Convenience constructor for a node with symmetric small payloads.
+    pub fn new(name: impl Into<String>, onprem_secs: f64, cloud_compute_secs: f64) -> Self {
+        Self {
+            name: name.into(),
+            onprem_secs,
+            cloud_compute_secs,
+            upload_bytes: 0.0,
+            download_bytes: 0.0,
+        }
+    }
+
+    /// Set the cloud transfer payloads.
+    pub fn with_payload(mut self, upload_bytes: f64, download_bytes: f64) -> Self {
+        self.upload_bytes = upload_bytes;
+        self.download_bytes = download_bytes;
+        self
+    }
+}
+
+/// A directed acyclic graph of [`TaskNode`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    nodes: Vec<TaskNode>,
+    /// Adjacency: `edges[i]` lists successors of node `i`.
+    succ: Vec<Vec<usize>>,
+    /// Reverse adjacency: predecessors of node `i`.
+    pred: Vec<Vec<usize>>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, node: TaskNode) -> NodeId {
+        self.nodes.push(node);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a dependency edge `from → to` (`to` consumes `from`'s output).
+    ///
+    /// # Panics
+    /// Panics if either id is out of range, on self-edges, or if the edge
+    /// would close a cycle.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node id out of range");
+        assert_ne!(from, to, "self-dependencies are not allowed");
+        self.succ[from.0].push(to.0);
+        self.pred[to.0].push(from.0);
+        assert!(
+            self.topo_order().is_some(),
+            "edge {} -> {} would create a cycle",
+            from.0,
+            to.0
+        );
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node data.
+    pub fn node(&self, id: NodeId) -> &TaskNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable node data (used when knobs rescale runtimes).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut TaskNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[TaskNode] {
+        &self.nodes
+    }
+
+    /// Predecessors of a node.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.pred[id.0].iter().map(|&i| NodeId(i))
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.succ[id.0].iter().map(|&i| NodeId(i))
+    }
+
+    /// Kahn topological order; `None` if the graph contains a cycle.
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self.pred.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(NodeId(i));
+            for &s in &self.succ[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Total on-premise work if every node runs on premises (core-seconds).
+    pub fn total_onprem_secs(&self) -> f64 {
+        self.nodes.iter().map(|n| n.onprem_secs).sum()
+    }
+
+    /// Longest on-premise path (critical path) — a lower bound on makespan
+    /// with unlimited cores and no cloud.
+    pub fn critical_path_secs(&self) -> f64 {
+        let order = self.topo_order().expect("graph is a DAG");
+        let mut dist = vec![0.0f64; self.nodes.len()];
+        let mut best: f64 = 0.0;
+        for id in order.iter().rev() {
+            let i = id.0;
+            let succ_max = self.succ[i]
+                .iter()
+                .map(|&s| dist[s])
+                .fold(0.0f64, f64::max);
+            dist[i] = self.nodes[i].onprem_secs + succ_max;
+            best = best.max(dist[i]);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // a → b, a → c, b → d, c → d
+        let mut g = TaskGraph::new();
+        let a = g.add_node(TaskNode::new("a", 1.0, 0.5));
+        let b = g.add_node(TaskNode::new("b", 2.0, 1.0));
+        let c = g.add_node(TaskNode::new("c", 3.0, 1.5));
+        let d = g.add_node(TaskNode::new("d", 1.0, 0.5));
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (rank, id) in order.iter().enumerate() {
+                p[id.0] = rank;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detection() {
+        let mut g = TaskGraph::new();
+        let a = g.add_node(TaskNode::new("a", 1.0, 1.0));
+        let b = g.add_node(TaskNode::new("b", 1.0, 1.0));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-dependencies")]
+    fn self_edge_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_node(TaskNode::new("a", 1.0, 1.0));
+        g.add_edge(a, a);
+    }
+
+    #[test]
+    fn work_and_critical_path() {
+        let g = diamond();
+        assert!((g.total_onprem_secs() - 7.0).abs() < 1e-12);
+        // Critical path a → c → d = 1 + 3 + 1.
+        assert!((g.critical_path_secs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let g = diamond();
+        let d_preds: Vec<usize> = g.predecessors(NodeId(3)).map(|n| n.0).collect();
+        assert_eq!(d_preds, vec![1, 2]);
+        let a_succs: Vec<usize> = g.successors(NodeId(0)).map(|n| n.0).collect();
+        assert_eq!(a_succs, vec![1, 2]);
+    }
+
+    #[test]
+    fn payload_builder() {
+        let n = TaskNode::new("x", 1.0, 0.2).with_payload(1000.0, 200.0);
+        assert_eq!(n.upload_bytes, 1000.0);
+        assert_eq!(n.download_bytes, 200.0);
+    }
+}

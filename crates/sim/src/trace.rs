@@ -1,0 +1,184 @@
+//! Execution traces — the raw data behind Fig. 3.
+//!
+//! The ingestion loop records one [`TracePoint`] per processed segment:
+//! quality, instantaneous workload, buffer fill and cumulative cloud spend.
+//! [`Trace::bucket_average`] reproduces the smoothing the paper applies
+//! ("the data in Figure 3 is smoothed and hides that Skyscraper switched
+//! 4 500 times between knob configurations").
+
+/// One observation of the running system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Stream time, seconds.
+    pub t_secs: f64,
+    /// Result quality of the processed segment, relative to best (0–1).
+    pub quality: f64,
+    /// Work induced by the chosen configuration, core-seconds per second of
+    /// video (multiply by a FLOP rate to get the paper's TFLOP/s axis).
+    pub work_rate: f64,
+    /// Buffer fill, bytes.
+    pub buffer_bytes: f64,
+    /// Cumulative cloud spend, dollars.
+    pub cloud_usd: f64,
+    /// Index of the knob configuration used.
+    pub config: usize,
+    /// Content category the switcher assigned.
+    pub category: usize,
+}
+
+/// A time-ordered sequence of [`TracePoint`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an observation (must be non-decreasing in time).
+    pub fn push(&mut self, p: TracePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(p.t_secs >= last.t_secs, "trace must be time-ordered");
+        }
+        self.points.push(p);
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of knob switches (changes of configuration between
+    /// consecutive segments) — the paper reports 4 500/day for Fig. 3.
+    pub fn switch_count(&self) -> usize {
+        self.points.windows(2).filter(|w| w[0].config != w[1].config).count()
+    }
+
+    /// Average points into `bucket_secs` buckets for plotting; `quality`,
+    /// `work_rate` and `buffer_bytes` are averaged, `cloud_usd` takes the
+    /// bucket's last value.
+    pub fn bucket_average(&self, bucket_secs: f64) -> Vec<TracePoint> {
+        assert!(bucket_secs > 0.0, "bucket size must be positive");
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.points.len() {
+            let start = self.points[i].t_secs;
+            let mut j = i;
+            let (mut q, mut w, mut b) = (0.0, 0.0, 0.0);
+            while j < self.points.len() && self.points[j].t_secs < start + bucket_secs {
+                q += self.points[j].quality;
+                w += self.points[j].work_rate;
+                b += self.points[j].buffer_bytes;
+                j += 1;
+            }
+            let n = (j - i) as f64;
+            out.push(TracePoint {
+                t_secs: start,
+                quality: q / n,
+                work_rate: w / n,
+                buffer_bytes: b / n,
+                cloud_usd: self.points[j - 1].cloud_usd,
+                config: self.points[i].config,
+                category: self.points[i].category,
+            });
+            i = j;
+        }
+        out
+    }
+
+    /// Mean quality over the whole trace.
+    pub fn mean_quality(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.quality).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Total work in core-seconds (`work_rate` integrated over segments of
+    /// `seg_len` seconds).
+    pub fn total_work(&self, seg_len: f64) -> f64 {
+        self.points.iter().map(|p| p.work_rate * seg_len).sum()
+    }
+
+    /// Final cumulative cloud spend.
+    pub fn final_cloud_usd(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.cloud_usd)
+    }
+
+    /// Peak buffer fill in bytes.
+    pub fn peak_buffer(&self) -> f64 {
+        self.points.iter().map(|p| p.buffer_bytes).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(t: f64, config: usize) -> TracePoint {
+        TracePoint {
+            t_secs: t,
+            quality: 0.5,
+            work_rate: 1.0,
+            buffer_bytes: 100.0,
+            cloud_usd: t * 0.01,
+            config,
+            category: 0,
+        }
+    }
+
+    #[test]
+    fn switch_counting() {
+        let mut tr = Trace::new();
+        for (i, c) in [0, 0, 1, 1, 2, 0].iter().enumerate() {
+            tr.push(point(i as f64, *c));
+        }
+        assert_eq!(tr.switch_count(), 3);
+    }
+
+    #[test]
+    fn bucket_average_reduces_points() {
+        let mut tr = Trace::new();
+        for i in 0..100 {
+            tr.push(point(i as f64, 0));
+        }
+        let buckets = tr.bucket_average(10.0);
+        assert_eq!(buckets.len(), 10);
+        assert!((buckets[0].quality - 0.5).abs() < 1e-12);
+        // cloud_usd is last-of-bucket.
+        assert!((buckets[0].cloud_usd - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summaries() {
+        let mut tr = Trace::new();
+        for i in 0..10 {
+            tr.push(point(i as f64, 0));
+        }
+        assert!((tr.mean_quality() - 0.5).abs() < 1e-12);
+        assert!((tr.total_work(2.0) - 20.0).abs() < 1e-12);
+        assert!((tr.final_cloud_usd() - 0.09).abs() < 1e-9);
+        assert_eq!(tr.peak_buffer(), 100.0);
+    }
+
+    #[test]
+    fn empty_trace_summaries() {
+        let tr = Trace::new();
+        assert_eq!(tr.mean_quality(), 0.0);
+        assert_eq!(tr.final_cloud_usd(), 0.0);
+        assert_eq!(tr.switch_count(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # vetl-video — synthetic video substrate
+//!
+//! The Skyscraper paper evaluates on real camera streams (a Shibuya shopping
+//! street and a Tokyo traffic intersection), on the CMU-MOSEI talking-head
+//! corpus, and on Twitch active-stream counts. None of these are available in
+//! the reproduction environment, so this crate provides a *generative content
+//! process* that replaces the pixel data while preserving everything
+//! Skyscraper actually consumes:
+//!
+//! * a latent per-segment **difficulty** (occlusions, lighting, crowding)
+//!   that the synthetic CV models' quality responds to,
+//! * a latent **activity** level that drives the H.264 bitrate and
+//!   per-object processing cost,
+//! * the paper's **temporal statistics**: a diurnal base curve,
+//!   weekday/weekend structure, a multi-day AR(1) "weather" regime (what
+//!   makes 1–4-day forecasts accurate and 8-day forecasts hard, Table 5),
+//!   an Ornstein-Uhlenbeck noise with a tens-of-seconds correlation time
+//!   (content categories change every ~24–43 s, §5.3), and Poisson burst
+//!   events ("a large group of pedestrians randomly walking past").
+//!
+//! The substitution is faithful because Skyscraper is *pixel-agnostic*: every
+//! decision it makes consumes only a user-reported quality scalar and
+//! profiled runtimes (§3.2 — "dealing with low-dimensional quality vectors …
+//! allows Skyscraper to run fast").
+
+pub mod codec;
+pub mod content;
+pub mod dataset;
+pub mod segment;
+pub mod source;
+pub mod time;
+
+pub use codec::{BitrateModel, CodecParams, DecodeCostModel};
+pub use content::{ContentParams, ContentProcess, ContentState, DiurnalProfile};
+pub use dataset::Recording;
+pub use segment::Segment;
+pub use source::{MoseiMode, StreamCountProcess, SyntheticCamera};
+pub use time::{SimTime, SECONDS_PER_DAY, SECONDS_PER_HOUR};

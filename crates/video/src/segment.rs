@@ -1,0 +1,55 @@
+//! Video segments — the unit of knob switching.
+//!
+//! Skyscraper re-assesses its knob configuration every couple of seconds
+//! (§2.2); a [`Segment`] is that couple of seconds of video, annotated with
+//! the latent content state the synthetic CV models respond to and the
+//! encoded byte volume the buffer must hold when the segment is set aside.
+
+use crate::content::ContentState;
+use crate::time::SimTime;
+
+/// One contiguous chunk of video (a few seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Sequence number within the stream (0-based).
+    pub index: u64,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// Latent content state (difficulty, activity).
+    pub content: ContentState,
+    /// Encoded size in bytes (what buffering this segment costs).
+    pub bytes: f64,
+}
+
+impl Segment {
+    /// Segment start time.
+    pub fn start(&self) -> SimTime {
+        self.content.time
+    }
+
+    /// Segment end time.
+    pub fn end(&self) -> SimTime {
+        self.content.time.advance(self.duration)
+    }
+
+    /// Number of source frames in the segment at `fps`.
+    pub fn frames(&self, fps: f64) -> f64 {
+        self.duration * fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{ContentParams, ContentProcess};
+
+    #[test]
+    fn segment_accessors() {
+        let mut p = ContentProcess::new(ContentParams::default(), 2.0);
+        let content = p.step();
+        let seg = Segment { index: 0, duration: 2.0, content, bytes: 180_000.0 };
+        assert_eq!(seg.start().as_secs(), 0.0);
+        assert_eq!(seg.end().as_secs(), 2.0);
+        assert_eq!(seg.frames(30.0), 60.0);
+    }
+}

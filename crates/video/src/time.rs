@@ -1,0 +1,120 @@
+//! Simulation time.
+//!
+//! All simulated clocks in the reproduction measure seconds since the start
+//! of the stream as `f64`. Streams conventionally start at midnight of a
+//! Monday, so time-of-day and day-of-week structure can be derived directly.
+
+/// Seconds in one hour.
+pub const SECONDS_PER_HOUR: f64 = 3_600.0;
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// A point in simulated time (seconds since stream start, which is midnight
+/// on a Monday).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero — midnight, Monday.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Construct from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        SimTime(hours * SECONDS_PER_HOUR)
+    }
+
+    /// Construct from days.
+    pub fn from_days(days: f64) -> Self {
+        SimTime(days * SECONDS_PER_DAY)
+    }
+
+    /// Seconds since stream start.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Hours since stream start.
+    pub fn as_hours(&self) -> f64 {
+        self.0 / SECONDS_PER_HOUR
+    }
+
+    /// Days since stream start.
+    pub fn as_days(&self) -> f64 {
+        self.0 / SECONDS_PER_DAY
+    }
+
+    /// Hour-of-day in `[0, 24)`.
+    pub fn hour_of_day(&self) -> f64 {
+        (self.0.rem_euclid(SECONDS_PER_DAY)) / SECONDS_PER_HOUR
+    }
+
+    /// Whole days elapsed (day 0 = first Monday).
+    pub fn day_index(&self) -> u64 {
+        (self.0 / SECONDS_PER_DAY).floor().max(0.0) as u64
+    }
+
+    /// `true` on Saturday (day 5) and Sunday (day 6) of each week.
+    pub fn is_weekend(&self) -> bool {
+        matches!(self.day_index() % 7, 5 | 6)
+    }
+
+    /// Fraction of the current day elapsed, in `[0, 1)`.
+    pub fn day_fraction(&self) -> f64 {
+        (self.0.rem_euclid(SECONDS_PER_DAY)) / SECONDS_PER_DAY
+    }
+
+    /// Advance by `secs` seconds.
+    pub fn advance(&self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let day = self.day_index();
+        let h = self.hour_of_day();
+        let hh = h.floor() as u32;
+        let mm = ((h - hh as f64) * 60.0).floor() as u32;
+        write!(f, "day {day} {hh:02}:{mm:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_days(1.5);
+        assert!((t.as_hours() - 36.0).abs() < 1e-12);
+        assert!((t.as_secs() - 129_600.0).abs() < 1e-9);
+        assert!((t.hour_of_day() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(!SimTime::from_days(0.0).is_weekend()); // Monday
+        assert!(!SimTime::from_days(4.5).is_weekend()); // Friday
+        assert!(SimTime::from_days(5.0).is_weekend()); // Saturday
+        assert!(SimTime::from_days(6.9).is_weekend()); // Sunday
+        assert!(!SimTime::from_days(7.0).is_weekend()); // next Monday
+    }
+
+    #[test]
+    fn day_index_and_fraction() {
+        let t = SimTime::from_days(3.25);
+        assert_eq!(t.day_index(), 3);
+        assert!((t.day_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let t = SimTime::from_hours(25.5);
+        assert_eq!(t.to_string(), "day 1 01:30");
+    }
+}

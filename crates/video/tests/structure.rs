@@ -1,0 +1,124 @@
+//! Statistical-structure tests for the content process: the properties that
+//! make the paper's forecasting design work must actually hold in the
+//! generated data.
+
+use vetl_video::{ContentParams, ContentProcess, SECONDS_PER_DAY};
+
+/// Hour-of-day difficulty histogram of one day of segments.
+fn day_profile(states: &[vetl_video::ContentState], day: usize, seg_len: f64) -> Vec<f64> {
+    let per_day = (SECONDS_PER_DAY / seg_len) as usize;
+    let slice = &states[day * per_day..(day + 1) * per_day];
+    let buckets = 24;
+    let mut sums = vec![0.0; buckets];
+    let mut counts = vec![0usize; buckets];
+    for s in slice {
+        let b = s.time.hour_of_day() as usize % buckets;
+        sums[b] += s.difficulty;
+        counts[b] += 1;
+    }
+    sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect()
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+/// "While it is impossible to predict when certain content appears, it is
+/// possible to predict how often it appears" (§2.2): consecutive days must
+/// have highly correlated time-of-day difficulty profiles.
+#[test]
+fn consecutive_days_are_strongly_correlated() {
+    let seg_len = 10.0;
+    let mut p = ContentProcess::new(ContentParams::traffic_intersection(5), seg_len);
+    let states = p.take_segments((6.0 * SECONDS_PER_DAY / seg_len) as usize);
+    for day in 0..5 {
+        let a = day_profile(&states, day, seg_len);
+        let b = day_profile(&states, day + 1, seg_len);
+        let r = correlation(&a, &b);
+        assert!(r > 0.8, "day {day}→{} correlation {r:.2} too low", day + 1);
+    }
+}
+
+/// The short-term content is NOT predictable: segment-level difficulty at
+/// the same clock time on consecutive days is much less correlated than the
+/// hourly profile — the randomness that defeats the idealized per-slice
+/// forecaster (Appendix B.1).
+#[test]
+fn segment_level_content_is_noisy() {
+    let seg_len = 2.0;
+    let mut p = ContentProcess::new(ContentParams::traffic_intersection(5), seg_len);
+    let per_day = (SECONDS_PER_DAY / seg_len) as usize;
+    let states = p.take_segments(2 * per_day);
+    // Residual after removing the hour-of-day mean: correlate day 0 vs day 1.
+    let prof0 = day_profile(&states, 0, seg_len);
+    let prof1 = day_profile(&states, 1, seg_len);
+    let res = |day: usize, prof: &[f64]| -> Vec<f64> {
+        states[day * per_day..(day + 1) * per_day]
+            .iter()
+            .map(|s| s.difficulty - prof[s.time.hour_of_day() as usize % 24])
+            .collect()
+    };
+    let r = correlation(&res(0, &prof0), &res(1, &prof1));
+    assert!(
+        r.abs() < 0.2,
+        "de-trended segment noise must be day-to-day uncorrelated, got {r:.2}"
+    );
+}
+
+/// Weekday/weekend structure survives the noise: averaged over weeks, the
+/// weekend difficulty differs from the weekday difficulty.
+#[test]
+fn weekly_structure_is_visible() {
+    let seg_len = 30.0;
+    let mut params = ContentParams::traffic_intersection(8);
+    params.weekend_factor = 0.7;
+    let mut p = ContentProcess::new(params, seg_len);
+    let states = p.take_segments((14.0 * SECONDS_PER_DAY / seg_len) as usize);
+    let avg = |weekend: bool| -> f64 {
+        let v: Vec<f64> = states
+            .iter()
+            .filter(|s| s.time.is_weekend() == weekend)
+            .map(|s| s.difficulty)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    assert!(avg(false) > avg(true) + 0.05, "weekdays must be busier than weekends");
+}
+
+/// The multi-day weather regime decorrelates over a week — the reason 8-day
+/// forecasts are harder than 2-day forecasts (Table 5).
+#[test]
+fn weather_regime_decorrelates_over_days() {
+    let seg_len = 60.0;
+    // Disable everything but weather to isolate the regime.
+    let mut params = ContentParams::traffic_intersection(21);
+    params.ou_sigma = 0.0;
+    params.event_amplitude = 0.0;
+    params.weekend_factor = 1.0;
+    params.weather_amp = 0.3;
+    let mut p = ContentProcess::new(params, seg_len);
+    let per_day = (SECONDS_PER_DAY / seg_len) as usize;
+    let states = p.take_segments(30 * per_day);
+    // Daily mean difficulty series.
+    let daily: Vec<f64> = (0..30)
+        .map(|d| {
+            states[d * per_day..(d + 1) * per_day].iter().map(|s| s.difficulty).sum::<f64>()
+                / per_day as f64
+        })
+        .collect();
+    let lag = |k: usize| -> f64 {
+        correlation(&daily[..30 - k], &daily[k..])
+    };
+    let short = lag(1);
+    let long = lag(7);
+    assert!(
+        long < short,
+        "7-day autocorrelation ({long:.2}) must be below 1-day ({short:.2})"
+    );
+}

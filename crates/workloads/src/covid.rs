@@ -1,0 +1,241 @@
+//! The COVID-19 safety-measures workload (§5.2, Appendix J).
+//!
+//! Pipeline: YOLOv5 pedestrian detection ("detect-to-track" with a KCF
+//! tracker on intermediary frames), homography-based social-distance
+//! measurement, and a ResNet-50 mask classifier per detected pedestrian.
+//! Executed on an 8-day stream of the Koen-Dori shopping street in Shibuya.
+//!
+//! Knobs (Appendix J):
+//! * **frame rate** — {1, 5, 10, 15, 30} FPS,
+//! * **object detection rate** — run YOLO every {60, 30, 5, 1} frames,
+//! * **tiling** — {1×1, 2×2} tiles for small-object detection.
+//!
+//! Quality is measured in tracked person-seconds; the reported metric
+//! leverages YOLO's low false-positive rate and KCF's reliable
+//! tracking-failure reports.
+
+use rand::rngs::StdRng;
+
+use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
+use vetl_sim::{TaskGraph, TaskNode};
+use vetl_video::{ContentState, DecodeCostModel};
+
+use crate::models;
+use crate::response::{domain_position, logistic_quality, noisy};
+
+/// Source frame rate of the shopping-street camera.
+const SOURCE_FPS: f64 = 30.0;
+
+/// The COVID workload.
+#[derive(Debug, Clone)]
+pub struct CovidWorkload {
+    knobs: Vec<Knob>,
+    seg_len: f64,
+    decode: DecodeCostModel,
+}
+
+impl CovidWorkload {
+    /// Create with the paper's 2-second switching segments.
+    pub fn new() -> Self {
+        Self {
+            knobs: vec![
+                Knob::new(
+                    "frame_rate",
+                    vec![
+                        KnobValue::Int(1),
+                        KnobValue::Int(5),
+                        KnobValue::Int(10),
+                        KnobValue::Int(15),
+                        KnobValue::Int(30),
+                    ],
+                ),
+                Knob::new(
+                    "det_interval",
+                    vec![
+                        KnobValue::Int(60),
+                        KnobValue::Int(30),
+                        KnobValue::Int(5),
+                        KnobValue::Int(1),
+                    ],
+                ),
+                Knob::new("tiles", vec![KnobValue::Int(1), KnobValue::Int(2)]),
+            ],
+            seg_len: 2.0,
+            decode: DecodeCostModel::default(),
+        }
+    }
+
+    fn fps(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 0).as_float().expect("fps")
+    }
+
+    fn det_interval(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 1).as_float().expect("interval")
+    }
+
+    fn tiles(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 2).as_float().expect("tiles")
+    }
+
+    /// Capability κ of a configuration.
+    ///
+    /// Capability is tied to the knob *values* rather than index positions:
+    /// the frame rate is the primary axis (√(fps/30): missing frames cannot
+    /// be compensated by other knobs) and detection interval/tiling modulate
+    /// it multiplicatively. Spans [0.25, 1.0].
+    pub fn capability(&self, c: &KnobConfig) -> f64 {
+        let r = (self.fps(c) / 30.0).sqrt();
+        let d = (1.0 / self.det_interval(c)).sqrt();
+        let t = domain_position(c.index(2), 2);
+        0.22 + 0.78 * r * (0.45 + 0.35 * d + 0.20 * t)
+    }
+}
+
+impl Default for CovidWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for CovidWorkload {
+    fn name(&self) -> &str {
+        "covid"
+    }
+
+    fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    fn segment_len(&self) -> f64 {
+        self.seg_len
+    }
+
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let fps = self.fps(config);
+        let frames = self.seg_len * fps;
+        let det_runs = (frames / self.det_interval(config)).max(1.0 / 30.0);
+        let tiles = self.tiles(config);
+        let objects = models::objects_at_activity(content.activity);
+
+        let decode_cost = self.decode.cost(self.seg_len, SOURCE_FPS, fps / SOURCE_FPS);
+        let detect_cost = det_runs * models::YOLO_SECS[2] * tiles * tiles;
+        let track_cost =
+            (frames - det_runs).max(0.0) * models::KCF_SECS_PER_OBJECT * objects;
+        let homography_cost = frames * models::HOMOGRAPHY_SECS;
+        // The mask classifier runs per person on every processed frame —
+        // this is what makes the frame-rate knob the decisive cost axis.
+        let mask_cost = frames * objects * models::MASK_CLASSIFIER_SECS;
+
+        // JPEG+Base64 payloads shipped when a node runs on the cloud (§5.1).
+        let frame_jpeg = 100_000.0 * 4.0 / 3.0;
+        let crop_jpeg = 9_000.0 * 4.0 / 3.0;
+
+        let mut g = TaskGraph::new();
+        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
+        let detect = g.add_node(
+            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
+                .with_payload(det_runs * frame_jpeg, det_runs * 2_000.0),
+        );
+        let track = g.add_node(
+            TaskNode::new("kcf", track_cost, track_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * 4_000.0, frames * 1_000.0),
+        );
+        let homography = g.add_node(TaskNode::new("homography", homography_cost, 0.0));
+        let mask = g.add_node(
+            TaskNode::new("mask_classifier", mask_cost, mask_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * objects * crop_jpeg, frames * 200.0),
+        );
+        g.add_edge(decode, detect);
+        g.add_edge(detect, track);
+        g.add_edge(track, homography);
+        g.add_edge(detect, mask);
+        g
+    }
+
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        logistic_quality(self.capability(config), content.difficulty)
+    }
+
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64 {
+        noisy(self.true_quality(config, content), 0.02, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    fn content(difficulty: f64, activity: f64) -> ContentState {
+        let mut p = ContentProcess::new(ContentParams::shopping_street(1), 2.0);
+        let mut c = p.step();
+        c.difficulty = difficulty;
+        c.activity = activity;
+        c
+    }
+
+    #[test]
+    fn config_space_is_forty() {
+        let w = CovidWorkload::new();
+        assert_eq!(w.config_space().size(), 5 * 4 * 2);
+    }
+
+    #[test]
+    fn work_spans_two_orders_of_magnitude() {
+        let w = CovidWorkload::new();
+        let c = content(0.5, 0.6);
+        let cheap = w.work(&w.config_space().min_config(), &c);
+        let dear = w.work(&w.config_space().max_config(), &c);
+        assert!(
+            dear / cheap > 50.0,
+            "expensive/cheap work ratio {:.1} too small",
+            dear / cheap
+        );
+        // Most expensive ≈ tens of core-seconds per 2 s segment — the
+        // c2-standard-60 scale of the paper.
+        assert!(dear > 20.0 && dear < 120.0, "max work {dear}");
+    }
+
+    #[test]
+    fn decode_is_a_small_fraction_of_expensive_configs() {
+        // §5.1: decode ≈ 5 % of total runtime.
+        let w = CovidWorkload::new();
+        let c = content(0.5, 0.6);
+        let g = w.task_graph(&w.config_space().max_config(), &c);
+        let decode = g.node(vetl_sim::NodeId(0)).onprem_secs;
+        let total = g.total_onprem_secs();
+        assert!(decode / total < 0.08, "decode share {}", decode / total);
+    }
+
+    #[test]
+    fn busier_scenes_cost_more() {
+        let w = CovidWorkload::new();
+        let k = w.config_space().max_config();
+        assert!(w.work(&k, &content(0.5, 0.9)) > w.work(&k, &content(0.5, 0.1)));
+    }
+
+    #[test]
+    fn quality_responds_to_difficulty_and_knobs() {
+        let w = CovidWorkload::new();
+        let cheap = w.config_space().min_config();
+        let dear = w.config_space().max_config();
+        let hard = content(0.9, 0.8);
+        let easy = content(0.1, 0.2);
+        assert!(w.true_quality(&dear, &hard) > 0.85);
+        assert!(w.true_quality(&cheap, &hard) < 0.25);
+        assert!(w.true_quality(&cheap, &easy) > 0.85);
+    }
+
+    #[test]
+    fn cheapest_config_runs_realtime_on_four_cores() {
+        let w = CovidWorkload::new();
+        let c = content(0.9, 1.0); // worst case content
+        let rate = w.work_rate(&w.config_space().min_config(), &c);
+        assert!(rate < 4.0, "cheapest config must fit an e2-standard-4, got {rate}");
+    }
+}

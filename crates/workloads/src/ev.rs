@@ -1,0 +1,182 @@
+//! The electric-vehicle counting example (§1, Fig. 1, Fig. 3, Appendix F).
+//!
+//! The introduction's motivating workload: a YOLO object detector finds cars
+//! (EVs are recognizable by their green licence plates), a KCF tracker
+//! follows them across frames to avoid double counting. The Appendix-F code
+//! snippet registers exactly two knobs — the detection interval and the YOLO
+//! model size — which this type mirrors.
+
+use rand::rngs::StdRng;
+
+use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
+use vetl_sim::{TaskGraph, TaskNode};
+use vetl_video::{ContentState, DecodeCostModel};
+
+use crate::models;
+use crate::response::{domain_position, logistic_quality, noisy};
+
+/// Source frame rate (Appendix F: `Skyscraper(..., fps=30)`).
+const SOURCE_FPS: f64 = 30.0;
+
+/// The EV-counting workload.
+#[derive(Debug, Clone)]
+pub struct EvWorkload {
+    knobs: Vec<Knob>,
+    seg_len: f64,
+    decode: DecodeCostModel,
+}
+
+impl EvWorkload {
+    /// Create with 2-second switching segments.
+    pub fn new() -> Self {
+        Self {
+            knobs: vec![
+                // Appendix F: sky.register_knob("det_interval", [1, 5, 10]) —
+                // cheapest (largest interval) first by our convention.
+                Knob::new(
+                    "det_interval",
+                    vec![KnobValue::Int(10), KnobValue::Int(5), KnobValue::Int(1)],
+                ),
+                Knob::new(
+                    "yolo_size",
+                    vec![
+                        KnobValue::Text("small"),
+                        KnobValue::Text("medium"),
+                        KnobValue::Text("large"),
+                    ],
+                ),
+            ],
+            seg_len: 2.0,
+            decode: DecodeCostModel::default(),
+        }
+    }
+
+    fn det_interval(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 0).as_float().expect("interval")
+    }
+
+    fn yolo_idx(&self, c: &KnobConfig) -> usize {
+        c.index(1)
+    }
+
+    /// Capability κ spanning ≈ [0.33, 1.0]: detection rate is the primary
+    /// axis, model size modulates it.
+    pub fn capability(&self, c: &KnobConfig) -> f64 {
+        let d = (1.0 / self.det_interval(c)).sqrt();
+        let m = domain_position(c.index(1), 3);
+        0.25 + 0.75 * d * (0.55 + 0.45 * m)
+    }
+}
+
+impl Default for EvWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for EvWorkload {
+    fn name(&self) -> &str {
+        "ev"
+    }
+
+    fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    fn segment_len(&self) -> f64 {
+        self.seg_len
+    }
+
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let frames = self.seg_len * SOURCE_FPS;
+        let det_runs = frames / self.det_interval(config);
+        let objects = models::objects_at_activity(content.activity);
+
+        let decode_cost = self.decode.cost(self.seg_len, SOURCE_FPS, 1.0);
+        let detect_cost = det_runs * models::YOLO_SECS[self.yolo_idx(config)];
+        let track_cost = (frames - det_runs).max(0.0) * models::KCF_SECS_PER_OBJECT * objects;
+
+        let frame_jpeg = 100_000.0 * 4.0 / 3.0;
+        let mut g = TaskGraph::new();
+        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
+        let detect = g.add_node(
+            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
+                .with_payload(det_runs * frame_jpeg, det_runs * 2_000.0),
+        );
+        let track = g.add_node(
+            TaskNode::new("kcf", track_cost, track_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * 4_000.0, frames * 1_000.0),
+        );
+        g.add_edge(decode, detect);
+        g.add_edge(detect, track);
+        g
+    }
+
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        // Result quality for EV counting is mainly affected by object
+        // occlusions (§2.2's processing example) — our difficulty axis.
+        logistic_quality(self.capability(config), content.difficulty)
+    }
+
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64 {
+        noisy(self.true_quality(config, content), 0.02, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    fn content(difficulty: f64, activity: f64) -> ContentState {
+        let mut p = ContentProcess::new(ContentParams::traffic_intersection(1), 2.0);
+        let mut c = p.step();
+        c.difficulty = difficulty;
+        c.activity = activity;
+        c
+    }
+
+    #[test]
+    fn two_knobs_nine_configs() {
+        let w = EvWorkload::new();
+        assert_eq!(w.knobs().len(), 2);
+        assert_eq!(w.config_space().size(), 9);
+    }
+
+    #[test]
+    fn expensive_config_quality_is_reliable_cheap_only_at_night() {
+        // §2.2: "the expensive configuration reliably produces high-quality
+        // results while the cheap one only produces high-quality results at
+        // night, when there is little traffic and few occlusions."
+        let w = EvWorkload::new();
+        let cheap = w.config_space().min_config();
+        let dear = w.config_space().max_config();
+        let night = content(0.12, 0.1);
+        let rush = content(0.85, 0.9);
+        assert!(w.true_quality(&dear, &night) > 0.9);
+        assert!(w.true_quality(&dear, &rush) > 0.85);
+        assert!(w.true_quality(&cheap, &night) > 0.85);
+        assert!(w.true_quality(&cheap, &rush) < 0.3);
+    }
+
+    #[test]
+    fn work_ratio_between_extremes() {
+        let w = EvWorkload::new();
+        let c = content(0.5, 0.5);
+        let lo = w.work(&w.config_space().min_config(), &c);
+        let hi = w.work(&w.config_space().max_config(), &c);
+        assert!(hi / lo > 8.0, "ratio {}", hi / lo);
+    }
+
+    #[test]
+    fn cheapest_runs_realtime_on_one_core() {
+        let w = EvWorkload::new();
+        let rate = w.work_rate(&w.config_space().min_config(), &content(0.9, 1.0));
+        assert!(rate < 1.0, "cheapest EV config rate {rate}");
+    }
+}

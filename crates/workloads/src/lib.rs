@@ -1,0 +1,40 @@
+//! # vetl-workloads — the paper's evaluation workloads
+//!
+//! Implements the four workloads of §5.2 plus the EV-counting example from
+//! the introduction, as calibrated synthetic equivalents (see DESIGN.md for
+//! the substitution argument):
+//!
+//! * **COVID** — YOLOv5 pedestrian detection + KCF tracking + homography
+//!   distancing + ResNet-50 mask classification on a Shibuya shopping-street
+//!   camera. Knobs: frame rate {1,5,10,15,30} FPS, detector interval
+//!   {60,30,5,1} frames, tiling {1×1, 2×2}.
+//! * **MOT** — TransMOT multi-object tracking on a traffic intersection.
+//!   Knobs: frame rate, tiling, history length {1,2,3,5}, model size
+//!   {small, medium, large}.
+//! * **MOSEI-HIGH / MOSEI-LONG** — multimodal sentiment over a varying
+//!   number of Twitch-like streams with short-tall or long spike patterns.
+//!   Knobs: sentence skip {0..6}, per-sentence frame fraction, model size,
+//!   number of streams analysed.
+//! * **EV** — the introduction's electric-vehicle counting example
+//!   (detector + tracker; Fig. 1 and Fig. 3).
+//!
+//! Model runtimes are calibrated to the paper's measurements (YOLOv5 ≈ 86 ms
+//! per frame on the reference core, decode ≈ 1.6 ms per frame, most
+//! expensive EV configuration ≈ 5.2 TFLOP/s at 0.1 TFLOP/s per core).
+//! [`scenario`] provides the Google-Cloud machine/price table of §5.3.
+
+pub mod covid;
+pub mod ev;
+pub mod models;
+pub mod mosei;
+pub mod mot;
+pub mod response;
+pub mod scenario;
+pub mod spec;
+
+pub use covid::CovidWorkload;
+pub use ev::EvWorkload;
+pub use mosei::{MoseiWorkload, MoseiVariant};
+pub use mot::MotWorkload;
+pub use scenario::{machine_by_name, total_cost_usd, Machine, CORE_TFLOPS, MACHINES};
+pub use spec::{paper_workloads, PaperWorkload, WorkloadSpec};

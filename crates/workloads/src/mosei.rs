@@ -1,0 +1,338 @@
+//! The multimodal sentiment workloads MOSEI-HIGH and MOSEI-LONG (§5.2,
+//! Appendix J).
+//!
+//! Simulates Twitch-scale ingestion of talking-head streams: the number of
+//! concurrently incoming streams follows the diurnal Twitch curve plus the
+//! variant's synthetic spikes (62-stream short peaks for HIGH, a 6-hour
+//! plateau for LONG). Each analysed stream runs transcription (always),
+//! multimodal feature extraction (MTCNN + DeepFace + acoustic features) and
+//! a sentiment classifier on a knob-controlled subset of sentences.
+//!
+//! Knobs (Appendix J):
+//! * **sentence skip** — skip {6,…,0} sentences between analyses,
+//! * **frame fraction** — {1/6, 1/3, 1/2, 2/3, 5/6, 1} of each analysed
+//!   sentence's frames,
+//! * **model size** — {small, medium, large} sentiment model,
+//! * **streams** — fraction {¼, ½, ¾, 1} of incoming streams analysed.
+//!
+//! Quality is `Σ_i a_i` over ingested streams weighted by model certainty;
+//! normalized here to `[0, 1]` by the all-streams-perfect optimum.
+//!
+//! The cloud payload of the feature-extraction node ships Base64 JPEG frames
+//! (§5.1), which makes cloud bursting bandwidth-bound exactly when many
+//! streams spike — the effect MOSEI-HIGH was designed to expose.
+
+use rand::rngs::StdRng;
+
+use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
+use vetl_sim::{TaskGraph, TaskNode};
+use vetl_video::{ContentParams, ContentProcess, ContentState, MoseiMode, Segment,
+    StreamCountProcess};
+
+use crate::models;
+use crate::response::{domain_position, logistic_quality, noisy};
+
+/// Which spike pattern the stream-count process injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoseiVariant {
+    /// Short, tall peaks (62 concurrent streams).
+    High,
+    /// One long plateau per day.
+    Long,
+}
+
+impl MoseiVariant {
+    fn mode(self) -> MoseiMode {
+        match self {
+            MoseiVariant::High => MoseiMode::High,
+            MoseiVariant::Long => MoseiMode::Long,
+        }
+    }
+}
+
+/// Maximum concurrent streams (the HIGH spike level).
+pub const MAX_STREAMS: f64 = 62.0;
+
+/// The MOSEI workload.
+#[derive(Debug, Clone)]
+pub struct MoseiWorkload {
+    knobs: Vec<Knob>,
+    seg_len: f64,
+    variant: MoseiVariant,
+}
+
+impl MoseiWorkload {
+    /// Create with the paper's 7-second switching segments (Appendix K.1).
+    pub fn new(variant: MoseiVariant) -> Self {
+        Self {
+            knobs: vec![
+                Knob::new(
+                    "sentence_skip",
+                    (0..7).rev().map(KnobValue::Int).collect(),
+                ),
+                Knob::new(
+                    "frame_fraction",
+                    vec![
+                        KnobValue::Float(1.0 / 6.0),
+                        KnobValue::Float(1.0 / 3.0),
+                        KnobValue::Float(0.5),
+                        KnobValue::Float(2.0 / 3.0),
+                        KnobValue::Float(5.0 / 6.0),
+                        KnobValue::Float(1.0),
+                    ],
+                ),
+                Knob::new(
+                    "model",
+                    vec![
+                        KnobValue::Text("small"),
+                        KnobValue::Text("medium"),
+                        KnobValue::Text("large"),
+                    ],
+                ),
+                Knob::new(
+                    "streams",
+                    vec![
+                        KnobValue::Float(0.25),
+                        KnobValue::Float(0.5),
+                        KnobValue::Float(0.75),
+                        KnobValue::Float(1.0),
+                    ],
+                ),
+            ],
+            seg_len: 7.0,
+            variant,
+        }
+    }
+
+    /// The spike variant.
+    pub fn variant(&self) -> MoseiVariant {
+        self.variant
+    }
+
+    fn skip(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 0).as_float().expect("skip")
+    }
+
+    fn frame_fraction(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 1).as_float().expect("fraction")
+    }
+
+    fn model_idx(&self, c: &KnobConfig) -> usize {
+        c.index(2)
+    }
+
+    fn streams_fraction(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 3).as_float().expect("streams")
+    }
+
+    /// Per-analysed-stream capability, spanning ≈ [0.33, 1.0]: the sentence
+    /// analysis frequency is the primary axis, frame fraction and model size
+    /// modulate it.
+    pub fn analysis_capability(&self, c: &KnobConfig) -> f64 {
+        let s = (1.0 / (1.0 + self.skip(c))).sqrt();
+        let f = domain_position(c.index(1), 6);
+        let m = domain_position(c.index(2), 3);
+        0.30 + 0.70 * s * (0.45 + 0.25 * f + 0.30 * m)
+    }
+
+    /// Concurrent incoming streams encoded in a content state.
+    pub fn streams_at(content: &ContentState) -> f64 {
+        (content.activity * MAX_STREAMS).round().max(1.0)
+    }
+}
+
+impl Workload for MoseiWorkload {
+    fn name(&self) -> &str {
+        match self.variant {
+            MoseiVariant::High => "mosei-high",
+            MoseiVariant::Long => "mosei-long",
+        }
+    }
+
+    fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    fn segment_len(&self) -> f64 {
+        self.seg_len
+    }
+
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let streams = Self::streams_at(content);
+        let analysed = (streams * self.streams_fraction(config)).max(1.0);
+        let sentences = self.seg_len / models::SENTENCE_SECS;
+        let analysed_sentences = sentences / (1.0 + self.skip(config));
+        let frac = self.frame_fraction(config);
+        let m = self.model_idx(config);
+
+        let transcribe_cost = analysed * self.seg_len * models::TRANSCRIBE_SECS_PER_SEC;
+        let feature_cost = analysed * analysed_sentences * frac * models::MOSEI_FEATURE_SECS[0];
+        let sentiment_cost = analysed * analysed_sentences * models::SENTIMENT_SECS[m];
+
+        // Feature extraction ships JPEG frames: sentence_secs × 30 fps ×
+        // ~100 KB × 4/3 Base64 per fully-sampled sentence — the payload that
+        // saturates the uplink during 62-stream spikes.
+        let sentence_frames_bytes = models::SENTENCE_SECS * 30.0 * 100_000.0 * 4.0 / 3.0;
+        let feature_upload = analysed * analysed_sentences * frac * sentence_frames_bytes;
+
+        let mut g = TaskGraph::new();
+        let transcribe = g.add_node(
+            TaskNode::new("transcribe", transcribe_cost, transcribe_cost / models::CLOUD_SPEEDUP)
+                .with_payload(analysed * self.seg_len * 16_000.0, analysed * 2_000.0),
+        );
+        let features = g.add_node(
+            TaskNode::new("features", feature_cost, feature_cost / models::CLOUD_SPEEDUP)
+                .with_payload(feature_upload, analysed * analysed_sentences * 12_000.0),
+        );
+        let sentiment = g.add_node(
+            TaskNode::new("sentiment", sentiment_cost, sentiment_cost / models::CLOUD_SPEEDUP)
+                .with_payload(analysed * analysed_sentences * 14_000.0, analysed * 500.0),
+        );
+        g.add_edge(transcribe, sentiment);
+        g.add_edge(features, sentiment);
+        g
+    }
+
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        // Quality = (fraction of streams analysed) × per-stream accuracy.
+        self.streams_fraction(config)
+            * logistic_quality(self.analysis_capability(config), content.difficulty)
+    }
+
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64 {
+        noisy(self.true_quality(config, content), 0.02, rng)
+    }
+}
+
+/// Generator producing the MOSEI segment stream: talking-head difficulty
+/// joined with the variant's stream-count process. Segment bytes scale with
+/// the number of concurrent streams — spikes pressure the buffer too.
+#[derive(Debug, Clone)]
+pub struct MoseiStreamGen {
+    counts: StreamCountProcess,
+    content: ContentProcess,
+    seg_len: f64,
+    next_index: u64,
+}
+
+impl MoseiStreamGen {
+    /// Create the generator for one variant.
+    pub fn new(variant: MoseiVariant, seed: u64) -> Self {
+        let seg_len = 7.0;
+        Self {
+            counts: StreamCountProcess::new(variant.mode(), seg_len, seed),
+            content: ContentProcess::new(ContentParams::talking_head(seed ^ 0x5eed), seg_len),
+            seg_len,
+            next_index: 0,
+        }
+    }
+
+    /// Produce the next aggregate segment.
+    pub fn next_segment(&mut self) -> Segment {
+        let count = self.counts.step() as f64;
+        let mut state = self.content.step();
+        state.activity = (count / MAX_STREAMS).clamp(0.0, 1.0);
+        // Per-stream talking-head video ≈ 45 KB/s.
+        let bytes = count * 45_000.0 * self.seg_len;
+        let seg = Segment { index: self.next_index, duration: self.seg_len, content: state, bytes };
+        self.next_index += 1;
+        seg
+    }
+
+    /// Produce `n` segments.
+    pub fn take_segments(&mut self, n: usize) -> Vec<Segment> {
+        (0..n).map(|_| self.next_segment()).collect()
+    }
+
+    /// Record `secs` seconds of the aggregate stream.
+    pub fn record(&mut self, secs: f64) -> vetl_video::Recording {
+        let n = (secs / self.seg_len).ceil() as usize;
+        vetl_video::Recording::from_segments(self.take_segments(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content(difficulty: f64, streams: f64) -> ContentState {
+        let mut p = ContentProcess::new(ContentParams::talking_head(1), 7.0);
+        let mut c = p.step();
+        c.difficulty = difficulty;
+        c.activity = streams / MAX_STREAMS;
+        c
+    }
+
+    #[test]
+    fn config_space_is_504() {
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        assert_eq!(w.config_space().size(), 7 * 6 * 3 * 4);
+    }
+
+    #[test]
+    fn work_scales_with_stream_count() {
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        let k = w.config_space().max_config();
+        let low = w.work(&k, &content(0.5, 10.0));
+        let spike = w.work(&k, &content(0.5, 62.0));
+        assert!(spike / low > 4.0, "spike/low work ratio {}", spike / low);
+    }
+
+    #[test]
+    fn quality_is_bounded_by_streams_fraction() {
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        let quarter = KnobConfig::new(vec![6, 5, 2, 0]); // best analysis, ¼ streams
+        let q = w.true_quality(&quarter, &content(0.1, 30.0));
+        assert!(q <= 0.25 + 1e-9, "quality {q} must be capped by streams fraction");
+    }
+
+    #[test]
+    fn spike_upload_exceeds_uplink_capacity() {
+        // At 62 streams the feature node's payload must exceed what a
+        // 50 MB/s uplink moves in one 7 s segment — the MOSEI-HIGH effect.
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        let k = w.config_space().max_config();
+        let g = w.task_graph(&k, &content(0.5, 62.0));
+        let upload = g.node(vetl_sim::NodeId(1)).upload_bytes;
+        assert!(upload > 50e6 * 7.0, "spike upload {upload} too small");
+        // While at baseline (12 streams, cheap config) it fits easily.
+        let cheap = w.config_space().min_config();
+        let g = w.task_graph(&cheap, &content(0.5, 12.0));
+        assert!(g.node(vetl_sim::NodeId(1)).upload_bytes < 50e6 * 7.0 * 0.5);
+    }
+
+    #[test]
+    fn generator_reproduces_variant_patterns() {
+        let mut gen = MoseiStreamGen::new(MoseiVariant::High, 3);
+        let segs = gen.take_segments((2.0 * 86_400.0 / 7.0) as usize);
+        let max_activity = segs.iter().map(|s| s.content.activity).fold(0.0, f64::max);
+        assert!((max_activity - 1.0).abs() < 1e-9, "HIGH must reach 62 streams");
+        // Bytes track stream count.
+        let busiest = segs.iter().max_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap()).unwrap();
+        let calmest = segs.iter().min_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap()).unwrap();
+        assert!(
+            busiest.bytes > 2.0 * calmest.bytes,
+            "byte rate must follow stream count: {} vs {}",
+            busiest.bytes,
+            calmest.bytes
+        );
+    }
+
+    #[test]
+    fn cheapest_config_work_rates() {
+        // At baseline traffic the cheapest config fits an e2-standard-4 in
+        // real time; during a 62-stream spike it temporarily exceeds 4 cores
+        // (the buffer absorbs short spikes) but stays within 8.
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        let cheapest = w.config_space().min_config();
+        let baseline = w.work_rate(&cheapest, &content(0.6, 25.0));
+        assert!(baseline < 4.0, "baseline cheapest rate {baseline}");
+        let spike = w.work_rate(&cheapest, &content(0.9, 62.0));
+        assert!(spike < 8.0, "spike cheapest rate {spike}");
+    }
+}

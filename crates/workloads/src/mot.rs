@@ -1,0 +1,256 @@
+//! The multi-object tracking workload (§5.2, Appendix J).
+//!
+//! Adopts a TransMOT-style tracker: YOLO detection, VGG-style appearance
+//! embeddings, then a spatial-temporal graph transformer over the current
+//! and historical frames. Executed on a stream of the Shibuya traffic
+//! intersection. Quality is the certainty-weighted count of correctly
+//! tracked pedestrians (ground truth: TransMOT at the most expensive knob
+//! setting).
+//!
+//! Knobs (Appendix J):
+//! * **frame rate** — process every {60, 30, 5, 1} frames,
+//! * **tiling** — {1×1, 2×2},
+//! * **history length** — {1, 2, 3, 5} previous frames fed to the graph
+//!   transformer,
+//! * **model size** — {small, medium, large} pre-trained TransMOT.
+
+use rand::rngs::StdRng;
+
+use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
+use vetl_sim::{TaskGraph, TaskNode};
+use vetl_video::{ContentState, DecodeCostModel};
+
+use crate::models;
+use crate::response::{domain_position, logistic_quality, noisy};
+
+/// Source frame rate of the intersection camera.
+const SOURCE_FPS: f64 = 30.0;
+
+/// The MOT workload.
+#[derive(Debug, Clone)]
+pub struct MotWorkload {
+    knobs: Vec<Knob>,
+    seg_len: f64,
+    decode: DecodeCostModel,
+}
+
+impl MotWorkload {
+    /// Create with the paper's 2-second switching segments.
+    pub fn new() -> Self {
+        Self {
+            knobs: vec![
+                Knob::new(
+                    "frame_interval",
+                    vec![
+                        KnobValue::Int(60),
+                        KnobValue::Int(30),
+                        KnobValue::Int(5),
+                        KnobValue::Int(1),
+                    ],
+                ),
+                Knob::new("tiles", vec![KnobValue::Int(1), KnobValue::Int(2)]),
+                Knob::new(
+                    "history",
+                    vec![
+                        KnobValue::Int(1),
+                        KnobValue::Int(2),
+                        KnobValue::Int(3),
+                        KnobValue::Int(5),
+                    ],
+                ),
+                Knob::new(
+                    "model",
+                    vec![
+                        KnobValue::Text("small"),
+                        KnobValue::Text("medium"),
+                        KnobValue::Text("large"),
+                    ],
+                ),
+            ],
+            seg_len: 2.0,
+            decode: DecodeCostModel::default(),
+        }
+    }
+
+    fn frames(&self, c: &KnobConfig) -> f64 {
+        let interval = c.value(&self.knobs, 0).as_float().expect("interval");
+        (self.seg_len * SOURCE_FPS / interval).max(1.0)
+    }
+
+    fn tiles(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 1).as_float().expect("tiles")
+    }
+
+    fn history(&self, c: &KnobConfig) -> f64 {
+        c.value(&self.knobs, 2).as_float().expect("history")
+    }
+
+    fn model_idx(&self, c: &KnobConfig) -> usize {
+        c.index(3)
+    }
+
+    /// Capability κ.
+    ///
+    /// The processed frame rate is the primary axis (√(1/interval): a
+    /// tracker cannot recover motion it never saw); tiling, history and
+    /// model size modulate multiplicatively. Spans ≈ [0.25, 1.0].
+    pub fn capability(&self, c: &KnobConfig) -> f64 {
+        let interval = c.value(&self.knobs, 0).as_float().expect("interval");
+        let r = (1.0 / interval).sqrt();
+        let t = domain_position(c.index(1), 2);
+        let h = domain_position(c.index(2), 4);
+        let m = domain_position(c.index(3), 3);
+        0.22 + 0.78 * r * (0.35 + 0.15 * t + 0.20 * h + 0.30 * m)
+    }
+}
+
+impl Default for MotWorkload {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for MotWorkload {
+    fn name(&self) -> &str {
+        "mot"
+    }
+
+    fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    fn segment_len(&self) -> f64 {
+        self.seg_len
+    }
+
+    fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let frames = self.frames(config);
+        let tiles = self.tiles(config);
+        let history = self.history(config);
+        let m = self.model_idx(config);
+        let objects = models::objects_at_activity(content.activity);
+
+        let rate_fraction = frames / (self.seg_len * SOURCE_FPS);
+        let decode_cost = self.decode.cost(self.seg_len, SOURCE_FPS, rate_fraction);
+        let detect_cost = frames * models::YOLO_SECS[2] * tiles * tiles;
+        let embed_cost = frames * (models::EMBED_SECS + 0.002 * objects);
+        let transmot_cost =
+            frames * models::TRANSMOT_SECS[m] * (0.80 + 0.08 * history) * (0.6 + 0.6 * content.activity);
+
+        let frame_jpeg = 100_000.0 * 4.0 / 3.0;
+        let mut g = TaskGraph::new();
+        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
+        let detect = g.add_node(
+            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * frame_jpeg, frames * 2_000.0),
+        );
+        let embed = g.add_node(
+            TaskNode::new("embed", embed_cost, embed_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * objects * 8_000.0, frames * objects * 512.0),
+        );
+        let transmot = g.add_node(
+            TaskNode::new("transmot", transmot_cost, transmot_cost / models::CLOUD_SPEEDUP)
+                .with_payload(frames * objects * 2_048.0 * history, frames * 4_000.0),
+        );
+        g.add_edge(decode, detect);
+        g.add_edge(detect, embed);
+        g.add_edge(embed, transmot);
+        g
+    }
+
+    fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
+        logistic_quality(self.capability(config), content.difficulty)
+    }
+
+    fn reported_quality(
+        &self,
+        config: &KnobConfig,
+        content: &ContentState,
+        rng: &mut StdRng,
+    ) -> f64 {
+        // MOT's metric is certainty-weighted: certainty estimates are
+        // noisier than detector confidences (§5.6 reports a higher switcher
+        // error rate on MOT: 6.6 % vs 2.1 %).
+        noisy(self.true_quality(config, content), 0.035, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, ContentProcess};
+
+    fn content(difficulty: f64, activity: f64) -> ContentState {
+        let mut p = ContentProcess::new(ContentParams::traffic_intersection(1), 2.0);
+        let mut c = p.step();
+        c.difficulty = difficulty;
+        c.activity = activity;
+        c
+    }
+
+    #[test]
+    fn config_space_is_ninety_six() {
+        let w = MotWorkload::new();
+        assert_eq!(w.config_space().size(), 4 * 2 * 4 * 3);
+    }
+
+    #[test]
+    fn knob_axes_all_increase_work() {
+        let w = MotWorkload::new();
+        let c = content(0.5, 0.5);
+        let base = KnobConfig::new(vec![1, 0, 1, 1]);
+        for axis in 0..4 {
+            let mut idx = base.indices().to_vec();
+            idx[axis] += 1;
+            let upgraded = KnobConfig::new(idx);
+            assert!(
+                w.work(&upgraded, &c) > w.work(&base, &c),
+                "axis {axis} must increase work"
+            );
+        }
+    }
+
+    #[test]
+    fn max_config_is_c2_standard_60_scale() {
+        let w = MotWorkload::new();
+        let rate = w.work_rate(&w.config_space().max_config(), &content(0.8, 0.9));
+        assert!(rate > 10.0 && rate < 60.0, "max work rate {rate}");
+    }
+
+    #[test]
+    fn cheapest_fits_four_cores() {
+        let w = MotWorkload::new();
+        let rate = w.work_rate(&w.config_space().min_config(), &content(0.9, 1.0));
+        assert!(rate < 4.0, "cheapest rate {rate}");
+    }
+
+    #[test]
+    fn capability_endpoints() {
+        let w = MotWorkload::new();
+        let min = w.capability(&w.config_space().min_config());
+        let max = w.capability(&w.config_space().max_config());
+        assert!((0.2..0.3).contains(&min), "min capability {min}");
+        assert!((max - 1.0).abs() < 1e-9, "max capability {max}");
+    }
+
+    #[test]
+    fn reported_quality_is_noisier_than_covid() {
+        // Statistical check: the MOT noise σ = 0.035 yields larger average
+        // deviation from the truth than COVID's 0.02.
+        use rand::SeedableRng;
+        let w = MotWorkload::new();
+        let cw = crate::covid::CovidWorkload::new();
+        let c = content(0.5, 0.5);
+        let k = w.config_space().min_config();
+        let ck = cw.config_space().min_config();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dev_mot = 0.0;
+        let mut dev_covid = 0.0;
+        for _ in 0..2000 {
+            dev_mot += (w.reported_quality(&k, &c, &mut rng) - w.true_quality(&k, &c)).abs();
+            dev_covid +=
+                (cw.reported_quality(&ck, &c, &mut rng) - cw.true_quality(&ck, &c)).abs();
+        }
+        assert!(dev_mot > dev_covid);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the EV-counting example from the paper's introduction and
+//! Appendix F, in ~40 lines of user code.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Mirrors the paper's Python flow:
+//! 1. instantiate Skyscraper for a workload (UDF DAG + registered knobs),
+//! 2. `set_resources(num_cores, buffer_mb, cloud_budget)`,
+//! 3. `fit(labeled, unlabeled)` — the offline preparation phase,
+//! 4. ingest the live stream.
+
+use vetl::prelude::*;
+
+fn main() {
+    // The EV workload: YOLO detector + KCF tracker with two knobs
+    // (det_interval ∈ {10,5,1}, yolo_size ∈ {small,medium,large}).
+    let workload = EvWorkload::new();
+    let mut sky = Skyscraper::new(workload);
+    sky.set_resources(4, 4_000.0, 1.0); // 4 cores, 4 GB buffer, $1 cloud/interval
+    sky.set_hyperparameters(SkyscraperConfig {
+        n_categories: 3,
+        planned_interval_secs: 6.0 * 3_600.0,
+        forecast_input_secs: 6.0 * 3_600.0,
+        forecast_input_splits: 6,
+        ..SkyscraperConfig::default()
+    });
+
+    // Record historical data from the camera that will be ingested live:
+    // 20 labeled minutes plus two unlabeled days (§3).
+    let mut camera = SyntheticCamera::new(ContentParams::traffic_intersection(7), 2.0);
+    let labeled = Recording::record(&mut camera, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut camera, 2.0 * 86_400.0);
+
+    println!("fitting Skyscraper offline (§3)…");
+    let report = sky.fit(&labeled, &unlabeled).expect("offline phase");
+    println!(
+        "  kept {} knob configurations with {} Pareto placements, {} content categories",
+        report.n_configs, report.n_placements, report.n_categories
+    );
+    println!(
+        "  forecaster trained on {} samples (validation MAE {:.3})",
+        report.n_train_samples, report.forecast_mae
+    );
+
+    // Go live: ingest six hours of video.
+    println!("ingesting 6 hours of live video (§4)…");
+    let live = Recording::record(&mut camera, 6.0 * 3_600.0);
+    let out = sky.ingest(live.segments()).expect("online ingestion");
+
+    println!("  segments processed : {}", out.segments);
+    println!("  mean result quality: {:.1}% of best", 100.0 * out.mean_quality);
+    println!("  knob switches      : {}", out.switches);
+    println!("  work performed     : {:.0} core-seconds", out.work_core_secs);
+    println!("  cloud spend        : ${:.3}", out.cloud_usd);
+    println!("  peak buffer fill   : {:.1} MB", out.buffer_peak / 1e6);
+    println!("  buffer overflows   : {} (the throughput guarantee, Eq. 1)", out.overflows);
+    assert_eq!(out.overflows, 0);
+}

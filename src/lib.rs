@@ -1,0 +1,44 @@
+//! # vetl — Video Extract-Transform-Load (Skyscraper reproduction)
+//!
+//! Facade crate bundling the whole workspace of this from-scratch Rust
+//! reproduction of *"Extract-Transform-Load for Video Streams"* (Kossmann et
+//! al., VLDB 2023):
+//!
+//! * [`skyscraper`] — the paper's contribution: content-adaptive knob tuning
+//!   with throughput guarantees (offline phase, knob planner, knob switcher,
+//!   multi-stream generalization, user-facing API).
+//! * [`video`] — the synthetic video substrate (content process, sources,
+//!   codec models, recordings).
+//! * [`sim`] — task graphs, placements, hardware, the Appendix-M simulator.
+//! * [`ml`] — KMeans, GMM, and the feed-forward forecaster, from scratch.
+//! * [`lp`] — two-phase simplex and knapsack solvers.
+//! * [`exec`] — a thread-pool actor executor (the Ray stand-in).
+//! * [`workloads`] — COVID, MOT, MOSEI-HIGH/LONG and the EV example.
+//! * [`baselines`] — Static, Chameleon*, VideoStorm* and the Optimum oracle.
+//!
+//! See `examples/quickstart.rs` for the fastest way in, and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+pub use skyscraper;
+
+pub use vetl_baselines as baselines;
+pub use vetl_exec as exec;
+pub use vetl_lp as lp;
+pub use vetl_ml as ml;
+pub use vetl_sim as sim;
+pub use vetl_video as video;
+pub use vetl_workloads as workloads;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use skyscraper::{
+        ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome,
+        Knob, KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, SkyError,
+        Skyscraper, SkyscraperConfig, Workload,
+    };
+    pub use vetl_sim::{CostModel, HardwareSpec};
+    pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};
+    pub use vetl_workloads::{
+        CovidWorkload, EvWorkload, MoseiVariant, MoseiWorkload, MotWorkload,
+    };
+}

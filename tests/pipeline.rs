@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full offline→online pipeline on the
+//! real workloads, and the system-ordering invariants the paper's
+//! evaluation rests on.
+
+use vetl::baselines::{best_static_config, run_optimum, run_static};
+use vetl::prelude::*;
+use vetl::skyscraper::offline::run_offline;
+use vetl::skyscraper::IngestDriver;
+use vetl::workloads::mosei::MoseiStreamGen;
+
+fn covid_setup(cores: usize) -> (CovidWorkload, vetl::skyscraper::FittedModel, Vec<Segment>) {
+    let workload = CovidWorkload::new();
+    let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
+    let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+    let hyper = SkyscraperConfig {
+        n_categories: 3,
+        planned_interval_secs: 6.0 * 3_600.0,
+        forecast_input_secs: 6.0 * 3_600.0,
+        forecast_input_splits: 6,
+        ..SkyscraperConfig::default()
+    };
+    let (model, _) = run_offline(
+        &workload,
+        &labeled,
+        &unlabeled,
+        HardwareSpec::with_cores(cores),
+        &hyper,
+    )
+    .expect("offline fit");
+    let online = Recording::record(&mut cam, 86_400.0).segments().to_vec();
+    (workload, model, online)
+}
+
+#[test]
+fn covid_end_to_end_guarantees_hold() {
+    let (workload, model, online) = covid_setup(8);
+    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
+    let out = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    assert_eq!(out.overflows, 0, "Eq. 1 throughput guarantee");
+    assert!(out.buffer_peak <= model.hardware.buffer_bytes * 1.01);
+    assert!(out.mean_quality > 0.5);
+    assert!(out.plans >= 2, "planner must re-run each planned interval");
+}
+
+#[test]
+fn skyscraper_beats_static_on_the_same_machine() {
+    let (workload, model, online) = covid_setup(8);
+    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
+    let sky = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+
+    let samples: Vec<_> = online.iter().step_by(450).map(|s| s.content).collect();
+    let static_cfg = best_static_config(&workload, &samples, 8.0);
+    let st = run_static(&workload, &static_cfg, &online);
+
+    assert!(
+        sky.mean_quality > st.mean_quality + 0.03,
+        "Skyscraper ({:.3}) must clearly beat peak-provisioned static ({:.3})",
+        sky.mean_quality,
+        st.mean_quality
+    );
+}
+
+#[test]
+fn oracle_dominates_skyscraper_at_equal_work() {
+    let (workload, model, online) = covid_setup(8);
+    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
+    let sky = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+
+    let configs: Vec<KnobConfig> = workload.config_space().iter().collect();
+    let oracle = run_optimum(&workload, &configs, &online, sky.work_core_secs);
+    assert!(
+        oracle.mean_quality >= sky.mean_quality - 0.02,
+        "ground-truth oracle ({:.3}) must not lose to Skyscraper ({:.3})",
+        oracle.mean_quality,
+        sky.mean_quality
+    );
+}
+
+#[test]
+fn cloud_spend_never_exceeds_per_interval_budget() {
+    let (workload, model, online) = covid_setup(4);
+    let budget = 0.2;
+    let opts = IngestOptions { cloud_budget_usd: budget, ..Default::default() };
+    let out = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    let intervals = (out.duration_secs / model.hyper.planned_interval_secs).ceil();
+    assert!(
+        out.cloud_usd <= budget * intervals + 1e-9,
+        "spent ${} over {} intervals of ${}",
+        out.cloud_usd,
+        intervals,
+        budget
+    );
+}
+
+#[test]
+fn mosei_long_plateau_does_not_overflow() {
+    let workload = MoseiWorkload::new(MoseiVariant::Long);
+    let mut gen = MoseiStreamGen::new(MoseiVariant::Long, 9);
+    let labeled = gen.record(20.0 * 60.0);
+    let unlabeled = gen.record(2.0 * 86_400.0);
+    let hyper = SkyscraperConfig {
+        n_categories: 5,
+        switch_period_secs: 7.0,
+        planned_interval_secs: 6.0 * 3_600.0,
+        forecast_input_secs: 6.0 * 3_600.0,
+        forecast_input_splits: 6,
+        ..SkyscraperConfig::default()
+    };
+    let (model, _) = run_offline(
+        &workload,
+        &labeled,
+        &unlabeled,
+        HardwareSpec::with_cores(4),
+        &hyper,
+    )
+    .expect("fit");
+    let online = gen.record(86_400.0);
+    let opts = IngestOptions { cloud_budget_usd: 1.0, ..Default::default() };
+    let out =
+        IngestDriver::new(&model, &workload, opts).run(online.segments()).expect("ingest");
+    assert_eq!(out.overflows, 0, "LONG plateau must be absorbed (buffer+cloud)");
+}
+
+#[test]
+fn facade_api_runs_all_paper_workloads() {
+    // Smoke test: every workload type fits and ingests through the facade.
+    let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+    let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut cam, 86_400.0);
+    let online = Recording::record(&mut cam, 2.0 * 3_600.0);
+
+    let mut sky = Skyscraper::new(MotWorkload::new());
+    sky.set_resources(8, 4_000.0, 0.5);
+    sky.set_hyperparameters(SkyscraperConfig {
+        n_categories: 3,
+        planned_interval_secs: 3.0 * 3_600.0,
+        forecast_input_secs: 3.0 * 3_600.0,
+        forecast_input_splits: 4,
+        ..SkyscraperConfig::fast_test()
+    });
+    sky.fit(&labeled, &unlabeled).expect("fit");
+    let out = sky.ingest(online.segments()).expect("ingest");
+    assert_eq!(out.overflows, 0);
+    assert!(out.mean_quality > 0.3);
+}
+
+#[test]
+fn drift_detector_is_quiet_on_stationary_content() {
+    // The Appendix-E.2 detector, calibrated against the offline residual
+    // distribution, must not fire while ingesting content drawn from the
+    // same process the model was fitted on. (The fires-on-novel-content
+    // case is unit-tested with controlled centers in
+    // `skyscraper::online::drift`.)
+    let (workload, model, online) = covid_setup(8);
+    assert!(model.residual_p99 > 0.0 && model.residual_p99 < 0.5);
+    let opts = IngestOptions { detect_drift: true, ..Default::default() };
+    let quiet = IngestDriver::new(&model, &workload, opts)
+        .run(&online[..20_000])
+        .expect("stationary run");
+    assert!(
+        (quiet.drift_alarms as f64) < 0.01 * 20_000.0,
+        "stationary content tripped {} drift alarms",
+        quiet.drift_alarms
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let (workload, model, online) = covid_setup(4);
+    let opts = IngestOptions { seed: 42, ..Default::default() };
+    let a = IngestDriver::new(&model, &workload, opts.clone()).run(&online).expect("run a");
+    let b = IngestDriver::new(&model, &workload, opts).run(&online).expect("run b");
+    assert_eq!(a.mean_quality, b.mean_quality);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.cloud_usd, b.cloud_usd);
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use vetl::lp::{knapsack_exact, knapsack_greedy, solve, KnapsackItem, LpProblem, Relation};
+use vetl::ml::{KMeans, KMeansConfig};
+use vetl::sim::{simulate, Backlog, CloudSpec, ClusterSpec, Placement, TaskGraph, TaskNode};
+use vetl::skyscraper::KnobPlan;
+
+proptest! {
+    /// LP solutions are feasible and at least as good as any sampled
+    /// feasible point (local optimality witness).
+    #[test]
+    fn lp_solution_is_feasible_and_dominant(
+        c1 in 0.1f64..5.0,
+        c2 in 0.1f64..5.0,
+        b1 in 1.0f64..20.0,
+        b2 in 1.0f64..20.0,
+        probe in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 16),
+    ) {
+        let mut p = LpProblem::new();
+        let x = p.add_var("x", c1);
+        let y = p.add_var("y", c2);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Le, b1);
+        p.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Le, b2);
+        let s = solve(&p).expect("bounded feasible LP");
+        prop_assert!(p.is_feasible(&s.values, 1e-6));
+        for (px, py) in probe {
+            if p.is_feasible(&[px, py], 0.0) {
+                let obj = c1 * px + c2 * py;
+                prop_assert!(s.objective >= obj - 1e-6,
+                    "solver {} beaten by probe {}", s.objective, obj);
+            }
+        }
+    }
+
+    /// Knapsack: greedy never beats exact DP (on-grid weights), and both
+    /// respect the capacity.
+    #[test]
+    fn knapsack_bounds(
+        items in prop::collection::vec((0.1f64..10.0, 1u32..20), 1..12),
+        cap_cells in 5u32..40,
+    ) {
+        // Integer weights on a 0.5 grid keep the DP exact.
+        let items: Vec<KnapsackItem> = items
+            .into_iter()
+            .map(|(value, w)| KnapsackItem { value, weight: w as f64 * 0.5 })
+            .collect();
+        let capacity = cap_cells as f64 * 0.5;
+        let g = knapsack_greedy(&items, capacity);
+        let e = knapsack_exact(&items, capacity, cap_cells as usize);
+        prop_assert!(g.weight <= capacity + 1e-9);
+        prop_assert!(e.weight <= capacity + 1e-9);
+        prop_assert!(e.value + 1e-9 >= g.value, "exact {} < greedy {}", e.value, g.value);
+        prop_assert!(g.value >= 0.5 * e.value - 1e-9, "greedy below 1/2-approx");
+    }
+
+    /// KMeans inertia never increases when k grows.
+    #[test]
+    fn kmeans_inertia_monotone_in_k(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 2), 12..60),
+    ) {
+        let i2 = KMeans::fit(&points, &KMeansConfig { k: 2, ..Default::default() }).inertia();
+        let i4 = KMeans::fit(&points, &KMeansConfig { k: 4, ..Default::default() }).inertia();
+        prop_assert!(i4 <= i2 + 1e-6, "k=4 inertia {} > k=2 inertia {}", i4, i2);
+    }
+
+    /// Knob plans normalize every category histogram (Eq. 4).
+    #[test]
+    fn knob_plan_rows_always_normalize(
+        raw in prop::collection::vec(
+            prop::collection::vec(0.0f64..10.0, 4), 1..6),
+    ) {
+        let plan = KnobPlan::new(raw);
+        for c in 0..plan.n_categories() {
+            let s: f64 = plan.histogram(c).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(plan.histogram(c).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    /// The backlog conserves bytes: freed bytes never exceed pushed bytes,
+    /// and the outstanding count matches pushes minus frees.
+    #[test]
+    fn backlog_conserves_bytes(
+        ops in prop::collection::vec((1.0f64..100.0, 0.1f64..10.0, 0.0f64..15.0), 1..60),
+    ) {
+        let mut backlog = Backlog::new();
+        let mut pushed = 0.0;
+        let mut freed = 0.0;
+        for (bytes, work, capacity) in ops {
+            backlog.push(bytes, work);
+            pushed += bytes;
+            freed += backlog.process(capacity);
+            prop_assert!(backlog.bytes() >= -1e-6);
+            prop_assert!(backlog.work() >= -1e-6);
+        }
+        prop_assert!(freed <= pushed + 1e-6);
+        prop_assert!((pushed - freed - backlog.bytes()).abs() < 1e-6 * pushed.max(1.0));
+    }
+
+    /// Makespan is monotone: moving any single task from a 1-core cluster to
+    /// a larger cluster never increases the makespan.
+    #[test]
+    fn makespan_monotone_in_cores(
+        secs in prop::collection::vec(0.01f64..2.0, 1..12),
+        cores_small in 1usize..3,
+        extra in 1usize..6,
+    ) {
+        let mut g = TaskGraph::new();
+        for (i, &s) in secs.iter().enumerate() {
+            g.add_node(TaskNode::new(format!("t{i}"), s, s / 2.0));
+        }
+        let p = Placement::all_onprem(g.len());
+        let cloud = CloudSpec::default();
+        let small = simulate(&g, &p, &ClusterSpec::with_cores(cores_small), &cloud);
+        let large = simulate(&g, &p, &ClusterSpec::with_cores(cores_small + extra), &cloud);
+        prop_assert!(large.makespan <= small.makespan + 1e-9);
+        // Work is conserved regardless of core count.
+        prop_assert!((large.onprem_busy_secs - small.onprem_busy_secs).abs() < 1e-9);
+    }
+
+    /// The makespan never undercuts the two classic lower bounds:
+    /// total-work / cores and the critical path.
+    #[test]
+    fn makespan_respects_lower_bounds(
+        secs in prop::collection::vec(0.01f64..2.0, 2..10),
+        chain in prop::bool::ANY,
+        cores in 1usize..8,
+    ) {
+        let mut g = TaskGraph::new();
+        let mut prev = None;
+        for (i, &s) in secs.iter().enumerate() {
+            let n = g.add_node(TaskNode::new(format!("t{i}"), s, s));
+            if chain {
+                if let Some(p) = prev {
+                    g.add_edge(p, n);
+                }
+                prev = Some(n);
+            }
+        }
+        let r = simulate(
+            &g,
+            &Placement::all_onprem(g.len()),
+            &ClusterSpec::with_cores(cores),
+            &CloudSpec::default(),
+        );
+        let work_bound = g.total_onprem_secs() / cores as f64;
+        let path_bound = g.critical_path_secs();
+        prop_assert!(r.makespan + 1e-9 >= work_bound);
+        prop_assert!(r.makespan + 1e-9 >= path_bound);
+    }
+}
