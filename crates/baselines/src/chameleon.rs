@@ -38,7 +38,12 @@ pub struct ChameleonOptions {
 
 impl Default for ChameleonOptions {
     fn default() -> Self {
-        Self { profile_period_secs: 30.0, candidates: 8, headroom: 0.9, seed: 99 }
+        Self {
+            profile_period_secs: 30.0,
+            candidates: 8,
+            headroom: 0.9,
+            seed: 99,
+        }
     }
 }
 
@@ -150,7 +155,9 @@ mod tests {
 
     fn stream(hours: f64) -> Vec<Segment> {
         let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
-        Recording::record(&mut cam, hours * 3_600.0).segments().to_vec()
+        Recording::record(&mut cam, hours * 3_600.0)
+            .segments()
+            .to_vec()
     }
 
     #[test]
@@ -177,13 +184,19 @@ mod tests {
             &w,
             &segs,
             &hw,
-            &ChameleonOptions { profile_period_secs: 600.0, ..Default::default() },
+            &ChameleonOptions {
+                profile_period_secs: 600.0,
+                ..Default::default()
+            },
         );
         let frequent = run_chameleon(
             &w,
             &segs,
             &hw,
-            &ChameleonOptions { profile_period_secs: 10.0, ..Default::default() },
+            &ChameleonOptions {
+                profile_period_secs: 10.0,
+                ..Default::default()
+            },
         );
         assert!(
             frequent.work_core_secs > rare.work_core_secs * 1.2,
@@ -199,7 +212,10 @@ mod tests {
         let segs = stream(6.0);
         let hw = HardwareSpec::with_cores(4).with_buffer(1e6); // 1 MB buffer
         let out = run_chameleon(&w, &segs, &hw, &ChameleonOptions::default());
-        assert!(out.crashed, "lag-agnostic tuning must overflow a tiny buffer");
+        assert!(
+            out.crashed,
+            "lag-agnostic tuning must overflow a tiny buffer"
+        );
         assert!(out.crashed_at_secs.is_some());
     }
 

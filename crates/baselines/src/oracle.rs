@@ -72,7 +72,10 @@ fn concave_frontier(points: &[(f64, f64)]) -> Vec<(usize, f64, f64)> {
 /// candidate must be chosen per item. Returns the chosen candidate index per
 /// item plus the total `(weight, value)` of the selection.
 pub fn greedy_mckp(options: &[Vec<(f64, f64)>], budget: f64) -> (Vec<usize>, f64, f64) {
-    assert!(options.iter().all(|o| !o.is_empty()), "every item needs candidates");
+    assert!(
+        options.iter().all(|o| !o.is_empty()),
+        "every item needs candidates"
+    );
 
     let mut upgrades: Vec<Upgrade> = Vec::new();
     let mut hulls: Vec<Vec<(usize, f64, f64)>> = Vec::with_capacity(options.len());
@@ -98,7 +101,9 @@ pub fn greedy_mckp(options: &[Vec<(f64, f64)>], budget: f64) -> (Vec<usize>, f64
     upgrades.sort_by(|a, b| {
         let ea = a.dv / a.dw.max(1e-12);
         let eb = b.dv / b.dw.max(1e-12);
-        eb.partial_cmp(&ea).expect("finite efficiency").then(a.to.cmp(&b.to))
+        eb.partial_cmp(&ea)
+            .expect("finite efficiency")
+            .then(a.to.cmp(&b.to))
     });
     let mut level = vec![0u32; options.len()];
     for u in upgrades {
@@ -138,7 +143,10 @@ pub fn run_optimum<W: Workload + ?Sized>(
             configs
                 .iter()
                 .map(|c| {
-                    (workload.work(c, &seg.content), workload.true_quality(c, &seg.content))
+                    (
+                        workload.work(c, &seg.content),
+                        workload.true_quality(c, &seg.content),
+                    )
                 })
                 .collect()
         })
@@ -163,14 +171,22 @@ mod tests {
     fn setup(hours: f64) -> (CovidWorkload, Vec<KnobConfig>, Vec<Segment>) {
         let w = CovidWorkload::new();
         let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
-        let segs = Recording::record(&mut cam, hours * 3_600.0).segments().to_vec();
+        let segs = Recording::record(&mut cam, hours * 3_600.0)
+            .segments()
+            .to_vec();
         let configs: Vec<KnobConfig> = w.config_space().iter().collect();
         (w, configs, segs)
     }
 
     #[test]
     fn frontier_is_concave_and_keeps_indices() {
-        let pts = vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.55), (4.0, 0.9), (10.0, 0.95)];
+        let pts = vec![
+            (1.0, 0.2),
+            (2.0, 0.5),
+            (3.0, 0.55),
+            (4.0, 0.9),
+            (10.0, 0.95),
+        ];
         let hull = concave_frontier(&pts);
         for w in hull.windows(3) {
             let e1 = (w[1].2 - w[0].2) / (w[1].1 - w[0].1);
@@ -234,10 +250,17 @@ mod tests {
         let (w, configs, segs) = setup(1.0);
         let out = run_optimum(&w, &configs, &segs, f64::INFINITY);
         let best = w.config_space().max_config();
-        let best_q: f64 =
-            segs.iter().map(|s| w.true_quality(&best, &s.content)).sum::<f64>()
-                / segs.len() as f64;
-        assert!(out.mean_quality >= best_q - 1e-6, "{} vs {}", out.mean_quality, best_q);
+        let best_q: f64 = segs
+            .iter()
+            .map(|s| w.true_quality(&best, &s.content))
+            .sum::<f64>()
+            / segs.len() as f64;
+        assert!(
+            out.mean_quality >= best_q - 1e-6,
+            "{} vs {}",
+            out.mean_quality,
+            best_q
+        );
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub fn run_static<W: Workload + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vetl_workloads::CovidWorkload;
     use vetl_video::{ContentParams, Recording, SyntheticCamera};
+    use vetl_workloads::CovidWorkload;
 
     fn data() -> (CovidWorkload, Vec<Segment>) {
         let w = CovidWorkload::new();
@@ -84,12 +84,10 @@ mod tests {
     #[test]
     fn bigger_machines_pick_better_configs() {
         let (w, segs) = data();
-        let samples: Vec<ContentState> =
-            segs.iter().step_by(600).map(|s| s.content).collect();
+        let samples: Vec<ContentState> = segs.iter().step_by(600).map(|s| s.content).collect();
         let small = best_static_config(&w, &samples, 4.0);
         let large = best_static_config(&w, &samples, 60.0);
-        let q =
-            |c: &KnobConfig| samples.iter().map(|s| w.true_quality(c, s)).sum::<f64>();
+        let q = |c: &KnobConfig| samples.iter().map(|s| w.true_quality(c, s)).sum::<f64>();
         assert!(q(&large) > q(&small), "60 cores must beat 4 cores");
         // And the large config costs more.
         let work = |c: &KnobConfig| samples.iter().map(|s| w.work(c, s)).sum::<f64>();

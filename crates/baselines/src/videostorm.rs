@@ -35,10 +35,13 @@ pub fn run_videostorm<W: Workload + ?Sized>(
     let mut profiles: Vec<(KnobConfig, f64, f64)> = space
         .iter()
         .map(|c| {
-            let q = samples.iter().map(|s| workload.true_quality(&c, s)).sum::<f64>()
+            let q = samples
+                .iter()
+                .map(|s| workload.true_quality(&c, s))
+                .sum::<f64>()
                 / samples.len() as f64;
-            let w = samples.iter().map(|s| workload.work(&c, s)).sum::<f64>()
-                / samples.len() as f64;
+            let w =
+                samples.iter().map(|s| workload.work(&c, s)).sum::<f64>() / samples.len() as f64;
             (c, q, w)
         })
         .collect();
@@ -56,9 +59,12 @@ pub fn run_videostorm<W: Workload + ?Sized>(
     for seg in segments {
         // Lag-aware, content-agnostic: use the best configuration while the
         // buffer still has headroom, else the best real-time one.
-        let headroom_ok =
-            backlog.bytes() + 2.0 * seg.bytes <= hardware.buffer_bytes;
-        let config = if headroom_ok { &best_overall.0 } else { &best_realtime.0 };
+        let headroom_ok = backlog.bytes() + 2.0 * seg.bytes <= hardware.buffer_bytes;
+        let config = if headroom_ok {
+            &best_overall.0
+        } else {
+            &best_realtime.0
+        };
         let w_seg = workload.work(config, &seg.content);
         work += w_seg;
         quality += workload.true_quality(config, &seg.content);
@@ -83,15 +89,16 @@ mod tests {
 
     fn stream(hours: f64) -> Vec<Segment> {
         let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
-        Recording::record(&mut cam, hours * 3_600.0).segments().to_vec()
+        Recording::record(&mut cam, hours * 3_600.0)
+            .segments()
+            .to_vec()
     }
 
     #[test]
     fn videostorm_never_overflows() {
         let w = CovidWorkload::new();
         let segs = stream(8.0);
-        let samples: Vec<ContentState> =
-            segs.iter().step_by(900).map(|s| s.content).collect();
+        let samples: Vec<ContentState> = segs.iter().step_by(900).map(|s| s.content).collect();
         let hw = HardwareSpec::with_cores(8).with_buffer(1e9);
         let out = run_videostorm(&w, &segs, &samples, &hw);
         assert!(!out.crashed);
@@ -104,8 +111,7 @@ mod tests {
         // land near the best static real-time configuration's quality.
         let w = CovidWorkload::new();
         let segs = stream(12.0);
-        let samples: Vec<ContentState> =
-            segs.iter().step_by(900).map(|s| s.content).collect();
+        let samples: Vec<ContentState> = segs.iter().step_by(900).map(|s| s.content).collect();
         let hw = HardwareSpec::with_cores(4).with_buffer(1e8);
         let vs = run_videostorm(&w, &segs, &samples, &hw);
         let static_cfg = crate::static_baseline::best_static_config(&w, &samples, 4.0);

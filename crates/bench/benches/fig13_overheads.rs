@@ -78,7 +78,9 @@ fn main() {
             let r = vec![1.0 / n_c as f64; n_c];
             let mut planner = KnobPlanner::new();
             let t0 = Instant::now();
-            let plan = planner.plan(&model, &r, 1.0 + n_k as f64).expect("LP solves");
+            let plan = planner
+                .plan(&model, &r, 1.0 + n_k as f64)
+                .expect("LP solves");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             assert_eq!(plan.n_categories(), n_c);
             row.push(format!("{ms:.1}"));
@@ -91,7 +93,14 @@ fn main() {
     let scale = data_scale();
     let mut table = Table::new(
         "actual per-workload decision overheads",
-        &["workload", "|K|", "|C|", "placements", "switcher µs", "planner ms"],
+        &[
+            "workload",
+            "|K|",
+            "|C|",
+            "placements",
+            "switcher µs",
+            "planner ms",
+        ],
     );
     for which in paper_workloads() {
         let fitted = vetl_bench::fit_on(which, &MACHINES[1], scale);
@@ -123,8 +132,14 @@ fn main() {
         let _ = planner.plan(model, &r, 16.0).expect("plan");
         let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        assert!(sw_us < 1_000.0, "switcher must stay under 1 ms, got {sw_us} µs");
-        assert!(plan_ms < 1_000.0, "planner must stay under 1 s, got {plan_ms} ms");
+        assert!(
+            sw_us < 1_000.0,
+            "switcher must stay under 1 ms, got {sw_us} µs"
+        );
+        assert!(
+            plan_ms < 1_000.0,
+            "planner must stay under 1 s, got {plan_ms} ms"
+        );
         table.row(vec![
             which.name().into(),
             model.n_configs().to_string(),

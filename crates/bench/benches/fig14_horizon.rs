@@ -25,7 +25,12 @@ fn main() {
     for which in [PaperWorkload::Covid, PaperWorkload::Mot] {
         let mut table = Table::new(
             format!("{} — forecast horizon", which.name()),
-            &["horizon (days)", "forecast MAE", "quality (model)", "quality (ground truth)"],
+            &[
+                "horizon (days)",
+                "forecast MAE",
+                "quality (model)",
+                "quality (ground truth)",
+            ],
         );
         for &h in &horizons {
             let horizon_secs = h * day;
@@ -39,7 +44,10 @@ fn main() {
             let model_out = IngestDriver::new(
                 &fitted.model,
                 fitted.spec.workload.as_ref(),
-                IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+                IngestOptions {
+                    cloud_budget_usd: 0.3,
+                    ..Default::default()
+                },
             )
             .run(&fitted.spec.online)
             .expect("ingest");

@@ -57,9 +57,17 @@ fn main() {
             "{}: Standard error rate {} (paper: {}), of which Type-A {} (paper: {})",
             which.name(),
             pct(std_rate),
-            if which == PaperWorkload::Covid { "2.1%" } else { "6.6%" },
+            if which == PaperWorkload::Covid {
+                "2.1%"
+            } else {
+                "6.6%"
+            },
             pct(type_a_rate),
-            if which == PaperWorkload::Covid { "0.5%" } else { "3.7%" },
+            if which == PaperWorkload::Covid {
+                "0.5%"
+            } else {
+                "3.7%"
+            },
         );
     }
 }

@@ -22,7 +22,12 @@ fn main() {
     let workload = fitted.spec.workload.as_ref();
     let online = &fitted.spec.online;
     let seg_len = workload.segment_len();
-    let configs: Vec<KnobConfig> = fitted.model.configs.iter().map(|c| c.config.clone()).collect();
+    let configs: Vec<KnobConfig> = fitted
+        .model
+        .configs
+        .iter()
+        .map(|c| c.config.clone())
+        .collect();
 
     // Budget: what the 8-vCPU machine can retire over the run.
     let budget = 8.0 * online.len() as f64 * seg_len;
@@ -72,7 +77,10 @@ fn main() {
     let out = IngestDriver::new(
         &fitted.model,
         workload,
-        IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+        IngestOptions {
+            cloud_budget_usd: 0.3,
+            ..Default::default()
+        },
     )
     .run(online)
     .expect("ingest");
@@ -87,7 +95,11 @@ fn main() {
         "idealized vs practical (8 vCPUs)",
         &["system", "norm. work", "quality"],
     );
-    table.row(vec!["Static".into(), f3(st.work_core_secs / budget), pct(st.mean_quality)]);
+    table.row(vec![
+        "Static".into(),
+        f3(st.work_core_secs / budget),
+        pct(st.mean_quality),
+    ]);
     table.row(vec![
         "Idealized (per-slice forecast)".into(),
         f3(ideal_work / budget),

@@ -34,7 +34,10 @@ fn main() {
             let out = IngestDriver::new(
                 &model,
                 spec.workload.as_ref(),
-                IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+                IngestOptions {
+                    cloud_budget_usd: 0.3,
+                    ..Default::default()
+                },
             )
             .run(&spec.online)
             .expect("ingest");

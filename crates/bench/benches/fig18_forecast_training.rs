@@ -4,7 +4,7 @@
 //! the paper notes ~700 of 1 200 samples would have sufficed, cutting the
 //! offline phase's dominant cost (training-data generation) by 35 %.
 
-use skyscraper::offline::forecast::{ForecastDataset, Forecaster, ForecastSpec};
+use skyscraper::offline::forecast::{ForecastDataset, ForecastSpec, Forecaster};
 use vetl_bench::{data_scale, f3, Table, SEED};
 use vetl_workloads::{PaperWorkload, MACHINES};
 
@@ -21,14 +21,17 @@ fn main() {
         sample_every_secs: 300.0, // denser stride to generate enough samples
     };
     // Re-label with the model's own categorization (same path as training).
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SEED);
+    let pool = vetl_bench::worker_pool();
     let timeline = skyscraper::offline::forecast::CategoryTimeline::label(
         fitted.spec.workload.as_ref(),
         fitted.spec.unlabeled.segments(),
-        &fitted.model.configs[fitted.model.discriminator].config.clone(),
+        &fitted.model.configs[fitted.model.discriminator]
+            .config
+            .clone(),
         fitted.model.discriminator,
         &fitted.model.categories,
-        &mut rng,
+        SEED,
+        &pool,
     );
     let full = ForecastDataset::build(&timeline, &spec_params);
     println!("full dataset: {} samples", full.len());
@@ -39,8 +42,10 @@ fn main() {
         "MAE vs training samples",
         &["samples", "MAE", "relative data-gen cost"],
     );
-    let mut sizes: Vec<usize> =
-        [50usize, 100, 200, 400, 700, full.len()].iter().map(|&n| n.min(full.len())).collect();
+    let mut sizes: Vec<usize> = [50usize, 100, 200, 400, 700, full.len()]
+        .iter()
+        .map(|&n| n.min(full.len()))
+        .collect();
     sizes.dedup();
     for n in sizes {
         let mut ds = full.clone();

@@ -32,7 +32,10 @@ fn main() {
             let sky = IngestDriver::new(
                 &fitted.model,
                 workload,
-                IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+                IngestOptions {
+                    cloud_budget_usd: 0.3,
+                    ..Default::default()
+                },
             )
             .run(online)
             .expect("ingest");

@@ -16,7 +16,13 @@ fn main() {
 
     let mut table = Table::new(
         "category-count sensitivity",
-        &["|C|", "switcher accuracy", "quality @4", "quality @8", "quality @16"],
+        &[
+            "|C|",
+            "switcher accuracy",
+            "quality @4",
+            "quality @8",
+            "quality @16",
+        ],
     );
     for n_categories in [1usize, 2, 3, 4, 8] {
         let mut quals = Vec::new();
@@ -29,7 +35,10 @@ fn main() {
             let out = IngestDriver::new(
                 &fitted.model,
                 fitted.spec.workload.as_ref(),
-                IngestOptions { cloud_budget_usd: 0.3, ..Default::default() },
+                IngestOptions {
+                    cloud_budget_usd: 0.3,
+                    ..Default::default()
+                },
             )
             .run(&fitted.spec.online)
             .expect("ingest");

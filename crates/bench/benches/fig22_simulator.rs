@@ -109,9 +109,7 @@ fn main() {
     for batch in 0..4 {
         let mut g = TaskGraph::new();
         for i in 0..20 {
-            g.add_node(
-                TaskNode::new(format!("cloud{i}"), 0.2, 0.1).with_payload(1.0e6, 1.0e5),
-            );
+            g.add_node(TaskNode::new(format!("cloud{i}"), 0.2, 0.1).with_payload(1.0e6, 1.0e5));
         }
         let est = simulate(
             &g,
@@ -131,8 +129,7 @@ fn main() {
             let jitter = 0.9 + 0.2 * rng.gen::<f64>();
             let spike = if rng.gen::<f64>() < 0.05 { 3.0 } else { 1.0 };
             uplink_free += node.upload_bytes / cloud.uplink_bytes_per_sec;
-            let finish =
-                uplink_free + (cloud.rtt_secs + node.cloud_compute_secs) * jitter * spike;
+            let finish = uplink_free + (cloud.rtt_secs + node.cloud_compute_secs) * jitter * spike;
             makespan = makespan.max(finish);
         }
         let t = makespan;

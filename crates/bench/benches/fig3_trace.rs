@@ -58,7 +58,15 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 3 — EV workload over one day (hourly rows)",
-        &["time", "q(exp)", "q(med)", "q(cheap)", "TFLOP/s", "buffer GB", "cloud frac"],
+        &[
+            "time",
+            "q(exp)",
+            "q(med)",
+            "q(cheap)",
+            "TFLOP/s",
+            "buffer GB",
+            "cloud frac",
+        ],
     );
     let buckets = out.trace.bucket_average(900.0);
     let first_index = online.segments()[0].index;
@@ -82,8 +90,12 @@ fn main() {
     }
     table.print();
 
-    let max_rate =
-        out.trace.points().iter().map(|p| p.work_rate).fold(0.0f64, f64::max);
+    let max_rate = out
+        .trace
+        .points()
+        .iter()
+        .map(|p| p.work_rate)
+        .fold(0.0f64, f64::max);
     let expensive_rate: f64 = online
         .segments()
         .iter()

@@ -21,7 +21,9 @@ fn main() {
     for which in paper_workloads() {
         let mut table = Table::new(
             format!("{} — quality and cost per system/machine", which.name()),
-            &["method", "machine", "vCPUs", "quality", "cloud $", "total $"],
+            &[
+                "method", "machine", "vCPUs", "quality", "cloud $", "total $",
+            ],
         );
         // Build data once per workload; re-fit per machine (placements are
         // hardware-specific).
@@ -34,8 +36,7 @@ fn main() {
 
         for machine in &MACHINES {
             // ---- Static baseline. ----
-            let cfg =
-                best_static_config(probe.workload.as_ref(), &samples, machine.vcpus as f64);
+            let cfg = best_static_config(probe.workload.as_ref(), &samples, machine.vcpus as f64);
             let st = run_static(probe.workload.as_ref(), &cfg, &probe.online);
             let st_cost = total_cost_usd(machine, duration, 0.0, &cost_model);
             static_points.push((st_cost, st.mean_quality));
@@ -73,8 +74,11 @@ fn main() {
         // ---- Skyscraper: fit + ingest per machine. ----
         for machine in &MACHINES {
             let fitted = vetl_bench::fit_on(which, machine, scale);
-            let opts =
-                IngestOptions { cloud_budget_usd: 0.3, record_trace: false, ..Default::default() };
+            let opts = IngestOptions {
+                cloud_budget_usd: 0.3,
+                record_trace: false,
+                ..Default::default()
+            };
             let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
                 .run(&fitted.spec.online)
                 .expect("ingest");

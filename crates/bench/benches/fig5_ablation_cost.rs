@@ -45,10 +45,9 @@ fn main() {
                         cost_model,
                         ..Default::default()
                     };
-                    let out =
-                        IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
-                            .run(&fitted.spec.online)
-                            .expect("ingest");
+                    let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
+                        .run(&fitted.spec.online)
+                        .expect("ingest");
                     let total =
                         total_cost_usd(machine, duration, out.cloud_usd * ratio / 1.8, &cost_model);
                     table.row(vec![

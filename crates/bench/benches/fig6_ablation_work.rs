@@ -24,8 +24,10 @@ fn main() {
         // Reference: the work of processing everything with the most
         // expensive configuration (normalization denominator).
         let max_config = workload.config_space().max_config();
-        let max_work: f64 =
-            online.iter().map(|s| workload.work(&max_config, &s.content)).sum();
+        let max_work: f64 = online
+            .iter()
+            .map(|s| workload.work(&max_config, &s.content))
+            .sum();
 
         let mut table = Table::new(
             format!("{} — work vs quality", which.name()),
@@ -45,7 +47,10 @@ fn main() {
         // Skyscraper sweep: machines induce different work budgets.
         for machine in &MACHINES {
             let f = vetl_bench::fit_on(which, machine, scale);
-            let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
+            let opts = IngestOptions {
+                cloud_budget_usd: 0.3,
+                ..Default::default()
+            };
             let out = IngestDriver::new(&f.model, f.spec.workload.as_ref(), opts)
                 .run(&f.spec.online)
                 .expect("ingest");

@@ -4,9 +4,10 @@
 //! the knob switcher, knob planner (LP), KMeans, forecaster inference and
 //! the Appendix-M makespan simulator.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 
 use skyscraper::{KnobPlan, KnobPlanner, KnobSwitcher, SwitcherLimits};
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, merge_into};
 use vetl_bench::synthetic_model;
 use vetl_lp::{solve, LpProblem, Relation};
 use vetl_ml::{KMeans, KMeansConfig, Mlp};
@@ -45,10 +46,20 @@ fn bench_planner(c: &mut Criterion) {
 fn bench_kmeans(c: &mut Criterion) {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let points: Vec<Vec<f64>> =
-        (0..500).map(|_| (0..8).map(|_| rng.gen::<f64>()).collect()).collect();
+    let points: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..8).map(|_| rng.gen::<f64>()).collect())
+        .collect();
     c.bench_function("kmeans_500x8_k4", |b| {
-        b.iter(|| KMeans::fit(&points, &KMeansConfig { k: 4, n_init: 1, ..Default::default() }))
+        b.iter(|| {
+            KMeans::fit(
+                &points,
+                &KMeansConfig {
+                    k: 4,
+                    n_init: 1,
+                    ..Default::default()
+                },
+            )
+        })
     });
 }
 
@@ -75,7 +86,11 @@ fn bench_simplex(c: &mut Criterion) {
         lp
     };
     c.bench_function("simplex_75v_16c", |b| {
-        b.iter_batched(build, |lp| solve(&lp).expect("solves"), BatchSize::SmallInput)
+        b.iter_batched(
+            build,
+            |lp| solve(&lp).expect("solves"),
+            BatchSize::SmallInput,
+        )
     });
 }
 
@@ -97,13 +112,21 @@ fn bench_makespan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_switcher,
-    bench_planner,
-    bench_kmeans,
-    bench_forecaster,
-    bench_simplex,
-    bench_makespan
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_switcher(&mut c);
+    bench_planner(&mut c);
+    bench_kmeans(&mut c);
+    bench_forecaster(&mut c);
+    bench_simplex(&mut c);
+    bench_makespan(&mut c);
+
+    // Merge the measurements into the perf-trajectory file next to the
+    // offline-phase timings.
+    let rows: Vec<(&str, String)> = c
+        .results()
+        .iter()
+        .map(|r| (r.name.as_str(), jnum(r.mean_ns)))
+        .collect();
+    merge_into(bench_json_path(), "micro_overheads_ns", &jobj(&rows));
+}

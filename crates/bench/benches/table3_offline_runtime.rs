@@ -3,43 +3,107 @@
 //! Reproduction target (shape): training-data generation (labelling the
 //! unlabeled recording) dominates — the paper reports 83 % of a 1.6 h
 //! offline phase; everything else takes minutes.
+//!
+//! This bench additionally runs the phase twice — once pinned to a single
+//! worker, once fanned out across all cores — to track the scatter-gather
+//! speedup, and merges the step timings into `BENCH_offline.json` for the
+//! perf trajectory. The two runs produce bit-identical fitted models (the
+//! determinism is regression-tested in `skyscraper::offline`).
 
+use skyscraper::offline::OfflineReport;
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, jstr, merge_into};
 use vetl_bench::{data_scale, Table};
 use vetl_workloads::{PaperWorkload, MACHINES};
+
+fn step_rows(r: &OfflineReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("Filter knob configurations", r.filter_configs_secs),
+        ("Filter task placements", r.filter_placements_secs),
+        ("Compute content categories", r.categorize_secs),
+        ("Create forecast training data", r.forecast_data_secs),
+        ("Train forecast model", r.train_secs),
+    ]
+}
+
+fn report_json(r: &OfflineReport) -> String {
+    let mut steps: Vec<(&str, String)> = step_rows(r)
+        .into_iter()
+        .map(|(name, secs)| (name, jnum(secs)))
+        .collect();
+    steps.push(("total", jnum(r.total_secs())));
+    jobj(&[
+        ("threads", jnum(r.n_workers as f64)),
+        ("steps_secs", jobj(&steps)),
+        ("n_configs", jnum(r.n_configs as f64)),
+        ("n_placements", jnum(r.n_placements as f64)),
+        ("n_categories", jnum(r.n_categories as f64)),
+        ("n_train_samples", jnum(r.n_train_samples as f64)),
+        ("forecast_mae", jnum(r.forecast_mae)),
+    ])
+}
 
 fn main() {
     let scale = data_scale();
     println!("Table 3 (App. E) — offline-phase runtimes (COVID, {scale:?} scale)");
 
-    let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[1], scale);
-    let r = &fitted.report;
+    let fit = |workers: usize| {
+        vetl_bench::fit_with(PaperWorkload::Covid, &MACHINES[1], scale, |mut h| {
+            h.n_workers = workers;
+            h
+        })
+    };
+    let serial = fit(1);
+    let parallel = fit(0); // 0 = one worker per available core
 
+    let threads = parallel.report.n_workers;
     let mut table = Table::new(
         "offline step runtimes",
-        &["step", "runtime s", "share"],
+        &[
+            "step",
+            "1 thread s",
+            format!("{threads} threads s").as_str(),
+            "share",
+            "speedup",
+        ],
     );
-    let total = r.total_secs();
-    let mut row = |name: &str, secs: f64| {
+    let total_1 = serial.report.total_secs();
+    let total_n = parallel.report.total_secs();
+    for ((name, secs_1), (_, secs_n)) in step_rows(&serial.report)
+        .into_iter()
+        .zip(step_rows(&parallel.report))
+    {
         table.row(vec![
             name.into(),
-            format!("{secs:.3}"),
-            format!("{:.0}%", 100.0 * secs / total),
+            format!("{secs_1:.3}"),
+            format!("{secs_n:.3}"),
+            format!("{:.0}%", 100.0 * secs_1 / total_1),
+            format!("{:.1}x", secs_1 / secs_n.max(1e-9)),
         ]);
-    };
-    row("Filter knob configurations", r.filter_configs_secs);
-    row("Filter task placements", r.filter_placements_secs);
-    row("Compute content categories", r.categorize_secs);
-    row("Create forecast training data", r.forecast_data_secs);
-    row("Train forecast model", r.train_secs);
+    }
     table.print();
 
+    let speedup = total_1 / total_n.max(1e-9);
+    let r = &parallel.report;
     println!(
-        "total {:.2}s — {} configs, {} placements, {} categories, \
+        "total {total_1:.2}s on 1 thread, {total_n:.2}s on {threads} threads \
+         ({speedup:.1}x) — {} configs, {} placements, {} categories, \
          {} forecaster samples (val MAE {:.3})",
-        total, r.n_configs, r.n_placements, r.n_categories, r.n_train_samples, r.forecast_mae
+        r.n_configs, r.n_placements, r.n_categories, r.n_train_samples, r.forecast_mae
     );
     println!(
         "\nShape check: forecast-data creation dominates (paper: 83% of 1.6h); \
          it is embarrassingly parallel."
+    );
+
+    merge_into(
+        bench_json_path(),
+        "table3_offline_runtime",
+        &jobj(&[
+            ("scale", jstr(&format!("{scale:?}"))),
+            ("workload", jstr("COVID")),
+            ("single_worker", report_json(&serial.report)),
+            ("parallel", report_json(&parallel.report)),
+            ("speedup", jnum(speedup)),
+        ]),
     );
 }

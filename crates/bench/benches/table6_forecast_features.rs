@@ -5,9 +5,7 @@
 //! reasonable resolution (8 splits) keeps the MAE low; very coarse inputs
 //! (1 split over many days) wash out the recent dynamics and do worse.
 
-use rand::SeedableRng;
-
-use skyscraper::offline::forecast::{CategoryTimeline, Forecaster, ForecastSpec};
+use skyscraper::offline::forecast::{CategoryTimeline, ForecastSpec, Forecaster};
 use vetl_bench::{data_scale, f3, Table, SEED};
 use vetl_workloads::spec::DataScale;
 use vetl_workloads::{PaperWorkload, MACHINES};
@@ -18,14 +16,17 @@ fn main() {
     println!("Table 6 (App. I.3) — forecaster featurization sweep (COVID, {scale:?} scale)");
 
     let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[1], scale);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(SEED);
+    let pool = vetl_bench::worker_pool();
     let timeline = CategoryTimeline::label(
         fitted.spec.workload.as_ref(),
         fitted.spec.unlabeled.segments(),
-        &fitted.model.configs[fitted.model.discriminator].config.clone(),
+        &fitted.model.configs[fitted.model.discriminator]
+            .config
+            .clone(),
         fitted.model.discriminator,
         &fitted.model.categories,
-        &mut rng,
+        SEED,
+        &pool,
     );
 
     let (input_days, horizon) = match scale {

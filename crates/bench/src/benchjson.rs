@@ -1,0 +1,223 @@
+//! Machine-readable bench output.
+//!
+//! Bench targets print human tables, but the perf trajectory across PRs is
+//! tracked through `BENCH_offline.json`: each bench merges its section into
+//! that file under its own top-level key, so running several benches
+//! accumulates one JSON object. No serde is available offline, so this
+//! module carries a tiny JSON builder and a top-level-key splitter
+//! sufficient for the merge.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default output file name.
+pub const BENCH_JSON_NAME: &str = "BENCH_offline.json";
+
+/// Where benches write their JSON: `$VETL_BENCH_JSON` if set, otherwise
+/// `BENCH_offline.json` at the workspace root (benches run with the package
+/// directory as CWD, so a bare relative path would land in `crates/bench`).
+pub fn bench_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("VETL_BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .join(BENCH_JSON_NAME)
+}
+
+/// Quote and escape a string value.
+pub fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a finite number (NaN/inf degrade to `null`).
+pub fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Build an object from already-encoded values.
+pub fn jobj(pairs: &[(&str, String)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{}: {}", jstr(k), v))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Split the top level of a JSON object into `(key, raw value)` pairs.
+/// Returns `None` on anything it cannot confidently parse (the caller then
+/// starts a fresh object rather than corrupting data).
+fn split_top_level(text: &str) -> Option<Vec<(String, String)>> {
+    let t = text.trim();
+    let inner = t.strip_prefix('{')?.strip_suffix('}')?;
+    let bytes = inner.as_bytes();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    // Scan a quoted string starting at `i` (at the opening quote); returns
+    // the index one past the closing quote.
+    let scan_string = |mut i: usize| -> Option<usize> {
+        i += 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
+            }
+        }
+        None
+    };
+
+    loop {
+        skip_ws(&mut i);
+        if i >= bytes.len() {
+            break;
+        }
+        // Key.
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_end = scan_string(i)?;
+        let key = inner[i + 1..key_end - 1].to_string();
+        i = key_end;
+        skip_ws(&mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        // Value: scan to the next top-level comma.
+        let start = i;
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => i = scan_string(i)?,
+                b'{' | b'[' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' | b']' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None;
+                    }
+                    i += 1;
+                }
+                b',' if depth == 0 => break,
+                _ => i += 1,
+            }
+        }
+        if depth != 0 {
+            return None;
+        }
+        pairs.push((key, inner[start..i].trim().to_string()));
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+    Some(pairs)
+}
+
+/// Insert or replace `key` in the top-level object stored at `path`,
+/// preserving all other keys. A missing or unparseable file starts fresh.
+pub fn merge_into(path: impl AsRef<Path>, key: &str, value_json: &str) {
+    let path = path.as_ref();
+    let mut pairs = fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_top_level(&text))
+        .unwrap_or_default();
+    if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value_json.to_string();
+    } else {
+        pairs.push((key.to_string(), value_json.to_string()));
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("  {}: {}", jstr(k), v))
+        .collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = fs::write(path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {} (section {key:?})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jstr_escapes() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn jobj_builds_flat_objects() {
+        let o = jobj(&[("a", jnum(1.5)), ("b", jstr("x"))]);
+        assert_eq!(o, "{\"a\": 1.5, \"b\": \"x\"}");
+    }
+
+    #[test]
+    fn split_roundtrips_nested_values() {
+        let text = r#"{"a": {"x": [1, 2, {"y": "},"}]}, "b": 3.5, "c": "s,t"}"#;
+        let pairs = split_top_level(text).expect("parses");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0, "a");
+        assert_eq!(pairs[0].1, r#"{"x": [1, 2, {"y": "},"}]}"#);
+        assert_eq!(pairs[1], ("b".into(), "3.5".into()));
+        assert_eq!(pairs[2], ("c".into(), "\"s,t\"".into()));
+    }
+
+    #[test]
+    fn split_rejects_garbage() {
+        assert!(split_top_level("not json").is_none());
+        assert!(split_top_level("{\"a\" 1}").is_none());
+        assert!(split_top_level("{\"a\": {unbalanced}").is_none());
+    }
+
+    #[test]
+    fn merge_replaces_and_preserves() {
+        let dir = std::env::temp_dir().join(format!("vetl-benchjson-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = fs::remove_file(&path);
+
+        merge_into(&path, "offline", &jobj(&[("total_secs", jnum(1.0))]));
+        merge_into(&path, "micro", &jobj(&[("kmeans_ns", jnum(250.0))]));
+        merge_into(&path, "offline", &jobj(&[("total_secs", jnum(2.0))]));
+
+        let text = fs::read_to_string(&path).unwrap();
+        let pairs = split_top_level(&text).expect("written file parses");
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "offline");
+        assert!(pairs[0].1.contains("2"), "{}", pairs[0].1);
+        assert_eq!(pairs[1].0, "micro");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -17,14 +17,20 @@ use skyscraper::offline::forecast::{CategoryTimeline, ForecastSpec, Forecaster};
 use skyscraper::offline::{run_offline, FittedModel, OfflineReport};
 use skyscraper::profile::{ConfigProfile, PlacementProfile};
 use skyscraper::{ContentCategories, KnobConfig, SkyscraperConfig};
+use vetl_exec::ActorPool;
 use vetl_sim::{HardwareSpec, Placement};
 use vetl_video::ContentState;
 use vetl_workloads::spec::DataScale;
 use vetl_workloads::{Machine, PaperWorkload, WorkloadSpec};
 
+pub mod benchjson;
+
 /// Data scale chosen via the `VETL_FULL` environment variable.
 pub fn data_scale() -> DataScale {
-    if std::env::var("VETL_FULL").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("VETL_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         DataScale::Paper
     } else {
         DataScale::Fast
@@ -33,6 +39,15 @@ pub fn data_scale() -> DataScale {
 
 /// Deterministic experiment seed.
 pub const SEED: u64 = 7;
+
+/// A worker pool sized to the machine, for benches that call the parallel
+/// offline primitives directly.
+pub fn worker_pool() -> ActorPool {
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    ActorPool::new(n)
+}
 
 /// A fitted workload ready for online experiments.
 pub struct Fitted {
@@ -62,16 +77,36 @@ pub fn fit_with(
     spec.hyper = tweak(spec.hyper.clone());
     let hardware = machine.hardware(4e9);
     let t0 = Instant::now();
-    let (model, report) =
-        run_offline(spec.workload.as_ref(), &spec.labeled, &spec.unlabeled, hardware, &spec.hyper)
-            .unwrap_or_else(|e| panic!("offline fit failed for {:?} on {}: {e}", which, machine.name));
-    Fitted { spec, model, report, fit_secs: t0.elapsed().as_secs_f64() }
+    let (model, report) = run_offline(
+        spec.workload.as_ref(),
+        &spec.labeled,
+        &spec.unlabeled,
+        hardware,
+        &spec.hyper,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "offline fit failed for {:?} on {}: {e}",
+            which, machine.name
+        )
+    });
+    Fitted {
+        spec,
+        model,
+        report,
+        fit_secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Evenly strided content samples from segments.
 pub fn sample_contents(segments: &[vetl_video::Segment], n: usize) -> Vec<ContentState> {
     let stride = (segments.len() / n.max(1)).max(1);
-    segments.iter().step_by(stride).take(n).map(|s| s.content).collect()
+    segments
+        .iter()
+        .step_by(stride)
+        .take(n)
+        .map(|s| s.content)
+        .collect()
 }
 
 /// A synthetic fitted model for the overhead experiments (Fig. 13): `n_k`

@@ -88,8 +88,13 @@ impl<W: Workload> Skyscraper<W> {
         labeled: &Recording,
         unlabeled: &Recording,
     ) -> Result<OfflineReport, SkyError> {
-        let (model, report) =
-            run_offline(&self.workload, labeled, unlabeled, self.hardware, &self.hyper)?;
+        let (model, report) = run_offline(
+            &self.workload,
+            labeled,
+            unlabeled,
+            self.hardware,
+            &self.hyper,
+        )?;
         self.model = Some(model);
         Ok(report)
     }

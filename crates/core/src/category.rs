@@ -48,14 +48,22 @@ impl ContentCategories {
             ClusteringAlgo::KMeans => {
                 let km = KMeans::fit(
                     quality_vectors,
-                    &KMeansConfig { k: n_categories, seed, ..Default::default() },
+                    &KMeansConfig {
+                        k: n_categories,
+                        seed,
+                        ..Default::default()
+                    },
                 );
                 km.centers().to_vec()
             }
             ClusteringAlgo::Gmm => {
                 let gmm = GaussianMixture::fit(
                     quality_vectors,
-                    &GmmConfig { k: n_categories, seed, ..Default::default() },
+                    &GmmConfig {
+                        k: n_categories,
+                        seed,
+                        ..Default::default()
+                    },
                 );
                 gmm.means().to_vec()
             }
@@ -63,11 +71,44 @@ impl ContentCategories {
         Self { centers }
     }
 
+    /// [`fit_with`](Self::fit_with) scattering independent work across a
+    /// worker pool: KMeans parallelizes its random restarts (bit-identical
+    /// to the sequential fit); GMM's EM iterations are inherently
+    /// sequential and run as-is.
+    pub fn fit_on(
+        quality_vectors: &[Vec<f64>],
+        n_categories: usize,
+        seed: u64,
+        algo: ClusteringAlgo,
+        pool: &vetl_exec::ActorPool,
+    ) -> Self {
+        match algo {
+            ClusteringAlgo::KMeans => {
+                let km = KMeans::fit_on(
+                    quality_vectors,
+                    &KMeansConfig {
+                        k: n_categories,
+                        seed,
+                        ..Default::default()
+                    },
+                    pool,
+                );
+                Self {
+                    centers: km.centers().to_vec(),
+                }
+            }
+            ClusteringAlgo::Gmm => Self::fit_with(quality_vectors, n_categories, seed, algo),
+        }
+    }
+
     /// Build directly from known centers (tests, serialization).
     pub fn from_centers(centers: Vec<Vec<f64>>) -> Self {
         assert!(!centers.is_empty(), "need at least one category");
         let dim = centers[0].len();
-        assert!(centers.iter().all(|c| c.len() == dim), "inconsistent center dimensions");
+        assert!(
+            centers.iter().all(|c| c.len() == dim),
+            "inconsistent center dimensions"
+        );
         Self { centers }
     }
 

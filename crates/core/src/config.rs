@@ -42,6 +42,11 @@ pub struct SkyscraperConfig {
     pub runtime_safety: f64,
     /// Master RNG seed for the offline phase.
     pub seed: u64,
+    /// Worker threads for the offline phase's scatter-gather steps
+    /// (profiling, hill climbing, labelling). `0` means one per available
+    /// core. The fitted model is bit-identical for every worker count —
+    /// all stochastic evaluations draw from seed-derived generators.
+    pub n_workers: usize,
 }
 
 impl Default for SkyscraperConfig {
@@ -60,6 +65,7 @@ impl Default for SkyscraperConfig {
             categorize_fraction: 0.05,
             runtime_safety: 1.1,
             seed: 42,
+            n_workers: 0,
         }
     }
 }
@@ -82,6 +88,19 @@ impl SkyscraperConfig {
             categorize_fraction: 0.02,
             runtime_safety: 1.1,
             seed: 42,
+            n_workers: 0,
+        }
+    }
+
+    /// Resolved worker-thread count (`n_workers`, defaulting to the number
+    /// of available cores).
+    pub fn resolved_workers(&self) -> usize {
+        if self.n_workers > 0 {
+            self.n_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }

@@ -31,7 +31,10 @@ pub enum SkyError {
 impl std::fmt::Display for SkyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SkyError::UnderProvisioned { cheapest_work_rate, cluster_throughput } => write!(
+            SkyError::UnderProvisioned {
+                cheapest_work_rate,
+                cluster_throughput,
+            } => write!(
                 f,
                 "under-provisioned: cheapest configuration needs {cheapest_work_rate:.2} core-s/s \
                  but the cluster only retires {cluster_throughput:.2} core-s/s"
@@ -60,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SkyError::UnderProvisioned { cheapest_work_rate: 3.0, cluster_throughput: 2.0 };
+        let e = SkyError::UnderProvisioned {
+            cheapest_work_rate: 3.0,
+            cluster_throughput: 2.0,
+        };
         assert!(e.to_string().contains("under-provisioned"));
         let e = SkyError::PlannerLp(LpError::Infeasible);
         assert!(e.to_string().contains("infeasible"));

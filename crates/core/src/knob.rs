@@ -70,7 +70,10 @@ impl Knob {
     /// Create a knob.
     pub fn new(name: impl Into<String>, domain: Vec<KnobValue>) -> Self {
         let name = name.into();
-        assert!(!domain.is_empty(), "knob '{name}' must have a non-empty domain");
+        assert!(
+            !domain.is_empty(),
+            "knob '{name}' must have a non-empty domain"
+        );
         Self { name, domain }
     }
 
@@ -159,7 +162,9 @@ pub struct ConfigSpace {
 impl ConfigSpace {
     /// Space spanned by `knobs`.
     pub fn new(knobs: &[Knob]) -> Self {
-        Self { cards: knobs.iter().map(Knob::cardinality).collect() }
+        Self {
+            cards: knobs.iter().map(Knob::cardinality).collect(),
+        }
     }
 
     /// Total number of configurations (product of cardinalities).
@@ -197,8 +202,14 @@ mod tests {
 
     fn knobs() -> Vec<Knob> {
         vec![
-            Knob::new("frame_rate", vec![KnobValue::Int(1), KnobValue::Int(5), KnobValue::Int(30)]),
-            Knob::new("model", vec![KnobValue::Text("small"), KnobValue::Text("large")]),
+            Knob::new(
+                "frame_rate",
+                vec![KnobValue::Int(1), KnobValue::Int(5), KnobValue::Int(30)],
+            ),
+            Knob::new(
+                "model",
+                vec![KnobValue::Text("small"), KnobValue::Text("large")],
+            ),
         ]
     }
 

@@ -38,10 +38,10 @@ pub fn joint_plan(
     let mut vars: Vec<Vec<Vec<vetl_lp::VarId>>> = Vec::with_capacity(models.len());
     for (v, model) in models.iter().enumerate() {
         let mut per_c = Vec::with_capacity(model.n_categories());
-        for c in 0..model.n_categories() {
+        for (c, &rc) in rs[v].iter().enumerate().take(model.n_categories()) {
             let mut per_k = Vec::with_capacity(model.n_configs());
             for k in 0..model.n_configs() {
-                let obj = rs[v][c] * model.categories.avg_quality(k, c);
+                let obj = rc * model.categories.avg_quality(k, c);
                 per_k.push(lp.add_var(format!("a{v}_{k}_{c}"), obj));
             }
             per_c.push(per_k);
@@ -51,17 +51,17 @@ pub fn joint_plan(
     // Eq. 8: shared budget over all streams.
     let mut budget_terms = Vec::new();
     for (v, model) in models.iter().enumerate() {
-        for c in 0..model.n_categories() {
-            for k in 0..model.n_configs() {
-                budget_terms.push((vars[v][c][k], rs[v][c] * model.configs[k].work_mean));
+        for (row, &rc) in vars[v].iter().zip(rs[v].iter()) {
+            for (&var, config) in row.iter().zip(model.configs.iter()) {
+                budget_terms.push((var, rc * config.work_mean));
             }
         }
     }
     lp.add_constraint(budget_terms, Relation::Le, budget_per_seg_total);
     // Eq. 9: normalization for every category of every stream.
-    for (v, model) in models.iter().enumerate() {
-        for c in 0..model.n_categories() {
-            let terms: Vec<_> = (0..model.n_configs()).map(|k| (vars[v][c][k], 1.0)).collect();
+    for per_c in &vars {
+        for row in per_c {
+            let terms: Vec<_> = row.iter().map(|&var| (var, 1.0)).collect();
             lp.add_constraint(terms, Relation::Eq, 1.0);
         }
     }
@@ -73,7 +73,9 @@ pub fn joint_plan(
             .map(|(v, model)| {
                 let alpha: Vec<Vec<f64>> = (0..model.n_categories())
                     .map(|c| {
-                        (0..model.n_configs()).map(|k| sol.value(vars[v][c][k])).collect()
+                        (0..model.n_configs())
+                            .map(|k| sol.value(vars[v][c][k]))
+                            .collect()
                     })
                     .collect();
                 KnobPlan::new(alpha)
@@ -132,12 +134,11 @@ pub fn run_multistream<W: Workload + ?Sized>(
     let fair_share = (total_cores / n_streams as f64).floor().max(1.0);
 
     // Joint plan from each stream's bootstrap forecast.
-    let rs: Vec<Vec<f64>> =
-        models.iter().map(|m| m.forecaster.forecast(&m.tail)).collect();
-    let budget_total: f64 = models
+    let rs: Vec<Vec<f64>> = models
         .iter()
-        .map(|m| fair_share * m.seg_len)
-        .sum::<f64>()
+        .map(|m| m.forecaster.forecast(&m.tail))
+        .collect();
+    let budget_total: f64 = models.iter().map(|m| fair_share * m.seg_len).sum::<f64>()
         + cost_model.cloud_usd_to_core_secs(shared_cloud_budget_usd)
             / (streams.iter().map(Vec::len).max().unwrap_or(1) as f64);
     let plans = joint_plan(models, &rs, budget_total)?;
@@ -156,7 +157,9 @@ pub fn run_multistream<W: Workload + ?Sized>(
     let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
     for i in 0..max_len {
         for v in 0..n_streams {
-            let Some(seg) = streams[v].get(i) else { continue };
+            let Some(seg) = streams[v].get(i) else {
+                continue;
+            };
             let model = models[v];
             let workload = workloads[v];
             let capacity_per_seg = fair_share * model.seg_len;
@@ -182,8 +185,12 @@ pub fn run_multistream<W: Workload + ?Sized>(
             let profile = &model.configs[d.config];
             let graph = workload.task_graph(&profile.config, &seg.content);
             let placement = &profile.placements[d.placement].placement;
-            let result =
-                simulate(&graph, placement, &model.hardware.cluster, &model.hardware.cloud);
+            let result = simulate(
+                &graph,
+                placement,
+                &model.hardware.cluster,
+                &model.hardware.cloud,
+            );
             cloud_left -= result.cloud_usd;
             cloud_spent += result.cloud_usd;
 
@@ -205,7 +212,11 @@ pub fn run_multistream<W: Workload + ?Sized>(
         out.mean_quality /= n;
         joint_quality += out.mean_quality;
     }
-    Ok(MultiOutcome { streams: outcomes, cloud_usd: cloud_spent, joint_quality })
+    Ok(MultiOutcome {
+        streams: outcomes,
+        cloud_usd: cloud_spent,
+        joint_quality,
+    })
 }
 
 /// Convenience: forecast each stream from a category history and joint-plan.
@@ -283,7 +294,10 @@ mod tests {
             .zip(&rs)
             .map(|((p, m), r)| p.expected_cost(r, |k| m.configs[k].work_mean))
             .sum();
-        assert!(total_cost <= budget + 1e-6, "joint cost {total_cost} > {budget}");
+        assert!(
+            total_cost <= budget + 1e-6,
+            "joint cost {total_cost} > {budget}"
+        );
     }
 
     #[test]

@@ -11,11 +11,11 @@
 //! Appendix-K feed-forward net trained for 40 epochs with a 20 % validation
 //! split, keeping the best-validation weights.
 
-use rand::rngs::StdRng;
-
+use vetl_exec::ActorPool;
 use vetl_ml::nn::FitConfig;
 use vetl_ml::{mean_absolute_error, Adam, Loss, Mlp};
 
+use super::seeding;
 use crate::category::ContentCategories;
 use crate::knob::KnobConfig;
 use crate::workload::Workload;
@@ -47,25 +47,50 @@ impl CategoryTimeline {
             row[c] += 1;
             prefix.push(row);
         }
-        Self { categories, seg_len, n_categories, prefix }
+        Self {
+            categories,
+            seg_len,
+            n_categories,
+            prefix,
+        }
     }
 
     /// Label the contents of `segments` by running the discriminating
     /// configuration and classifying its reported quality (Appendix H).
+    ///
+    /// This is the dominant offline cost (83 % of the paper's 1.6 h phase)
+    /// and embarrassingly parallel: segments are labelled in chunks
+    /// scattered across `pool`. Each segment's quality noise comes from its
+    /// own seed-derived generator, so the timeline is identical for every
+    /// worker count.
     pub fn label<W: Workload + ?Sized>(
         workload: &W,
         segments: &[vetl_video::Segment],
         discriminator: &KnobConfig,
         discriminator_idx: usize,
         categories: &ContentCategories,
-        rng: &mut StdRng,
+        seed: u64,
+        pool: &ActorPool,
     ) -> Self {
-        let labels: Vec<usize> = segments
-            .iter()
-            .map(|s| {
-                let q = workload.reported_quality(discriminator, &s.content, rng);
-                categories.classify_single(discriminator_idx, q)
+        // Coarse chunks amortize task dispatch over thousands of cheap
+        // per-segment evaluations.
+        const CHUNK: usize = 1024;
+        let chunks: Vec<&[vetl_video::Segment]> = segments.chunks(CHUNK).collect();
+        let labels: Vec<usize> = pool
+            .par_map(&chunks, |ci, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, s)| {
+                        let mut rng =
+                            seeding::indexed_rng(seed, seeding::TAG_LABEL, ci * CHUNK + j);
+                        let q = workload.reported_quality(discriminator, &s.content, &mut rng);
+                        categories.classify_single(discriminator_idx, q)
+                    })
+                    .collect::<Vec<usize>>()
             })
+            .into_iter()
+            .flatten()
             .collect();
         Self::new(labels, workload.segment_len(), categories.len())
     }
@@ -218,10 +243,14 @@ impl Forecaster {
         // Report MAE on the tail 20 % as a pseudo-holdout (deterministic).
         let n_val = (ds.len() as f64 * 0.2).ceil() as usize;
         let start = ds.len().saturating_sub(n_val.max(1));
-        let preds: Vec<Vec<f64>> =
-            ds.inputs[start..].iter().map(|x| net.forward(x)).collect();
+        let preds: Vec<Vec<f64>> = ds.inputs[start..].iter().map(|x| net.forward(x)).collect();
         let val_mae = mean_absolute_error(&preds, &ds.targets[start..]);
-        Some(Self { net, spec, n_categories, val_mae })
+        Some(Self {
+            net,
+            spec,
+            n_categories,
+            val_mae,
+        })
     }
 
     /// Featurization parameters.

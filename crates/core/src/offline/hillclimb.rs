@@ -5,11 +5,21 @@
 //! an approximate work/quality Pareto frontier per sampled segment, then
 //! unions the per-segment frontiers and Pareto-filters the union by mean
 //! work / mean quality.
+//!
+//! The search is **parallel and deterministic**: per-segment climbs fan out
+//! across the worker pool, and every `(config, segment)` evaluation draws
+//! its quality noise from a generator derived from the master seed and the
+//! evaluation's identity (see [`super::seeding`]). Evaluations are memoized
+//! in a per-segment [`EvalCache`] shared between the climb and the final
+//! Pareto filter, so neither phase ever re-runs the workload on a pair it
+//! has already measured.
 
-use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
 
+use vetl_exec::ActorPool;
 use vetl_video::ContentState;
 
+use super::seeding;
 use crate::knob::KnobConfig;
 use crate::workload::Workload;
 
@@ -21,36 +31,102 @@ struct Eval {
     quality: f64,
 }
 
+/// Memoized `(config → (work, quality))` evaluations for one segment.
+///
+/// Quality draws come from a per-`(seed, segment, config)` generator, so a
+/// cache hit returns exactly what a recomputation would — results do not
+/// depend on evaluation order, which is what makes the parallel offline run
+/// bit-identical to the single-worker run.
+#[derive(Debug)]
+pub(crate) struct EvalCache {
+    seed: u64,
+    segment: usize,
+    map: HashMap<KnobConfig, (f64, f64)>,
+}
+
+impl EvalCache {
+    pub(crate) fn new(seed: u64, segment: usize) -> Self {
+        Self {
+            seed,
+            segment,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Evaluate (or recall) `config` on `content`.
+    fn eval<W: Workload + ?Sized>(
+        &mut self,
+        workload: &W,
+        content: &ContentState,
+        config: &KnobConfig,
+    ) -> (f64, f64) {
+        if let Some(&v) = self.map.get(config) {
+            return v;
+        }
+        let v = Self::compute(self.seed, self.segment, workload, content, config);
+        self.map.insert(config.clone(), v);
+        v
+    }
+
+    /// Cache lookup without computing.
+    fn get(&self, config: &KnobConfig) -> Option<(f64, f64)> {
+        self.map.get(config).copied()
+    }
+
+    /// The deterministic evaluation a cache miss performs.
+    fn compute<W: Workload + ?Sized>(
+        seed: u64,
+        segment: usize,
+        workload: &W,
+        content: &ContentState,
+        config: &KnobConfig,
+    ) -> (f64, f64) {
+        let mut rng = seeding::eval_rng(seed, segment, config);
+        (
+            workload.work(config, content),
+            workload.reported_quality(config, content, &mut rng),
+        )
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// Greedy hill climb on one segment: start from the cheapest configuration
 /// and repeatedly take the single-knob move with the best marginal
 /// quality-per-work gain, collecting every configuration on the path.
 fn climb_one<W: Workload + ?Sized>(
     workload: &W,
     content: &ContentState,
-    rng: &mut StdRng,
+    cache: &mut EvalCache,
     max_steps: usize,
 ) -> Vec<Eval> {
     let knobs = workload.knobs();
     let mut current = workload.config_space().min_config();
-    let mut visited: Vec<Eval> = Vec::new();
-    let eval = |c: &KnobConfig, rng: &mut StdRng| Eval {
-        config: c.clone(),
-        work: workload.work(c, content),
-        quality: workload.reported_quality(c, content, rng),
+    let mut on_path: HashSet<KnobConfig> = HashSet::new();
+    let mut path: Vec<Eval> = Vec::new();
+
+    let (work, quality) = cache.eval(workload, content, &current);
+    let mut cur_eval = Eval {
+        config: current.clone(),
+        work,
+        quality,
     };
-    let mut cur_eval = eval(&current, rng);
-    visited.push(cur_eval.clone());
+    on_path.insert(current.clone());
+    path.push(cur_eval.clone());
 
     for _ in 0..max_steps {
         let mut best: Option<Eval> = None;
         let mut best_gain = 0.0;
         for n in current.neighbors(knobs) {
-            if visited.iter().any(|v| v.config == n) {
+            if on_path.contains(&n) {
                 continue;
             }
-            let e = eval(&n, rng);
-            let dq = e.quality - cur_eval.quality;
-            let dw = e.work - cur_eval.work;
+            let (work, quality) = cache.eval(workload, content, &n);
+            let dq = quality - cur_eval.quality;
+            let dw = work - cur_eval.work;
             // Marginal quality per marginal work; free improvements are
             // taken with top priority.
             let gain = if dw <= 1e-12 {
@@ -64,19 +140,24 @@ fn climb_one<W: Workload + ?Sized>(
             };
             if dq > 1e-4 && gain > best_gain {
                 best_gain = gain;
-                best = Some(e);
+                best = Some(Eval {
+                    config: n,
+                    work,
+                    quality,
+                });
             }
         }
         match best {
             Some(e) => {
                 current = e.config.clone();
+                on_path.insert(e.config.clone());
                 cur_eval = e.clone();
-                visited.push(e);
+                path.push(e);
             }
             None => break,
         }
     }
-    visited
+    path
 }
 
 /// Pareto filter on (work ascending, quality): keep a configuration iff no
@@ -100,46 +181,78 @@ fn pareto(evals: Vec<Eval>) -> Vec<Eval> {
     out
 }
 
-/// Run the full filter: hill climb on each diverse sample, union the
-/// per-segment Pareto sets, and Pareto-filter the union on mean work / mean
-/// quality across all samples. `k_plus` is force-included so the most
-/// qualitative configuration always survives.
+/// Run the full filter: hill climb on each diverse sample (scattered across
+/// `pool`), union the per-segment Pareto sets, and Pareto-filter the union
+/// on mean work / mean quality across all samples. `k_plus` is
+/// force-included so the most qualitative configuration always survives.
+///
+/// The result is identical for every pool size (see module docs).
 pub fn filter_configs<W: Workload + ?Sized>(
     workload: &W,
     samples: &[ContentState],
     k_plus: &KnobConfig,
-    rng: &mut StdRng,
+    seed: u64,
+    pool: &ActorPool,
 ) -> Vec<KnobConfig> {
-    assert!(!samples.is_empty(), "config filtering needs sample segments");
+    assert!(
+        !samples.is_empty(),
+        "config filtering needs sample segments"
+    );
     let max_steps = workload.config_space().size();
 
+    // Per-segment climbs, in parallel. Each climb owns its segment's cache;
+    // the caches come back for reuse by the mean filter below.
+    let climbed: Vec<(Vec<Eval>, EvalCache)> = pool.par_map(samples, |i, content| {
+        let mut cache = EvalCache::new(seed, i);
+        let path = climb_one(workload, content, &mut cache, max_steps);
+        (pareto(path), cache)
+    });
+
+    // Union the per-segment frontiers in deterministic (segment, path) order.
     let mut union: Vec<KnobConfig> = Vec::new();
-    for content in samples {
-        let climbed = climb_one(workload, content, rng, max_steps);
-        for e in pareto(climbed) {
-            if !union.contains(&e.config) {
-                union.push(e.config);
+    let mut seen: HashSet<KnobConfig> = HashSet::new();
+    for (frontier, _) in &climbed {
+        for e in frontier {
+            if seen.insert(e.config.clone()) {
+                union.push(e.config.clone());
             }
         }
     }
-    if !union.contains(k_plus) {
+    if seen.insert(k_plus.clone()) {
         union.push(k_plus.clone());
     }
+    let caches: Vec<EvalCache> = climbed.into_iter().map(|(_, c)| c).collect();
 
-    // Final Pareto filter on means across all samples.
+    // Mean work/quality of every union config across all samples, reusing
+    // the climb evaluations. One row per segment, scattered across workers.
+    let union_ref = &union;
+    let rows: Vec<Vec<(f64, f64)>> = pool.par_map(samples, |i, content| {
+        union_ref
+            .iter()
+            .map(|config| {
+                caches[i]
+                    .get(config)
+                    .unwrap_or_else(|| EvalCache::compute(seed, i, workload, content, config))
+            })
+            .collect()
+    });
+
+    let n = samples.len() as f64;
     let evals: Vec<Eval> = union
         .into_iter()
-        .map(|config| {
-            let mut work = 0.0;
-            let mut quality = 0.0;
-            for content in samples {
-                work += workload.work(&config, content);
-                quality += workload.reported_quality(&config, content, rng);
+        .enumerate()
+        .map(|(k, config)| {
+            let (work, quality) = rows
+                .iter()
+                .fold((0.0, 0.0), |(w, q), row| (w + row[k].0, q + row[k].1));
+            Eval {
+                config,
+                work: work / n,
+                quality: quality / n,
             }
-            let n = samples.len() as f64;
-            Eval { config, work: work / n, quality: quality / n }
         })
         .collect();
+
     let mut result: Vec<KnobConfig> = pareto(evals).into_iter().map(|e| e.config).collect();
     if !result.contains(k_plus) {
         result.push(k_plus.clone());
@@ -151,7 +264,6 @@ pub fn filter_configs<W: Workload + ?Sized>(
 mod tests {
     use super::*;
     use crate::testkit::ToyWorkload;
-    use rand::SeedableRng;
     use vetl_video::{ContentParams, ContentProcess};
 
     fn contents() -> Vec<ContentState> {
@@ -168,10 +280,10 @@ mod tests {
     #[test]
     fn filtered_set_is_nonempty_and_within_space() {
         let w = ToyWorkload::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let pool = ActorPool::new(2);
         let space_size = w.config_space().size();
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &contents(), &k_plus, &mut rng);
+        let filtered = filter_configs(&w, &contents(), &k_plus, 3, &pool);
         assert!(!filtered.is_empty());
         assert!(filtered.len() <= space_size);
         assert!(filtered.contains(&k_plus), "k+ must survive");
@@ -180,15 +292,20 @@ mod tests {
     #[test]
     fn filtered_set_contains_cheap_and_expensive_ends() {
         let w = ToyWorkload::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let pool = ActorPool::new(2);
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &contents(), &k_plus, &mut rng);
+        let filtered = filter_configs(&w, &contents(), &k_plus, 3, &pool);
         let samples = contents();
-        let works: Vec<f64> =
-            filtered.iter().map(|c| workload_mean_work(&w, c, &samples)).collect();
+        let works: Vec<f64> = filtered
+            .iter()
+            .map(|c| workload_mean_work(&w, c, &samples))
+            .collect();
         let min = works.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = works.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max / min > 3.0, "frontier should span a work range: {min} – {max}");
+        assert!(
+            max / min > 3.0,
+            "frontier should span a work range: {min} – {max}"
+        );
     }
 
     fn workload_mean_work(w: &ToyWorkload, c: &KnobConfig, samples: &[ContentState]) -> f64 {
@@ -198,10 +315,10 @@ mod tests {
     #[test]
     fn result_is_a_pareto_frontier_in_expectation() {
         let w = ToyWorkload::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let pool = ActorPool::new(2);
         let samples = contents();
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &samples, &k_plus, &mut rng);
+        let filtered = filter_configs(&w, &samples, &k_plus, 3, &pool);
         // No config may dominate another on (mean true quality, mean work).
         for a in &filtered {
             for b in &filtered {
@@ -219,5 +336,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_and_single_worker_climbs_agree() {
+        let w = ToyWorkload::new();
+        let samples = contents();
+        let k_plus = w.config_space().max_config();
+        let serial = filter_configs(&w, &samples, &k_plus, 11, &ActorPool::new(1));
+        let parallel = filter_configs(&w, &samples, &k_plus, 11, &ActorPool::new(4));
+        assert_eq!(serial, parallel, "filter must be scheduling-independent");
+    }
+
+    #[test]
+    fn cache_memoizes_and_reproduces_draws() {
+        let w = ToyWorkload::new();
+        let content = contents()[0];
+        let config = w.config_space().min_config();
+        let mut cache = EvalCache::new(9, 0);
+        let a = cache.eval(&w, &content, &config);
+        let n_after_first = cache.len();
+        let b = cache.eval(&w, &content, &config);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), n_after_first, "second eval must hit the cache");
+        // A fresh cache for the same (seed, segment) reproduces the draw.
+        let mut fresh = EvalCache::new(9, 0);
+        assert_eq!(fresh.eval(&w, &content, &config), a);
+        // A different segment index draws different noise.
+        let mut other = EvalCache::new(9, 1);
+        assert_ne!(other.eval(&w, &content, &config).1, a.1);
     }
 }

@@ -18,19 +18,21 @@
 pub mod forecast;
 pub mod hillclimb;
 pub mod sampling;
+mod seeding;
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use vetl_exec::ActorPool;
 use vetl_sim::HardwareSpec;
 use vetl_video::{ContentState, Recording};
 
 use crate::category::{ClusteringAlgo, ContentCategories};
 use crate::config::SkyscraperConfig;
 use crate::error::SkyError;
-use crate::profile::{profile_configs, ConfigProfile};
+use crate::profile::{profile_configs_on, ConfigProfile};
 use crate::workload::Workload;
 use forecast::{CategoryTimeline, ForecastSpec, Forecaster};
 
@@ -136,6 +138,8 @@ pub struct OfflineReport {
     pub forecast_mae: f64,
     /// Forecaster training samples generated.
     pub n_train_samples: usize,
+    /// Worker threads the offline scatter-gather steps fanned out over.
+    pub n_workers: usize,
 }
 
 impl OfflineReport {
@@ -162,7 +166,14 @@ pub fn run_offline<W: Workload + ?Sized>(
     hardware: HardwareSpec,
     hyper: &SkyscraperConfig,
 ) -> Result<(FittedModel, OfflineReport), SkyError> {
-    run_offline_with(workload, labeled, unlabeled, hardware, hyper, ClusteringAlgo::KMeans)
+    run_offline_with(
+        workload,
+        labeled,
+        unlabeled,
+        hardware,
+        hyper,
+        ClusteringAlgo::KMeans,
+    )
 }
 
 /// [`run_offline`] with an explicit clustering algorithm (Fig. 17 ablation).
@@ -178,17 +189,28 @@ pub fn run_offline_with<W: Workload + ?Sized>(
         return Err(SkyError::EmptyConfigSpace);
     }
     if labeled.is_empty() {
-        return Err(SkyError::InsufficientData { what: "labeled recording is empty" });
+        return Err(SkyError::InsufficientData {
+            what: "labeled recording is empty",
+        });
     }
     if unlabeled.is_empty() {
-        return Err(SkyError::InsufficientData { what: "unlabeled recording is empty" });
+        return Err(SkyError::InsufficientData {
+            what: "unlabeled recording is empty",
+        });
     }
 
-    let mut rng = StdRng::seed_from_u64(hyper.seed);
-    let mut report = OfflineReport::default();
+    // The scatter-gather pool every offline hot path fans out over. All
+    // stochastic evaluations draw from seed-derived generators (see
+    // [`seeding`]), so the fitted model is identical for every pool size.
+    let pool = ActorPool::new(hyper.resolved_workers());
+    let mut report = OfflineReport {
+        n_workers: pool.size(),
+        ..Default::default()
+    };
 
     // ------ Step 1: filter knob configurations (Appendix A.1). ------
     let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seeding::mix(hyper.seed, seeding::TAG_SAMPLING, 0));
     let (k_minus, k_plus) = sampling::anchor_configs(workload, labeled.segments());
     let diverse = sampling::diverse_sample(
         workload,
@@ -200,7 +222,8 @@ pub fn run_offline_with<W: Workload + ?Sized>(
         &mut rng,
     );
     let diverse_contents: Vec<ContentState> = diverse.iter().map(|s| s.content).collect();
-    let mut configs = hillclimb::filter_configs(workload, &diverse_contents, &k_plus, &mut rng);
+    let mut configs =
+        hillclimb::filter_configs(workload, &diverse_contents, &k_plus, hyper.seed, &pool);
     if !configs.contains(&k_minus) {
         configs.insert(0, k_minus.clone());
     }
@@ -228,8 +251,14 @@ pub fn run_offline_with<W: Workload + ?Sized>(
         extreme.activity = 1.0;
         extreme_contents.push(extreme);
     }
-    let mut profiles =
-        profile_configs(workload, &configs, &representative, &extreme_contents, &hardware);
+    let mut profiles = profile_configs_on(
+        workload,
+        &configs,
+        &representative,
+        &extreme_contents,
+        &hardware,
+        &pool,
+    );
     report.filter_placements_secs = t0.elapsed().as_secs_f64();
     report.n_configs = profiles.len();
     report.n_placements = profiles.iter().map(|p| p.placements.len()).sum();
@@ -247,28 +276,35 @@ pub fn run_offline_with<W: Workload + ?Sized>(
 
     // ------ Step 3: categorize video dynamics (§3.2). ------
     let t0 = Instant::now();
-    let sample_stride =
-        ((1.0 / hyper.categorize_fraction.max(1e-6)).round() as usize).max(1);
-    let sampled: Vec<&ContentState> = unlabeled
+    let sample_stride = ((1.0 / hyper.categorize_fraction.max(1e-6)).round() as usize).max(1);
+    let sampled: Vec<ContentState> = unlabeled
         .segments()
         .iter()
         .step_by(sample_stride)
-        .map(|s| &s.content)
+        .map(|s| s.content)
         .collect();
     if sampled.len() < hyper.n_categories {
-        return Err(SkyError::InsufficientData { what: "too few segments for categorization" });
+        return Err(SkyError::InsufficientData {
+            what: "too few segments for categorization",
+        });
     }
-    let quality_vectors: Vec<Vec<f64>> = sampled
-        .iter()
-        .map(|content| {
-            profiles
-                .iter()
-                .map(|p| workload.reported_quality(&p.config, content, &mut rng))
-                .collect()
-        })
-        .collect();
-    let categories =
-        ContentCategories::fit_with(&quality_vectors, hyper.n_categories, hyper.seed, clustering);
+    // One quality vector per sampled segment, scattered across the pool;
+    // each segment draws its observation noise from its own generator.
+    let profiles_ref = &profiles;
+    let quality_vectors: Vec<Vec<f64>> = pool.par_map(&sampled, |i, content| {
+        let mut rng = seeding::indexed_rng(hyper.seed, seeding::TAG_CATEGORIZE, i);
+        profiles_ref
+            .iter()
+            .map(|p| workload.reported_quality(&p.config, content, &mut rng))
+            .collect()
+    });
+    let categories = ContentCategories::fit_on(
+        &quality_vectors,
+        hyper.n_categories,
+        hyper.seed,
+        clustering,
+        &pool,
+    );
     for (k, prof) in profiles.iter_mut().enumerate() {
         prof.qual_by_category = (0..categories.len())
             .map(|c| categories.avg_quality(k, c))
@@ -279,20 +315,32 @@ pub fn run_offline_with<W: Workload + ?Sized>(
     // constraint charges each category what the configuration actually
     // costs on it. Categories unseen in the sample fall back to the mean.
     {
-        let labels: Vec<usize> =
-            quality_vectors.iter().map(|v| categories.classify_full(v)).collect();
+        let labels: Vec<usize> = quality_vectors
+            .iter()
+            .map(|v| categories.classify_full(v))
+            .collect();
         let n_c = categories.len();
-        for (k, prof) in profiles.iter_mut().enumerate() {
+        let sampled_ref = &sampled;
+        let labels_ref = &labels;
+        let cost_rows: Vec<Vec<f64>> = pool.par_map(&profiles, |_, prof| {
             let mut sums = vec![0.0f64; n_c];
             let mut counts = vec![0usize; n_c];
-            for (content, &c) in sampled.iter().zip(labels.iter()) {
+            for (content, &c) in sampled_ref.iter().zip(labels_ref.iter()) {
                 sums[c] += workload.work(&prof.config, content);
                 counts[c] += 1;
             }
-            let _ = k;
-            prof.cost_by_category = (0..n_c)
-                .map(|c| if counts[c] > 0 { sums[c] / counts[c] as f64 } else { prof.work_mean })
-                .collect();
+            (0..n_c)
+                .map(|c| {
+                    if counts[c] > 0 {
+                        sums[c] / counts[c] as f64
+                    } else {
+                        prof.work_mean
+                    }
+                })
+                .collect()
+        });
+        for (prof, row) in profiles.iter_mut().zip(cost_rows) {
+            prof.cost_by_category = row;
         }
     }
     report.categorize_secs = t0.elapsed().as_secs_f64();
@@ -317,7 +365,8 @@ pub fn run_offline_with<W: Workload + ?Sized>(
         &profiles[discriminator].config.clone(),
         discriminator,
         &categories,
-        &mut rng,
+        hyper.seed,
+        &pool,
     );
     report.forecast_data_secs = t0.elapsed().as_secs_f64();
 
@@ -325,20 +374,20 @@ pub fn run_offline_with<W: Workload + ?Sized>(
     // of reported quality to the closest center along the discriminator's
     // dimension, over a stride sample of the labelled data.
     let residual_p99 = {
-        let mut residuals: Vec<f64> = unlabeled
+        let strided: Vec<ContentState> = unlabeled
             .segments()
             .iter()
             .step_by(7)
-            .map(|s| {
-                let q = workload.reported_quality(
-                    &profiles[discriminator].config,
-                    &s.content,
-                    &mut rng,
-                );
-                let c = categories.classify_single(discriminator, q);
-                (categories.avg_quality(discriminator, c) - q).abs()
-            })
+            .map(|s| s.content)
             .collect();
+        let disc_config = &profiles[discriminator].config;
+        let categories_ref = &categories;
+        let mut residuals: Vec<f64> = pool.par_map(&strided, |i, content| {
+            let mut rng = seeding::indexed_rng(hyper.seed, seeding::TAG_RESIDUAL, i);
+            let q = workload.reported_quality(disc_config, content, &mut rng);
+            let c = categories_ref.classify_single(discriminator, q);
+            (categories_ref.avg_quality(discriminator, c) - q).abs()
+        });
         residuals.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
         residuals[(residuals.len() as f64 * 0.99) as usize % residuals.len().max(1)]
     };
@@ -362,12 +411,11 @@ pub fn run_offline_with<W: Workload + ?Sized>(
     })?;
     report.train_secs = t0.elapsed().as_secs_f64();
     report.forecast_mae = forecaster.val_mae;
-    report.n_train_samples =
-        forecast::ForecastDataset::build(&timeline, &spec).len();
+    report.n_train_samples = forecast::ForecastDataset::build(&timeline, &spec).len();
 
     // Bootstrap tail: the most recent t_in of labels.
-    let tail_segs = ((hyper.forecast_input_secs / workload.segment_len()).round() as usize)
-        .min(timeline.len());
+    let tail_segs =
+        ((hyper.forecast_input_secs / workload.segment_len()).round() as usize).min(timeline.len());
     let tail_cats = timeline.categories[timeline.len() - tail_segs..].to_vec();
     let tail = CategoryTimeline::new(tail_cats, workload.segment_len(), categories.len());
 
@@ -461,8 +509,7 @@ mod tests {
     fn quality_rank_is_descending_and_cost_rank_ascending() {
         let (model, _) = fit();
         let avg_q = |k: usize| {
-            model.configs[k].qual_by_category.iter().sum::<f64>()
-                / model.n_categories() as f64
+            model.configs[k].qual_by_category.iter().sum::<f64>() / model.n_categories() as f64
         };
         for w in model.quality_rank.windows(2) {
             assert!(avg_q(w[0]) >= avg_q(w[1]) - 1e-12);
@@ -476,15 +523,87 @@ mod tests {
     fn categories_discriminate_difficulty() {
         let (model, _) = fit();
         let w = ToyWorkload::new();
-        let mut proc =
-            vetl_video::ContentProcess::new(ContentParams::traffic_intersection(9), 2.0);
+        let mut proc = vetl_video::ContentProcess::new(ContentParams::traffic_intersection(9), 2.0);
         let mut easy = proc.step();
         easy.difficulty = 0.05;
         let mut hard = proc.step();
         hard.difficulty = 0.95;
         let ce = model.ground_truth_category(&w, &easy);
         let ch = model.ground_truth_category(&w, &hard);
-        assert_ne!(ce, ch, "easy and hard content must land in different categories");
+        assert_ne!(
+            ce, ch,
+            "easy and hard content must land in different categories"
+        );
+    }
+
+    /// Field-by-field equality of two fitted models, asserting with context.
+    pub(crate) fn assert_models_identical(a: &FittedModel, b: &FittedModel) {
+        assert_eq!(a.n_configs(), b.n_configs(), "config count");
+        for (i, (pa, pb)) in a.configs.iter().zip(b.configs.iter()).enumerate() {
+            assert_eq!(pa.config, pb.config, "config {i}");
+            assert_eq!(pa.work_mean, pb.work_mean, "work_mean {i}");
+            assert_eq!(pa.work_max, pb.work_max, "work_max {i}");
+            assert_eq!(
+                pa.qual_by_category, pb.qual_by_category,
+                "qual_by_category {i}"
+            );
+            assert_eq!(
+                pa.cost_by_category, pb.cost_by_category,
+                "cost_by_category {i}"
+            );
+            assert_eq!(
+                pa.placements.len(),
+                pb.placements.len(),
+                "placement count {i}"
+            );
+            for (j, (la, lb)) in pa.placements.iter().zip(pb.placements.iter()).enumerate() {
+                assert_eq!(la.placement, lb.placement, "placement {i}.{j}");
+                assert_eq!(la.runtime_mean, lb.runtime_mean, "runtime_mean {i}.{j}");
+                assert_eq!(la.runtime_max, lb.runtime_max, "runtime_max {i}.{j}");
+                assert_eq!(la.cloud_usd, lb.cloud_usd, "cloud_usd {i}.{j}");
+                assert_eq!(la.onprem_work, lb.onprem_work, "onprem_work {i}.{j}");
+            }
+        }
+        assert_eq!(a.quality_rank, b.quality_rank, "quality rank");
+        assert_eq!(a.cost_rank, b.cost_rank, "cost rank");
+        assert_eq!(a.discriminator, b.discriminator, "discriminator");
+        assert_eq!(a.n_categories(), b.n_categories(), "category count");
+        for c in 0..a.n_categories() {
+            assert_eq!(a.categories.center(c), b.categories.center(c), "center {c}");
+        }
+        assert_eq!(a.residual_p99, b.residual_p99, "residual_p99");
+        assert_eq!(a.tail.categories, b.tail.categories, "bootstrap tail");
+        assert_eq!(
+            a.forecaster.val_mae, b.forecaster.val_mae,
+            "forecaster val MAE"
+        );
+    }
+
+    #[test]
+    fn parallel_offline_run_matches_single_worker_bitwise() {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 86_400.0);
+        let fit_with_workers = |n: usize| {
+            let hyper = SkyscraperConfig {
+                n_workers: n,
+                ..SkyscraperConfig::fast_test()
+            };
+            run_offline(
+                &w,
+                &labeled,
+                &unlabeled,
+                HardwareSpec::with_cores(4),
+                &hyper,
+            )
+            .expect("offline phase fits")
+        };
+        let (serial, serial_report) = fit_with_workers(1);
+        let (parallel, parallel_report) = fit_with_workers(4);
+        assert_eq!(serial_report.n_workers, 1);
+        assert_eq!(parallel_report.n_workers, 4);
+        assert_models_identical(&serial, &parallel);
     }
 
     #[test]
@@ -495,11 +614,14 @@ mod tests {
         let unlabeled = Recording::record(&mut cam, 86_400.0);
         // A "cluster" slower than the cheapest config's work rate.
         let hw = HardwareSpec {
-            cluster: vetl_sim::ClusterSpec { cores: 1, core_speed: 0.02 },
+            cluster: vetl_sim::ClusterSpec {
+                cores: 1,
+                core_speed: 0.02,
+            },
             ..HardwareSpec::with_cores(1)
         };
-        let err = run_offline(&w, &labeled, &unlabeled, hw, &SkyscraperConfig::fast_test())
-            .unwrap_err();
+        let err =
+            run_offline(&w, &labeled, &unlabeled, hw, &SkyscraperConfig::fast_test()).unwrap_err();
         assert!(matches!(err, SkyError::UnderProvisioned { .. }));
     }
 

@@ -41,10 +41,14 @@ pub fn anchor_configs<W: Workload + ?Sized>(
     let k_plus = space
         .iter()
         .max_by(|a, b| {
-            let qa: f64 =
-                labeled.iter().map(|s| workload.true_quality(a, &s.content)).sum::<f64>();
-            let qb: f64 =
-                labeled.iter().map(|s| workload.true_quality(b, &s.content)).sum::<f64>();
+            let qa: f64 = labeled
+                .iter()
+                .map(|s| workload.true_quality(a, &s.content))
+                .sum::<f64>();
+            let qb: f64 = labeled
+                .iter()
+                .map(|s| workload.true_quality(b, &s.content))
+                .sum::<f64>();
             qa.partial_cmp(&qb).expect("finite quality")
         })
         .expect("non-empty config space");
@@ -63,13 +67,17 @@ pub fn diverse_sample<W: Workload + ?Sized>(
     n_search: usize,
     rng: &mut StdRng,
 ) -> Vec<Segment> {
-    assert!(!unlabeled.is_empty(), "diverse sampling needs unlabeled data");
+    assert!(
+        !unlabeled.is_empty(),
+        "diverse sampling needs unlabeled data"
+    );
     let n_pre = n_pre.min(unlabeled.len()).max(1);
     let n_search = n_search.min(n_pre).max(1);
 
     // Uniform pre-sample.
-    let pre: Vec<&Segment> =
-        (0..n_pre).map(|_| &unlabeled[rng.gen_range(0..unlabeled.len())]).collect();
+    let pre: Vec<&Segment> = (0..n_pre)
+        .map(|_| &unlabeled[rng.gen_range(0..unlabeled.len())])
+        .collect();
 
     // 2-D quality vectors under the anchors (reported quality — that is what
     // the offline phase can actually measure).
@@ -164,8 +172,14 @@ mod tests {
         let (km, kp) = anchor_configs(&w, &labeled);
         let mut rng = StdRng::seed_from_u64(7);
         let sel = diverse_sample(&w, &unlabeled, &km, &kp, 128, 6, &mut rng);
-        let min = sel.iter().map(|s| s.content.difficulty).fold(f64::INFINITY, f64::min);
-        let max = sel.iter().map(|s| s.content.difficulty).fold(0.0f64, f64::max);
+        let min = sel
+            .iter()
+            .map(|s| s.content.difficulty)
+            .fold(f64::INFINITY, f64::min);
+        let max = sel
+            .iter()
+            .map(|s| s.content.difficulty)
+            .fold(0.0f64, f64::max);
         assert!(
             max - min > 0.3,
             "diverse sample should span difficulties; got [{min:.2}, {max:.2}]"

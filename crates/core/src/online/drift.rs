@@ -39,7 +39,10 @@ impl DriftDetector {
     pub fn new(threshold: f64, window: usize, alarm_fraction: f64) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
         assert!(window > 0, "window must be non-empty");
-        assert!((0.0..=1.0).contains(&alarm_fraction), "fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alarm_fraction),
+            "fraction must be in [0,1]"
+        );
         Self {
             threshold,
             window,
@@ -59,11 +62,7 @@ impl DriftDetector {
 
     /// The residual Eq. 5 minimizes: distance of the reported quality to the
     /// closest center along the running configuration's dimension.
-    fn residual(
-        categories: &ContentCategories,
-        config_idx: usize,
-        reported_quality: f64,
-    ) -> f64 {
+    fn residual(categories: &ContentCategories, config_idx: usize, reported_quality: f64) -> f64 {
         let c = categories.classify_single(config_idx, reported_quality);
         (categories.avg_quality(config_idx, c) - reported_quality).abs()
     }
@@ -78,10 +77,8 @@ impl DriftDetector {
     ) -> bool {
         let residual = Self::residual(categories, config_idx, reported_quality);
         let far = residual > self.threshold;
-        if self.history.len() == self.window {
-            if self.history.pop_front() == Some(true) {
-                self.far_count -= 1;
-            }
+        if self.history.len() == self.window && self.history.pop_front() == Some(true) {
+            self.far_count -= 1;
         }
         self.history.push_back(far);
         if far {
@@ -89,8 +86,7 @@ impl DriftDetector {
         }
 
         let full = self.history.len() == self.window;
-        let firing =
-            full && (self.far_count as f64 / self.window as f64) >= self.alarm_fraction;
+        let firing = full && (self.far_count as f64 / self.window as f64) >= self.alarm_fraction;
         if firing {
             self.alarms += 1;
         }
@@ -174,7 +170,10 @@ mod tests {
         let mut d = DriftDetector::new(0.1, 50, 0.4);
         for i in 0..500 {
             let q = if i % 10 == 0 { 0.5 } else { 0.8 };
-            assert!(!d.observe(&cats, 0, q), "10% outliers must stay under a 40% alarm");
+            assert!(
+                !d.observe(&cats, 0, q),
+                "10% outliers must stay under a 40% alarm"
+            );
         }
     }
 

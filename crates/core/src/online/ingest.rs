@@ -150,7 +150,11 @@ pub struct IngestDriver<'a, W: Workload + ?Sized> {
 impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
     /// Create a driver for a fitted model.
     pub fn new(model: &'a FittedModel, workload: &'a W, options: IngestOptions) -> Self {
-        Self { model, workload, options }
+        Self {
+            model,
+            workload,
+            options,
+        }
     }
 
     /// Ingest a pre-materialized stream of segments.
@@ -163,9 +167,11 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
 
         let capacity_per_seg = model.hardware.cluster.throughput() * seg_len;
         let seg_bytes_est = segments.iter().take(100).map(|s| s.bytes).sum::<f64>()
-            / segments.len().min(100).max(1) as f64;
-        let seg_bytes_max =
-            segments.iter().map(|s| s.bytes).fold(seg_bytes_est, f64::max);
+            / segments.len().clamp(1, 100) as f64;
+        let seg_bytes_max = segments
+            .iter()
+            .map(|s| s.bytes)
+            .fold(seg_bytes_est, f64::max);
         let buffer_capacity = if opts.enable_buffering {
             model.hardware.buffer_bytes
         } else {
@@ -188,7 +194,8 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
         let interval_secs = model.hyper.planned_interval_secs;
         let segs_per_interval = (interval_secs / seg_len).max(1.0);
         let cloud_core_secs = if opts.enable_cloud {
-            opts.cost_model.cloud_usd_to_core_secs(opts.cloud_budget_usd)
+            opts.cost_model
+                .cloud_usd_to_core_secs(opts.cloud_budget_usd)
         } else {
             0.0
         };
@@ -210,7 +217,8 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
                 }
                 ForecastMode::GroundTruth => {
                     let end = (start_seg + segs_per_interval as usize).min(segments.len());
-                    let window = &gt_categories[start_seg..end.max(start_seg + 1).min(segments.len())];
+                    let window =
+                        &gt_categories[start_seg..end.max(start_seg + 1).min(segments.len())];
                     let mut r = vec![0.0; n_c];
                     for &c in window {
                         r[c] += 1.0;
@@ -231,8 +239,7 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
             .detect_drift
             .then(|| crate::online::drift::DriftDetector::for_model(model));
         let mut drift_alarms = 0usize;
-        let mut tuned_forecaster =
-            opts.finetune_forecaster.then(|| model.forecaster.clone());
+        let mut tuned_forecaster = opts.finetune_forecaster.then(|| model.forecaster.clone());
 
         let r0 = forecast_r(&history, 0);
         let plan0 = planner.plan(model, &r0, budget_per_seg)?;
@@ -262,19 +269,15 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
         for (i, seg) in segments.iter().enumerate() {
             // ---- Replanning at interval boundaries. ----
             if i > 0 && (i % segs_per_interval as usize) == 0 {
-                let tail_len = history.len().min(
-                    (model.hyper.forecast_input_secs / seg_len).round() as usize,
-                );
+                let tail_len = history
+                    .len()
+                    .min((model.hyper.forecast_input_secs / seg_len).round() as usize);
                 let recent = &history[history.len() - tail_len..];
                 let r = match (&mut tuned_forecaster, opts.forecast) {
                     (Some(f), ForecastMode::Model) => {
                         // §3.3: fine-tune on the recently observed categories
                         // before forecasting from them.
-                        let observed = CategoryTimeline::new(
-                            history.clone(),
-                            seg_len,
-                            n_c,
-                        );
+                        let observed = CategoryTimeline::new(history.clone(), seg_len, n_c);
                         let _ = f.fine_tune(&observed, 3, opts.seed ^ i as u64);
                         let tl = CategoryTimeline::new(recent.to_vec(), seg_len, n_c);
                         f.forecast(&tl)
@@ -342,8 +345,12 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
             let profile = &model.configs[d.config];
             let graph = self.workload.task_graph(&profile.config, &seg.content);
             let placement = &profile.placements[d.placement].placement;
-            let result =
-                simulate(&graph, placement, &model.hardware.cluster, &model.hardware.cloud);
+            let result = simulate(
+                &graph,
+                placement,
+                &model.hardware.cluster,
+                &model.hardware.cloud,
+            );
             cloud_left -= result.cloud_usd;
             cloud_spent_total += result.cloud_usd;
             work_total += result.onprem_busy_secs + result.cloud_busy_secs;
@@ -360,8 +367,9 @@ impl<'a, W: Workload + ?Sized> IngestDriver<'a, W> {
             // ---- Quality bookkeeping. ----
             let true_q = self.workload.true_quality(&profile.config, &seg.content);
             quality_total += true_q;
-            let reported =
-                self.workload.reported_quality(&profile.config, &seg.content, &mut rng);
+            let reported = self
+                .workload
+                .reported_quality(&profile.config, &seg.content, &mut rng);
             if let Some(det) = drift.as_mut() {
                 if det.observe(&model.categories, d.config, reported) {
                     drift_alarms += 1;
@@ -440,9 +448,13 @@ mod tests {
     #[test]
     fn more_cores_buy_more_quality() {
         let (w2, m2, segs2) = setup(1);
-        let small = IngestDriver::new(&m2, &w2, IngestOptions::default()).run(&segs2).unwrap();
+        let small = IngestDriver::new(&m2, &w2, IngestOptions::default())
+            .run(&segs2)
+            .unwrap();
         let (w8, m8, segs8) = setup(8);
-        let large = IngestDriver::new(&m8, &w8, IngestOptions::default()).run(&segs8).unwrap();
+        let large = IngestDriver::new(&m8, &w8, IngestOptions::default())
+            .run(&segs8)
+            .unwrap();
         assert!(
             large.mean_quality >= small.mean_quality,
             "8 cores ({}) must not lose to 1 core ({})",
@@ -454,10 +466,15 @@ mod tests {
     #[test]
     fn skyscraper_beats_always_cheapest_quality() {
         let (w, model, segments) = setup(2);
-        let out = IngestDriver::new(&model, &w, IngestOptions::default()).run(&segments).unwrap();
+        let out = IngestDriver::new(&model, &w, IngestOptions::default())
+            .run(&segments)
+            .unwrap();
         // Quality of always-cheapest:
         let cheap = &model.configs[model.cheapest()].config;
-        let cheap_q: f64 = segments.iter().map(|s| w.true_quality(cheap, &s.content)).sum::<f64>()
+        let cheap_q: f64 = segments
+            .iter()
+            .map(|s| w.true_quality(cheap, &s.content))
+            .sum::<f64>()
             / segments.len() as f64;
         assert!(
             out.mean_quality > cheap_q + 0.02,
@@ -470,7 +487,10 @@ mod tests {
     #[test]
     fn disabling_cloud_spends_nothing() {
         let (w, model, segments) = setup(2);
-        let opts = IngestOptions { enable_cloud: false, ..Default::default() };
+        let opts = IngestOptions {
+            enable_cloud: false,
+            ..Default::default()
+        };
         let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
         assert_eq!(out.cloud_usd, 0.0);
         assert_eq!(out.overflows, 0);
@@ -480,12 +500,16 @@ mod tests {
     fn cloud_spending_respects_budget() {
         let (w, model, segments) = setup(1);
         let budget = 0.05;
-        let opts = IngestOptions { cloud_budget_usd: budget, ..Default::default() };
+        let opts = IngestOptions {
+            cloud_budget_usd: budget,
+            ..Default::default()
+        };
         let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
         // Budget is per planned interval; the run covers at most 3 intervals
         // under the fast-test config (4 h each).
-        let intervals =
-            (out.duration_secs / model.hyper.planned_interval_secs).ceil().max(1.0);
+        let intervals = (out.duration_secs / model.hyper.planned_interval_secs)
+            .ceil()
+            .max(1.0);
         assert!(
             out.cloud_usd <= budget * intervals + 1e-9,
             "spent {} over {} intervals of {}",
@@ -505,7 +529,9 @@ mod tests {
             classification: ClassificationMode::GroundTruth,
             ..Default::default()
         };
-        let gt_out = IngestDriver::new(&model, &w, gt_opts).run(&segments).unwrap();
+        let gt_out = IngestDriver::new(&model, &w, gt_opts)
+            .run(&segments)
+            .unwrap();
         assert_eq!(gt_out.misclassification_rate, 0.0);
         assert!(std_out.misclassification_rate >= 0.0);
         assert!(gt_out.mean_quality >= std_out.mean_quality - 0.02);
@@ -514,8 +540,13 @@ mod tests {
     #[test]
     fn trace_is_recorded_on_request() {
         let (w, model, segments) = setup(2);
-        let opts = IngestOptions { record_trace: true, ..Default::default() };
-        let out = IngestDriver::new(&model, &w, opts).run(&segments[..1000]).unwrap();
+        let opts = IngestOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let out = IngestDriver::new(&model, &w, opts)
+            .run(&segments[..1000])
+            .unwrap();
         assert_eq!(out.trace.len(), 1000);
         assert!(out.trace.mean_quality() > 0.0);
     }
@@ -523,8 +554,13 @@ mod tests {
     #[test]
     fn drift_detector_stays_quiet_on_stationary_content() {
         let (w, model, segments) = setup(2);
-        let opts = IngestOptions { detect_drift: true, ..Default::default() };
-        let out = IngestDriver::new(&model, &w, opts).run(&segments[..5000]).unwrap();
+        let opts = IngestOptions {
+            detect_drift: true,
+            ..Default::default()
+        };
+        let out = IngestDriver::new(&model, &w, opts)
+            .run(&segments[..5000])
+            .unwrap();
         // The online stream is drawn from the same process the model was
         // fitted on: the alarm must fire on at most a sliver of segments.
         assert!(
@@ -540,7 +576,10 @@ mod tests {
         let base = IngestDriver::new(&model, &w, IngestOptions::default())
             .run(&segments)
             .unwrap();
-        let opts = IngestOptions { finetune_forecaster: true, ..Default::default() };
+        let opts = IngestOptions {
+            finetune_forecaster: true,
+            ..Default::default()
+        };
         let tuned = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
         assert_eq!(tuned.overflows, 0);
         assert!(
@@ -554,7 +593,10 @@ mod tests {
     #[test]
     fn uniform_forecast_does_not_crash_and_is_reasonable() {
         let (w, model, segments) = setup(2);
-        let opts = IngestOptions { forecast: ForecastMode::Uniform, ..Default::default() };
+        let opts = IngestOptions {
+            forecast: ForecastMode::Uniform,
+            ..Default::default()
+        };
         let out = IngestDriver::new(&model, &w, opts).run(&segments).unwrap();
         assert!(out.mean_quality > 0.3);
         assert_eq!(out.overflows, 0);

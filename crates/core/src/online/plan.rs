@@ -40,7 +40,9 @@ impl KnobPlan {
         assert!(k < n_configs, "configuration out of range");
         let mut row = vec![0.0; n_configs];
         row[k] = 1.0;
-        Self { alpha: vec![row; n_categories] }
+        Self {
+            alpha: vec![row; n_categories],
+        }
     }
 
     /// Number of categories.

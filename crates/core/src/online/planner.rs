@@ -65,9 +65,9 @@ impl KnobPlanner {
         let mut lp = LpProblem::new();
         // Variable layout: alpha[c][k] at index c * n_k + k.
         let mut vars = Vec::with_capacity(n_c * n_k);
-        for c in 0..n_c {
+        for (c, &rc) in r.iter().enumerate() {
             for k in 0..n_k {
-                let obj = r[c] * model.categories.avg_quality(k, c);
+                let obj = rc * model.categories.avg_quality(k, c);
                 vars.push(lp.add_var(format!("a_{k}_{c}"), obj));
             }
         }
@@ -155,7 +155,10 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-6);
         }
         let cost = plan.expected_cost(&r, |k| m.configs[k].work_mean);
-        assert!(cost <= budget + 1e-6, "plan cost {cost} exceeds budget {budget}");
+        assert!(
+            cost <= budget + 1e-6,
+            "plan cost {cost} exceeds budget {budget}"
+        );
     }
 
     #[test]
@@ -210,11 +213,19 @@ mod tests {
             .unwrap();
         let r = vec![1.0 / m.n_categories() as f64; m.n_categories()];
         // Budget halfway between cheapest and most expensive.
-        let w_min = m.configs.iter().map(|p| p.work_mean).fold(f64::INFINITY, f64::min);
+        let w_min = m
+            .configs
+            .iter()
+            .map(|p| p.work_mean)
+            .fold(f64::INFINITY, f64::min);
         let w_max = m.configs.iter().map(|p| p.work_mean).fold(0.0f64, f64::max);
-        let plan = KnobPlanner::new().plan(&m, &r, 0.5 * (w_min + w_max)).unwrap();
+        let plan = KnobPlanner::new()
+            .plan(&m, &r, 0.5 * (w_min + w_max))
+            .unwrap();
         let planned_work = |c: usize| -> f64 {
-            (0..m.n_configs()).map(|k| plan.frequency(c, k) * m.configs[k].work_mean).sum()
+            (0..m.n_configs())
+                .map(|k| plan.frequency(c, k) * m.configs[k].work_mean)
+                .sum()
         };
         assert!(
             planned_work(hard_c) > planned_work(easy_c),

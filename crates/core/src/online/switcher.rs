@@ -61,16 +61,32 @@ impl KnobSwitcher {
     /// Create a switcher with an initial plan; starts on the cheapest
     /// configuration.
     pub fn new(model: &FittedModel, plan: KnobPlan) -> Self {
-        assert_eq!(plan.n_configs(), model.n_configs(), "plan/model config mismatch");
-        assert_eq!(plan.n_categories(), model.n_categories(), "plan/model category mismatch");
+        assert_eq!(
+            plan.n_configs(),
+            model.n_configs(),
+            "plan/model config mismatch"
+        );
+        assert_eq!(
+            plan.n_categories(),
+            model.n_categories(),
+            "plan/model category mismatch"
+        );
         let usage = vec![vec![0.0; model.n_configs()]; model.n_categories()];
-        Self { plan, usage, cur_config: model.cheapest() }
+        Self {
+            plan,
+            usage,
+            cur_config: model.cheapest(),
+        }
     }
 
     /// Install a fresh plan (new planned interval) and reset usage counts.
     pub fn set_plan(&mut self, plan: KnobPlan) {
         assert_eq!(plan.n_configs(), self.plan.n_configs(), "plan shape change");
-        assert_eq!(plan.n_categories(), self.plan.n_categories(), "plan shape change");
+        assert_eq!(
+            plan.n_categories(),
+            self.plan.n_categories(),
+            "plan shape change"
+        );
         self.plan = plan;
         for row in &mut self.usage {
             row.iter_mut().for_each(|v| *v = 0.0);
@@ -100,7 +116,9 @@ impl KnobSwitcher {
     /// Eq. 5: classify the current content category from the reported
     /// quality of the configuration that just ran.
     pub fn classify(&self, model: &FittedModel, reported_quality: f64) -> usize {
-        model.categories.classify_single(self.cur_config, reported_quality)
+        model
+            .categories
+            .classify_single(self.cur_config, reported_quality)
     }
 
     /// Eq. 6: the planned configuration with the largest deficit between the
@@ -171,8 +189,7 @@ impl KnobSwitcher {
             .iter()
             .enumerate()
             .filter(|(_, p)| {
-                p.cloud_usd == 0.0
-                    || (limits.cloud_enabled && p.cloud_usd <= cloud_budget_left)
+                p.cloud_usd == 0.0 || (limits.cloud_enabled && p.cloud_usd <= cloud_budget_left)
             })
             .min_by(|a, b| {
                 a.1.onprem_work_max
@@ -182,7 +199,12 @@ impl KnobSwitcher {
             .map(|(pi, _)| pi)
             .unwrap_or(0);
         self.commit(category, k);
-        Decision { config: k, placement, category, deviated: k != planned }
+        Decision {
+            config: k,
+            placement,
+            category,
+            deviated: k != planned,
+        }
     }
 
     /// Would accepting placement `p` keep the buffer guarantee (Eq. 1)?
@@ -203,15 +225,12 @@ impl KnobSwitcher {
     ) -> bool {
         // Cloud gating: disabled cloud admits only free placements; enabled
         // cloud requires remaining credits.
-        if p.cloud_usd > 0.0
-            && (!limits.cloud_enabled || p.cloud_usd > cloud_budget_left) {
-                return false;
-            }
+        if p.cloud_usd > 0.0 && (!limits.cloud_enabled || p.cloud_usd > cloud_budget_left) {
+            return false;
+        }
         let new_work = p.onprem_work_max * limits.safety;
-        let drain_segments =
-            (backlog_work + new_work) / limits.capacity_per_seg.max(1e-9);
-        let projected = buffer_bytes
-            + (drain_segments + 1.0) * limits.seg_bytes_reserve;
+        let drain_segments = (backlog_work + new_work) / limits.capacity_per_seg.max(1e-9);
+        let projected = buffer_bytes + (drain_segments + 1.0) * limits.seg_bytes_reserve;
         projected <= limits.buffer_capacity
     }
 
@@ -275,9 +294,9 @@ mod tests {
         // 50/50 plan between the two best configs for category 0.
         let (a, b) = (m.quality_rank[0], m.quality_rank[1]);
         let mut alpha = vec![vec![0.0; m.n_configs()]; m.n_categories()];
-        for c in 0..m.n_categories() {
-            alpha[c][a] = 0.5;
-            alpha[c][b] = 0.5;
+        for row in alpha.iter_mut() {
+            row[a] = 0.5;
+            row[b] = 0.5;
         }
         let mut sw = KnobSwitcher::new(&m, KnobPlan::new(alpha));
         for _ in 0..100 {
@@ -305,7 +324,11 @@ mod tests {
             cloud_enabled: false,
         };
         let d = sw.decide(&m, 0, 1e6, 50.0, 0.0, &limits);
-        assert_eq!(d.config, m.cheapest(), "full buffer must fall back to cheapest");
+        assert_eq!(
+            d.config,
+            m.cheapest(),
+            "full buffer must fall back to cheapest"
+        );
         assert!(d.deviated);
     }
 
@@ -337,7 +360,10 @@ mod tests {
         let best = m.quality_rank[0];
         let plan = KnobPlan::single_config(m.n_categories(), m.n_configs(), best);
         let mut sw = KnobSwitcher::new(&m, plan);
-        let limits = SwitcherLimits { cloud_enabled: true, ..relaxed_limits() };
+        let limits = SwitcherLimits {
+            cloud_enabled: true,
+            ..relaxed_limits()
+        };
         // No cloud credits left: any decision must be a free placement.
         let d = sw.decide(&m, 0, 0.0, 0.0, 0.0, &limits);
         assert_eq!(m.configs[d.config].placements[d.placement].cloud_usd, 0.0);

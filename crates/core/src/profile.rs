@@ -6,6 +6,7 @@
 //! hardware (§3.1, Appendix A.2). The online knob switcher then only ever
 //! consults these profiles — it never reasons about UDF internals.
 
+use vetl_exec::ActorPool;
 use vetl_sim::{pareto_frontier, simulate, HardwareSpec, Placement, PlacementPoint};
 use vetl_video::ContentState;
 
@@ -56,7 +57,11 @@ pub struct ConfigProfile {
 impl ConfigProfile {
     /// Average quality across categories weighted by `r` (forecast ratios).
     pub fn expected_quality(&self, r: &[f64]) -> f64 {
-        self.qual_by_category.iter().zip(r.iter()).map(|(q, w)| q * w).sum()
+        self.qual_by_category
+            .iter()
+            .zip(r.iter())
+            .map(|(q, w)| q * w)
+            .sum()
     }
 
     /// The cheapest placement (always present).
@@ -83,11 +88,37 @@ pub fn profile_configs<W: Workload + ?Sized>(
     extreme_samples: &[ContentState],
     hardware: &HardwareSpec,
 ) -> Vec<ConfigProfile> {
-    assert!(!mean_samples.is_empty(), "profiling needs at least one sample segment");
+    assert!(
+        !mean_samples.is_empty(),
+        "profiling needs at least one sample segment"
+    );
     configs
         .iter()
         .map(|config| profile_one(workload, config, mean_samples, extreme_samples, hardware))
         .collect()
+}
+
+/// [`profile_configs`] scattered across a worker pool, one configuration per
+/// task. Profiling is deterministic (no random draws), so the output is
+/// identical to the sequential version for any pool size — simulation of
+/// every candidate placement on every sample segment is simply the offline
+/// phase's "filter task placements" hot loop (Table 3) run `|K|`-way
+/// parallel.
+pub fn profile_configs_on<W: Workload + ?Sized>(
+    workload: &W,
+    configs: &[KnobConfig],
+    mean_samples: &[ContentState],
+    extreme_samples: &[ContentState],
+    hardware: &HardwareSpec,
+    pool: &ActorPool,
+) -> Vec<ConfigProfile> {
+    assert!(
+        !mean_samples.is_empty(),
+        "profiling needs at least one sample segment"
+    );
+    pool.par_map(configs, |_, config| {
+        profile_one(workload, config, mean_samples, extreme_samples, hardware)
+    })
 }
 
 fn profile_one<W: Workload + ?Sized>(
@@ -104,7 +135,10 @@ fn profile_one<W: Workload + ?Sized>(
     } else {
         // For larger DAGs fall back to single-node moves from all-on-prem:
         // all placements with at most 2 cloud nodes plus the extremes.
-        let mut v = vec![Placement::all_onprem(n_nodes), Placement::all_cloud(n_nodes)];
+        let mut v = vec![
+            Placement::all_onprem(n_nodes),
+            Placement::all_cloud(n_nodes),
+        ];
         for i in 0..n_nodes {
             let mut p = Placement::all_onprem(n_nodes);
             p.set_cloud(vetl_sim::NodeId(i), true);
@@ -117,8 +151,7 @@ fn profile_one<W: Workload + ?Sized>(
     let mut work_max = 0.0f64;
     // Per-candidate aggregates: (runtime sum, runtime max, cloud usd sum,
     // on-prem work sum, on-prem work max).
-    let mut agg: Vec<(f64, f64, f64, f64, f64)> =
-        vec![(0.0, 0.0, 0.0, 0.0, 0.0); candidates.len()];
+    let mut agg: Vec<(f64, f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0, 0.0); candidates.len()];
     for content in samples {
         let graph = workload.task_graph(config, content);
         let w = graph.total_onprem_secs();
@@ -161,7 +194,10 @@ fn profile_one<W: Workload + ?Sized>(
     let placements: Vec<PlacementProfile> = frontier
         .into_iter()
         .map(|pt| {
-            let ci = candidates.iter().position(|c| *c == pt.placement).expect("from candidates");
+            let ci = candidates
+                .iter()
+                .position(|c| *c == pt.placement)
+                .expect("from candidates");
             PlacementProfile {
                 placement: pt.placement,
                 runtime_mean: pt.runtime,
@@ -206,7 +242,10 @@ mod tests {
             assert!(p.work_max >= p.work_mean);
             assert!(!p.placements.is_empty());
             // Placements sorted by ascending cloud cost; first one is free.
-            assert!(p.placements.windows(2).all(|w| w[0].cloud_usd <= w[1].cloud_usd));
+            assert!(p
+                .placements
+                .windows(2)
+                .all(|w| w[0].cloud_usd <= w[1].cloud_usd));
             assert_eq!(p.free_placement().cloud_usd, 0.0);
         }
     }
@@ -216,8 +255,13 @@ mod tests {
         let w = ToyWorkload::new();
         // The most expensive config on a small cluster benefits from cloud.
         let config = w.config_space().max_config();
-        let profs =
-            profile_configs(&w, &[config], &samples(8), &[], &HardwareSpec::with_cores(1));
+        let profs = profile_configs(
+            &w,
+            &[config],
+            &samples(8),
+            &[],
+            &HardwareSpec::with_cores(1),
+        );
         let pls = &profs[0].placements;
         if pls.len() > 1 {
             assert!(
@@ -232,8 +276,13 @@ mod tests {
         let w = ToyWorkload::new();
         let cheap = w.config_space().min_config();
         let dear = w.config_space().max_config();
-        let profs =
-            profile_configs(&w, &[cheap, dear], &samples(6), &[], &HardwareSpec::with_cores(4));
+        let profs = profile_configs(
+            &w,
+            &[cheap, dear],
+            &samples(6),
+            &[],
+            &HardwareSpec::with_cores(4),
+        );
         assert!(profs[1].work_mean > 3.0 * profs[0].work_mean);
     }
 

@@ -47,16 +47,26 @@ impl ToyWorkload {
             knobs: vec![
                 Knob::new(
                     "rate",
-                    vec![KnobValue::Float(0.2), KnobValue::Float(0.5), KnobValue::Float(1.0)],
+                    vec![
+                        KnobValue::Float(0.2),
+                        KnobValue::Float(0.5),
+                        KnobValue::Float(1.0),
+                    ],
                 ),
-                Knob::new("model", vec![KnobValue::Text("small"), KnobValue::Text("large")]),
+                Knob::new(
+                    "model",
+                    vec![KnobValue::Text("small"), KnobValue::Text("large")],
+                ),
             ],
             seg_len: 2.0,
         }
     }
 
     fn rate(&self, config: &KnobConfig) -> f64 {
-        config.value(&self.knobs, 0).as_float().expect("rate knob is numeric")
+        config
+            .value(&self.knobs, 0)
+            .as_float()
+            .expect("rate knob is numeric")
     }
 
     fn large_model(&self, config: &KnobConfig) -> bool {
@@ -94,12 +104,20 @@ impl Workload for ToyWorkload {
         let mut g = TaskGraph::new();
         let decode = g.add_node(TaskNode::new("decode", 0.05 * self.seg_len, 0.0));
         let detect = g.add_node(
-            TaskNode::new("detect", 0.9 * rate * model_mult * self.seg_len, 0.5 * rate * model_mult)
-                .with_payload(2.0e6 * rate, 1.0e4),
+            TaskNode::new(
+                "detect",
+                0.9 * rate * model_mult * self.seg_len,
+                0.5 * rate * model_mult,
+            )
+            .with_payload(2.0e6 * rate, 1.0e4),
         );
         let track = g.add_node(
-            TaskNode::new("track", 0.25 * rate * (0.5 + content.activity) * self.seg_len, 0.15)
-                .with_payload(1.0e5, 1.0e4),
+            TaskNode::new(
+                "track",
+                0.25 * rate * (0.5 + content.activity) * self.seg_len,
+                0.15,
+            )
+            .with_payload(1.0e5, 1.0e4),
         );
         g.add_edge(decode, detect);
         g.add_edge(detect, track);

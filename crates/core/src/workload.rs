@@ -16,7 +16,11 @@ use vetl_video::ContentState;
 use crate::knob::{ConfigSpace, Knob, KnobConfig};
 
 /// A user-defined V-ETL workload.
-pub trait Workload {
+///
+/// Workloads must be `Send + Sync`: the offline phase scatters profiling,
+/// hill-climbing and labelling across a worker pool, and every worker
+/// evaluates the same shared workload object (all methods take `&self`).
+pub trait Workload: Send + Sync {
     /// Workload name (for reports).
     fn name(&self) -> &str;
 

@@ -22,7 +22,11 @@ pub struct DagSpec {
 impl DagSpec {
     /// Build a DAG where task `i` sleeps `durations[i]`.
     pub fn sleeping(preds: Vec<Vec<usize>>, durations: Vec<Duration>) -> Self {
-        assert_eq!(preds.len(), durations.len(), "preds/durations length mismatch");
+        assert_eq!(
+            preds.len(),
+            durations.len(),
+            "preds/durations length mismatch"
+        );
         let tasks = durations
             .into_iter()
             .map(|d| Box::new(move || std::thread::sleep(d)) as Box<dyn FnOnce() + Send>)
@@ -58,7 +62,10 @@ pub struct DagRun {
 pub fn run_dag(pool: &ActorPool, dag: DagSpec) -> DagRun {
     let n = dag.len();
     if n == 0 {
-        return DagRun { finish: Vec::new(), makespan: Duration::ZERO };
+        return DagRun {
+            finish: Vec::new(),
+            makespan: Duration::ZERO,
+        };
     }
     for preds in &dag.preds {
         for &p in preds {
@@ -91,8 +98,8 @@ pub fn run_dag(pool: &ActorPool, dag: DagSpec) -> DagRun {
     };
 
     let mut remaining = n;
-    for i in 0..n {
-        if indeg[i] == 0 {
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
             submit(i, &mut tasks);
         }
     }
@@ -129,7 +136,11 @@ mod tests {
         let pool = ActorPool::new(4);
         let dag = DagSpec::sleeping(vec![vec![]; 4], vec![ms(40); 4]);
         let run = run_dag(&pool, dag);
-        assert!(run.makespan < ms(120), "parallel run took {:?}", run.makespan);
+        assert!(
+            run.makespan < ms(120),
+            "parallel run took {:?}",
+            run.makespan
+        );
         assert!(run.makespan >= ms(38));
     }
 
@@ -147,8 +158,7 @@ mod tests {
     fn diamond_joins_correctly() {
         let pool = ActorPool::new(2);
         // 0 → {1,2} → 3
-        let dag =
-            DagSpec::sleeping(vec![vec![], vec![0], vec![0], vec![1, 2]], vec![ms(15); 4]);
+        let dag = DagSpec::sleeping(vec![vec![], vec![0], vec![0], vec![1, 2]], vec![ms(15); 4]);
         let run = run_dag(&pool, dag);
         assert!(run.finish[3] >= run.finish[1].max(run.finish[2]));
         assert!(run.makespan >= ms(42)); // three levels of 15 ms

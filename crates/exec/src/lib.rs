@@ -17,5 +17,5 @@ pub mod pool;
 pub mod promise;
 
 pub use dag::{run_dag, DagRun, DagSpec};
-pub use pool::ActorPool;
+pub use pool::{ActorPool, PoolScope};
 pub use promise::Promise;

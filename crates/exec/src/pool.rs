@@ -6,49 +6,65 @@
 //! of logical cores", §5.1).
 
 use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use crate::promise::Promise;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A pool of `size` worker threads consuming submitted jobs FIFO.
+/// A pool of up to `size` worker threads consuming submitted jobs FIFO.
+///
+/// The long-lived channel workers spawn **lazily** on the first
+/// [`submit`](Self::submit): a pool used only for the scoped scatter-gather
+/// APIs ([`par_map`](Self::par_map) / [`scope`](Self::scope)) never spawns a
+/// persistent thread at all (the offline phase is such a user — its workers
+/// are scoped to each step).
 #[derive(Debug)]
 pub struct ActorPool {
+    size: usize,
+    channel: Mutex<ChannelWorkers>,
+}
+
+/// The lazily-spawned long-lived half of the pool.
+#[derive(Debug, Default)]
+struct ChannelWorkers {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    shut_down: bool,
 }
 
 impl ActorPool {
-    /// Spawn a pool with `size` workers.
+    /// Create a pool of `size` workers (the emulated core count).
     ///
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
         assert!(size > 0, "pool needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
-        let workers = (0..size)
-            .map(|i| {
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("vetl-actor-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
-        Self { tx: Some(tx), workers }
+        Self {
+            size,
+            channel: Mutex::new(ChannelWorkers::default()),
+        }
     }
 
     /// Number of workers (the emulated core count).
     pub fn size(&self) -> usize {
-        self.workers.len()
+        self.size
+    }
+
+    /// Long-lived worker threads currently alive (0 until the first
+    /// [`submit`](Self::submit), and again after [`shutdown`](Self::shutdown);
+    /// scoped [`par_map`](Self::par_map)/[`scope`](Self::scope) workers are
+    /// never counted because they end with their call).
+    pub fn active_workers(&self) -> usize {
+        self.channel.lock().expect("pool poisoned").workers.len()
     }
 
     /// Submit a job; returns a [`Promise`] for its result.
+    ///
+    /// # Panics
+    /// Panics if the pool was shut down.
     pub fn submit<T, F>(&self, f: F) -> Promise<T>
     where
         T: Send + 'static,
@@ -59,9 +75,29 @@ impl ActorPool {
             let value = f();
             let _ = resolver.resolve(value);
         });
-        self.tx
+        let mut channel = self.channel.lock().expect("pool poisoned");
+        assert!(!channel.shut_down, "pool already shut down");
+        if channel.tx.is_none() {
+            let (tx, rx) = unbounded::<Job>();
+            channel.workers = (0..self.size)
+                .map(|i| {
+                    let rx = rx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("vetl-actor-{i}"))
+                        .spawn(move || {
+                            while let Ok(job) = rx.recv() {
+                                job();
+                            }
+                        })
+                        .expect("failed to spawn pool worker")
+                })
+                .collect();
+            channel.tx = Some(tx);
+        }
+        channel
+            .tx
             .as_ref()
-            .expect("pool already shut down")
+            .expect("workers just spawned")
             .send(job)
             .expect("pool workers exited unexpectedly");
         promise
@@ -76,15 +112,159 @@ impl ActorPool {
         let promises: Vec<Promise<T>> = jobs.into_iter().map(|f| self.submit(f)).collect();
         promises.into_iter().map(Promise::wait).collect()
     }
+
+    /// Scoped scatter-gather: apply `f` to every item of `items`, fanning out
+    /// across up to [`size`](Self::size) workers, and gather the results in
+    /// input order.
+    ///
+    /// Unlike [`submit`](Self::submit), the closure and items only need to
+    /// live for the duration of the call: the workers are fresh scoped
+    /// threads (not the long-lived channel workers, which cannot run
+    /// borrowed jobs), bounded by the pool size, so `f` may borrow from the
+    /// caller's stack. Work is distributed through a shared atomic cursor —
+    /// each scoped worker claims the next unclaimed index — which balances
+    /// heterogeneous item costs. Results are position-addressed, so the
+    /// output order — and therefore any seed-derived determinism in `f` —
+    /// is independent of scheduling.
+    ///
+    /// Concurrency accounting: a `par_map` in flight uses its own up-to-size
+    /// worker set. Interleaving it with [`submit`](Self::submit) jobs on the
+    /// same pool can therefore run up to `2 × size` tasks at once; the
+    /// offline phase avoids this by only ever using the scoped APIs.
+    ///
+    /// # Panics
+    /// Propagates the first panic raised inside `f`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.size().min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Run `f` with a [`PoolScope`] through which ad-hoc tasks can be
+    /// spawned that borrow from the caller's stack. At most
+    /// [`size`](Self::size) spawned tasks *run* concurrently (a semaphore
+    /// gates execution), preserving the pool's core-count emulation. All
+    /// tasks are joined before `scope` returns.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&PoolScope<'scope, 'env>) -> R,
+    {
+        let permits = std::sync::Arc::new(Semaphore::new(self.size()));
+        std::thread::scope(|s| f(&PoolScope { scope: s, permits }))
+    }
+}
+
+/// Handle passed to the closure of [`ActorPool::scope`].
+pub struct PoolScope<'scope, 'env: 'scope> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    permits: std::sync::Arc<Semaphore>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Spawn a task inside the scope. The task blocks on a pool permit
+    /// before running, so no more than the pool's worker count execute at
+    /// once. Returns the standard scoped join handle.
+    pub fn spawn<T, F>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        T: Send + 'scope,
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        let permits = std::sync::Arc::clone(&self.permits);
+        self.scope.spawn(move || {
+            let _permit = permits.acquire();
+            f()
+        })
+    }
+}
+
+/// Counting semaphore gating scoped-task execution to the pool size.
+#[derive(Debug)]
+struct Semaphore {
+    count: Mutex<usize>,
+    freed: Condvar,
+}
+
+struct Permit<'a>(&'a Semaphore);
+
+impl Semaphore {
+    fn new(count: usize) -> Self {
+        Self {
+            count: Mutex::new(count),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut count = self.count.lock().expect("semaphore poisoned");
+        while *count == 0 {
+            count = self.freed.wait(count).expect("semaphore poisoned");
+        }
+        *count -= 1;
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.count.lock().expect("semaphore poisoned") += 1;
+        self.0.freed.notify_one();
+    }
+}
+
+impl ActorPool {
+    /// Close the submission channel and join every spawned worker, so tests
+    /// and benches never leak `vetl-actor-*` threads. Called by `Drop`;
+    /// callable explicitly when deterministic teardown ordering matters
+    /// (e.g. before asserting on thread counts). Idempotent; subsequent
+    /// [`submit`](Self::submit) calls panic.
+    pub fn shutdown(&mut self) {
+        let mut channel = self.channel.lock().expect("pool poisoned");
+        channel.shut_down = true;
+        // Closing the channel terminates the workers after draining.
+        drop(channel.tx.take());
+        for w in channel.workers.drain(..) {
+            // A worker that panicked already unwound; the pool must still
+            // reap the remaining ones rather than leak them.
+            let _ = w.join();
+        }
+    }
 }
 
 impl Drop for ActorPool {
     fn drop(&mut self) {
-        // Closing the channel terminates the workers after draining.
-        drop(self.tx.take());
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -147,5 +327,107 @@ mod tests {
         let p = pool.submit(|| 1);
         drop(pool); // must drain and join without deadlock
         assert_eq!(p.wait(), 1);
+    }
+
+    #[test]
+    fn shutdown_leaves_no_pool_threads_behind() {
+        let mut pool = ActorPool::new(3);
+        let jobs: Vec<_> = (0..12).map(|i| move || i).collect();
+        let _ = pool.map_wait(jobs);
+        pool.shutdown();
+        assert_eq!(pool.active_workers(), 0, "workers joined and drained");
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn scoped_apis_spawn_no_persistent_workers() {
+        let pool = ActorPool::new(4);
+        assert_eq!(pool.active_workers(), 0, "construction is thread-free");
+        let data = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let out = pool.par_map(&data, |_, &v| v * 2);
+        assert_eq!(out.iter().sum::<u32>(), 72);
+        pool.scope(|s| s.spawn(|| ()).join().expect("scoped task"));
+        assert_eq!(
+            pool.active_workers(),
+            0,
+            "scatter-gather must not leave channel workers behind"
+        );
+        let p = pool.submit(|| 1);
+        assert_eq!(p.wait(), 1);
+        assert_eq!(
+            pool.active_workers(),
+            4,
+            "submit spawns the channel workers"
+        );
+    }
+
+    #[test]
+    fn par_map_borrows_and_preserves_order() {
+        let pool = ActorPool::new(4);
+        let data: Vec<u64> = (0..64).collect();
+        let offset = 100u64; // captured by reference: scoped, not 'static
+        let out = pool.par_map(&data, |i, &v| v * v + offset + i as u64);
+        let expect: Vec<u64> = (0..64).map(|i| i * i + offset + i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_runs_concurrently() {
+        let pool = ActorPool::new(4);
+        let items = vec![(); 4];
+        let start = Instant::now();
+        pool.par_map(&items, |_, _| std::thread::sleep(Duration::from_millis(50)));
+        let elapsed = start.elapsed();
+        assert!(elapsed < Duration::from_millis(150), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let pool = ActorPool::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, v| *v).is_empty());
+        assert_eq!(pool.par_map(&[7u32], |_, v| *v + 1), vec![8]);
+    }
+
+    #[test]
+    fn scope_limits_concurrency_to_pool_size() {
+        let pool = ActorPool::new(2);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        pool.scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let running = Arc::clone(&running);
+                    let peak = Arc::clone(&peak);
+                    s.spawn(move || {
+                        let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(20));
+                        running.fetch_sub(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("scoped task");
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn scope_gathers_borrowed_results() {
+        let pool = ActorPool::new(3);
+        let words = ["alpha", "beta", "gamma"];
+        let lens = pool.scope(|s| {
+            let hs: Vec<_> = words.iter().map(|w| s.spawn(move || w.len())).collect();
+            hs.into_iter()
+                .map(|h| h.join().expect("task"))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(lens, vec![5, 4, 5]);
     }
 }

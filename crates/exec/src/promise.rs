@@ -40,7 +40,9 @@ impl<T> Promise<T> {
     /// Panics if the producing worker dropped its [`Resolver`] without
     /// resolving (e.g. the task panicked).
     pub fn wait(self) -> T {
-        self.rx.recv().expect("promise abandoned: producing task panicked or was dropped")
+        self.rx
+            .recv()
+            .expect("promise abandoned: producing task panicked or was dropped")
     }
 
     /// Block with a timeout; `None` on timeout.

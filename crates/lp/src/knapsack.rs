@@ -35,7 +35,10 @@ pub struct KnapsackSolution {
 /// ½-approximation for 0-1 knapsack.
 pub fn knapsack_greedy(items: &[KnapsackItem], capacity: f64) -> KnapsackSolution {
     assert!(capacity >= 0.0, "capacity must be non-negative");
-    assert!(items.iter().all(|i| i.weight >= 0.0), "weights must be non-negative");
+    assert!(
+        items.iter().all(|i| i.weight >= 0.0),
+        "weights must be non-negative"
+    );
 
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| {
@@ -70,7 +73,11 @@ pub fn knapsack_greedy(items: &[KnapsackItem], capacity: f64) -> KnapsackSolutio
     }
 
     chosen.sort_unstable();
-    KnapsackSolution { chosen, value, weight }
+    KnapsackSolution {
+        chosen,
+        value,
+        weight,
+    }
 }
 
 fn density(item: KnapsackItem) -> f64 {
@@ -96,10 +103,15 @@ pub fn knapsack_exact(
     assert!(capacity >= 0.0, "capacity must be non-negative");
     assert!(resolution > 0, "resolution must be positive");
     if items.is_empty() || capacity == 0.0 {
-        let chosen: Vec<usize> =
-            (0..items.len()).filter(|&i| items[i].weight == 0.0).collect();
+        let chosen: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].weight == 0.0)
+            .collect();
         let value = chosen.iter().map(|&i| items[i].value).sum();
-        return KnapsackSolution { chosen, value, weight: 0.0 };
+        return KnapsackSolution {
+            chosen,
+            value,
+            weight: 0.0,
+        };
     }
 
     let cell = capacity / resolution as f64;
@@ -136,7 +148,11 @@ pub fn knapsack_exact(
     chosen.sort_unstable();
     let value = chosen.iter().map(|&i| items[i].value).sum();
     let weight = chosen.iter().map(|&i| items[i].weight).sum();
-    KnapsackSolution { chosen, value, weight }
+    KnapsackSolution {
+        chosen,
+        value,
+        weight,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +160,10 @@ mod tests {
     use super::*;
 
     fn items(pairs: &[(f64, f64)]) -> Vec<KnapsackItem> {
-        pairs.iter().map(|&(value, weight)| KnapsackItem { value, weight }).collect()
+        pairs
+            .iter()
+            .map(|&(value, weight)| KnapsackItem { value, weight })
+            .collect()
     }
 
     #[test]
@@ -181,17 +200,22 @@ mod tests {
         let mut best = 0.0f64;
         for mask in 0..16u32 {
             let (mut v, mut w) = (0.0, 0.0);
-            for i in 0..4 {
+            for (i, item) in its.iter().enumerate() {
                 if mask & (1 << i) != 0 {
-                    v += its[i].value;
-                    w += its[i].weight;
+                    v += item.value;
+                    w += item.weight;
                 }
             }
             if w <= capacity {
                 best = best.max(v);
             }
         }
-        assert!((s.value - best).abs() < 1e-9, "dp {} vs brute {}", s.value, best);
+        assert!(
+            (s.value - best).abs() < 1e-9,
+            "dp {} vs brute {}",
+            s.value,
+            best
+        );
     }
 
     #[test]
@@ -210,7 +234,12 @@ mod tests {
         let cap = 12.0;
         let g = knapsack_greedy(&its, cap);
         let e = knapsack_exact(&its, cap, 1200);
-        assert!(g.value >= 0.5 * e.value - 1e-9, "greedy {} exact {}", g.value, e.value);
+        assert!(
+            g.value >= 0.5 * e.value - 1e-9,
+            "greedy {} exact {}",
+            g.value,
+            e.value
+        );
         assert!(g.value <= e.value + 1e-9);
     }
 

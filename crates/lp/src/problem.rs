@@ -64,9 +64,16 @@ impl LpProblem {
     /// Panics if a term references an unknown variable.
     pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, relation: Relation, rhs: f64) {
         for (v, _) in &terms {
-            assert!(v.0 < self.objective.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.objective.len(),
+                "constraint references unknown variable"
+            );
         }
-        self.constraints.push(Constraint { terms, relation, rhs });
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
     }
 
     /// Convenience: add an upper bound `x ≤ bound` on a single variable.
@@ -92,7 +99,11 @@ impl LpProblem {
     /// Evaluate the objective at a candidate point.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.num_vars(), "point dimension mismatch");
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Check feasibility of a candidate point within tolerance `tol`.

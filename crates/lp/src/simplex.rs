@@ -111,8 +111,7 @@ impl Tableau {
                         None => leaving = Some((r, ratio)),
                         Some((br, bratio)) => {
                             if ratio < bratio - EPS
-                                || ((ratio - bratio).abs() <= EPS
-                                    && self.basis[r] < self.basis[br])
+                                || ((ratio - bratio).abs() <= EPS && self.basis[r] < self.basis[br])
                             {
                                 leaving = Some((r, ratio));
                             }
@@ -120,7 +119,9 @@ impl Tableau {
                     }
                 }
             }
-            let Some((row, _)) = leaving else { return Err(LpError::Unbounded) };
+            let Some((row, _)) = leaving else {
+                return Err(LpError::Unbounded);
+            };
             self.pivot(row, col);
         }
     }
@@ -134,7 +135,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     let n = problem.num_vars();
     let m = problem.num_constraints();
     if n == 0 {
-        return Ok(LpSolution { values: Vec::new(), objective: 0.0, pivots: 0 });
+        return Ok(LpSolution {
+            values: Vec::new(),
+            objective: 0.0,
+            pivots: 0,
+        });
     }
 
     // Count auxiliary columns. Each row gets either a slack (≤), a surplus +
@@ -201,7 +206,13 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
 
     let max_pivots = 2000 + 200 * (n + m);
-    let mut tab = Tableau { a, z: vec![0.0; cols], basis, n_real, pivots: 0 };
+    let mut tab = Tableau {
+        a,
+        z: vec![0.0; cols],
+        basis,
+        n_real,
+        pivots: 0,
+    };
 
     // Phase 1: minimize the sum of artificials ⇔ maximize -(sum). The z-row
     // stores negated reduced costs: start with +1 on artificial columns and
@@ -269,7 +280,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         }
     }
     let objective = problem.objective_value(&values);
-    Ok(LpSolution { values, objective, pivots: tab.pivots })
+    Ok(LpSolution {
+        values,
+        objective,
+        pivots: tab.pivots,
+    })
 }
 
 #[cfg(test)]
@@ -371,14 +386,14 @@ mod tests {
             .map(|(c, k)| (vars[c][k].unwrap(), r[c] * cost[k]))
             .collect();
         p.add_constraint(budget_terms, Relation::Le, budget);
-        for c in 0..2 {
-            let terms: Vec<_> = (0..3).map(|k| (vars[c][k].unwrap(), 1.0)).collect();
+        for row in vars.iter().take(2) {
+            let terms: Vec<_> = row.iter().map(|v| (v.unwrap(), 1.0)).collect();
             p.add_constraint(terms, Relation::Eq, 1.0);
         }
         let s = solve(&p).unwrap();
         // Histograms normalize.
-        for c in 0..2 {
-            let total: f64 = (0..3).map(|k| s.value(vars[c][k].unwrap())).sum();
+        for row in vars.iter().take(2) {
+            let total: f64 = row.iter().map(|v| s.value(v.unwrap())).sum();
             assert_close(total, 1.0);
         }
         // Budget holds.

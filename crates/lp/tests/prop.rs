@@ -18,26 +18,27 @@ proptest! {
         // (sorted per category) so "cheapest" is never optimal by accident.
         let cost = |k: usize| 1.0 + 3.0 * k as f64;
         let r = vec![1.0 / n_c as f64; n_c];
-        let mut qual = vec![vec![0.0; n_k]; n_c];
-        for c in 0..n_c {
-            let mut col: Vec<f64> =
-                (0..n_k).map(|k| quals[(c * n_k + k) % quals.len()]).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            qual[c] = col;
-        }
+        let qual: Vec<Vec<f64>> = (0..n_c)
+            .map(|c| {
+                let mut col: Vec<f64> =
+                    (0..n_k).map(|k| quals[(c * n_k + k) % quals.len()]).collect();
+                col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                col
+            })
+            .collect();
         let budget = cost(0) + budget_scale * (cost(n_k - 1) - cost(0));
 
         let mut lp = LpProblem::new();
         let mut vars = vec![vec![]; n_c];
         for (c, row) in vars.iter_mut().enumerate() {
-            for k in 0..n_k {
-                row.push(lp.add_var(format!("a{k}_{c}"), r[c] * qual[c][k]));
+            for (k, &q) in qual[c].iter().enumerate() {
+                row.push(lp.add_var(format!("a{k}_{c}"), r[c] * q));
             }
         }
         let mut budget_terms = Vec::new();
-        for c in 0..n_c {
-            for k in 0..n_k {
-                budget_terms.push((vars[c][k], r[c] * cost(k)));
+        for (c, row) in vars.iter().enumerate() {
+            for (k, &var) in row.iter().enumerate() {
+                budget_terms.push((var, r[c] * cost(k)));
             }
         }
         lp.add_constraint(budget_terms, Relation::Le, budget);

@@ -28,7 +28,13 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> Self {
-        Self { k: 4, max_iter: 200, tol: 1e-7, var_floor: 1e-6, seed: 7 }
+        Self {
+            k: 4,
+            max_iter: 200,
+            tol: 1e-7,
+            var_floor: 1e-6,
+            seed: 7,
+        }
     }
 }
 
@@ -49,12 +55,19 @@ impl GaussianMixture {
         assert!(config.k > 0, "k must be positive");
         assert!(!points.is_empty(), "cannot fit a GMM on an empty point set");
         let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "inconsistent point dimensions"
+        );
         let _rng = StdRng::seed_from_u64(config.seed);
 
         let km = KMeans::fit(
             points,
-            &KMeansConfig { k: config.k, seed: config.seed, ..Default::default() },
+            &KMeansConfig {
+                k: config.k,
+                seed: config.seed,
+                ..Default::default()
+            },
         );
         let k = km.k();
         let mut means: Vec<Vec<f64>> = km.centers().to_vec();
@@ -68,22 +81,26 @@ impl GaussianMixture {
         let mut ll = prev_ll;
         let mut iterations = 0;
 
+        let mut logp = vec![0.0f64; k];
         for iter in 0..config.max_iter {
             iterations = iter + 1;
-            // E-step: responsibilities via log-sum-exp.
+            // E-step: responsibilities via log-sum-exp. Log-weights are
+            // hoisted out of the point loop (one ln per component per
+            // iteration instead of per point).
+            let log_w: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
             ll = 0.0;
             for (p, r) in points.iter().zip(resp.iter_mut()) {
-                let mut logp = vec![0.0; k];
-                for c in 0..k {
-                    logp[c] = weights[c].ln()
-                        + diag_log_pdf(p, &means[c], &variances[c]);
+                for (((lp, &lw), mean), var) in
+                    logp.iter_mut().zip(&log_w).zip(&means).zip(&variances)
+                {
+                    *lp = lw + diag_log_pdf(p, mean, var);
                 }
                 let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let sum: f64 = logp.iter().map(|l| (l - m).exp()).sum();
                 let lse = m + sum.ln();
                 ll += lse;
-                for c in 0..k {
-                    r[c] = (logp[c] - lse).exp();
+                for (rc, &lp) in r.iter_mut().zip(logp.iter()) {
+                    *rc = (lp - lse).exp();
                 }
             }
             ll /= n as f64;
@@ -119,7 +136,13 @@ impl GaussianMixture {
             prev_ll = ll;
         }
 
-        Self { weights, means, variances, log_likelihood: ll, iterations }
+        Self {
+            weights,
+            means,
+            variances,
+            log_likelihood: ll,
+            iterations,
+        }
     }
 
     /// Mixture weights (sum to one).
@@ -153,27 +176,29 @@ impl GaussianMixture {
         self.means.len()
     }
 
+    /// Per-component log joint density `ln w_c + ln N(point | c)`.
+    fn log_joint(&self, point: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.variances)
+            .map(|((w, mean), var)| w.ln() + diag_log_pdf(point, mean, var))
+            .collect()
+    }
+
     /// Most-probable component for a point (MAP assignment).
     pub fn predict(&self, point: &[f64]) -> usize {
-        let mut best = 0;
-        let mut best_lp = f64::NEG_INFINITY;
-        for c in 0..self.k() {
-            let lp = self.weights[c].ln() + diag_log_pdf(point, &self.means[c], &self.variances[c]);
-            if lp > best_lp {
-                best_lp = lp;
-                best = c;
-            }
-        }
-        best
+        self.log_joint(point)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite log density"))
+            .expect("at least one component")
+            .0
     }
 
     /// Posterior responsibilities `p(c | point)`.
     pub fn predict_proba(&self, point: &[f64]) -> Vec<f64> {
-        let k = self.k();
-        let mut logp = vec![0.0; k];
-        for c in 0..k {
-            logp[c] = self.weights[c].ln() + diag_log_pdf(point, &self.means[c], &self.variances[c]);
-        }
+        let logp = self.log_joint(point);
         let m = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let sum: f64 = logp.iter().map(|l| (l - m).exp()).sum();
         let lse = m + sum.ln();
@@ -204,12 +229,14 @@ fn global_variance(points: &[Vec<f64>], floor: f64) -> Vec<f64> {
 /// Log density of a diagonal Gaussian.
 fn diag_log_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
     const LOG_2PI: f64 = 1.8378770664093453;
-    let mut acc = 0.0;
-    for ((&xi, &mi), &vi) in x.iter().zip(mean.iter()).zip(var.iter()) {
-        let d = xi - mi;
-        acc += -0.5 * (LOG_2PI + vi.ln() + d * d / vi);
-    }
-    acc
+    x.iter()
+        .zip(mean)
+        .zip(var)
+        .map(|((&xi, &mi), &vi)| {
+            let d = xi - mi;
+            -0.5 * (LOG_2PI + vi.ln() + d * d / vi)
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -222,7 +249,10 @@ mod tests {
         let mut pts = Vec::new();
         for &(cx, s) in &[(0.0, 0.3), (8.0, 0.6)] {
             for _ in 0..80 {
-                pts.push(vec![cx + s * (rng.gen::<f64>() - 0.5), s * (rng.gen::<f64>() - 0.5)]);
+                pts.push(vec![
+                    cx + s * (rng.gen::<f64>() - 0.5),
+                    s * (rng.gen::<f64>() - 0.5),
+                ]);
             }
         }
         pts
@@ -231,7 +261,13 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let pts = two_blobs();
-        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        let gmm = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let a = gmm.predict(&pts[0]);
         let b = gmm.predict(&pts[100]);
         assert_ne!(a, b);
@@ -242,7 +278,13 @@ mod tests {
     #[test]
     fn weights_sum_to_one() {
         let pts = two_blobs();
-        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 3, ..Default::default() });
+        let gmm = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         let s: f64 = gmm.weights().iter().sum();
         assert!((s - 1.0).abs() < 1e-9);
     }
@@ -250,7 +292,13 @@ mod tests {
     #[test]
     fn posterior_is_a_distribution() {
         let pts = two_blobs();
-        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        let gmm = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let p = gmm.predict_proba(&[4.0, 0.0]);
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -262,15 +310,35 @@ mod tests {
         // EM guarantees monotone likelihood; check the final value beats a
         // one-iteration fit.
         let pts = two_blobs();
-        let short = GaussianMixture::fit(&pts, &GmmConfig { k: 2, max_iter: 1, ..Default::default() });
-        let long = GaussianMixture::fit(&pts, &GmmConfig { k: 2, max_iter: 100, ..Default::default() });
+        let short = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 2,
+                max_iter: 1,
+                ..Default::default()
+            },
+        );
+        let long = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 2,
+                max_iter: 100,
+                ..Default::default()
+            },
+        );
         assert!(long.log_likelihood() >= short.log_likelihood() - 1e-9);
     }
 
     #[test]
     fn variance_floor_prevents_singularities() {
         let pts = vec![vec![1.0, 1.0]; 30]; // zero-variance data
-        let gmm = GaussianMixture::fit(&pts, &GmmConfig { k: 2, ..Default::default() });
+        let gmm = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         for var in gmm.variances() {
             assert!(var.iter().all(|&v| v >= 1e-6));
         }

@@ -35,7 +35,13 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 4, max_iter: 100, tol: 1e-9, seed: 7, n_init: 4 }
+        Self {
+            k: 4,
+            max_iter: 100,
+            tol: 1e-9,
+            seed: 7,
+            n_init: 4,
+        }
     }
 }
 
@@ -58,18 +64,53 @@ impl KMeans {
         assert!(config.k > 0, "k must be positive");
         assert!(!points.is_empty(), "cannot cluster an empty point set");
         let dim = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dim), "inconsistent point dimensions");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "inconsistent point dimensions"
+        );
 
         let mut best: Option<KMeans> = None;
         for restart in 0..config.n_init.max(1) {
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64 * 0x9e37));
-            let fitted = Self::fit_once(points, config, &mut rng);
+            let fitted = Self::fit_restart(points, config, restart);
             let better = best.as_ref().is_none_or(|b| fitted.inertia < b.inertia);
             if better {
                 best = Some(fitted);
             }
         }
         best.expect("at least one restart ran")
+    }
+
+    /// [`fit`](Self::fit) with the random restarts scattered across a worker
+    /// pool. Every restart seeds its own generator and the winner is chosen
+    /// by (inertia, restart index), so the result is bit-identical to the
+    /// sequential fit for any pool size.
+    pub fn fit_on(points: &[Vec<f64>], config: &KMeansConfig, pool: &vetl_exec::ActorPool) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(!points.is_empty(), "cannot cluster an empty point set");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "inconsistent point dimensions"
+        );
+
+        let restarts: Vec<usize> = (0..config.n_init.max(1)).collect();
+        let fits = pool.par_map(&restarts, |_, &r| Self::fit_restart(points, config, r));
+        // In-order scan with strict `<` keeps the earliest restart on ties —
+        // exactly the sequential loop's behaviour.
+        fits.into_iter()
+            .reduce(|best, cand| {
+                if cand.inertia < best.inertia {
+                    cand
+                } else {
+                    best
+                }
+            })
+            .expect("at least one restart ran")
+    }
+
+    fn fit_restart(points: &[Vec<f64>], config: &KMeansConfig, restart: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(restart as u64 * 0x9e37));
+        Self::fit_once(points, config, &mut rng)
     }
 
     fn fit_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut StdRng) -> Self {
@@ -115,9 +156,15 @@ impl KMeans {
             }
         }
 
-        let inertia =
-            points.iter().map(|p| nearest_center(p, &centers).1).sum::<f64>();
-        Self { centers, inertia, iterations }
+        let inertia = points
+            .iter()
+            .map(|p| nearest_center(p, &centers).1)
+            .sum::<f64>();
+        Self {
+            centers,
+            inertia,
+            iterations,
+        }
     }
 
     /// Cluster centers, one `dim`-vector per cluster.
@@ -246,7 +293,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)] {
             for _ in 0..50 {
-                pts.push(vec![cx + rng.gen::<f64>() - 0.5, cy + rng.gen::<f64>() - 0.5]);
+                pts.push(vec![
+                    cx + rng.gen::<f64>() - 0.5,
+                    cy + rng.gen::<f64>() - 0.5,
+                ]);
             }
         }
         pts
@@ -255,12 +305,20 @@ mod tests {
     #[test]
     fn recovers_well_separated_blobs() {
         let pts = three_blobs();
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         // Every blob should map to a single distinct cluster.
         let labels: Vec<usize> = pts.iter().map(|p| km.predict(p)).collect();
         for blob in 0..3 {
             let first = labels[blob * 50];
-            assert!(labels[blob * 50..(blob + 1) * 50].iter().all(|&l| l == first));
+            assert!(labels[blob * 50..(blob + 1) * 50]
+                .iter()
+                .all(|&l| l == first));
         }
         let mut distinct: Vec<usize> = vec![labels[0], labels[50], labels[100]];
         distinct.sort_unstable();
@@ -271,9 +329,30 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let pts = three_blobs();
-        let i1 = KMeans::fit(&pts, &KMeansConfig { k: 1, ..Default::default() }).inertia();
-        let i2 = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() }).inertia();
-        let i3 = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() }).inertia();
+        let i1 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .inertia();
+        let i2 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .inertia();
+        let i3 = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .inertia();
         assert!(i1 > i2, "k=1 inertia {i1} should exceed k=2 inertia {i2}");
         assert!(i2 > i3, "k=2 inertia {i2} should exceed k=3 inertia {i3}");
     }
@@ -282,7 +361,13 @@ mod tests {
     fn single_dim_classification_matches_full_when_dim_discriminates() {
         // Centers differ strongly along dimension 0.
         let pts = three_blobs();
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         for p in &pts {
             let full = km.predict(p);
             // dim 0 separates (0, 10, -10) blobs.
@@ -292,16 +377,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_fit_matches_sequential_fit() {
+        let pts = three_blobs();
+        let config = KMeansConfig {
+            k: 3,
+            n_init: 4,
+            ..Default::default()
+        };
+        let seq = KMeans::fit(&pts, &config);
+        let pool = vetl_exec::ActorPool::new(4);
+        let par = KMeans::fit_on(&pts, &config, &pool);
+        assert_eq!(seq.centers(), par.centers());
+        assert_eq!(seq.inertia(), par.inertia());
+    }
+
+    #[test]
     fn k_larger_than_points_is_clamped() {
         let pts = vec![vec![0.0], vec![1.0]];
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 10, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(km.k(), 2);
     }
 
     #[test]
     fn identical_points_yield_zero_inertia() {
         let pts = vec![vec![2.0, 2.0]; 20];
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 3, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert!(km.inertia() < 1e-12);
     }
 
@@ -313,7 +425,13 @@ mod tests {
             let x = if i < 20 { 0.0 } else { 5.0 };
             pts.push(vec![x, 1.0]);
         }
-        let km = KMeans::fit(&pts, &KMeansConfig { k: 2, ..Default::default() });
+        let km = KMeans::fit(
+            &pts,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert!(km.dim_discrimination(0) > 4.0);
         assert!(km.dim_discrimination(1) < 1e-9);
     }

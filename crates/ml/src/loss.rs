@@ -17,7 +17,11 @@ pub enum Loss {
 impl Loss {
     /// Loss value for a single (prediction, target) pair.
     pub fn value(&self, prediction: &[f64], target: &[f64]) -> f64 {
-        assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
+        assert_eq!(
+            prediction.len(),
+            target.len(),
+            "prediction/target length mismatch"
+        );
         match self {
             Loss::Mse => {
                 let n = prediction.len() as f64;
@@ -41,8 +45,16 @@ impl Loss {
     /// pre-activation gradient; composed with a softmax head, cross-entropy
     /// yields the familiar `p - t` pre-activation gradient.
     pub fn grad_into(&self, prediction: &[f64], target: &[f64], out: &mut [f64]) {
-        assert_eq!(prediction.len(), target.len(), "prediction/target length mismatch");
-        assert_eq!(prediction.len(), out.len(), "gradient buffer length mismatch");
+        assert_eq!(
+            prediction.len(),
+            target.len(),
+            "prediction/target length mismatch"
+        );
+        assert_eq!(
+            prediction.len(),
+            out.len(),
+            "gradient buffer length mismatch"
+        );
         match self {
             Loss::Mse => {
                 let n = prediction.len() as f64;
@@ -98,7 +110,12 @@ mod tests {
             let mut p2 = p;
             p2[i] += eps;
             let fd = (Loss::CrossEntropy.value(&p2, &t) - Loss::CrossEntropy.value(&p, &t)) / eps;
-            assert!((g[i] - fd).abs() < 1e-4, "dim {i}: analytic {} vs fd {}", g[i], fd);
+            assert!(
+                (g[i] - fd).abs() < 1e-4,
+                "dim {i}: analytic {} vs fd {}",
+                g[i],
+                fd
+            );
         }
     }
 

@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from a flat row-major buffer.
@@ -26,7 +30,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -84,27 +92,52 @@ impl Matrix {
 
     /// Matrix-vector product writing into a caller-provided buffer
     /// (allocation-free hot path for NN inference).
+    ///
+    /// Row iteration uses `chunks_exact`, which gives the compiler
+    /// constant-stride slices it can bounds-check once and auto-vectorize.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         assert_eq!(out.len(), self.rows, "output dimension mismatch in matvec");
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            *o = acc;
+        for (row, o) in self.data.chunks_exact(self.cols).zip(out.iter_mut()) {
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Fused `act_input = self * x + bias`, the network's per-layer affine
+    /// step in one pass over the weights.
+    pub fn matvec_bias_into(&self, x: &[f64], bias: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec_bias");
+        assert_eq!(
+            bias.len(),
+            self.rows,
+            "bias dimension mismatch in matvec_bias"
+        );
+        assert_eq!(
+            out.len(),
+            self.rows,
+            "output dimension mismatch in matvec_bias"
+        );
+        for ((row, o), b) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.iter_mut())
+            .zip(bias)
+        {
+            *o = b + row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
         }
     }
 
     /// Transposed matrix-vector product `selfᵀ * x` (used by backprop).
     pub fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
-        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_transposed");
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "dimension mismatch in matvec_transposed"
+        );
         assert_eq!(out.len(), self.cols, "output dimension mismatch");
         out.iter_mut().for_each(|o| *o = 0.0);
-        for (r, &xr) in x.iter().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (o, &w) in out.iter_mut().zip(row.iter()) {
+        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x.iter()) {
+            for (o, &w) in out.iter_mut().zip(row) {
                 *o += w * xr;
             }
         }
@@ -115,10 +148,11 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f64], b: &[f64], scale: f64) {
         assert_eq!(a.len(), self.rows, "outer-product row mismatch");
         assert_eq!(b.len(), self.cols, "outer-product col mismatch");
-        for (r, &ar) in a.iter().enumerate() {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (w, &bc) in row.iter_mut().zip(b.iter()) {
-                *w += scale * ar * bc;
+        let cols = self.cols;
+        for (row, &ar) in self.data.chunks_exact_mut(cols).zip(a.iter()) {
+            let s = scale * ar;
+            for (w, &bc) in row.iter_mut().zip(b) {
+                *w += s * bc;
             }
         }
     }

@@ -7,7 +7,11 @@
 /// Mean absolute error between two equal-length prediction/target sequences
 /// of vectors: `mean_i mean_j |p_ij - t_ij|`.
 pub fn mean_absolute_error(predictions: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
-    assert_eq!(predictions.len(), targets.len(), "prediction/target count mismatch");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target count mismatch"
+    );
     assert!(!predictions.is_empty(), "MAE of an empty set is undefined");
     let mut total = 0.0;
     let mut count = 0usize;
@@ -23,7 +27,11 @@ pub fn mean_absolute_error(predictions: &[Vec<f64>], targets: &[Vec<f64>]) -> f6
 
 /// Mean squared error with the same conventions as [`mean_absolute_error`].
 pub fn mean_squared_error(predictions: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
-    assert_eq!(predictions.len(), targets.len(), "prediction/target count mismatch");
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target count mismatch"
+    );
     assert!(!predictions.is_empty(), "MSE of an empty set is undefined");
     let mut total = 0.0;
     let mut count = 0usize;
@@ -43,7 +51,11 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 1.0;
     }
-    let hits = predicted.iter().zip(truth.iter()).filter(|(a, b)| a == b).count();
+    let hits = predicted
+        .iter()
+        .zip(truth.iter())
+        .filter(|(a, b)| a == b)
+        .count();
     hits as f64 / predicted.len() as f64
 }
 

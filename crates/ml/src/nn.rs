@@ -85,9 +85,14 @@ impl Layer {
             Activation::Relu => (2.0 / in_dim as f64).sqrt(),
             _ => (1.0 / in_dim as f64).sqrt(),
         };
-        let weights =
-            Matrix::from_fn(out_dim, in_dim, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale);
-        Self { weights, bias: vec![0.0; out_dim], activation }
+        let weights = Matrix::from_fn(out_dim, in_dim, |_, _| {
+            (rng.gen::<f64>() * 2.0 - 1.0) * scale
+        });
+        Self {
+            weights,
+            bias: vec![0.0; out_dim],
+            activation,
+        }
     }
 
     fn out_dim(&self) -> usize {
@@ -110,7 +115,11 @@ pub struct MlpBuilder {
 impl MlpBuilder {
     /// Start a network taking `input_dim` features.
     pub fn new(input_dim: usize) -> Self {
-        Self { input_dim, layers: Vec::new(), seed: 42 }
+        Self {
+            input_dim,
+            layers: Vec::new(),
+            seed: 42,
+        }
     }
 
     /// Append a dense layer of `units` outputs with `activation`.
@@ -169,7 +178,13 @@ pub struct FitConfig {
 
 impl Default for FitConfig {
     fn default() -> Self {
-        Self { epochs: 40, batch_size: 16, val_fraction: 0.2, loss: Loss::CrossEntropy, seed: 13 }
+        Self {
+            epochs: 40,
+            batch_size: 16,
+            val_fraction: 0.2,
+            loss: Loss::CrossEntropy,
+            seed: 13,
+        }
     }
 }
 
@@ -220,10 +235,7 @@ impl Mlp {
         let mut cur = x.to_vec();
         for layer in &self.layers {
             let mut z = vec![0.0; layer.out_dim()];
-            layer.weights.matvec_into(&cur, &mut z);
-            for (zi, &b) in z.iter_mut().zip(layer.bias.iter()) {
-                *zi += b;
-            }
+            layer.weights.matvec_bias_into(&cur, &layer.bias, &mut z);
             layer.activation.forward(&mut z);
             cur = z;
         }
@@ -237,10 +249,7 @@ impl Mlp {
         for layer in &self.layers {
             let prev = acts.last().expect("non-empty");
             let mut z = vec![0.0; layer.out_dim()];
-            layer.weights.matvec_into(prev, &mut z);
-            for (zi, &b) in z.iter_mut().zip(layer.bias.iter()) {
-                *zi += b;
-            }
+            layer.weights.matvec_bias_into(prev, &layer.bias, &mut z);
             layer.activation.forward(&mut z);
             acts.push(z);
         }
@@ -277,7 +286,9 @@ impl Mlp {
 
             if i > 0 {
                 let mut grad_prev = vec![0.0; input.len()];
-                layer.weights.matvec_transposed_into(&grad_z, &mut grad_prev);
+                layer
+                    .weights
+                    .matvec_transposed_into(&grad_z, &mut grad_prev);
                 grad_a = grad_prev;
             }
         }
@@ -317,7 +328,11 @@ impl Mlp {
         optimizer: &mut dyn Optimizer,
         config: &FitConfig,
     ) -> TrainReport {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         assert!(!inputs.is_empty(), "cannot train on an empty dataset");
 
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -331,12 +346,21 @@ impl Mlp {
         let mut grads: Vec<(Matrix, Vec<f64>)> = self
             .layers
             .iter()
-            .map(|l| (Matrix::zeros(l.weights.rows(), l.weights.cols()), vec![0.0; l.bias.len()]))
+            .map(|l| {
+                (
+                    Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                    vec![0.0; l.bias.len()],
+                )
+            })
             .collect();
         let mut flat_params = Vec::new();
         let mut flat_grads = Vec::new();
 
-        let mut report = TrainReport { train_loss: Vec::new(), val_loss: Vec::new(), best_epoch: 0 };
+        let mut report = TrainReport {
+            train_loss: Vec::new(),
+            val_loss: Vec::new(),
+            best_epoch: 0,
+        };
         let mut best_val = f64::INFINITY;
         let mut best_weights: Option<Vec<f64>> = None;
 
@@ -362,7 +386,9 @@ impl Mlp {
                 optimizer.step(&mut flat_params, &flat_grads);
                 self.read_params(&flat_params);
             }
-            report.train_loss.push(epoch_loss / train_order.len().max(1) as f64);
+            report
+                .train_loss
+                .push(epoch_loss / train_order.len().max(1) as f64);
 
             if !val_idx.is_empty() {
                 let val_loss = val_idx
@@ -435,7 +461,12 @@ mod tests {
         let mut grads: Vec<(Matrix, Vec<f64>)> = net
             .layers
             .iter()
-            .map(|l| (Matrix::zeros(l.weights.rows(), l.weights.cols()), vec![0.0; l.bias.len()]))
+            .map(|l| {
+                (
+                    Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                    vec![0.0; l.bias.len()],
+                )
+            })
             .collect();
         net.accumulate_gradients(&x, &t, Loss::CrossEntropy, &mut grads);
 
@@ -471,22 +502,16 @@ mod tests {
     #[test]
     fn learns_a_simple_mapping() {
         // Map a 2-bit one-hot-ish input to a target distribution.
-        let inputs: Vec<Vec<f64>> = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ]
-        .into_iter()
-        .cycle()
-        .take(64)
-        .collect();
-        let targets: Vec<Vec<f64>> = vec![
-            vec![0.9, 0.1],
-            vec![0.1, 0.9],
-        ]
-        .into_iter()
-        .cycle()
-        .take(64)
-        .collect();
+        let inputs: Vec<Vec<f64>> = vec![vec![1.0, 0.0], vec![0.0, 1.0]]
+            .into_iter()
+            .cycle()
+            .take(64)
+            .collect();
+        let targets: Vec<Vec<f64>> = vec![vec![0.9, 0.1], vec![0.1, 0.9]]
+            .into_iter()
+            .cycle()
+            .take(64)
+            .collect();
         let mut net = MlpBuilder::new(2)
             .layer(8, Activation::Relu)
             .layer(2, Activation::Softmax)
@@ -497,9 +522,17 @@ mod tests {
             &inputs,
             &targets,
             &mut opt,
-            &FitConfig { epochs: 60, batch_size: 8, ..Default::default() },
+            &FitConfig {
+                epochs: 60,
+                batch_size: 8,
+                ..Default::default()
+            },
         );
-        assert!(report.train_loss.last().unwrap() < &0.45, "loss {:?}", report.train_loss.last());
+        assert!(
+            report.train_loss.last().unwrap() < &0.45,
+            "loss {:?}",
+            report.train_loss.last()
+        );
         let y = net.forward(&[1.0, 0.0]);
         assert!(y[0] > 0.7, "expected ~0.9 got {y:?}");
     }
@@ -507,8 +540,15 @@ mod tests {
     #[test]
     fn fit_restores_best_validation_weights() {
         let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 2) as f64]).collect();
-        let targets: Vec<Vec<f64>> =
-            (0..40).map(|i| if i % 2 == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] }).collect();
+        let targets: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                }
+            })
+            .collect();
         let mut net = MlpBuilder::new(1)
             .layer(4, Activation::Relu)
             .layer(2, Activation::Softmax)
@@ -519,7 +559,11 @@ mod tests {
         assert!(!report.val_loss.is_empty());
         assert!(report.best_epoch < report.val_loss.len());
         // Validation loss at the kept epoch is the minimum recorded one.
-        let min = report.val_loss.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = report
+            .val_loss
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!((report.val_loss[report.best_epoch] - min).abs() < 1e-12);
     }
 

@@ -33,7 +33,11 @@ impl Sgd {
     pub fn new(lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -43,7 +47,11 @@ impl Optimizer for Sgd {
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        for ((p, &g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        for ((p, &g), v) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
             *v = self.momentum * *v - self.lr * g;
             *p += *v;
         }
@@ -74,7 +82,15 @@ impl Adam {
     /// Create an Adam optimizer with custom learning rate and standard betas.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 }
 

@@ -9,7 +9,10 @@ use rand::{Rng, SeedableRng};
 /// At least one sample always remains in the training set.
 pub fn train_val_split(n: usize, val_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!(n > 0, "cannot split an empty dataset");
-    assert!((0.0..1.0).contains(&val_fraction), "val_fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&val_fraction),
+        "val_fraction must be in [0,1)"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     for i in (1..idx.len()).rev() {

@@ -41,7 +41,10 @@ impl VideoBuffer {
     /// Create an empty buffer of `capacity` bytes.
     pub fn new(capacity: f64) -> Self {
         assert!(capacity >= 0.0, "capacity must be non-negative");
-        Self { capacity, used: 0.0 }
+        Self {
+            capacity,
+            used: 0.0,
+        }
     }
 
     /// Capacity in bytes.
@@ -76,7 +79,11 @@ impl VideoBuffer {
     pub fn push(&mut self, bytes: f64) -> Result<(), BufferOverflow> {
         assert!(bytes >= 0.0, "cannot push negative bytes");
         if self.used + bytes > self.capacity + 1e-6 {
-            return Err(BufferOverflow { attempted: bytes, used: self.used, capacity: self.capacity });
+            return Err(BufferOverflow {
+                attempted: bytes,
+                used: self.used,
+                capacity: self.capacity,
+            });
         }
         self.used += bytes;
         Ok(())
@@ -123,8 +130,14 @@ impl Backlog {
 
     /// Enqueue a chunk with `bytes` buffered and `work` core-seconds owed.
     pub fn push(&mut self, bytes: f64, work: f64) {
-        assert!(bytes >= 0.0 && work >= 0.0, "bytes/work must be non-negative");
-        self.entries.push_back(BacklogEntry { bytes, work_remaining: work });
+        assert!(
+            bytes >= 0.0 && work >= 0.0,
+            "bytes/work must be non-negative"
+        );
+        self.entries.push_back(BacklogEntry {
+            bytes,
+            work_remaining: work,
+        });
         self.total_bytes += bytes;
         self.total_work += work;
     }
@@ -134,7 +147,9 @@ impl Backlog {
         assert!(core_secs >= 0.0, "cannot process negative work");
         let mut freed = 0.0;
         while core_secs > 0.0 {
-            let Some(head) = self.entries.front_mut() else { break };
+            let Some(head) = self.entries.front_mut() else {
+                break;
+            };
             if head.work_remaining <= core_secs {
                 core_secs -= head.work_remaining;
                 self.total_work -= head.work_remaining;

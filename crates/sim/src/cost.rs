@@ -23,7 +23,10 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         // (47.2 + 28.6) $/month for 2 cores over 744 h.
-        Self { onprem_usd_per_core_hour: 75.8 / (744.0 * 2.0), cloud_onprem_ratio: 1.8 }
+        Self {
+            onprem_usd_per_core_hour: 75.8 / (744.0 * 2.0),
+            cloud_onprem_ratio: 1.8,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl CostModel {
     /// Construct with a specific cloud:on-prem ratio (the ablation sweeps
     /// 1:1, 1.8:1 and 5:2).
     pub fn with_ratio(ratio: f64) -> Self {
-        Self { cloud_onprem_ratio: ratio, ..Default::default() }
+        Self {
+            cloud_onprem_ratio: ratio,
+            ..Default::default()
+        }
     }
 
     /// Dollars per on-premise core-second.

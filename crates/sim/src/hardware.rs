@@ -19,7 +19,10 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// A cluster of `cores` reference-speed cores.
     pub fn with_cores(cores: usize) -> Self {
-        Self { cores, core_speed: 1.0 }
+        Self {
+            cores,
+            core_speed: 1.0,
+        }
     }
 
     /// Core-seconds of work the cluster retires per wall-clock second.
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn cluster_throughput() {
-        let c = ClusterSpec { cores: 8, core_speed: 1.5 };
+        let c = ClusterSpec {
+            cores: 8,
+            core_speed: 1.5,
+        };
         assert!((c.throughput() - 12.0).abs() < 1e-12);
     }
 

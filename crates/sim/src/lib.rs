@@ -31,5 +31,5 @@ pub use cost::CostModel;
 pub use hardware::{CloudSpec, ClusterSpec, HardwareSpec};
 pub use makespan::{simulate, SimResult};
 pub use placement::{pareto_frontier, Placement, PlacementPoint};
-pub use trace::{Trace, TracePoint};
 pub use task::{NodeId, TaskGraph, TaskNode};
+pub use trace::{Trace, TracePoint};

@@ -42,7 +42,11 @@ pub fn simulate(
     cluster: &ClusterSpec,
     cloud: &CloudSpec,
 ) -> SimResult {
-    assert_eq!(placement.len(), graph.len(), "placement/graph size mismatch");
+    assert_eq!(
+        placement.len(),
+        graph.len(),
+        "placement/graph size mismatch"
+    );
     let n = graph.len();
     let mut finish = vec![f64::NAN; n];
     let mut scheduled = vec![false; n];
@@ -100,7 +104,10 @@ pub fn simulate(
             let compute_done = upload_end + cloud.rtt_secs + node.cloud_compute_secs;
 
             let download_time = if node.download_bytes > 0.0 {
-                assert!(cloud.downlink_bytes_per_sec > 0.0, "zero downlink bandwidth");
+                assert!(
+                    cloud.downlink_bytes_per_sec > 0.0,
+                    "zero downlink bandwidth"
+                );
                 node.download_bytes / cloud.downlink_bytes_per_sec
             } else {
                 0.0
@@ -114,7 +121,10 @@ pub fn simulate(
                 node.cloud_compute_secs * cloud.usd_per_compute_sec + cloud.usd_per_invocation;
             cloud_busy += node.cloud_compute_secs;
         } else {
-            assert!(cluster.cores > 0, "on-premise task but cluster has no cores");
+            assert!(
+                cluster.cores > 0,
+                "on-premise task but cluster has no cores"
+            );
             // Cheapest-available core.
             let (c, &avail) = core_avail
                 .iter()
@@ -189,13 +199,19 @@ mod tests {
         let slow = simulate(
             &g,
             &Placement::all_onprem(2),
-            &ClusterSpec { cores: 1, core_speed: 1.0 },
+            &ClusterSpec {
+                cores: 1,
+                core_speed: 1.0,
+            },
             &CloudSpec::default(),
         );
         let fast = simulate(
             &g,
             &Placement::all_onprem(2),
-            &ClusterSpec { cores: 1, core_speed: 2.0 },
+            &ClusterSpec {
+                cores: 1,
+                core_speed: 2.0,
+            },
             &CloudSpec::default(),
         );
         assert!((slow.makespan - 2.0).abs() < 1e-9);
@@ -213,7 +229,12 @@ mod tests {
             usd_per_compute_sec: 1e-4,
             usd_per_invocation: 0.0,
         };
-        let r = simulate(&g, &Placement::all_cloud(1), &ClusterSpec::with_cores(1), &cloud);
+        let r = simulate(
+            &g,
+            &Placement::all_cloud(1),
+            &ClusterSpec::with_cores(1),
+            &cloud,
+        );
         // 1 s upload + 0.1 s RTT + 1 s compute.
         assert!((r.makespan - 2.1).abs() < 1e-9);
         assert!((r.cloud_usd - 1e-4).abs() < 1e-12);
@@ -227,8 +248,16 @@ mod tests {
         for i in 0..2 {
             g.add_node(TaskNode::new(format!("c{i}"), 5.0, 0.5).with_payload(50e6, 0.0));
         }
-        let cloud = CloudSpec { rtt_secs: 0.0, ..CloudSpec::default() };
-        let r = simulate(&g, &Placement::all_cloud(2), &ClusterSpec::with_cores(1), &cloud);
+        let cloud = CloudSpec {
+            rtt_secs: 0.0,
+            ..CloudSpec::default()
+        };
+        let r = simulate(
+            &g,
+            &Placement::all_cloud(2),
+            &ClusterSpec::with_cores(1),
+            &cloud,
+        );
         // Task A: upload 0–1, compute 1–1.5. Task B: upload 1–2, compute 2–2.5.
         assert!((r.makespan - 2.5).abs() < 1e-9);
     }

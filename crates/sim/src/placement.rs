@@ -16,18 +16,24 @@ pub struct Placement {
 impl Placement {
     /// Everything on premises.
     pub fn all_onprem(n_nodes: usize) -> Self {
-        Self { cloud: vec![false; n_nodes] }
+        Self {
+            cloud: vec![false; n_nodes],
+        }
     }
 
     /// Everything on the cloud.
     pub fn all_cloud(n_nodes: usize) -> Self {
-        Self { cloud: vec![true; n_nodes] }
+        Self {
+            cloud: vec![true; n_nodes],
+        }
     }
 
     /// From a bitmask (bit `i` = node `i` on cloud). Handy for enumeration.
     pub fn from_mask(n_nodes: usize, mask: u64) -> Self {
         assert!(n_nodes <= 64, "mask-based placement limited to 64 nodes");
-        Self { cloud: (0..n_nodes).map(|i| mask >> i & 1 == 1).collect() }
+        Self {
+            cloud: (0..n_nodes).map(|i| mask >> i & 1 == 1).collect(),
+        }
     }
 
     /// Number of nodes covered.
@@ -61,7 +67,10 @@ impl Placement {
     /// arbitrary DAGs; the evaluation DAGs have ≤ 10 nodes, where exhaustive
     /// enumeration yields the *exact* Pareto frontier (see DESIGN.md).
     pub fn enumerate(n_nodes: usize) -> impl Iterator<Item = Placement> {
-        assert!(n_nodes <= 20, "exhaustive enumeration capped at 20 nodes; use beam search");
+        assert!(
+            n_nodes <= 20,
+            "exhaustive enumeration capped at 20 nodes; use beam search"
+        );
         (0u64..(1u64 << n_nodes)).map(move |mask| Placement::from_mask(n_nodes, mask))
     }
 }
@@ -120,7 +129,11 @@ pub fn beam_search(
     let mut seen: Vec<PlacementPoint> = Vec::new();
     for p in &beam {
         let (runtime, cloud_usd) = evaluate(p);
-        seen.push(PlacementPoint { placement: p.clone(), runtime, cloud_usd });
+        seen.push(PlacementPoint {
+            placement: p.clone(),
+            runtime,
+            cloud_usd,
+        });
     }
 
     for _depth in 0..n {
@@ -139,7 +152,11 @@ pub fn beam_search(
                     continue;
                 }
                 let (runtime, cloud_usd) = evaluate(&next);
-                candidates.push(PlacementPoint { placement: next, runtime, cloud_usd });
+                candidates.push(PlacementPoint {
+                    placement: next,
+                    runtime,
+                    cloud_usd,
+                });
             }
         }
         if candidates.is_empty() {
@@ -158,7 +175,11 @@ mod tests {
     use super::*;
 
     fn point(runtime: f64, cloud_usd: f64) -> PlacementPoint {
-        PlacementPoint { placement: Placement::all_onprem(1), runtime, cloud_usd }
+        PlacementPoint {
+            placement: Placement::all_onprem(1),
+            runtime,
+            cloud_usd,
+        }
     }
 
     #[test]

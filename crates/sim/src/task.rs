@@ -83,7 +83,10 @@ impl TaskGraph {
     /// Panics if either id is out of range, on self-edges, or if the edge
     /// would close a cycle.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node id out of range");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "node id out of range"
+        );
         assert_ne!(from, to, "self-dependencies are not allowed");
         self.succ[from.0].push(to.0);
         self.pred[to.0].push(from.0);
@@ -161,10 +164,7 @@ impl TaskGraph {
         let mut best: f64 = 0.0;
         for id in order.iter().rev() {
             let i = id.0;
-            let succ_max = self.succ[i]
-                .iter()
-                .map(|&s| dist[s])
-                .fold(0.0f64, f64::max);
+            let succ_max = self.succ[i].iter().map(|&s| dist[s]).fold(0.0f64, f64::max);
             dist[i] = self.nodes[i].onprem_secs + succ_max;
             best = best.max(dist[i]);
         }

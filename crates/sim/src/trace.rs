@@ -64,7 +64,10 @@ impl Trace {
     /// Number of knob switches (changes of configuration between
     /// consecutive segments) — the paper reports 4 500/day for Fig. 3.
     pub fn switch_count(&self) -> usize {
-        self.points.windows(2).filter(|w| w[0].config != w[1].config).count()
+        self.points
+            .windows(2)
+            .filter(|w| w[0].config != w[1].config)
+            .count()
     }
 
     /// Average points into `bucket_secs` buckets for plotting; `quality`,
@@ -120,7 +123,10 @@ impl Trace {
 
     /// Peak buffer fill in bytes.
     pub fn peak_buffer(&self) -> f64 {
-        self.points.iter().map(|p| p.buffer_bytes).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.buffer_bytes)
+            .fold(0.0, f64::max)
     }
 }
 

@@ -10,9 +10,7 @@ fn random_graph(secs: &[f64], chain: bool) -> TaskGraph {
     let mut g = TaskGraph::new();
     let mut prev = None;
     for (i, &s) in secs.iter().enumerate() {
-        let n = g.add_node(
-            TaskNode::new(format!("t{i}"), s, s * 0.6).with_payload(1e5 * s, 1e4),
-        );
+        let n = g.add_node(TaskNode::new(format!("t{i}"), s, s * 0.6).with_payload(1e5 * s, 1e4));
         if chain {
             if let Some(p) = prev {
                 g.add_edge(p, n);

@@ -22,7 +22,11 @@ pub struct CodecParams {
 
 impl Default for CodecParams {
     fn default() -> Self {
-        Self { fps: 30.0, width: 1280, height: 720 }
+        Self {
+            fps: 30.0,
+            width: 1280,
+            height: 720,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ pub struct BitrateModel {
 
 impl Default for BitrateModel {
     fn default() -> Self {
-        Self { mean_bytes_per_sec: 90_000.0, activity_swing: 0.9 }
+        Self {
+            mean_bytes_per_sec: 90_000.0,
+            activity_swing: 0.9,
+        }
     }
 }
 
@@ -79,7 +86,9 @@ pub struct DecodeCostModel {
 
 impl Default for DecodeCostModel {
     fn default() -> Self {
-        Self { secs_per_frame: 0.0016 }
+        Self {
+            secs_per_frame: 0.0016,
+        }
     }
 }
 

@@ -69,9 +69,7 @@ impl DiurnalProfile {
                     + 0.32 * bump(h, 8.5, 1.4)
                     + 0.37 * bump(h, 17.5, 1.7)
             }
-            DiurnalProfile::ShoppingStreet => {
-                0.08 + 0.87 * plateau(h, 10.0, 21.0, 0.9)
-            }
+            DiurnalProfile::ShoppingStreet => 0.08 + 0.87 * plateau(h, 10.0, 21.0, 0.9),
             DiurnalProfile::TalkingHead => 0.42 + 0.28 * bump(h, 20.0, 3.5),
             DiurnalProfile::Flat => 0.5,
         };
@@ -135,7 +133,11 @@ impl ContentParams {
 
     /// Defaults for the MOT / EV traffic-intersection camera.
     pub fn traffic_intersection(seed: u64) -> Self {
-        Self { profile: DiurnalProfile::TrafficIntersection, seed, ..Default::default() }
+        Self {
+            profile: DiurnalProfile::TrafficIntersection,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Defaults for a MOSEI talking-head stream; difficulty is dominated by
@@ -244,7 +246,11 @@ impl ContentProcess {
         let p = &self.params;
 
         let base = p.profile.intensity(time.hour_of_day());
-        let weekday = if time.is_weekend() { p.weekend_factor } else { 1.0 };
+        let weekday = if time.is_weekend() {
+            p.weekend_factor
+        } else {
+            1.0
+        };
         let trend = (base * weekday * weather).clamp(0.0, 1.2);
 
         // OU noise: x ← x·(1 - dt/τ) + σ·sqrt(2·dt/τ)·ε.
@@ -257,7 +263,10 @@ impl ContentProcess {
         if self.rng.gen::<f64>() < (rate * dt).min(1.0) {
             let amplitude = self.rng.gen::<f64>() * p.event_amplitude;
             let duration = -p.event_duration * (1.0 - self.rng.gen::<f64>()).ln();
-            self.events.push(Event { amplitude, remaining: duration });
+            self.events.push(Event {
+                amplitude,
+                remaining: duration,
+            });
         }
         let mut event_sum = 0.0;
         for e in &mut self.events {
@@ -270,7 +279,12 @@ impl ContentProcess {
         let activity = (0.12 + 0.80 * trend + 0.55 * event_sum + 0.35 * self.ou).clamp(0.0, 1.0);
 
         self.t += dt;
-        ContentState { time, difficulty, activity, event_active: !self.events.is_empty() }
+        ContentState {
+            time,
+            difficulty,
+            activity,
+            event_active: !self.events.is_empty(),
+        }
     }
 
     /// Generate `n` consecutive segment states.
@@ -309,7 +323,11 @@ mod tests {
     fn states_stay_in_unit_interval() {
         let mut p = ContentProcess::new(ContentParams::default(), 2.0);
         for s in p.take_segments(50_000) {
-            assert!((0.0..=1.0).contains(&s.difficulty), "difficulty {}", s.difficulty);
+            assert!(
+                (0.0..=1.0).contains(&s.difficulty),
+                "difficulty {}",
+                s.difficulty
+            );
             assert!((0.0..=1.0).contains(&s.activity), "activity {}", s.activity);
         }
     }
@@ -319,8 +337,10 @@ mod tests {
         let a: Vec<_> = ContentProcess::new(ContentParams::default(), 2.0).take_segments(500);
         let b: Vec<_> = ContentProcess::new(ContentParams::default(), 2.0).take_segments(500);
         assert_eq!(a, b);
-        let mut p2 = ContentParams::default();
-        p2.seed = 99;
+        let p2 = ContentParams {
+            seed: 99,
+            ..Default::default()
+        };
         let c: Vec<_> = ContentProcess::new(p2, 2.0).take_segments(500);
         assert_ne!(a, c);
     }
@@ -357,7 +377,15 @@ mod tests {
         // the mean run length lands in the right order of magnitude.
         let mut p = ContentProcess::new(ContentParams::traffic_intersection(5), 2.0);
         let segs = p.take_segments((SECONDS_PER_DAY / 2.0) as usize);
-        let label = |d: f64| if d < 0.33 { 0 } else if d < 0.66 { 1 } else { 2 };
+        let label = |d: f64| {
+            if d < 0.33 {
+                0
+            } else if d < 0.66 {
+                1
+            } else {
+                2
+            }
+        };
         let mut runs = 0usize;
         let mut prev = label(segs[0].difficulty);
         for s in &segs[1..] {
@@ -383,16 +411,25 @@ mod tests {
         let mut p = ContentProcess::new(params, 60.0);
         let segs = p.take_segments((7.0 * SECONDS_PER_DAY / 60.0) as usize);
         let weekday_avg: f64 = {
-            let v: Vec<f64> =
-                segs.iter().filter(|s| !s.time.is_weekend()).map(|s| s.difficulty).collect();
+            let v: Vec<f64> = segs
+                .iter()
+                .filter(|s| !s.time.is_weekend())
+                .map(|s| s.difficulty)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let weekend_avg: f64 = {
-            let v: Vec<f64> =
-                segs.iter().filter(|s| s.time.is_weekend()).map(|s| s.difficulty).collect();
+            let v: Vec<f64> = segs
+                .iter()
+                .filter(|s| s.time.is_weekend())
+                .map(|s| s.difficulty)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(weekend_avg < weekday_avg, "weekend {weekend_avg} vs weekday {weekday_avg}");
+        assert!(
+            weekend_avg < weekday_avg,
+            "weekend {weekend_avg} vs weekday {weekday_avg}"
+        );
     }
 
     #[test]

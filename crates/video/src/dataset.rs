@@ -21,7 +21,9 @@ impl Recording {
     pub fn record(camera: &mut SyntheticCamera, duration_secs: f64) -> Self {
         assert!(duration_secs > 0.0, "recording duration must be positive");
         let n = (duration_secs / camera.segment_len()).ceil() as usize;
-        Self { segments: camera.take_segments(n) }
+        Self {
+            segments: camera.take_segments(n),
+        }
     }
 
     /// Build a recording from pre-existing segments.
@@ -87,8 +89,12 @@ impl Recording {
             cut = self.segments.len();
         }
         (
-            Recording { segments: self.segments[..cut].to_vec() },
-            Recording { segments: self.segments[cut..].to_vec() },
+            Recording {
+                segments: self.segments[..cut].to_vec(),
+            },
+            Recording {
+                segments: self.segments[cut..].to_vec(),
+            },
         )
     }
 }

@@ -47,7 +47,12 @@ mod tests {
     fn segment_accessors() {
         let mut p = ContentProcess::new(ContentParams::default(), 2.0);
         let content = p.step();
-        let seg = Segment { index: 0, duration: 2.0, content, bytes: 180_000.0 };
+        let seg = Segment {
+            index: 0,
+            duration: 2.0,
+            content,
+            bytes: 180_000.0,
+        };
         assert_eq!(seg.start().as_secs(), 0.0);
         assert_eq!(seg.end().as_secs(), 2.0);
         assert_eq!(seg.frames(30.0), 60.0);

@@ -64,7 +64,9 @@ impl SyntheticCamera {
     /// Produce the next segment.
     pub fn next_segment(&mut self) -> Segment {
         let content = self.process.step();
-        let bytes = self.bitrate.bytes(self.process.segment_len(), content.activity);
+        let bytes = self
+            .bitrate
+            .bytes(self.process.segment_len(), content.activity);
         let seg = Segment {
             index: self.next_index,
             duration: self.process.segment_len(),
@@ -222,10 +224,8 @@ mod tests {
     fn camera_bitrate_tracks_activity() {
         let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(11), 2.0);
         let segs = cam.take_segments((SECONDS_PER_DAY / 2.0) as usize);
-        let busy: Vec<&Segment> =
-            segs.iter().filter(|s| s.content.activity > 0.7).collect();
-        let quiet: Vec<&Segment> =
-            segs.iter().filter(|s| s.content.activity < 0.2).collect();
+        let busy: Vec<&Segment> = segs.iter().filter(|s| s.content.activity > 0.7).collect();
+        let quiet: Vec<&Segment> = segs.iter().filter(|s| s.content.activity < 0.2).collect();
         assert!(!busy.is_empty() && !quiet.is_empty());
         let avg = |v: &[&Segment]| v.iter().map(|s| s.bytes).sum::<f64>() / v.len() as f64;
         assert!(avg(&busy) > avg(&quiet));
@@ -248,7 +248,10 @@ mod tests {
         let plateau = (62.0f64 * 0.72).round() as usize;
         let at_plateau = counts.iter().filter(|&&c| c == plateau).count() as f64;
         let frac = at_plateau * 7.0 / SECONDS_PER_DAY;
-        assert!((0.2..0.3).contains(&frac), "plateau covers {frac} of the day, expected ~0.25");
+        assert!(
+            (0.2..0.3).contains(&frac),
+            "plateau covers {frac} of the day, expected ~0.25"
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn day_profile(states: &[vetl_video::ContentState], day: usize, seg_len: f64) ->
         sums[b] += s.difficulty;
         counts[b] += 1;
     }
-    sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64).collect()
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, &c)| s / c.max(1) as f64)
+        .collect()
 }
 
 fn correlation(a: &[f64], b: &[f64]) -> f64 {
@@ -88,7 +91,10 @@ fn weekly_structure_is_visible() {
             .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    assert!(avg(false) > avg(true) + 0.05, "weekdays must be busier than weekends");
+    assert!(
+        avg(false) > avg(true) + 0.05,
+        "weekdays must be busier than weekends"
+    );
 }
 
 /// The multi-day weather regime decorrelates over a week — the reason 8-day
@@ -108,13 +114,14 @@ fn weather_regime_decorrelates_over_days() {
     // Daily mean difficulty series.
     let daily: Vec<f64> = (0..30)
         .map(|d| {
-            states[d * per_day..(d + 1) * per_day].iter().map(|s| s.difficulty).sum::<f64>()
+            states[d * per_day..(d + 1) * per_day]
+                .iter()
+                .map(|s| s.difficulty)
+                .sum::<f64>()
                 / per_day as f64
         })
         .collect();
-    let lag = |k: usize| -> f64 {
-        correlation(&daily[..30 - k], &daily[k..])
-    };
+    let lag = |k: usize| -> f64 { correlation(&daily[..30 - k], &daily[k..]) };
     let short = lag(1);
     let long = lag(7);
     assert!(

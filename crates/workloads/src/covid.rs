@@ -119,8 +119,7 @@ impl Workload for CovidWorkload {
 
         let decode_cost = self.decode.cost(self.seg_len, SOURCE_FPS, fps / SOURCE_FPS);
         let detect_cost = det_runs * models::YOLO_SECS[2] * tiles * tiles;
-        let track_cost =
-            (frames - det_runs).max(0.0) * models::KCF_SECS_PER_OBJECT * objects;
+        let track_cost = (frames - det_runs).max(0.0) * models::KCF_SECS_PER_OBJECT * objects;
         let homography_cost = frames * models::HOMOGRAPHY_SECS;
         // The mask classifier runs per person on every processed frame —
         // this is what makes the frame-rate knob the decisive cost axis.
@@ -142,8 +141,12 @@ impl Workload for CovidWorkload {
         );
         let homography = g.add_node(TaskNode::new("homography", homography_cost, 0.0));
         let mask = g.add_node(
-            TaskNode::new("mask_classifier", mask_cost, mask_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * objects * crop_jpeg, frames * 200.0),
+            TaskNode::new(
+                "mask_classifier",
+                mask_cost,
+                mask_cost / models::CLOUD_SPEEDUP,
+            )
+            .with_payload(frames * objects * crop_jpeg, frames * 200.0),
         );
         g.add_edge(decode, detect);
         g.add_edge(detect, track);
@@ -236,6 +239,9 @@ mod tests {
         let w = CovidWorkload::new();
         let c = content(0.9, 1.0); // worst case content
         let rate = w.work_rate(&w.config_space().min_config(), &c);
-        assert!(rate < 4.0, "cheapest config must fit an e2-standard-4, got {rate}");
+        assert!(
+            rate < 4.0,
+            "cheapest config must fit an e2-standard-4, got {rate}"
+        );
     }
 }

@@ -26,8 +26,9 @@ use rand::rngs::StdRng;
 
 use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
 use vetl_sim::{TaskGraph, TaskNode};
-use vetl_video::{ContentParams, ContentProcess, ContentState, MoseiMode, Segment,
-    StreamCountProcess};
+use vetl_video::{
+    ContentParams, ContentProcess, ContentState, MoseiMode, Segment, StreamCountProcess,
+};
 
 use crate::models;
 use crate::response::{domain_position, logistic_quality, noisy};
@@ -66,10 +67,7 @@ impl MoseiWorkload {
     pub fn new(variant: MoseiVariant) -> Self {
         Self {
             knobs: vec![
-                Knob::new(
-                    "sentence_skip",
-                    (0..7).rev().map(KnobValue::Int).collect(),
-                ),
+                Knob::new("sentence_skip", (0..7).rev().map(KnobValue::Int).collect()),
                 Knob::new(
                     "frame_fraction",
                     vec![
@@ -177,16 +175,28 @@ impl Workload for MoseiWorkload {
 
         let mut g = TaskGraph::new();
         let transcribe = g.add_node(
-            TaskNode::new("transcribe", transcribe_cost, transcribe_cost / models::CLOUD_SPEEDUP)
-                .with_payload(analysed * self.seg_len * 16_000.0, analysed * 2_000.0),
+            TaskNode::new(
+                "transcribe",
+                transcribe_cost,
+                transcribe_cost / models::CLOUD_SPEEDUP,
+            )
+            .with_payload(analysed * self.seg_len * 16_000.0, analysed * 2_000.0),
         );
         let features = g.add_node(
-            TaskNode::new("features", feature_cost, feature_cost / models::CLOUD_SPEEDUP)
-                .with_payload(feature_upload, analysed * analysed_sentences * 12_000.0),
+            TaskNode::new(
+                "features",
+                feature_cost,
+                feature_cost / models::CLOUD_SPEEDUP,
+            )
+            .with_payload(feature_upload, analysed * analysed_sentences * 12_000.0),
         );
         let sentiment = g.add_node(
-            TaskNode::new("sentiment", sentiment_cost, sentiment_cost / models::CLOUD_SPEEDUP)
-                .with_payload(analysed * analysed_sentences * 14_000.0, analysed * 500.0),
+            TaskNode::new(
+                "sentiment",
+                sentiment_cost,
+                sentiment_cost / models::CLOUD_SPEEDUP,
+            )
+            .with_payload(analysed * analysed_sentences * 14_000.0, analysed * 500.0),
         );
         g.add_edge(transcribe, sentiment);
         g.add_edge(features, sentiment);
@@ -239,7 +249,12 @@ impl MoseiStreamGen {
         state.activity = (count / MAX_STREAMS).clamp(0.0, 1.0);
         // Per-stream talking-head video ≈ 45 KB/s.
         let bytes = count * 45_000.0 * self.seg_len;
-        let seg = Segment { index: self.next_index, duration: self.seg_len, content: state, bytes };
+        let seg = Segment {
+            index: self.next_index,
+            duration: self.seg_len,
+            content: state,
+            bytes,
+        };
         self.next_index += 1;
         seg
     }
@@ -288,7 +303,10 @@ mod tests {
         let w = MoseiWorkload::new(MoseiVariant::High);
         let quarter = KnobConfig::new(vec![6, 5, 2, 0]); // best analysis, ¼ streams
         let q = w.true_quality(&quarter, &content(0.1, 30.0));
-        assert!(q <= 0.25 + 1e-9, "quality {q} must be capped by streams fraction");
+        assert!(
+            q <= 0.25 + 1e-9,
+            "quality {q} must be capped by streams fraction"
+        );
     }
 
     #[test]
@@ -311,10 +329,19 @@ mod tests {
         let mut gen = MoseiStreamGen::new(MoseiVariant::High, 3);
         let segs = gen.take_segments((2.0 * 86_400.0 / 7.0) as usize);
         let max_activity = segs.iter().map(|s| s.content.activity).fold(0.0, f64::max);
-        assert!((max_activity - 1.0).abs() < 1e-9, "HIGH must reach 62 streams");
+        assert!(
+            (max_activity - 1.0).abs() < 1e-9,
+            "HIGH must reach 62 streams"
+        );
         // Bytes track stream count.
-        let busiest = segs.iter().max_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap()).unwrap();
-        let calmest = segs.iter().min_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap()).unwrap();
+        let busiest = segs
+            .iter()
+            .max_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap())
+            .unwrap();
+        let calmest = segs
+            .iter()
+            .min_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap())
+            .unwrap();
         assert!(
             busiest.bytes > 2.0 * calmest.bytes,
             "byte rate must follow stream count: {} vs {}",

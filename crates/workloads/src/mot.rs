@@ -134,8 +134,10 @@ impl Workload for MotWorkload {
         let decode_cost = self.decode.cost(self.seg_len, SOURCE_FPS, rate_fraction);
         let detect_cost = frames * models::YOLO_SECS[2] * tiles * tiles;
         let embed_cost = frames * (models::EMBED_SECS + 0.002 * objects);
-        let transmot_cost =
-            frames * models::TRANSMOT_SECS[m] * (0.80 + 0.08 * history) * (0.6 + 0.6 * content.activity);
+        let transmot_cost = frames
+            * models::TRANSMOT_SECS[m]
+            * (0.80 + 0.08 * history)
+            * (0.6 + 0.6 * content.activity);
 
         let frame_jpeg = 100_000.0 * 4.0 / 3.0;
         let mut g = TaskGraph::new();
@@ -149,8 +151,12 @@ impl Workload for MotWorkload {
                 .with_payload(frames * objects * 8_000.0, frames * objects * 512.0),
         );
         let transmot = g.add_node(
-            TaskNode::new("transmot", transmot_cost, transmot_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * objects * 2_048.0 * history, frames * 4_000.0),
+            TaskNode::new(
+                "transmot",
+                transmot_cost,
+                transmot_cost / models::CLOUD_SPEEDUP,
+            )
+            .with_payload(frames * objects * 2_048.0 * history, frames * 4_000.0),
         );
         g.add_edge(decode, detect);
         g.add_edge(detect, embed);
@@ -248,8 +254,7 @@ mod tests {
         let mut dev_covid = 0.0;
         for _ in 0..2000 {
             dev_mot += (w.reported_quality(&k, &c, &mut rng) - w.true_quality(&k, &c)).abs();
-            dev_covid +=
-                (cw.reported_quality(&ck, &c, &mut rng) - cw.true_quality(&ck, &c)).abs();
+            dev_covid += (cw.reported_quality(&ck, &c, &mut rng) - cw.true_quality(&ck, &c)).abs();
         }
         assert!(dev_mot > dev_covid);
     }

@@ -36,11 +36,31 @@ impl Machine {
 
 /// The §5.3 machine table.
 pub const MACHINES: [Machine; 5] = [
-    Machine { name: "e2-standard-4", vcpus: 4, usd_per_hour: 0.14 },
-    Machine { name: "e2-standard-8", vcpus: 8, usd_per_hour: 0.27 },
-    Machine { name: "e2-standard-16", vcpus: 16, usd_per_hour: 0.54 },
-    Machine { name: "e2-standard-32", vcpus: 32, usd_per_hour: 1.07 },
-    Machine { name: "c2-standard-60", vcpus: 60, usd_per_hour: 2.51 },
+    Machine {
+        name: "e2-standard-4",
+        vcpus: 4,
+        usd_per_hour: 0.14,
+    },
+    Machine {
+        name: "e2-standard-8",
+        vcpus: 8,
+        usd_per_hour: 0.27,
+    },
+    Machine {
+        name: "e2-standard-16",
+        vcpus: 16,
+        usd_per_hour: 0.54,
+    },
+    Machine {
+        name: "e2-standard-32",
+        vcpus: 32,
+        usd_per_hour: 1.07,
+    },
+    Machine {
+        name: "c2-standard-60",
+        vcpus: 60,
+        usd_per_hour: 2.51,
+    },
 ];
 
 /// Look a machine up by its GCP name.

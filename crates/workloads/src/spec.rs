@@ -100,17 +100,14 @@ impl WorkloadSpec {
                 let mut cam = SyntheticCamera::new(ContentParams::shopping_street(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
-                let online =
-                    Recording::record(&mut cam, online_secs).segments().to_vec();
+                let online = Recording::record(&mut cam, online_secs).segments().to_vec();
                 (Box::new(CovidWorkload::new()), labeled, unlabeled, online)
             }
             PaperWorkload::Mot => {
-                let mut cam =
-                    SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
+                let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
-                let online =
-                    Recording::record(&mut cam, online_secs).segments().to_vec();
+                let online = Recording::record(&mut cam, online_secs).segments().to_vec();
                 (Box::new(MotWorkload::new()), labeled, unlabeled, online)
             }
             PaperWorkload::MoseiHigh | PaperWorkload::MoseiLong => {
@@ -123,15 +120,18 @@ impl WorkloadSpec {
                 let labeled = gen.record(20.0 * 60.0);
                 let unlabeled = gen.record(unlabeled_secs);
                 let online = gen.record(online_secs).segments().to_vec();
-                (Box::new(MoseiWorkload::new(variant)), labeled, unlabeled, online)
+                (
+                    Box::new(MoseiWorkload::new(variant)),
+                    labeled,
+                    unlabeled,
+                    online,
+                )
             }
             PaperWorkload::Ev => {
-                let mut cam =
-                    SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
+                let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
-                let online =
-                    Recording::record(&mut cam, online_secs).segments().to_vec();
+                let online = Recording::record(&mut cam, online_secs).segments().to_vec();
                 (Box::new(EvWorkload::new()), labeled, unlabeled, online)
             }
         };
@@ -155,7 +155,14 @@ impl WorkloadSpec {
             ..SkyscraperConfig::default()
         };
 
-        Self { which, workload, hyper, labeled, unlabeled, online }
+        Self {
+            which,
+            workload,
+            hyper,
+            labeled,
+            unlabeled,
+            online,
+        }
     }
 
     /// Online stream duration in seconds.
@@ -173,7 +180,10 @@ mod tests {
         for which in paper_workloads() {
             let spec = WorkloadSpec::build(which, DataScale::Fast, 7);
             assert!(!spec.labeled.is_empty(), "{which:?} labeled");
-            assert!(spec.unlabeled.duration() >= 1.9 * 86_400.0, "{which:?} unlabeled");
+            assert!(
+                spec.unlabeled.duration() >= 1.9 * 86_400.0,
+                "{which:?} unlabeled"
+            );
             assert!(spec.online_secs() >= 0.9 * 86_400.0, "{which:?} online");
             assert!(spec.workload.config_space().size() > 8);
         }

@@ -44,8 +44,14 @@ fn main() {
     println!("  offline phase took {:.1}s", report.total_secs());
 
     println!("ingesting one day on an e2-standard-8…");
-    let opts = IngestOptions { cloud_budget_usd: 0.5, record_trace: true, ..Default::default() };
-    let out = IngestDriver::new(&model, &workload, opts).run(online.segments()).expect("run");
+    let opts = IngestOptions {
+        cloud_budget_usd: 0.5,
+        record_trace: true,
+        ..Default::default()
+    };
+    let out = IngestDriver::new(&model, &workload, opts)
+        .run(online.segments())
+        .expect("run");
 
     println!("\nhourly report (quality / buffer MB / config switches)");
     for bucket in out.trace.bucket_average(3_600.0) {
@@ -61,8 +67,12 @@ fn main() {
     }
 
     // What would the best static configuration on this machine have done?
-    let samples: Vec<_> =
-        online.segments().iter().step_by(450).map(|s| s.content).collect();
+    let samples: Vec<_> = online
+        .segments()
+        .iter()
+        .step_by(450)
+        .map(|s| s.content)
+        .collect();
     let static_cfg = best_static_config(&workload, &samples, 8.0);
     let st = run_static(&workload, &static_cfg, online.segments());
 

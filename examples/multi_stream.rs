@@ -48,18 +48,28 @@ fn main() {
     ];
     let plans = joint_plan(&[&model_a, &model_b], &rs, 32.0).expect("joint LP");
     for (v, plan) in plans.iter().enumerate() {
-        println!("stream {} plan (α per category):", if v == 0 { "A" } else { "B" });
+        println!(
+            "stream {} plan (α per category):",
+            if v == 0 { "A" } else { "B" }
+        );
         for c in 0..plan.n_categories() {
-            let hist: Vec<String> =
-                plan.histogram(c).iter().map(|a| format!("{a:.2}")).collect();
+            let hist: Vec<String> = plan
+                .histogram(c)
+                .iter()
+                .map(|a| format!("{a:.2}"))
+                .collect();
             println!("  category {c}: [{}]", hist.join(", "));
         }
     }
 
     // Ingest six hours on both streams with a shared $1 cloud wallet.
     println!("\ningesting 6 hours on both streams (shared cloud wallet)…");
-    let online_a = Recording::record(&mut cam_a, 6.0 * 3_600.0).segments().to_vec();
-    let online_b = Recording::record(&mut cam_b, 6.0 * 3_600.0).segments().to_vec();
+    let online_a = Recording::record(&mut cam_a, 6.0 * 3_600.0)
+        .segments()
+        .to_vec();
+    let online_b = Recording::record(&mut cam_b, 6.0 * 3_600.0)
+        .segments()
+        .to_vec();
     let workloads: Vec<&dyn Workload> = vec![&workload_a, &workload_b];
     let out = run_multistream(
         &[&model_a, &model_b],

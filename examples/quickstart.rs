@@ -50,11 +50,20 @@ fn main() {
     let out = sky.ingest(live.segments()).expect("online ingestion");
 
     println!("  segments processed : {}", out.segments);
-    println!("  mean result quality: {:.1}% of best", 100.0 * out.mean_quality);
+    println!(
+        "  mean result quality: {:.1}% of best",
+        100.0 * out.mean_quality
+    );
     println!("  knob switches      : {}", out.switches);
-    println!("  work performed     : {:.0} core-seconds", out.work_core_secs);
+    println!(
+        "  work performed     : {:.0} core-seconds",
+        out.work_core_secs
+    );
     println!("  cloud spend        : ${:.3}", out.cloud_usd);
     println!("  peak buffer fill   : {:.1} MB", out.buffer_peak / 1e6);
-    println!("  buffer overflows   : {} (the throughput guarantee, Eq. 1)", out.overflows);
+    println!(
+        "  buffer overflows   : {} (the throughput guarantee, Eq. 1)",
+        out.overflows
+    );
     assert_eq!(out.overflows, 0);
 }

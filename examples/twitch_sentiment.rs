@@ -38,8 +38,7 @@ fn run_variant(variant: MoseiVariant) {
         forecast_input_splits: 6,
         ..SkyscraperConfig::default()
     };
-    let (model, _) =
-        run_offline(&workload, &labeled, &unlabeled, hardware, &hyper).expect("fit");
+    let (model, _) = run_offline(&workload, &labeled, &unlabeled, hardware, &hyper).expect("fit");
 
     // Run the three resource variants the ablation cares about.
     for (label, buffering, cloud) in [
@@ -53,8 +52,9 @@ fn run_variant(variant: MoseiVariant) {
             cloud_budget_usd: 2.0,
             ..Default::default()
         };
-        let out =
-            IngestDriver::new(&model, &workload, opts).run(online.segments()).expect("run");
+        let out = IngestDriver::new(&model, &workload, opts)
+            .run(online.segments())
+            .expect("run");
         println!(
             "  {label}: quality {:>5.1}%  cloud ${:<6.2} peak buffer {:>6.2} GB  overflows {}",
             100.0 * out.mean_quality,

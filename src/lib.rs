@@ -32,13 +32,11 @@ pub use vetl_workloads as workloads;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use skyscraper::{
-        ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome,
-        Knob, KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, SkyError,
-        Skyscraper, SkyscraperConfig, Workload,
+        ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome, Knob,
+        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, SkyError, Skyscraper,
+        SkyscraperConfig, Workload,
     };
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};
-    pub use vetl_workloads::{
-        CovidWorkload, EvWorkload, MoseiVariant, MoseiWorkload, MotWorkload,
-    };
+    pub use vetl_workloads::{CovidWorkload, EvWorkload, MoseiVariant, MoseiWorkload, MotWorkload};
 }

@@ -32,11 +32,73 @@ fn covid_setup(cores: usize) -> (CovidWorkload, vetl::skyscraper::FittedModel, V
     (workload, model, online)
 }
 
+/// Tentpole regression test for the parallel offline phase: a run fanned
+/// out across 4 workers must produce a `FittedModel` identical — configs,
+/// ranks, categories, residual — to a forced single-worker run on a *real*
+/// paper workload (the ToyWorkload variant lives in `skyscraper::offline`).
+#[test]
+fn parallel_offline_fit_is_identical_to_single_worker() {
+    let workload = CovidWorkload::new();
+    let mut cam = SyntheticCamera::new(ContentParams::shopping_street(5), 2.0);
+    let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut cam, 86_400.0);
+    let fit = |n_workers: usize| {
+        let hyper = SkyscraperConfig {
+            n_categories: 3,
+            planned_interval_secs: 6.0 * 3_600.0,
+            forecast_input_secs: 6.0 * 3_600.0,
+            forecast_input_splits: 6,
+            n_workers,
+            ..SkyscraperConfig::default()
+        };
+        run_offline(
+            &workload,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(4),
+            &hyper,
+        )
+        .expect("offline fit")
+    };
+    let (serial, _) = fit(1);
+    let (parallel, report) = fit(4);
+    assert_eq!(report.n_workers, 4);
+
+    assert_eq!(serial.n_configs(), parallel.n_configs());
+    for (a, b) in serial.configs.iter().zip(parallel.configs.iter()) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.work_mean, b.work_mean);
+        assert_eq!(a.work_max, b.work_max);
+        assert_eq!(a.qual_by_category, b.qual_by_category);
+        assert_eq!(a.cost_by_category, b.cost_by_category);
+        assert_eq!(a.placements.len(), b.placements.len());
+        for (pa, pb) in a.placements.iter().zip(b.placements.iter()) {
+            assert_eq!(pa.placement, pb.placement);
+            assert_eq!(pa.runtime_mean, pb.runtime_mean);
+            assert_eq!(pa.cloud_usd, pb.cloud_usd);
+        }
+    }
+    assert_eq!(serial.quality_rank, parallel.quality_rank);
+    assert_eq!(serial.cost_rank, parallel.cost_rank);
+    assert_eq!(serial.discriminator, parallel.discriminator);
+    for c in 0..serial.n_categories() {
+        assert_eq!(serial.categories.center(c), parallel.categories.center(c));
+    }
+    assert_eq!(serial.residual_p99, parallel.residual_p99);
+    assert_eq!(serial.tail.categories, parallel.tail.categories);
+    assert_eq!(serial.forecaster.val_mae, parallel.forecaster.val_mae);
+}
+
 #[test]
 fn covid_end_to_end_guarantees_hold() {
     let (workload, model, online) = covid_setup(8);
-    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
-    let out = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    let opts = IngestOptions {
+        cloud_budget_usd: 0.3,
+        ..Default::default()
+    };
+    let out = IngestDriver::new(&model, &workload, opts)
+        .run(&online)
+        .expect("ingest");
     assert_eq!(out.overflows, 0, "Eq. 1 throughput guarantee");
     assert!(out.buffer_peak <= model.hardware.buffer_bytes * 1.01);
     assert!(out.mean_quality > 0.5);
@@ -46,8 +108,13 @@ fn covid_end_to_end_guarantees_hold() {
 #[test]
 fn skyscraper_beats_static_on_the_same_machine() {
     let (workload, model, online) = covid_setup(8);
-    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
-    let sky = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    let opts = IngestOptions {
+        cloud_budget_usd: 0.3,
+        ..Default::default()
+    };
+    let sky = IngestDriver::new(&model, &workload, opts)
+        .run(&online)
+        .expect("ingest");
 
     let samples: Vec<_> = online.iter().step_by(450).map(|s| s.content).collect();
     let static_cfg = best_static_config(&workload, &samples, 8.0);
@@ -64,8 +131,13 @@ fn skyscraper_beats_static_on_the_same_machine() {
 #[test]
 fn oracle_dominates_skyscraper_at_equal_work() {
     let (workload, model, online) = covid_setup(8);
-    let opts = IngestOptions { cloud_budget_usd: 0.3, ..Default::default() };
-    let sky = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    let opts = IngestOptions {
+        cloud_budget_usd: 0.3,
+        ..Default::default()
+    };
+    let sky = IngestDriver::new(&model, &workload, opts)
+        .run(&online)
+        .expect("ingest");
 
     let configs: Vec<KnobConfig> = workload.config_space().iter().collect();
     let oracle = run_optimum(&workload, &configs, &online, sky.work_core_secs);
@@ -81,8 +153,13 @@ fn oracle_dominates_skyscraper_at_equal_work() {
 fn cloud_spend_never_exceeds_per_interval_budget() {
     let (workload, model, online) = covid_setup(4);
     let budget = 0.2;
-    let opts = IngestOptions { cloud_budget_usd: budget, ..Default::default() };
-    let out = IngestDriver::new(&model, &workload, opts).run(&online).expect("ingest");
+    let opts = IngestOptions {
+        cloud_budget_usd: budget,
+        ..Default::default()
+    };
+    let out = IngestDriver::new(&model, &workload, opts)
+        .run(&online)
+        .expect("ingest");
     let intervals = (out.duration_secs / model.hyper.planned_interval_secs).ceil();
     assert!(
         out.cloud_usd <= budget * intervals + 1e-9,
@@ -116,10 +193,17 @@ fn mosei_long_plateau_does_not_overflow() {
     )
     .expect("fit");
     let online = gen.record(86_400.0);
-    let opts = IngestOptions { cloud_budget_usd: 1.0, ..Default::default() };
-    let out =
-        IngestDriver::new(&model, &workload, opts).run(online.segments()).expect("ingest");
-    assert_eq!(out.overflows, 0, "LONG plateau must be absorbed (buffer+cloud)");
+    let opts = IngestOptions {
+        cloud_budget_usd: 1.0,
+        ..Default::default()
+    };
+    let out = IngestDriver::new(&model, &workload, opts)
+        .run(online.segments())
+        .expect("ingest");
+    assert_eq!(
+        out.overflows, 0,
+        "LONG plateau must be absorbed (buffer+cloud)"
+    );
 }
 
 #[test]
@@ -154,7 +238,10 @@ fn drift_detector_is_quiet_on_stationary_content() {
     // `skyscraper::online::drift`.)
     let (workload, model, online) = covid_setup(8);
     assert!(model.residual_p99 > 0.0 && model.residual_p99 < 0.5);
-    let opts = IngestOptions { detect_drift: true, ..Default::default() };
+    let opts = IngestOptions {
+        detect_drift: true,
+        ..Default::default()
+    };
     let quiet = IngestDriver::new(&model, &workload, opts)
         .run(&online[..20_000])
         .expect("stationary run");
@@ -168,9 +255,16 @@ fn drift_detector_is_quiet_on_stationary_content() {
 #[test]
 fn deterministic_given_seed() {
     let (workload, model, online) = covid_setup(4);
-    let opts = IngestOptions { seed: 42, ..Default::default() };
-    let a = IngestDriver::new(&model, &workload, opts.clone()).run(&online).expect("run a");
-    let b = IngestDriver::new(&model, &workload, opts).run(&online).expect("run b");
+    let opts = IngestOptions {
+        seed: 42,
+        ..Default::default()
+    };
+    let a = IngestDriver::new(&model, &workload, opts.clone())
+        .run(&online)
+        .expect("run a");
+    let b = IngestDriver::new(&model, &workload, opts)
+        .run(&online)
+        .expect("run b");
     assert_eq!(a.mean_quality, b.mean_quality);
     assert_eq!(a.switches, b.switches);
     assert_eq!(a.cloud_usd, b.cloud_usd);

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A deliberately small timing harness exposing the API surface the bench
+//! targets use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Unlike real criterion it
+//! does no statistical outlier analysis; it warms up briefly, measures for a
+//! fixed budget, and reports the mean. Results are kept on the [`Criterion`]
+//! instance so `harness = false` benches can emit them as JSON.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility, the
+/// shim always re-runs setup per measurement batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(30),
+            measurement: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement budget (per benchmark).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark and print its mean time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let iters = b.iters.max(1);
+        let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        println!(
+            "{name:<40} {:>12} / iter ({iters} iters)",
+            format_ns(mean_ns)
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            mean_ns,
+            iters,
+        });
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure a routine. The return value is black-boxed so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (untimed).
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measure a routine whose input is rebuilt (untimed) before every call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up (untimed).
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine(setup()));
+        }
+        // Measure routine time only, excluding setup.
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Instant::now();
+        while budget.elapsed() < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// Collect bench functions into a group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.warmup = Duration::from_millis(1);
+        c.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns > 0.0);
+        assert!(c.results()[0].iters > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_time() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.warmup = Duration::from_millis(1);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || std::thread::sleep(Duration::from_micros(200)),
+                |_| 2u64 * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        // Setup sleeps 200µs per iteration; the measured mean must be far
+        // below that since setup is excluded.
+        assert!(c.results()[0].mean_ns < 100_000.0, "{:?}", c.results()[0]);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(10.0).ends_with("ns"));
+        assert!(format_ns(10_000.0).ends_with("µs"));
+        assert!(format_ns(10_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range strategies for
+//! numeric types, `prop::collection::vec`, `prop::bool::ANY`, tuple
+//! strategies, and the `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from real proptest, by design:
+//! * sampling is **deterministic** — every test function runs a fixed number
+//!   of cases from a seed derived from the test name, so failures reproduce
+//!   exactly in CI;
+//! * no shrinking — the failing case is reported as-is via the panic
+//!   message (cases are small enough here to read directly).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of sampled cases per property.
+pub const CASES: usize = 64;
+
+/// Build the deterministic per-test generator (used by [`proptest!`]; public
+/// so the macro expansion works in crates that do not depend on `rand`).
+#[doc(hidden)]
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. Strategies are sampled, not shrunk.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, usize, u64, u32, u16, u8, i64, i32);
+
+/// Constant "strategy": a plain value samples to itself (lets tests plug
+/// literals where a strategy is expected).
+impl Strategy for bool {
+    type Value = bool;
+    fn sample(&self, _rng: &mut StdRng) -> bool {
+        *self
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+pub mod prop {
+    //! The `prop::` strategy namespace.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s of values from an element strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, len)` — `len` is a fixed size or
+        /// a `lo..hi` range.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = if self.size.lo >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// The uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    pub mod num {
+        //! Numeric strategy namespaces (ranges implement `Strategy` directly).
+    }
+}
+
+/// Size specification for [`prop::collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound (`lo >= hi` means "exactly lo").
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Assert inside a property; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let mut __rng = $crate::new_rng($crate::seed_for(stringify!($name)));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = ($strat).sample(&mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Sampled values stay inside their strategy's bounds.
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 1.0f64..2.0,
+            n in 3usize..7,
+            v in prop::collection::vec(0u32..5, 2..9),
+            pair in (0.0f64..1.0, 10i64..20),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!((0.0..1.0).contains(&pair.0));
+            prop_assert!((10..20).contains(&pair.1));
+            let _ = flag;
+        }
+
+        /// Fixed-size vec strategies produce exactly that many elements.
+        #[test]
+        fn fixed_size_vec(v in prop::collection::vec(0.0f64..1.0, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}
