@@ -6,7 +6,7 @@
 //! ground-truth future distribution (Fig. 14: horizons 1–4 days track the
 //! ground truth closely, 8 days falls behind).
 
-use skyscraper::{ForecastMode, IngestDriver, IngestOptions};
+use skyscraper::{ForecastMode, IngestOptions, IngestSession};
 use vetl_bench::{data_scale, f3, fit_with, pct, Table};
 use vetl_workloads::spec::DataScale;
 use vetl_workloads::{PaperWorkload, MACHINES};
@@ -41,18 +41,18 @@ fn main() {
             });
             let mae = fitted.report.forecast_mae;
 
-            let model_out = IngestDriver::new(
+            let model_out = IngestSession::batch(
                 &fitted.model,
                 fitted.spec.workload.as_ref(),
                 IngestOptions {
                     cloud_budget_usd: 0.3,
                     ..Default::default()
                 },
+                &fitted.spec.online,
             )
-            .run(&fitted.spec.online)
             .expect("ingest");
 
-            let gt_out = IngestDriver::new(
+            let gt_out = IngestSession::batch(
                 &fitted.model,
                 fitted.spec.workload.as_ref(),
                 IngestOptions {
@@ -60,8 +60,8 @@ fn main() {
                     forecast: ForecastMode::GroundTruth,
                     ..Default::default()
                 },
+                &fitted.spec.online,
             )
-            .run(&fitted.spec.online)
             .expect("ingest");
 
             table.row(vec![

@@ -7,7 +7,7 @@
 //! percent (paper: 2.1 % COVID, 6.6 % MOT, of which Type-A is 0.5 % / 3.7 %)
 //! and No-Type-B nearly matches the ground truth end-to-end.
 
-use skyscraper::{ClassificationMode, IngestDriver, IngestOptions};
+use skyscraper::{ClassificationMode, IngestOptions, IngestSession};
 use vetl_bench::{data_scale, pct, Table};
 use vetl_workloads::{PaperWorkload, MACHINES};
 
@@ -34,9 +34,13 @@ fn main() {
                     cloud_budget_usd: 0.3,
                     ..Default::default()
                 };
-                let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
-                    .run(&fitted.spec.online)
-                    .expect("ingest");
+                let out = IngestSession::batch(
+                    &fitted.model,
+                    fitted.spec.workload.as_ref(),
+                    opts,
+                    &fitted.spec.online,
+                )
+                .expect("ingest");
                 if machine.vcpus == 8 {
                     match mode {
                         ClassificationMode::Standard => std_rate = out.misclassification_rate,

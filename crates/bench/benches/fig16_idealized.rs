@@ -8,7 +8,7 @@
 //! target: the practical (category) system lands near the ground-truth
 //! optimum while the idealized per-slice forecast falls well short.
 
-use skyscraper::{IngestDriver, IngestOptions, KnobConfig};
+use skyscraper::{IngestOptions, IngestSession, KnobConfig};
 use vetl_baselines::{best_static_config, greedy_mckp, run_optimum, run_static};
 use vetl_bench::{data_scale, f3, pct, sample_contents, Table};
 use vetl_workloads::{PaperWorkload, MACHINES};
@@ -74,15 +74,15 @@ fn main() {
         / online.len() as f64;
 
     // ---- Practical system (Skyscraper). ----
-    let out = IngestDriver::new(
+    let out = IngestSession::batch(
         &fitted.model,
         workload,
         IngestOptions {
             cloud_budget_usd: 0.3,
             ..Default::default()
         },
+        online,
     )
-    .run(online)
     .expect("ingest");
 
     // ---- Static and ground-truth optimum. ----

@@ -5,7 +5,7 @@
 
 use skyscraper::category::ClusteringAlgo;
 use skyscraper::offline::run_offline_with;
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_bench::{data_scale, pct, Table, SEED};
 use vetl_workloads::{PaperWorkload, WorkloadSpec, MACHINES};
 
@@ -31,15 +31,15 @@ fn main() {
                 algo,
             )
             .expect("offline fit");
-            let out = IngestDriver::new(
+            let out = IngestSession::batch(
                 &model,
                 spec.workload.as_ref(),
                 IngestOptions {
                     cloud_budget_usd: 0.3,
                     ..Default::default()
                 },
+                &spec.online,
             )
-            .run(&spec.online)
             .expect("ingest");
             quals.push(out.mean_quality);
         }

@@ -6,7 +6,7 @@
 //! then degenerates to the best real-time one), with the exception of the
 //! "lucky first peak" effect on MOSEI-HIGH.
 
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_baselines::{best_static_config, run_static, run_videostorm};
 use vetl_bench::{data_scale, pct, sample_contents, Table};
 use vetl_workloads::{paper_workloads, MACHINES};
@@ -29,15 +29,15 @@ fn main() {
             let static_cfg = best_static_config(workload, &samples, machine.vcpus as f64);
             let st = run_static(workload, &static_cfg, online);
             let vs = run_videostorm(workload, online, &samples, &machine.hardware(4e9));
-            let sky = IngestDriver::new(
+            let sky = IngestSession::batch(
                 &fitted.model,
                 workload,
                 IngestOptions {
                     cloud_budget_usd: 0.3,
                     ..Default::default()
                 },
+                online,
             )
-            .run(online)
             .expect("ingest");
 
             table.row(vec![

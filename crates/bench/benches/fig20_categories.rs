@@ -6,7 +6,7 @@
 //! gently as |C| grows (Table 4: 100 %, 98.8 %, 97.9 %, 97.2 %, 95.9 % for
 //! 1, 2, 3, 4, 8 categories).
 
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_bench::{data_scale, fit_with, pct, Table};
 use vetl_workloads::{PaperWorkload, MACHINES};
 
@@ -32,15 +32,15 @@ fn main() {
                 h.n_categories = n_categories;
                 h
             });
-            let out = IngestDriver::new(
+            let out = IngestSession::batch(
                 &fitted.model,
                 fitted.spec.workload.as_ref(),
                 IngestOptions {
                     cloud_budget_usd: 0.3,
                     ..Default::default()
                 },
+                &fitted.spec.online,
             )
-            .run(&fitted.spec.online)
             .expect("ingest");
             quals.push(out.mean_quality);
             if machine.vcpus == 8 {

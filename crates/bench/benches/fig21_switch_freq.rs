@@ -3,7 +3,7 @@
 //! Reproduction target: all periods between 2 s and 8 s perform well; the
 //! variance between them is small (the paper recommends 4 s as default).
 
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_bench::{data_scale, pct, Table};
 use vetl_workloads::{PaperWorkload, MACHINES};
 
@@ -24,9 +24,13 @@ fn main() {
                 cloud_budget_usd: 0.3,
                 ..Default::default()
             };
-            let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
-                .run(&fitted.spec.online)
-                .expect("ingest");
+            let out = IngestSession::batch(
+                &fitted.model,
+                fitted.spec.workload.as_ref(),
+                opts,
+                &fitted.spec.online,
+            )
+            .expect("ingest");
             row.push(pct(out.mean_quality));
         }
         table.row(row);

@@ -10,7 +10,7 @@
 //! plotted day; the switch count is printed at the end.
 
 use skyscraper::offline::run_offline;
-use skyscraper::{IngestDriver, IngestOptions, Workload};
+use skyscraper::{IngestOptions, IngestSession, Workload};
 use vetl_bench::{f2, Table, SEED};
 use vetl_sim::HardwareSpec;
 use vetl_video::{ContentParams, Recording, SyntheticCamera};
@@ -44,9 +44,7 @@ fn main() {
         record_trace: true,
         ..Default::default()
     };
-    let out = IngestDriver::new(&model, &workload, opts)
-        .run(online.segments())
-        .expect("ingest");
+    let out = IngestSession::batch(&model, &workload, opts, online.segments()).expect("ingest");
     assert_eq!(out.overflows, 0, "throughput guarantee");
 
     // Reference per-config quality curves (top panel): evaluate the

@@ -7,7 +7,7 @@
 //! MOT and 3.7× over Chameleon*; Chameleon* crashes on configurations where
 //! its unmanaged buffer overflows (those rows are marked CRASH).
 
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_baselines::{best_static_config, run_chameleon, run_static, ChameleonOptions};
 use vetl_bench::{data_scale, f2, pct, sample_contents, usd, Table, SEED};
 use vetl_sim::CostModel;
@@ -79,9 +79,13 @@ fn main() {
                 record_trace: false,
                 ..Default::default()
             };
-            let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
-                .run(&fitted.spec.online)
-                .expect("ingest");
+            let out = IngestSession::batch(
+                &fitted.model,
+                fitted.spec.workload.as_ref(),
+                opts,
+                &fitted.spec.online,
+            )
+            .expect("ingest");
             assert_eq!(out.overflows, 0, "Skyscraper must never overflow");
             let total = total_cost_usd(machine, duration, out.cloud_usd, &cost_model);
             sky_points.push((total, out.mean_quality));

@@ -9,7 +9,7 @@
 //! struggles on MOSEI-HIGH (bandwidth-bound spikes) while *only buffering*
 //! struggles on MOSEI-LONG (the plateau fills the buffer early).
 
-use skyscraper::{IngestDriver, IngestOptions};
+use skyscraper::{IngestOptions, IngestSession};
 use vetl_bench::{data_scale, f2, pct, Table};
 use vetl_sim::CostModel;
 use vetl_workloads::{paper_workloads, total_cost_usd, MACHINES};
@@ -45,9 +45,13 @@ fn main() {
                         cost_model,
                         ..Default::default()
                     };
-                    let out = IngestDriver::new(&fitted.model, fitted.spec.workload.as_ref(), opts)
-                        .run(&fitted.spec.online)
-                        .expect("ingest");
+                    let out = IngestSession::batch(
+                        &fitted.model,
+                        fitted.spec.workload.as_ref(),
+                        opts,
+                        &fitted.spec.online,
+                    )
+                    .expect("ingest");
                     let total =
                         total_cost_usd(machine, duration, out.cloud_usd * ratio / 1.8, &cost_model);
                     table.row(vec![

@@ -5,7 +5,7 @@
 //! astonishingly close to optimum" for COVID/MOT/MOSEI-HIGH, with a visible
 //! gap remaining on MOSEI-LONG.
 
-use skyscraper::{IngestDriver, IngestOptions, KnobConfig};
+use skyscraper::{IngestOptions, IngestSession, KnobConfig};
 use vetl_baselines::{run_optimum, run_static};
 use vetl_bench::{data_scale, f3, pct, Table};
 use vetl_workloads::{paper_workloads, MACHINES};
@@ -51,9 +51,9 @@ fn main() {
                 cloud_budget_usd: 0.3,
                 ..Default::default()
             };
-            let out = IngestDriver::new(&f.model, f.spec.workload.as_ref(), opts)
-                .run(&f.spec.online)
-                .expect("ingest");
+            let out =
+                IngestSession::batch(&f.model, f.spec.workload.as_ref(), opts, &f.spec.online)
+                    .expect("ingest");
             table.row(vec![
                 format!("Skyscraper@{}", machine.name),
                 f3(out.work_core_secs / max_work),

@@ -12,8 +12,18 @@
 //!
 //! In this Rust reproduction the knobs and the processing DAG live in the
 //! [`Workload`] implementation (the equivalent of `proc_frame` plus the
-//! `register_knob` calls), and `process` operates at segment granularity —
-//! the unit at which Skyscraper makes decisions anyway.
+//! `register_knob` calls), and processing operates at segment granularity —
+//! the unit at which Skyscraper makes decisions anyway. The
+//! `while ok: sky.process(frame, state)` loop maps onto
+//! [`Skyscraper::open_session`] + [`IngestSession::push`]: the session *is*
+//! the paper's carried `state`, made explicit (and checkpointable).
+//! [`Skyscraper::ingest`] remains as the one-shot convenience over a whole
+//! pre-materialized recording.
+//!
+//! Resource builders are composable and idempotent: each setter touches
+//! only the field it names, so `set_cores` after `set_hardware` preserves a
+//! custom buffer size or cloud pricing, and calling any setter twice is the
+//! same as calling it once.
 
 use vetl_sim::{CostModel, HardwareSpec};
 use vetl_video::{Recording, Segment};
@@ -21,7 +31,7 @@ use vetl_video::{Recording, Segment};
 use crate::config::SkyscraperConfig;
 use crate::error::SkyError;
 use crate::offline::{run_offline, FittedModel, OfflineReport};
-use crate::online::ingest::{IngestDriver, IngestOptions, IngestOutcome};
+use crate::online::session::{IngestOptions, IngestOutcome, IngestSession};
 use crate::workload::Workload;
 
 /// The Skyscraper system facade.
@@ -48,15 +58,50 @@ impl<W: Workload> Skyscraper<W> {
     }
 
     /// `sky.set_resources(num_cores=…, bufferMB=…, cloud_budget=…)`.
+    ///
+    /// Equivalent to [`set_cores`](Self::set_cores) +
+    /// [`set_buffer_mb`](Self::set_buffer_mb) +
+    /// [`set_cloud_budget_usd`](Self::set_cloud_budget_usd); every other
+    /// provisioning field (cloud pricing, core speed, …) is left untouched.
     pub fn set_resources(
         &mut self,
         num_cores: usize,
         buffer_mb: f64,
         cloud_budget_usd: f64,
     ) -> &mut Self {
-        self.hardware = HardwareSpec::with_cores(num_cores).with_buffer(buffer_mb * 1e6);
+        self.set_cores(num_cores)
+            .set_buffer_mb(buffer_mb)
+            .set_cloud_budget_usd(cloud_budget_usd)
+    }
+
+    /// Resize the on-premise cluster without touching buffer or cloud.
+    pub fn set_cores(&mut self, num_cores: usize) -> &mut Self {
+        self.hardware.cluster.cores = num_cores;
+        self
+    }
+
+    /// Resize the video buffer without touching cluster or cloud.
+    pub fn set_buffer_mb(&mut self, buffer_mb: f64) -> &mut Self {
+        self.hardware.buffer_bytes = buffer_mb * 1e6;
+        self
+    }
+
+    /// Set the per-interval cloud budget without touching the hardware.
+    pub fn set_cloud_budget_usd(&mut self, cloud_budget_usd: f64) -> &mut Self {
         self.options.cloud_budget_usd = cloud_budget_usd;
         self
+    }
+
+    /// Install a full provisioning spec (custom cloud pricing, core speed).
+    /// Later granular setters compose on top of it.
+    pub fn set_hardware(&mut self, hardware: HardwareSpec) -> &mut Self {
+        self.hardware = hardware;
+        self
+    }
+
+    /// The current provisioning.
+    pub fn hardware(&self) -> &HardwareSpec {
+        &self.hardware
     }
 
     /// Override hyperparameters (Appendix I tuning).
@@ -66,8 +111,17 @@ impl<W: Workload> Skyscraper<W> {
     }
 
     /// Override ingestion options (ablation gates, cost model, seeds).
+    /// Preserves the cloud budget configured through
+    /// [`set_resources`](Self::set_resources) /
+    /// [`set_cloud_budget_usd`](Self::set_cloud_budget_usd) — pass a
+    /// non-default budget in `options` to change it here instead.
     pub fn set_options(&mut self, options: IngestOptions) -> &mut Self {
+        let configured_budget = self.options.cloud_budget_usd;
+        let default_budget = IngestOptions::default().cloud_budget_usd;
         self.options = options;
+        if self.options.cloud_budget_usd == default_budget {
+            self.options.cloud_budget_usd = configured_budget;
+        }
         self
     }
 
@@ -104,11 +158,24 @@ impl<W: Workload> Skyscraper<W> {
         self.model.as_ref().ok_or(SkyError::NotFitted)
     }
 
-    /// Ingest a stream of segments online (§4). The paper's `sky.process`
-    /// frame loop, at segment granularity.
+    /// Open a streaming ingestion session — the paper's
+    /// `while ok: sky.process(frame, state)` loop with the carried state
+    /// made explicit. Push segments as they arrive; the session replans
+    /// every planned interval and can be checkpointed and resumed.
+    pub fn open_session(&self) -> Result<IngestSession<'_, W>, SkyError> {
+        let model = self.model()?;
+        Ok(IngestSession::new(
+            model,
+            &self.workload,
+            self.options.clone(),
+        ))
+    }
+
+    /// Ingest a pre-materialized stream of segments online (§4): a thin
+    /// one-loop wrapper over a session ([`IngestSession::batch`]).
     pub fn ingest(&self, segments: &[Segment]) -> Result<IngestOutcome, SkyError> {
         let model = self.model()?;
-        IngestDriver::new(model, &self.workload, self.options.clone()).run(segments)
+        IngestSession::batch(model, &self.workload, self.options.clone(), segments)
     }
 }
 
@@ -135,6 +202,15 @@ mod tests {
         let out = sky.ingest(online.segments()).expect("ingestion succeeds");
         assert_eq!(out.overflows, 0);
         assert!(out.mean_quality > 0.0);
+
+        // The same stream through an explicit session.
+        let mut session = sky.open_session().expect("session opens");
+        for seg in online.segments() {
+            session.push(seg).expect("push succeeds");
+        }
+        let streamed = session.finish();
+        assert_eq!(streamed.segments, out.segments);
+        assert_eq!(streamed.overflows, 0);
     }
 
     #[test]
@@ -142,5 +218,64 @@ mod tests {
         let sky = Skyscraper::new(ToyWorkload::new());
         let err = sky.ingest(&[]).unwrap_err();
         assert_eq!(err, SkyError::NotFitted);
+        assert!(sky.open_session().is_err());
+    }
+
+    #[test]
+    fn resource_builders_compose_and_stay_idempotent() {
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+
+        // A custom provisioning: non-default cloud pricing and buffer.
+        let mut custom = HardwareSpec::with_cores(16).with_buffer(2.5e9);
+        custom.cloud.usd_per_compute_sec = 9.9e-5;
+        custom.cluster.core_speed = 2.0;
+        sky.set_hardware(custom);
+
+        // Granular setters must not clobber unrelated fields…
+        sky.set_cores(4);
+        assert_eq!(sky.hardware().cluster.cores, 4);
+        assert_eq!(
+            sky.hardware().buffer_bytes,
+            2.5e9,
+            "buffer survives set_cores"
+        );
+        assert_eq!(sky.hardware().cloud.usd_per_compute_sec, 9.9e-5);
+        assert_eq!(sky.hardware().cluster.core_speed, 2.0);
+
+        // …and neither must the combined setter.
+        sky.set_resources(8, 4000.0, 0.7);
+        assert_eq!(sky.hardware().cluster.cores, 8);
+        assert_eq!(sky.hardware().buffer_bytes, 4e9);
+        assert_eq!(
+            sky.hardware().cloud.usd_per_compute_sec,
+            9.9e-5,
+            "custom cloud pricing survives set_resources"
+        );
+        assert_eq!(sky.hardware().cluster.core_speed, 2.0);
+
+        // Idempotent: calling twice changes nothing.
+        let before = *sky.hardware();
+        sky.set_resources(8, 4000.0, 0.7);
+        assert_eq!(*sky.hardware(), before);
+    }
+
+    #[test]
+    fn set_options_preserves_a_configured_cloud_budget() {
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        sky.set_resources(4, 4000.0, 0.25);
+        // Ablation gates off, budget untouched (left at its default in the
+        // passed options).
+        sky.set_options(IngestOptions {
+            enable_buffering: false,
+            ..Default::default()
+        });
+        assert_eq!(sky.options.cloud_budget_usd, 0.25);
+        assert!(!sky.options.enable_buffering);
+        // An explicit budget in the options wins.
+        sky.set_options(IngestOptions {
+            cloud_budget_usd: 0.5,
+            ..Default::default()
+        });
+        assert_eq!(sky.options.cloud_budget_usd, 0.5);
     }
 }

@@ -26,6 +26,35 @@ pub enum SkyError {
     NotFitted,
     /// Workload declared no knobs / empty configuration space.
     EmptyConfigSpace,
+    /// An externally planned session was pushed to before a plan was
+    /// installed (`IngestSession::install_plan`).
+    NoPlanInstalled,
+    /// A multi-stream operation was invoked with no streams.
+    NoStreams,
+    /// Parallel multi-stream inputs disagree in length (one entry per
+    /// stream expected).
+    StreamCountMismatch {
+        /// What the mismatched input holds.
+        what: &'static str,
+        /// Number of streams (models).
+        expected: usize,
+        /// Entries actually provided.
+        got: usize,
+    },
+    /// A stream's forecast has the wrong number of categories for its model.
+    ForecastShape {
+        /// Stream index.
+        stream: usize,
+        /// The model's category count.
+        expected: usize,
+        /// The forecast's length.
+        got: usize,
+    },
+    /// A server operation referenced a stream id that was never admitted.
+    UnknownStream {
+        /// The offending stream index.
+        id: usize,
+    },
 }
 
 impl std::fmt::Display for SkyError {
@@ -45,6 +74,30 @@ impl std::fmt::Display for SkyError {
             }
             SkyError::NotFitted => write!(f, "Skyscraper must be fitted before online ingestion"),
             SkyError::EmptyConfigSpace => write!(f, "workload has an empty knob space"),
+            SkyError::NoPlanInstalled => write!(
+                f,
+                "externally planned session has no plan installed; call install_plan first"
+            ),
+            SkyError::NoStreams => write!(f, "multi-stream operation needs at least one stream"),
+            SkyError::StreamCountMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "multi-stream input mismatch: expected one {what} per stream ({expected}), got {got}"
+            ),
+            SkyError::ForecastShape {
+                stream,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stream {stream}: forecast has {got} categories but the model has {expected}"
+            ),
+            SkyError::UnknownStream { id } => {
+                write!(f, "stream id {id} was never admitted to this server")
+            }
         }
     }
 }
@@ -70,5 +123,22 @@ mod tests {
         assert!(e.to_string().contains("under-provisioned"));
         let e = SkyError::PlannerLp(LpError::Infeasible);
         assert!(e.to_string().contains("infeasible"));
+        let e = SkyError::StreamCountMismatch {
+            what: "forecast",
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("forecast"));
+        let e = SkyError::ForecastShape {
+            stream: 1,
+            expected: 4,
+            got: 3,
+        };
+        assert!(e.to_string().contains("stream 1"));
+        assert!(SkyError::NoStreams.to_string().contains("at least one"));
+        assert!(SkyError::UnknownStream { id: 7 }.to_string().contains('7'));
+        assert!(SkyError::NoPlanInstalled
+            .to_string()
+            .contains("install_plan"));
     }
 }

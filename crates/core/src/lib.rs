@@ -26,10 +26,12 @@
 //! * [`online`] — the ingestion phase (§4): the predictive **knob planner**
 //!   solving the LP of Eqs. 2–4 every planned interval, the reactive
 //!   **knob switcher** implementing Eqs. 5–6 with the buffer-overflow
-//!   fallback recursion, and the ingestion driver that enforces the
-//!   throughput guarantee while tracking buffer, backlog, and cloud spend.
-//! * [`multistream`] — the Appendix-D generalization to many streams sharing
-//!   cloud credits (and optionally an on-premise cluster).
+//!   fallback recursion, and the streaming **ingest session** that enforces
+//!   the throughput guarantee per pushed segment while tracking buffer,
+//!   backlog, and cloud spend (with checkpoint/resume).
+//! * [`multistream`] — the Appendix-D generalization: a
+//!   [`multistream::MultiStreamServer`] multiplexing many sessions through
+//!   the joint LP of Eqs. 7–9 with a shared cloud wallet.
 //! * [`api`] — a user-facing facade mirroring the Python API of Appendix F.
 //!
 //! ## Quality model
@@ -58,12 +60,14 @@ pub use category::ContentCategories;
 pub use config::SkyscraperConfig;
 pub use error::SkyError;
 pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
+pub use multistream::{MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
 pub use offline::{run_offline, FittedModel, OfflineReport};
-pub use online::ingest::{
-    ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome,
-};
 pub use online::plan::KnobPlan;
 pub use online::planner::KnobPlanner;
+pub use online::session::{
+    ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession,
+    SessionCheckpoint, StepReport, StreamStats,
+};
 pub use online::switcher::{Decision, KnobSwitcher, SwitcherLimits};
 pub use profile::{ConfigProfile, PlacementProfile};
 pub use workload::Workload;

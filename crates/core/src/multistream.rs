@@ -6,39 +6,66 @@
 //! streams' categories (Eqs. 7–9, the green-highlighted generalization of
 //! Eqs. 2–4). Knob switching stays per-stream and independent, except that
 //! cloud credits are drawn from a shared wallet.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! [`MultiStreamServer`] is the driver for that generalization: it
+//! multiplexes N concurrent [`IngestSession`]s. Streams are admitted with
+//! [`MultiStreamServer::open_stream`] (admission control rejects a stream
+//! whose cheapest configuration cannot run in real time on its fair share
+//! of the cluster), segments are fed per stream with
+//! [`MultiStreamServer::push`] (or interleaved with
+//! [`MultiStreamServer::push_round_robin`]), the joint LP re-runs at the
+//! shared planning cadence, and all placements draw cloud credits from one
+//! shared wallet that refills per planned interval.
 
 use vetl_lp::{solve, LpProblem, Relation};
-use vetl_sim::{simulate, Backlog, CostModel};
+use vetl_sim::CostModel;
 use vetl_video::Segment;
 
 use crate::error::SkyError;
 use crate::offline::forecast::CategoryTimeline;
 use crate::offline::FittedModel;
 use crate::online::plan::KnobPlan;
-use crate::online::switcher::{KnobSwitcher, SwitcherLimits};
+use crate::online::session::{IngestOptions, IngestOutcome, IngestSession, StepReport};
 use crate::workload::Workload;
 
 /// Joint knob planning across streams (Eqs. 7–9).
 ///
 /// `rs[v]` is stream `v`'s forecast; `budget_per_seg_total` the shared
-/// budget in core-seconds per segment summed over streams.
+/// budget in core-seconds per segment round summed over streams. Invalid
+/// admissions (no streams, one forecast missing, a forecast whose dimension
+/// disagrees with its model) are rejected with typed [`SkyError`]s so a
+/// server can refuse them instead of crashing.
 pub fn joint_plan(
     models: &[&FittedModel],
     rs: &[Vec<f64>],
     budget_per_seg_total: f64,
 ) -> Result<Vec<KnobPlan>, SkyError> {
-    assert_eq!(models.len(), rs.len(), "one forecast per stream");
-    assert!(!models.is_empty(), "need at least one stream");
+    if models.is_empty() {
+        return Err(SkyError::NoStreams);
+    }
+    if rs.len() != models.len() {
+        return Err(SkyError::StreamCountMismatch {
+            what: "forecast",
+            expected: models.len(),
+            got: rs.len(),
+        });
+    }
+    for (v, (model, r)) in models.iter().zip(rs).enumerate() {
+        if r.len() != model.n_categories() {
+            return Err(SkyError::ForecastShape {
+                stream: v,
+                expected: model.n_categories(),
+                got: r.len(),
+            });
+        }
+    }
 
     let mut lp = LpProblem::new();
     // Variables per stream: alpha[v][c][k].
     let mut vars: Vec<Vec<Vec<vetl_lp::VarId>>> = Vec::with_capacity(models.len());
     for (v, model) in models.iter().enumerate() {
         let mut per_c = Vec::with_capacity(model.n_categories());
-        for (c, &rc) in rs[v].iter().enumerate().take(model.n_categories()) {
+        for (c, &rc) in rs[v].iter().enumerate() {
             let mut per_k = Vec::with_capacity(model.n_configs());
             for k in 0..model.n_configs() {
                 let obj = rc * model.categories.avg_quality(k, c);
@@ -89,21 +116,51 @@ pub fn joint_plan(
     }
 }
 
+/// Convenience: forecast each stream from a category history and joint-plan.
+pub fn joint_plan_from_histories(
+    models: &[&FittedModel],
+    histories: &[CategoryTimeline],
+    budget_per_seg_total: f64,
+) -> Result<Vec<KnobPlan>, SkyError> {
+    if histories.len() != models.len() {
+        return Err(SkyError::StreamCountMismatch {
+            what: "history",
+            expected: models.len(),
+            got: histories.len(),
+        });
+    }
+    let rs: Vec<Vec<f64>> = models
+        .iter()
+        .zip(histories)
+        .map(|(m, h)| m.forecaster.forecast(h))
+        .collect();
+    joint_plan(models, &rs, budget_per_seg_total)
+}
+
+/// Handle of an admitted stream (index into the server's session table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+impl StreamId {
+    /// Index of the stream in admission order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 /// Per-stream outcome of a multi-stream run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StreamOutcome {
-    /// Mean ground-truth quality.
-    pub mean_quality: f64,
-    /// Throughput violations (must be 0).
-    pub overflows: usize,
-    /// On-premise + cloud work, core-seconds.
-    pub work_core_secs: f64,
+    /// The identifier the stream was admitted under.
+    pub workload_id: String,
+    /// The stream's full ingestion outcome.
+    pub outcome: IngestOutcome,
 }
 
 /// Outcome of a multi-stream run.
 #[derive(Debug, Clone, Default)]
 pub struct MultiOutcome {
-    /// Per-stream results.
+    /// Per-stream results, in admission order.
     pub streams: Vec<StreamOutcome>,
     /// Cloud dollars drawn from the shared wallet.
     pub cloud_usd: f64,
@@ -111,126 +168,295 @@ pub struct MultiOutcome {
     pub joint_quality: f64,
 }
 
-/// Ingest several streams that share cloud credits; each stream keeps its
-/// own buffer and a fair share `⌊cores / V⌋` of the cluster (Appendix D).
-pub fn run_multistream<W: Workload + ?Sized>(
+/// A server multiplexing N concurrent ingestion sessions over a shared
+/// cluster and a shared cloud wallet (Appendix D).
+///
+/// * **Admission** — [`open_stream`](Self::open_stream) gives every stream
+///   a fair share `⌊cores / V⌋` of the cluster (pessimistic, but precludes
+///   overflows without under-utilization because unused cores serve other
+///   streams' tasks in the real executor) and rejects an admission that
+///   would leave any stream — new or already admitted — unable to run its
+///   cheapest configuration in real time on the shrunken share.
+/// * **Planning** — every admission and every shared planned interval, one
+///   joint LP (Eqs. 7–9) re-allocates the total budget across all streams'
+///   categories; the resulting per-stream plans are installed into the
+///   sessions, which never re-plan on their own.
+/// * **Wallet** — cloud credits are shared: before each push the stream's
+///   session is handed the wallet, after it the remainder is returned. The
+///   wallet refills to the configured budget at each joint replan.
+pub struct MultiStreamServer<'a> {
+    sessions: Vec<IngestSession<'a, dyn Workload + 'a>>,
+    ids: Vec<String>,
+    shared_budget_usd: f64,
+    cost_model: CostModel,
+    seed: u64,
+    replan_interval: Option<f64>,
+    total_cores: Option<f64>,
+    wallet: f64,
+    next_replan_secs: f64,
+    joint_plans: usize,
+}
+
+impl<'a> MultiStreamServer<'a> {
+    /// Create a server with a shared per-interval cloud budget.
+    pub fn new(shared_cloud_budget_usd: f64, cost_model: CostModel, seed: u64) -> Self {
+        Self {
+            sessions: Vec::new(),
+            ids: Vec::new(),
+            shared_budget_usd: shared_cloud_budget_usd,
+            cost_model,
+            seed,
+            replan_interval: None,
+            total_cores: None,
+            wallet: shared_cloud_budget_usd,
+            next_replan_secs: 0.0,
+            joint_plans: 0,
+        }
+    }
+
+    /// Override the joint replanning cadence (defaults to the smallest
+    /// planned interval among admitted models).
+    pub fn with_replan_interval(mut self, secs: f64) -> Self {
+        self.replan_interval = Some(secs);
+        self
+    }
+
+    /// Override the shared cluster size in reference cores (defaults to the
+    /// first admitted model's provisioning).
+    pub fn with_total_cores(mut self, cores: f64) -> Self {
+        self.total_cores = Some(cores);
+        self
+    }
+
+    /// Streams currently admitted.
+    pub fn n_streams(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Times the joint LP has run.
+    pub fn joint_plans(&self) -> usize {
+        self.joint_plans
+    }
+
+    /// Credits left in the shared wallet for the current interval.
+    pub fn wallet_left(&self) -> f64 {
+        self.wallet
+    }
+
+    /// Admit a stream: validate *every* stream (the admission shrinks all
+    /// shares) against the post-admission fair share, shrink the shares,
+    /// and re-run the joint LP over all admitted streams.
+    ///
+    /// Rejects with [`SkyError::UnderProvisioned`] when any stream's
+    /// cheapest configuration could no longer run in real time on the
+    /// post-admission fair share (`cheapest_work_rate` carries the worst
+    /// offender, `cluster_throughput` that share). A rejected or failed
+    /// admission leaves the server exactly as it was.
+    pub fn open_stream(
+        &mut self,
+        workload_id: impl Into<String>,
+        model: &'a FittedModel,
+        workload: &'a (dyn Workload + 'a),
+        options: IngestOptions,
+    ) -> Result<StreamId, SkyError> {
+        let total = self
+            .total_cores
+            .unwrap_or_else(|| model.hardware.cluster.throughput());
+        let fair = (total / (self.sessions.len() + 1) as f64).floor();
+        let cheapest_rate = |m: &FittedModel| m.configs[m.cheapest()].work_mean / m.seg_len;
+        // Admission squeezes every admitted stream too — all of them must
+        // still fit the shrunken share or the no-overflow guarantee breaks.
+        let worst_rate = self
+            .sessions
+            .iter()
+            .map(|s| cheapest_rate(s.model()))
+            .fold(cheapest_rate(model), f64::max);
+        if fair <= 0.0 || worst_rate > fair {
+            return Err(SkyError::UnderProvisioned {
+                cheapest_work_rate: worst_rate,
+                cluster_throughput: fair.max(0.0),
+            });
+        }
+        self.total_cores = Some(total);
+
+        let idx = self.sessions.len();
+        let mut options = options;
+        // Per-stream reported-quality noise must be independent across
+        // streams even when the caller reuses one options template.
+        options.seed = self
+            .seed
+            .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let session = IngestSession::external(model, workload, options);
+        self.sessions.push(session);
+        self.ids.push(workload_id.into());
+
+        // Every stream's share shrinks to the new fair split.
+        for s in &mut self.sessions {
+            let seg_len = s.model().seg_len;
+            s.set_capacity_per_seg(fair * seg_len);
+        }
+        if let Err(e) = self.joint_replan() {
+            // Roll the admission back: no phantom stream, old shares.
+            self.sessions.pop();
+            self.ids.pop();
+            let prev_fair = (total / self.sessions.len().max(1) as f64).floor();
+            for s in &mut self.sessions {
+                let seg_len = s.model().seg_len;
+                s.set_capacity_per_seg(prev_fair * seg_len);
+            }
+            return Err(e);
+        }
+        self.next_replan_secs = self.clock_secs() + self.replan_interval_secs();
+        Ok(StreamId(idx))
+    }
+
+    /// Feed one segment to one stream. Replans jointly first when the
+    /// shared cadence boundary was crossed.
+    pub fn push(&mut self, stream: StreamId, seg: &Segment) -> Result<StepReport, SkyError> {
+        if stream.0 >= self.sessions.len() {
+            return Err(SkyError::UnknownStream { id: stream.0 });
+        }
+        if self.clock_secs() >= self.next_replan_secs {
+            self.joint_replan()?;
+            self.next_replan_secs = self.clock_secs() + self.replan_interval_secs();
+        }
+        let wallet = self.wallet;
+        let session = &mut self.sessions[stream.0];
+        session.set_cloud_credits(wallet);
+        let report = session.push(seg)?;
+        self.wallet = session.cloud_credits_left();
+        Ok(report)
+    }
+
+    /// Interleave several pre-materialized streams round-robin (segment `i`
+    /// of every stream before segment `i + 1` of any). Returns the number
+    /// of segments pushed.
+    pub fn push_round_robin(
+        &mut self,
+        streams: &[(StreamId, &[Segment])],
+    ) -> Result<usize, SkyError> {
+        let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        let mut pushed = 0;
+        for i in 0..max_len {
+            for (id, segs) in streams {
+                if let Some(seg) = segs.get(i) {
+                    self.push(*id, seg)?;
+                    pushed += 1;
+                }
+            }
+        }
+        Ok(pushed)
+    }
+
+    /// Settle every session into the joint outcome.
+    pub fn finish(self) -> MultiOutcome {
+        let mut out = MultiOutcome::default();
+        for (id, session) in self.ids.into_iter().zip(self.sessions) {
+            let outcome = session.finish();
+            out.cloud_usd += outcome.cloud_usd;
+            out.joint_quality += outcome.mean_quality;
+            out.streams.push(StreamOutcome {
+                workload_id: id,
+                outcome,
+            });
+        }
+        out
+    }
+
+    /// Stream seconds covered by the furthest-ahead stream.
+    fn clock_secs(&self) -> f64 {
+        self.sessions
+            .iter()
+            .map(|s| s.elapsed_secs())
+            .fold(0.0, f64::max)
+    }
+
+    fn replan_interval_secs(&self) -> f64 {
+        self.replan_interval.unwrap_or_else(|| {
+            self.sessions
+                .iter()
+                .map(|s| s.model().hyper.planned_interval_secs)
+                .fold(f64::INFINITY, f64::min)
+        })
+    }
+
+    /// Re-run the joint LP over all streams' forecasts, install the plans,
+    /// and refill the shared wallet.
+    fn joint_replan(&mut self) -> Result<(), SkyError> {
+        let models: Vec<&FittedModel> = self.sessions.iter().map(|s| s.model()).collect();
+        let rs: Vec<Vec<f64>> = self
+            .sessions
+            .iter()
+            .map(|s| s.forecast_distribution())
+            .collect();
+        let total = self.total_cores.expect("set at first admission");
+        let fair = (total / self.sessions.len() as f64).floor();
+        // Shared budget per segment round: every stream's fair on-premise
+        // share plus the cloud credits amortized over the interval's rounds
+        // (footnote 4 generalized to Eq. 8).
+        let onprem: f64 = models.iter().map(|m| fair * m.seg_len).sum();
+        let max_seg_len = models
+            .iter()
+            .map(|m| m.seg_len)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let rounds = (self.replan_interval_secs() / max_seg_len).max(1.0);
+        let budget = onprem
+            + self
+                .cost_model
+                .cloud_usd_to_core_secs(self.shared_budget_usd)
+                / rounds;
+        let plans = joint_plan(&models, &rs, budget)?;
+        for (session, plan) in self.sessions.iter_mut().zip(plans) {
+            session.install_plan(plan);
+        }
+        self.wallet = self.shared_budget_usd;
+        self.joint_plans += 1;
+        Ok(())
+    }
+}
+
+/// Ingest several pre-materialized streams that share cloud credits; each
+/// stream keeps its own buffer and a fair share `⌊cores / V⌋` of the
+/// cluster (Appendix D). Drives a [`MultiStreamServer`] round-robin.
+pub fn run_multistream(
     models: &[&FittedModel],
-    workloads: &[&W],
+    workloads: &[&dyn Workload],
     streams: &[Vec<Segment>],
     shared_cloud_budget_usd: f64,
     cost_model: &CostModel,
     seed: u64,
 ) -> Result<MultiOutcome, SkyError> {
-    assert_eq!(models.len(), workloads.len(), "one workload per stream");
-    assert_eq!(models.len(), streams.len(), "one segment vector per stream");
-    let n_streams = models.len();
-    assert!(n_streams > 0, "need at least one stream");
-    let mut rng = StdRng::seed_from_u64(seed);
-
-    // Fair core allocation (Appendix D: ⌊n / |V|⌋ per stream; pessimistic
-    // but precludes overflows without under-utilization because unused
-    // cores serve other streams' tasks in the real executor).
-    let total_cores = models[0].hardware.cluster.throughput();
-    let fair_share = (total_cores / n_streams as f64).floor().max(1.0);
-
-    // Joint plan from each stream's bootstrap forecast.
-    let rs: Vec<Vec<f64>> = models
-        .iter()
-        .map(|m| m.forecaster.forecast(&m.tail))
-        .collect();
-    let budget_total: f64 = models.iter().map(|m| fair_share * m.seg_len).sum::<f64>()
-        + cost_model.cloud_usd_to_core_secs(shared_cloud_budget_usd)
-            / (streams.iter().map(Vec::len).max().unwrap_or(1) as f64);
-    let plans = joint_plan(models, &rs, budget_total)?;
-
-    let mut switchers: Vec<KnobSwitcher> = models
-        .iter()
-        .zip(plans)
-        .map(|(m, p)| KnobSwitcher::new(m, p))
-        .collect();
-    let mut backlogs: Vec<Backlog> = (0..n_streams).map(|_| Backlog::new()).collect();
-    let mut outcomes = vec![StreamOutcome::default(); n_streams];
-    let mut last_reported: Vec<Option<f64>> = vec![None; n_streams];
-    let mut cloud_left = shared_cloud_budget_usd;
-    let mut cloud_spent = 0.0;
-
-    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
-    for i in 0..max_len {
-        for v in 0..n_streams {
-            let Some(seg) = streams[v].get(i) else {
-                continue;
-            };
-            let model = models[v];
-            let workload = workloads[v];
-            let capacity_per_seg = fair_share * model.seg_len;
-            let limits = SwitcherLimits {
-                buffer_capacity: model.hardware.buffer_bytes,
-                seg_bytes_reserve: seg.bytes,
-                capacity_per_seg,
-                safety: model.hyper.runtime_safety,
-                cloud_enabled: true,
-            };
-            let category = match last_reported[v] {
-                Some(q) => switchers[v].classify(model, q),
-                None => 0,
-            };
-            let d = switchers[v].decide(
-                model,
-                category,
-                backlogs[v].bytes(),
-                backlogs[v].work(),
-                cloud_left,
-                &limits,
-            );
-            let profile = &model.configs[d.config];
-            let graph = workload.task_graph(&profile.config, &seg.content);
-            let placement = &profile.placements[d.placement].placement;
-            let result = simulate(
-                &graph,
-                placement,
-                &model.hardware.cluster,
-                &model.hardware.cloud,
-            );
-            cloud_left -= result.cloud_usd;
-            cloud_spent += result.cloud_usd;
-
-            backlogs[v].push(seg.bytes, result.onprem_busy_secs);
-            let _ = backlogs[v].process(capacity_per_seg);
-            if backlogs[v].bytes() > model.hardware.buffer_bytes + seg.bytes {
-                outcomes[v].overflows += 1;
-            }
-            outcomes[v].work_core_secs += result.onprem_busy_secs + result.cloud_busy_secs;
-            outcomes[v].mean_quality += workload.true_quality(&profile.config, &seg.content);
-            last_reported[v] =
-                Some(workload.reported_quality(&profile.config, &seg.content, &mut rng));
-        }
+    if models.is_empty() {
+        return Err(SkyError::NoStreams);
     }
-
-    let mut joint_quality = 0.0;
-    for (v, out) in outcomes.iter_mut().enumerate() {
-        let n = streams[v].len().max(1) as f64;
-        out.mean_quality /= n;
-        joint_quality += out.mean_quality;
+    if workloads.len() != models.len() {
+        return Err(SkyError::StreamCountMismatch {
+            what: "workload",
+            expected: models.len(),
+            got: workloads.len(),
+        });
     }
-    Ok(MultiOutcome {
-        streams: outcomes,
-        cloud_usd: cloud_spent,
-        joint_quality,
-    })
-}
-
-/// Convenience: forecast each stream from a category history and joint-plan.
-pub fn joint_plan_from_histories(
-    models: &[&FittedModel],
-    histories: &[CategoryTimeline],
-    budget_per_seg_total: f64,
-) -> Result<Vec<KnobPlan>, SkyError> {
-    let rs: Vec<Vec<f64>> = models
-        .iter()
-        .zip(histories)
-        .map(|(m, h)| m.forecaster.forecast(h))
-        .collect();
-    joint_plan(models, &rs, budget_per_seg_total)
+    if streams.len() != models.len() {
+        return Err(SkyError::StreamCountMismatch {
+            what: "segment stream",
+            expected: models.len(),
+            got: streams.len(),
+        });
+    }
+    let mut server = MultiStreamServer::new(shared_cloud_budget_usd, *cost_model, seed);
+    let mut handles: Vec<(StreamId, &[Segment])> = Vec::with_capacity(models.len());
+    for (v, (model, workload)) in models.iter().zip(workloads).enumerate() {
+        let id = server.open_stream(
+            format!("stream-{v}"),
+            model,
+            *workload,
+            IngestOptions::default(),
+        )?;
+        handles.push((id, streams[v].as_slice()));
+    }
+    server.push_round_robin(&handles)?;
+    Ok(server.finish())
 }
 
 #[cfg(test)]
@@ -301,12 +527,35 @@ mod tests {
     }
 
     #[test]
+    fn joint_plan_rejects_bad_admissions_with_typed_errors() {
+        let (_, m1, _) = fit(3, 4);
+        assert_eq!(joint_plan(&[], &[], 1.0).unwrap_err(), SkyError::NoStreams);
+        assert_eq!(
+            joint_plan(&[&m1], &[], 1.0).unwrap_err(),
+            SkyError::StreamCountMismatch {
+                what: "forecast",
+                expected: 1,
+                got: 0,
+            }
+        );
+        let wrong = vec![vec![0.5; m1.n_categories() + 1]];
+        assert_eq!(
+            joint_plan(&[&m1], &wrong, 1.0).unwrap_err(),
+            SkyError::ForecastShape {
+                stream: 0,
+                expected: m1.n_categories(),
+                got: m1.n_categories() + 1,
+            }
+        );
+    }
+
+    #[test]
     fn multistream_run_keeps_guarantees() {
         let (w1, m1, s1) = fit(3, 8);
         let (w2, m2, s2) = fit(4, 8);
         let out = run_multistream(
             &[&m1, &m2],
-            &[&w1, &w2],
+            &[&w1 as &dyn Workload, &w2],
             &[s1, s2],
             0.5,
             &CostModel::default(),
@@ -315,10 +564,79 @@ mod tests {
         .unwrap();
         assert_eq!(out.streams.len(), 2);
         for s in &out.streams {
-            assert_eq!(s.overflows, 0, "per-stream throughput guarantee");
-            assert!(s.mean_quality > 0.3);
+            assert_eq!(s.outcome.overflows, 0, "per-stream throughput guarantee");
+            assert!(s.outcome.mean_quality > 0.3);
         }
+        // The 2-hour run stays within one fast-test planned interval (4 h),
+        // so the wallet never refills mid-stream: total spend is bounded by
+        // one shared budget.
         assert!(out.cloud_usd <= 0.5 + 1e-9);
         assert!(out.joint_quality > 0.0);
+    }
+
+    #[test]
+    fn admission_control_rejects_streams_beyond_the_cluster() {
+        let (w1, m1, _) = fit(3, 4);
+        let (w2, m2, _) = fit(4, 4);
+        let mut server = MultiStreamServer::new(0.1, CostModel::default(), 7).with_total_cores(1.0);
+        server
+            .open_stream("a", &m1, &w1, IngestOptions::default())
+            .expect("one stream fits one core");
+        // A second stream would shrink the fair share to ⌊1/2⌋ = 0 cores.
+        let err = server
+            .open_stream("b", &m2, &w2, IngestOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, SkyError::UnderProvisioned { .. }),
+            "expected UnderProvisioned, got {err:?}"
+        );
+        assert_eq!(server.n_streams(), 1);
+    }
+
+    #[test]
+    fn run_multistream_validates_input_shapes() {
+        let (w1, m1, s1) = fit(3, 4);
+        assert_eq!(
+            run_multistream(&[], &[], &[], 0.1, &CostModel::default(), 7).unwrap_err(),
+            SkyError::NoStreams
+        );
+        assert_eq!(
+            run_multistream(&[&m1], &[], &[s1], 0.1, &CostModel::default(), 7).unwrap_err(),
+            SkyError::StreamCountMismatch {
+                what: "workload",
+                expected: 1,
+                got: 0,
+            }
+        );
+        assert_eq!(
+            run_multistream(
+                &[&m1],
+                &[&w1 as &dyn Workload],
+                &[],
+                0.1,
+                &CostModel::default(),
+                7
+            )
+            .unwrap_err(),
+            SkyError::StreamCountMismatch {
+                what: "segment stream",
+                expected: 1,
+                got: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn server_push_rejects_unknown_stream_ids() {
+        let (w1, m1, s1) = fit(3, 4);
+        let mut server = MultiStreamServer::new(0.1, CostModel::default(), 7);
+        let _id = server
+            .open_stream("a", &m1, &w1, IngestOptions::default())
+            .unwrap();
+        let bogus = StreamId(5);
+        assert_eq!(
+            server.push(bogus, &s1[0]).unwrap_err(),
+            SkyError::UnknownStream { id: 5 }
+        );
     }
 }

@@ -9,8 +9,8 @@
 //! The search is **parallel and deterministic**: per-segment climbs fan out
 //! across the worker pool, and every `(config, segment)` evaluation draws
 //! its quality noise from a generator derived from the master seed and the
-//! evaluation's identity (see [`super::seeding`]). Evaluations are memoized
-//! in a per-segment [`EvalCache`] shared between the climb and the final
+//! evaluation's identity (see the `seeding` module). Evaluations are
+//! memoized in a per-segment `EvalCache` shared between the climb and the final
 //! Pareto filter, so neither phase ever re-runs the workload on a pair it
 //! has already measured.
 

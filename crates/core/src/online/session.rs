@@ -1,0 +1,1276 @@
+//! Session-based streaming ingestion (§4, Appendix F, Appendix N.2).
+//!
+//! The paper's online phase is inherently incremental — `sky.process(frame,
+//! state)` is called per arrival with explicit carried state. This module
+//! models exactly that: an [`IngestSession`] owns all per-stream online
+//! state (knob switcher, backlog, planner cadence, cloud-credit wallet,
+//! drift detector, trace) and is fed one [`Segment`] at a time through
+//! [`IngestSession::push`], which returns a [`StepReport`] describing every
+//! decision taken for that segment. [`IngestSession::finish`] settles the
+//! run into the same [`IngestOutcome`] the batch API reports.
+//!
+//! Per segment the session classifies the content category, lets the knob
+//! switcher pick a configuration and placement, "executes" the resulting
+//! task graph on the Appendix-M simulator, and settles the buffer/backlog
+//! and cloud-credit accounting. Every planned interval it re-runs the knob
+//! planner on a fresh forecast (unless the session is driven by an external
+//! planner, e.g. the [`crate::multistream::MultiStreamServer`] joint LP).
+//!
+//! The session exposes the feature gates the evaluation needs: buffering
+//! and cloud bursting can be disabled independently (§5.4 ablation), the
+//! classifier can be switched between *Standard*, *No-Type-B* and *Ground
+//! truth* (§5.6, Fig. 15), and the forecast can come from the model, from
+//! the ground truth, or be uniform (Fig. 14).
+//!
+//! ## Batch compatibility
+//!
+//! [`IngestSession::batch`] is the one-shot loop over a pre-materialized
+//! stream. It pins the stream's byte statistics ([`StreamStats`]) and the
+//! ground-truth category feed upfront — the two quantities the legacy batch
+//! driver derived from the whole slice — so a hand-rolled `push` loop over
+//! the same segments with the same pins produces a bitwise-identical
+//! outcome (regression- and property-tested). A live session without pins
+//! tracks both quantities incrementally and stays conservative instead of
+//! clairvoyant; the throughput guarantee (Eq. 1) holds either way.
+//!
+//! ## Checkpoint / resume
+//!
+//! [`IngestSession::checkpoint`] snapshots the entire carried state
+//! (including the RNG) into an owned [`SessionCheckpoint`];
+//! [`IngestSession::resume`] re-attaches it to the fitted model and
+//! workload. A resumed session continues bit-for-bit where the checkpoint
+//! was taken.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vetl_sim::{simulate, Backlog, CostModel, Trace, TracePoint};
+use vetl_video::Segment;
+
+use crate::error::SkyError;
+use crate::offline::forecast::{CategoryTimeline, Forecaster};
+use crate::offline::FittedModel;
+use crate::online::drift::DriftDetector;
+use crate::online::plan::KnobPlan;
+use crate::online::planner::KnobPlanner;
+use crate::online::switcher::{Decision, KnobSwitcher, SwitcherLimits};
+use crate::workload::Workload;
+
+/// How the current content category is determined (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassificationMode {
+    /// Eq. 5 on the *previous* segment's reported quality (production mode;
+    /// subject to Type-A and Type-B errors).
+    #[default]
+    Standard,
+    /// Eq. 5 on the *current* segment's quality under the current
+    /// configuration — eliminates the timing mismatch (Type-B) and leaves
+    /// only Type-A errors (Fig. 15's "No Type-B errors" baseline).
+    NoTypeB,
+    /// Oracle: the ground-truth category (Fig. 15's "Ground truth").
+    GroundTruth,
+}
+
+/// Where the planner's forecast comes from (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForecastMode {
+    /// The trained forecasting model (production mode).
+    #[default]
+    Model,
+    /// Oracle: the actual category distribution of the upcoming interval.
+    /// Requires a ground-truth feed ([`IngestSession::pin_ground_truth`],
+    /// installed automatically by [`IngestSession::batch`]); a live session
+    /// without one degrades to the trailing observed window.
+    GroundTruth,
+    /// A uniform distribution (ablation lower bound).
+    Uniform,
+}
+
+/// Options for one ingestion session.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Allow setting video aside in the buffer (§5.4 gate 1b/1d).
+    pub enable_buffering: bool,
+    /// Allow cloud placements (§5.4 gate 1c/1d).
+    pub enable_cloud: bool,
+    /// Cloud credits granted per planned interval, dollars.
+    pub cloud_budget_usd: f64,
+    /// Category classification mode.
+    pub classification: ClassificationMode,
+    /// Forecast source.
+    pub forecast: ForecastMode,
+    /// Knob-switcher period in seconds (defaults to the fitted
+    /// hyperparameter; clamped to ≥ one segment).
+    pub switch_period_secs: Option<f64>,
+    /// Cost conversions.
+    pub cost_model: CostModel,
+    /// RNG seed for reported-quality noise.
+    pub seed: u64,
+    /// Record a full trace (Fig. 3); summaries are always computed.
+    pub record_trace: bool,
+    /// Run the Appendix-E.2 drift detector over classification residuals.
+    pub detect_drift: bool,
+    /// Fine-tune the forecaster online at every replanning point (§3.3).
+    pub finetune_forecaster: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            enable_buffering: true,
+            enable_cloud: true,
+            cloud_budget_usd: 1.0,
+            classification: ClassificationMode::Standard,
+            forecast: ForecastMode::Model,
+            switch_period_secs: None,
+            cost_model: CostModel::default(),
+            seed: 1234,
+            record_trace: false,
+            detect_drift: false,
+            finetune_forecaster: false,
+        }
+    }
+}
+
+/// Outcome of an ingestion run.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// Full trace (empty unless `record_trace`).
+    pub trace: Trace,
+    /// Mean ground-truth quality across segments (0–1).
+    pub mean_quality: f64,
+    /// Total on-premise work performed, core-seconds.
+    pub work_core_secs: f64,
+    /// Cloud dollars spent.
+    pub cloud_usd: f64,
+    /// Peak buffer fill in bytes.
+    pub buffer_peak: f64,
+    /// Throughput-guarantee violations (must be 0 for Skyscraper).
+    pub overflows: usize,
+    /// Knob switches performed.
+    pub switches: usize,
+    /// Fraction of segments whose category was misclassified w.r.t. the
+    /// ground truth.
+    pub misclassification_rate: f64,
+    /// Times the knob planner ran.
+    pub plans: usize,
+    /// Segments processed.
+    pub segments: usize,
+    /// Stream duration covered, seconds.
+    pub duration_secs: f64,
+    /// Segments at which the drift alarm fired (0 unless `detect_drift`).
+    pub drift_alarms: usize,
+}
+
+impl IngestOutcome {
+    /// Work rate in core-seconds per second of video.
+    pub fn work_rate(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            self.work_core_secs / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Byte-size statistics of a stream, used to size the buffer reserve.
+///
+/// The switcher's overflow projection keeps one worst-case segment of bytes
+/// free per segment of backlog drain; the batch path measures that
+/// worst case over the whole recording upfront, while a live session grows
+/// it as segments arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Mean segment size over (up to) the first 100 segments, bytes.
+    pub seg_bytes_mean: f64,
+    /// Worst-case segment size, bytes (floored at the mean).
+    pub seg_bytes_max: f64,
+}
+
+impl StreamStats {
+    /// Measure a pre-materialized stream — the exact statistics the batch
+    /// ingestion path pins at the start of a run.
+    pub fn from_segments(segments: &[Segment]) -> Self {
+        let seg_bytes_mean = segments.iter().take(100).map(|s| s.bytes).sum::<f64>()
+            / segments.len().clamp(1, 100) as f64;
+        let seg_bytes_max = segments
+            .iter()
+            .map(|s| s.bytes)
+            .fold(seg_bytes_mean, f64::max);
+        Self {
+            seg_bytes_mean,
+            seg_bytes_max,
+        }
+    }
+}
+
+/// How the session learns the stream's byte statistics.
+#[derive(Debug, Clone)]
+enum ByteStats {
+    /// Pinned upfront (batch path / caller-provided prior).
+    Pinned(StreamStats),
+    /// Grown incrementally from arrivals (live session).
+    Running { sum: f64, count: usize, max: f64 },
+}
+
+impl ByteStats {
+    fn observe(&mut self, bytes: f64) {
+        if let ByteStats::Running { sum, count, max } = self {
+            if *count < 100 {
+                *sum += bytes;
+                *count += 1;
+            }
+            *max = max.max(bytes);
+        }
+    }
+
+    fn current(&self) -> StreamStats {
+        match self {
+            ByteStats::Pinned(s) => *s,
+            ByteStats::Running { sum, count, max } => {
+                let mean = sum / (*count).max(1) as f64;
+                StreamStats {
+                    seg_bytes_mean: mean,
+                    seg_bytes_max: max.max(mean),
+                }
+            }
+        }
+    }
+}
+
+/// Everything the session decided and observed for one pushed segment.
+#[derive(Debug, Clone, Copy)]
+pub struct StepReport {
+    /// 0-based index of the segment within the session.
+    pub seg_index: usize,
+    /// Segment start time, stream seconds.
+    pub t_secs: f64,
+    /// Content category the decision was made for.
+    pub category: usize,
+    /// Chosen configuration index.
+    pub config: usize,
+    /// Chosen placement index within the configuration's Pareto set.
+    pub placement: usize,
+    /// The buffer/budget checks forced a deviation from the plan.
+    pub deviated: bool,
+    /// The configuration changed relative to the previous segment.
+    pub switched: bool,
+    /// The knob planner ran before this segment.
+    pub replanned: bool,
+    /// Buffer fill after settling this segment, bytes.
+    pub buffer_bytes: f64,
+    /// Outstanding backlog work after settling, core-seconds.
+    pub backlog_work: f64,
+    /// Cloud dollars spent on this segment.
+    pub cloud_usd_step: f64,
+    /// Cloud credits remaining in the wallet.
+    pub cloud_credits_left: f64,
+    /// Work performed for this segment (on-premise + cloud), core-seconds.
+    pub work_core_secs: f64,
+    /// The quality metric the workload reported for this segment.
+    pub reported_quality: f64,
+    /// This segment violated the throughput guarantee (Eq. 1).
+    pub overflowed: bool,
+    /// The drift detector fired on this segment.
+    pub drift_alarm: bool,
+}
+
+/// An owned snapshot of a session's carried state (plus the options it ran
+/// under). Produced by [`IngestSession::checkpoint`], consumed by
+/// [`IngestSession::resume`].
+#[derive(Debug, Clone)]
+pub struct SessionCheckpoint {
+    options: IngestOptions,
+    state: SessionState,
+}
+
+impl SessionCheckpoint {
+    /// Segments the checkpointed session had processed.
+    pub fn segments_pushed(&self) -> usize {
+        self.state.seg_index
+    }
+
+    /// Options the checkpointed session ran under.
+    pub fn options(&self) -> &IngestOptions {
+        &self.options
+    }
+}
+
+/// The mutable, checkpointable part of a session.
+#[derive(Debug, Clone)]
+struct SessionState {
+    rng: StdRng,
+    planner: KnobPlanner,
+    /// `None` until the first plan is computed (lazily on first push) or
+    /// installed ([`IngestSession::install_plan`]).
+    switcher: Option<KnobSwitcher>,
+    backlog: Backlog,
+    /// Observed category history, seeded with the offline tail — the
+    /// forecaster's input.
+    history: Vec<usize>,
+    /// Ground-truth category of every processed segment (accuracy stats and
+    /// the degraded live ground-truth forecast).
+    gt_history: Vec<usize>,
+    /// Full ground-truth category feed pinned upfront (oracle modes).
+    gt_feed: Option<Vec<usize>>,
+    byte_stats: ByteStats,
+    drift: Option<DriftDetector>,
+    tuned_forecaster: Option<Forecaster>,
+    trace: Trace,
+    decision: Option<Decision>,
+    last_reported: Option<f64>,
+    prev_config: usize,
+    seg_index: usize,
+    cloud_left: f64,
+    cloud_spent_total: f64,
+    work_total: f64,
+    quality_total: f64,
+    buffer_peak: f64,
+    overflows: usize,
+    misclassified: usize,
+    switches: usize,
+    plans: usize,
+    drift_alarms: usize,
+    /// Planning is driven externally (multi-stream server): the session
+    /// never re-runs its own planner and never refills its own wallet.
+    external_planning: bool,
+    /// Cluster core-seconds retired per segment interval, when the caller
+    /// allocates a share of a cluster (multi-stream fair share) instead of
+    /// the model's full provisioning.
+    capacity_override: Option<f64>,
+}
+
+/// A streaming ingestion session over one fitted stream.
+///
+/// Feed segments as they arrive with [`push`](Self::push), inspect each
+/// [`StepReport`], and settle with [`finish`](Self::finish). See the
+/// [module docs](self) for the batch-compatibility and checkpoint
+/// contracts.
+pub struct IngestSession<'a, W: Workload + ?Sized> {
+    model: &'a FittedModel,
+    workload: &'a W,
+    options: IngestOptions,
+    state: SessionState,
+}
+
+impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
+    /// Open a live session: byte statistics are learned from arrivals and
+    /// planning is internal (the planner re-runs every planned interval).
+    pub fn new(model: &'a FittedModel, workload: &'a W, options: IngestOptions) -> Self {
+        Self::build(
+            model,
+            workload,
+            options,
+            ByteStats::Running {
+                sum: 0.0,
+                count: 0,
+                max: 0.0,
+            },
+            false,
+        )
+    }
+
+    /// Open a session with pinned stream statistics — the batch path, or a
+    /// live caller with a trustworthy prior on segment sizes.
+    pub fn with_stream_stats(
+        model: &'a FittedModel,
+        workload: &'a W,
+        options: IngestOptions,
+        stats: StreamStats,
+    ) -> Self {
+        Self::build(model, workload, options, ByteStats::Pinned(stats), false)
+    }
+
+    /// Open a session whose planning is driven externally: the session never
+    /// re-plans or refills its own wallet. The caller must
+    /// [`install_plan`](Self::install_plan) before the first push and manage
+    /// credits via [`set_cloud_credits`](Self::set_cloud_credits) — this is
+    /// the contract the [`crate::multistream::MultiStreamServer`] uses.
+    pub fn external(model: &'a FittedModel, workload: &'a W, options: IngestOptions) -> Self {
+        Self::build(
+            model,
+            workload,
+            options,
+            ByteStats::Running {
+                sum: 0.0,
+                count: 0,
+                max: 0.0,
+            },
+            true,
+        )
+    }
+
+    fn build(
+        model: &'a FittedModel,
+        workload: &'a W,
+        options: IngestOptions,
+        byte_stats: ByteStats,
+        external_planning: bool,
+    ) -> Self {
+        let state = SessionState {
+            rng: StdRng::seed_from_u64(options.seed),
+            planner: KnobPlanner::new(),
+            switcher: None,
+            backlog: Backlog::new(),
+            history: model.tail.categories.clone(),
+            gt_history: Vec::new(),
+            gt_feed: None,
+            byte_stats,
+            drift: options
+                .detect_drift
+                .then(|| DriftDetector::for_model(model)),
+            tuned_forecaster: options
+                .finetune_forecaster
+                .then(|| model.forecaster.clone()),
+            trace: Trace::new(),
+            decision: None,
+            last_reported: None,
+            prev_config: usize::MAX,
+            seg_index: 0,
+            cloud_left: options.cloud_budget_usd,
+            cloud_spent_total: 0.0,
+            work_total: 0.0,
+            quality_total: 0.0,
+            buffer_peak: 0.0,
+            overflows: 0,
+            misclassified: 0,
+            switches: 0,
+            plans: 0,
+            drift_alarms: 0,
+            external_planning,
+            capacity_override: None,
+        };
+        Self {
+            model,
+            workload,
+            options,
+            state,
+        }
+    }
+
+    /// One-shot ingestion of a pre-materialized stream: pins the stream's
+    /// byte statistics and ground-truth feed, pushes every segment, and
+    /// settles. This is the legacy batch driver, expressed as one loop over
+    /// a session.
+    pub fn batch(
+        model: &'a FittedModel,
+        workload: &'a W,
+        options: IngestOptions,
+        segments: &[Segment],
+    ) -> Result<IngestOutcome, SkyError> {
+        let mut session = Self::with_stream_stats(
+            model,
+            workload,
+            options,
+            StreamStats::from_segments(segments),
+        );
+        session.pin_ground_truth(
+            segments
+                .iter()
+                .map(|s| model.ground_truth_category(workload, &s.content))
+                .collect(),
+        );
+        for seg in segments {
+            session.push(seg)?;
+        }
+        Ok(session.finish())
+    }
+
+    /// Pin the full ground-truth category feed (entry `i` is the category
+    /// of the `i`-th pushed segment). Powers the oracle classification and
+    /// forecast modes; without it a live session computes ground truth per
+    /// segment and the ground-truth *forecast* degrades to the trailing
+    /// observed window.
+    pub fn pin_ground_truth(&mut self, categories: Vec<usize>) {
+        self.state.gt_feed = Some(categories);
+    }
+
+    /// Snapshot the carried state. The checkpoint is self-contained (owns
+    /// the RNG, switcher, backlog, wallet, trace, …); pair it with the same
+    /// model and workload in [`resume`](Self::resume) to continue
+    /// bit-for-bit.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            options: self.options.clone(),
+            state: self.state.clone(),
+        }
+    }
+
+    /// Re-attach a checkpoint to its model and workload.
+    pub fn resume(model: &'a FittedModel, workload: &'a W, checkpoint: SessionCheckpoint) -> Self {
+        Self {
+            model,
+            workload,
+            options: checkpoint.options,
+            state: checkpoint.state,
+        }
+    }
+
+    /// Install a plan computed outside the session (joint multi-stream LP)
+    /// and reset the switcher's usage counters, exactly as an internal
+    /// replan would.
+    pub fn install_plan(&mut self, plan: KnobPlan) {
+        match &mut self.state.switcher {
+            Some(sw) => sw.set_plan(plan),
+            None => self.state.switcher = Some(KnobSwitcher::new(self.model, plan)),
+        }
+        self.state.plans += 1;
+    }
+
+    /// Set the cloud credits available to the next push (external wallet).
+    pub fn set_cloud_credits(&mut self, usd: f64) {
+        self.state.cloud_left = usd;
+    }
+
+    /// Cloud credits remaining in the wallet.
+    pub fn cloud_credits_left(&self) -> f64 {
+        self.state.cloud_left
+    }
+
+    /// Override the cluster capacity available to this session, in
+    /// core-seconds per segment interval (a fair share of a shared cluster).
+    pub fn set_capacity_per_seg(&mut self, core_secs: f64) {
+        self.state.capacity_override = Some(core_secs);
+    }
+
+    /// The fitted model the session runs against.
+    pub fn model(&self) -> &'a FittedModel {
+        self.model
+    }
+
+    /// Options the session runs under.
+    pub fn options(&self) -> &IngestOptions {
+        &self.options
+    }
+
+    /// Segments processed so far.
+    pub fn segments_pushed(&self) -> usize {
+        self.state.seg_index
+    }
+
+    /// Stream seconds covered so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.state.seg_index as f64 * self.model.seg_len
+    }
+
+    /// Observed category history (seeded with the offline tail).
+    pub fn history(&self) -> &[usize] {
+        &self.state.history
+    }
+
+    /// Times the planner ran (internal or installed).
+    pub fn plans(&self) -> usize {
+        self.state.plans
+    }
+
+    /// Forecast the category distribution for the next planned interval
+    /// from the recent history — what an external (joint) planner feeds the
+    /// shared LP.
+    pub fn forecast_distribution(&self) -> Vec<f64> {
+        let seg_len = self.model.seg_len;
+        let tail_len = self
+            .state
+            .history
+            .len()
+            .min((self.model.hyper.forecast_input_secs / seg_len).round() as usize);
+        let recent = &self.state.history[self.state.history.len() - tail_len..];
+        self.forecast_r(recent, self.state.seg_index)
+    }
+
+    // ---- Derived quantities (pure functions of model + options + state,
+    // recomputed per push so checkpoints stay self-contained). ----
+
+    fn capacity_per_seg(&self) -> f64 {
+        self.state
+            .capacity_override
+            .unwrap_or(self.model.hardware.cluster.throughput() * self.model.seg_len)
+    }
+
+    fn segs_per_interval(&self) -> f64 {
+        (self.model.hyper.planned_interval_secs / self.model.seg_len).max(1.0)
+    }
+
+    fn budget_per_seg(&self) -> f64 {
+        let cloud_core_secs = if self.options.enable_cloud {
+            self.options
+                .cost_model
+                .cloud_usd_to_core_secs(self.options.cloud_budget_usd)
+        } else {
+            0.0
+        };
+        self.capacity_per_seg() + cloud_core_secs / self.segs_per_interval()
+    }
+
+    fn switch_every(&self) -> usize {
+        let seg_len = self.model.seg_len;
+        let period = self
+            .options
+            .switch_period_secs
+            .unwrap_or(self.model.hyper.switch_period_secs)
+            .max(seg_len);
+        (period / seg_len).round().max(1.0) as usize
+    }
+
+    fn limits(&self, stats: StreamStats) -> SwitcherLimits {
+        let buffer_capacity = if self.options.enable_buffering {
+            self.model.hardware.buffer_bytes
+        } else {
+            // Without buffering only frame-level pipelining slack remains.
+            3.0 * stats.seg_bytes_max
+        };
+        // The byte reserve uses the worst-case segment size: accepting work
+        // against today's calm byte rate must still be safe when a stream
+        // spike multiplies arrivals while the backlog drains (MOSEI-LONG).
+        SwitcherLimits {
+            buffer_capacity,
+            seg_bytes_reserve: stats.seg_bytes_max,
+            capacity_per_seg: self.capacity_per_seg(),
+            safety: self.model.hyper.runtime_safety,
+            cloud_enabled: self.options.enable_cloud,
+        }
+    }
+
+    /// Forecast source dispatch (`r` over categories). `start_seg` indexes
+    /// the ground-truth feed for the oracle window.
+    fn forecast_r(&self, history: &[usize], start_seg: usize) -> Vec<f64> {
+        let model = self.model;
+        let n_c = model.n_categories();
+        let seg_len = model.seg_len;
+        match self.options.forecast {
+            ForecastMode::Model => {
+                let tl = CategoryTimeline::new(history.to_vec(), seg_len, n_c);
+                model.forecaster.forecast(&tl)
+            }
+            ForecastMode::GroundTruth => {
+                let span = self.segs_per_interval() as usize;
+                let window: &[usize] = match &self.state.gt_feed {
+                    Some(feed) if start_seg < feed.len() => {
+                        let end = (start_seg + span).min(feed.len());
+                        &feed[start_seg..end.max(start_seg + 1).min(feed.len())]
+                    }
+                    // No clairvoyant feed: degrade to the trailing observed
+                    // ground truth.
+                    _ => {
+                        let n = self.state.gt_history.len();
+                        &self.state.gt_history[n.saturating_sub(span)..]
+                    }
+                };
+                if window.is_empty() {
+                    return vec![1.0 / n_c as f64; n_c];
+                }
+                let mut r = vec![0.0; n_c];
+                for &c in window {
+                    r[c] += 1.0;
+                }
+                let s: f64 = r.iter().sum();
+                if s > 0.0 {
+                    r.iter_mut().for_each(|v| *v /= s);
+                }
+                r
+            }
+            ForecastMode::Uniform => vec![1.0 / n_c as f64; n_c],
+        }
+    }
+
+    /// Run the planner (initial plan or interval replan) and install the
+    /// result. `initial` selects the bootstrap forecast over the full
+    /// seeded history.
+    fn replan(&mut self, initial: bool) -> Result<(), SkyError> {
+        let model = self.model;
+        let seg_len = model.seg_len;
+        let n_c = model.n_categories();
+        let i = self.state.seg_index;
+        let budget = self.budget_per_seg();
+
+        let r = if initial {
+            let history = self.state.history.clone();
+            self.forecast_r(&history, 0)
+        } else {
+            let tail_len = self
+                .state
+                .history
+                .len()
+                .min((model.hyper.forecast_input_secs / seg_len).round() as usize);
+            let recent_start = self.state.history.len() - tail_len;
+            let fine_tuned = matches!(
+                (&self.state.tuned_forecaster, self.options.forecast),
+                (Some(_), ForecastMode::Model)
+            );
+            if fine_tuned {
+                // §3.3: fine-tune on the recently observed categories before
+                // forecasting from them.
+                let observed = CategoryTimeline::new(self.state.history.clone(), seg_len, n_c);
+                let recent = CategoryTimeline::new(
+                    self.state.history[recent_start..].to_vec(),
+                    seg_len,
+                    n_c,
+                );
+                let f = self
+                    .state
+                    .tuned_forecaster
+                    .as_mut()
+                    .expect("checked by matches! above");
+                let _ = f.fine_tune(&observed, 3, self.options.seed ^ i as u64);
+                f.forecast(&recent)
+            } else {
+                let recent = self.state.history[recent_start..].to_vec();
+                self.forecast_r(&recent, i)
+            }
+        };
+
+        let plan: KnobPlan = self.state.planner.plan(model, &r, budget)?;
+        self.install_plan(plan);
+        if !initial {
+            self.state.cloud_left = self.options.cloud_budget_usd;
+        }
+        Ok(())
+    }
+
+    /// Ingest one segment: classify, switch, execute on the simulator, and
+    /// settle buffer/backlog/credits. Replans first when a planned-interval
+    /// boundary was crossed (internal planning only).
+    pub fn push(&mut self, seg: &Segment) -> Result<StepReport, SkyError> {
+        let model = self.model;
+        let seg_len = model.seg_len;
+        let i = self.state.seg_index;
+
+        self.state.byte_stats.observe(seg.bytes);
+        let stats = self.state.byte_stats.current();
+        let limits = self.limits(stats);
+        let buffer_capacity = limits.buffer_capacity;
+        let capacity_per_seg = limits.capacity_per_seg;
+        let switch_every = self.switch_every();
+
+        // ---- Planning: bootstrap on the first push, then at interval
+        // boundaries. Externally planned sessions require an installed plan
+        // and never replan themselves. ----
+        let mut replanned = false;
+        if self.state.switcher.is_none() {
+            if self.state.external_planning {
+                return Err(SkyError::NoPlanInstalled);
+            }
+            self.replan(true)?;
+            replanned = true;
+        } else if !self.state.external_planning
+            && i > 0
+            && i.is_multiple_of(self.segs_per_interval() as usize)
+        {
+            self.replan(false)?;
+            replanned = true;
+        }
+
+        // ---- Ground truth for this segment (accuracy stats + oracles). ----
+        let gt_c = match &self.state.gt_feed {
+            Some(feed) if i < feed.len() => feed[i],
+            _ => model.ground_truth_category(self.workload, &seg.content),
+        };
+
+        // ---- Classification (§5.6 modes). ----
+        let switcher = self
+            .state
+            .switcher
+            .as_mut()
+            .expect("plan installed or bootstrapped above");
+        let category = match self.options.classification {
+            ClassificationMode::Standard => match self.state.last_reported {
+                Some(q) => switcher.classify(model, q),
+                None => gt_c, // first segment: no observation yet
+            },
+            ClassificationMode::NoTypeB => {
+                let cur = switcher.current_config();
+                let q = self.workload.reported_quality(
+                    &model.configs[cur].config,
+                    &seg.content,
+                    &mut self.state.rng,
+                );
+                switcher.classify(model, q)
+            }
+            ClassificationMode::GroundTruth => gt_c,
+        };
+        if category != gt_c {
+            self.state.misclassified += 1;
+        }
+
+        // ---- Knob switching. ----
+        let need_decision = self.state.decision.is_none() || i.is_multiple_of(switch_every) || {
+            // Re-decide early when the held decision is no longer
+            // affordable or the buffer projection got tight.
+            let d: &Decision = self.state.decision.as_ref().expect("checked above");
+            let p = &model.configs[d.config].placements[d.placement];
+            let drain_segs = (self.state.backlog.work() + p.onprem_work_max * limits.safety)
+                / capacity_per_seg.max(1e-9);
+            p.cloud_usd > self.state.cloud_left
+                || self.state.backlog.bytes() + (drain_segs + 1.0) * limits.seg_bytes_reserve
+                    > buffer_capacity
+        };
+        if need_decision {
+            self.state.decision = Some(switcher.decide(
+                model,
+                category,
+                self.state.backlog.bytes(),
+                self.state.backlog.work(),
+                self.state.cloud_left,
+                &limits,
+            ));
+        }
+        let d = self.state.decision.expect("decision just ensured");
+        let switched = d.config != self.state.prev_config;
+        if switched {
+            self.state.switches += usize::from(self.state.prev_config != usize::MAX);
+            self.state.prev_config = d.config;
+        }
+
+        // ---- Execute the segment on the simulator. ----
+        let profile = &model.configs[d.config];
+        let graph = self.workload.task_graph(&profile.config, &seg.content);
+        let placement = &profile.placements[d.placement].placement;
+        let result = simulate(
+            &graph,
+            placement,
+            &model.hardware.cluster,
+            &model.hardware.cloud,
+        );
+        self.state.cloud_left -= result.cloud_usd;
+        self.state.cloud_spent_total += result.cloud_usd;
+        let step_work = result.onprem_busy_secs + result.cloud_busy_secs;
+        self.state.work_total += step_work;
+
+        // ---- Buffer / backlog settlement (Eq. 1). ----
+        self.state.backlog.push(seg.bytes, result.onprem_busy_secs);
+        let _freed = self.state.backlog.process(capacity_per_seg);
+        let buffered = self.state.backlog.bytes();
+        self.state.buffer_peak = self.state.buffer_peak.max(buffered);
+        let overflowed = buffered > buffer_capacity + stats.seg_bytes_max;
+        if overflowed {
+            self.state.overflows += 1;
+        }
+
+        // ---- Quality bookkeeping. ----
+        let true_q = self.workload.true_quality(&profile.config, &seg.content);
+        self.state.quality_total += true_q;
+        let reported =
+            self.workload
+                .reported_quality(&profile.config, &seg.content, &mut self.state.rng);
+        let mut drift_alarm = false;
+        if let Some(det) = self.state.drift.as_mut() {
+            if det.observe(&model.categories, d.config, reported) {
+                self.state.drift_alarms += 1;
+                drift_alarm = true;
+            }
+        }
+        self.state.last_reported = Some(reported);
+        self.state.history.push(category);
+        self.state.gt_history.push(gt_c);
+
+        if self.options.record_trace {
+            self.state.trace.push(TracePoint {
+                t_secs: seg.start().as_secs(),
+                quality: true_q,
+                work_rate: step_work / seg_len,
+                buffer_bytes: buffered,
+                cloud_usd: self.state.cloud_spent_total,
+                config: d.config,
+                category,
+            });
+        }
+
+        self.state.seg_index = i + 1;
+        Ok(StepReport {
+            seg_index: i,
+            t_secs: seg.start().as_secs(),
+            category,
+            config: d.config,
+            placement: d.placement,
+            deviated: d.deviated,
+            switched,
+            replanned,
+            buffer_bytes: buffered,
+            backlog_work: self.state.backlog.work(),
+            cloud_usd_step: result.cloud_usd,
+            cloud_credits_left: self.state.cloud_left,
+            work_core_secs: step_work,
+            reported_quality: reported,
+            overflowed,
+            drift_alarm,
+        })
+    }
+
+    /// Settle the session into the run's outcome.
+    pub fn finish(self) -> IngestOutcome {
+        let s = self.state;
+        let n = s.seg_index.max(1);
+        IngestOutcome {
+            trace: s.trace,
+            mean_quality: s.quality_total / n as f64,
+            work_core_secs: s.work_total,
+            cloud_usd: s.cloud_spent_total,
+            buffer_peak: s.buffer_peak,
+            overflows: s.overflows,
+            switches: s.switches,
+            misclassification_rate: s.misclassified as f64 / n as f64,
+            plans: s.plans,
+            segments: s.seg_index,
+            duration_secs: s.seg_index as f64 * self.model.seg_len,
+            drift_alarms: s.drift_alarms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkyscraperConfig;
+    use crate::offline::run_offline;
+    use crate::testkit::ToyWorkload;
+    use vetl_sim::HardwareSpec;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn setup(cores: usize) -> (ToyWorkload, FittedModel, Vec<Segment>) {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let (model, _) = run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(cores),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap();
+        let online = Recording::record(&mut cam, 4.0 * 3_600.0);
+        (w, model, online.segments().to_vec())
+    }
+
+    fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
+        assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
+        assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
+        assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
+        assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
+        assert_eq!(a.overflows, b.overflows);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(
+            a.misclassification_rate.to_bits(),
+            b.misclassification_rate.to_bits()
+        );
+        assert_eq!(a.plans, b.plans);
+        assert_eq!(a.segments, b.segments);
+        assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
+        assert_eq!(a.drift_alarms, b.drift_alarms);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn manual_push_loop_matches_batch_bitwise() {
+        let (w, model, segments) = setup(2);
+        for opts in [
+            IngestOptions::default(),
+            IngestOptions {
+                forecast: ForecastMode::GroundTruth,
+                record_trace: true,
+                ..Default::default()
+            },
+            IngestOptions {
+                classification: ClassificationMode::NoTypeB,
+                detect_drift: true,
+                ..Default::default()
+            },
+        ] {
+            let batch = IngestSession::batch(&model, &w, opts.clone(), &segments).unwrap();
+            let mut session = IngestSession::with_stream_stats(
+                &model,
+                &w,
+                opts,
+                StreamStats::from_segments(&segments),
+            );
+            session.pin_ground_truth(
+                segments
+                    .iter()
+                    .map(|s| model.ground_truth_category(&w, &s.content))
+                    .collect(),
+            );
+            for seg in &segments {
+                session.push(seg).unwrap();
+            }
+            assert_outcomes_bitwise_equal(&batch, &session.finish());
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise_transparent() {
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let straight = IngestSession::batch(&model, &w, opts.clone(), &segments).unwrap();
+
+        let mut session = IngestSession::with_stream_stats(
+            &model,
+            &w,
+            opts,
+            StreamStats::from_segments(&segments),
+        );
+        session.pin_ground_truth(
+            segments
+                .iter()
+                .map(|s| model.ground_truth_category(&w, &s.content))
+                .collect(),
+        );
+        let mid = segments.len() / 2;
+        for seg in &segments[..mid] {
+            session.push(seg).unwrap();
+        }
+        let ckpt = session.checkpoint();
+        assert_eq!(ckpt.segments_pushed(), mid);
+        drop(session);
+
+        let mut resumed = IngestSession::resume(&model, &w, ckpt);
+        for seg in &segments[mid..] {
+            resumed.push(seg).unwrap();
+        }
+        assert_outcomes_bitwise_equal(&straight, &resumed.finish());
+    }
+
+    #[test]
+    fn live_session_without_pins_keeps_guarantees() {
+        let (w, model, segments) = setup(2);
+        let mut session = IngestSession::new(&model, &w, IngestOptions::default());
+        let mut replans = 0;
+        for seg in &segments {
+            let report = session.push(seg).unwrap();
+            assert!(!report.overflowed, "Eq. 1 must hold live");
+            replans += usize::from(report.replanned);
+        }
+        assert!(replans >= 1, "bootstrap plan must be reported");
+        let out = session.finish();
+        assert_eq!(out.overflows, 0);
+        assert_eq!(out.segments, segments.len());
+        assert!(out.mean_quality > 0.3);
+    }
+
+    #[test]
+    fn step_reports_expose_decisions_and_accounting() {
+        let (w, model, segments) = setup(2);
+        let mut session = IngestSession::with_stream_stats(
+            &model,
+            &w,
+            IngestOptions::default(),
+            StreamStats::from_segments(&segments),
+        );
+        let mut cloud_sum = 0.0;
+        let mut switches = 0;
+        for (i, seg) in segments.iter().enumerate() {
+            let r = session.push(seg).unwrap();
+            assert_eq!(r.seg_index, i);
+            assert!(r.config < model.n_configs());
+            assert!(r.category < model.n_categories());
+            cloud_sum += r.cloud_usd_step;
+            switches += usize::from(r.switched && i > 0);
+        }
+        let out = session.finish();
+        assert!((cloud_sum - out.cloud_usd).abs() < 1e-12);
+        assert_eq!(switches, out.switches);
+    }
+
+    #[test]
+    fn external_session_requires_an_installed_plan() {
+        let (w, model, segments) = setup(2);
+        let mut session = IngestSession::external(&model, &w, IngestOptions::default());
+        assert_eq!(
+            session.push(&segments[0]).unwrap_err(),
+            SkyError::NoPlanInstalled
+        );
+        let plan =
+            KnobPlan::single_config(model.n_categories(), model.n_configs(), model.cheapest());
+        session.install_plan(plan);
+        session.push(&segments[0]).unwrap();
+        assert_eq!(session.plans(), 1);
+        // External sessions never replan on their own.
+        for seg in &segments[1..200] {
+            session.push(seg).unwrap();
+        }
+        assert_eq!(session.plans(), 1);
+    }
+
+    #[test]
+    fn forecast_distribution_is_a_distribution() {
+        let (w, model, _) = setup(2);
+        let session = IngestSession::new(&model, &w, IngestOptions::default());
+        let r = session.forecast_distribution();
+        assert_eq!(r.len(), model.n_categories());
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(r.iter().all(|&v| v >= -1e-12));
+    }
+
+    // ---- Legacy batch-driver guarantees, now running through the session
+    // wrapper (12-hour streams, as in the original driver tests). ----
+
+    fn setup_long(cores: usize) -> (ToyWorkload, FittedModel, Vec<Segment>) {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let (model, _) = run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(cores),
+            &SkyscraperConfig::fast_test(),
+        )
+        .unwrap();
+        let online = Recording::record(&mut cam, 12.0 * 3_600.0);
+        (w, model, online.segments().to_vec())
+    }
+
+    #[test]
+    fn ingest_never_violates_the_throughput_guarantee() {
+        let (w, model, segments) = setup_long(2);
+        let out = IngestSession::batch(&model, &w, IngestOptions::default(), &segments).unwrap();
+        assert_eq!(out.overflows, 0, "Eq. 1 must hold");
+        assert!(out.buffer_peak <= model.hardware.buffer_bytes + 1e6);
+        assert_eq!(out.segments, segments.len());
+    }
+
+    #[test]
+    fn more_cores_buy_more_quality() {
+        let (w2, m2, segs2) = setup_long(1);
+        let small = IngestSession::batch(&m2, &w2, IngestOptions::default(), &segs2).unwrap();
+        let (w8, m8, segs8) = setup_long(8);
+        let large = IngestSession::batch(&m8, &w8, IngestOptions::default(), &segs8).unwrap();
+        assert!(
+            large.mean_quality >= small.mean_quality,
+            "8 cores ({}) must not lose to 1 core ({})",
+            large.mean_quality,
+            small.mean_quality
+        );
+    }
+
+    #[test]
+    fn skyscraper_beats_always_cheapest_quality() {
+        let (w, model, segments) = setup_long(2);
+        let out = IngestSession::batch(&model, &w, IngestOptions::default(), &segments).unwrap();
+        // Quality of always-cheapest:
+        let cheap = &model.configs[model.cheapest()].config;
+        let cheap_q: f64 = segments
+            .iter()
+            .map(|s| w.true_quality(cheap, &s.content))
+            .sum::<f64>()
+            / segments.len() as f64;
+        assert!(
+            out.mean_quality > cheap_q + 0.02,
+            "adaptive ({}) must beat always-cheapest ({})",
+            out.mean_quality,
+            cheap_q
+        );
+    }
+
+    #[test]
+    fn disabling_cloud_spends_nothing() {
+        let (w, model, segments) = setup_long(2);
+        let opts = IngestOptions {
+            enable_cloud: false,
+            ..Default::default()
+        };
+        let out = IngestSession::batch(&model, &w, opts, &segments).unwrap();
+        assert_eq!(out.cloud_usd, 0.0);
+        assert_eq!(out.overflows, 0);
+    }
+
+    #[test]
+    fn cloud_spending_respects_budget() {
+        let (w, model, segments) = setup_long(1);
+        let budget = 0.05;
+        let opts = IngestOptions {
+            cloud_budget_usd: budget,
+            ..Default::default()
+        };
+        let out = IngestSession::batch(&model, &w, opts, &segments).unwrap();
+        // Budget is per planned interval; the run covers at most 3 intervals
+        // under the fast-test config (4 h each).
+        let intervals = (out.duration_secs / model.hyper.planned_interval_secs)
+            .ceil()
+            .max(1.0);
+        assert!(
+            out.cloud_usd <= budget * intervals + 1e-9,
+            "spent {} over {} intervals of {}",
+            out.cloud_usd,
+            intervals,
+            budget
+        );
+    }
+
+    #[test]
+    fn ground_truth_classification_beats_standard() {
+        let (w, model, segments) = setup_long(2);
+        let std_out =
+            IngestSession::batch(&model, &w, IngestOptions::default(), &segments).unwrap();
+        let gt_opts = IngestOptions {
+            classification: ClassificationMode::GroundTruth,
+            ..Default::default()
+        };
+        let gt_out = IngestSession::batch(&model, &w, gt_opts, &segments).unwrap();
+        assert_eq!(gt_out.misclassification_rate, 0.0);
+        assert!(std_out.misclassification_rate >= 0.0);
+        assert!(gt_out.mean_quality >= std_out.mean_quality - 0.02);
+    }
+
+    #[test]
+    fn trace_is_recorded_on_request() {
+        let (w, model, segments) = setup_long(2);
+        let opts = IngestOptions {
+            record_trace: true,
+            ..Default::default()
+        };
+        let out = IngestSession::batch(&model, &w, opts, &segments[..1000]).unwrap();
+        assert_eq!(out.trace.len(), 1000);
+        assert!(out.trace.mean_quality() > 0.0);
+    }
+
+    #[test]
+    fn drift_detector_stays_quiet_on_stationary_content() {
+        let (w, model, segments) = setup_long(2);
+        let opts = IngestOptions {
+            detect_drift: true,
+            ..Default::default()
+        };
+        let out = IngestSession::batch(&model, &w, opts, &segments[..5000]).unwrap();
+        // The online stream is drawn from the same process the model was
+        // fitted on: the alarm must fire on at most a sliver of segments.
+        assert!(
+            (out.drift_alarms as f64) < 0.02 * 5000.0,
+            "{} drift alarms on stationary content",
+            out.drift_alarms
+        );
+    }
+
+    #[test]
+    fn finetuned_forecaster_keeps_guarantees_and_quality() {
+        let (w, model, segments) = setup_long(2);
+        let base = IngestSession::batch(&model, &w, IngestOptions::default(), &segments).unwrap();
+        let opts = IngestOptions {
+            finetune_forecaster: true,
+            ..Default::default()
+        };
+        let tuned = IngestSession::batch(&model, &w, opts, &segments).unwrap();
+        assert_eq!(tuned.overflows, 0);
+        assert!(
+            tuned.mean_quality > base.mean_quality - 0.05,
+            "fine-tuning must not collapse quality: {} vs {}",
+            tuned.mean_quality,
+            base.mean_quality
+        );
+    }
+
+    #[test]
+    fn uniform_forecast_does_not_crash_and_is_reasonable() {
+        let (w, model, segments) = setup_long(2);
+        let opts = IngestOptions {
+            forecast: ForecastMode::Uniform,
+            ..Default::default()
+        };
+        let out = IngestSession::batch(&model, &w, opts, &segments).unwrap();
+        assert!(out.mean_quality > 0.3);
+        assert_eq!(out.overflows, 0);
+    }
+}

@@ -14,7 +14,6 @@
 use vetl::baselines::{best_static_config, run_static};
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::IngestDriver;
 
 fn main() {
     let workload = CovidWorkload::new();
@@ -49,9 +48,19 @@ fn main() {
         record_trace: true,
         ..Default::default()
     };
-    let out = IngestDriver::new(&model, &workload, opts)
-        .run(online.segments())
-        .expect("run");
+    // Stream the day through a session, segment by segment, the way a live
+    // deployment would (pinning the recording's byte statistics keeps the
+    // run identical to the one-shot batch API).
+    let mut session = IngestSession::with_stream_stats(
+        &model,
+        &workload,
+        opts,
+        StreamStats::from_segments(online.segments()),
+    );
+    for seg in online.segments() {
+        session.push(seg).expect("push");
+    }
+    let out = session.finish();
 
     println!("\nhourly report (quality / buffer MB / config switches)");
     for bucket in out.trace.bucket_average(3_600.0) {

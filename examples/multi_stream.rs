@@ -1,17 +1,18 @@
-//! Multi-stream ingestion (Appendix D): two cameras sharing cloud credits.
+//! Multi-stream ingestion (Appendix D): two cameras behind one server.
 //!
 //! ```text
 //! cargo run --release --example multi_stream
 //! ```
 //!
-//! Each stream is fitted independently offline; online, a single **joint
-//! LP** (Eqs. 7–9) allocates the shared budget across both streams'
-//! content categories, and the two knob switchers draw cloud credits from
-//! one wallet while keeping their own buffers and a fair share of the
-//! cluster cores.
+//! Each stream is fitted independently offline; online, a
+//! [`MultiStreamServer`] multiplexes both streams: admission gives every
+//! stream a fair share of the cluster, a single **joint LP** (Eqs. 7–9)
+//! re-allocates the shared budget across both streams' content categories
+//! at the planning cadence, and the two knob switchers draw cloud credits
+//! from one shared wallet while keeping their own buffers.
 
 use vetl::prelude::*;
-use vetl::skyscraper::multistream::{joint_plan, run_multistream};
+use vetl::skyscraper::multistream::joint_plan;
 use vetl::skyscraper::offline::run_offline;
 use vetl::workloads::MotWorkload;
 
@@ -62,34 +63,42 @@ fn main() {
         }
     }
 
-    // Ingest six hours on both streams with a shared $1 cloud wallet.
-    println!("\ningesting 6 hours on both streams (shared cloud wallet)…");
+    // Serve six hours on both streams with a shared $1 cloud wallet: admit
+    // both streams, then feed segments round-robin as they "arrive".
+    println!("\nserving 6 hours on both streams (shared cloud wallet)…");
     let online_a = Recording::record(&mut cam_a, 6.0 * 3_600.0)
         .segments()
         .to_vec();
     let online_b = Recording::record(&mut cam_b, 6.0 * 3_600.0)
         .segments()
         .to_vec();
-    let workloads: Vec<&dyn Workload> = vec![&workload_a, &workload_b];
-    let out = run_multistream(
-        &[&model_a, &model_b],
-        &workloads,
-        &[online_a, online_b],
-        1.0,
-        &CostModel::default(),
-        77,
-    )
-    .expect("multi-stream run");
 
-    for (v, s) in out.streams.iter().enumerate() {
+    let mut server = MultiStreamServer::new(1.0, CostModel::default(), 77);
+    let id_a = server
+        .open_stream("A (MOT)", &model_a, &workload_a, IngestOptions::default())
+        .expect("admit A");
+    let id_b = server
+        .open_stream("B (COVID)", &model_b, &workload_b, IngestOptions::default())
+        .expect("admit B");
+    server
+        .push_round_robin(&[(id_a, online_a.as_slice()), (id_b, online_b.as_slice())])
+        .expect("serve both streams");
+    println!(
+        "  joint LP ran {} times; wallet left ${:.3}",
+        server.joint_plans(),
+        server.wallet_left()
+    );
+    let out = server.finish();
+
+    for s in &out.streams {
         println!(
             "  stream {}: quality {:.1}%  work {:.0} core-s  overflows {}",
-            if v == 0 { "A (MOT)" } else { "B (COVID)" },
-            100.0 * s.mean_quality,
-            s.work_core_secs,
-            s.overflows,
+            s.workload_id,
+            100.0 * s.outcome.mean_quality,
+            s.outcome.work_core_secs,
+            s.outcome.overflows,
         );
-        assert_eq!(s.overflows, 0);
+        assert_eq!(s.outcome.overflows, 0);
     }
     println!("  joint quality  : {:.2}", out.joint_quality);
     println!("  shared cloud $ : {:.3} of 1.000", out.cloud_usd);

@@ -13,7 +13,6 @@
 
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::IngestDriver;
 use vetl::workloads::mosei::MoseiStreamGen;
 
 fn run_variant(variant: MoseiVariant) {
@@ -52,9 +51,7 @@ fn run_variant(variant: MoseiVariant) {
             cloud_budget_usd: 2.0,
             ..Default::default()
         };
-        let out = IngestDriver::new(&model, &workload, opts)
-            .run(online.segments())
-            .expect("run");
+        let out = IngestSession::batch(&model, &workload, opts, online.segments()).expect("run");
         println!(
             "  {label}: quality {:>5.1}%  cloud ${:<6.2} peak buffer {:>6.2} GB  overflows {}",
             100.0 * out.mean_quality,

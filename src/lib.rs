@@ -32,9 +32,10 @@ pub use vetl_workloads as workloads;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use skyscraper::{
-        ClassificationMode, ForecastMode, IngestDriver, IngestOptions, IngestOutcome, Knob,
-        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, SkyError, Skyscraper,
-        SkyscraperConfig, Workload,
+        ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession, Knob,
+        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, MultiStreamServer,
+        SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig, StepReport, StreamId,
+        StreamStats, Workload,
     };
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};

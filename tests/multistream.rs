@@ -1,0 +1,175 @@
+//! Integration tests for the multi-stream server (Appendix D): N concurrent
+//! sessions multiplexed through the joint LP with a shared cloud wallet.
+
+use std::sync::OnceLock;
+
+use vetl::prelude::*;
+use vetl::skyscraper::offline::run_offline;
+use vetl::skyscraper::testkit::ToyWorkload;
+use vetl::skyscraper::FittedModel;
+
+const N_STREAMS: usize = 4;
+const SHARED_BUDGET_USD: f64 = 0.5;
+const REPLAN_SECS: f64 = 1_800.0;
+
+/// Four independently fitted streams over distinct content processes, plus
+/// 2 hours of online video each.
+fn fixture() -> &'static Vec<(ToyWorkload, FittedModel, Vec<Segment>)> {
+    static FIXTURE: OnceLock<Vec<(ToyWorkload, FittedModel, Vec<Segment>)>> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        (0..N_STREAMS as u64)
+            .map(|v| {
+                let w = ToyWorkload::new();
+                let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3 + v), 2.0);
+                let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+                let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+                let (model, _) = run_offline(
+                    &w,
+                    &labeled,
+                    &unlabeled,
+                    HardwareSpec::with_cores(16),
+                    &SkyscraperConfig::fast_test(),
+                )
+                .expect("fit");
+                let online = Recording::record(&mut cam, 2.0 * 3_600.0)
+                    .segments()
+                    .to_vec();
+                (w, model, online)
+            })
+            .collect()
+    })
+}
+
+fn open_all<'a>(
+    server: &mut MultiStreamServer<'a>,
+    streams: &'a [(ToyWorkload, FittedModel, Vec<Segment>)],
+) -> Vec<(StreamId, &'a [Segment])> {
+    streams
+        .iter()
+        .enumerate()
+        .map(|(v, (w, m, segs))| {
+            let id = server
+                .open_stream(format!("cam-{v}"), m, w, IngestOptions::default())
+                .expect("admission");
+            (id, segs.as_slice())
+        })
+        .collect()
+}
+
+#[test]
+fn four_streams_replan_jointly_from_a_shared_wallet() {
+    let streams = fixture();
+    let mut server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), 9)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+    let handles = open_all(&mut server, streams);
+    assert_eq!(server.n_streams(), N_STREAMS);
+    // Every admission reruns the joint LP.
+    assert_eq!(server.joint_plans(), N_STREAMS);
+
+    let pushed = server
+        .push_round_robin(&handles)
+        .expect("round-robin serve");
+    assert_eq!(
+        pushed,
+        streams.iter().map(|(_, _, s)| s.len()).sum::<usize>()
+    );
+
+    // 2 hours at a 30-minute cadence: the joint LP must have re-run well
+    // beyond the admission plans.
+    let interval_replans = server.joint_plans() - N_STREAMS;
+    assert!(
+        interval_replans >= 3,
+        "expected ≥3 cadence replans over 2 h at 30 min, got {interval_replans}"
+    );
+    let wallet_epochs = server.joint_plans();
+
+    let out = server.finish();
+    assert_eq!(out.streams.len(), N_STREAMS);
+    for s in &out.streams {
+        assert_eq!(
+            s.outcome.overflows, 0,
+            "stream {} violated the throughput guarantee",
+            s.workload_id
+        );
+        assert!(s.outcome.mean_quality > 0.3, "stream {}", s.workload_id);
+        assert_eq!(s.outcome.segments, streams[0].2.len());
+        // Sessions are externally planned: plans come from the server.
+        assert!(s.outcome.plans > interval_replans);
+    }
+    assert!(out.joint_quality > 0.0);
+    // The shared wallet refills once per joint replan: total spend is
+    // bounded by one budget per wallet epoch.
+    assert!(
+        out.cloud_usd <= SHARED_BUDGET_USD * wallet_epochs as f64 + 1e-9,
+        "spent {} over {} wallet epochs of {}",
+        out.cloud_usd,
+        wallet_epochs,
+        SHARED_BUDGET_USD
+    );
+}
+
+#[test]
+fn shared_wallet_spends_no_more_than_one_budget_per_epoch_even_when_tight() {
+    let streams = fixture();
+    let tight = 0.01;
+    let mut server = MultiStreamServer::new(tight, CostModel::default(), 11)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+    let handles = open_all(&mut server, streams);
+    server.push_round_robin(&handles).expect("serve");
+    let epochs = server.joint_plans();
+    let out = server.finish();
+    assert!(out.cloud_usd <= tight * epochs as f64 + 1e-9);
+    for s in &out.streams {
+        assert_eq!(s.outcome.overflows, 0, "tight wallet must not break Eq. 1");
+    }
+}
+
+#[test]
+fn streams_can_arrive_and_push_interleaved_with_admissions() {
+    // Admission mid-serve: two streams run for an hour, then two more join;
+    // the joint LP reruns at each admission and all four finish cleanly.
+    let streams = fixture();
+    let mut server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), 13)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+
+    let first: Vec<(StreamId, &[Segment])> = streams[..2]
+        .iter()
+        .enumerate()
+        .map(|(v, (w, m, segs))| {
+            let id = server
+                .open_stream(format!("early-{v}"), m, w, IngestOptions::default())
+                .expect("admission");
+            (id, &segs[..segs.len() / 2])
+        })
+        .collect();
+    server.push_round_robin(&first).expect("first half");
+
+    let late: Vec<(StreamId, &[Segment])> = streams[2..]
+        .iter()
+        .enumerate()
+        .map(|(v, (w, m, segs))| {
+            let id = server
+                .open_stream(format!("late-{v}"), m, w, IngestOptions::default())
+                .expect("late admission");
+            (id, segs.as_slice())
+        })
+        .collect();
+    assert_eq!(server.n_streams(), 4);
+
+    let mut rest: Vec<(StreamId, &[Segment])> = first
+        .iter()
+        .zip(&streams[..2])
+        .map(|((id, _), (_, _, segs))| (*id, &segs[segs.len() / 2..]))
+        .collect();
+    rest.extend(late);
+    server.push_round_robin(&rest).expect("second half");
+
+    let out = server.finish();
+    for s in &out.streams {
+        assert_eq!(s.outcome.overflows, 0, "stream {}", s.workload_id);
+        assert!(s.outcome.segments > 0);
+    }
+}

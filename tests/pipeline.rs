@@ -5,7 +5,7 @@
 use vetl::baselines::{best_static_config, run_optimum, run_static};
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::IngestDriver;
+use vetl::skyscraper::IngestSession;
 use vetl::workloads::mosei::MoseiStreamGen;
 
 fn covid_setup(cores: usize) -> (CovidWorkload, vetl::skyscraper::FittedModel, Vec<Segment>) {
@@ -96,9 +96,7 @@ fn covid_end_to_end_guarantees_hold() {
         cloud_budget_usd: 0.3,
         ..Default::default()
     };
-    let out = IngestDriver::new(&model, &workload, opts)
-        .run(&online)
-        .expect("ingest");
+    let out = IngestSession::batch(&model, &workload, opts, &online).expect("ingest");
     assert_eq!(out.overflows, 0, "Eq. 1 throughput guarantee");
     assert!(out.buffer_peak <= model.hardware.buffer_bytes * 1.01);
     assert!(out.mean_quality > 0.5);
@@ -112,9 +110,7 @@ fn skyscraper_beats_static_on_the_same_machine() {
         cloud_budget_usd: 0.3,
         ..Default::default()
     };
-    let sky = IngestDriver::new(&model, &workload, opts)
-        .run(&online)
-        .expect("ingest");
+    let sky = IngestSession::batch(&model, &workload, opts, &online).expect("ingest");
 
     let samples: Vec<_> = online.iter().step_by(450).map(|s| s.content).collect();
     let static_cfg = best_static_config(&workload, &samples, 8.0);
@@ -135,9 +131,7 @@ fn oracle_dominates_skyscraper_at_equal_work() {
         cloud_budget_usd: 0.3,
         ..Default::default()
     };
-    let sky = IngestDriver::new(&model, &workload, opts)
-        .run(&online)
-        .expect("ingest");
+    let sky = IngestSession::batch(&model, &workload, opts, &online).expect("ingest");
 
     let configs: Vec<KnobConfig> = workload.config_space().iter().collect();
     let oracle = run_optimum(&workload, &configs, &online, sky.work_core_secs);
@@ -157,9 +151,7 @@ fn cloud_spend_never_exceeds_per_interval_budget() {
         cloud_budget_usd: budget,
         ..Default::default()
     };
-    let out = IngestDriver::new(&model, &workload, opts)
-        .run(&online)
-        .expect("ingest");
+    let out = IngestSession::batch(&model, &workload, opts, &online).expect("ingest");
     let intervals = (out.duration_secs / model.hyper.planned_interval_secs).ceil();
     assert!(
         out.cloud_usd <= budget * intervals + 1e-9,
@@ -197,9 +189,7 @@ fn mosei_long_plateau_does_not_overflow() {
         cloud_budget_usd: 1.0,
         ..Default::default()
     };
-    let out = IngestDriver::new(&model, &workload, opts)
-        .run(online.segments())
-        .expect("ingest");
+    let out = IngestSession::batch(&model, &workload, opts, online.segments()).expect("ingest");
     assert_eq!(
         out.overflows, 0,
         "LONG plateau must be absorbed (buffer+cloud)"
@@ -242,9 +232,8 @@ fn drift_detector_is_quiet_on_stationary_content() {
         detect_drift: true,
         ..Default::default()
     };
-    let quiet = IngestDriver::new(&model, &workload, opts)
-        .run(&online[..20_000])
-        .expect("stationary run");
+    let quiet =
+        IngestSession::batch(&model, &workload, opts, &online[..20_000]).expect("stationary run");
     assert!(
         (quiet.drift_alarms as f64) < 0.01 * 20_000.0,
         "stationary content tripped {} drift alarms",
@@ -259,13 +248,61 @@ fn deterministic_given_seed() {
         seed: 42,
         ..Default::default()
     };
-    let a = IngestDriver::new(&model, &workload, opts.clone())
-        .run(&online)
-        .expect("run a");
-    let b = IngestDriver::new(&model, &workload, opts)
-        .run(&online)
-        .expect("run b");
+    let a = IngestSession::batch(&model, &workload, opts.clone(), &online).expect("run a");
+    let b = IngestSession::batch(&model, &workload, opts, &online).expect("run b");
     assert_eq!(a.mean_quality, b.mean_quality);
     assert_eq!(a.switches, b.switches);
     assert_eq!(a.cloud_usd, b.cloud_usd);
+}
+
+/// Tentpole regression for the session redesign: feeding a real paper
+/// workload segment-by-segment through `IngestSession::push` (with the
+/// stream statistics and ground-truth feed the batch path pins) must
+/// reproduce the one-shot `batch` outcome bit for bit.
+#[test]
+fn session_streaming_matches_batch_ingest_bitwise() {
+    let (workload, model, online) = covid_setup(4);
+    let opts = IngestOptions {
+        cloud_budget_usd: 0.3,
+        record_trace: true,
+        ..Default::default()
+    };
+    let batch = IngestSession::batch(&model, &workload, opts.clone(), &online).expect("batch");
+
+    let mut session = IngestSession::with_stream_stats(
+        &model,
+        &workload,
+        opts,
+        StreamStats::from_segments(&online),
+    );
+    session.pin_ground_truth(
+        online
+            .iter()
+            .map(|s| model.ground_truth_category(&workload, &s.content))
+            .collect(),
+    );
+    for seg in &online {
+        session.push(seg).expect("push");
+    }
+    let streamed = session.finish();
+
+    assert_eq!(
+        batch.mean_quality.to_bits(),
+        streamed.mean_quality.to_bits()
+    );
+    assert_eq!(
+        batch.work_core_secs.to_bits(),
+        streamed.work_core_secs.to_bits()
+    );
+    assert_eq!(batch.cloud_usd.to_bits(), streamed.cloud_usd.to_bits());
+    assert_eq!(batch.buffer_peak.to_bits(), streamed.buffer_peak.to_bits());
+    assert_eq!(batch.overflows, streamed.overflows);
+    assert_eq!(batch.switches, streamed.switches);
+    assert_eq!(
+        batch.misclassification_rate.to_bits(),
+        streamed.misclassification_rate.to_bits()
+    );
+    assert_eq!(batch.plans, streamed.plans);
+    assert_eq!(batch.segments, streamed.segments);
+    assert_eq!(batch.trace.len(), streamed.trace.len());
 }

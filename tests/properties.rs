@@ -152,3 +152,134 @@ proptest! {
         prop_assert!(r.makespan + 1e-9 >= path_bound);
     }
 }
+
+// ---- Session-API properties: the streaming push/finish surface must be
+// indistinguishable from the one-shot batch loop. ----
+
+use std::sync::OnceLock;
+
+use vetl::prelude::*;
+use vetl::skyscraper::offline::run_offline;
+use vetl::skyscraper::testkit::ToyWorkload;
+use vetl::skyscraper::FittedModel;
+
+/// One fitted toy model plus a 2-hour segment pool, shared across property
+/// cases (fitting per case would dominate the runtime).
+fn session_fixture() -> &'static (ToyWorkload, FittedModel, Vec<Segment>) {
+    static FIXTURE: OnceLock<(ToyWorkload, FittedModel, Vec<Segment>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let w = ToyWorkload::new();
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+        let (model, _) = run_offline(
+            &w,
+            &labeled,
+            &unlabeled,
+            HardwareSpec::with_cores(4),
+            &SkyscraperConfig::fast_test(),
+        )
+        .expect("fixture fit");
+        let online = Recording::record(&mut cam, 2.0 * 3_600.0)
+            .segments()
+            .to_vec();
+        (w, model, online)
+    })
+}
+
+fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
+    assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
+    assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
+    assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
+    assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
+    assert_eq!(a.overflows, b.overflows);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(
+        a.misclassification_rate.to_bits(),
+        b.misclassification_rate.to_bits()
+    );
+    assert_eq!(a.plans, b.plans);
+    assert_eq!(a.segments, b.segments);
+    assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
+    assert_eq!(a.drift_alarms, b.drift_alarms);
+    assert_eq!(a.trace.len(), b.trace.len());
+}
+
+proptest! {
+    /// For random seeds, windows, budgets and ablation gates, feeding the
+    /// stream segment-by-segment through a session produces an outcome
+    /// identical (bitwise) to the one-shot batch ingest.
+    #[test]
+    fn session_push_finish_equals_batch_ingest(
+        seed in 0u64..1_000_000,
+        start in 0usize..100_000,
+        len in 16usize..300,
+        budget in 0.0f64..0.4,
+        buffering in prop::bool::ANY,
+        cloud in prop::bool::ANY,
+    ) {
+        let (w, model, pool) = session_fixture();
+        let start = start % (pool.len() - len);
+        let segs = &pool[start..start + len];
+        let opts = IngestOptions {
+            seed,
+            cloud_budget_usd: budget,
+            enable_buffering: buffering,
+            enable_cloud: cloud,
+            record_trace: true,
+            ..Default::default()
+        };
+
+        let batch = IngestSession::batch(model, w, opts.clone(), segs).expect("batch");
+
+        let mut session =
+            IngestSession::with_stream_stats(model, w, opts, StreamStats::from_segments(segs));
+        session.pin_ground_truth(
+            segs.iter()
+                .map(|s| model.ground_truth_category(w, &s.content))
+                .collect(),
+        );
+        for seg in segs {
+            session.push(seg).expect("push");
+        }
+        assert_outcomes_bitwise_equal(&batch, &session.finish());
+    }
+
+    /// Checkpointing a session mid-stream and resuming it continues the run
+    /// bit-for-bit: the spliced run equals the uninterrupted one.
+    #[test]
+    fn session_checkpoint_resume_is_transparent(
+        seed in 0u64..1_000_000,
+        start in 0usize..100_000,
+        len in 32usize..200,
+        cut_pct in 1usize..100,
+    ) {
+        let (w, model, pool) = session_fixture();
+        let start = start % (pool.len() - len);
+        let segs = &pool[start..start + len];
+        let cut = (len * cut_pct / 100).max(1).min(len - 1);
+        let opts = IngestOptions { seed, ..Default::default() };
+
+        let straight = IngestSession::batch(model, w, opts.clone(), segs).expect("straight");
+
+        let gt: Vec<usize> = segs
+            .iter()
+            .map(|s| model.ground_truth_category(w, &s.content))
+            .collect();
+        let mut session =
+            IngestSession::with_stream_stats(model, w, opts, StreamStats::from_segments(segs));
+        session.pin_ground_truth(gt);
+        for seg in &segs[..cut] {
+            session.push(seg).expect("push before cut");
+        }
+        let checkpoint = session.checkpoint();
+        prop_assert_eq!(checkpoint.segments_pushed(), cut);
+        drop(session);
+
+        let mut resumed = IngestSession::resume(model, w, checkpoint);
+        for seg in &segs[cut..] {
+            resumed.push(seg).expect("push after cut");
+        }
+        assert_outcomes_bitwise_equal(&straight, &resumed.finish());
+    }
+}
