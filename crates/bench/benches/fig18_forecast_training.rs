@@ -32,7 +32,8 @@ fn main() {
         &fitted.model.categories,
         SEED,
         &pool,
-    );
+    )
+    .expect("labelling succeeds");
     let full = ForecastDataset::build(&timeline, &spec_params);
     println!("full dataset: {} samples", full.len());
 

@@ -1,0 +1,116 @@
+//! Incremental refit vs. cold fit (PR 3's knowledge-base pipeline).
+//!
+//! The offline phase dominates Skyscraper's cost (1.6 h in the paper). When
+//! the historical recording grows, [`OfflinePipeline::refit`] replays every
+//! previously seen stochastic evaluation from the persistent memo instead
+//! of recomputing it; the result is bitwise identical to a cold fit on the
+//! grown data (asserted here and property-tested in
+//! `tests/knowledge_base.rs`). This bench tracks how much wall-clock that
+//! buys, and appends an `offline_refit` section to `BENCH_offline.json`.
+
+use std::time::Instant;
+
+use skyscraper::offline::OfflinePipeline;
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, jstr, merge_into};
+use vetl_bench::{data_scale, Table, SEED};
+use vetl_workloads::{PaperWorkload, WorkloadSpec, MACHINES};
+
+fn main() {
+    let scale = data_scale();
+    // The recording grows by 50 % between the first fit and the refit.
+    const GROWTH: f64 = 0.5;
+    println!(
+        "offline_refit — warm incremental refit vs cold fit (COVID, {scale:?} scale, \
+         +{:.0}% data)",
+        100.0 * GROWTH
+    );
+
+    let (spec, extended) = WorkloadSpec::build_grown(PaperWorkload::Covid, scale, SEED, GROWTH);
+    let hardware = MACHINES[1].hardware(4e9);
+
+    // Base fit: what a deployment computed yesterday (untimed here; the
+    // cold-vs-warm comparison below is on the *extended* recording).
+    let mut warm_pipeline =
+        OfflinePipeline::new(spec.workload.as_ref(), hardware, spec.hyper.clone());
+    let t0 = Instant::now();
+    let (base_arts, base_report) = warm_pipeline
+        .run(&spec.labeled, &spec.unlabeled)
+        .expect("base fit");
+    let base_secs = t0.elapsed().as_secs_f64();
+
+    // Warm: incremental refit on the grown recording.
+    let t0 = Instant::now();
+    let (warm_arts, warm_report) = warm_pipeline
+        .refit(&base_arts, &spec.labeled, &extended)
+        .expect("warm refit");
+    let warm_secs = t0.elapsed().as_secs_f64();
+
+    // Cold: a fresh pipeline fits the grown recording from scratch.
+    let mut cold_pipeline =
+        OfflinePipeline::new(spec.workload.as_ref(), hardware, spec.hyper.clone());
+    let t0 = Instant::now();
+    let (cold_arts, cold_report) = cold_pipeline
+        .run(&spec.labeled, &extended)
+        .expect("cold fit");
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        warm_arts.model().fingerprint(),
+        cold_arts.model().fingerprint(),
+        "warm refit must be bitwise identical to the cold fit"
+    );
+
+    let mut table = Table::new(
+        "cold fit vs warm refit on the extended recording",
+        &[
+            "path",
+            "wall s",
+            "memo hits",
+            "evals computed",
+            "stages reused",
+        ],
+    );
+    table.row(vec![
+        "cold fit".into(),
+        format!("{cold_secs:.3}"),
+        format!("{}", cold_report.memo_hits),
+        format!("{}", cold_report.memo_misses),
+        format!("{}", cold_report.stages_reused),
+    ]);
+    table.row(vec![
+        "warm refit".into(),
+        format!("{warm_secs:.3}"),
+        format!("{}", warm_report.memo_hits),
+        format!("{}", warm_report.memo_misses),
+        format!("{}", warm_report.stages_reused),
+    ]);
+    table.print();
+
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    let replay_frac = warm_report.memo_hits as f64
+        / (warm_report.memo_hits + warm_report.memo_misses).max(1) as f64;
+    println!(
+        "warm refit {speedup:.2}x faster than cold fit; {:.0}% of evaluations replayed \
+         from the memo; models bitwise identical",
+        100.0 * replay_frac
+    );
+
+    merge_into(
+        bench_json_path(),
+        "offline_refit",
+        &jobj(&[
+            ("scale", jstr(&format!("{scale:?}"))),
+            ("workload", jstr("COVID")),
+            ("growth", jnum(GROWTH)),
+            ("base_fit_secs", jnum(base_secs)),
+            ("base_evals", jnum(base_report.memo_misses as f64)),
+            ("cold_fit_secs", jnum(cold_secs)),
+            ("warm_refit_secs", jnum(warm_secs)),
+            ("speedup", jnum(speedup)),
+            ("warm_memo_hits", jnum(warm_report.memo_hits as f64)),
+            ("warm_memo_misses", jnum(warm_report.memo_misses as f64)),
+            ("cold_evals", jnum(cold_report.memo_misses as f64)),
+            ("replayed_fraction", jnum(replay_frac)),
+        ]),
+    );
+}

@@ -27,7 +27,8 @@ fn main() {
         &fitted.model.categories,
         SEED,
         &pool,
-    );
+    )
+    .expect("labelling succeeds");
 
     let (input_days, horizon) = match scale {
         DataScale::Paper => (vec![0.5, 1.0, 2.0, 4.0, 8.0], 2.0 * day),

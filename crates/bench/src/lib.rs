@@ -153,7 +153,7 @@ pub fn synthetic_model(n_k: usize, n_c: usize, placements: usize) -> FittedModel
 
     // A trivial forecaster trained on an alternating timeline.
     let cats: Vec<usize> = (0..4000).map(|i| i % n_c).collect();
-    let timeline = CategoryTimeline::new(cats, 2.0, n_c);
+    let timeline = CategoryTimeline::new(cats, 2.0, n_c).expect("valid timeline");
     let spec = ForecastSpec {
         input_secs: 800.0,
         input_splits: 4,
@@ -166,7 +166,8 @@ pub fn synthetic_model(n_k: usize, n_c: usize, placements: usize) -> FittedModel
     let cost_rank: Vec<usize> = (0..n_k).collect();
     let mut quality_rank = cost_rank.clone();
     quality_rank.reverse();
-    let tail = CategoryTimeline::new((0..400).map(|i| i % n_c).collect(), 2.0, n_c);
+    let tail = CategoryTimeline::new((0..400).map(|i| i % n_c).collect(), 2.0, n_c)
+        .expect("valid timeline");
 
     FittedModel {
         workload_name: "synthetic".into(),

@@ -25,12 +25,16 @@
 //! custom buffer size or cloud pricing, and calling any setter twice is the
 //! same as calling it once.
 
+use std::path::Path;
+
 use vetl_sim::{CostModel, HardwareSpec};
 use vetl_video::{Recording, Segment};
 
 use crate::config::SkyscraperConfig;
 use crate::error::SkyError;
-use crate::offline::{run_offline, FittedModel, OfflineReport};
+use crate::offline::{
+    EvalMemo, FittedModel, KnowledgeBase, OfflineArtifacts, OfflinePipeline, OfflineReport,
+};
 use crate::online::session::{IngestOptions, IngestOutcome, IngestSession};
 use crate::workload::Workload;
 
@@ -41,6 +45,12 @@ pub struct Skyscraper<W: Workload> {
     hyper: SkyscraperConfig,
     options: IngestOptions,
     model: Option<FittedModel>,
+    /// Staged artifacts of the last fit (fuel for [`Self::refit`] and
+    /// [`Self::save_model`]); absent after [`Self::load_model`] of a bare
+    /// model file.
+    artifacts: Option<OfflineArtifacts>,
+    /// Cross-fit evaluation memo carried between fits.
+    memo: EvalMemo,
 }
 
 impl<W: Workload> Skyscraper<W> {
@@ -54,6 +64,8 @@ impl<W: Workload> Skyscraper<W> {
             hyper: SkyscraperConfig::default(),
             options: IngestOptions::default(),
             model: None,
+            artifacts: None,
+            memo: EvalMemo::new(),
         }
     }
 
@@ -136,26 +148,138 @@ impl<W: Workload> Skyscraper<W> {
     }
 
     /// `sky.fit(labeled_video, labels, unlabeled_video, proc_frame)` — run
-    /// the offline preparation phase (§3).
+    /// the offline preparation phase (§3). A thin wrapper over the staged
+    /// [`OfflinePipeline`]: the artifacts and the evaluation memo are kept
+    /// for [`Self::refit`] and [`Self::save_model`].
     pub fn fit(
         &mut self,
         labeled: &Recording,
         unlabeled: &Recording,
     ) -> Result<OfflineReport, SkyError> {
-        let (model, report) = run_offline(
-            &self.workload,
-            labeled,
-            unlabeled,
-            self.hardware,
-            &self.hyper,
-        )?;
-        self.model = Some(model);
+        let mut pipeline = OfflinePipeline::new(&self.workload, self.hardware, self.hyper.clone())
+            .with_memo(std::mem::take(&mut self.memo));
+        let result = pipeline.run(labeled, unlabeled);
+        self.memo = pipeline.into_memo();
+        let (artifacts, report) = result?;
+        self.model = Some(artifacts.model().clone());
+        self.artifacts = Some(artifacts);
         Ok(report)
     }
 
-    /// The fitted model (after [`Self::fit`]).
+    /// Incrementally refit on (typically grown) recordings: pipeline stages
+    /// whose inputs are unchanged are reused, and recomputed stages replay
+    /// memoized evaluations from the previous fit — the resulting model is
+    /// bitwise identical to a cold [`Self::fit`] on the same data, only
+    /// faster. Falls back to a full fit when nothing was fitted yet or the
+    /// knob space, hardware, or hyperparameters changed.
+    pub fn refit(
+        &mut self,
+        labeled: &Recording,
+        unlabeled: &Recording,
+    ) -> Result<OfflineReport, SkyError> {
+        let Some(prev) = self.artifacts.take() else {
+            return self.fit(labeled, unlabeled);
+        };
+        let mut pipeline = OfflinePipeline::new(&self.workload, self.hardware, self.hyper.clone())
+            .with_memo(std::mem::take(&mut self.memo));
+        let result = pipeline.refit(&prev, labeled, unlabeled);
+        self.memo = pipeline.into_memo();
+        match result {
+            Ok((artifacts, report)) => {
+                self.model = Some(artifacts.model().clone());
+                self.artifacts = Some(artifacts);
+                Ok(report)
+            }
+            Err(e) => {
+                // The previous fit is still valid — keep it so a corrected
+                // retry can refit incrementally instead of cold.
+                self.artifacts = Some(prev);
+                Err(e)
+            }
+        }
+    }
+
+    /// Persist the fitted state to a [`KnowledgeBase`] directory: always
+    /// the model itself, plus — when this instance fitted it — the staged
+    /// artifacts and the evaluation memo, so a later process can both skip
+    /// offline prep entirely ([`Self::load_model`]) and refit
+    /// incrementally.
+    pub fn save_model(&self, path: impl AsRef<Path>) -> Result<(), SkyError> {
+        let model = self.model()?;
+        let kb = KnowledgeBase::open(path.as_ref())?;
+        kb.save_model(model)?;
+        if let Some(artifacts) = &self.artifacts {
+            kb.save_artifacts(artifacts)?;
+            kb.save_memo(&self.memo)?;
+        }
+        Ok(())
+    }
+
+    /// Load a previously saved model from a [`KnowledgeBase`] directory,
+    /// skipping offline preparation entirely. The stored hardware spec and
+    /// hyperparameters travel with the model and are installed on this
+    /// instance so sessions behave exactly as they would have on the
+    /// fitting process. Staged artifacts and the memo are picked up too
+    /// when present, re-arming incremental [`Self::refit`].
+    pub fn load_model(&mut self, path: impl AsRef<Path>) -> Result<&mut Self, SkyError> {
+        let kb = KnowledgeBase::open_existing(path.as_ref())?;
+        let model = kb.load_model()?;
+        if model.workload_name != self.workload.name() {
+            return Err(SkyError::StaleArtifact {
+                what: "persisted model belongs to a different workload",
+            });
+        }
+        let knobs = self.workload.knobs();
+        let in_knob_space = |c: &crate::knob::KnobConfig| {
+            c.len() == knobs.len()
+                && c.indices()
+                    .iter()
+                    .zip(knobs)
+                    .all(|(&i, k)| i < k.cardinality())
+        };
+        if !model.configs.iter().all(|p| in_knob_space(&p.config)) {
+            return Err(SkyError::StaleArtifact {
+                what: "persisted configurations fall outside this workload's knob space",
+            });
+        }
+        self.hardware = model.hardware;
+        self.hyper = model.hyper.clone();
+        self.artifacts = if kb.has_artifacts() {
+            let artifacts = kb.load_artifacts()?;
+            if artifacts.profile.meta.workload_fp != self.workload.fingerprint() {
+                return Err(SkyError::StaleArtifact {
+                    what: "persisted artifacts were fitted on a different workload \
+                           (name matches, knob registry or semantics changed)",
+                });
+            }
+            if artifacts.plan.model.fingerprint() != model.fingerprint() {
+                return Err(SkyError::CorruptKnowledgeBase {
+                    detail: "model.kb does not match the persisted plan artifact \
+                             (torn save?)"
+                        .to_string(),
+                });
+            }
+            Some(artifacts)
+        } else {
+            None
+        };
+        self.memo = if kb.has_memo() {
+            kb.load_memo()?
+        } else {
+            EvalMemo::new()
+        };
+        self.model = Some(model);
+        Ok(self)
+    }
+
+    /// The fitted model (after [`Self::fit`] / [`Self::load_model`]).
     pub fn model(&self) -> Result<&FittedModel, SkyError> {
         self.model.as_ref().ok_or(SkyError::NotFitted)
+    }
+
+    /// The staged artifacts of the last fit, when available.
+    pub fn artifacts(&self) -> Option<&OfflineArtifacts> {
+        self.artifacts.as_ref()
     }
 
     /// Open a streaming ingestion session — the paper's
@@ -211,6 +335,81 @@ mod tests {
         let streamed = session.finish();
         assert_eq!(streamed.segments, out.segments);
         assert_eq!(streamed.overflows, 0);
+    }
+
+    #[test]
+    fn save_load_skips_offline_prep_and_rearms_refit() {
+        let dir = std::env::temp_dir().join(format!(
+            "vetl-api-kb-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 43_200.0);
+        let online = Recording::record(&mut cam, 1_800.0);
+
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        sky.set_resources(4, 4000.0, 1.0);
+        sky.set_hyperparameters(SkyscraperConfig::fast_test());
+        sky.fit(&labeled, &unlabeled).expect("fit");
+        sky.save_model(&dir).expect("save");
+        let fitted_out = sky.ingest(online.segments()).expect("ingest");
+
+        // A fresh process: load instead of fitting.
+        let mut sky2 = Skyscraper::new(ToyWorkload::new());
+        sky2.load_model(&dir).expect("load");
+        assert_eq!(
+            sky2.model().unwrap().fingerprint(),
+            sky.model().unwrap().fingerprint(),
+            "loaded model must be bitwise identical"
+        );
+        assert!(
+            sky2.artifacts().is_some(),
+            "artifacts travel with the model"
+        );
+        let loaded_out = sky2.ingest(online.segments()).expect("ingest on loaded");
+        assert_eq!(
+            loaded_out.mean_quality.to_bits(),
+            fitted_out.mean_quality.to_bits()
+        );
+        assert_eq!(loaded_out.segments, fitted_out.segments);
+
+        // Refit on the same data reuses everything.
+        let report = sky2.refit(&labeled, &unlabeled).expect("refit");
+        assert_eq!(report.stages_reused, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refit_without_prior_fit_is_a_full_fit() {
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+        let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+        let unlabeled = Recording::record(&mut cam, 43_200.0);
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        sky.set_resources(4, 4000.0, 1.0);
+        sky.set_hyperparameters(SkyscraperConfig::fast_test());
+        let report = sky.refit(&labeled, &unlabeled).expect("refit-as-fit");
+        assert_eq!(report.stages_reused, 0);
+        assert!(sky.model().is_ok());
+    }
+
+    #[test]
+    fn save_before_fit_errors_and_load_of_missing_kb_errors() {
+        let sky = Skyscraper::new(ToyWorkload::new());
+        assert_eq!(
+            sky.save_model(std::env::temp_dir().join("vetl-api-nofit"))
+                .unwrap_err(),
+            SkyError::NotFitted
+        );
+        let dir = std::env::temp_dir().join(format!("vetl-api-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        let err = sky.load_model(&dir).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SkyError::KnowledgeBaseIo { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

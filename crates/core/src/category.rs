@@ -132,6 +132,11 @@ impl ContentCategories {
         &self.centers[category]
     }
 
+    /// All centers, one per category (knowledge-base serialization).
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
     /// Offline classification: nearest center in full quality-vector space.
     pub fn classify_full(&self, quality_vector: &[f64]) -> usize {
         let mut best = 0;

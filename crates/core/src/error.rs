@@ -55,6 +55,49 @@ pub enum SkyError {
         /// The offending stream index.
         id: usize,
     },
+    /// A caller-supplied value is structurally invalid (non-positive segment
+    /// length, zero categories, out-of-range label, …).
+    InvalidInput {
+        /// What was invalid.
+        what: &'static str,
+    },
+    /// A workload evaluation produced a NaN or infinite statistic the
+    /// offline phase cannot rank or plan over.
+    NonFinite {
+        /// Which statistic was non-finite.
+        what: &'static str,
+    },
+    /// A persisted knowledge-base artifact was written by an incompatible
+    /// codec version.
+    ArtifactVersionMismatch {
+        /// Artifact kind ("profile", "category", "forecast", "plan",
+        /// "model", "memo").
+        kind: &'static str,
+        /// Version found in the file.
+        found: u16,
+        /// Version this build reads and writes.
+        supported: u16,
+    },
+    /// A knowledge-base artifact does not match the pipeline's current
+    /// inputs (different workload, hyperparameters, hardware, data, or a
+    /// broken upstream-artifact chain) and must be recomputed.
+    StaleArtifact {
+        /// What went stale.
+        what: &'static str,
+    },
+    /// A knowledge-base file exists but cannot be decoded (bad magic,
+    /// checksum mismatch, truncated or malformed payload).
+    CorruptKnowledgeBase {
+        /// Decoder context.
+        detail: String,
+    },
+    /// An I/O error while reading or writing a knowledge base.
+    KnowledgeBaseIo {
+        /// The file or directory involved.
+        path: String,
+        /// The underlying error, stringified.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SkyError {
@@ -98,6 +141,28 @@ impl std::fmt::Display for SkyError {
             SkyError::UnknownStream { id } => {
                 write!(f, "stream id {id} was never admitted to this server")
             }
+            SkyError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            SkyError::NonFinite { what } => {
+                write!(f, "non-finite statistic in the offline phase: {what}")
+            }
+            SkyError::ArtifactVersionMismatch {
+                kind,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{kind} artifact has codec version {found}, this build supports {supported}"
+            ),
+            SkyError::StaleArtifact { what } => write!(
+                f,
+                "stale artifact: {what} no longer matches the pipeline inputs; rerun the stage"
+            ),
+            SkyError::CorruptKnowledgeBase { detail } => {
+                write!(f, "corrupt knowledge base: {detail}")
+            }
+            SkyError::KnowledgeBaseIo { path, detail } => {
+                write!(f, "knowledge base I/O error at {path}: {detail}")
+            }
         }
     }
 }
@@ -140,5 +205,31 @@ mod tests {
         assert!(SkyError::NoPlanInstalled
             .to_string()
             .contains("install_plan"));
+        let e = SkyError::ArtifactVersionMismatch {
+            kind: "profile",
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("profile"));
+        assert!(e.to_string().contains('9'));
+        let e = SkyError::StaleArtifact {
+            what: "category artifact",
+        };
+        assert!(e.to_string().contains("stale"));
+        let e = SkyError::CorruptKnowledgeBase {
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+        let e = SkyError::KnowledgeBaseIo {
+            path: "/tmp/kb".into(),
+            detail: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/kb"));
+        assert!(SkyError::NonFinite { what: "work_mean" }
+            .to_string()
+            .contains("work_mean"));
+        assert!(SkyError::InvalidInput { what: "seg_len" }
+            .to_string()
+            .contains("seg_len"));
     }
 }

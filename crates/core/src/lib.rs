@@ -17,12 +17,15 @@
 //!
 //! ## Architecture
 //!
-//! * [`offline`] — the preparation phase (§3): diverse segment sampling and
-//!   greedy hill-climbing to filter knob configurations to a work/quality
-//!   Pareto set (Appendix A.1), exhaustive/beam placement search over the
-//!   Appendix-M simulator filtered to the cost/runtime Pareto set
-//!   (Appendix A.2), KMeans content categorization over quality vectors
-//!   (§3.2), and training of the feed-forward forecaster (§3.3, Appendix H).
+//! * [`offline`] — the preparation phase (§3), staged as an artifact
+//!   pipeline (`ProfileArtifact → CategoryArtifact → ForecastArtifact →
+//!   PlanArtifact`): diverse segment sampling and greedy hill-climbing to
+//!   filter knob configurations to a work/quality Pareto set (Appendix A.1),
+//!   exhaustive/beam placement search over the Appendix-M simulator filtered
+//!   to the cost/runtime Pareto set (Appendix A.2), KMeans content
+//!   categorization over quality vectors (§3.2), and training of the
+//!   feed-forward forecaster (§3.3, Appendix H). Artifacts persist to a
+//!   [`KnowledgeBase`] and refit **incrementally** when recordings grow.
 //! * [`online`] — the ingestion phase (§4): the predictive **knob planner**
 //!   solving the LP of Eqs. 2–4 every planned interval, the reactive
 //!   **knob switcher** implementing Eqs. 5–6 with the buffer-overflow
@@ -46,6 +49,7 @@ pub mod api;
 pub mod category;
 pub mod config;
 pub mod error;
+mod fingerprint;
 pub mod knob;
 pub mod multistream;
 pub mod offline;
@@ -61,7 +65,10 @@ pub use config::SkyscraperConfig;
 pub use error::SkyError;
 pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
 pub use multistream::{MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
-pub use offline::{run_offline, FittedModel, OfflineReport};
+pub use offline::{
+    run_offline, CategoryArtifact, EvalMemo, FittedModel, ForecastArtifact, KnowledgeBase,
+    OfflineArtifacts, OfflinePipeline, OfflineReport, PlanArtifact, ProfileArtifact,
+};
 pub use online::plan::KnobPlan;
 pub use online::planner::KnobPlanner;
 pub use online::session::{

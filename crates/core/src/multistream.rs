@@ -388,7 +388,7 @@ impl<'a> MultiStreamServer<'a> {
             .sessions
             .iter()
             .map(|s| s.forecast_distribution())
-            .collect();
+            .collect::<Result<_, _>>()?;
         let total = self.total_cores.expect("set at first admission");
         let fair = (total / self.sessions.len() as f64).floor();
         // Shared budget per segment round: every stream's fair on-premise

@@ -15,8 +15,10 @@ use vetl_exec::ActorPool;
 use vetl_ml::nn::FitConfig;
 use vetl_ml::{mean_absolute_error, Adam, Loss, Mlp};
 
+use super::memo::{EvalMemo, MemoGather, MemoKey, MemoStats, MemoTag};
 use super::seeding;
 use crate::category::ContentCategories;
+use crate::error::SkyError;
 use crate::knob::KnobConfig;
 use crate::workload::Workload;
 
@@ -35,24 +37,42 @@ pub struct CategoryTimeline {
 }
 
 impl CategoryTimeline {
-    /// Build a timeline from raw per-segment categories.
-    pub fn new(categories: Vec<usize>, seg_len: f64, n_categories: usize) -> Self {
-        assert!(seg_len > 0.0, "segment length must be positive");
-        assert!(n_categories > 0, "need at least one category");
+    /// Build a timeline from raw per-segment categories. Rejects a
+    /// non-positive segment length, an empty category set, and out-of-range
+    /// labels with typed errors instead of panicking.
+    pub fn new(
+        categories: Vec<usize>,
+        seg_len: f64,
+        n_categories: usize,
+    ) -> Result<Self, SkyError> {
+        if !seg_len.is_finite() || seg_len <= 0.0 {
+            return Err(SkyError::InvalidInput {
+                what: "timeline segment length must be positive",
+            });
+        }
+        if n_categories == 0 {
+            return Err(SkyError::InvalidInput {
+                what: "timeline needs at least one category",
+            });
+        }
         let mut prefix = Vec::with_capacity(categories.len() + 1);
         prefix.push(vec![0u32; n_categories]);
         for (i, &c) in categories.iter().enumerate() {
-            assert!(c < n_categories, "category out of range");
+            if c >= n_categories {
+                return Err(SkyError::InvalidInput {
+                    what: "timeline category label out of range",
+                });
+            }
             let mut row = prefix[i].clone();
             row[c] += 1;
             prefix.push(row);
         }
-        Self {
+        Ok(Self {
             categories,
             seg_len,
             n_categories,
             prefix,
-        }
+        })
     }
 
     /// Label the contents of `segments` by running the discriminating
@@ -71,28 +91,77 @@ impl CategoryTimeline {
         categories: &ContentCategories,
         seed: u64,
         pool: &ActorPool,
-    ) -> Self {
+    ) -> Result<Self, SkyError> {
+        let mut memo = EvalMemo::new();
+        Self::label_memoized(
+            workload,
+            segments,
+            discriminator,
+            discriminator_idx,
+            categories,
+            seed,
+            pool,
+            &mut memo,
+        )
+        .map(|(tl, _)| tl)
+    }
+
+    /// [`label`](Self::label) replaying already-recorded quality draws from
+    /// a cross-fit memo. Only the *reported quality* of the discriminator is
+    /// memoized (it is the expensive, noise-bearing part); classification
+    /// against the — possibly refitted — category centers is recomputed, so
+    /// a memo recorded under older centers stays valid.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn label_memoized<W: Workload + ?Sized>(
+        workload: &W,
+        segments: &[vetl_video::Segment],
+        discriminator: &KnobConfig,
+        discriminator_idx: usize,
+        categories: &ContentCategories,
+        seed: u64,
+        pool: &ActorPool,
+        memo: &mut EvalMemo,
+    ) -> Result<(Self, MemoStats), SkyError> {
         // Coarse chunks amortize task dispatch over thousands of cheap
         // per-segment evaluations.
         const CHUNK: usize = 1024;
         let chunks: Vec<&[vetl_video::Segment]> = segments.chunks(CHUNK).collect();
-        let labels: Vec<usize> = pool
-            .par_map(&chunks, |ci, chunk| {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(j, s)| {
-                        let mut rng =
-                            seeding::indexed_rng(seed, seeding::TAG_LABEL, ci * CHUNK + j);
-                        let q = workload.reported_quality(discriminator, &s.content, &mut rng);
-                        categories.classify_single(discriminator_idx, q)
-                    })
-                    .collect::<Vec<usize>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        Self::new(labels, workload.segment_len(), categories.len())
+        let memo_ref = &*memo;
+        let labelled: Vec<(Vec<usize>, MemoGather)> = pool.par_map(&chunks, |_, chunk| {
+            let mut gather = MemoGather::default();
+            let labels = chunk
+                .iter()
+                .map(|s| {
+                    let q = gather.lookup(
+                        memo_ref,
+                        MemoKey::new(MemoTag::Label, discriminator, &s.content),
+                        || {
+                            let mut rng = seeding::keyed_rng(
+                                seed,
+                                seeding::TAG_LABEL,
+                                seeding::content_fingerprint(&s.content),
+                                seeding::config_fingerprint(discriminator),
+                            );
+                            [
+                                workload.reported_quality(discriminator, &s.content, &mut rng),
+                                0.0,
+                            ]
+                        },
+                    )[0];
+                    categories.classify_single(discriminator_idx, q)
+                })
+                .collect::<Vec<usize>>();
+            (labels, gather)
+        });
+        let mut labels = Vec::with_capacity(segments.len());
+        let mut gathers = Vec::with_capacity(labelled.len());
+        for (chunk_labels, gather) in labelled {
+            labels.extend(chunk_labels);
+            gathers.push(gather);
+        }
+        let stats = MemoGather::collect(memo, gathers);
+        let timeline = Self::new(labels, workload.segment_len(), categories.len())?;
+        Ok((timeline, stats))
     }
 
     /// Number of segments.
@@ -106,8 +175,11 @@ impl CategoryTimeline {
     }
 
     /// Normalized histogram of categories over segment range `[from, to)`.
+    /// Out-of-range bounds are clamped to the timeline (an empty window
+    /// yields the all-zero histogram).
     pub fn histogram(&self, from: usize, to: usize) -> Vec<f64> {
-        assert!(from <= to && to <= self.len(), "window out of range");
+        let to = to.min(self.len());
+        let from = from.min(to);
         let n = (to - from).max(1) as f64;
         (0..self.n_categories)
             .map(|c| (self.prefix[to][c] - self.prefix[from][c]) as f64 / n)
@@ -253,6 +325,33 @@ impl Forecaster {
         })
     }
 
+    /// Rebuild a forecaster from its persisted parts (knowledge-base
+    /// deserialization). The network must map `input_splits × n_categories`
+    /// features to `n_categories` outputs.
+    pub fn from_parts(
+        net: Mlp,
+        spec: ForecastSpec,
+        n_categories: usize,
+        val_mae: f64,
+    ) -> Result<Self, SkyError> {
+        if net.output_dim() != n_categories || net.input_dim() != spec.input_splits * n_categories {
+            return Err(SkyError::InvalidInput {
+                what: "forecaster network shape does not match its spec",
+            });
+        }
+        Ok(Self {
+            net,
+            spec,
+            n_categories,
+            val_mae,
+        })
+    }
+
+    /// The underlying network (knowledge-base serialization).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
     /// Featurization parameters.
     pub fn spec(&self) -> ForecastSpec {
         self.spec
@@ -352,7 +451,7 @@ mod tests {
                 cats.push(c);
             }
         }
-        CategoryTimeline::new(cats, seg_len, 2)
+        CategoryTimeline::new(cats, seg_len, 2).expect("valid timeline")
     }
 
     fn spec(seg_len: f64) -> ForecastSpec {
@@ -377,7 +476,7 @@ mod tests {
 
     #[test]
     fn prefix_counts_match_naive_histogram() {
-        let tl = CategoryTimeline::new(vec![0, 1, 1, 2, 0, 1], 1.0, 3);
+        let tl = CategoryTimeline::new(vec![0, 1, 1, 2, 0, 1], 1.0, 3).expect("valid timeline");
         let h = tl.histogram(1, 5);
         assert_eq!(h, vec![0.25, 0.5, 0.25]);
     }
@@ -418,7 +517,7 @@ mod tests {
 
     #[test]
     fn too_short_timeline_yields_none() {
-        let tl = CategoryTimeline::new(vec![0, 1, 0], 60.0, 2);
+        let tl = CategoryTimeline::new(vec![0, 1, 0], 60.0, 2).expect("valid timeline");
         assert!(Forecaster::train(&tl, spec(60.0), 5, 0.2, 1).is_none());
     }
 
@@ -438,7 +537,7 @@ mod tests {
                     cats.push(usize::from((3.0..21.0).contains(&hour)));
                 }
             }
-            CategoryTimeline::new(cats, 60.0, 2)
+            CategoryTimeline::new(cats, 60.0, 2).expect("valid timeline")
         };
         let before = f.evaluate(&shifted);
         let after = f.fine_tune(&shifted, 15, 2).expect("enough data");
@@ -452,7 +551,7 @@ mod tests {
     fn fine_tune_on_short_timeline_is_none() {
         let tl = diurnal_timeline(5, 60.0);
         let mut f = Forecaster::train(&tl, spec(60.0), 5, 0.2, 1).unwrap();
-        let short = CategoryTimeline::new(vec![0, 1, 0, 1], 60.0, 2);
+        let short = CategoryTimeline::new(vec![0, 1, 0, 1], 60.0, 2).expect("valid timeline");
         assert!(f.fine_tune(&short, 5, 1).is_none());
     }
 

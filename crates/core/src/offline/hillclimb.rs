@@ -7,19 +7,23 @@
 //! work / mean quality.
 //!
 //! The search is **parallel and deterministic**: per-segment climbs fan out
-//! across the worker pool, and every `(config, segment)` evaluation draws
+//! across the worker pool, and every `(config, content)` evaluation draws
 //! its quality noise from a generator derived from the master seed and the
-//! evaluation's identity (see the `seeding` module). Evaluations are
-//! memoized in a per-segment `EvalCache` shared between the climb and the final
-//! Pareto filter, so neither phase ever re-runs the workload on a pair it
-//! has already measured.
+//! evaluation's bit-exact identity (see the `seeding` module). Evaluations
+//! are memoized at two layers: a per-segment `EvalCache` shared between the
+//! climb and the final Pareto filter (so neither phase re-runs the workload
+//! on a pair it has already measured), and the cross-fit
+//! [`EvalMemo`] that lets an incremental refit replay
+//! evaluations recorded by a previous fit bit-for-bit.
 
 use std::collections::{HashMap, HashSet};
 
 use vetl_exec::ActorPool;
 use vetl_video::ContentState;
 
+use super::memo::{EvalMemo, MemoGather, MemoKey, MemoStats, MemoTag};
 use super::seeding;
+use crate::error::SkyError;
 use crate::knob::KnobConfig;
 use crate::workload::Workload;
 
@@ -33,22 +37,24 @@ struct Eval {
 
 /// Memoized `(config → (work, quality))` evaluations for one segment.
 ///
-/// Quality draws come from a per-`(seed, segment, config)` generator, so a
+/// Quality draws come from a per-`(seed, content, config)` generator, so a
 /// cache hit returns exactly what a recomputation would — results do not
 /// depend on evaluation order, which is what makes the parallel offline run
-/// bit-identical to the single-worker run.
+/// bit-identical to the single-worker run, and the cross-fit memo sound.
 #[derive(Debug)]
-pub(crate) struct EvalCache {
+pub(crate) struct EvalCache<'m> {
     seed: u64,
-    segment: usize,
+    memo: &'m EvalMemo,
+    gather: MemoGather,
     map: HashMap<KnobConfig, (f64, f64)>,
 }
 
-impl EvalCache {
-    pub(crate) fn new(seed: u64, segment: usize) -> Self {
+impl<'m> EvalCache<'m> {
+    pub(crate) fn new(seed: u64, memo: &'m EvalMemo) -> Self {
         Self {
             seed,
-            segment,
+            memo,
+            gather: MemoGather::default(),
             map: HashMap::new(),
         }
     }
@@ -63,7 +69,16 @@ impl EvalCache {
         if let Some(&v) = self.map.get(config) {
             return v;
         }
-        let v = Self::compute(self.seed, self.segment, workload, content, config);
+        let seed = self.seed;
+        let v = self.gather.lookup(
+            self.memo,
+            MemoKey::new(MemoTag::Climb, config, content),
+            || {
+                let (w, q) = Self::compute(seed, workload, content, config);
+                [w, q]
+            },
+        );
+        let v = (v[0], v[1]);
         self.map.insert(config.clone(), v);
         v
     }
@@ -76,12 +91,16 @@ impl EvalCache {
     /// The deterministic evaluation a cache miss performs.
     fn compute<W: Workload + ?Sized>(
         seed: u64,
-        segment: usize,
         workload: &W,
         content: &ContentState,
         config: &KnobConfig,
     ) -> (f64, f64) {
-        let mut rng = seeding::eval_rng(seed, segment, config);
+        let mut rng = seeding::keyed_rng(
+            seed,
+            seeding::TAG_CLIMB_EVAL,
+            seeding::content_fingerprint(content),
+            seeding::config_fingerprint(config),
+        );
         (
             workload.work(config, content),
             workload.reported_quality(config, content, &mut rng),
@@ -100,7 +119,7 @@ impl EvalCache {
 fn climb_one<W: Workload + ?Sized>(
     workload: &W,
     content: &ContentState,
-    cache: &mut EvalCache,
+    cache: &mut EvalCache<'_>,
     max_steps: usize,
 ) -> Vec<Eval> {
     let knobs = workload.knobs();
@@ -161,14 +180,14 @@ fn climb_one<W: Workload + ?Sized>(
 }
 
 /// Pareto filter on (work ascending, quality): keep a configuration iff no
-/// other has both less-or-equal work and strictly better quality.
+/// other has both less-or-equal work and strictly better quality. Total
+/// order over bits, so NaNs (already rejected upstream) cannot panic here.
 fn pareto(evals: Vec<Eval>) -> Vec<Eval> {
     let mut sorted = evals;
     sorted.sort_by(|a, b| {
         a.work
-            .partial_cmp(&b.work)
-            .expect("finite work")
-            .then(b.quality.partial_cmp(&a.quality).expect("finite quality"))
+            .total_cmp(&b.work)
+            .then(b.quality.total_cmp(&a.quality))
     });
     let mut out: Vec<Eval> = Vec::new();
     let mut best_q = f64::NEG_INFINITY;
@@ -186,24 +205,29 @@ fn pareto(evals: Vec<Eval>) -> Vec<Eval> {
 /// on mean work / mean quality across all samples. `k_plus` is
 /// force-included so the most qualitative configuration always survives.
 ///
-/// The result is identical for every pool size (see module docs).
+/// The result is identical for every pool size and for every memo state
+/// (see module docs); the returned [`MemoStats`] reports how much of the
+/// work was replayed from `memo`.
 pub fn filter_configs<W: Workload + ?Sized>(
     workload: &W,
     samples: &[ContentState],
     k_plus: &KnobConfig,
     seed: u64,
     pool: &ActorPool,
-) -> Vec<KnobConfig> {
-    assert!(
-        !samples.is_empty(),
-        "config filtering needs sample segments"
-    );
+    memo: &mut EvalMemo,
+) -> Result<(Vec<KnobConfig>, MemoStats), SkyError> {
+    if samples.is_empty() {
+        return Err(SkyError::InsufficientData {
+            what: "config filtering needs sample segments",
+        });
+    }
     let max_steps = workload.config_space().size();
 
     // Per-segment climbs, in parallel. Each climb owns its segment's cache;
     // the caches come back for reuse by the mean filter below.
-    let climbed: Vec<(Vec<Eval>, EvalCache)> = pool.par_map(samples, |i, content| {
-        let mut cache = EvalCache::new(seed, i);
+    let memo_ref = &*memo;
+    let climbed: Vec<(Vec<Eval>, EvalCache)> = pool.par_map(samples, |_, content| {
+        let mut cache = EvalCache::new(seed, memo_ref);
         let path = climb_one(workload, content, &mut cache, max_steps);
         (pareto(path), cache)
     });
@@ -224,17 +248,31 @@ pub fn filter_configs<W: Workload + ?Sized>(
     let caches: Vec<EvalCache> = climbed.into_iter().map(|(_, c)| c).collect();
 
     // Mean work/quality of every union config across all samples, reusing
-    // the climb evaluations. One row per segment, scattered across workers.
+    // the climb evaluations. One row per segment, scattered across workers;
+    // evaluations missing from both cache layers are computed and gathered
+    // for the memo.
     let union_ref = &union;
-    let rows: Vec<Vec<(f64, f64)>> = pool.par_map(samples, |i, content| {
-        union_ref
+    let caches_ref = &caches;
+    let rows: Vec<(Vec<(f64, f64)>, MemoGather)> = pool.par_map(samples, |i, content| {
+        let mut gather = MemoGather::default();
+        let row = union_ref
             .iter()
             .map(|config| {
-                caches[i]
-                    .get(config)
-                    .unwrap_or_else(|| EvalCache::compute(seed, i, workload, content, config))
+                if let Some(v) = caches_ref[i].get(config) {
+                    return v;
+                }
+                let v = gather.lookup(
+                    memo_ref,
+                    MemoKey::new(MemoTag::Climb, config, content),
+                    || {
+                        let (w, q) = EvalCache::compute(seed, workload, content, config);
+                        [w, q]
+                    },
+                );
+                (v[0], v[1])
             })
-            .collect()
+            .collect();
+        (row, gather)
     });
 
     let n = samples.len() as f64;
@@ -244,7 +282,7 @@ pub fn filter_configs<W: Workload + ?Sized>(
         .map(|(k, config)| {
             let (work, quality) = rows
                 .iter()
-                .fold((0.0, 0.0), |(w, q), row| (w + row[k].0, q + row[k].1));
+                .fold((0.0, 0.0), |(w, q), (row, _)| (w + row[k].0, q + row[k].1));
             Eval {
                 config,
                 work: work / n,
@@ -252,12 +290,25 @@ pub fn filter_configs<W: Workload + ?Sized>(
             }
         })
         .collect();
+    if evals
+        .iter()
+        .any(|e| !e.work.is_finite() || !e.quality.is_finite())
+    {
+        return Err(SkyError::NonFinite {
+            what: "hill-climb work/quality evaluation",
+        });
+    }
 
     let mut result: Vec<KnobConfig> = pareto(evals).into_iter().map(|e| e.config).collect();
     if !result.contains(k_plus) {
         result.push(k_plus.clone());
     }
-    result
+
+    // Fold both phases' gathers into the memo.
+    let mut gathers: Vec<MemoGather> = caches.into_iter().map(|c| c.gather).collect();
+    gathers.extend(rows.into_iter().map(|(_, g)| g));
+    let stats = MemoGather::collect(memo, gathers);
+    Ok((result, stats))
 }
 
 #[cfg(test)]
@@ -277,13 +328,26 @@ mod tests {
         out
     }
 
+    fn filter(
+        w: &ToyWorkload,
+        samples: &[ContentState],
+        k_plus: &KnobConfig,
+        seed: u64,
+        pool: &ActorPool,
+    ) -> Vec<KnobConfig> {
+        let mut memo = EvalMemo::new();
+        filter_configs(w, samples, k_plus, seed, pool, &mut memo)
+            .expect("filter succeeds")
+            .0
+    }
+
     #[test]
     fn filtered_set_is_nonempty_and_within_space() {
         let w = ToyWorkload::new();
         let pool = ActorPool::new(2);
         let space_size = w.config_space().size();
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &contents(), &k_plus, 3, &pool);
+        let filtered = filter(&w, &contents(), &k_plus, 3, &pool);
         assert!(!filtered.is_empty());
         assert!(filtered.len() <= space_size);
         assert!(filtered.contains(&k_plus), "k+ must survive");
@@ -294,7 +358,7 @@ mod tests {
         let w = ToyWorkload::new();
         let pool = ActorPool::new(2);
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &contents(), &k_plus, 3, &pool);
+        let filtered = filter(&w, &contents(), &k_plus, 3, &pool);
         let samples = contents();
         let works: Vec<f64> = filtered
             .iter()
@@ -318,7 +382,7 @@ mod tests {
         let pool = ActorPool::new(2);
         let samples = contents();
         let k_plus = w.config_space().max_config();
-        let filtered = filter_configs(&w, &samples, &k_plus, 3, &pool);
+        let filtered = filter(&w, &samples, &k_plus, 3, &pool);
         // No config may dominate another on (mean true quality, mean work).
         for a in &filtered {
             for b in &filtered {
@@ -343,27 +407,65 @@ mod tests {
         let w = ToyWorkload::new();
         let samples = contents();
         let k_plus = w.config_space().max_config();
-        let serial = filter_configs(&w, &samples, &k_plus, 11, &ActorPool::new(1));
-        let parallel = filter_configs(&w, &samples, &k_plus, 11, &ActorPool::new(4));
+        let serial = filter(&w, &samples, &k_plus, 11, &ActorPool::new(1));
+        let parallel = filter(&w, &samples, &k_plus, 11, &ActorPool::new(4));
         assert_eq!(serial, parallel, "filter must be scheduling-independent");
+    }
+
+    #[test]
+    fn warm_memo_changes_nothing_but_skips_evaluations() {
+        let w = ToyWorkload::new();
+        let samples = contents();
+        let k_plus = w.config_space().max_config();
+        let pool = ActorPool::new(2);
+        let mut memo = EvalMemo::new();
+        let (cold, cold_stats) =
+            filter_configs(&w, &samples, &k_plus, 11, &pool, &mut memo).expect("cold");
+        assert_eq!(cold_stats.hits, 0, "empty memo cannot hit");
+        assert!(cold_stats.misses > 0);
+        let (warm, warm_stats) =
+            filter_configs(&w, &samples, &k_plus, 11, &pool, &mut memo).expect("warm");
+        assert_eq!(cold, warm, "memo replay must be invisible in the result");
+        assert_eq!(
+            warm_stats.misses, 0,
+            "a verbatim rerun must be fully memoized"
+        );
+        assert_eq!(warm_stats.hits, cold_stats.misses);
+    }
+
+    #[test]
+    fn empty_samples_are_a_typed_error() {
+        let w = ToyWorkload::new();
+        let pool = ActorPool::new(1);
+        let k_plus = w.config_space().max_config();
+        let mut memo = EvalMemo::new();
+        let err = filter_configs(&w, &[], &k_plus, 3, &pool, &mut memo).unwrap_err();
+        assert!(matches!(err, SkyError::InsufficientData { .. }));
     }
 
     #[test]
     fn cache_memoizes_and_reproduces_draws() {
         let w = ToyWorkload::new();
-        let content = contents()[0];
+        let all = contents();
+        // Mid-range difficulty keeps the logistic quality away from the
+        // [0, 1] clamp, so distinct noise draws stay distinct.
+        let mut content = all[0];
+        content.difficulty = 0.55;
+        let mut other_content = all[1];
+        other_content.difficulty = 0.6;
         let config = w.config_space().min_config();
-        let mut cache = EvalCache::new(9, 0);
+        let memo = EvalMemo::new();
+        let mut cache = EvalCache::new(9, &memo);
         let a = cache.eval(&w, &content, &config);
         let n_after_first = cache.len();
         let b = cache.eval(&w, &content, &config);
         assert_eq!(a, b);
         assert_eq!(cache.len(), n_after_first, "second eval must hit the cache");
-        // A fresh cache for the same (seed, segment) reproduces the draw.
-        let mut fresh = EvalCache::new(9, 0);
+        // A fresh cache for the same (seed, content) reproduces the draw.
+        let mut fresh = EvalCache::new(9, &memo);
         assert_eq!(fresh.eval(&w, &content, &config), a);
-        // A different segment index draws different noise.
-        let mut other = EvalCache::new(9, 1);
-        assert_ne!(other.eval(&w, &content, &config).1, a.1);
+        // Different content draws different noise.
+        let mut other = EvalCache::new(9, &memo);
+        assert_ne!(other.eval(&w, &other_content, &config).1, a.1);
     }
 }

@@ -1,0 +1,290 @@
+//! Cross-fit memoization of stochastic offline evaluations.
+//!
+//! Every expensive, noise-bearing evaluation of the offline phase — a
+//! hill-climb probe, a categorization quality draw, a discriminator label, a
+//! residual-calibration draw — is a pure function of `(master seed, step
+//! tag, content bits, configuration)`: the noise comes from a generator
+//! derived from exactly that identity (see the `seeding` module).
+//! [`EvalMemo`] caches these evaluations under their *exact* identity, so a
+//! cache hit returns bit-for-bit what a recomputation would.
+//!
+//! This is the engine behind **incremental refit**: refitting on a recording
+//! that grew by appended segments replays every evaluation whose identity
+//! already occurred in the previous fit from the memo and only computes the
+//! genuinely new ones — and the result is provably identical to a cold fit,
+//! because hits and recomputations are indistinguishable.
+//!
+//! The memo is scoped to `(workload fingerprint, master seed)`. Installing a
+//! memo recorded under a different scope — a changed knob space, a different
+//! workload, a reseeded run — clears it, which is the full-refit fallback.
+
+use std::collections::HashMap;
+
+use vetl_video::ContentState;
+
+use crate::fingerprint::content_identity_bits;
+use crate::knob::KnobConfig;
+
+/// Which offline step an evaluation belongs to (generator families are
+/// disjoint per step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum MemoTag {
+    /// Hill-climb / Pareto-filter `(work, quality)` probe.
+    Climb = 1,
+    /// Categorization quality draw.
+    Categorize = 2,
+    /// Discriminator labelling quality draw.
+    Label = 3,
+    /// Drift-calibration residual quality draw.
+    Residual = 4,
+}
+
+impl MemoTag {
+    /// Decode from the codec byte.
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(MemoTag::Climb),
+            2 => Some(MemoTag::Categorize),
+            3 => Some(MemoTag::Label),
+            4 => Some(MemoTag::Residual),
+            _ => None,
+        }
+    }
+}
+
+/// Exact identity of one stochastic evaluation: step, configuration (domain
+/// indices), and the full bits of the content state. No hashing is involved
+/// in the key itself, so collisions are impossible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemoKey {
+    tag: MemoTag,
+    config: Box<[u32]>,
+    content: [u64; 4],
+}
+
+impl MemoKey {
+    /// Key for evaluating `config` on `content` in step `tag`.
+    pub(crate) fn new(tag: MemoTag, config: &KnobConfig, content: &ContentState) -> Self {
+        Self {
+            tag,
+            config: config.indices().iter().map(|&i| i as u32).collect(),
+            content: content_identity_bits(content),
+        }
+    }
+
+    /// Rebuild from codec fields.
+    pub(crate) fn from_parts(tag: MemoTag, config: Box<[u32]>, content: [u64; 4]) -> Self {
+        Self {
+            tag,
+            config,
+            content,
+        }
+    }
+
+    /// Codec accessors.
+    pub(crate) fn parts(&self) -> (MemoTag, &[u32], &[u64; 4]) {
+        (self.tag, &self.config, &self.content)
+    }
+}
+
+/// Hit/miss counters for one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Evaluations replayed from the memo.
+    pub hits: usize,
+    /// Evaluations computed (and recorded) fresh.
+    pub misses: usize,
+}
+
+impl MemoStats {
+    /// Accumulate another stage's counters.
+    pub(crate) fn absorb(&mut self, other: MemoStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// The persistent evaluation memo. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct EvalMemo {
+    scope: u64,
+    map: HashMap<MemoKey, [f64; 2]>,
+}
+
+impl EvalMemo {
+    /// An empty memo with no scope; it binds to the first pipeline that
+    /// installs it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild from codec fields.
+    pub(crate) fn from_parts(scope: u64, entries: Vec<(MemoKey, [f64; 2])>) -> Self {
+        Self {
+            scope,
+            map: entries.into_iter().collect(),
+        }
+    }
+
+    /// Number of memoized evaluations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The `(workload, seed)` scope fingerprint the entries were recorded
+    /// under (0 = unbound).
+    pub fn scope(&self) -> u64 {
+        self.scope
+    }
+
+    /// Entries in deterministic (sorted-key) order — the codec's iteration
+    /// order, so saved memo files are byte-stable.
+    pub(crate) fn sorted_entries(&self) -> Vec<(&MemoKey, &[f64; 2])> {
+        let mut v: Vec<_> = self.map.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Bind the memo to a scope, clearing it when the recorded scope
+    /// differs (the full-refit fallback: a changed knob space, workload, or
+    /// seed invalidates every entry).
+    pub(crate) fn rescope(&mut self, scope: u64) {
+        if self.scope != scope {
+            self.map.clear();
+            self.scope = scope;
+        }
+    }
+
+    /// Look up an evaluation.
+    pub(crate) fn get(&self, key: &MemoKey) -> Option<[f64; 2]> {
+        self.map.get(key).copied()
+    }
+
+    /// Merge freshly computed evaluations gathered from a parallel stage.
+    /// Re-inserting an existing key is harmless: the value is identical by
+    /// construction.
+    pub(crate) fn merge(&mut self, fresh: Vec<(MemoKey, [f64; 2])>) {
+        for (k, v) in fresh {
+            self.map.insert(k, v);
+        }
+    }
+}
+
+/// A read-only memo view plus per-worker gather buffers — the two-phase
+/// pattern the scatter-gather stages use: workers *read* the memo lock-free
+/// and return fresh evaluations, the stage merges them afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct MemoGather {
+    /// Freshly computed evaluations to merge into the memo.
+    pub fresh: Vec<(MemoKey, [f64; 2])>,
+    /// Hits observed by this worker.
+    pub hits: usize,
+}
+
+impl MemoGather {
+    /// Look up `key` in `memo`, or compute it with `f`; records the
+    /// outcome either way.
+    pub(crate) fn lookup(
+        &mut self,
+        memo: &EvalMemo,
+        key: MemoKey,
+        f: impl FnOnce() -> [f64; 2],
+    ) -> [f64; 2] {
+        match memo.get(&key) {
+            Some(v) => {
+                self.hits += 1;
+                v
+            }
+            None => {
+                let v = f();
+                self.fresh.push((key, v));
+                v
+            }
+        }
+    }
+
+    /// Fold many workers' gathers into the memo, returning the run stats.
+    pub(crate) fn collect(memo: &mut EvalMemo, gathers: Vec<MemoGather>) -> MemoStats {
+        let mut stats = MemoStats::default();
+        for g in gathers {
+            stats.hits += g.hits;
+            stats.misses += g.fresh.len();
+            memo.merge(g.fresh);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::SimTime;
+
+    fn content(t: f64) -> ContentState {
+        ContentState {
+            time: SimTime::from_secs(t),
+            difficulty: 0.5,
+            activity: 0.2,
+            event_active: false,
+        }
+    }
+
+    #[test]
+    fn memo_roundtrips_and_counts() {
+        let mut memo = EvalMemo::new();
+        memo.rescope(7);
+        let key = MemoKey::new(MemoTag::Label, &KnobConfig::new(vec![1, 2]), &content(3.0));
+        assert_eq!(memo.get(&key), None);
+        memo.merge(vec![(key.clone(), [1.5, 2.5])]);
+        assert_eq!(memo.get(&key), Some([1.5, 2.5]));
+        assert_eq!(memo.len(), 1);
+
+        let mut g = MemoGather::default();
+        let v = g.lookup(&memo, key.clone(), || unreachable!("must hit"));
+        assert_eq!(v, [1.5, 2.5]);
+        let other = MemoKey::new(MemoTag::Label, &KnobConfig::new(vec![1, 2]), &content(4.0));
+        let v = g.lookup(&memo, other, || [9.0, 0.0]);
+        assert_eq!(v, [9.0, 0.0]);
+        let stats = MemoGather::collect(&mut memo, vec![g]);
+        assert_eq!(stats, MemoStats { hits: 1, misses: 1 });
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn rescope_clears_on_mismatch_only() {
+        let mut memo = EvalMemo::new();
+        memo.rescope(7);
+        memo.merge(vec![(
+            MemoKey::new(MemoTag::Climb, &KnobConfig::new(vec![0]), &content(1.0)),
+            [1.0, 2.0],
+        )]);
+        memo.rescope(7);
+        assert_eq!(memo.len(), 1, "same scope keeps entries");
+        memo.rescope(8);
+        assert!(memo.is_empty(), "new scope clears");
+        assert_eq!(memo.scope(), 8);
+    }
+
+    #[test]
+    fn keys_are_exact_identities() {
+        let a = MemoKey::new(MemoTag::Climb, &KnobConfig::new(vec![0, 1]), &content(1.0));
+        let b = MemoKey::new(MemoTag::Climb, &KnobConfig::new(vec![0, 1]), &content(1.0));
+        assert_eq!(a, b);
+        let c = MemoKey::new(
+            MemoTag::Categorize,
+            &KnobConfig::new(vec![0, 1]),
+            &content(1.0),
+        );
+        assert_ne!(a, c, "tag distinguishes");
+        let d = MemoKey::new(MemoTag::Climb, &KnobConfig::new(vec![0, 2]), &content(1.0));
+        assert_ne!(a, d, "config distinguishes");
+        let e = MemoKey::new(MemoTag::Climb, &KnobConfig::new(vec![0, 1]), &content(2.0));
+        assert_ne!(a, e, "content distinguishes");
+    }
+}

@@ -1,6 +1,6 @@
-//! The offline preparation phase (§3).
+//! The offline preparation phase (§3), staged as an artifact pipeline.
 //!
-//! Fits Skyscraper on historical data recorded from the source that will be
+//! Skyscraper fits on historical data recorded from the source that will be
 //! ingested online:
 //!
 //! 1. **Filter knob configurations** — diverse sampling + greedy hill
@@ -12,31 +12,49 @@
 //!    cheap discriminating configuration, build sliding-window histograms,
 //!    train the Appendix-K network (§3.3, Appendix H).
 //!
+//! Since PR 3 these steps are public, independently runnable stages of an
+//! [`OfflinePipeline`], each producing a typed artifact
+//! (`ProfileArtifact → CategoryArtifact → ForecastArtifact → PlanArtifact`)
+//! that persists to a [`KnowledgeBase`] and reloads bitwise identically.
+//! [`run_offline`] remains as the one-call wrapper over the full pipeline.
+//! [`OfflinePipeline::refit`] refits **incrementally** when recordings grow,
+//! replaying memoized evaluations ([`EvalMemo`]) so the result is bitwise
+//! identical to a cold fit — see `pipeline` and `memo` module docs.
+//!
 //! [`OfflineReport`] records per-step wall-clock runtimes — the data behind
-//! Table 3.
+//! Table 3 — plus memo hit statistics.
 
+pub mod codec;
 pub mod forecast;
 pub mod hillclimb;
+pub mod kb;
+pub mod memo;
+pub mod pipeline;
 pub mod sampling;
 mod seeding;
 
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use vetl_exec::ActorPool;
 use vetl_sim::HardwareSpec;
 use vetl_video::{ContentState, Recording};
 
 use crate::category::{ClusteringAlgo, ContentCategories};
 use crate::config::SkyscraperConfig;
 use crate::error::SkyError;
-use crate::profile::{profile_configs_on, ConfigProfile};
+use crate::fingerprint::Fnv;
+use crate::profile::ConfigProfile;
 use crate::workload::Workload;
-use forecast::{CategoryTimeline, ForecastSpec, Forecaster};
+use forecast::{CategoryTimeline, Forecaster};
 
-/// Everything the online phase needs, produced by [`run_offline`].
+pub use forecast::ForecastDataset;
+pub use kb::KnowledgeBase;
+pub use memo::{EvalMemo, MemoStats};
+pub use pipeline::{
+    recording_fingerprint, ArtifactMeta, CategoryArtifact, ForecastArtifact, OfflineArtifacts,
+    OfflinePipeline, PlanArtifact, ProfileArtifact,
+};
+
+/// Everything the online phase needs, produced by [`run_offline`] (or
+/// assembled by the pipeline's plan stage, or reloaded from a
+/// [`KnowledgeBase`]).
 #[derive(Debug, Clone)]
 pub struct FittedModel {
     /// Workload name.
@@ -113,6 +131,83 @@ impl FittedModel {
             .collect();
         self.categories.classify_full(&v)
     }
+
+    /// Bit-exact fingerprint over every behavior-bearing field of the
+    /// model — two models fingerprint equally iff every field that can
+    /// influence the online phase is bitwise identical. The single
+    /// exclusion is `hyper.n_workers`: fits are bit-identical for every
+    /// worker count, so a 1-worker and an N-worker fit of the same data
+    /// must fingerprint equally. Backs the knowledge-base round-trip and
+    /// incremental-refit equivalence tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat_str(&self.workload_name).eat_f64(self.seg_len);
+        h.eat(self.configs.len() as u64);
+        for p in &self.configs {
+            h.eat_usizes(p.config.indices())
+                .eat_f64(p.work_mean)
+                .eat_f64(p.work_max)
+                .eat_f64s(&p.qual_by_category)
+                .eat_f64s(&p.cost_by_category)
+                .eat(p.placements.len() as u64);
+            for pl in &p.placements {
+                for node in 0..pl.placement.len() {
+                    h.eat(pl.placement.is_cloud(vetl_sim::NodeId(node)) as u64);
+                }
+                h.eat_f64(pl.runtime_mean)
+                    .eat_f64(pl.runtime_max)
+                    .eat_f64(pl.cloud_usd)
+                    .eat_f64(pl.onprem_work)
+                    .eat_f64(pl.onprem_work_max);
+            }
+        }
+        h.eat_usizes(&self.quality_rank).eat_usizes(&self.cost_rank);
+        h.eat(self.categories.len() as u64);
+        for c in 0..self.categories.len() {
+            h.eat_f64s(self.categories.center(c));
+        }
+        let spec = self.forecaster.spec();
+        h.eat_f64(spec.input_secs)
+            .eat(spec.input_splits as u64)
+            .eat_f64(spec.horizon_secs)
+            .eat_f64(spec.sample_every_secs)
+            .eat(self.forecaster.n_categories() as u64)
+            .eat_f64(self.forecaster.val_mae);
+        for layer in self.forecaster.net().layers() {
+            h.eat(layer.weights.rows() as u64)
+                .eat(layer.weights.cols() as u64)
+                .eat_f64s(layer.weights.as_slice())
+                .eat_f64s(&layer.bias)
+                .eat(layer.activation as u64);
+        }
+        h.eat(self.discriminator as u64)
+            .eat_usizes(&self.tail.categories)
+            .eat_f64(self.tail.seg_len)
+            .eat(self.tail.n_categories as u64)
+            .eat_f64(self.residual_p99)
+            .eat(self.hyper.seed)
+            .eat(self.hyper.n_categories as u64)
+            .eat_f64(self.hyper.switch_period_secs)
+            .eat_f64(self.hyper.planned_interval_secs)
+            .eat_f64(self.hyper.forecast_input_secs)
+            .eat(self.hyper.forecast_input_splits as u64)
+            .eat_f64(self.hyper.forecast_sample_every_secs)
+            .eat(self.hyper.forecast_epochs as u64)
+            .eat_f64(self.hyper.forecast_val_fraction)
+            .eat(self.hyper.n_presample as u64)
+            .eat(self.hyper.n_search as u64)
+            .eat_f64(self.hyper.categorize_fraction)
+            .eat_f64(self.hyper.runtime_safety)
+            .eat(self.hardware.cluster.cores as u64)
+            .eat_f64(self.hardware.cluster.core_speed)
+            .eat_f64(self.hardware.buffer_bytes)
+            .eat_f64(self.hardware.cloud.rtt_secs)
+            .eat_f64(self.hardware.cloud.uplink_bytes_per_sec)
+            .eat_f64(self.hardware.cloud.downlink_bytes_per_sec)
+            .eat_f64(self.hardware.cloud.usd_per_compute_sec)
+            .eat_f64(self.hardware.cloud.usd_per_invocation);
+        h.finish()
+    }
 }
 
 /// Wall-clock runtimes of the offline steps (Table 3) plus fit statistics.
@@ -140,6 +235,14 @@ pub struct OfflineReport {
     pub n_train_samples: usize,
     /// Worker threads the offline scatter-gather steps fanned out over.
     pub n_workers: usize,
+    /// Stochastic evaluations replayed from the cross-fit memo (0 on a cold
+    /// fit).
+    pub memo_hits: usize,
+    /// Stochastic evaluations computed fresh (and recorded in the memo).
+    pub memo_misses: usize,
+    /// Pipeline stages reused verbatim from previous artifacts (only
+    /// non-zero for [`OfflinePipeline::refit`]).
+    pub stages_reused: usize,
 }
 
 impl OfflineReport {
@@ -158,7 +261,8 @@ impl OfflineReport {
 /// `labeled` is the small ground-truth set (~20 min in the paper), `unlabeled`
 /// the large recording (~2 weeks). Returns the fitted model plus the step
 /// report, or an error when the data is insufficient or the hardware cannot
-/// sustain even the cheapest configuration.
+/// sustain even the cheapest configuration. A thin wrapper over
+/// [`OfflinePipeline::run`].
 pub fn run_offline<W: Workload + ?Sized>(
     workload: &W,
     labeled: &Recording,
@@ -185,281 +289,11 @@ pub fn run_offline_with<W: Workload + ?Sized>(
     hyper: &SkyscraperConfig,
     clustering: ClusteringAlgo,
 ) -> Result<(FittedModel, OfflineReport), SkyError> {
-    if workload.config_space().size() == 0 {
-        return Err(SkyError::EmptyConfigSpace);
-    }
-    if labeled.is_empty() {
-        return Err(SkyError::InsufficientData {
-            what: "labeled recording is empty",
-        });
-    }
-    if unlabeled.is_empty() {
-        return Err(SkyError::InsufficientData {
-            what: "unlabeled recording is empty",
-        });
-    }
-
-    // The scatter-gather pool every offline hot path fans out over. All
-    // stochastic evaluations draw from seed-derived generators (see
-    // [`seeding`]), so the fitted model is identical for every pool size.
-    let pool = ActorPool::new(hyper.resolved_workers());
-    let mut report = OfflineReport {
-        n_workers: pool.size(),
-        ..Default::default()
-    };
-
-    // ------ Step 1: filter knob configurations (Appendix A.1). ------
-    let t0 = Instant::now();
-    let mut rng = StdRng::seed_from_u64(seeding::mix(hyper.seed, seeding::TAG_SAMPLING, 0));
-    let (k_minus, k_plus) = sampling::anchor_configs(workload, labeled.segments());
-    let diverse = sampling::diverse_sample(
-        workload,
-        unlabeled.segments(),
-        &k_minus,
-        &k_plus,
-        hyper.n_presample,
-        hyper.n_search,
-        &mut rng,
-    );
-    let diverse_contents: Vec<ContentState> = diverse.iter().map(|s| s.content).collect();
-    let mut configs =
-        hillclimb::filter_configs(workload, &diverse_contents, &k_plus, hyper.seed, &pool);
-    if !configs.contains(&k_minus) {
-        configs.insert(0, k_minus.clone());
-    }
-    report.filter_configs_secs = t0.elapsed().as_secs_f64();
-
-    // ------ Step 2: profile configurations + placements (Appendix A.2). ------
-    // Means come from *representative* content (uniform stride over the
-    // unlabeled recording) because the knob planner's LP consumes them;
-    // maxes additionally cover the diverse samples plus constructed
-    // worst-case content, so the switcher's overflow check is a true upper
-    // bound (costs are monotone in activity/difficulty for CV workloads).
-    let t0 = Instant::now();
-    let rep_stride = (unlabeled.len() / 48).max(1);
-    let representative: Vec<ContentState> = unlabeled
-        .segments()
-        .iter()
-        .step_by(rep_stride)
-        .take(48)
-        .map(|s| s.content)
-        .collect();
-    let mut extreme_contents = diverse_contents.clone();
-    if let Some(base) = diverse_contents.first() {
-        let mut extreme = *base;
-        extreme.difficulty = 1.0;
-        extreme.activity = 1.0;
-        extreme_contents.push(extreme);
-    }
-    let mut profiles = profile_configs_on(
-        workload,
-        &configs,
-        &representative,
-        &extreme_contents,
-        &hardware,
-        &pool,
-    );
-    report.filter_placements_secs = t0.elapsed().as_secs_f64();
-    report.n_configs = profiles.len();
-    report.n_placements = profiles.iter().map(|p| p.placements.len()).sum();
-
-    // Throughput-guarantee precondition: the cheapest configuration must run
-    // in real time on the cluster (otherwise no knob plan can keep up).
-    let cheapest_idx = argmin(&profiles, |p| p.work_mean);
-    let cheapest_rate = profiles[cheapest_idx].work_mean / workload.segment_len();
-    if cheapest_rate > hardware.cluster.throughput() {
-        return Err(SkyError::UnderProvisioned {
-            cheapest_work_rate: cheapest_rate,
-            cluster_throughput: hardware.cluster.throughput(),
-        });
-    }
-
-    // ------ Step 3: categorize video dynamics (§3.2). ------
-    let t0 = Instant::now();
-    let sample_stride = ((1.0 / hyper.categorize_fraction.max(1e-6)).round() as usize).max(1);
-    let sampled: Vec<ContentState> = unlabeled
-        .segments()
-        .iter()
-        .step_by(sample_stride)
-        .map(|s| s.content)
-        .collect();
-    if sampled.len() < hyper.n_categories {
-        return Err(SkyError::InsufficientData {
-            what: "too few segments for categorization",
-        });
-    }
-    // One quality vector per sampled segment, scattered across the pool;
-    // each segment draws its observation noise from its own generator.
-    let profiles_ref = &profiles;
-    let quality_vectors: Vec<Vec<f64>> = pool.par_map(&sampled, |i, content| {
-        let mut rng = seeding::indexed_rng(hyper.seed, seeding::TAG_CATEGORIZE, i);
-        profiles_ref
-            .iter()
-            .map(|p| workload.reported_quality(&p.config, content, &mut rng))
-            .collect()
-    });
-    let categories = ContentCategories::fit_on(
-        &quality_vectors,
-        hyper.n_categories,
-        hyper.seed,
-        clustering,
-        &pool,
-    );
-    for (k, prof) in profiles.iter_mut().enumerate() {
-        prof.qual_by_category = (0..categories.len())
-            .map(|c| categories.avg_quality(k, c))
-            .collect();
-    }
-    // Category-conditional expected costs: work correlates with content
-    // (rush hour means more objects to track), so the planner's budget
-    // constraint charges each category what the configuration actually
-    // costs on it. Categories unseen in the sample fall back to the mean.
-    {
-        let labels: Vec<usize> = quality_vectors
-            .iter()
-            .map(|v| categories.classify_full(v))
-            .collect();
-        let n_c = categories.len();
-        let sampled_ref = &sampled;
-        let labels_ref = &labels;
-        let cost_rows: Vec<Vec<f64>> = pool.par_map(&profiles, |_, prof| {
-            let mut sums = vec![0.0f64; n_c];
-            let mut counts = vec![0usize; n_c];
-            for (content, &c) in sampled_ref.iter().zip(labels_ref.iter()) {
-                sums[c] += workload.work(&prof.config, content);
-                counts[c] += 1;
-            }
-            (0..n_c)
-                .map(|c| {
-                    if counts[c] > 0 {
-                        sums[c] / counts[c] as f64
-                    } else {
-                        prof.work_mean
-                    }
-                })
-                .collect()
-        });
-        for (prof, row) in profiles.iter_mut().zip(cost_rows) {
-            prof.cost_by_category = row;
-        }
-    }
-    report.categorize_secs = t0.elapsed().as_secs_f64();
-    report.n_categories = categories.len();
-
-    // Ranking orders.
-    let cost_rank = rank_by(&profiles, |p| p.work_mean, false);
-    let quality_rank = rank_by(
-        &profiles,
-        |p| p.qual_by_category.iter().sum::<f64>() / categories.len() as f64,
-        true,
-    );
-
-    // Discriminating configuration (footnote 7).
-    let discriminator = categories.pick_discriminator(&cost_rank, 0.04);
-
-    // ------ Step 4: label data + train the forecaster (§3.3, App. H). ------
-    let t0 = Instant::now();
-    let timeline = CategoryTimeline::label(
-        workload,
-        unlabeled.segments(),
-        &profiles[discriminator].config.clone(),
-        discriminator,
-        &categories,
-        hyper.seed,
-        &pool,
-    );
-    report.forecast_data_secs = t0.elapsed().as_secs_f64();
-
-    // In-distribution residual scale (drift-detector calibration): distance
-    // of reported quality to the closest center along the discriminator's
-    // dimension, over a stride sample of the labelled data.
-    let residual_p99 = {
-        let strided: Vec<ContentState> = unlabeled
-            .segments()
-            .iter()
-            .step_by(7)
-            .map(|s| s.content)
-            .collect();
-        let disc_config = &profiles[discriminator].config;
-        let categories_ref = &categories;
-        let mut residuals: Vec<f64> = pool.par_map(&strided, |i, content| {
-            let mut rng = seeding::indexed_rng(hyper.seed, seeding::TAG_RESIDUAL, i);
-            let q = workload.reported_quality(disc_config, content, &mut rng);
-            let c = categories_ref.classify_single(discriminator, q);
-            (categories_ref.avg_quality(discriminator, c) - q).abs()
-        });
-        residuals.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
-        residuals[(residuals.len() as f64 * 0.99) as usize % residuals.len().max(1)]
-    };
-
-    let t0 = Instant::now();
-    let spec = ForecastSpec {
-        input_secs: hyper.forecast_input_secs,
-        input_splits: hyper.forecast_input_splits,
-        horizon_secs: hyper.planned_interval_secs,
-        sample_every_secs: hyper.forecast_sample_every_secs,
-    };
-    let forecaster = Forecaster::train(
-        &timeline,
-        spec,
-        hyper.forecast_epochs,
-        hyper.forecast_val_fraction,
-        hyper.seed,
-    )
-    .ok_or(SkyError::InsufficientData {
-        what: "unlabeled recording shorter than forecaster input + horizon",
-    })?;
-    report.train_secs = t0.elapsed().as_secs_f64();
-    report.forecast_mae = forecaster.val_mae;
-    report.n_train_samples = forecast::ForecastDataset::build(&timeline, &spec).len();
-
-    // Bootstrap tail: the most recent t_in of labels.
-    let tail_segs =
-        ((hyper.forecast_input_secs / workload.segment_len()).round() as usize).min(timeline.len());
-    let tail_cats = timeline.categories[timeline.len() - tail_segs..].to_vec();
-    let tail = CategoryTimeline::new(tail_cats, workload.segment_len(), categories.len());
-
-    let model = FittedModel {
-        workload_name: workload.name().to_string(),
-        seg_len: workload.segment_len(),
-        configs: profiles,
-        quality_rank,
-        cost_rank,
-        categories,
-        forecaster,
-        discriminator,
-        tail,
-        hyper: hyper.clone(),
-        hardware,
-        residual_p99,
-    };
-    Ok((model, report))
+    let mut pipeline =
+        OfflinePipeline::new(workload, hardware, hyper.clone()).with_clustering(clustering);
+    let (artifacts, report) = pipeline.run(labeled, unlabeled)?;
+    Ok((artifacts.into_model(), report))
 }
-
-fn argmin<T>(items: &[T], key: impl Fn(&T) -> f64) -> usize {
-    items
-        .iter()
-        .enumerate()
-        .min_by(|a, b| key(a.1).partial_cmp(&key(b.1)).expect("finite key"))
-        .expect("non-empty")
-        .0
-}
-
-fn rank_by<T>(items: &[T], key: impl Fn(&T) -> f64, descending: bool) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..items.len()).collect();
-    idx.sort_by(|&a, &b| {
-        let (ka, kb) = (key(&items[a]), key(&items[b]));
-        let ord = ka.partial_cmp(&kb).expect("finite key");
-        if descending {
-            ord.reverse()
-        } else {
-            ord
-        }
-    });
-    idx
-}
-
-pub use forecast::ForecastDataset;
 
 #[cfg(test)]
 mod tests {
@@ -503,6 +337,10 @@ mod tests {
         assert_eq!(report.n_configs, model.n_configs());
         assert!(report.forecast_mae.is_finite());
         assert!(report.n_train_samples > 10);
+        // A cold fit computes everything fresh.
+        assert_eq!(report.memo_hits, 0);
+        assert!(report.memo_misses > 0);
+        assert_eq!(report.stages_reused, 0);
     }
 
     #[test]
@@ -577,6 +415,7 @@ mod tests {
             a.forecaster.val_mae, b.forecaster.val_mae,
             "forecaster val MAE"
         );
+        assert_eq!(a.fingerprint(), b.fingerprint(), "model fingerprint");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::Rng;
 
 use vetl_video::Segment;
 
+use crate::error::SkyError;
 use crate::knob::KnobConfig;
 use crate::workload::Workload;
 
@@ -23,8 +24,12 @@ use crate::workload::Workload;
 pub fn anchor_configs<W: Workload + ?Sized>(
     workload: &W,
     labeled: &[Segment],
-) -> (KnobConfig, KnobConfig) {
-    assert!(!labeled.is_empty(), "anchor selection needs labeled data");
+) -> Result<(KnobConfig, KnobConfig), SkyError> {
+    if labeled.is_empty() {
+        return Err(SkyError::InsufficientData {
+            what: "anchor selection needs labeled data",
+        });
+    }
     let space = workload.config_space();
     let reference = &labeled[labeled.len() / 2].content;
 
@@ -33,10 +38,9 @@ pub fn anchor_configs<W: Workload + ?Sized>(
         .min_by(|a, b| {
             workload
                 .work(a, reference)
-                .partial_cmp(&workload.work(b, reference))
-                .expect("finite work")
+                .total_cmp(&workload.work(b, reference))
         })
-        .expect("non-empty config space");
+        .ok_or(SkyError::EmptyConfigSpace)?;
 
     let k_plus = space
         .iter()
@@ -49,11 +53,11 @@ pub fn anchor_configs<W: Workload + ?Sized>(
                 .iter()
                 .map(|s| workload.true_quality(b, &s.content))
                 .sum::<f64>();
-            qa.partial_cmp(&qb).expect("finite quality")
+            qa.total_cmp(&qb)
         })
-        .expect("non-empty config space");
+        .ok_or(SkyError::EmptyConfigSpace)?;
 
-    (k_minus, k_plus)
+    Ok((k_minus, k_plus))
 }
 
 /// Greedy max-min diverse selection of `n_search` segments out of `n_pre`
@@ -66,11 +70,12 @@ pub fn diverse_sample<W: Workload + ?Sized>(
     n_pre: usize,
     n_search: usize,
     rng: &mut StdRng,
-) -> Vec<Segment> {
-    assert!(
-        !unlabeled.is_empty(),
-        "diverse sampling needs unlabeled data"
-    );
+) -> Result<Vec<Segment>, SkyError> {
+    if unlabeled.is_empty() {
+        return Err(SkyError::InsufficientData {
+            what: "diverse sampling needs unlabeled data",
+        });
+    }
     let n_pre = n_pre.min(unlabeled.len()).max(1);
     let n_search = n_search.min(n_pre).max(1);
 
@@ -97,9 +102,11 @@ pub fn diverse_sample<W: Workload + ?Sized>(
         .min_by(|&a, &b| {
             let na = quals[a][0].hypot(quals[a][1]);
             let nb = quals[b][0].hypot(quals[b][1]);
-            na.partial_cmp(&nb).expect("finite norms")
+            na.total_cmp(&nb)
         })
-        .expect("non-empty pre-sample");
+        .ok_or(SkyError::InsufficientData {
+            what: "empty pre-sample for diverse selection",
+        })?;
     selected.push(first);
 
     while selected.len() < n_search {
@@ -108,7 +115,7 @@ pub fn diverse_sample<W: Workload + ?Sized>(
             .max_by(|&a, &b| {
                 let da = min_dist(&quals, &selected, a);
                 let db = min_dist(&quals, &selected, b);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             });
         match next {
             Some(i) => selected.push(i),
@@ -116,7 +123,7 @@ pub fn diverse_sample<W: Workload + ?Sized>(
         }
     }
 
-    selected.into_iter().map(|i| *pre[i]).collect()
+    Ok(selected.into_iter().map(|i| *pre[i]).collect())
 }
 
 fn min_dist(quals: &[[f64; 2]], selected: &[usize], candidate: usize) -> f64 {
@@ -148,7 +155,7 @@ mod tests {
     fn anchors_are_cheapest_and_best() {
         let w = ToyWorkload::new();
         let (labeled, _) = data();
-        let (k_minus, k_plus) = anchor_configs(&w, &labeled);
+        let (k_minus, k_plus) = anchor_configs(&w, &labeled).expect("anchors");
         let space = w.config_space();
         assert_eq!(k_minus, space.min_config());
         assert_eq!(k_plus, space.max_config());
@@ -158,9 +165,9 @@ mod tests {
     fn diverse_sample_returns_requested_count() {
         let w = ToyWorkload::new();
         let (labeled, unlabeled) = data();
-        let (km, kp) = anchor_configs(&w, &labeled);
+        let (km, kp) = anchor_configs(&w, &labeled).expect("anchors");
         let mut rng = StdRng::seed_from_u64(7);
-        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 64, 5, &mut rng);
+        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 64, 5, &mut rng).expect("sample");
         assert_eq!(sel.len(), 5);
     }
 
@@ -169,9 +176,9 @@ mod tests {
         // Selected segments should spread across difficulty, not cluster.
         let w = ToyWorkload::new();
         let (labeled, unlabeled) = data();
-        let (km, kp) = anchor_configs(&w, &labeled);
+        let (km, kp) = anchor_configs(&w, &labeled).expect("anchors");
         let mut rng = StdRng::seed_from_u64(7);
-        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 128, 6, &mut rng);
+        let sel = diverse_sample(&w, &unlabeled, &km, &kp, 128, 6, &mut rng).expect("sample");
         let min = sel
             .iter()
             .map(|s| s.content.difficulty)
@@ -190,9 +197,9 @@ mod tests {
     fn handles_tiny_datasets() {
         let w = ToyWorkload::new();
         let (labeled, unlabeled) = data();
-        let (km, kp) = anchor_configs(&w, &labeled);
+        let (km, kp) = anchor_configs(&w, &labeled).expect("anchors");
         let mut rng = StdRng::seed_from_u64(7);
-        let sel = diverse_sample(&w, &unlabeled[..2], &km, &kp, 64, 10, &mut rng);
+        let sel = diverse_sample(&w, &unlabeled[..2], &km, &kp, 64, 10, &mut rng).expect("sample");
         assert!(!sel.is_empty());
         assert!(sel.len() <= 10);
     }

@@ -34,6 +34,13 @@ impl KnobPlan {
         Self { alpha }
     }
 
+    /// Rebuild from rows that are already normalized — the knowledge-base
+    /// decoder's constructor. Skips the defensive renormalization of
+    /// [`new`](Self::new) so persisted plans reload bitwise identically.
+    pub(crate) fn from_normalized(alpha: Vec<Vec<f64>>) -> Self {
+        Self { alpha }
+    }
+
     /// A plan that always uses configuration `k` for every category — the
     /// static baseline's plan, and the bootstrap before the first LP solve.
     pub fn single_config(n_categories: usize, n_configs: usize, k: usize) -> Self {

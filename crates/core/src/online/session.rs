@@ -566,7 +566,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
     /// Forecast the category distribution for the next planned interval
     /// from the recent history — what an external (joint) planner feeds the
     /// shared LP.
-    pub fn forecast_distribution(&self) -> Vec<f64> {
+    pub fn forecast_distribution(&self) -> Result<Vec<f64>, SkyError> {
         let seg_len = self.model.seg_len;
         let tail_len = self
             .state
@@ -632,13 +632,13 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
 
     /// Forecast source dispatch (`r` over categories). `start_seg` indexes
     /// the ground-truth feed for the oracle window.
-    fn forecast_r(&self, history: &[usize], start_seg: usize) -> Vec<f64> {
+    fn forecast_r(&self, history: &[usize], start_seg: usize) -> Result<Vec<f64>, SkyError> {
         let model = self.model;
         let n_c = model.n_categories();
         let seg_len = model.seg_len;
-        match self.options.forecast {
+        Ok(match self.options.forecast {
             ForecastMode::Model => {
-                let tl = CategoryTimeline::new(history.to_vec(), seg_len, n_c);
+                let tl = CategoryTimeline::new(history.to_vec(), seg_len, n_c)?;
                 model.forecaster.forecast(&tl)
             }
             ForecastMode::GroundTruth => {
@@ -656,7 +656,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
                     }
                 };
                 if window.is_empty() {
-                    return vec![1.0 / n_c as f64; n_c];
+                    return Ok(vec![1.0 / n_c as f64; n_c]);
                 }
                 let mut r = vec![0.0; n_c];
                 for &c in window {
@@ -669,7 +669,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
                 r
             }
             ForecastMode::Uniform => vec![1.0 / n_c as f64; n_c],
-        }
+        })
     }
 
     /// Run the planner (initial plan or interval replan) and install the
@@ -684,7 +684,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
 
         let r = if initial {
             let history = self.state.history.clone();
-            self.forecast_r(&history, 0)
+            self.forecast_r(&history, 0)?
         } else {
             let tail_len = self
                 .state
@@ -699,12 +699,12 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             if fine_tuned {
                 // §3.3: fine-tune on the recently observed categories before
                 // forecasting from them.
-                let observed = CategoryTimeline::new(self.state.history.clone(), seg_len, n_c);
+                let observed = CategoryTimeline::new(self.state.history.clone(), seg_len, n_c)?;
                 let recent = CategoryTimeline::new(
                     self.state.history[recent_start..].to_vec(),
                     seg_len,
                     n_c,
-                );
+                )?;
                 let f = self
                     .state
                     .tuned_forecaster
@@ -714,7 +714,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
                 f.forecast(&recent)
             } else {
                 let recent = self.state.history[recent_start..].to_vec();
-                self.forecast_r(&recent, i)
+                self.forecast_r(&recent, i)?
             }
         };
 
@@ -1097,7 +1097,7 @@ mod tests {
     fn forecast_distribution_is_a_distribution() {
         let (w, model, _) = setup(2);
         let session = IngestSession::new(&model, &w, IngestOptions::default());
-        let r = session.forecast_distribution();
+        let r = session.forecast_distribution().expect("forecast");
         assert_eq!(r.len(), model.n_categories());
         assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
         assert!(r.iter().all(|&v| v >= -1e-12));

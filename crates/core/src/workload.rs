@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use vetl_sim::TaskGraph;
 use vetl_video::ContentState;
 
-use crate::knob::{ConfigSpace, Knob, KnobConfig};
+use crate::knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
 
 /// A user-defined V-ETL workload.
 ///
@@ -67,6 +67,36 @@ pub trait Workload: Send + Sync {
     fn work_rate(&self, config: &KnobConfig, content: &ContentState) -> f64 {
         self.work(config, content) / self.segment_len()
     }
+
+    /// Stable identity of this workload: name, segment length, and the full
+    /// knob registry (names, domains). The knowledge base scopes persisted
+    /// artifacts and memoized evaluations to this fingerprint — changing the
+    /// knob space triggers the full-refit fallback. Workloads whose
+    /// cost/quality responses have additional tunable parameters should
+    /// override this and fold those in.
+    fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv::new();
+        h.eat_str(self.name());
+        h.eat_f64(self.segment_len());
+        for knob in self.knobs() {
+            h.eat_str(&knob.name);
+            h.eat(knob.domain.len() as u64);
+            for value in &knob.domain {
+                match value {
+                    KnobValue::Int(v) => {
+                        h.eat(1).eat(*v as u64);
+                    }
+                    KnobValue::Float(v) => {
+                        h.eat(2).eat_f64(*v);
+                    }
+                    KnobValue::Text(v) => {
+                        h.eat(3).eat_str(v);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +140,38 @@ mod tests {
         assert!(best_q > cheap_q + 0.2, "best {best_q} vs cheap {cheap_q}");
         // And the expensive config costs more.
         assert!(w.work(&space.max_config(), &hard) > w.work(&space.min_config(), &hard));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_knob_sensitive() {
+        let w = ToyWorkload::new();
+        assert_eq!(w.fingerprint(), ToyWorkload::new().fingerprint());
+
+        struct Renamed(ToyWorkload);
+        impl Workload for Renamed {
+            fn name(&self) -> &str {
+                "toy-renamed"
+            }
+            fn knobs(&self) -> &[Knob] {
+                self.0.knobs()
+            }
+            fn segment_len(&self) -> f64 {
+                self.0.segment_len()
+            }
+            fn task_graph(&self, c: &KnobConfig, s: &ContentState) -> TaskGraph {
+                self.0.task_graph(c, s)
+            }
+            fn true_quality(&self, c: &KnobConfig, s: &ContentState) -> f64 {
+                self.0.true_quality(c, s)
+            }
+            fn reported_quality(&self, c: &KnobConfig, s: &ContentState, r: &mut StdRng) -> f64 {
+                self.0.reported_quality(c, s, r)
+            }
+        }
+        assert_ne!(
+            w.fingerprint(),
+            Renamed(ToyWorkload::new()).fingerprint(),
+            "name must distinguish workloads"
+        );
     }
 }

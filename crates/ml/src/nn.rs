@@ -206,6 +206,21 @@ impl Mlp {
             .build()
     }
 
+    /// Rebuild a network from explicit layers (deserialization). Layers must
+    /// chain: each layer's input dimension equals the previous layer's
+    /// output dimension. Returns `None` for an empty or non-chaining stack.
+    pub fn from_layers(layers: Vec<Layer>) -> Option<Self> {
+        if layers.is_empty() {
+            return None;
+        }
+        for w in layers.windows(2) {
+            if w[1].in_dim() != w[0].out_dim() {
+                return None;
+            }
+        }
+        Some(Self { layers })
+    }
+
     /// Layers, in forward order.
     pub fn layers(&self) -> &[Layer] {
         &self.layers
@@ -565,6 +580,20 @@ mod tests {
             .cloned()
             .fold(f64::INFINITY, f64::min);
         assert!((report.val_loss[report.best_epoch] - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_layers_validates_chaining() {
+        let net = Mlp::forecaster(4, 3, 9);
+        let rebuilt = Mlp::from_layers(net.layers().to_vec()).expect("valid chain");
+        assert_eq!(
+            rebuilt.forward(&[0.1, 0.2, 0.3, 0.4]),
+            net.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
+        assert!(Mlp::from_layers(vec![]).is_none());
+        let mut broken = net.layers().to_vec();
+        broken.swap(0, 2);
+        assert!(Mlp::from_layers(broken).is_none());
     }
 
     #[test]

@@ -81,6 +81,22 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Build a spec with generated data.
     pub fn build(which: PaperWorkload, scale: DataScale, seed: u64) -> Self {
+        Self::build_grown(which, scale, seed, 0.0).0
+    }
+
+    /// [`build`](Self::build), additionally returning an **extended**
+    /// unlabeled recording: the same camera kept recording for another
+    /// `growth` × the unlabeled duration after the first harvest, so the
+    /// extension's prefix is bit-identical to `spec.unlabeled`. This is the
+    /// input shape of incremental refit (fit on `spec.unlabeled`, refit on
+    /// the extension) — used by the `offline_refit` bench and the
+    /// knowledge-base property tests.
+    pub fn build_grown(
+        which: PaperWorkload,
+        scale: DataScale,
+        seed: u64,
+        growth: f64,
+    ) -> (Self, Recording) {
         let day = 86_400.0;
         let (unlabeled_secs, online_secs, planned, splits) = match (which, scale) {
             (PaperWorkload::MoseiHigh | PaperWorkload::MoseiLong, DataScale::Paper) => {
@@ -89,9 +105,11 @@ impl WorkloadSpec {
             (_, DataScale::Paper) => (16.0 * day, 8.0 * day, 2.0 * day, 8),
             (_, DataScale::Fast) => (2.0 * day, 1.0 * day, 0.25 * day, 4),
         };
+        let extra_secs = unlabeled_secs * growth.max(0.0);
 
-        let (workload, labeled, unlabeled, online): (
+        let (workload, labeled, unlabeled, extra, online): (
             Box<dyn Workload>,
+            Recording,
             Recording,
             Recording,
             Vec<Segment>,
@@ -100,15 +118,37 @@ impl WorkloadSpec {
                 let mut cam = SyntheticCamera::new(ContentParams::shopping_street(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
+                let extra = if extra_secs > 0.0 {
+                    Recording::record(&mut cam, extra_secs)
+                } else {
+                    Recording::default()
+                };
                 let online = Recording::record(&mut cam, online_secs).segments().to_vec();
-                (Box::new(CovidWorkload::new()), labeled, unlabeled, online)
+                (
+                    Box::new(CovidWorkload::new()),
+                    labeled,
+                    unlabeled,
+                    extra,
+                    online,
+                )
             }
             PaperWorkload::Mot => {
                 let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
+                let extra = if extra_secs > 0.0 {
+                    Recording::record(&mut cam, extra_secs)
+                } else {
+                    Recording::default()
+                };
                 let online = Recording::record(&mut cam, online_secs).segments().to_vec();
-                (Box::new(MotWorkload::new()), labeled, unlabeled, online)
+                (
+                    Box::new(MotWorkload::new()),
+                    labeled,
+                    unlabeled,
+                    extra,
+                    online,
+                )
             }
             PaperWorkload::MoseiHigh | PaperWorkload::MoseiLong => {
                 let variant = if which == PaperWorkload::MoseiHigh {
@@ -119,11 +159,17 @@ impl WorkloadSpec {
                 let mut gen = MoseiStreamGen::new(variant, seed);
                 let labeled = gen.record(20.0 * 60.0);
                 let unlabeled = gen.record(unlabeled_secs);
+                let extra = if extra_secs > 0.0 {
+                    gen.record(extra_secs)
+                } else {
+                    Recording::default()
+                };
                 let online = gen.record(online_secs).segments().to_vec();
                 (
                     Box::new(MoseiWorkload::new(variant)),
                     labeled,
                     unlabeled,
+                    extra,
                     online,
                 )
             }
@@ -131,8 +177,19 @@ impl WorkloadSpec {
                 let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(seed), 2.0);
                 let labeled = Recording::record(&mut cam, 20.0 * 60.0);
                 let unlabeled = Recording::record(&mut cam, unlabeled_secs);
+                let extra = if extra_secs > 0.0 {
+                    Recording::record(&mut cam, extra_secs)
+                } else {
+                    Recording::default()
+                };
                 let online = Recording::record(&mut cam, online_secs).segments().to_vec();
-                (Box::new(EvWorkload::new()), labeled, unlabeled, online)
+                (
+                    Box::new(EvWorkload::new()),
+                    labeled,
+                    unlabeled,
+                    extra,
+                    online,
+                )
             }
         };
 
@@ -155,14 +212,21 @@ impl WorkloadSpec {
             ..SkyscraperConfig::default()
         };
 
-        Self {
-            which,
-            workload,
-            hyper,
-            labeled,
-            unlabeled,
-            online,
-        }
+        let mut extended = unlabeled.segments().to_vec();
+        extended.extend_from_slice(extra.segments());
+        let extended = Recording::from_segments(extended);
+
+        (
+            Self {
+                which,
+                workload,
+                hyper,
+                labeled,
+                unlabeled,
+                online,
+            },
+            extended,
+        )
     }
 
     /// Online stream duration in seconds.
@@ -187,6 +251,29 @@ mod tests {
             assert!(spec.online_secs() >= 0.9 * 86_400.0, "{which:?} online");
             assert!(spec.workload.config_space().size() > 8);
         }
+    }
+
+    #[test]
+    fn grown_spec_extends_the_unlabeled_prefix_bitwise() {
+        let (spec, extended) =
+            WorkloadSpec::build_grown(PaperWorkload::Mot, DataScale::Fast, 7, 0.25);
+        assert!(extended.len() > spec.unlabeled.len());
+        for (a, b) in spec.unlabeled.segments().iter().zip(extended.segments()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(
+                a.content.time.as_secs().to_bits(),
+                b.content.time.as_secs().to_bits()
+            );
+            assert_eq!(
+                a.content.difficulty.to_bits(),
+                b.content.difficulty.to_bits()
+            );
+            assert_eq!(a.bytes.to_bits(), b.bytes.to_bits());
+        }
+        // Zero growth degrades to the plain build.
+        let (spec0, extended0) =
+            WorkloadSpec::build_grown(PaperWorkload::Mot, DataScale::Fast, 7, 0.0);
+        assert_eq!(extended0.len(), spec0.unlabeled.len());
     }
 
     #[test]

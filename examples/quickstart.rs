@@ -1,15 +1,21 @@
 //! Quickstart: the EV-counting example from the paper's introduction and
-//! Appendix F, in ~40 lines of user code.
+//! Appendix F, now driven through the **staged offline pipeline**.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Mirrors the paper's Python flow:
-//! 1. instantiate Skyscraper for a workload (UDF DAG + registered knobs),
-//! 2. `set_resources(num_cores, buffer_mb, cloud_budget)`,
-//! 3. `fit(labeled, unlabeled)` — the offline preparation phase,
-//! 4. ingest the live stream.
+//! The offline phase (§3) is four artifacts, each independently runnable
+//! and persistable:
+//!
+//! ```text
+//! profile ──▶ categorize ──▶ forecast ──▶ plan
+//! ```
+//!
+//! `Skyscraper::fit` wraps exactly this pipeline; here the stages run one
+//! by one so their outputs are visible. The fitted model is saved to a
+//! knowledge base at the end — see `examples/knowledge_base.rs` for
+//! reloading it and refitting incrementally.
 
 use vetl::prelude::*;
 
@@ -17,15 +23,14 @@ fn main() {
     // The EV workload: YOLO detector + KCF tracker with two knobs
     // (det_interval ∈ {10,5,1}, yolo_size ∈ {small,medium,large}).
     let workload = EvWorkload::new();
-    let mut sky = Skyscraper::new(workload);
-    sky.set_resources(4, 4_000.0, 1.0); // 4 cores, 4 GB buffer, $1 cloud/interval
-    sky.set_hyperparameters(SkyscraperConfig {
+    let hardware = HardwareSpec::with_cores(4); // 4 cores, 4 GB buffer, default cloud
+    let hyper = SkyscraperConfig {
         n_categories: 3,
         planned_interval_secs: 6.0 * 3_600.0,
         forecast_input_secs: 6.0 * 3_600.0,
         forecast_input_splits: 6,
         ..SkyscraperConfig::default()
-    });
+    };
 
     // Record historical data from the camera that will be ingested live:
     // 20 labeled minutes plus two unlabeled days (§3).
@@ -33,18 +38,66 @@ fn main() {
     let labeled = Recording::record(&mut camera, 20.0 * 60.0);
     let unlabeled = Recording::record(&mut camera, 2.0 * 86_400.0);
 
-    println!("fitting Skyscraper offline (§3)…");
-    let report = sky.fit(&labeled, &unlabeled).expect("offline phase");
+    // ---- The staged offline pipeline (§3). ----
+    let mut pipeline = OfflinePipeline::new(&workload, hardware, hyper.clone());
+
+    println!("stage 1/4: filter knob configurations + placements (App. A)…");
+    let profile = pipeline
+        .profile(&labeled, &unlabeled)
+        .expect("profile stage");
     println!(
-        "  kept {} knob configurations with {} Pareto placements, {} content categories",
-        report.n_configs, report.n_placements, report.n_categories
-    );
-    println!(
-        "  forecaster trained on {} samples (validation MAE {:.3})",
-        report.n_train_samples, report.forecast_mae
+        "  kept {} configurations with {} Pareto placements",
+        profile.configs.len(),
+        profile
+            .configs
+            .iter()
+            .map(|p| p.placements.len())
+            .sum::<usize>()
     );
 
-    // Go live: ingest six hours of video.
+    println!("stage 2/4: categorize video dynamics (§3.2)…");
+    let category = pipeline
+        .categorize(&unlabeled, &profile)
+        .expect("category stage");
+    println!(
+        "  {} content categories, discriminator = config #{}",
+        category.categories.len(),
+        category.discriminator
+    );
+
+    println!("stage 3/4: label data + train the forecaster (§3.3)…");
+    let forecast = pipeline
+        .forecast(&unlabeled, &profile, &category)
+        .expect("forecast stage");
+    println!(
+        "  forecaster trained on {} samples (validation MAE {:.3})",
+        forecast.n_train_samples, forecast.forecaster.val_mae
+    );
+
+    println!("stage 4/4: assemble the model + seed the first knob plan…");
+    let plan = pipeline
+        .plan(&profile, &category, &forecast)
+        .expect("plan stage");
+    println!(
+        "  seeded plan covers {} categories × {} configurations",
+        plan.seed_plan.n_categories(),
+        plan.seed_plan.n_configs()
+    );
+
+    // Hand the fitted model to the facade and go live: ingest six hours.
+    // (`sky.fit(&labeled, &unlabeled)` runs the identical pipeline in one
+    // call; the staged form exists for persistence and incremental refit.)
+    let mut sky = Skyscraper::new(workload);
+    sky.set_hardware(hardware);
+    sky.set_hyperparameters(hyper);
+    sky.set_cloud_budget_usd(1.0);
+    sky.fit(&labeled, &unlabeled).expect("facade fit");
+    assert_eq!(
+        sky.model().unwrap().fingerprint(),
+        plan.model.fingerprint(),
+        "facade fit equals the staged pipeline bitwise"
+    );
+
     println!("ingesting 6 hours of live video (§4)…");
     let live = Recording::record(&mut camera, 6.0 * 3_600.0);
     let out = sky.ingest(live.segments()).expect("online ingestion");
@@ -66,4 +119,9 @@ fn main() {
         out.overflows
     );
     assert_eq!(out.overflows, 0);
+
+    // Persist everything for the next process — model, artifacts, memo.
+    let kb_dir = std::env::temp_dir().join("vetl-quickstart-kb");
+    sky.save_model(&kb_dir).expect("save model");
+    println!("model saved to {}", kb_dir.display());
 }

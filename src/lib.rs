@@ -33,9 +33,9 @@ pub use vetl_workloads as workloads;
 pub mod prelude {
     pub use skyscraper::{
         ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession, Knob,
-        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, MultiStreamServer,
-        SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig, StepReport, StreamId,
-        StreamStats, Workload,
+        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, KnowledgeBase,
+        MultiStreamServer, OfflineArtifacts, OfflinePipeline, SessionCheckpoint, SkyError,
+        Skyscraper, SkyscraperConfig, StepReport, StreamId, StreamStats, Workload,
     };
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};

@@ -1,0 +1,197 @@
+//! Knowledge-base persistence and incremental-refit guarantees.
+//!
+//! The two acceptance properties of the artifact pipeline:
+//!
+//! * **Round-trip**: `save → load` reproduces the original `FittedModel`
+//!   bitwise, and an online run over the loaded model is bitwise identical
+//!   to one over the freshly fitted model.
+//! * **Incremental refit**: refitting on a recording extended by appended
+//!   segments is bitwise identical to a cold full fit on the extended
+//!   recording — while replaying most evaluations from the memo.
+
+use std::path::PathBuf;
+
+use vetl::prelude::*;
+use vetl::skyscraper::offline::OfflinePipeline;
+use vetl::skyscraper::testkit::ToyWorkload;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vetl-kbtest-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Data {
+    labeled: Recording,
+    unlabeled: Recording,
+    extended: Recording,
+    online: Vec<Segment>,
+}
+
+fn data() -> Data {
+    let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0);
+    let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut cam, 43_200.0);
+    let extra = Recording::record(&mut cam, 21_600.0);
+    let mut segs = unlabeled.segments().to_vec();
+    segs.extend_from_slice(extra.segments());
+    let extended = Recording::from_segments(segs);
+    let online = Recording::record(&mut cam, 3_600.0).segments().to_vec();
+    Data {
+        labeled,
+        unlabeled,
+        extended,
+        online,
+    }
+}
+
+fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
+    assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
+    assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
+    assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
+    assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
+    assert_eq!(a.overflows, b.overflows);
+    assert_eq!(a.switches, b.switches);
+    assert_eq!(a.plans, b.plans);
+    assert_eq!(a.segments, b.segments);
+}
+
+#[test]
+fn save_load_online_run_is_bitwise_identical_to_fit_run() {
+    let dir = tmpdir("roundtrip");
+    let d = data();
+
+    let mut sky = Skyscraper::new(ToyWorkload::new());
+    sky.set_resources(4, 4_000.0, 0.5);
+    sky.set_hyperparameters(SkyscraperConfig::fast_test());
+    sky.fit(&d.labeled, &d.unlabeled).expect("fit");
+    sky.save_model(&dir).expect("save");
+
+    let mut loaded = Skyscraper::new(ToyWorkload::new());
+    loaded.set_cloud_budget_usd(0.5);
+    loaded.load_model(&dir).expect("load");
+
+    // The model itself reloads bitwise.
+    assert_eq!(
+        loaded.model().unwrap().fingerprint(),
+        sky.model().unwrap().fingerprint()
+    );
+
+    // And drives the online phase identically.
+    let fresh = sky.ingest(&d.online).expect("ingest fitted");
+    let replay = loaded.ingest(&d.online).expect("ingest loaded");
+    assert_outcomes_bitwise_equal(&fresh, &replay);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incremental_refit_equals_cold_fit_on_extended_recording() {
+    let d = data();
+    let w = ToyWorkload::new();
+    let hw = HardwareSpec::with_cores(4);
+    let hyper = SkyscraperConfig::fast_test();
+
+    // Warm: fit the base recording, then refit the extension.
+    let mut warm = OfflinePipeline::new(&w, hw, hyper.clone());
+    let (base, _) = warm.run(&d.labeled, &d.unlabeled).expect("base fit");
+    let (warm_arts, warm_report) = warm
+        .refit(&base, &d.labeled, &d.extended)
+        .expect("warm refit");
+
+    // Cold: fit the extension from scratch.
+    let mut cold = OfflinePipeline::new(&w, hw, hyper);
+    let (cold_arts, cold_report) = cold.run(&d.labeled, &d.extended).expect("cold fit");
+
+    assert_eq!(
+        warm_arts.model().fingerprint(),
+        cold_arts.model().fingerprint(),
+        "refit must be bitwise identical to a cold fit"
+    );
+    assert!(warm_report.memo_hits > 0, "prefix evaluations must replay");
+    assert!(
+        warm_report.memo_misses < cold_report.memo_misses,
+        "warm refit must evaluate strictly less ({} vs {})",
+        warm_report.memo_misses,
+        cold_report.memo_misses
+    );
+
+    // The equivalence also holds end-to-end through the online phase.
+    let warm_out = IngestSession::batch(warm_arts.model(), &w, IngestOptions::default(), &d.online)
+        .expect("warm online");
+    let cold_out = IngestSession::batch(cold_arts.model(), &w, IngestOptions::default(), &d.online)
+        .expect("cold online");
+    assert_outcomes_bitwise_equal(&warm_out, &cold_out);
+}
+
+#[test]
+fn kb_persisted_memo_survives_a_process_boundary() {
+    let dir = tmpdir("memo");
+    let d = data();
+
+    // Process 1: fit the base recording, persist everything.
+    {
+        let mut sky = Skyscraper::new(ToyWorkload::new());
+        sky.set_resources(4, 4_000.0, 1.0);
+        sky.set_hyperparameters(SkyscraperConfig::fast_test());
+        sky.fit(&d.labeled, &d.unlabeled).expect("fit");
+        sky.save_model(&dir).expect("save");
+    }
+
+    // Process 2: load and refit incrementally on the grown recording.
+    let mut sky = Skyscraper::new(ToyWorkload::new());
+    sky.load_model(&dir).expect("load");
+    let report = sky.refit(&d.labeled, &d.extended).expect("refit");
+    assert!(
+        report.memo_hits > 0,
+        "the persisted memo must fuel the refit"
+    );
+
+    // Reference: cold fit of the extension.
+    let mut cold = Skyscraper::new(ToyWorkload::new());
+    cold.set_resources(4, 4_000.0, 1.0);
+    cold.set_hyperparameters(SkyscraperConfig::fast_test());
+    cold.fit(&d.labeled, &d.extended).expect("cold fit");
+    assert_eq!(
+        sky.model().unwrap().fingerprint(),
+        cold.model().unwrap().fingerprint()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hardware_change_invalidates_artifacts_but_still_fits() {
+    let d = data();
+    let mut sky = Skyscraper::new(ToyWorkload::new());
+    sky.set_resources(4, 4_000.0, 1.0);
+    sky.set_hyperparameters(SkyscraperConfig::fast_test());
+    sky.fit(&d.labeled, &d.unlabeled).expect("fit");
+    let before = sky.model().unwrap().fingerprint();
+
+    // Re-provision: every stage must recompute against the new hardware.
+    sky.set_cores(8);
+    let report = sky.refit(&d.labeled, &d.unlabeled).expect("refit");
+    assert_eq!(
+        report.stages_reused, 0,
+        "stale artifacts must not be reused"
+    );
+    assert_ne!(
+        sky.model().unwrap().fingerprint(),
+        before,
+        "placement profiles depend on the cluster size"
+    );
+
+    // And it matches a cold fit on the new hardware bitwise.
+    let mut cold = Skyscraper::new(ToyWorkload::new());
+    cold.set_resources(8, 4_000.0, 1.0);
+    cold.set_hyperparameters(SkyscraperConfig::fast_test());
+    cold.fit(&d.labeled, &d.unlabeled).expect("cold fit");
+    assert_eq!(
+        sky.model().unwrap().fingerprint(),
+        cold.model().unwrap().fingerprint()
+    );
+}

@@ -187,6 +187,37 @@ fn session_fixture() -> &'static (ToyWorkload, FittedModel, Vec<Segment>) {
     })
 }
 
+/// The session fixture's model pushed through a knowledge-base round-trip:
+/// `(workload, fitted model, reloaded model, online segments)`.
+fn kb_fixture() -> (
+    &'static ToyWorkload,
+    &'static FittedModel,
+    &'static FittedModel,
+    &'static [Segment],
+) {
+    static LOADED: OnceLock<FittedModel> = OnceLock::new();
+    let (w, model, pool) = session_fixture();
+    let loaded = LOADED.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "vetl-prop-kb-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kb = vetl::skyscraper::offline::KnowledgeBase::open(&dir).expect("open kb");
+        kb.save_model(model).expect("save");
+        let loaded = kb.load_model().expect("load");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            loaded.fingerprint(),
+            model.fingerprint(),
+            "round-trip must be bitwise"
+        );
+        loaded
+    });
+    (w, model, loaded, pool)
+}
+
 fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
     assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
     assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
@@ -243,6 +274,35 @@ proptest! {
             session.push(seg).expect("push");
         }
         assert_outcomes_bitwise_equal(&batch, &session.finish());
+    }
+
+    /// For random windows, seeds, budgets and gates, an online run over a
+    /// model that went through a knowledge-base `save → load` round-trip is
+    /// bitwise identical to a run over the freshly fitted model — the
+    /// persisted codec is invisible to the online phase.
+    #[test]
+    fn kb_saved_model_runs_bitwise_identically(
+        seed in 0u64..1_000_000,
+        start in 0usize..100_000,
+        len in 16usize..200,
+        budget in 0.0f64..0.4,
+        buffering in prop::bool::ANY,
+        cloud in prop::bool::ANY,
+    ) {
+        let (w, fitted, loaded, pool) = kb_fixture();
+        let start = start % (pool.len() - len);
+        let segs = &pool[start..start + len];
+        let opts = IngestOptions {
+            seed,
+            cloud_budget_usd: budget,
+            enable_buffering: buffering,
+            enable_cloud: cloud,
+            record_trace: true,
+            ..Default::default()
+        };
+        let a = IngestSession::batch(fitted, w, opts.clone(), segs).expect("fitted run");
+        let b = IngestSession::batch(loaded, w, opts, segs).expect("loaded run");
+        assert_outcomes_bitwise_equal(&a, &b);
     }
 
     /// Checkpointing a session mid-stream and resuming it continues the run
