@@ -1,0 +1,147 @@
+//! Sharded ingest-runtime throughput: 64 streams, 1 shard vs all-core
+//! shards.
+//!
+//! Fits one COVID model and serves 64 concurrent streams (seed-diverged
+//! sessions over the same recording) through an `IngestRuntime`, once with
+//! a single shard and once with one shard per detected core, appending a
+//! `runtime` section to `BENCH_offline.json`. The two drives must produce
+//! bitwise-identical per-stream outcomes — the subsystem's determinism
+//! contract — so the speedup column measures pure scheduling, not drift.
+
+use std::time::Instant;
+
+use skyscraper::runtime::{IngestRuntime, RuntimeConfig};
+use skyscraper::{IngestOptions, MultiOutcome, StreamId};
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, merge_into};
+use vetl_bench::{data_scale, detect_cores, f2, Fitted, Table, SEED};
+use vetl_sim::CostModel;
+use vetl_workloads::{PaperWorkload, MACHINES};
+
+const STREAMS: usize = 64;
+const SERVE_SEGS: usize = 1_800;
+const REPLAN_SECS: f64 = 1_800.0;
+
+struct Drive {
+    admit_secs: f64,
+    serve_secs: f64,
+    segments: usize,
+    out: MultiOutcome,
+}
+
+fn drive(fitted: &Fitted, shards: usize) -> Drive {
+    let model = &fitted.model;
+    let workload = fitted.spec.workload.as_ref();
+    let cheapest_rate = model.configs[model.cheapest()].work_mean / model.seg_len;
+    // Provision exactly enough cluster for 64 fair shares.
+    let total_cores = STREAMS as f64 * cheapest_rate.ceil().max(1.0);
+    let mut rt = IngestRuntime::new(RuntimeConfig {
+        shards,
+        shared_cloud_budget_usd: 2.0,
+        cost_model: CostModel::default(),
+        seed: SEED,
+        replan_interval_secs: Some(REPLAN_SECS),
+        total_cores: Some(total_cores),
+    });
+
+    let t0 = Instant::now();
+    let ids: Vec<StreamId> = (0..STREAMS)
+        .map(|v| {
+            rt.open_stream(
+                format!("cam-{v:02}"),
+                model,
+                workload,
+                IngestOptions::default(),
+            )
+            .expect("admission")
+        })
+        .collect();
+    let admit_secs = t0.elapsed().as_secs_f64();
+
+    let segs = &fitted.spec.online[..SERVE_SEGS.min(fitted.spec.online.len())];
+    let t1 = Instant::now();
+    for seg in segs {
+        for id in &ids {
+            rt.push(*id, seg).expect("balanced driving never overloads");
+        }
+    }
+    let out = rt.finish().expect("finish");
+    let serve_secs = t1.elapsed().as_secs_f64();
+    let segments = out.streams.iter().map(|s| s.outcome.segments).sum();
+    Drive {
+        admit_secs,
+        serve_secs,
+        segments,
+        out,
+    }
+}
+
+fn main() {
+    let scale = data_scale();
+    let cores = detect_cores();
+    let multi_shards = cores.max(2);
+    println!(
+        "Ingest-runtime throughput ({scale:?} scale, {STREAMS} streams, \
+         {cores} cores detected)"
+    );
+    if cores == 1 {
+        println!(
+            "note: 1 core detected (set VETL_THREADS to override) — the \
+             multi-shard leg measures threading overhead, not speedup"
+        );
+    }
+
+    let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[2], scale);
+
+    let single = drive(&fitted, 1);
+    let multi = drive(&fitted, multi_shards);
+
+    // Determinism contract: shard count must not change a single bit.
+    assert_eq!(single.segments, multi.segments);
+    for (a, b) in single.out.streams.iter().zip(&multi.out.streams) {
+        assert_eq!(
+            a.outcome.mean_quality.to_bits(),
+            b.outcome.mean_quality.to_bits(),
+            "stream {} diverged across shard counts",
+            a.workload_id
+        );
+        assert_eq!(a.outcome.overflows, 0, "Eq. 1 must hold while serving");
+    }
+
+    let rate = |d: &Drive| d.segments as f64 / d.serve_secs.max(1e-9);
+    let mut table = Table::new(
+        "runtime serving throughput",
+        &["shards", "admit s", "serve s", "segs/s"],
+    );
+    for (shards, d) in [(1, &single), (multi_shards, &multi)] {
+        table.row(vec![
+            shards.to_string(),
+            f2(d.admit_secs),
+            f2(d.serve_secs),
+            format!("{:.0}", rate(d)),
+        ]);
+    }
+    table.print();
+    let speedup = rate(&multi) / rate(&single).max(1e-9);
+    println!(
+        "\n{} segments × {STREAMS} streams; {multi_shards}-shard vs 1-shard \
+         speedup {speedup:.2}x (joint quality {:.2})",
+        SERVE_SEGS, single.out.joint_quality
+    );
+
+    merge_into(
+        bench_json_path(),
+        "runtime",
+        &jobj(&[
+            ("streams", jnum(STREAMS as f64)),
+            ("segments", jnum(single.segments as f64)),
+            ("cores_detected", jnum(cores as f64)),
+            ("admit_secs", jnum(single.admit_secs)),
+            ("single_shard_serve_secs", jnum(single.serve_secs)),
+            ("single_shard_segs_per_sec", jnum(rate(&single))),
+            ("multi_shards", jnum(multi_shards as f64)),
+            ("multi_shard_serve_secs", jnum(multi.serve_secs)),
+            ("multi_shard_segs_per_sec", jnum(rate(&multi))),
+            ("speedup", jnum(speedup)),
+        ]),
+    );
+}

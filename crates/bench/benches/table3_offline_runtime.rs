@@ -53,9 +53,20 @@ fn main() {
         })
     };
     let serial = fit(1);
-    let parallel = fit(0); // 0 = one worker per available core
+    // Pass the detected core count down explicitly (VETL_THREADS overrides)
+    // so the parallel leg actually fans out and the JSON reports the real
+    // thread count instead of a failed `0 = auto` resolution.
+    let cores = vetl_bench::detect_cores();
+    let parallel = fit(cores);
+    if cores == 1 {
+        println!(
+            "note: only 1 core detected (set VETL_THREADS to override) — \
+             the \"parallel\" leg cannot fan out on this machine"
+        );
+    }
 
     let threads = parallel.report.n_workers;
+    assert_eq!(threads, cores, "report must carry the real worker count");
     let mut table = Table::new(
         "offline step runtimes",
         &[
@@ -101,6 +112,7 @@ fn main() {
         &jobj(&[
             ("scale", jstr(&format!("{scale:?}"))),
             ("workload", jstr("COVID")),
+            ("cores_detected", jnum(cores as f64)),
             ("single_worker", report_json(&serial.report)),
             ("parallel", report_json(&parallel.report)),
             ("speedup", jnum(speedup)),

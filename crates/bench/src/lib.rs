@@ -40,13 +40,41 @@ pub fn data_scale() -> DataScale {
 /// Deterministic experiment seed.
 pub const SEED: u64 = 7;
 
+/// Worker threads for the "parallel" legs of the benches.
+///
+/// Resolution order: the `VETL_THREADS` environment variable (explicit
+/// override for CI or constrained containers), then
+/// [`std::thread::available_parallelism`] (respects cgroup/affinity
+/// limits), then a `/proc/cpuinfo` count as a last resort. Benches must
+/// call this and pass the count down explicitly — relying on a `0 = auto`
+/// default deep inside the pipeline made BENCH_offline.json record
+/// `"threads": 1` for the "parallel" leg whenever resolution failed,
+/// reporting a parallel speedup that never fanned out.
+pub fn detect_cores() -> usize {
+    if let Ok(v) = std::env::var("VETL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get();
+    }
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| {
+            s.lines()
+                .filter(|l| l.starts_with("processor"))
+                .count()
+                .max(1)
+        })
+        .unwrap_or(1)
+}
+
 /// A worker pool sized to the machine, for benches that call the parallel
 /// offline primitives directly.
 pub fn worker_pool() -> ActorPool {
-    let n = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    ActorPool::new(n)
+    ActorPool::new(detect_cores())
 }
 
 /// A fitted workload ready for online experiments.

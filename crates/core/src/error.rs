@@ -55,6 +55,41 @@ pub enum SkyError {
         /// The offending stream index.
         id: usize,
     },
+    /// A segment was pushed to a stream that was already closed
+    /// (`close_stream` or an in-band close marker).
+    StreamClosed {
+        /// The offending stream index.
+        id: usize,
+    },
+    /// A stream's bounded ingress mailbox is full: it already holds a full
+    /// planning epoch of segments and the epoch cannot be dispatched until
+    /// the lagging streams catch up. Typed backpressure — the caller should
+    /// feed the other streams (or close them) and retry.
+    Overloaded {
+        /// The back-pressured stream index.
+        stream: usize,
+        /// Segments currently queued in its mailbox.
+        queued: usize,
+        /// Mailbox capacity in segments (one epoch quota).
+        capacity: usize,
+    },
+    /// A push would advance a stream past the current planning epoch while
+    /// other streams have not finished theirs: the joint replanning barrier
+    /// cannot fire yet. Feed the lagging streams (or close them) first.
+    EpochBarrier {
+        /// The stream that ran ahead.
+        stream: usize,
+        /// Active streams that have not yet exhausted their epoch quota.
+        waiting_on: usize,
+    },
+    /// A per-stream push inside a multi-stream batch failed; carries the
+    /// offending stream so one bad stream does not abort the batch opaquely.
+    PushFailed {
+        /// The stream whose push failed.
+        stream: usize,
+        /// The underlying per-push error.
+        source: Box<SkyError>,
+    },
     /// A caller-supplied value is structurally invalid (non-positive segment
     /// length, zero categories, out-of-range label, …).
     InvalidInput {
@@ -141,6 +176,26 @@ impl std::fmt::Display for SkyError {
             SkyError::UnknownStream { id } => {
                 write!(f, "stream id {id} was never admitted to this server")
             }
+            SkyError::StreamClosed { id } => {
+                write!(f, "stream id {id} is closed and accepts no more segments")
+            }
+            SkyError::Overloaded {
+                stream,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "stream {stream} is overloaded: mailbox holds {queued} of {capacity} segments \
+                 and the epoch cannot dispatch until lagging streams catch up"
+            ),
+            SkyError::EpochBarrier { stream, waiting_on } => write!(
+                f,
+                "stream {stream} reached the epoch barrier; {waiting_on} stream(s) have not \
+                 finished their planning epoch yet"
+            ),
+            SkyError::PushFailed { stream, source } => {
+                write!(f, "push to stream {stream} failed: {source}")
+            }
             SkyError::InvalidInput { what } => write!(f, "invalid input: {what}"),
             SkyError::NonFinite { what } => {
                 write!(f, "non-finite statistic in the offline phase: {what}")
@@ -167,6 +222,9 @@ impl std::fmt::Display for SkyError {
     }
 }
 
+// `PushFailed` deliberately renders its inner error in `Display` instead of
+// exposing it through `Error::source` — error-chain reporters would print
+// the cause twice otherwise.
 impl std::error::Error for SkyError {}
 
 impl From<LpError> for SkyError {
@@ -202,6 +260,25 @@ mod tests {
         assert!(e.to_string().contains("stream 1"));
         assert!(SkyError::NoStreams.to_string().contains("at least one"));
         assert!(SkyError::UnknownStream { id: 7 }.to_string().contains('7'));
+        assert!(SkyError::StreamClosed { id: 4 }.to_string().contains('4'));
+        let e = SkyError::Overloaded {
+            stream: 2,
+            queued: 900,
+            capacity: 900,
+        };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("900"));
+        let e = SkyError::EpochBarrier {
+            stream: 1,
+            waiting_on: 3,
+        };
+        assert!(e.to_string().contains("barrier"));
+        let e = SkyError::PushFailed {
+            stream: 5,
+            source: Box::new(SkyError::NoPlanInstalled),
+        };
+        assert!(e.to_string().contains("stream 5"));
+        assert!(e.to_string().contains("install_plan"));
         assert!(SkyError::NoPlanInstalled
             .to_string()
             .contains("install_plan"));

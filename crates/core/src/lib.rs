@@ -34,7 +34,13 @@
 //!   backlog, and cloud spend (with checkpoint/resume).
 //! * [`multistream`] — the Appendix-D generalization: a
 //!   [`multistream::MultiStreamServer`] multiplexing many sessions through
-//!   the joint LP of Eqs. 7–9 with a shared cloud wallet.
+//!   the joint LP of Eqs. 7–9 with a shared cloud wallet, in epoch-lease
+//!   semantics (per-epoch pre-split wallet leases, quota-defined barriers).
+//! * [`runtime`] — the concurrent serving tier: a
+//!   [`runtime::IngestRuntime`] sharding sessions across worker threads
+//!   with bounded ingress mailboxes, epoch-barrier joint replanning, and
+//!   mid-run stream churn — bitwise identical to the sequential server for
+//!   every shard count.
 //! * [`api`] — a user-facing facade mirroring the Python API of Appendix F.
 //!
 //! ## Quality model
@@ -55,6 +61,7 @@ pub mod multistream;
 pub mod offline;
 pub mod online;
 pub mod profile;
+pub mod runtime;
 #[doc(hidden)]
 pub mod testkit;
 pub mod workload;
@@ -64,7 +71,7 @@ pub use category::ContentCategories;
 pub use config::SkyscraperConfig;
 pub use error::SkyError;
 pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
-pub use multistream::{MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
+pub use multistream::{JointPlanRecord, MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
 pub use offline::{
     run_offline, CategoryArtifact, EvalMemo, FittedModel, ForecastArtifact, KnowledgeBase,
     OfflineArtifacts, OfflinePipeline, OfflineReport, PlanArtifact, ProfileArtifact,
@@ -77,4 +84,5 @@ pub use online::session::{
 };
 pub use online::switcher::{Decision, KnobSwitcher, SwitcherLimits};
 pub use profile::{ConfigProfile, PlacementProfile};
+pub use runtime::{IngestRuntime, RuntimeConfig, RuntimeMetrics, StreamMetrics};
 pub use workload::Workload;

@@ -13,9 +13,30 @@
 //! whose cheapest configuration cannot run in real time on its fair share
 //! of the cluster), segments are fed per stream with
 //! [`MultiStreamServer::push`] (or interleaved with
-//! [`MultiStreamServer::push_round_robin`]), the joint LP re-runs at the
-//! shared planning cadence, and all placements draw cloud credits from one
-//! shared wallet that refills per planned interval.
+//! [`MultiStreamServer::push_round_robin`]), and streams can leave mid-run
+//! with [`MultiStreamServer::close_stream`].
+//!
+//! ## Epochs and wallet leases
+//!
+//! Time is divided into **planning epochs**: every stream may process up to
+//! its quota of `round(replan_interval / seg_len)` segments per epoch. When
+//! every active stream has exhausted its quota, the next push crosses the
+//! **epoch barrier**: the coordinator settles the wallet, re-runs the joint
+//! LP (Eqs. 7–9) over all streams' fresh forecasts, refills the wallet, and
+//! installs the new plans. Within an epoch the shared wallet is **pre-split
+//! into per-stream leases** (`budget / V` each): a stream spends only from
+//! its own lease, so the per-stream outcome is independent of how pushes to
+//! *different* streams interleave within the epoch. That independence is
+//! what lets [`crate::runtime::IngestRuntime`] shard the same semantics
+//! across worker threads and stay bitwise identical to this sequential
+//! server for every shard count.
+//!
+//! A push that would advance a stream past the barrier while other active
+//! streams still have quota is rejected with [`SkyError::EpochBarrier`] —
+//! feed the lagging streams, or [`close_stream`](MultiStreamServer::close_stream)
+//! them. A closed stream's core share and wallet lease are released and
+//! redistributed by the next joint plan ([`MultiStreamServer::last_joint_plan`]
+//! records each plan's inputs).
 
 use vetl_lp::{solve, LpProblem, Relation};
 use vetl_sim::CostModel;
@@ -146,6 +167,10 @@ impl StreamId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    pub(crate) const fn from_index(idx: usize) -> Self {
+        Self(idx)
+    }
 }
 
 /// Per-stream outcome of a multi-stream run.
@@ -168,6 +193,150 @@ pub struct MultiOutcome {
     pub joint_quality: f64,
 }
 
+/// Seed stride separating per-stream RNGs (golden-ratio increment). Shared
+/// with [`crate::runtime::IngestRuntime`] so the sharded runtime derives
+/// identical per-stream seeds.
+pub(crate) const STREAM_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Inputs and derived splits of one joint LP run — recorded at every epoch
+/// barrier so callers can observe how admission and churn redistribute the
+/// shared resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointPlanRecord {
+    /// Slot indices of the streams the plan covered, in admission order.
+    pub streams: Vec<usize>,
+    /// Total budget handed to the LP, core-seconds per segment round
+    /// (Eq. 8).
+    pub budget_per_seg_total: f64,
+    /// Fair per-stream share of the cluster, reference cores.
+    pub fair_cores: f64,
+    /// Per-stream cloud lease for the new epoch, dollars.
+    pub lease_usd: f64,
+}
+
+/// Derived quantities of one epoch barrier, shared between the sequential
+/// server and the sharded [`crate::runtime::IngestRuntime`] so the two
+/// compute bit-identical plans from the same inputs.
+pub(crate) struct BarrierMath {
+    /// Fair per-stream cluster share, reference cores.
+    pub(crate) fair: f64,
+    /// Replanning interval in stream seconds.
+    pub(crate) interval: f64,
+    /// Eq. 8 budget handed to the joint LP, core-seconds per segment round.
+    pub(crate) budget: f64,
+    /// Per-stream cloud lease for the new epoch, dollars.
+    pub(crate) lease: f64,
+}
+
+/// Compute the barrier splits for a set of active models.
+pub(crate) fn barrier_math(
+    models: &[&FittedModel],
+    total_cores: f64,
+    shared_budget_usd: f64,
+    cost_model: &CostModel,
+    interval_override: Option<f64>,
+) -> BarrierMath {
+    let v = models.len() as f64;
+    let fair = (total_cores / v).floor();
+    let interval = interval_override.unwrap_or_else(|| {
+        models
+            .iter()
+            .map(|m| m.hyper.planned_interval_secs)
+            .fold(f64::INFINITY, f64::min)
+    });
+    // Shared budget per segment round: every stream's fair on-premise share
+    // plus the cloud credits amortized over the epoch's rounds (footnote 4
+    // generalized to Eq. 8).
+    let onprem: f64 = models.iter().map(|m| fair * m.seg_len).sum();
+    let max_seg_len = models
+        .iter()
+        .map(|m| m.seg_len)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let rounds = (interval / max_seg_len).max(1.0);
+    let budget = onprem + cost_model.cloud_usd_to_core_secs(shared_budget_usd) / rounds;
+    BarrierMath {
+        fair,
+        interval,
+        budget,
+        lease: shared_budget_usd / v,
+    }
+}
+
+/// Segment quota of one stream per planning epoch.
+pub(crate) fn epoch_quota(interval: f64, seg_len: f64) -> usize {
+    ((interval / seg_len).round() as usize).max(1)
+}
+
+/// Shared admission check: every already-active stream *and* the candidate
+/// must still run their cheapest configuration in real time on the
+/// post-admission fair share `⌊total / (V + 1)⌋`. Used verbatim by the
+/// sequential server and the sharded runtime so the two admit and reject
+/// identically.
+pub(crate) fn admission_check(
+    active_models: &[&FittedModel],
+    candidate: &FittedModel,
+    total_cores: f64,
+) -> Result<(), SkyError> {
+    let fair = (total_cores / (active_models.len() + 1) as f64).floor();
+    let cheapest_rate = |m: &FittedModel| m.configs[m.cheapest()].work_mean / m.seg_len;
+    let worst_rate = active_models
+        .iter()
+        .map(|m| cheapest_rate(m))
+        .fold(cheapest_rate(candidate), f64::max);
+    if fair <= 0.0 || worst_rate > fair {
+        return Err(SkyError::UnderProvisioned {
+            cheapest_work_rate: worst_rate,
+            cluster_throughput: fair.max(0.0),
+        });
+    }
+    Ok(())
+}
+
+/// Shared barrier computation: Eq. 8 splits plus the joint LP itself.
+/// Nothing is mutated by this call, so callers can validate an admission
+/// before committing anything. Both the sequential server and the sharded
+/// runtime plan every epoch through this one function — bit-identical by
+/// construction.
+pub(crate) fn plan_epoch(
+    models: &[&FittedModel],
+    rs: &[Vec<f64>],
+    total_cores: f64,
+    shared_budget_usd: f64,
+    cost_model: &CostModel,
+    interval_override: Option<f64>,
+) -> Result<(Vec<KnobPlan>, BarrierMath), SkyError> {
+    if models.is_empty() {
+        return Err(SkyError::NoStreams);
+    }
+    let math = barrier_math(
+        models,
+        total_cores,
+        shared_budget_usd,
+        cost_model,
+        interval_override,
+    );
+    let plans = joint_plan(models, rs, math.budget)?;
+    Ok((plans, math))
+}
+
+/// One admitted stream and its epoch bookkeeping.
+pub(crate) struct ActiveStream<'a> {
+    pub(crate) id: String,
+    pub(crate) session: IngestSession<'a, dyn Workload + 'a>,
+    /// Segments processed in the current planning epoch.
+    pub(crate) used: usize,
+    /// Segment quota per epoch, `round(replan_interval / seg_len)`.
+    pub(crate) quota: usize,
+}
+
+/// A stream slot: admission order is slot order; closed streams keep their
+/// settled outcome in place so [`StreamId`]s stay stable under churn.
+enum StreamSlot<'a> {
+    Active(Box<ActiveStream<'a>>),
+    Closed(StreamOutcome),
+}
+
 /// A server multiplexing N concurrent ingestion sessions over a shared
 /// cluster and a shared cloud wallet (Appendix D).
 ///
@@ -176,41 +345,42 @@ pub struct MultiOutcome {
 ///   overflows without under-utilization because unused cores serve other
 ///   streams' tasks in the real executor) and rejects an admission that
 ///   would leave any stream — new or already admitted — unable to run its
-///   cheapest configuration in real time on the shrunken share.
-/// * **Planning** — every admission and every shared planned interval, one
-///   joint LP (Eqs. 7–9) re-allocates the total budget across all streams'
-///   categories; the resulting per-stream plans are installed into the
-///   sessions, which never re-plan on their own.
-/// * **Wallet** — cloud credits are shared: before each push the stream's
-///   session is handed the wallet, after it the remainder is returned. The
-///   wallet refills to the configured budget at each joint replan.
+///   cheapest configuration in real time on the shrunken share. Every
+///   admission forces an epoch barrier so the new stream starts planned.
+/// * **Planning** — at every epoch barrier one joint LP (Eqs. 7–9)
+///   re-allocates the total budget across all active streams' categories;
+///   the resulting per-stream plans are installed into the sessions, which
+///   never re-plan on their own.
+/// * **Wallet** — cloud credits are shared at epoch granularity: each
+///   barrier refills the wallet and pre-splits it into equal per-stream
+///   leases. Streams spend only from their own lease between barriers (see
+///   the [module docs](self) for why that makes the semantics shardable).
+/// * **Churn** — [`close_stream`](Self::close_stream) settles a stream
+///   mid-run; its core share and lease are redistributed by the next joint
+///   plan.
 pub struct MultiStreamServer<'a> {
-    sessions: Vec<IngestSession<'a, dyn Workload + 'a>>,
-    ids: Vec<String>,
+    slots: Vec<StreamSlot<'a>>,
     shared_budget_usd: f64,
     cost_model: CostModel,
     seed: u64,
     replan_interval: Option<f64>,
     total_cores: Option<f64>,
-    wallet: f64,
-    next_replan_secs: f64,
     joint_plans: usize,
+    last_joint_plan: Option<JointPlanRecord>,
 }
 
 impl<'a> MultiStreamServer<'a> {
-    /// Create a server with a shared per-interval cloud budget.
+    /// Create a server with a shared per-epoch cloud budget.
     pub fn new(shared_cloud_budget_usd: f64, cost_model: CostModel, seed: u64) -> Self {
         Self {
-            sessions: Vec::new(),
-            ids: Vec::new(),
+            slots: Vec::new(),
             shared_budget_usd: shared_cloud_budget_usd,
             cost_model,
             seed,
             replan_interval: None,
             total_cores: None,
-            wallet: shared_cloud_budget_usd,
-            next_replan_secs: 0.0,
             joint_plans: 0,
+            last_joint_plan: None,
         }
     }
 
@@ -228,9 +398,9 @@ impl<'a> MultiStreamServer<'a> {
         self
     }
 
-    /// Streams currently admitted.
+    /// Streams currently active (admitted and not closed).
     pub fn n_streams(&self) -> usize {
-        self.sessions.len()
+        self.active().count()
     }
 
     /// Times the joint LP has run.
@@ -238,14 +408,31 @@ impl<'a> MultiStreamServer<'a> {
         self.joint_plans
     }
 
-    /// Credits left in the shared wallet for the current interval.
+    /// Inputs and splits of the most recent joint plan.
+    pub fn last_joint_plan(&self) -> Option<&JointPlanRecord> {
+        self.last_joint_plan.as_ref()
+    }
+
+    /// Credits left in the shared wallet for the current epoch (the sum of
+    /// the active streams' unspent leases).
     pub fn wallet_left(&self) -> f64 {
-        self.wallet
+        if self.n_streams() == 0 {
+            return self.shared_budget_usd;
+        }
+        self.active().map(|s| s.session.cloud_credits_left()).sum()
+    }
+
+    fn active(&self) -> impl Iterator<Item = &ActiveStream<'a>> {
+        self.slots.iter().filter_map(|s| match s {
+            StreamSlot::Active(a) => Some(a.as_ref()),
+            StreamSlot::Closed(_) => None,
+        })
     }
 
     /// Admit a stream: validate *every* stream (the admission shrinks all
-    /// shares) against the post-admission fair share, shrink the shares,
-    /// and re-run the joint LP over all admitted streams.
+    /// shares) against the post-admission fair share, then force an epoch
+    /// barrier — settle the wallet, joint-replan over all streams including
+    /// the new one, re-split the leases, and reset the epoch quotas.
     ///
     /// Rejects with [`SkyError::UnderProvisioned`] when any stream's
     /// cheapest configuration could no longer run in real time on the
@@ -262,75 +449,101 @@ impl<'a> MultiStreamServer<'a> {
         let total = self
             .total_cores
             .unwrap_or_else(|| model.hardware.cluster.throughput());
-        let fair = (total / (self.sessions.len() + 1) as f64).floor();
-        let cheapest_rate = |m: &FittedModel| m.configs[m.cheapest()].work_mean / m.seg_len;
         // Admission squeezes every admitted stream too — all of them must
         // still fit the shrunken share or the no-overflow guarantee breaks.
-        let worst_rate = self
-            .sessions
-            .iter()
-            .map(|s| cheapest_rate(s.model()))
-            .fold(cheapest_rate(model), f64::max);
-        if fair <= 0.0 || worst_rate > fair {
-            return Err(SkyError::UnderProvisioned {
-                cheapest_work_rate: worst_rate,
-                cluster_throughput: fair.max(0.0),
-            });
-        }
+        let active_models: Vec<&FittedModel> = self.active().map(|s| s.session.model()).collect();
+        admission_check(&active_models, model, total)?;
+        let prev_total = self.total_cores;
         self.total_cores = Some(total);
 
-        let idx = self.sessions.len();
+        let slot = self.slots.len();
         let mut options = options;
         // Per-stream reported-quality noise must be independent across
         // streams even when the caller reuses one options template.
         options.seed = self
             .seed
-            .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let session = IngestSession::external(model, workload, options);
-        self.sessions.push(session);
-        self.ids.push(workload_id.into());
-
-        // Every stream's share shrinks to the new fair split.
-        for s in &mut self.sessions {
-            let seg_len = s.model().seg_len;
-            s.set_capacity_per_seg(fair * seg_len);
-        }
-        if let Err(e) = self.joint_replan() {
-            // Roll the admission back: no phantom stream, old shares.
-            self.sessions.pop();
-            self.ids.pop();
-            let prev_fair = (total / self.sessions.len().max(1) as f64).floor();
-            for s in &mut self.sessions {
-                let seg_len = s.model().seg_len;
-                s.set_capacity_per_seg(prev_fair * seg_len);
-            }
+            .wrapping_add((slot as u64).wrapping_mul(STREAM_SEED_STRIDE));
+        let candidate = Box::new(ActiveStream {
+            id: workload_id.into(),
+            session: IngestSession::external(model, workload, options),
+            used: 0,
+            quota: 1,
+        });
+        // The barrier validates the joint LP before committing anything; a
+        // failed admission leaves the server untouched.
+        if let Err(e) = self.barrier(Some(candidate)) {
+            self.total_cores = prev_total;
             return Err(e);
         }
-        self.next_replan_secs = self.clock_secs() + self.replan_interval_secs();
-        Ok(StreamId(idx))
+        Ok(StreamId(slot))
     }
 
-    /// Feed one segment to one stream. Replans jointly first when the
-    /// shared cadence boundary was crossed.
+    /// Feed one segment to one stream. A push that starts a new epoch (all
+    /// active streams exhausted their quotas) first crosses the barrier:
+    /// settle, joint-replan, refill leases. A push that would outrun the
+    /// barrier while other streams still hold quota is rejected with
+    /// [`SkyError::EpochBarrier`].
     pub fn push(&mut self, stream: StreamId, seg: &Segment) -> Result<StepReport, SkyError> {
-        if stream.0 >= self.sessions.len() {
-            return Err(SkyError::UnknownStream { id: stream.0 });
+        match self.slots.get(stream.0) {
+            None => return Err(SkyError::UnknownStream { id: stream.0 }),
+            Some(StreamSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.0 }),
+            Some(StreamSlot::Active(a)) => {
+                if a.used >= a.quota {
+                    let waiting = self.active().filter(|s| s.used < s.quota).count();
+                    if waiting > 0 {
+                        return Err(SkyError::EpochBarrier {
+                            stream: stream.0,
+                            waiting_on: waiting,
+                        });
+                    }
+                    self.barrier(None)?;
+                }
+            }
         }
-        if self.clock_secs() >= self.next_replan_secs {
-            self.joint_replan()?;
-            self.next_replan_secs = self.clock_secs() + self.replan_interval_secs();
-        }
-        let wallet = self.wallet;
-        let session = &mut self.sessions[stream.0];
-        session.set_cloud_credits(wallet);
-        let report = session.push(seg)?;
-        self.wallet = session.cloud_credits_left();
+        let StreamSlot::Active(a) = &mut self.slots[stream.0] else {
+            unreachable!("checked active above");
+        };
+        let report = a.session.push(seg)?;
+        a.used += 1;
         Ok(report)
     }
 
+    /// Close a stream mid-run: settle its session into its outcome
+    /// immediately and release its core share and wallet lease — the *next*
+    /// joint plan redistributes them across the remaining streams. The
+    /// slot's [`StreamId`] stays valid for [`finish`](Self::finish) but
+    /// rejects further pushes.
+    pub fn close_stream(&mut self, stream: StreamId) -> Result<StreamOutcome, SkyError> {
+        match self.slots.get(stream.0) {
+            None => return Err(SkyError::UnknownStream { id: stream.0 }),
+            Some(StreamSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.0 }),
+            Some(StreamSlot::Active(_)) => {}
+        }
+        let taken = std::mem::replace(
+            &mut self.slots[stream.0],
+            StreamSlot::Closed(StreamOutcome {
+                workload_id: String::new(),
+                outcome: IngestOutcome::default(),
+            }),
+        );
+        let StreamSlot::Active(a) = taken else {
+            unreachable!("checked active above");
+        };
+        let settled = StreamOutcome {
+            workload_id: a.id,
+            outcome: a.session.finish(),
+        };
+        self.slots[stream.0] = StreamSlot::Closed(settled.clone());
+        Ok(settled)
+    }
+
     /// Interleave several pre-materialized streams round-robin (segment `i`
-    /// of every stream before segment `i + 1` of any). Returns the number
-    /// of segments pushed.
+    /// of every stream before segment `i + 1` of any). A stream whose slice
+    /// runs out while others continue is **closed** so it stops gating the
+    /// epoch barrier (its share is redistributed at the next joint plan).
+    /// Per-push failures are wrapped in [`SkyError::PushFailed`] carrying
+    /// the offending [`StreamId`] instead of aborting the batch opaquely.
+    /// Returns the number of segments pushed.
     pub fn push_round_robin(
         &mut self,
         streams: &[(StreamId, &[Segment])],
@@ -339,79 +552,103 @@ impl<'a> MultiStreamServer<'a> {
         let mut pushed = 0;
         for i in 0..max_len {
             for (id, segs) in streams {
-                if let Some(seg) = segs.get(i) {
-                    self.push(*id, seg)?;
-                    pushed += 1;
+                let wrap = |e: SkyError| SkyError::PushFailed {
+                    stream: id.0,
+                    source: Box::new(e),
+                };
+                match segs.get(i) {
+                    Some(seg) => {
+                        self.push(*id, seg).map_err(wrap)?;
+                        pushed += 1;
+                    }
+                    None => {
+                        // Exhausted while others continue: release its
+                        // share instead of letting it gate the barrier.
+                        if matches!(self.slots.get(id.0), Some(StreamSlot::Active(_))) {
+                            self.close_stream(*id).map_err(wrap)?;
+                        }
+                    }
                 }
             }
         }
         Ok(pushed)
     }
 
-    /// Settle every session into the joint outcome.
+    /// Settle every stream — still-active and closed alike — into the joint
+    /// outcome, in admission order.
     pub fn finish(self) -> MultiOutcome {
         let mut out = MultiOutcome::default();
-        for (id, session) in self.ids.into_iter().zip(self.sessions) {
-            let outcome = session.finish();
-            out.cloud_usd += outcome.cloud_usd;
-            out.joint_quality += outcome.mean_quality;
-            out.streams.push(StreamOutcome {
-                workload_id: id,
-                outcome,
-            });
+        for slot in self.slots {
+            let settled = match slot {
+                StreamSlot::Active(a) => StreamOutcome {
+                    workload_id: a.id,
+                    outcome: a.session.finish(),
+                },
+                StreamSlot::Closed(s) => s,
+            };
+            out.cloud_usd += settled.outcome.cloud_usd;
+            out.joint_quality += settled.outcome.mean_quality;
+            out.streams.push(settled);
         }
         out
     }
 
-    /// Stream seconds covered by the furthest-ahead stream.
-    fn clock_secs(&self) -> f64 {
-        self.sessions
+    /// Cross the epoch barrier: re-run the joint LP over all active
+    /// streams' forecasts (plus the admission candidate, when present),
+    /// install the plans, re-split cluster shares and wallet leases, and
+    /// reset the epoch quotas. Nothing is mutated until the LP succeeds.
+    fn barrier(&mut self, candidate: Option<Box<ActiveStream<'a>>>) -> Result<(), SkyError> {
+        let candidate_slot = self.slots.len();
+        let mut stream_slots: Vec<usize> = self
+            .slots
             .iter()
-            .map(|s| s.elapsed_secs())
-            .fold(0.0, f64::max)
-    }
-
-    fn replan_interval_secs(&self) -> f64 {
-        self.replan_interval.unwrap_or_else(|| {
-            self.sessions
-                .iter()
-                .map(|s| s.model().hyper.planned_interval_secs)
-                .fold(f64::INFINITY, f64::min)
-        })
-    }
-
-    /// Re-run the joint LP over all streams' forecasts, install the plans,
-    /// and refill the shared wallet.
-    fn joint_replan(&mut self) -> Result<(), SkyError> {
-        let models: Vec<&FittedModel> = self.sessions.iter().map(|s| s.model()).collect();
-        let rs: Vec<Vec<f64>> = self
-            .sessions
-            .iter()
-            .map(|s| s.forecast_distribution())
+            .enumerate()
+            .filter(|(_, s)| matches!(s, StreamSlot::Active(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut models: Vec<&'a FittedModel> = self.active().map(|s| s.session.model()).collect();
+        let mut rs: Vec<Vec<f64>> = self
+            .active()
+            .map(|s| s.session.forecast_distribution())
             .collect::<Result<_, _>>()?;
-        let total = self.total_cores.expect("set at first admission");
-        let fair = (total / self.sessions.len() as f64).floor();
-        // Shared budget per segment round: every stream's fair on-premise
-        // share plus the cloud credits amortized over the interval's rounds
-        // (footnote 4 generalized to Eq. 8).
-        let onprem: f64 = models.iter().map(|m| fair * m.seg_len).sum();
-        let max_seg_len = models
-            .iter()
-            .map(|m| m.seg_len)
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
-        let rounds = (self.replan_interval_secs() / max_seg_len).max(1.0);
-        let budget = onprem
-            + self
-                .cost_model
-                .cloud_usd_to_core_secs(self.shared_budget_usd)
-                / rounds;
-        let plans = joint_plan(&models, &rs, budget)?;
-        for (session, plan) in self.sessions.iter_mut().zip(plans) {
-            session.install_plan(plan);
+        if let Some(c) = &candidate {
+            stream_slots.push(candidate_slot);
+            models.push(c.session.model());
+            rs.push(c.session.forecast_distribution()?);
         }
-        self.wallet = self.shared_budget_usd;
+        let total = self.total_cores.expect("set at first admission");
+        let (plans, math) = plan_epoch(
+            &models,
+            &rs,
+            total,
+            self.shared_budget_usd,
+            &self.cost_model,
+            self.replan_interval,
+        )?;
+
+        // Commit: admission, plans, shares, leases, quotas.
+        if let Some(c) = candidate {
+            self.slots.push(StreamSlot::Active(c));
+        }
+        let mut plans = plans.into_iter();
+        for slot in &mut self.slots {
+            if let StreamSlot::Active(a) = slot {
+                let seg_len = a.session.model().seg_len;
+                a.session
+                    .install_plan(plans.next().expect("one plan per active stream"));
+                a.session.set_capacity_per_seg(math.fair * seg_len);
+                a.session.set_cloud_credits(math.lease);
+                a.used = 0;
+                a.quota = epoch_quota(math.interval, seg_len);
+            }
+        }
         self.joint_plans += 1;
+        self.last_joint_plan = Some(JointPlanRecord {
+            streams: stream_slots,
+            budget_per_seg_total: math.budget,
+            fair_cores: math.fair,
+            lease_usd: math.lease,
+        });
         Ok(())
     }
 }

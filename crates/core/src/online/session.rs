@@ -133,7 +133,7 @@ impl Default for IngestOptions {
 }
 
 /// Outcome of an ingestion run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct IngestOutcome {
     /// Full trace (empty unless `record_trace`).
     pub trace: Trace,
@@ -525,6 +525,26 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
     /// Cloud credits remaining in the wallet.
     pub fn cloud_credits_left(&self) -> f64 {
         self.state.cloud_left
+    }
+
+    /// Cloud dollars spent so far across the whole session.
+    pub fn cloud_spent_usd(&self) -> f64 {
+        self.state.cloud_spent_total
+    }
+
+    /// Current buffer fill in bytes (video set aside for later processing).
+    pub fn buffer_bytes(&self) -> f64 {
+        self.state.backlog.bytes()
+    }
+
+    /// Outstanding backlog work in core-seconds.
+    pub fn backlog_work(&self) -> f64 {
+        self.state.backlog.work()
+    }
+
+    /// Throughput-guarantee violations observed so far.
+    pub fn overflows(&self) -> usize {
+        self.state.overflows
     }
 
     /// Override the cluster capacity available to this session, in

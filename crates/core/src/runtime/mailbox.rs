@@ -1,0 +1,147 @@
+//! Bounded per-stream ingress mailboxes.
+//!
+//! Each admitted stream owns one [`Mailbox`]: a FIFO of in-band
+//! [`Envelope`]s bounded to **one planning epoch of segments**. The bound is
+//! what turns overload into typed backpressure
+//! ([`SkyError::Overloaded`](crate::error::SkyError::Overloaded)) instead of
+//! silent lag: a producer can never race more than one epoch ahead of the
+//! joint replanning barrier. Close markers travel in-band, so a stream's
+//! closure point is pinned to an exact position in its segment sequence —
+//! the property that keeps churn deterministic under sharding.
+
+use std::collections::VecDeque;
+
+use vetl_video::Segment;
+
+/// An in-band mailbox message.
+#[derive(Debug, Clone)]
+pub(crate) enum Envelope {
+    /// A video segment to ingest.
+    Segment(Segment),
+    /// Close marker: settle the stream after the segments queued before it.
+    Close,
+}
+
+/// A bounded FIFO of pending input for one stream.
+///
+/// Capacity counts *segments* (the close marker is always accepted); it is
+/// kept equal to the stream's next-epoch quota by the runtime.
+#[derive(Debug)]
+pub(crate) struct Mailbox {
+    q: VecDeque<Envelope>,
+    capacity: usize,
+    segments: usize,
+    close_queued: bool,
+}
+
+impl Mailbox {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            q: VecDeque::new(),
+            capacity,
+            segments: 0,
+            close_queued: false,
+        }
+    }
+
+    /// Segments the mailbox may hold (one epoch quota).
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-bound the mailbox (the quota can change when the active stream
+    /// set changes). Already-queued envelopes are never dropped.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Segments currently queued.
+    pub(crate) fn segments_queued(&self) -> usize {
+        self.segments
+    }
+
+    /// A close marker is queued.
+    pub(crate) fn close_queued(&self) -> bool {
+        self.close_queued
+    }
+
+    /// The mailbox holds nothing at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The first queued envelope is a close marker.
+    pub(crate) fn close_is_first(&self) -> bool {
+        matches!(self.q.front(), Some(Envelope::Close))
+    }
+
+    /// Enqueue a segment; `false` when the mailbox is at capacity.
+    pub(crate) fn try_push(&mut self, seg: &Segment) -> bool {
+        if self.segments >= self.capacity {
+            return false;
+        }
+        self.q.push_back(Envelope::Segment(*seg));
+        self.segments += 1;
+        true
+    }
+
+    /// Enqueue the in-band close marker (always accepted).
+    pub(crate) fn push_close(&mut self) {
+        self.q.push_back(Envelope::Close);
+        self.close_queued = true;
+    }
+
+    /// Take the whole queue for processing.
+    pub(crate) fn drain(&mut self) -> VecDeque<Envelope> {
+        self.segments = 0;
+        // close_queued intentionally stays set: a drained close marker means
+        // the stream is on its way to settled and accepts no new input.
+        std::mem::take(&mut self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, Recording, SyntheticCamera};
+
+    fn seg() -> Segment {
+        let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(1), 2.0);
+        Recording::record(&mut cam, 4.0).segments()[0]
+    }
+
+    #[test]
+    fn capacity_bounds_segments_but_not_close() {
+        let s = seg();
+        let mut m = Mailbox::new(2);
+        assert!(m.try_push(&s));
+        assert!(m.try_push(&s));
+        assert!(!m.try_push(&s), "third segment must be rejected");
+        assert_eq!(m.segments_queued(), 2);
+        m.push_close();
+        assert!(m.close_queued());
+        assert_eq!(m.segments_queued(), 2);
+    }
+
+    #[test]
+    fn drain_empties_and_close_survives_drain() {
+        let s = seg();
+        let mut m = Mailbox::new(4);
+        assert!(!m.close_is_first());
+        m.try_push(&s);
+        m.push_close();
+        assert!(!m.close_is_first());
+        let batch = m.drain();
+        assert_eq!(batch.len(), 2);
+        assert!(m.is_empty());
+        assert_eq!(m.segments_queued(), 0);
+        assert!(m.close_queued(), "a drained close still marks the stream");
+    }
+
+    #[test]
+    fn close_is_first_detects_boundary_markers() {
+        let mut m = Mailbox::new(4);
+        m.push_close();
+        assert!(m.close_is_first());
+    }
+}

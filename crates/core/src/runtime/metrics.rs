@@ -1,0 +1,58 @@
+//! Observability snapshots of the sharded ingest runtime.
+
+/// Point-in-time state of one stream slot.
+#[derive(Debug, Clone)]
+pub struct StreamMetrics {
+    /// Slot index (admission order).
+    pub slot: usize,
+    /// The identifier the stream was admitted under.
+    pub workload_id: String,
+    /// The stream is still active (not closed).
+    pub active: bool,
+    /// Segments ingested so far.
+    pub segments_processed: usize,
+    /// Ingress lag: segments queued in the mailbox, not yet processed.
+    pub lag_segments: usize,
+    /// Current buffer fill in bytes (0 once closed).
+    pub buffer_bytes: f64,
+    /// Outstanding backlog work in core-seconds (0 once closed).
+    pub backlog_work: f64,
+    /// Cloud dollars this stream has spent.
+    pub cloud_spent_usd: f64,
+    /// Throughput-guarantee violations observed so far.
+    pub overflows: usize,
+}
+
+/// Point-in-time snapshot of the whole runtime
+/// ([`crate::runtime::IngestRuntime::metrics`]).
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    /// Worker shards serving the streams.
+    pub shards: usize,
+    /// Planning epochs completed (joint-LP barriers crossed).
+    pub epoch: usize,
+    /// Times the joint LP has run (admissions + epoch barriers).
+    pub joint_plans: usize,
+    /// Unspent cloud credits across the active streams' current leases.
+    pub wallet_left_usd: f64,
+    /// Segments ingested across all streams.
+    pub segments_processed: usize,
+    /// Wall-clock seconds since the runtime was created.
+    pub wall_secs: f64,
+    /// Aggregate ingest throughput, segments per wall-clock second.
+    pub segs_per_sec: f64,
+    /// Per-stream state, in admission order.
+    pub streams: Vec<StreamMetrics>,
+}
+
+impl RuntimeMetrics {
+    /// Total ingress lag across active streams, segments.
+    pub fn total_lag(&self) -> usize {
+        self.streams.iter().map(|s| s.lag_segments).sum()
+    }
+
+    /// Total cloud spend across all streams, dollars.
+    pub fn total_cloud_usd(&self) -> f64 {
+        self.streams.iter().map(|s| s.cloud_spent_usd).sum()
+    }
+}

@@ -1,0 +1,645 @@
+//! Sharded multi-threaded ingest runtime with epoch-barrier joint
+//! replanning and stream churn.
+//!
+//! [`IngestRuntime`] is the concurrent serving tier over the Appendix-D
+//! multi-stream semantics: N [`IngestSession`]s are sharded across
+//! [`vetl_exec::ActorPool`] worker shards, each shard draining its streams'
+//! **bounded ingress mailboxes** (typed
+//! [`SkyError::Overloaded`] backpressure instead of silent lag). Shards run
+//! independently *between* planning epochs against **pre-split wallet
+//! leases**; at every **epoch barrier** the coordinator settles the spend,
+//! re-runs the joint LP (Eqs. 7–9) over all streams' fresh forecasts,
+//! refills the wallet, and broadcasts the new plans. Streams can
+//! [`open_stream`](IngestRuntime::open_stream) and
+//! [`close_stream`](IngestRuntime::close_stream) mid-run: admissions are
+//! re-validated against the post-admission fair share (typed
+//! [`SkyError::UnderProvisioned`] rejection) and a closed stream's core
+//! share and lease are redistributed by the next joint plan.
+//!
+//! ## Determinism
+//!
+//! The acceptance bar mirrors the parallel offline phase: **for any shard
+//! count, per-stream outcomes are bitwise identical** to driving the
+//! sequential [`MultiStreamServer`] round-robin over the same segments with
+//! the same churn points (property-tested in `tests/runtime.rs`). Three
+//! design choices make that possible:
+//!
+//! 1. **Pre-split wallet leases.** Within an epoch each stream spends only
+//!    from its own `budget / V` lease, so no cross-stream state is touched
+//!    between barriers and the interleaving of shards cannot influence any
+//!    per-stream decision.
+//! 2. **Quota-defined epochs.** An epoch is `round(replan_interval /
+//!    seg_len)` segments per stream — a pure function of the input, not of
+//!    scheduling. A shard that finishes early simply waits; the barrier
+//!    fires when every active stream has exhausted its quota (or closed).
+//! 3. **In-band churn.** Close markers travel through the mailbox, pinning
+//!    the closure to an exact position in the stream's segment sequence;
+//!    per-stream RNGs are seeded from the slot index with the same stride
+//!    the sequential server uses and are carried across the shard boundary
+//!    inside the session state.
+//!
+//! Epoch batches are dispatched to the shards through
+//! [`ActorPool::shard_map_mut`], whose static item→shard assignment keeps
+//! every stateful stream on exactly one worker per epoch.
+
+mod mailbox;
+mod metrics;
+
+pub use metrics::{RuntimeMetrics, StreamMetrics};
+
+use std::time::Instant;
+
+use vetl_exec::ActorPool;
+use vetl_sim::CostModel;
+use vetl_video::Segment;
+
+use crate::error::SkyError;
+use crate::multistream::{
+    admission_check, epoch_quota, plan_epoch, JointPlanRecord, MultiOutcome, StreamId,
+    StreamOutcome, STREAM_SEED_STRIDE,
+};
+use crate::offline::FittedModel;
+use crate::online::session::{IngestOptions, IngestSession, StepReport};
+use crate::workload::Workload;
+use mailbox::{Envelope, Mailbox};
+
+#[allow(unused_imports)] // doc links
+use crate::multistream::MultiStreamServer;
+
+/// Configuration of an [`IngestRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker shards. `0` means one per available core.
+    pub shards: usize,
+    /// Cloud dollars granted to the shared wallet per planning epoch.
+    pub shared_cloud_budget_usd: f64,
+    /// Cost conversions for the joint LP's budget term.
+    pub cost_model: CostModel,
+    /// Master seed; per-stream RNG seeds are derived per slot exactly as
+    /// the sequential server derives them.
+    pub seed: u64,
+    /// Joint replanning cadence override (defaults to the smallest planned
+    /// interval among admitted models).
+    pub replan_interval_secs: Option<f64>,
+    /// Shared cluster size override in reference cores (defaults to the
+    /// first admitted model's provisioning).
+    pub total_cores: Option<f64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            shared_cloud_budget_usd: 1.0,
+            cost_model: CostModel::default(),
+            seed: 1234,
+            replan_interval_secs: None,
+            total_cores: None,
+        }
+    }
+}
+
+/// One admitted stream pinned to a shard: its session, ingress mailbox, and
+/// epoch bookkeeping.
+struct RtStream<'a> {
+    id: String,
+    /// `None` only transiently while a processed close marker settles.
+    session: Option<IngestSession<'a, dyn Workload + 'a>>,
+    mailbox: Mailbox,
+    /// Segments processed in the current planning epoch.
+    used: usize,
+    /// Segment quota per epoch.
+    quota: usize,
+    /// Segments processed over the stream's lifetime.
+    processed: usize,
+    /// Most recent step report (feeds the metrics snapshot).
+    last_report: Option<StepReport>,
+    /// Settled outcome, once a close marker was processed.
+    outcome: Option<StreamOutcome>,
+}
+
+impl RtStream<'_> {
+    /// Process one drained batch of envelopes on a shard worker. Returns
+    /// the number of segments ingested.
+    fn process_batch(&mut self) -> Result<usize, SkyError> {
+        let batch = self.mailbox.drain();
+        let mut n = 0;
+        for env in batch {
+            match env {
+                Envelope::Segment(seg) => {
+                    let session = self.session.as_mut().expect("active stream has a session");
+                    let report = session.push(&seg)?;
+                    self.last_report = Some(report);
+                    self.used += 1;
+                    self.processed += 1;
+                    n += 1;
+                }
+                Envelope::Close => {
+                    self.settle();
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Settle the session into the stream's outcome (idempotent).
+    fn settle(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.outcome = Some(StreamOutcome {
+                workload_id: self.id.clone(),
+                outcome: session.finish(),
+            });
+        }
+    }
+}
+
+/// A stream slot; admission order is slot order and [`StreamId`]s stay
+/// stable under churn.
+enum RtSlot<'a> {
+    Active(Box<RtStream<'a>>),
+    Closed(StreamOutcome),
+}
+
+/// The sharded multi-threaded ingest runtime. See the [module docs](self).
+///
+/// Typical driving loop:
+///
+/// ```ignore
+/// let mut rt = IngestRuntime::new(RuntimeConfig::default());
+/// let a = rt.open_stream("cam-a", &model_a, &workload_a, IngestOptions::default())?;
+/// let b = rt.open_stream("cam-b", &model_b, &workload_b, IngestOptions::default())?;
+/// for (seg_a, seg_b) in stream_a.iter().zip(&stream_b) {
+///     rt.push(a, seg_a)?; // Err(Overloaded) = typed backpressure
+///     rt.push(b, seg_b)?;
+/// }
+/// rt.close_stream(a)?;    // mid-run churn: lease + cores redistributed
+/// let outcome = rt.finish()?;
+/// ```
+pub struct IngestRuntime<'a> {
+    pool: ActorPool,
+    shards: usize,
+    slots: Vec<RtSlot<'a>>,
+    shared_budget_usd: f64,
+    cost_model: CostModel,
+    seed: u64,
+    replan_interval: Option<f64>,
+    total_cores: Option<f64>,
+    joint_plans: usize,
+    last_joint_plan: Option<JointPlanRecord>,
+    /// A full epoch completed; the barrier (settle + joint replan) fires
+    /// lazily when the next batch dispatches — exactly when the sequential
+    /// server would replan on the first push of the next epoch.
+    barrier_pending: bool,
+    epoch: usize,
+    processed_total: usize,
+    started: Instant,
+}
+
+impl<'a> IngestRuntime<'a> {
+    /// Create a runtime with the given shard count and wallet budget.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let shards = if cfg.shards > 0 {
+            cfg.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Self {
+            pool: ActorPool::new(shards),
+            shards,
+            slots: Vec::new(),
+            shared_budget_usd: cfg.shared_cloud_budget_usd,
+            cost_model: cfg.cost_model,
+            seed: cfg.seed,
+            replan_interval: cfg.replan_interval_secs,
+            total_cores: cfg.total_cores,
+            joint_plans: 0,
+            last_joint_plan: None,
+            barrier_pending: false,
+            epoch: 0,
+            processed_total: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Worker shards serving the streams.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Streams currently active (admitted and not closed or closing).
+    pub fn n_streams(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Times the joint LP has run.
+    pub fn joint_plans(&self) -> usize {
+        self.joint_plans
+    }
+
+    /// Planning epochs completed.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Inputs and splits of the most recent joint plan.
+    pub fn last_joint_plan(&self) -> Option<&JointPlanRecord> {
+        self.last_joint_plan.as_ref()
+    }
+
+    /// Unspent cloud credits across the active streams' current leases.
+    pub fn wallet_left(&self) -> f64 {
+        if self.active().next().is_none() {
+            return self.shared_budget_usd;
+        }
+        self.active()
+            .filter_map(|s| s.session.as_ref())
+            .map(|s| s.cloud_credits_left())
+            .sum()
+    }
+
+    fn active(&self) -> impl Iterator<Item = &RtStream<'a>> {
+        self.slots.iter().filter_map(|s| match s {
+            RtSlot::Active(a) => Some(a.as_ref()),
+            RtSlot::Closed(_) => None,
+        })
+    }
+
+    /// Admit a stream mid-run: deliver everything already queued (so the
+    /// admission lands at a deterministic point in every stream's segment
+    /// sequence), validate the post-admission fair share, then cross an
+    /// epoch barrier that includes the newcomer. Identical admission checks
+    /// and rejection semantics as
+    /// [`MultiStreamServer::open_stream`].
+    pub fn open_stream(
+        &mut self,
+        workload_id: impl Into<String>,
+        model: &'a FittedModel,
+        workload: &'a (dyn Workload + 'a),
+        options: IngestOptions,
+    ) -> Result<StreamId, SkyError> {
+        self.flush()?;
+
+        let total = self
+            .total_cores
+            .unwrap_or_else(|| model.hardware.cluster.throughput());
+        let active_models: Vec<&FittedModel> = self
+            .active()
+            .filter_map(|s| s.session.as_ref())
+            .map(|s| s.model())
+            .collect();
+        admission_check(&active_models, model, total)?;
+        let prev_total = self.total_cores;
+        self.total_cores = Some(total);
+
+        let slot = self.slots.len();
+        let mut options = options;
+        options.seed = self
+            .seed
+            .wrapping_add((slot as u64).wrapping_mul(STREAM_SEED_STRIDE));
+        let candidate = Box::new(RtStream {
+            id: workload_id.into(),
+            session: Some(IngestSession::external(model, workload, options)),
+            mailbox: Mailbox::new(1),
+            used: 0,
+            quota: 1,
+            processed: 0,
+            last_report: None,
+            outcome: None,
+        });
+        if let Err(e) = self.barrier(Some(candidate)) {
+            self.total_cores = prev_total;
+            return Err(e);
+        }
+        Ok(StreamId::from_index(slot))
+    }
+
+    /// Enqueue one segment into a stream's ingress mailbox. Dispatches an
+    /// epoch batch across the shards as soon as every active stream has a
+    /// full epoch (or a close marker) queued.
+    ///
+    /// Returns [`SkyError::Overloaded`] when the mailbox already holds a
+    /// full epoch and lagging streams prevent the dispatch — feed or close
+    /// them, then retry.
+    pub fn push(&mut self, stream: StreamId, seg: &Segment) -> Result<(), SkyError> {
+        match self.slots.get_mut(stream.index()) {
+            None => return Err(SkyError::UnknownStream { id: stream.index() }),
+            Some(RtSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.index() }),
+            Some(RtSlot::Active(a)) => {
+                if a.mailbox.close_queued() {
+                    return Err(SkyError::StreamClosed { id: stream.index() });
+                }
+                if !a.mailbox.try_push(seg) {
+                    return Err(SkyError::Overloaded {
+                        stream: stream.index(),
+                        queued: a.mailbox.segments_queued(),
+                        capacity: a.mailbox.capacity(),
+                    });
+                }
+            }
+        }
+        self.try_dispatch()
+    }
+
+    /// Close a stream mid-run by queuing an in-band close marker: the
+    /// stream settles right after the segments pushed before the marker,
+    /// and the next joint plan redistributes its core share and wallet
+    /// lease across the remaining streams.
+    pub fn close_stream(&mut self, stream: StreamId) -> Result<(), SkyError> {
+        match self.slots.get_mut(stream.index()) {
+            None => return Err(SkyError::UnknownStream { id: stream.index() }),
+            Some(RtSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.index() }),
+            Some(RtSlot::Active(a)) => {
+                if a.mailbox.close_queued() {
+                    return Err(SkyError::StreamClosed { id: stream.index() });
+                }
+                a.mailbox.push_close();
+            }
+        }
+        self.try_dispatch()
+    }
+
+    /// Point-in-time snapshot: per-stream lag, buffer fill, spend, and
+    /// aggregate throughput.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        let streams = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(slot, s)| match s {
+                RtSlot::Active(a) => {
+                    let (buffer_bytes, backlog_work, cloud, overflows) = match &a.session {
+                        Some(sess) => (
+                            sess.buffer_bytes(),
+                            sess.backlog_work(),
+                            sess.cloud_spent_usd(),
+                            sess.overflows(),
+                        ),
+                        None => {
+                            let o = a.outcome.as_ref().expect("settled without session");
+                            (0.0, 0.0, o.outcome.cloud_usd, o.outcome.overflows)
+                        }
+                    };
+                    StreamMetrics {
+                        slot,
+                        workload_id: a.id.clone(),
+                        active: a.session.is_some(),
+                        segments_processed: a.processed,
+                        lag_segments: a.mailbox.segments_queued(),
+                        buffer_bytes,
+                        backlog_work,
+                        cloud_spent_usd: cloud,
+                        overflows,
+                    }
+                }
+                RtSlot::Closed(o) => StreamMetrics {
+                    slot,
+                    workload_id: o.workload_id.clone(),
+                    active: false,
+                    segments_processed: o.outcome.segments,
+                    lag_segments: 0,
+                    buffer_bytes: 0.0,
+                    backlog_work: 0.0,
+                    cloud_spent_usd: o.outcome.cloud_usd,
+                    overflows: o.outcome.overflows,
+                },
+            })
+            .collect();
+        RuntimeMetrics {
+            shards: self.shards,
+            epoch: self.epoch,
+            joint_plans: self.joint_plans,
+            wallet_left_usd: self.wallet_left(),
+            segments_processed: self.processed_total,
+            wall_secs,
+            segs_per_sec: self.processed_total as f64 / wall_secs.max(1e-9),
+            streams,
+        }
+    }
+
+    /// Deliver all remaining queued input and settle every stream — active
+    /// and closed alike — into the joint outcome, in admission order.
+    /// Identical in shape to [`MultiStreamServer::finish`].
+    pub fn finish(mut self) -> Result<MultiOutcome, SkyError> {
+        self.flush()?;
+        let mut out = MultiOutcome::default();
+        for slot in self.slots.drain(..) {
+            let settled = match slot {
+                RtSlot::Active(mut a) => {
+                    a.settle();
+                    a.outcome.take().expect("settle produced an outcome")
+                }
+                RtSlot::Closed(s) => s,
+            };
+            out.cloud_usd += settled.outcome.cloud_usd;
+            out.joint_quality += settled.outcome.mean_quality;
+            out.streams.push(settled);
+        }
+        Ok(out)
+    }
+
+    /// Dispatch a full epoch when every active stream is ready — its
+    /// mailbox holds a full quota, or a close marker bounds its epoch.
+    fn try_dispatch(&mut self) -> Result<(), SkyError> {
+        let mut any_input = false;
+        for a in self.active() {
+            if !a.mailbox.close_queued() && a.mailbox.segments_queued() < a.mailbox.capacity() {
+                return Ok(());
+            }
+            any_input = any_input || !a.mailbox.is_empty();
+        }
+        if any_input {
+            self.dispatch()?;
+        }
+        Ok(())
+    }
+
+    /// Deliver everything queued: complete epochs first, then the partial
+    /// remainder (used before admissions and at finish, so those land at a
+    /// deterministic per-stream position).
+    fn flush(&mut self) -> Result<(), SkyError> {
+        self.try_dispatch()?;
+        if self.active().any(|a| !a.mailbox.is_empty()) {
+            self.dispatch()?;
+        }
+        Ok(())
+    }
+
+    /// Process every non-empty mailbox across the worker shards, preceded
+    /// by the lazily pending epoch barrier. Streams whose mailbox *begins*
+    /// with a close marker settle before the barrier (they closed at the
+    /// epoch boundary and must not join the next joint plan).
+    fn dispatch(&mut self) -> Result<(), SkyError> {
+        if self.barrier_pending {
+            for slot in &mut self.slots {
+                if let RtSlot::Active(a) = slot {
+                    if a.mailbox.close_is_first() {
+                        a.mailbox.drain();
+                        a.settle();
+                    }
+                }
+            }
+            self.seal_settled();
+            if self.active().next().is_some() {
+                self.barrier(None)?;
+            } else {
+                self.barrier_pending = false;
+            }
+        }
+
+        // Fan the epoch batches out across the shards. The item→shard
+        // assignment is static, so each stateful stream is touched by
+        // exactly one worker and the results cannot depend on scheduling.
+        let mut items: Vec<(usize, &mut RtStream<'a>)> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                RtSlot::Active(a) if !a.mailbox.is_empty() => Some((i, a.as_mut())),
+                _ => None,
+            })
+            .collect();
+        let results = self
+            .pool
+            .shard_map_mut(&mut items, |_, (slot, rt)| (*slot, rt.process_batch()));
+        drop(items);
+        for (slot, r) in results {
+            match r {
+                Ok(n) => self.processed_total += n,
+                Err(e) => {
+                    return Err(SkyError::PushFailed {
+                        stream: slot,
+                        source: Box::new(e),
+                    })
+                }
+            }
+        }
+        self.seal_settled();
+
+        // A full epoch completed when every remaining active stream
+        // exhausted its quota; the barrier then fires lazily with the next
+        // dispatch. Partial deliveries (flush) leave the epoch open.
+        if self.active().next().is_some() && self.active().all(|a| a.used >= a.quota) {
+            self.barrier_pending = true;
+        }
+        self.refresh_mailbox_caps();
+        Ok(())
+    }
+
+    /// Convert streams whose close marker was processed into closed slots.
+    fn seal_settled(&mut self) {
+        for slot in &mut self.slots {
+            if let RtSlot::Active(a) = slot {
+                if let Some(outcome) = a.outcome.take() {
+                    *slot = RtSlot::Closed(outcome);
+                }
+            }
+        }
+    }
+
+    /// Re-bound every active mailbox after a dispatch. A stream that
+    /// finished its epoch may queue the *next* epoch's full quota (the lazy
+    /// barrier will reset it); a stream left mid-epoch (a flush before a
+    /// rejected admission) may only queue the **remainder** of its current
+    /// quota — otherwise the next dispatch would overshoot the epoch and
+    /// fire the joint replan later than the sequential server does.
+    fn refresh_mailbox_caps(&mut self) {
+        let models: Vec<&FittedModel> = self
+            .active()
+            .filter_map(|s| s.session.as_ref())
+            .map(|s| s.model())
+            .collect();
+        if models.is_empty() {
+            return;
+        }
+        let interval = self.replan_interval.unwrap_or_else(|| {
+            models
+                .iter()
+                .map(|m| m.hyper.planned_interval_secs)
+                .fold(f64::INFINITY, f64::min)
+        });
+        for slot in &mut self.slots {
+            if let RtSlot::Active(a) = slot {
+                if let Some(sess) = &a.session {
+                    let next_quota = epoch_quota(interval, sess.model().seg_len);
+                    let cap = if a.used >= a.quota {
+                        next_quota
+                    } else {
+                        a.quota - a.used
+                    };
+                    a.mailbox.set_capacity(cap);
+                }
+            }
+        }
+    }
+
+    /// Cross the epoch barrier: settle the leases, re-run the joint LP over
+    /// all active streams (plus the admission candidate), install the
+    /// plans, and re-split shares and leases — the same commit the
+    /// sequential server performs, computed through the shared
+    /// [`plan_epoch`].
+    fn barrier(&mut self, candidate: Option<Box<RtStream<'a>>>) -> Result<(), SkyError> {
+        let candidate_slot = self.slots.len();
+        let mut stream_slots: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, RtSlot::Active(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut models: Vec<&'a FittedModel> = self
+            .active()
+            .filter_map(|s| s.session.as_ref())
+            .map(|s| s.model())
+            .collect();
+        let mut rs: Vec<Vec<f64>> = self
+            .active()
+            .filter_map(|s| s.session.as_ref())
+            .map(|s| s.forecast_distribution())
+            .collect::<Result<_, _>>()?;
+        if let Some(c) = &candidate {
+            stream_slots.push(candidate_slot);
+            let session = c.session.as_ref().expect("candidate has a session");
+            models.push(session.model());
+            rs.push(session.forecast_distribution()?);
+        }
+        let total = self.total_cores.expect("set at first admission");
+        let (plans, math) = plan_epoch(
+            &models,
+            &rs,
+            total,
+            self.shared_budget_usd,
+            &self.cost_model,
+            self.replan_interval,
+        )?;
+
+        if let Some(c) = candidate {
+            self.slots.push(RtSlot::Active(c));
+        }
+        let mut plans = plans.into_iter();
+        for slot in &mut self.slots {
+            if let RtSlot::Active(a) = slot {
+                let session = a.session.as_mut().expect("active stream has a session");
+                let seg_len = session.model().seg_len;
+                session.install_plan(plans.next().expect("one plan per active stream"));
+                session.set_capacity_per_seg(math.fair * seg_len);
+                session.set_cloud_credits(math.lease);
+                a.used = 0;
+                a.quota = epoch_quota(math.interval, seg_len);
+                a.mailbox.set_capacity(a.quota);
+            }
+        }
+        self.joint_plans += 1;
+        self.epoch += 1;
+        self.barrier_pending = false;
+        self.last_joint_plan = Some(JointPlanRecord {
+            streams: stream_slots,
+            budget_per_seg_total: math.budget,
+            fair_cores: math.fair,
+            lease_usd: math.lease,
+        });
+        Ok(())
+    }
+}

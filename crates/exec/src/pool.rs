@@ -172,6 +172,68 @@ impl ActorPool {
             .collect()
     }
 
+    /// Statically sharded scatter-gather over **mutable** items: the slice
+    /// is split into up to [`size`](Self::size) contiguous shards, one
+    /// scoped worker per shard, and each worker gets exclusive `&mut`
+    /// access to its shard's items. Results come back in input order.
+    ///
+    /// This is the primitive behind long-lived shard runtimes (each worker
+    /// owns a disjoint set of stateful streams for a whole batch/epoch):
+    /// unlike [`par_map`](Self::par_map) there is no work-stealing cursor —
+    /// the item→shard assignment is a pure function of index and shard
+    /// count, so stateful items are never touched by two workers and the
+    /// per-item results are independent of scheduling. Item `i` of `n`
+    /// lands on the shard covering `i * shards / n` (balanced contiguous
+    /// ranges).
+    ///
+    /// # Panics
+    /// Propagates the first panic raised inside `f`.
+    pub fn shard_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shards = self.size().min(n);
+        if shards <= 1 {
+            return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        // Balanced contiguous ranges: shard s covers [s*n/shards, (s+1)*n/shards).
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            let mut rest = items;
+            let mut offset = 0;
+            for s in 0..shards {
+                let end = (s + 1) * n / shards;
+                let (chunk, tail) = rest.split_at_mut(end - offset);
+                rest = tail;
+                let base = offset;
+                offset = end;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    // Remaining shard workers are joined by the scope exit.
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
     /// Run `f` with a [`PoolScope`] through which ad-hoc tasks can be
     /// spawned that borrow from the caller's stack. At most
     /// [`size`](Self::size) spawned tasks *run* concurrently (a semaphore
@@ -416,6 +478,53 @@ mod tests {
             "peak {}",
             peak.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn shard_map_mut_mutates_in_place_and_orders_results() {
+        let pool = ActorPool::new(3);
+        let mut items: Vec<u64> = (0..17).collect();
+        let out = pool.shard_map_mut(&mut items, |i, v| {
+            *v += 100;
+            *v + i as u64
+        });
+        assert_eq!(items, (100..117).collect::<Vec<_>>());
+        assert_eq!(out, (0..17).map(|i| 100 + 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_map_mut_is_shard_count_independent() {
+        let mut a: Vec<u64> = (0..31).collect();
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let out1 = ActorPool::new(1).shard_map_mut(&mut a, |i, v| *v * 3 + i as u64);
+        let out4 = ActorPool::new(4).shard_map_mut(&mut b, |i, v| *v * 3 + i as u64);
+        let out9 = ActorPool::new(9).shard_map_mut(&mut c, |i, v| *v * 3 + i as u64);
+        assert_eq!(out1, out4);
+        assert_eq!(out1, out9);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn shard_map_mut_runs_shards_concurrently() {
+        let pool = ActorPool::new(4);
+        let mut items = vec![(); 4];
+        let start = Instant::now();
+        pool.shard_map_mut(&mut items, |_, _| {
+            std::thread::sleep(Duration::from_millis(50))
+        });
+        let elapsed = start.elapsed();
+        assert!(elapsed < Duration::from_millis(150), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn shard_map_mut_empty_and_single() {
+        let pool = ActorPool::new(2);
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(pool.shard_map_mut(&mut empty, |_, v| *v).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(pool.shard_map_mut(&mut one, |_, v| *v + 1), vec![8]);
     }
 
     #[test]

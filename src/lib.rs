@@ -32,10 +32,11 @@ pub use vetl_workloads as workloads;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use skyscraper::{
-        ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession, Knob,
-        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, KnowledgeBase,
-        MultiStreamServer, OfflineArtifacts, OfflinePipeline, SessionCheckpoint, SkyError,
-        Skyscraper, SkyscraperConfig, StepReport, StreamId, StreamStats, Workload,
+        ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestRuntime,
+        IngestSession, JointPlanRecord, Knob, KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher,
+        KnobValue, KnowledgeBase, MultiStreamServer, OfflineArtifacts, OfflinePipeline,
+        RuntimeConfig, RuntimeMetrics, SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig,
+        StepReport, StreamId, StreamMetrics, StreamStats, Workload,
     };
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};

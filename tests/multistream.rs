@@ -127,6 +127,82 @@ fn shared_wallet_spends_no_more_than_one_budget_per_epoch_even_when_tight() {
 }
 
 #[test]
+fn closing_a_stream_releases_its_share_to_the_next_joint_plan() {
+    // Satellite: a stream closed mid-epoch releases its cores and wallet
+    // lease, and the next joint plan redistributes them — asserted on the
+    // recorded joint-plan inputs/outputs.
+    let streams = fixture();
+    let budget = 0.6;
+    let mut server = MultiStreamServer::new(budget, CostModel::default(), 17)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+    let handles = open_all(&mut server, &streams[..3]);
+    let before = server.last_joint_plan().expect("admission planned").clone();
+    assert_eq!(before.streams, vec![0, 1, 2]);
+    assert!((before.lease_usd - budget / 3.0).abs() < 1e-12);
+    assert_eq!(before.fair_cores, (16.0f64 / 3.0).floor());
+
+    // Drive one full epoch (900 segments of 2 s at the 1800 s cadence),
+    // closing stream 1 halfway through.
+    let quota = (REPLAN_SECS / 2.0) as usize;
+    for i in 0..quota {
+        for (v, (id, segs)) in handles.iter().enumerate() {
+            if v == 1 && i == quota / 2 {
+                let settled = server.close_stream(*id).expect("close");
+                assert_eq!(settled.outcome.segments, quota / 2);
+            }
+            if v == 1 && i >= quota / 2 {
+                continue;
+            }
+            server.push(*id, &segs[i]).expect("push");
+        }
+    }
+    assert_eq!(server.n_streams(), 2);
+
+    // The first push of the next epoch crosses the barrier: the survivors
+    // split the released cores and wallet share.
+    server
+        .push(handles[0].0, &handles[0].1[quota])
+        .expect("next epoch");
+    let after = server.last_joint_plan().expect("barrier planned").clone();
+    assert_eq!(after.streams, vec![0, 2], "closed stream left the plan");
+    assert!((after.lease_usd - budget / 2.0).abs() < 1e-12);
+    assert_eq!(after.fair_cores, (16.0f64 / 2.0).floor());
+    assert!(after.fair_cores > before.fair_cores);
+    assert!(after.lease_usd > before.lease_usd);
+
+    let out = server.finish();
+    assert_eq!(out.streams.len(), 3, "closed streams keep their outcome");
+    assert_eq!(out.streams[1].outcome.segments, quota / 2);
+}
+
+#[test]
+fn round_robin_wraps_per_push_errors_with_the_stream_id() {
+    // Satellite: push_round_robin / run_multistream propagate per-push
+    // failures with the offending StreamId instead of an opaque abort.
+    let streams = fixture();
+    let (w, m, segs) = &streams[0];
+    let mut server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), 19)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+    let id = server
+        .open_stream("cam-0", m, w, IngestOptions::default())
+        .expect("admission");
+    server.close_stream(id).expect("close");
+
+    let err = server
+        .push_round_robin(&[(id, &segs[..4])])
+        .expect_err("pushing a closed stream must fail");
+    assert_eq!(
+        err,
+        SkyError::PushFailed {
+            stream: id.index(),
+            source: Box::new(SkyError::StreamClosed { id: id.index() }),
+        }
+    );
+}
+
+#[test]
 fn streams_can_arrive_and_push_interleaved_with_admissions() {
     // Admission mid-serve: two streams run for an hour, then two more join;
     // the joint LP reruns at each admission and all four finish cleanly.
