@@ -41,6 +41,7 @@ fn drive(fitted: &Fitted, shards: usize) -> Drive {
         seed: SEED,
         replan_interval_secs: Some(REPLAN_SECS),
         total_cores: Some(total_cores),
+        ..RuntimeConfig::default()
     });
 
     let t0 = Instant::now();

@@ -133,6 +133,23 @@ pub enum SkyError {
         /// The underlying error, stringified.
         detail: String,
     },
+    /// A runtime write-ahead log or checkpoint exists but cannot be decoded
+    /// or replayed (bad magic, checksum mismatch mid-file, a replay that
+    /// diverges from the journaled barrier sequence). A *torn tail* is not
+    /// this error — unfinished trailing records are detected and discarded
+    /// during recovery, because a crash mid-append is an expected shape.
+    CorruptWal {
+        /// Decoder / replay context.
+        detail: String,
+    },
+    /// An I/O error while reading or writing the runtime's write-ahead log
+    /// or checkpoint.
+    WalIo {
+        /// The file or directory involved.
+        path: String,
+        /// The underlying error, stringified.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SkyError {
@@ -218,6 +235,12 @@ impl std::fmt::Display for SkyError {
             SkyError::KnowledgeBaseIo { path, detail } => {
                 write!(f, "knowledge base I/O error at {path}: {detail}")
             }
+            SkyError::CorruptWal { detail } => {
+                write!(f, "corrupt write-ahead log: {detail}")
+            }
+            SkyError::WalIo { path, detail } => {
+                write!(f, "write-ahead log I/O error at {path}: {detail}")
+            }
         }
     }
 }
@@ -302,6 +325,16 @@ mod tests {
             detail: "denied".into(),
         };
         assert!(e.to_string().contains("/tmp/kb"));
+        let e = SkyError::CorruptWal {
+            detail: "checksum mismatch at record 7".into(),
+        };
+        assert!(e.to_string().contains("write-ahead log"));
+        assert!(e.to_string().contains("record 7"));
+        let e = SkyError::WalIo {
+            path: "/tmp/wal".into(),
+            detail: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/wal"));
         assert!(SkyError::NonFinite { what: "work_mean" }
             .to_string()
             .contains("work_mean"));

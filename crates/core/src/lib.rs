@@ -84,5 +84,8 @@ pub use online::session::{
 };
 pub use online::switcher::{Decision, KnobSwitcher, SwitcherLimits};
 pub use profile::{ConfigProfile, PlacementProfile};
-pub use runtime::{IngestRuntime, RuntimeConfig, RuntimeMetrics, StreamMetrics};
+pub use runtime::{
+    DurabilityConfig, IngestRuntime, RecoveredStream, RecoveryReport, RuntimeConfig,
+    RuntimeMetrics, StreamMetrics, StreamResolver,
+};
 pub use workload::Workload;

@@ -168,7 +168,13 @@ impl StreamId {
         self.0
     }
 
-    pub(crate) const fn from_index(idx: usize) -> Self {
+    /// Rebuild a handle from its admission-order slot index — the inverse
+    /// of [`index`](Self::index). Slots stay stable under churn and across
+    /// [`crate::runtime::IngestRuntime::recover`], so a driver resuming
+    /// after a crash re-derives its handles from the recovery report's
+    /// slots. A handle for a slot that was never admitted is rejected
+    /// typed (`UnknownStream`) by every server/runtime operation.
+    pub const fn from_index(idx: usize) -> Self {
         Self(idx)
     }
 }
@@ -266,6 +272,27 @@ pub(crate) fn barrier_math(
 /// Segment quota of one stream per planning epoch.
 pub(crate) fn epoch_quota(interval: f64, seg_len: f64) -> usize {
     ((interval / seg_len).round() as usize).max(1)
+}
+
+/// Shared ingress validation: a segment with non-finite or non-positive
+/// fields would poison backlog/quality accounting downstream (and, in the
+/// durable runtime, leave a journal record whose replay always fails), so
+/// both the sequential server and the sharded runtime reject it typed
+/// before touching any state.
+pub(crate) fn validate_segment(seg: &Segment) -> Result<(), SkyError> {
+    if !seg.duration.is_finite()
+        || seg.duration <= 0.0
+        || !seg.bytes.is_finite()
+        || seg.bytes < 0.0
+        || !seg.content.difficulty.is_finite()
+        || !seg.content.activity.is_finite()
+        || !seg.content.time.as_secs().is_finite()
+    {
+        return Err(SkyError::InvalidInput {
+            what: "segment with non-finite or non-positive fields",
+        });
+    }
+    Ok(())
 }
 
 /// Shared admission check: every already-active stream *and* the candidate
@@ -484,6 +511,7 @@ impl<'a> MultiStreamServer<'a> {
     /// barrier while other streams still hold quota is rejected with
     /// [`SkyError::EpochBarrier`].
     pub fn push(&mut self, stream: StreamId, seg: &Segment) -> Result<StepReport, SkyError> {
+        validate_segment(seg)?;
         match self.slots.get(stream.0) {
             None => return Err(SkyError::UnknownStream { id: stream.0 }),
             Some(StreamSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.0 }),

@@ -59,43 +59,48 @@ impl Enc {
         self.buf
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    /// Append pre-encoded bytes verbatim (nested payloads).
+    pub(crate) fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.usize(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn f64s(&mut self, vs: &[f64]) {
+    pub(crate) fn f64s(&mut self, vs: &[f64]) {
         self.usize(vs.len());
         for &v in vs {
             self.f64(v);
         }
     }
 
-    fn usizes(&mut self, vs: &[usize]) {
+    pub(crate) fn usizes(&mut self, vs: &[usize]) {
         self.usize(vs.len());
         for &v in vs {
             self.usize(v);
@@ -118,7 +123,7 @@ impl<'a> Dec<'a> {
         self.pos == self.buf.len()
     }
 
-    fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -129,30 +134,30 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> DecodeResult<u8> {
+    pub(crate) fn u8(&mut self, what: &str) -> DecodeResult<u8> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> DecodeResult<u32> {
+    pub(crate) fn u32(&mut self, what: &str) -> DecodeResult<u32> {
         let b = self.take(4, what)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, what: &str) -> DecodeResult<u64> {
+    pub(crate) fn u64(&mut self, what: &str) -> DecodeResult<u64> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn usize(&mut self, what: &str) -> DecodeResult<usize> {
+    pub(crate) fn usize(&mut self, what: &str) -> DecodeResult<usize> {
         let v = self.u64(what)?;
         usize::try_from(v).map_err(|_| format!("{what} length {v} exceeds usize"))
     }
 
     /// Length prefix validated against the bytes actually remaining
     /// (`elem_bytes` per element) — prevents huge bogus allocations.
-    fn len(&mut self, elem_bytes: usize, what: &str) -> DecodeResult<usize> {
+    pub(crate) fn len(&mut self, elem_bytes: usize, what: &str) -> DecodeResult<usize> {
         let n = self.usize(what)?;
         let remaining = self.buf.len() - self.pos;
         if n.checked_mul(elem_bytes.max(1))
@@ -165,11 +170,11 @@ impl<'a> Dec<'a> {
         Ok(n)
     }
 
-    fn f64(&mut self, what: &str) -> DecodeResult<f64> {
+    pub(crate) fn f64(&mut self, what: &str) -> DecodeResult<f64> {
         Ok(f64::from_bits(self.u64(what)?))
     }
 
-    fn bool(&mut self, what: &str) -> DecodeResult<bool> {
+    pub(crate) fn bool(&mut self, what: &str) -> DecodeResult<bool> {
         match self.u8(what)? {
             0 => Ok(false),
             1 => Ok(true),
@@ -177,21 +182,38 @@ impl<'a> Dec<'a> {
         }
     }
 
-    fn str(&mut self, what: &str) -> DecodeResult<String> {
+    pub(crate) fn str(&mut self, what: &str) -> DecodeResult<String> {
         let n = self.len(1, what)?;
         let bytes = self.take(n, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what}: invalid UTF-8"))
     }
 
-    fn f64s(&mut self, what: &str) -> DecodeResult<Vec<f64>> {
+    pub(crate) fn f64s(&mut self, what: &str) -> DecodeResult<Vec<f64>> {
         let n = self.len(8, what)?;
         (0..n).map(|_| self.f64(what)).collect()
     }
 
-    fn usizes(&mut self, what: &str) -> DecodeResult<Vec<usize>> {
+    pub(crate) fn usizes(&mut self, what: &str) -> DecodeResult<Vec<usize>> {
         let n = self.len(8, what)?;
         (0..n).map(|_| self.usize(what)).collect()
     }
+}
+
+/// Encode an `Option`: presence flag, then the value.
+pub(crate) fn enc_opt<T>(e: &mut Enc, v: &Option<T>, mut f: impl FnMut(&mut Enc, &T)) {
+    e.bool(v.is_some());
+    if let Some(v) = v {
+        f(e, v);
+    }
+}
+
+/// Decode an `Option` written by [`enc_opt`].
+pub(crate) fn dec_opt<T>(
+    d: &mut Dec,
+    what: &str,
+    mut f: impl FnMut(&mut Dec) -> DecodeResult<T>,
+) -> DecodeResult<Option<T>> {
+    Ok(if d.bool(what)? { Some(f(d)?) } else { None })
 }
 
 /// FNV-1a over a byte slice — the file checksum (the crate's shared `Fnv`
@@ -389,7 +411,7 @@ fn dec_mlp(d: &mut Dec) -> DecodeResult<Mlp> {
     Mlp::from_layers(layers).ok_or_else(|| "network layers do not chain".to_string())
 }
 
-fn enc_forecaster(e: &mut Enc, f: &Forecaster) {
+pub(crate) fn enc_forecaster(e: &mut Enc, f: &Forecaster) {
     let spec = f.spec();
     e.f64(spec.input_secs);
     e.usize(spec.input_splits);
@@ -400,7 +422,7 @@ fn enc_forecaster(e: &mut Enc, f: &Forecaster) {
     enc_mlp(e, f.net());
 }
 
-fn dec_forecaster(d: &mut Dec) -> DecodeResult<Forecaster> {
+pub(crate) fn dec_forecaster(d: &mut Dec) -> DecodeResult<Forecaster> {
     let spec = ForecastSpec {
         input_secs: d.f64("forecaster input_secs")?,
         input_splits: d.usize("forecaster input_splits")?,
@@ -478,14 +500,14 @@ fn dec_hardware(d: &mut Dec) -> DecodeResult<HardwareSpec> {
     })
 }
 
-fn enc_plan(e: &mut Enc, p: &KnobPlan) {
+pub(crate) fn enc_plan(e: &mut Enc, p: &KnobPlan) {
     e.usize(p.n_categories());
     for c in 0..p.n_categories() {
         e.f64s(p.histogram(c));
     }
 }
 
-fn dec_plan(d: &mut Dec) -> DecodeResult<KnobPlan> {
+pub(crate) fn dec_plan(d: &mut Dec) -> DecodeResult<KnobPlan> {
     let n = d.len(8, "plan rows")?;
     if n == 0 {
         return Err("plan needs at least one category".into());
@@ -610,7 +632,7 @@ fn dec_model_body(d: &mut Dec) -> DecodeResult<FittedModel> {
     })
 }
 
-fn expect_finished(d: &Dec, what: &str) -> DecodeResult<()> {
+pub(crate) fn expect_finished(d: &Dec, what: &str) -> DecodeResult<()> {
     if d.finished() {
         Ok(())
     } else {

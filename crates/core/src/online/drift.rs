@@ -107,6 +107,50 @@ impl DriftDetector {
         self.alarms
     }
 
+    /// Snapshot every carried field — the serialization surface for durable
+    /// session checkpoints.
+    pub(crate) fn parts(&self) -> (f64, usize, f64, Vec<bool>, usize, usize) {
+        (
+            self.threshold,
+            self.window,
+            self.alarm_fraction,
+            self.history.iter().copied().collect(),
+            self.far_count,
+            self.alarms,
+        )
+    }
+
+    /// Rebuild a detector from parts captured with [`Self::parts`]. Returns
+    /// `None` on inconsistent shapes (corrupt snapshot) so decoders can fail
+    /// typed instead of panicking.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        threshold: f64,
+        window: usize,
+        alarm_fraction: f64,
+        history: Vec<bool>,
+        far_count: usize,
+        alarms: usize,
+    ) -> Option<Self> {
+        if threshold.is_nan()
+            || threshold <= 0.0
+            || window == 0
+            || !(0.0..=1.0).contains(&alarm_fraction)
+            || history.len() > window
+            || far_count != history.iter().filter(|&&f| f).count()
+        {
+            return None;
+        }
+        Some(Self {
+            threshold,
+            window,
+            alarm_fraction,
+            history: history.into_iter().collect(),
+            far_count,
+            alarms,
+        })
+    }
+
     /// Reset the window after the categories were recomputed (keeps the
     /// calibrated threshold).
     pub fn reset(&mut self) {

@@ -48,6 +48,7 @@ use vetl_sim::{simulate, Backlog, CostModel, Trace, TracePoint};
 use vetl_video::Segment;
 
 use crate::error::SkyError;
+use crate::offline::codec::{self, dec_opt, enc_opt, Dec, DecodeResult, Enc};
 use crate::offline::forecast::{CategoryTimeline, Forecaster};
 use crate::offline::FittedModel;
 use crate::online::drift::DriftDetector;
@@ -294,6 +295,390 @@ impl SessionCheckpoint {
     pub fn options(&self) -> &IngestOptions {
         &self.options
     }
+
+    /// Serialize the whole carried state (RNG words included) with the
+    /// knowledge-base codec. `decode(encode(c))` rebuilds a checkpoint whose
+    /// resumed session continues bit-for-bit — the primitive behind the
+    /// runtime WAL's durable snapshots.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        enc_options(&mut e, &self.options);
+        enc_state(&mut e, &self.state);
+        e.into_bytes()
+    }
+
+    /// Decode a checkpoint serialized with [`encode`](Self::encode).
+    /// Structural corruption degrades into a decode error, never a panic;
+    /// model-dependent invariants are checked by
+    /// [`validate_against`](Self::validate_against).
+    pub fn decode(bytes: &[u8]) -> DecodeResult<Self> {
+        let mut d = Dec::new(bytes);
+        let options = dec_options(&mut d)?;
+        let state = dec_state(&mut d)?;
+        codec::expect_finished(&d, "session checkpoint")?;
+        Ok(Self { options, state })
+    }
+
+    /// Cross-check the decoded state against the model it will resume on:
+    /// category/config indices in bounds, plan shapes matching. A
+    /// checksum-valid but crafted snapshot must fail here instead of
+    /// panicking mid-push.
+    pub fn validate_against(&self, model: &crate::offline::FittedModel) -> DecodeResult<()> {
+        let n_c = model.n_categories();
+        let n_k = model.n_configs();
+        let s = &self.state;
+        if s.history.iter().chain(&s.gt_history).any(|&c| c >= n_c)
+            || s.gt_feed
+                .as_ref()
+                .is_some_and(|f| f.iter().any(|&c| c >= n_c))
+        {
+            return Err("checkpoint category history out of range".into());
+        }
+        if let Some(sw) = &s.switcher {
+            let (plan, _, _) = sw.parts();
+            if plan.n_categories() != n_c || plan.n_configs() != n_k {
+                return Err("checkpoint plan shape does not match the model".into());
+            }
+        }
+        if let Some(d) = &s.decision {
+            if d.config >= n_k
+                || d.category >= n_c
+                || d.placement >= model.configs[d.config].placements.len()
+            {
+                return Err("checkpoint decision out of range".into());
+            }
+        }
+        if s.prev_config != usize::MAX && s.prev_config >= n_k {
+            return Err("checkpoint prev_config out of range".into());
+        }
+        if let Some(f) = &s.tuned_forecaster {
+            if f.n_categories() != n_c {
+                return Err("checkpoint forecaster category count mismatch".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint codec (little-endian, floats as raw bits — the same format
+// discipline as the knowledge base, so snapshots survive bitwise).
+// ---------------------------------------------------------------------
+
+pub(crate) fn enc_trace(e: &mut Enc, t: &Trace) {
+    e.usize(t.len());
+    for p in t.points() {
+        e.f64(p.t_secs);
+        e.f64(p.quality);
+        e.f64(p.work_rate);
+        e.f64(p.buffer_bytes);
+        e.f64(p.cloud_usd);
+        e.usize(p.config);
+        e.usize(p.category);
+    }
+}
+
+pub(crate) fn dec_trace(d: &mut Dec) -> DecodeResult<Trace> {
+    let n = d.len(7 * 8, "trace points")?;
+    let mut trace = Trace::new();
+    let mut prev_t = f64::NEG_INFINITY;
+    for _ in 0..n {
+        let p = TracePoint {
+            t_secs: d.f64("trace t_secs")?,
+            quality: d.f64("trace quality")?,
+            work_rate: d.f64("trace work_rate")?,
+            buffer_bytes: d.f64("trace buffer_bytes")?,
+            cloud_usd: d.f64("trace cloud_usd")?,
+            config: d.usize("trace config")?,
+            category: d.usize("trace category")?,
+        };
+        // Trace::push debug-asserts time order; a crafted snapshot must
+        // fail typed here instead.
+        if p.t_secs.is_nan() || p.t_secs < prev_t {
+            return Err("trace points out of time order".into());
+        }
+        prev_t = p.t_secs;
+        trace.push(p);
+    }
+    Ok(trace)
+}
+
+pub(crate) fn enc_outcome(e: &mut Enc, o: &IngestOutcome) {
+    enc_trace(e, &o.trace);
+    e.f64(o.mean_quality);
+    e.f64(o.work_core_secs);
+    e.f64(o.cloud_usd);
+    e.f64(o.buffer_peak);
+    e.usize(o.overflows);
+    e.usize(o.switches);
+    e.f64(o.misclassification_rate);
+    e.usize(o.plans);
+    e.usize(o.segments);
+    e.f64(o.duration_secs);
+    e.usize(o.drift_alarms);
+}
+
+pub(crate) fn dec_outcome(d: &mut Dec) -> DecodeResult<IngestOutcome> {
+    Ok(IngestOutcome {
+        trace: dec_trace(d)?,
+        mean_quality: d.f64("outcome mean_quality")?,
+        work_core_secs: d.f64("outcome work_core_secs")?,
+        cloud_usd: d.f64("outcome cloud_usd")?,
+        buffer_peak: d.f64("outcome buffer_peak")?,
+        overflows: d.usize("outcome overflows")?,
+        switches: d.usize("outcome switches")?,
+        misclassification_rate: d.f64("outcome misclassification_rate")?,
+        plans: d.usize("outcome plans")?,
+        segments: d.usize("outcome segments")?,
+        duration_secs: d.f64("outcome duration_secs")?,
+        drift_alarms: d.usize("outcome drift_alarms")?,
+    })
+}
+
+pub(crate) fn enc_options(e: &mut Enc, o: &IngestOptions) {
+    e.bool(o.enable_buffering);
+    e.bool(o.enable_cloud);
+    e.f64(o.cloud_budget_usd);
+    e.u8(match o.classification {
+        ClassificationMode::Standard => 0,
+        ClassificationMode::NoTypeB => 1,
+        ClassificationMode::GroundTruth => 2,
+    });
+    e.u8(match o.forecast {
+        ForecastMode::Model => 0,
+        ForecastMode::GroundTruth => 1,
+        ForecastMode::Uniform => 2,
+    });
+    enc_opt(e, &o.switch_period_secs, |e, v| e.f64(*v));
+    e.f64(o.cost_model.onprem_usd_per_core_hour);
+    e.f64(o.cost_model.cloud_onprem_ratio);
+    e.u64(o.seed);
+    e.bool(o.record_trace);
+    e.bool(o.detect_drift);
+    e.bool(o.finetune_forecaster);
+}
+
+pub(crate) fn dec_options(d: &mut Dec) -> DecodeResult<IngestOptions> {
+    Ok(IngestOptions {
+        enable_buffering: d.bool("options enable_buffering")?,
+        enable_cloud: d.bool("options enable_cloud")?,
+        cloud_budget_usd: d.f64("options cloud_budget_usd")?,
+        classification: match d.u8("options classification")? {
+            0 => ClassificationMode::Standard,
+            1 => ClassificationMode::NoTypeB,
+            2 => ClassificationMode::GroundTruth,
+            v => return Err(format!("unknown classification tag {v}")),
+        },
+        forecast: match d.u8("options forecast")? {
+            0 => ForecastMode::Model,
+            1 => ForecastMode::GroundTruth,
+            2 => ForecastMode::Uniform,
+            v => return Err(format!("unknown forecast tag {v}")),
+        },
+        switch_period_secs: dec_opt(d, "options switch_period", |d| d.f64("switch_period"))?,
+        cost_model: CostModel {
+            onprem_usd_per_core_hour: d.f64("options onprem_usd_per_core_hour")?,
+            cloud_onprem_ratio: d.f64("options cloud_onprem_ratio")?,
+        },
+        seed: d.u64("options seed")?,
+        record_trace: d.bool("options record_trace")?,
+        detect_drift: d.bool("options detect_drift")?,
+        finetune_forecaster: d.bool("options finetune_forecaster")?,
+    })
+}
+
+fn enc_state(e: &mut Enc, s: &SessionState) {
+    for w in s.rng.state_words() {
+        e.u64(w);
+    }
+    e.usize(s.planner.last_stats.n_vars);
+    e.usize(s.planner.last_stats.n_constraints);
+    e.usize(s.planner.last_stats.pivots);
+    enc_opt(e, &s.switcher, |e, sw| {
+        let (plan, usage, cur) = sw.parts();
+        codec::enc_plan(e, plan);
+        e.usize(usage.len());
+        for row in usage {
+            e.f64s(row);
+        }
+        e.usize(cur);
+    });
+    let entries: Vec<(f64, f64)> = s.backlog.entries().collect();
+    e.usize(entries.len());
+    for (b, w) in &entries {
+        e.f64(*b);
+        e.f64(*w);
+    }
+    let (tb, tw) = s.backlog.raw_totals();
+    e.f64(tb);
+    e.f64(tw);
+    e.usizes(&s.history);
+    e.usizes(&s.gt_history);
+    enc_opt(e, &s.gt_feed, |e, v| e.usizes(v));
+    match &s.byte_stats {
+        ByteStats::Pinned(st) => {
+            e.u8(0);
+            e.f64(st.seg_bytes_mean);
+            e.f64(st.seg_bytes_max);
+        }
+        ByteStats::Running { sum, count, max } => {
+            e.u8(1);
+            e.f64(*sum);
+            e.usize(*count);
+            e.f64(*max);
+        }
+    }
+    enc_opt(e, &s.drift, |e, det| {
+        let (threshold, window, alarm_fraction, history, far_count, alarms) = det.parts();
+        e.f64(threshold);
+        e.usize(window);
+        e.f64(alarm_fraction);
+        e.usize(history.len());
+        for far in &history {
+            e.bool(*far);
+        }
+        e.usize(far_count);
+        e.usize(alarms);
+    });
+    enc_opt(e, &s.tuned_forecaster, codec::enc_forecaster);
+    enc_trace(e, &s.trace);
+    enc_opt(e, &s.decision, |e, d| {
+        e.usize(d.config);
+        e.usize(d.placement);
+        e.usize(d.category);
+        e.bool(d.deviated);
+    });
+    enc_opt(e, &s.last_reported, |e, v| e.f64(*v));
+    e.u64(s.prev_config as u64);
+    e.usize(s.seg_index);
+    e.f64(s.cloud_left);
+    e.f64(s.cloud_spent_total);
+    e.f64(s.work_total);
+    e.f64(s.quality_total);
+    e.f64(s.buffer_peak);
+    e.usize(s.overflows);
+    e.usize(s.misclassified);
+    e.usize(s.switches);
+    e.usize(s.plans);
+    e.usize(s.drift_alarms);
+    e.bool(s.external_planning);
+    enc_opt(e, &s.capacity_override, |e, v| e.f64(*v));
+}
+
+fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
+    let mut words = [0u64; 4];
+    for w in &mut words {
+        *w = d.u64("state rng word")?;
+    }
+    let rng = StdRng::from_state_words(words);
+    let planner = KnobPlanner {
+        last_stats: crate::online::planner::PlannerStats {
+            n_vars: d.usize("state planner n_vars")?,
+            n_constraints: d.usize("state planner n_constraints")?,
+            pivots: d.usize("state planner pivots")?,
+        },
+    };
+    let switcher = dec_opt(d, "state switcher", |d| {
+        let plan = codec::dec_plan(d)?;
+        let n = d.len(8, "state usage rows")?;
+        let usage = (0..n)
+            .map(|_| d.f64s("state usage row"))
+            .collect::<DecodeResult<Vec<_>>>()?;
+        let cur = d.usize("state cur_config")?;
+        KnobSwitcher::from_parts(plan, usage, cur)
+            .ok_or_else(|| "inconsistent switcher snapshot".to_string())
+    })?;
+    let n = d.len(16, "state backlog entries")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let bytes = d.f64("state backlog bytes")?;
+        let work = d.f64("state backlog work")?;
+        if !(bytes >= 0.0 && work >= 0.0) {
+            return Err("negative or NaN backlog entry".into());
+        }
+        entries.push((bytes, work));
+    }
+    let raw_totals = (
+        d.f64("state backlog total_bytes")?,
+        d.f64("state backlog total_work")?,
+    );
+    let backlog = Backlog::from_parts(entries, raw_totals);
+    let history = d.usizes("state history")?;
+    let gt_history = d.usizes("state gt_history")?;
+    let gt_feed = dec_opt(d, "state gt_feed", |d| d.usizes("state gt_feed"))?;
+    let byte_stats = match d.u8("state byte_stats tag")? {
+        0 => ByteStats::Pinned(StreamStats {
+            seg_bytes_mean: d.f64("state seg_bytes_mean")?,
+            seg_bytes_max: d.f64("state seg_bytes_max")?,
+        }),
+        1 => ByteStats::Running {
+            sum: d.f64("state bytes sum")?,
+            count: d.usize("state bytes count")?,
+            max: d.f64("state bytes max")?,
+        },
+        v => return Err(format!("unknown byte_stats tag {v}")),
+    };
+    let drift = dec_opt(d, "state drift", |d| {
+        let threshold = d.f64("drift threshold")?;
+        let window = d.usize("drift window")?;
+        let alarm_fraction = d.f64("drift alarm_fraction")?;
+        let n = d.len(1, "drift history")?;
+        let history = (0..n)
+            .map(|_| d.bool("drift far flag"))
+            .collect::<DecodeResult<Vec<_>>>()?;
+        let far_count = d.usize("drift far_count")?;
+        let alarms = d.usize("drift alarms")?;
+        DriftDetector::from_parts(
+            threshold,
+            window,
+            alarm_fraction,
+            history,
+            far_count,
+            alarms,
+        )
+        .ok_or_else(|| "inconsistent drift snapshot".to_string())
+    })?;
+    let tuned_forecaster = dec_opt(d, "state forecaster", codec::dec_forecaster)?;
+    let trace = dec_trace(d)?;
+    let decision = dec_opt(d, "state decision", |d| {
+        Ok(Decision {
+            config: d.usize("decision config")?,
+            placement: d.usize("decision placement")?,
+            category: d.usize("decision category")?,
+            deviated: d.bool("decision deviated")?,
+        })
+    })?;
+    let last_reported = dec_opt(d, "state last_reported", |d| d.f64("last_reported"))?;
+    let prev_config = d.u64("state prev_config")? as usize;
+    Ok(SessionState {
+        rng,
+        planner,
+        switcher,
+        backlog,
+        history,
+        gt_history,
+        gt_feed,
+        byte_stats,
+        drift,
+        tuned_forecaster,
+        trace,
+        decision,
+        last_reported,
+        prev_config,
+        seg_index: d.usize("state seg_index")?,
+        cloud_left: d.f64("state cloud_left")?,
+        cloud_spent_total: d.f64("state cloud_spent_total")?,
+        work_total: d.f64("state work_total")?,
+        quality_total: d.f64("state quality_total")?,
+        buffer_peak: d.f64("state buffer_peak")?,
+        overflows: d.usize("state overflows")?,
+        misclassified: d.usize("state misclassified")?,
+        switches: d.usize("state switches")?,
+        plans: d.usize("state plans")?,
+        drift_alarms: d.usize("state drift_alarms")?,
+        external_planning: d.bool("state external_planning")?,
+        capacity_override: dec_opt(d, "state capacity_override", |d| d.f64("capacity_override"))?,
+    })
 }
 
 /// The mutable, checkpointable part of a session.
@@ -941,7 +1326,7 @@ mod tests {
     use super::*;
     use crate::config::SkyscraperConfig;
     use crate::offline::run_offline;
-    use crate::testkit::ToyWorkload;
+    use crate::testkit::{assert_outcomes_bitwise_equal, ToyWorkload};
     use vetl_sim::HardwareSpec;
     use vetl_video::{ContentParams, Recording, SyntheticCamera};
 
@@ -960,24 +1345,6 @@ mod tests {
         .unwrap();
         let online = Recording::record(&mut cam, 4.0 * 3_600.0);
         (w, model, online.segments().to_vec())
-    }
-
-    fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
-        assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
-        assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
-        assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
-        assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
-        assert_eq!(a.overflows, b.overflows);
-        assert_eq!(a.switches, b.switches);
-        assert_eq!(
-            a.misclassification_rate.to_bits(),
-            b.misclassification_rate.to_bits()
-        );
-        assert_eq!(a.plans, b.plans);
-        assert_eq!(a.segments, b.segments);
-        assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
-        assert_eq!(a.drift_alarms, b.drift_alarms);
-        assert_eq!(a.trace.len(), b.trace.len());
     }
 
     #[test]
@@ -1012,7 +1379,7 @@ mod tests {
             for seg in &segments {
                 session.push(seg).unwrap();
             }
-            assert_outcomes_bitwise_equal(&batch, &session.finish());
+            assert_outcomes_bitwise_equal("session bitwise", &batch, &session.finish());
         }
     }
 
@@ -1049,7 +1416,7 @@ mod tests {
         for seg in &segments[mid..] {
             resumed.push(seg).unwrap();
         }
-        assert_outcomes_bitwise_equal(&straight, &resumed.finish());
+        assert_outcomes_bitwise_equal("session bitwise", &straight, &resumed.finish());
     }
 
     #[test]
@@ -1280,6 +1647,83 @@ mod tests {
             tuned.mean_quality,
             base.mean_quality
         );
+    }
+
+    #[test]
+    fn encoded_checkpoint_resumes_bitwise_identically() {
+        // The durable-checkpoint contract: encode → decode → resume is
+        // indistinguishable from resuming the in-memory checkpoint, for a
+        // state that exercises every optional field (trace, drift detector,
+        // fine-tuned forecaster, pinned ground truth).
+        let (w, model, segments) = setup(2);
+        let opts = IngestOptions {
+            record_trace: true,
+            detect_drift: true,
+            finetune_forecaster: true,
+            ..Default::default()
+        };
+        let mut session = IngestSession::with_stream_stats(
+            &model,
+            &w,
+            opts,
+            StreamStats::from_segments(&segments),
+        );
+        session.pin_ground_truth(
+            segments
+                .iter()
+                .map(|s| model.ground_truth_category(&w, &s.content))
+                .collect(),
+        );
+        let mid = segments.len() / 2;
+        for seg in &segments[..mid] {
+            session.push(seg).unwrap();
+        }
+        let ckpt = session.checkpoint();
+        drop(session);
+
+        let bytes = ckpt.encode();
+        let decoded = SessionCheckpoint::decode(&bytes).expect("decode");
+        decoded.validate_against(&model).expect("validate");
+        assert_eq!(decoded.segments_pushed(), mid);
+
+        let mut mem = IngestSession::resume(&model, &w, ckpt);
+        let mut disk = IngestSession::resume(&model, &w, decoded);
+        for seg in &segments[mid..] {
+            let a = mem.push(seg).unwrap();
+            let b = disk.push(seg).unwrap();
+            assert_eq!(a.reported_quality.to_bits(), b.reported_quality.to_bits());
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.cloud_usd_step.to_bits(), b.cloud_usd_step.to_bits());
+        }
+        assert_outcomes_bitwise_equal("bitwise", &mem.finish(), &disk.finish());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_bytes_are_typed_errors_not_panics() {
+        let (w, model, segments) = setup(2);
+        let mut session = IngestSession::new(&model, &w, IngestOptions::default());
+        for seg in &segments[..50] {
+            session.push(seg).unwrap();
+        }
+        let bytes = session.checkpoint().encode();
+
+        // Truncations at every prefix must fail cleanly.
+        for cut in 0..bytes.len().min(256) {
+            assert!(SessionCheckpoint::decode(&bytes[..cut]).is_err());
+        }
+        for cut in (0..bytes.len()).step_by(97) {
+            assert!(SessionCheckpoint::decode(&bytes[..cut]).is_err());
+        }
+        // Single-byte mutations must either fail cleanly or decode into
+        // *something* — never panic. (Float payload flips legitimately
+        // decode; validate_against then guards the model-dependent parts.)
+        for i in (0..bytes.len()).step_by(41) {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x80;
+            if let Ok(ckpt) = SessionCheckpoint::decode(&mutated) {
+                let _ = ckpt.validate_against(&model);
+            }
+        }
     }
 
     #[test]

@@ -234,6 +234,33 @@ impl KnobSwitcher {
         projected <= limits.buffer_capacity
     }
 
+    /// Snapshot `(plan, usage counts, current config)` — the serialization
+    /// surface for durable session checkpoints.
+    pub(crate) fn parts(&self) -> (&KnobPlan, &[Vec<f64>], usize) {
+        (&self.plan, &self.usage, self.cur_config)
+    }
+
+    /// Rebuild a switcher from parts captured with [`Self::parts`]. Returns
+    /// `None` when the shapes are inconsistent (a corrupt snapshot), so the
+    /// decoder can surface a typed error instead of panicking later.
+    pub(crate) fn from_parts(
+        plan: KnobPlan,
+        usage: Vec<Vec<f64>>,
+        cur_config: usize,
+    ) -> Option<Self> {
+        if usage.len() != plan.n_categories()
+            || usage.iter().any(|row| row.len() != plan.n_configs())
+            || cur_config >= plan.n_configs()
+        {
+            return None;
+        }
+        Some(Self {
+            plan,
+            usage,
+            cur_config,
+        })
+    }
+
     /// Record that `config` was used on `category` and make it current.
     fn commit(&mut self, category: usize, config: usize) {
         self.usage[category][config] += 1.0;

@@ -91,6 +91,33 @@ impl Mailbox {
         self.close_queued = true;
     }
 
+    /// Snapshot the queued envelopes in order (durable checkpoints).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Envelope> {
+        self.q.iter()
+    }
+
+    /// Rebuild a mailbox from a snapshot: capacity, the queued envelopes in
+    /// order, and the sticky close flag (which outlives a drained close
+    /// marker, so it must be restored independently of the queue contents).
+    pub(crate) fn restore(
+        capacity: usize,
+        envelopes: impl IntoIterator<Item = Envelope>,
+        close_queued: bool,
+    ) -> Self {
+        let mut m = Self::new(capacity);
+        for env in envelopes {
+            match env {
+                Envelope::Segment(seg) => {
+                    m.q.push_back(Envelope::Segment(seg));
+                    m.segments += 1;
+                }
+                Envelope::Close => m.q.push_back(Envelope::Close),
+            }
+        }
+        m.close_queued = close_queued;
+        m
+    }
+
     /// Take the whole queue for processing.
     pub(crate) fn drain(&mut self) -> VecDeque<Envelope> {
         self.segments = 0;

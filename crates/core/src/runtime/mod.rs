@@ -44,9 +44,12 @@
 
 mod mailbox;
 mod metrics;
+mod wal;
 
 pub use metrics::{RuntimeMetrics, StreamMetrics};
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use vetl_exec::ActorPool;
@@ -60,11 +63,116 @@ use crate::multistream::{
 };
 use crate::offline::FittedModel;
 use crate::online::session::{IngestOptions, IngestSession, StepReport};
+use crate::testkit::chaos::{FailurePlan, CRASH_PAYLOAD};
 use crate::workload::Workload;
 use mailbox::{Envelope, Mailbox};
+use wal::{SlotSnapshot, Wal, WalRecord};
 
 #[allow(unused_imports)] // doc links
 use crate::multistream::MultiStreamServer;
+
+/// Path of the write-ahead journal inside a durability directory (exposed
+/// for the chaos helpers and for operational tooling).
+pub fn wal_path(dir: &Path) -> PathBuf {
+    wal::wal_file(dir)
+}
+
+/// Path of the checkpoint snapshot inside a durability directory.
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    wal::ckpt_file(dir)
+}
+
+/// Bytes of the journal's file header (the chaos helpers never tear into
+/// it — a real crash cannot, either, because the header is written once).
+pub(crate) const WAL_HEADER_LEN: u64 = wal::HEADER_LEN;
+
+/// Resolver handed to [`IngestRuntime::recover`]: maps a journaled stream
+/// `(slot, workload_id)` back to the fitted model and workload the crashed
+/// process served it with — typically a lookup into models reloaded from
+/// the [`crate::offline::KnowledgeBase`] beside the durability directory.
+pub type StreamResolver<'a, 'f> =
+    dyn Fn(usize, &str) -> Option<(&'a FittedModel, &'a (dyn Workload + 'a))> + 'f;
+
+/// Durable crash recovery for an [`IngestRuntime`]: where to journal and
+/// how often to snapshot.
+///
+/// With durability installed, every *accepted* input event (admission,
+/// segment, closure, forced flush) is appended to `runtime.wal` before it
+/// mutates any state, and the full runtime state — per-stream session
+/// checkpoints down to the RNG words, mailbox contents, epoch bookkeeping —
+/// is snapshotted to `runtime.ckpt` every
+/// [`checkpoint_every_epochs`](Self::checkpoint_every_epochs) planning
+/// epochs. [`IngestRuntime::recover`] rebuilds the runtime from the latest
+/// snapshot plus the journal tail; the recovered runtime continues **bit
+/// for bit** where the durable prefix ended.
+///
+/// The steady-state fault model is **process crashes** (panics, kills):
+/// journal records reach the OS per event but are fsynced only at
+/// checkpoint points, so a power loss may drop a post-checkpoint journal
+/// suffix — recovery treats that like a torn tail and the driver re-feeds
+/// it. Note that a snapshot serializes each session's full carried history
+/// (category history, trace), so per-snapshot cost grows with stream age;
+/// long-lived deployments should raise the cadence accordingly.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory for `runtime.wal` + `runtime.ckpt` (created if missing).
+    /// Typically a sibling of the [`crate::offline::KnowledgeBase`] that
+    /// holds the streams' fitted models.
+    pub dir: PathBuf,
+    /// Snapshot cadence in planning epochs; `0` disables snapshots (the
+    /// journal then grows for the whole run and recovery replays it all).
+    pub checkpoint_every_epochs: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir`, snapshotting every planning epoch.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            checkpoint_every_epochs: 1,
+        }
+    }
+}
+
+/// Per-stream summary of what [`IngestRuntime::recover`] restored — the
+/// driver's contract for resuming its feed.
+#[derive(Debug, Clone)]
+pub struct RecoveredStream {
+    /// Slot index (admission order; [`StreamId::from_index`]-compatible via
+    /// the ids returned by a re-driven `open_stream`).
+    pub slot: usize,
+    /// The identifier the stream was admitted under.
+    pub workload_id: String,
+    /// Segments durably accepted for this stream (processed + still queued).
+    /// The driver resumes pushing from this offset; anything it pushed past
+    /// it was lost in a torn journal tail and must be re-fed.
+    pub accepted_segments: usize,
+    /// A closure was durably accepted — do not close again.
+    pub closed: bool,
+}
+
+/// What [`IngestRuntime::recover`] did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Per-slot stream state, in admission order.
+    pub streams: Vec<RecoveredStream>,
+    /// Journal records replayed through the normal ingest path.
+    pub replayed_records: usize,
+    /// Segments among the replayed records.
+    pub replayed_segments: usize,
+    /// Journaled events whose replay re-hit the same deterministic,
+    /// non-structural error the original run already returned to its
+    /// caller (the original run continued past them, and so did replay).
+    pub replay_errors: usize,
+    /// Torn-tail bytes discarded from the journal (never acknowledged as
+    /// durable, so the driver re-feeds them).
+    pub discarded_bytes: u64,
+    /// A checkpoint snapshot seeded the recovery (otherwise the whole run
+    /// was replayed from the journal alone).
+    pub resumed_from_snapshot: bool,
+    /// Planning epoch the recovered runtime stands at.
+    pub epoch: usize,
+}
 
 /// Configuration of an [`IngestRuntime`].
 #[derive(Debug, Clone)]
@@ -84,6 +192,19 @@ pub struct RuntimeConfig {
     /// Shared cluster size override in reference cores (defaults to the
     /// first admitted model's provisioning).
     pub total_cores: Option<f64>,
+    /// Durable crash recovery: journal accepted input and snapshot state
+    /// into a directory. `None` keeps the runtime purely in-memory.
+    /// Durability never changes a decision — a durable run is bitwise
+    /// identical to an in-memory run over the same input.
+    pub durability: Option<DurabilityConfig>,
+    /// Deterministic fault injection
+    /// ([`crate::testkit::chaos::FailurePlan`]): seeded worker crashes and
+    /// wallet-refill outages for recovery testing. `None` in production.
+    /// A plan's *wallet outages* are part of the run's semantic input
+    /// timeline (unlike crashes, which replay suppresses): the same plan
+    /// must be passed to [`IngestRuntime::recover`], or the replayed
+    /// barriers refill a wallet the original run saw empty.
+    pub chaos: Option<Arc<FailurePlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -95,6 +216,8 @@ impl Default for RuntimeConfig {
             seed: 1234,
             replan_interval_secs: None,
             total_cores: None,
+            durability: None,
+            chaos: None,
         }
     }
 }
@@ -193,6 +316,24 @@ pub struct IngestRuntime<'a> {
     epoch: usize,
     processed_total: usize,
     started: Instant,
+    /// Durability wiring (see [`DurabilityConfig`]). The journal handle
+    /// opens lazily on the first accepted event.
+    dur: Option<DurabilityConfig>,
+    wal: Option<Wal>,
+    last_ckpt_epoch: usize,
+    /// Recovery replay in progress: suppress journaling, snapshots, and
+    /// injected crashes while the journal is re-driven through the normal
+    /// ingest path.
+    replaying: bool,
+    /// A journal append failed *after* its event had already mutated state
+    /// (the one ordering the record-then-apply discipline cannot cover:
+    /// admission/barrier records are only knowable post-commit). Memory has
+    /// diverged from the journal; the runtime fails every further operation
+    /// so the divergence cannot compound, and the caller rebuilds from disk
+    /// via [`IngestRuntime::recover`] — which restores exactly the
+    /// journaled (acknowledged) prefix.
+    poisoned: Option<String>,
+    chaos: Option<Arc<FailurePlan>>,
 }
 
 impl<'a> IngestRuntime<'a> {
@@ -220,6 +361,12 @@ impl<'a> IngestRuntime<'a> {
             epoch: 0,
             processed_total: 0,
             started: Instant::now(),
+            dur: cfg.durability,
+            wal: None,
+            last_ckpt_epoch: 0,
+            replaying: false,
+            poisoned: None,
+            chaos: cfg.chaos,
         }
     }
 
@@ -279,6 +426,13 @@ impl<'a> IngestRuntime<'a> {
         workload: &'a (dyn Workload + 'a),
         options: IngestOptions,
     ) -> Result<StreamId, SkyError> {
+        self.check_poisoned()?;
+        let workload_id = workload_id.into();
+        // The pre-admission flush delivers partial epochs and moves the
+        // epoch structure even when the admission is then rejected — it
+        // must be journaled unconditionally, *before* it runs.
+        let caller_options = options.clone();
+        self.wal_append(&WalRecord::Flush)?;
         self.flush()?;
 
         let total = self
@@ -299,7 +453,7 @@ impl<'a> IngestRuntime<'a> {
             .seed
             .wrapping_add((slot as u64).wrapping_mul(STREAM_SEED_STRIDE));
         let candidate = Box::new(RtStream {
-            id: workload_id.into(),
+            id: workload_id.clone(),
             session: Some(IngestSession::external(model, workload, options)),
             mailbox: Mailbox::new(1),
             used: 0,
@@ -312,6 +466,19 @@ impl<'a> IngestRuntime<'a> {
             self.total_cores = prev_total;
             return Err(e);
         }
+        // The admission is committed: these records are post-commit by
+        // necessity (the slot and epoch only exist now), so a failed append
+        // poisons the runtime instead of leaving a silent divergence.
+        self.wal_append_committed(&WalRecord::Open {
+            slot,
+            workload_id,
+            options: caller_options,
+        })?;
+        self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+        // No snapshot here: admissions advance the epoch counter, but a
+        // snapshot per admission would make opening N streams O(N²) in
+        // serialized session state. The Open record alone makes the
+        // admission durable; the next dispatch-driven epoch snapshots.
         Ok(StreamId::from_index(slot))
     }
 
@@ -323,14 +490,22 @@ impl<'a> IngestRuntime<'a> {
     /// full epoch and lagging streams prevent the dispatch — feed or close
     /// them, then retry.
     pub fn push(&mut self, stream: StreamId, seg: &Segment) -> Result<(), SkyError> {
-        match self.slots.get_mut(stream.index()) {
+        self.check_poisoned()?;
+        // Validate without mutating, journal, then apply: an event is only
+        // applied once it is durable, and a rejected push (typed
+        // backpressure or invalid input) leaves neither state nor journal
+        // behind. The finiteness check (shared with the sequential server)
+        // also keeps the journal replayable: a segment that could only
+        // fail *during* dispatch must be rejected before it is journaled.
+        crate::multistream::validate_segment(seg)?;
+        match self.slots.get(stream.index()) {
             None => return Err(SkyError::UnknownStream { id: stream.index() }),
             Some(RtSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.index() }),
             Some(RtSlot::Active(a)) => {
                 if a.mailbox.close_queued() {
                     return Err(SkyError::StreamClosed { id: stream.index() });
                 }
-                if !a.mailbox.try_push(seg) {
+                if a.mailbox.segments_queued() >= a.mailbox.capacity() {
                     return Err(SkyError::Overloaded {
                         stream: stream.index(),
                         queued: a.mailbox.segments_queued(),
@@ -339,7 +514,28 @@ impl<'a> IngestRuntime<'a> {
                 }
             }
         }
-        self.try_dispatch()
+        self.wal_append(&WalRecord::Seg {
+            slot: stream.index(),
+            seg: *seg,
+        })?;
+        let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
+            unreachable!("checked active above");
+        };
+        let accepted = a.mailbox.try_push(seg);
+        debug_assert!(accepted, "capacity pre-checked above");
+        let before = self.epoch;
+        self.try_dispatch()?;
+        if self.epoch != before {
+            self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+        }
+        // The event is journaled and applied at this point: a snapshot
+        // failure must not read as a rejected event (a retry would feed the
+        // same input twice), so it poisons fail-stop instead.
+        let r = self.maybe_snapshot();
+        if let Err(e) = &r {
+            self.poisoned = Some(e.to_string());
+        }
+        r
     }
 
     /// Close a stream mid-run by queuing an in-band close marker: the
@@ -347,17 +543,36 @@ impl<'a> IngestRuntime<'a> {
     /// and the next joint plan redistributes its core share and wallet
     /// lease across the remaining streams.
     pub fn close_stream(&mut self, stream: StreamId) -> Result<(), SkyError> {
-        match self.slots.get_mut(stream.index()) {
+        self.check_poisoned()?;
+        match self.slots.get(stream.index()) {
             None => return Err(SkyError::UnknownStream { id: stream.index() }),
             Some(RtSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.index() }),
             Some(RtSlot::Active(a)) => {
                 if a.mailbox.close_queued() {
                     return Err(SkyError::StreamClosed { id: stream.index() });
                 }
-                a.mailbox.push_close();
             }
         }
-        self.try_dispatch()
+        self.wal_append(&WalRecord::Close {
+            slot: stream.index(),
+        })?;
+        let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
+            unreachable!("checked active above");
+        };
+        a.mailbox.push_close();
+        let before = self.epoch;
+        self.try_dispatch()?;
+        if self.epoch != before {
+            self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+        }
+        // The event is journaled and applied at this point: a snapshot
+        // failure must not read as a rejected event (a retry would feed the
+        // same input twice), so it poisons fail-stop instead.
+        let r = self.maybe_snapshot();
+        if let Err(e) = &r {
+            self.poisoned = Some(e.to_string());
+        }
+        r
     }
 
     /// Point-in-time snapshot: per-stream lag, buffer fill, spend, and
@@ -423,6 +638,7 @@ impl<'a> IngestRuntime<'a> {
     /// and closed alike — into the joint outcome, in admission order.
     /// Identical in shape to [`MultiStreamServer::finish`].
     pub fn finish(mut self) -> Result<MultiOutcome, SkyError> {
+        self.check_poisoned()?;
         self.flush()?;
         let mut out = MultiOutcome::default();
         for slot in self.slots.drain(..) {
@@ -501,9 +717,29 @@ impl<'a> IngestRuntime<'a> {
                 _ => None,
             })
             .collect();
-        let results = self
-            .pool
-            .shard_map_mut(&mut items, |_, (slot, rt)| (*slot, rt.process_batch()));
+        let n_items = items.len();
+        let shards_eff = self.shards.min(n_items.max(1));
+        let chaos = if self.replaying {
+            // Crashes already happened in the journaled timeline; replaying
+            // them again would make recovery crash forever.
+            None
+        } else {
+            self.chaos.clone()
+        };
+        let epoch = self.epoch;
+        let results = self.pool.shard_map_mut(&mut items, |i, (slot, rt)| {
+            if let Some(plan) = &chaos {
+                // Invert shard_map_mut's balanced contiguous partition
+                // (shard s covers [s·n/k, (s+1)·n/k)): item i's owner is
+                // the smallest s with (s+1)·n/k > i, i.e. ⌈k(i+1)/n⌉ − 1 —
+                // so the crash lands in the worker that owns this item.
+                let shard = (shards_eff * (i + 1) - 1) / n_items.max(1);
+                if plan.crash_now(epoch, shard) {
+                    panic!("{CRASH_PAYLOAD} (epoch {epoch}, shard {shard})");
+                }
+            }
+            (*slot, rt.process_batch())
+        });
         drop(items);
         for (slot, r) in results {
             match r {
@@ -606,11 +842,19 @@ impl<'a> IngestRuntime<'a> {
             rs.push(session.forecast_distribution()?);
         }
         let total = self.total_cores.expect("set at first admission");
+        // Injected wallet-refill outage: the barrier entering this epoch
+        // grants zero cloud dollars. A semantic fault, not a crash — it is
+        // part of the (deterministic) input timeline and applies equally to
+        // reference runs and recovery replays.
+        let budget = match &self.chaos {
+            Some(plan) if plan.outage_at(self.epoch + 1) => 0.0,
+            _ => self.shared_budget_usd,
+        };
         let (plans, math) = plan_epoch(
             &models,
             &rs,
             total,
-            self.shared_budget_usd,
+            budget,
             &self.cost_model,
             self.replan_interval,
         )?;
@@ -641,5 +885,431 @@ impl<'a> IngestRuntime<'a> {
             lease_usd: math.lease,
         });
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durability: journaling, snapshots, recovery.
+// ---------------------------------------------------------------------
+
+impl<'a> IngestRuntime<'a> {
+    /// Append a record to the journal (no-op without durability or while
+    /// replaying). The handle opens lazily on the first accepted event; a
+    /// directory that already holds a journal body or a snapshot is
+    /// rejected — a dirty directory must go through
+    /// [`recover`](Self::recover), not be silently appended to.
+    fn wal_append(&mut self, rec: &WalRecord) -> Result<(), SkyError> {
+        if self.replaying || self.dur.is_none() {
+            return Ok(());
+        }
+        self.ensure_wal()?;
+        let wal = self.wal.as_mut().expect("journal just opened");
+        if wal.next_seq() == 0 {
+            // First record ever: pin the run's planning configuration, so a
+            // journal-only recovery replays *this* run's timeline instead of
+            // trusting the recovering caller's RuntimeConfig. (With
+            // snapshots the same fields travel in runtime.ckpt.)
+            let config = WalRecord::Config {
+                seed: self.seed,
+                shared_budget_usd: self.shared_budget_usd,
+                cost_model: self.cost_model,
+                replan_interval: self.replan_interval,
+                total_cores: self.total_cores,
+            };
+            wal.append(&config)?;
+        }
+        self.wal
+            .as_mut()
+            .expect("journal just opened")
+            .append(rec)?;
+        Ok(())
+    }
+
+    /// Journal a record describing a state change that has **already been
+    /// committed** (admissions, barrier settlements — records only knowable
+    /// post-commit). An append failure here poisons the runtime: see the
+    /// [`poisoned`](Self#structfield.poisoned) field.
+    fn wal_append_committed(&mut self, rec: &WalRecord) -> Result<(), SkyError> {
+        let r = self.wal_append(rec);
+        if let Err(e) = &r {
+            self.poisoned = Some(e.to_string());
+        }
+        r
+    }
+
+    /// Reject every operation once memory and journal have diverged.
+    fn check_poisoned(&self) -> Result<(), SkyError> {
+        match &self.poisoned {
+            Some(detail) => Err(SkyError::CorruptWal {
+                detail: format!(
+                    "runtime poisoned by a journal append failure after a committed state \
+                     change ({detail}); rebuild from disk via recover()"
+                ),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Open the journal handle if durability is configured and it is not
+    /// open yet. A directory that already holds a journal body or a
+    /// snapshot is rejected — a dirty directory must go through
+    /// [`recover`](Self::recover), not be silently appended to.
+    fn ensure_wal(&mut self) -> Result<(), SkyError> {
+        let Some(dur) = &self.dur else {
+            return Ok(());
+        };
+        if self.wal.is_some() {
+            return Ok(());
+        }
+        let wal_file = wal::wal_file(&dur.dir);
+        let has_journal_body = wal_file
+            .metadata()
+            .map(|m| m.len() > wal::HEADER_LEN)
+            .unwrap_or(false);
+        if has_journal_body || wal::ckpt_file(&dur.dir).exists() {
+            return Err(SkyError::CorruptWal {
+                detail: format!(
+                    "{} already holds a journal or snapshot; recover() it instead of \
+                     opening a fresh runtime over it",
+                    dur.dir.display()
+                ),
+            });
+        }
+        self.wal = Some(Wal::open(&dur.dir, 0)?);
+        Ok(())
+    }
+
+    /// Snapshot when the checkpoint cadence came due.
+    fn maybe_snapshot(&mut self) -> Result<(), SkyError> {
+        let Some(dur) = &self.dur else {
+            return Ok(());
+        };
+        if self.replaying || dur.checkpoint_every_epochs == 0 {
+            return Ok(());
+        }
+        if self.epoch.saturating_sub(self.last_ckpt_epoch) < dur.checkpoint_every_epochs {
+            return Ok(());
+        }
+        self.checkpoint_now()
+    }
+
+    /// Atomically snapshot the full runtime state to `runtime.ckpt` and
+    /// truncate the journal it covers. Requires durability; called
+    /// automatically at the configured epoch cadence, callable explicitly
+    /// for a clean shutdown point.
+    pub fn checkpoint_now(&mut self) -> Result<(), SkyError> {
+        self.check_poisoned()?;
+        let Some(dur) = self.dur.clone() else {
+            return Err(SkyError::InvalidInput {
+                what: "checkpoint_now() requires RuntimeConfig::durability",
+            });
+        };
+        // Open (and create) the journal first, so a snapshot taken before
+        // any journaled event leaves a coherent directory pair behind —
+        // never a snapshot-without-journal the lazy-open path would then
+        // reject as dirty.
+        self.ensure_wal()?;
+        let covered_seq = self.wal.as_ref().map_or(0, Wal::next_seq);
+        // Flush the journal to stable storage at snapshot points (the
+        // per-record path stops at the page cache — see `Wal::append`), so
+        // after a checkpoint the directory as a whole is power-loss
+        // consistent up to the snapshot.
+        if let Some(w) = self.wal.as_mut() {
+            w.sync()?;
+        }
+        let snapshot = self.snapshot(covered_seq);
+        wal::write_snapshot(&dur.dir, &snapshot)?;
+        if let Some(w) = self.wal.as_mut() {
+            w.reset()?;
+        }
+        self.last_ckpt_epoch = self.epoch;
+        Ok(())
+    }
+
+    /// Build a point-in-time snapshot of every slot and the epoch
+    /// bookkeeping. Called at API-call boundaries, where a slot is never in
+    /// a transient half-settled state.
+    fn snapshot(&self, covered_seq: u64) -> wal::RuntimeSnapshot {
+        let slots = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                RtSlot::Active(a) => match (&a.session, &a.outcome) {
+                    (Some(session), _) => SlotSnapshot::Active {
+                        id: a.id.clone(),
+                        session: Box::new(session.checkpoint()),
+                        mailbox_capacity: a.mailbox.capacity(),
+                        envelopes: a
+                            .mailbox
+                            .iter()
+                            .map(|env| match env {
+                                Envelope::Segment(seg) => Some(*seg),
+                                Envelope::Close => None,
+                            })
+                            .collect(),
+                        close_queued: a.mailbox.close_queued(),
+                        used: a.used,
+                        quota: a.quota,
+                        processed: a.processed,
+                    },
+                    (None, Some(outcome)) => SlotSnapshot::Closed(outcome.clone()),
+                    (None, None) => unreachable!("settled stream keeps its outcome"),
+                },
+                RtSlot::Closed(o) => SlotSnapshot::Closed(o.clone()),
+            })
+            .collect();
+        wal::RuntimeSnapshot {
+            covered_seq,
+            seed: self.seed,
+            shared_budget_usd: self.shared_budget_usd,
+            cost_model: self.cost_model,
+            replan_interval: self.replan_interval,
+            total_cores: self.total_cores,
+            epoch: self.epoch,
+            joint_plans: self.joint_plans,
+            processed_total: self.processed_total,
+            barrier_pending: self.barrier_pending,
+            last_joint_plan: self.last_joint_plan.clone(),
+            slots,
+        }
+    }
+
+    /// Rebuild a runtime from its durability directory after a crash: load
+    /// the latest checkpoint snapshot (if any), replay the journal tail
+    /// through the normal `open_stream` / `push` / `close_stream` path, and
+    /// resume journaling. The recovered runtime is **bitwise identical** —
+    /// per-stream outcomes, joint-plan history, spend — to the uninterrupted
+    /// runtime at the durable prefix, for any shard count (`cfg.shards` may
+    /// even differ from the crashed process).
+    ///
+    /// `resolve` maps each journaled stream `(slot, workload_id)` back to
+    /// its fitted model and workload — the same pairing the crashed process
+    /// used, typically reloaded from the [`crate::offline::KnowledgeBase`]
+    /// living beside the durability directory. A torn journal tail (crash
+    /// mid-append) is detected, counted in
+    /// [`RecoveryReport::discarded_bytes`], and physically truncated; the
+    /// lost suffix was never acknowledged, so the driver re-feeds it
+    /// starting from [`RecoveredStream::accepted_segments`]. Anything else
+    /// that is inconsistent — bad magic, mid-file corruption, a replay that
+    /// diverges from the journaled barrier sequence — fails with typed
+    /// [`SkyError::CorruptWal`].
+    pub fn recover(
+        cfg: RuntimeConfig,
+        resolve: &StreamResolver<'a, '_>,
+    ) -> Result<(Self, RecoveryReport), SkyError> {
+        let Some(dur) = cfg.durability.clone() else {
+            return Err(SkyError::InvalidInput {
+                what: "recover() requires RuntimeConfig::durability",
+            });
+        };
+        let snapshot = wal::read_snapshot(&dur.dir)?;
+        let scan = wal::read_journal(&dur.dir)?;
+        let resumed_from_snapshot = snapshot.is_some();
+
+        let mut rt = Self::new(RuntimeConfig {
+            durability: None,
+            ..cfg
+        });
+        let mut next_seq = 0;
+        if let Some(snap) = snapshot {
+            next_seq = snap.covered_seq;
+            rt.seed = snap.seed;
+            rt.shared_budget_usd = snap.shared_budget_usd;
+            rt.cost_model = snap.cost_model;
+            rt.replan_interval = snap.replan_interval;
+            rt.total_cores = snap.total_cores;
+            rt.epoch = snap.epoch;
+            rt.joint_plans = snap.joint_plans;
+            rt.processed_total = snap.processed_total;
+            rt.barrier_pending = snap.barrier_pending;
+            rt.last_joint_plan = snap.last_joint_plan;
+            for (slot, s) in snap.slots.into_iter().enumerate() {
+                rt.slots.push(match s {
+                    SlotSnapshot::Active {
+                        id,
+                        session,
+                        mailbox_capacity,
+                        envelopes,
+                        close_queued,
+                        used,
+                        quota,
+                        processed,
+                    } => {
+                        let (model, workload) =
+                            resolve(slot, &id).ok_or(SkyError::InvalidInput {
+                                what: "recovery resolver returned no model/workload for a stream",
+                            })?;
+                        session
+                            .validate_against(model)
+                            .map_err(|detail| SkyError::CorruptWal { detail })?;
+                        let mailbox = Mailbox::restore(
+                            mailbox_capacity,
+                            envelopes.into_iter().map(|env| match env {
+                                Some(seg) => Envelope::Segment(seg),
+                                None => Envelope::Close,
+                            }),
+                            close_queued,
+                        );
+                        RtSlot::Active(Box::new(RtStream {
+                            id,
+                            session: Some(IngestSession::resume(model, workload, *session)),
+                            mailbox,
+                            used,
+                            quota,
+                            processed,
+                            last_report: None,
+                            outcome: None,
+                        }))
+                    }
+                    SlotSnapshot::Closed(o) => RtSlot::Closed(o),
+                });
+            }
+        }
+
+        // Replay the journal tail through the normal ingest path. The
+        // runtime is a deterministic function of the event sequence, so the
+        // replayed state is bitwise the durable prefix's state.
+        rt.replaying = true;
+        let mut replayed_records = 0;
+        let mut replayed_segments = 0;
+        let mut replay_errors = 0;
+        // A journaled-then-failed event is not corruption: the original run
+        // hit the same deterministic error, returned it to its caller, and
+        // kept serving — tolerating it here reproduces exactly that state.
+        // *Structural* errors, by contrast, cannot be produced by our own
+        // writer (events are validated before journaling), so they mark a
+        // crafted or inconsistent journal.
+        let structural = |e: &SkyError| {
+            matches!(
+                e,
+                SkyError::UnknownStream { .. }
+                    | SkyError::StreamClosed { .. }
+                    | SkyError::Overloaded { .. }
+            )
+        };
+        for (seq, rec) in scan.records {
+            if seq < next_seq {
+                continue; // folded into the snapshot
+            }
+            next_seq = seq + 1;
+            replayed_records += 1;
+            let diverged = |e: SkyError| SkyError::CorruptWal {
+                detail: format!("replay diverged at seq {seq}: {e}"),
+            };
+            let mut tolerate = |r: Result<(), SkyError>| -> Result<(), SkyError> {
+                match r {
+                    Ok(()) => Ok(()),
+                    Err(e) if structural(&e) => Err(diverged(e)),
+                    Err(_) => {
+                        replay_errors += 1;
+                        Ok(())
+                    }
+                }
+            };
+            match rec {
+                WalRecord::Config {
+                    seed,
+                    shared_budget_usd,
+                    cost_model,
+                    replan_interval,
+                    total_cores,
+                } => {
+                    rt.seed = seed;
+                    rt.shared_budget_usd = shared_budget_usd;
+                    rt.cost_model = cost_model;
+                    rt.replan_interval = replan_interval;
+                    rt.total_cores = total_cores;
+                }
+                WalRecord::Flush => tolerate(rt.flush())?,
+                WalRecord::Open {
+                    slot,
+                    workload_id,
+                    options,
+                } => {
+                    let (model, workload) =
+                        resolve(slot, &workload_id).ok_or(SkyError::InvalidInput {
+                            what: "recovery resolver returned no model/workload for a stream",
+                        })?;
+                    // An Open record exists only for a *successful*
+                    // admission, so a replay failure here is always a
+                    // divergence.
+                    let id = rt
+                        .open_stream(workload_id, model, workload, options)
+                        .map_err(diverged)?;
+                    if id.index() != slot {
+                        return Err(SkyError::CorruptWal {
+                            detail: format!(
+                                "replay diverged at seq {seq}: admission landed in slot {} \
+                                 instead of journaled slot {slot}",
+                                id.index()
+                            ),
+                        });
+                    }
+                }
+                WalRecord::Seg { slot, seg } => {
+                    replayed_segments += 1;
+                    tolerate(rt.push(StreamId::from_index(slot), &seg))?;
+                }
+                WalRecord::Close { slot } => {
+                    tolerate(rt.close_stream(StreamId::from_index(slot)))?;
+                }
+                WalRecord::Barrier { epoch } => {
+                    if rt.epoch != epoch {
+                        return Err(SkyError::CorruptWal {
+                            detail: format!(
+                                "replay diverged at seq {seq}: journal settled epoch {epoch}, \
+                                 replay stands at {}",
+                                rt.epoch
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        rt.replaying = false;
+
+        // Resume journaling where the durable prefix ended; when anything
+        // was actually recovered, persist a fresh snapshot so the next
+        // crash does not replay this journal again. (A recovery of an empty
+        // directory is a fresh start and leaves the directory clean.)
+        rt.dur = Some(dur.clone());
+        rt.wal = Some(Wal::open(&dur.dir, next_seq)?);
+        rt.last_ckpt_epoch = rt.epoch;
+        if dur.checkpoint_every_epochs > 0 && (resumed_from_snapshot || replayed_records > 0) {
+            rt.checkpoint_now()?;
+        }
+
+        let streams = rt
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(slot, s)| match s {
+                RtSlot::Active(a) => RecoveredStream {
+                    slot,
+                    workload_id: a.id.clone(),
+                    accepted_segments: a.processed + a.mailbox.segments_queued(),
+                    closed: a.mailbox.close_queued(),
+                },
+                RtSlot::Closed(o) => RecoveredStream {
+                    slot,
+                    workload_id: o.workload_id.clone(),
+                    accepted_segments: o.outcome.segments,
+                    closed: true,
+                },
+            })
+            .collect();
+        let epoch = rt.epoch;
+        Ok((
+            rt,
+            RecoveryReport {
+                streams,
+                replayed_records,
+                replayed_segments,
+                replay_errors,
+                discarded_bytes: scan.discarded_bytes,
+                resumed_from_snapshot,
+                epoch,
+            },
+        ))
     }
 }

@@ -1,0 +1,209 @@
+//! Deterministic fault injection for the durable ingest runtime.
+//!
+//! The recovery guarantee of `skyscraper::runtime` — *a run crashed at any
+//! point and recovered from disk is bitwise identical to the uninterrupted
+//! run* — is only worth stating if it can be checked by a machine under
+//! injected failures. This module is that machine's lever box:
+//!
+//! * [`FailurePlan`] — a seeded, immutable schedule of faults the runtime
+//!   consults at well-defined points: **worker crashes** fire a panic inside
+//!   the [`vetl_exec::ActorPool`] shard worker that owns a chosen
+//!   `(epoch, shard)` slot (the harness catches the unwind and recovers from
+//!   disk), and **wallet-refill outages** zero the shared cloud budget at a
+//!   chosen epoch barrier (a semantic fault, applied identically by the
+//!   reference run, the crashed run, and the recovery replay).
+//! * WAL tampering helpers — [`tear_wal_tail`] truncates the journal
+//!   mid-record exactly as a crash mid-`write` would, [`flip_wal_byte`]
+//!   corrupts a settled byte to exercise the checksum path.
+//! * [`overflow_storm`] — hammers one stream's bounded mailbox past its
+//!   epoch quota and asserts every rejection is typed
+//!   [`SkyError::Overloaded`](crate::error::SkyError::Overloaded); rejected
+//!   pushes must leave no trace in the run's outcome.
+//!
+//! Every fault site is a pure function of `(epoch, shard)` or an explicit
+//! byte offset — nothing is sampled at injection time — so a failing seed
+//! replays exactly.
+
+use std::fs::OpenOptions;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::SkyError;
+use crate::multistream::StreamId;
+use crate::runtime::{wal_path, IngestRuntime};
+use vetl_video::Segment;
+
+/// Panic payload used by injected worker crashes, so a harness can tell an
+/// injected crash apart from a genuine bug when catching the unwind.
+pub const CRASH_PAYLOAD: &str = "chaos: injected worker crash";
+
+/// One scheduled worker crash; fires at most once per process so the
+/// post-recovery re-execution of the same epoch does not crash again.
+#[derive(Debug)]
+struct CrashPoint {
+    epoch: usize,
+    shard: usize,
+    armed: AtomicBool,
+}
+
+/// A deterministic schedule of injected faults, consulted by
+/// [`IngestRuntime`] when installed via
+/// [`RuntimeConfig::chaos`](crate::runtime::RuntimeConfig::chaos).
+#[derive(Debug, Default)]
+pub struct FailurePlan {
+    crashes: Vec<CrashPoint>,
+    outages: Vec<usize>,
+}
+
+impl FailurePlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a worker crash: the shard worker that owns `shard` panics
+    /// when it starts processing its first stream of planning epoch `epoch`.
+    /// Shard indices past the runtime's effective shard count never fire.
+    pub fn crash_worker(mut self, epoch: usize, shard: usize) -> Self {
+        self.crashes.push(CrashPoint {
+            epoch,
+            shard,
+            armed: AtomicBool::new(true),
+        });
+        self
+    }
+
+    /// Schedule a wallet-refill outage: the epoch barrier *entering* epoch
+    /// `epoch` refills the shared wallet with zero dollars (the cloud
+    /// billing backend is down for one epoch). Unlike a crash this is a
+    /// semantic fault: it must be present in the reference run and in the
+    /// recovery replay alike, and the runtime applies it unconditionally.
+    pub fn wallet_outage(mut self, epoch: usize) -> Self {
+        self.outages.push(epoch);
+        self
+    }
+
+    /// Sample a plan from a seed: 1–2 worker crashes and 0–2 wallet outages
+    /// inside the first `epochs` planning epochs and `shards` shards.
+    pub fn seeded(seed: u64, epochs: usize, shards: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::new();
+        for _ in 0..rng.gen_range(1..=2usize) {
+            plan = plan.crash_worker(
+                rng.gen_range(1..epochs.max(2)),
+                rng.gen_range(0..shards.max(1)),
+            );
+        }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            plan = plan.wallet_outage(rng.gen_range(1..epochs.max(2)));
+        }
+        plan
+    }
+
+    /// Consume a scheduled crash at `(epoch, shard)`. Returns `true` exactly
+    /// once per matching crash point.
+    pub fn crash_now(&self, epoch: usize, shard: usize) -> bool {
+        self.crashes
+            .iter()
+            .filter(|c| c.epoch == epoch && c.shard == shard)
+            .any(|c| c.armed.swap(false, Ordering::SeqCst))
+    }
+
+    /// Does the barrier entering `epoch` suffer a wallet-refill outage?
+    pub fn outage_at(&self, epoch: usize) -> bool {
+        self.outages.contains(&epoch)
+    }
+
+    /// Epochs with scheduled wallet outages (test assertions).
+    pub fn outages(&self) -> &[usize] {
+        &self.outages
+    }
+
+    /// `(epoch, shard)` pairs with scheduled crashes (test assertions).
+    pub fn crash_points(&self) -> Vec<(usize, usize)> {
+        self.crashes.iter().map(|c| (c.epoch, c.shard)).collect()
+    }
+
+    /// Re-arm every crash point (drive the same plan through a second run).
+    pub fn rearm(&self) {
+        for c in &self.crashes {
+            c.armed.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn wal_io(path: &Path, e: std::io::Error) -> SkyError {
+    SkyError::WalIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Tear the journal's tail: drop the last `bytes` bytes of `dir`'s WAL,
+/// exactly what a crash mid-append leaves behind. Returns the bytes
+/// actually removed (the file never shrinks below its header).
+pub fn tear_wal_tail(dir: &Path, bytes: u64) -> Result<u64, SkyError> {
+    let path = wal_path(dir);
+    let f = OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .map_err(|e| wal_io(&path, e))?;
+    let len = f.metadata().map_err(|e| wal_io(&path, e))?.len();
+    let keep = len
+        .saturating_sub(bytes)
+        .max(crate::runtime::WAL_HEADER_LEN);
+    f.set_len(keep).map_err(|e| wal_io(&path, e))?;
+    Ok(len - keep)
+}
+
+/// Flip one settled byte `offset_from_end` bytes before the journal's end —
+/// a bit-rot / torn-sector fault the checksum chain must catch.
+pub fn flip_wal_byte(dir: &Path, offset_from_end: u64) -> Result<(), SkyError> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let path = wal_path(dir);
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| wal_io(&path, e))?;
+    let len = f.metadata().map_err(|e| wal_io(&path, e))?.len();
+    let pos = len
+        .checked_sub(offset_from_end + 1)
+        .filter(|&p| p >= crate::runtime::WAL_HEADER_LEN)
+        .ok_or_else(|| SkyError::CorruptWal {
+            detail: format!("flip offset {offset_from_end} outside the journal body"),
+        })?;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(pos)).map_err(|e| wal_io(&path, e))?;
+    f.read_exact(&mut b).map_err(|e| wal_io(&path, e))?;
+    b[0] ^= 0xA5;
+    f.seek(SeekFrom::Start(pos)).map_err(|e| wal_io(&path, e))?;
+    f.write_all(&b).map_err(|e| wal_io(&path, e))?;
+    Ok(())
+}
+
+/// Hammer `stream`'s mailbox with `seg` until the runtime pushes back,
+/// asserting the rejection is typed [`SkyError::Overloaded`] (never a panic,
+/// never silent acceptance past the epoch bound). Returns how many extra
+/// pushes were rejected. The caller then asserts the run's outcome is
+/// bitwise identical to one that never saw the storm — rejected input must
+/// leave no trace.
+pub fn overflow_storm(
+    rt: &mut IngestRuntime<'_>,
+    stream: StreamId,
+    seg: &Segment,
+    attempts: usize,
+) -> usize {
+    let mut rejected = 0;
+    for _ in 0..attempts {
+        match rt.push(stream, seg) {
+            Err(SkyError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("storm must be rejected as Overloaded, got {e}"),
+            Ok(()) => panic!("storm segment was accepted — fill the mailbox before storming"),
+        }
+    }
+    rejected
+}

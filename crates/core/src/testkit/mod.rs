@@ -6,8 +6,77 @@
 //! small enough that offline fitting runs in milliseconds. The realistic
 //! workloads live in `vetl-workloads`.
 
+pub mod chaos;
+
 use rand::rngs::StdRng;
 use rand::Rng;
+
+use crate::multistream::MultiOutcome;
+use crate::online::session::IngestOutcome;
+
+/// Assert two ingestion outcomes are **bitwise** equal — every float
+/// compared via `to_bits`, every counter exactly. The shared comparator
+/// behind all determinism/equivalence tests, so a new outcome field is
+/// added to the bitwise bar in exactly one place.
+#[track_caller]
+pub fn assert_outcomes_bitwise_equal(ctx: &str, a: &IngestOutcome, b: &IngestOutcome) {
+    assert_eq!(a.segments, b.segments, "{ctx}: segments");
+    assert_eq!(
+        a.mean_quality.to_bits(),
+        b.mean_quality.to_bits(),
+        "{ctx}: mean_quality {} vs {}",
+        a.mean_quality,
+        b.mean_quality
+    );
+    assert_eq!(
+        a.work_core_secs.to_bits(),
+        b.work_core_secs.to_bits(),
+        "{ctx}: work_core_secs"
+    );
+    assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits(), "{ctx}: cloud");
+    assert_eq!(
+        a.buffer_peak.to_bits(),
+        b.buffer_peak.to_bits(),
+        "{ctx}: buffer_peak"
+    );
+    assert_eq!(a.overflows, b.overflows, "{ctx}: overflows");
+    assert_eq!(a.switches, b.switches, "{ctx}: switches");
+    assert_eq!(
+        a.misclassification_rate.to_bits(),
+        b.misclassification_rate.to_bits(),
+        "{ctx}: misclassification_rate"
+    );
+    assert_eq!(a.plans, b.plans, "{ctx}: plans");
+    assert_eq!(
+        a.duration_secs.to_bits(),
+        b.duration_secs.to_bits(),
+        "{ctx}: duration_secs"
+    );
+    assert_eq!(a.drift_alarms, b.drift_alarms, "{ctx}: drift_alarms");
+    assert_eq!(a.trace.len(), b.trace.len(), "{ctx}: trace length");
+}
+
+/// Assert two multi-stream outcomes are **bitwise** equal, per stream and
+/// in aggregate.
+#[track_caller]
+pub fn assert_multi_outcomes_bitwise_equal(label: &str, a: &MultiOutcome, b: &MultiOutcome) {
+    assert_eq!(a.streams.len(), b.streams.len(), "{label}: stream count");
+    for (sa, sb) in a.streams.iter().zip(&b.streams) {
+        let ctx = format!("{label}: stream {}", sa.workload_id);
+        assert_eq!(sa.workload_id, sb.workload_id, "{ctx}: id");
+        assert_outcomes_bitwise_equal(&ctx, &sa.outcome, &sb.outcome);
+    }
+    assert_eq!(
+        a.cloud_usd.to_bits(),
+        b.cloud_usd.to_bits(),
+        "{label}: joint cloud"
+    );
+    assert_eq!(
+        a.joint_quality.to_bits(),
+        b.joint_quality.to_bits(),
+        "{label}: joint quality"
+    );
+}
 
 use vetl_sim::{TaskGraph, TaskNode};
 use vetl_video::ContentState;

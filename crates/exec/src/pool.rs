@@ -182,9 +182,9 @@ impl ActorPool {
     /// unlike [`par_map`](Self::par_map) there is no work-stealing cursor —
     /// the item→shard assignment is a pure function of index and shard
     /// count, so stateful items are never touched by two workers and the
-    /// per-item results are independent of scheduling. Item `i` of `n`
-    /// lands on the shard covering `i * shards / n` (balanced contiguous
-    /// ranges).
+    /// per-item results are independent of scheduling. Shard `s` of `k`
+    /// owns the balanced contiguous range `[s·n/k, (s+1)·n/k)`, so item
+    /// `i` of `n` lands on shard `⌈k·(i+1)/n⌉ − 1`.
     ///
     /// # Panics
     /// Propagates the first panic raised inside `f`.

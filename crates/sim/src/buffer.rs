@@ -190,6 +190,39 @@ impl Backlog {
         self.entries.len()
     }
 
+    /// Snapshot the FIFO as `(bytes, work_remaining)` pairs, head first —
+    /// the serialization surface for durable checkpoints.
+    pub fn entries(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.entries.iter().map(|e| (e.bytes, e.work_remaining))
+    }
+
+    /// The raw aggregate `(bytes, work)` accumulators. Unlike
+    /// [`bytes`](Self::bytes) / [`work`](Self::work) these are not clamped:
+    /// `process` decrements the aggregates with different float operations
+    /// than the per-entry fields, so a checkpoint must persist them verbatim
+    /// — recomputing them as a sum over [`entries`](Self::entries) would not
+    /// be bitwise faithful.
+    pub fn raw_totals(&self) -> (f64, f64) {
+        (self.total_bytes, self.total_work)
+    }
+
+    /// Rebuild a backlog from a snapshot captured with
+    /// [`entries`](Self::entries) and [`raw_totals`](Self::raw_totals).
+    /// The aggregates are restored verbatim, so the rebuilt backlog is
+    /// indistinguishable from the snapshotted one.
+    pub fn from_parts(
+        entries: impl IntoIterator<Item = (f64, f64)>,
+        raw_totals: (f64, f64),
+    ) -> Self {
+        let mut b = Self::new();
+        for (bytes, work) in entries {
+            b.push(bytes, work);
+        }
+        b.total_bytes = raw_totals.0;
+        b.total_work = raw_totals.1;
+        b
+    }
+
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

@@ -32,11 +32,12 @@ pub use vetl_workloads as workloads;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use skyscraper::{
-        ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestRuntime,
-        IngestSession, JointPlanRecord, Knob, KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher,
-        KnobValue, KnowledgeBase, MultiStreamServer, OfflineArtifacts, OfflinePipeline,
-        RuntimeConfig, RuntimeMetrics, SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig,
-        StepReport, StreamId, StreamMetrics, StreamStats, Workload,
+        ClassificationMode, DurabilityConfig, ForecastMode, IngestOptions, IngestOutcome,
+        IngestRuntime, IngestSession, JointPlanRecord, Knob, KnobConfig, KnobPlan, KnobPlanner,
+        KnobSwitcher, KnobValue, KnowledgeBase, MultiStreamServer, OfflineArtifacts,
+        OfflinePipeline, RecoveredStream, RecoveryReport, RuntimeConfig, RuntimeMetrics,
+        SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig, StepReport, StreamId,
+        StreamMetrics, StreamStats, Workload,
     };
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use vetl::prelude::*;
 use vetl::skyscraper::offline::OfflinePipeline;
-use vetl::skyscraper::testkit::ToyWorkload;
+use vetl::skyscraper::testkit::{assert_outcomes_bitwise_equal, ToyWorkload};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -49,17 +49,6 @@ fn data() -> Data {
     }
 }
 
-fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
-    assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
-    assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
-    assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
-    assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
-    assert_eq!(a.overflows, b.overflows);
-    assert_eq!(a.switches, b.switches);
-    assert_eq!(a.plans, b.plans);
-    assert_eq!(a.segments, b.segments);
-}
-
 #[test]
 fn save_load_online_run_is_bitwise_identical_to_fit_run() {
     let dir = tmpdir("roundtrip");
@@ -84,7 +73,7 @@ fn save_load_online_run_is_bitwise_identical_to_fit_run() {
     // And drives the online phase identically.
     let fresh = sky.ingest(&d.online).expect("ingest fitted");
     let replay = loaded.ingest(&d.online).expect("ingest loaded");
-    assert_outcomes_bitwise_equal(&fresh, &replay);
+    assert_outcomes_bitwise_equal("load == fit", &fresh, &replay);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -125,7 +114,7 @@ fn incremental_refit_equals_cold_fit_on_extended_recording() {
         .expect("warm online");
     let cold_out = IngestSession::batch(cold_arts.model(), &w, IngestOptions::default(), &d.online)
         .expect("cold online");
-    assert_outcomes_bitwise_equal(&warm_out, &cold_out);
+    assert_outcomes_bitwise_equal("warm refit == cold fit", &warm_out, &cold_out);
 }
 
 #[test]
@@ -160,6 +149,158 @@ fn kb_persisted_memo_survives_a_process_boundary() {
         sky.model().unwrap().fingerprint(),
         cold.model().unwrap().fingerprint()
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mutated_kb_files_fail_typed_never_panic() {
+    // Robustness corpus: random bit flips, truncations, and zeroed ranges
+    // over every artifact file must surface as typed errors — never a
+    // panic, never an unbounded allocation. Seeded via VETL_CHAOS_SEED so
+    // a failing draw replays exactly.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let seed = std::env::var("VETL_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let dir = tmpdir("fuzz");
+    let d = data();
+    let mut sky = Skyscraper::new(ToyWorkload::new());
+    sky.set_resources(4, 4_000.0, 0.5);
+    sky.set_hyperparameters(SkyscraperConfig::fast_test());
+    sky.fit(&d.labeled, &d.unlabeled).expect("fit");
+    sky.save_model(&dir).expect("save");
+
+    let kb = KnowledgeBase::open_existing(&dir).expect("open");
+    let mut rng = StdRng::seed_from_u64(seed);
+    for file in [
+        "model.kb",
+        "memo.kb",
+        "profile.kb",
+        "category.kb",
+        "forecast.kb",
+        "plan.kb",
+    ] {
+        let path = dir.join(file);
+        if !path.exists() {
+            continue;
+        }
+        let pristine = std::fs::read(&path).expect("read");
+        for _ in 0..40 {
+            let mut mutated = pristine.clone();
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    let i = rng.gen_range(0..mutated.len());
+                    mutated[i] ^= 1 << rng.gen_range(0..8u8);
+                }
+                1 => mutated.truncate(rng.gen_range(0..mutated.len())),
+                2 => {
+                    let start = rng.gen_range(0..mutated.len());
+                    let end = (start + rng.gen_range(1..128usize)).min(mutated.len());
+                    mutated[start..end].iter_mut().for_each(|b| *b = 0xFF);
+                }
+                _ => unreachable!(),
+            }
+            std::fs::write(&path, &mutated).expect("write");
+            // Framing (magic/version/length/checksum) catches every raw
+            // file mutation; the error class must be a typed SkyError.
+            let err = kb.load_model().err().or_else(|| kb.load_artifacts().err());
+            match err {
+                Some(
+                    SkyError::CorruptKnowledgeBase { .. }
+                    | SkyError::ArtifactVersionMismatch { .. }
+                    | SkyError::KnowledgeBaseIo { .. },
+                ) => {}
+                Some(e) => panic!("{file}: unexpected error class: {e}"),
+                // Mutating one artifact while loading another can succeed.
+                None => {}
+            }
+        }
+        std::fs::write(&path, &pristine).expect("restore");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mutated_payloads_with_valid_checksums_fail_typed_never_panic() {
+    // The deeper corpus: mutate the *payload* and re-stamp a valid
+    // checksum, so the mutation reaches the artifact decoders themselves
+    // (length-prefix validation, shape cross-checks, semantic model
+    // validation) instead of being caught by the frame. Decoding may
+    // legitimately succeed when a float payload bit flips — but it must
+    // never panic, and whatever loads must pass the semantic validators.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use vetl::skyscraper::offline::codec::checksum;
+    let seed = std::env::var("VETL_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let dir = tmpdir("payload-fuzz");
+    let d = data();
+    let mut sky = Skyscraper::new(ToyWorkload::new());
+    sky.set_resources(4, 4_000.0, 0.5);
+    sky.set_hyperparameters(SkyscraperConfig::fast_test());
+    sky.fit(&d.labeled, &d.unlabeled).expect("fit");
+    sky.save_model(&dir).expect("save");
+
+    let kb = KnowledgeBase::open_existing(&dir).expect("open");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37);
+    let header = 24; // magic(5) + kind(1) + version(2) + len(8) + sum(8)
+    for file in [
+        "model.kb",
+        "memo.kb",
+        "profile.kb",
+        "category.kb",
+        "forecast.kb",
+        "plan.kb",
+    ] {
+        let path = dir.join(file);
+        if !path.exists() {
+            continue;
+        }
+        let pristine = std::fs::read(&path).expect("read");
+        assert!(pristine.len() > header);
+        for _ in 0..80 {
+            let mut mutated = pristine.clone();
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    let i = rng.gen_range(header..mutated.len());
+                    mutated[i] ^= 1 << rng.gen_range(0..8u8);
+                }
+                1 => {
+                    // Truncate the payload and fix the length field too.
+                    let keep = rng.gen_range(0..(mutated.len() - header));
+                    mutated.truncate(header + keep);
+                    mutated[8..16].copy_from_slice(&(keep as u64).to_le_bytes());
+                }
+                2 => {
+                    let i = rng.gen_range(header..mutated.len());
+                    let end = (i + rng.gen_range(1..64usize)).min(mutated.len());
+                    for b in &mut mutated[i..end] {
+                        *b = rng.gen_range(0..=255u8);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            let sum = checksum(&mutated[header..]);
+            mutated[16..24].copy_from_slice(&sum.to_le_bytes());
+            std::fs::write(&path, &mutated).expect("write");
+            match file {
+                "model.kb" => {
+                    let _ = kb.load_model(); // Ok or typed Err — no panic
+                }
+                "memo.kb" => {
+                    let _ = kb.load_memo();
+                }
+                _ => {
+                    let _ = kb.load_artifacts();
+                }
+            }
+        }
+        std::fs::write(&path, &pristine).expect("restore");
+    }
+    // The untouched knowledge base still loads after the storm.
+    assert!(kb.load_model().is_ok());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
 use vetl::skyscraper::testkit::ToyWorkload;
-use vetl::skyscraper::FittedModel;
+use vetl::skyscraper::{FittedModel, MultiOutcome};
 
 const N_STREAMS: usize = 4;
 const SHARED_BUDGET_USD: f64 = 0.5;
@@ -200,6 +200,205 @@ fn round_robin_wraps_per_push_errors_with_the_stream_id() {
             source: Box::new(SkyError::StreamClosed { id: id.index() }),
         }
     );
+}
+
+#[test]
+fn round_robin_auto_closes_exhausted_streams_and_redistributes() {
+    // Error-path coverage for push_round_robin's auto-close: a stream whose
+    // slice runs out mid-serve is closed (not left gating the epoch
+    // barrier), its outcome settles at exactly its slice length, the next
+    // joint plan excludes it, and later pushes to it are typed rejections.
+    let streams = fixture();
+    let quota = (REPLAN_SECS / 2.0) as usize;
+    let mut server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), 23)
+        .with_replan_interval(REPLAN_SECS)
+        .with_total_cores(16.0);
+    let short = quota / 2;
+    let long = 2 * quota + 100;
+    let handles: Vec<(StreamId, &[Segment])> = streams[..3]
+        .iter()
+        .enumerate()
+        .map(|(v, (w, m, segs))| {
+            let id = server
+                .open_stream(format!("cam-{v}"), m, w, IngestOptions::default())
+                .expect("admission");
+            (
+                id,
+                if v == 1 {
+                    &segs[..short]
+                } else {
+                    &segs[..long]
+                },
+            )
+        })
+        .collect();
+
+    let pushed = server.push_round_robin(&handles).expect("serve");
+    assert_eq!(pushed, 2 * long + short, "only real segments count");
+    assert_eq!(server.n_streams(), 2, "exhausted stream was auto-closed");
+    let plan = server.last_joint_plan().expect("replanned").clone();
+    assert_eq!(plan.streams, vec![0, 2], "auto-closed stream left the plan");
+    assert!((plan.lease_usd - SHARED_BUDGET_USD / 2.0).abs() < 1e-12);
+    assert_eq!(plan.fair_cores, (16.0f64 / 2.0).floor());
+
+    // Further pushes to the auto-closed stream are typed, with the id.
+    let err = server
+        .push_round_robin(&[(handles[1].0, &streams[1].2[short..short + 1])])
+        .expect_err("closed stream rejects input");
+    assert_eq!(
+        err,
+        SkyError::PushFailed {
+            stream: handles[1].0.index(),
+            source: Box::new(SkyError::StreamClosed {
+                id: handles[1].0.index()
+            }),
+        }
+    );
+
+    let out = server.finish();
+    assert_eq!(out.streams[1].outcome.segments, short);
+    assert_eq!(out.streams[0].outcome.segments, long);
+    for s in &out.streams {
+        assert_eq!(s.outcome.overflows, 0, "stream {}", s.workload_id);
+    }
+}
+
+#[test]
+fn epoch_barrier_rejection_is_retryable_and_leaves_no_trace() {
+    // Error-path coverage for the server's backpressure: a stream that
+    // outruns the epoch barrier is rejected typed, the rejection perturbs
+    // nothing (bitwise-identical outcome to a run that never overran), and
+    // the same push succeeds once the laggards catch up.
+    let streams = fixture();
+    let (w0, m0, s0) = &streams[0];
+    let (w1, m1, s1) = &streams[1];
+    let quota = (REPLAN_SECS / 2.0) as usize;
+    let serve = 2 * quota + 25;
+
+    let drive = |overrun: bool| -> MultiOutcome {
+        let mut server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), 29)
+            .with_replan_interval(REPLAN_SECS)
+            .with_total_cores(16.0);
+        let a = server
+            .open_stream("a", m0, w0, IngestOptions::default())
+            .unwrap();
+        let b = server
+            .open_stream("b", m1, w1, IngestOptions::default())
+            .unwrap();
+        for i in 0..serve {
+            server.push(a, &s0[i]).unwrap();
+            if overrun && i == quota - 1 {
+                // `a` exhausted its quota; `b` still holds one. Every
+                // overrun attempt must be a typed EpochBarrier rejection.
+                for _ in 0..20 {
+                    let err = server.push(a, &s0[i + 1]).unwrap_err();
+                    assert_eq!(
+                        err,
+                        SkyError::EpochBarrier {
+                            stream: a.index(),
+                            waiting_on: 1,
+                        }
+                    );
+                }
+            }
+            server.push(b, &s1[i]).unwrap();
+        }
+        server.finish()
+    };
+
+    let calm = drive(false);
+    let pressured = drive(true);
+    assert_eq!(calm.streams.len(), pressured.streams.len());
+    for (x, y) in calm.streams.iter().zip(&pressured.streams) {
+        assert_eq!(x.outcome.segments, y.outcome.segments);
+        assert_eq!(
+            x.outcome.mean_quality.to_bits(),
+            y.outcome.mean_quality.to_bits(),
+            "rejected pushes must leave no trace"
+        );
+        assert_eq!(x.outcome.cloud_usd.to_bits(), y.outcome.cloud_usd.to_bits());
+        assert_eq!(x.outcome.switches, y.outcome.switches);
+        assert_eq!(x.outcome.plans, y.outcome.plans);
+    }
+    assert_eq!(calm.cloud_usd.to_bits(), pressured.cloud_usd.to_bits());
+}
+
+#[test]
+fn runtime_overload_rejection_is_retryable_and_leaves_no_trace() {
+    // The concurrent runtime's analogue: a full bounded mailbox pushes back
+    // typed (SkyError::Overloaded), the rejection changes nothing bitwise,
+    // and the identical push succeeds after the lagging stream catches up.
+    let streams = fixture();
+    let (w0, m0, s0) = &streams[0];
+    let (w1, m1, s1) = &streams[1];
+    let quota = (REPLAN_SECS / 2.0) as usize;
+    let serve = quota + 40;
+
+    let drive = |storm: bool| -> MultiOutcome {
+        let mut rt = IngestRuntime::new(RuntimeConfig {
+            shards: 2,
+            shared_cloud_budget_usd: SHARED_BUDGET_USD,
+            seed: 31,
+            replan_interval_secs: Some(REPLAN_SECS),
+            total_cores: Some(16.0),
+            ..RuntimeConfig::default()
+        });
+        let a = rt
+            .open_stream("a", m0, w0, IngestOptions::default())
+            .unwrap();
+        let b = rt
+            .open_stream("b", m1, w1, IngestOptions::default())
+            .unwrap();
+        if storm {
+            // Fill a's mailbox to its epoch bound while b lags entirely.
+            for seg in &s0[..quota] {
+                rt.push(a, seg).unwrap();
+            }
+            for _ in 0..30 {
+                let err = rt.push(a, &s0[quota]).unwrap_err();
+                assert_eq!(
+                    err,
+                    SkyError::Overloaded {
+                        stream: a.index(),
+                        queued: quota,
+                        capacity: quota,
+                    }
+                );
+            }
+            // Catching b up un-wedges the epoch; the identical push that
+            // was rejected now succeeds.
+            for seg in &s1[..quota] {
+                rt.push(b, seg).unwrap();
+            }
+            rt.push(a, &s0[quota])
+                .expect("retry succeeds after dispatch");
+            for i in quota..serve {
+                if i > quota {
+                    rt.push(a, &s0[i]).unwrap();
+                }
+                rt.push(b, &s1[i]).unwrap();
+            }
+        } else {
+            for i in 0..serve {
+                rt.push(a, &s0[i]).unwrap();
+                rt.push(b, &s1[i]).unwrap();
+            }
+        }
+        rt.finish().expect("finish")
+    };
+
+    let calm = drive(false);
+    let stormy = drive(true);
+    for (x, y) in calm.streams.iter().zip(&stormy.streams) {
+        assert_eq!(x.outcome.segments, y.outcome.segments);
+        assert_eq!(
+            x.outcome.mean_quality.to_bits(),
+            y.outcome.mean_quality.to_bits(),
+            "overload rejections must leave no trace"
+        );
+        assert_eq!(x.outcome.cloud_usd.to_bits(), y.outcome.cloud_usd.to_bits());
+    }
+    assert_eq!(calm.joint_quality.to_bits(), stormy.joint_quality.to_bits());
 }
 
 #[test]

@@ -160,7 +160,7 @@ use std::sync::OnceLock;
 
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::testkit::ToyWorkload;
+use vetl::skyscraper::testkit::{assert_outcomes_bitwise_equal, ToyWorkload};
 use vetl::skyscraper::FittedModel;
 
 /// One fitted toy model plus a 2-hour segment pool, shared across property
@@ -218,24 +218,6 @@ fn kb_fixture() -> (
     (w, model, loaded, pool)
 }
 
-fn assert_outcomes_bitwise_equal(a: &IngestOutcome, b: &IngestOutcome) {
-    assert_eq!(a.mean_quality.to_bits(), b.mean_quality.to_bits());
-    assert_eq!(a.work_core_secs.to_bits(), b.work_core_secs.to_bits());
-    assert_eq!(a.cloud_usd.to_bits(), b.cloud_usd.to_bits());
-    assert_eq!(a.buffer_peak.to_bits(), b.buffer_peak.to_bits());
-    assert_eq!(a.overflows, b.overflows);
-    assert_eq!(a.switches, b.switches);
-    assert_eq!(
-        a.misclassification_rate.to_bits(),
-        b.misclassification_rate.to_bits()
-    );
-    assert_eq!(a.plans, b.plans);
-    assert_eq!(a.segments, b.segments);
-    assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
-    assert_eq!(a.drift_alarms, b.drift_alarms);
-    assert_eq!(a.trace.len(), b.trace.len());
-}
-
 proptest! {
     /// For random seeds, windows, budgets and ablation gates, feeding the
     /// stream segment-by-segment through a session produces an outcome
@@ -273,7 +255,7 @@ proptest! {
         for seg in segs {
             session.push(seg).expect("push");
         }
-        assert_outcomes_bitwise_equal(&batch, &session.finish());
+        assert_outcomes_bitwise_equal("bitwise", &batch, &session.finish());
     }
 
     /// For random windows, seeds, budgets and gates, an online run over a
@@ -302,7 +284,7 @@ proptest! {
         };
         let a = IngestSession::batch(fitted, w, opts.clone(), segs).expect("fitted run");
         let b = IngestSession::batch(loaded, w, opts, segs).expect("loaded run");
-        assert_outcomes_bitwise_equal(&a, &b);
+        assert_outcomes_bitwise_equal("bitwise property", &a, &b);
     }
 
     /// Checkpointing a session mid-stream and resuming it continues the run
@@ -340,6 +322,6 @@ proptest! {
         for seg in &segs[cut..] {
             resumed.push(seg).expect("push after cut");
         }
-        assert_outcomes_bitwise_equal(&straight, &resumed.finish());
+        assert_outcomes_bitwise_equal("bitwise", &straight, &resumed.finish());
     }
 }

@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::testkit::ToyWorkload;
+use vetl::skyscraper::testkit::{assert_multi_outcomes_bitwise_equal, ToyWorkload};
 use vetl::skyscraper::{FittedModel, MultiOutcome};
 
 const SHARED_BUDGET_USD: f64 = 0.5;
@@ -159,62 +159,6 @@ fn run_schedule<'a, D: Driver<'a>>(mut driver: D, schedule: &Schedule) -> MultiO
     driver.done()
 }
 
-fn assert_outcomes_bitwise_equal(label: &str, a: &MultiOutcome, b: &MultiOutcome) {
-    assert_eq!(a.streams.len(), b.streams.len(), "{label}: stream count");
-    for (sa, sb) in a.streams.iter().zip(&b.streams) {
-        let ctx = format!("{label}: stream {}", sa.workload_id);
-        assert_eq!(sa.workload_id, sb.workload_id, "{ctx}: id");
-        let (oa, ob) = (&sa.outcome, &sb.outcome);
-        assert_eq!(oa.segments, ob.segments, "{ctx}: segments");
-        assert_eq!(
-            oa.mean_quality.to_bits(),
-            ob.mean_quality.to_bits(),
-            "{ctx}: mean_quality {} vs {}",
-            oa.mean_quality,
-            ob.mean_quality
-        );
-        assert_eq!(
-            oa.work_core_secs.to_bits(),
-            ob.work_core_secs.to_bits(),
-            "{ctx}: work"
-        );
-        assert_eq!(
-            oa.cloud_usd.to_bits(),
-            ob.cloud_usd.to_bits(),
-            "{ctx}: cloud"
-        );
-        assert_eq!(
-            oa.buffer_peak.to_bits(),
-            ob.buffer_peak.to_bits(),
-            "{ctx}: buffer_peak"
-        );
-        assert_eq!(oa.overflows, ob.overflows, "{ctx}: overflows");
-        assert_eq!(oa.switches, ob.switches, "{ctx}: switches");
-        assert_eq!(
-            oa.misclassification_rate.to_bits(),
-            ob.misclassification_rate.to_bits(),
-            "{ctx}: misclassification"
-        );
-        assert_eq!(oa.plans, ob.plans, "{ctx}: plans");
-        assert_eq!(
-            oa.duration_secs.to_bits(),
-            ob.duration_secs.to_bits(),
-            "{ctx}: duration"
-        );
-        assert_eq!(oa.drift_alarms, ob.drift_alarms, "{ctx}: drift alarms");
-    }
-    assert_eq!(
-        a.cloud_usd.to_bits(),
-        b.cloud_usd.to_bits(),
-        "{label}: joint cloud"
-    );
-    assert_eq!(
-        a.joint_quality.to_bits(),
-        b.joint_quality.to_bits(),
-        "{label}: joint quality"
-    );
-}
-
 fn sequential(schedule: &Schedule) -> MultiOutcome {
     let server = MultiStreamServer::new(SHARED_BUDGET_USD, CostModel::default(), SEED)
         .with_replan_interval(REPLAN_SECS)
@@ -241,7 +185,7 @@ fn assert_runtime_matches_server(schedule: &Schedule) {
     counts.dedup();
     for shards in counts {
         let out = sharded(schedule, shards);
-        assert_outcomes_bitwise_equal(&format!("shards={shards}"), &reference, &out);
+        assert_multi_outcomes_bitwise_equal(&format!("shards={shards}"), &reference, &out);
     }
 }
 
@@ -311,8 +255,8 @@ fn runtime_is_bitwise_equal_for_any_shard_count() {
         let reference = sequential(&schedule);
         let one = sharded(&schedule, 1);
         let many = sharded(&schedule, shards);
-        assert_outcomes_bitwise_equal(&format!("case {case}: shards=1"), &reference, &one);
-        assert_outcomes_bitwise_equal(
+        assert_multi_outcomes_bitwise_equal(&format!("case {case}: shards=1"), &reference, &one);
+        assert_multi_outcomes_bitwise_equal(
             &format!("case {case}: shards={shards} ({schedule:?})"),
             &reference,
             &many,
@@ -404,7 +348,7 @@ fn rejected_mid_epoch_admission_preserves_bitwise_equivalence() {
             }
         });
         let out = rt.finish().expect("finish");
-        assert_outcomes_bitwise_equal(
+        assert_multi_outcomes_bitwise_equal(
             &format!("rejected admission, shards={shards}"),
             &reference,
             &out,

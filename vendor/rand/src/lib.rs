@@ -20,6 +20,26 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state words — everything the generator
+        /// carries. Pairing this with [`StdRng::from_state_words`] lets a
+        /// checkpointed computation persist its RNG and resume bit-for-bit
+        /// (the real `rand` exposes the same through serde, which is
+        /// unavailable offline).
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words captured with
+        /// [`StdRng::state_words`]. An all-zero state (a fixed point of
+        /// xoshiro) falls back to the seed-0 expansion, mirroring
+        /// `from_seed`.
+        pub fn from_state_words(s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                return Self::from_state(0);
+            }
+            Self { s }
+        }
+
         pub(crate) fn from_state(mut seed: u64) -> Self {
             // SplitMix64 expansion, as rand_core does for seed_from_u64.
             let mut next = || {
