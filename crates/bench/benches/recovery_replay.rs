@@ -7,7 +7,12 @@
 //! * **WAL write overhead per segment** — the durability tax on the ingest
 //!   hot path (journaled vs in-memory serve time).
 //! * **Replay throughput** — segments/s when recovery re-drives the whole
-//!   journal through the ingest path (no snapshot), vs the cold ingest rate.
+//!   journal through the ingest path (no snapshot), vs the cold rate over
+//!   the same event sequence. Replay re-runs *admissions* as well as
+//!   segments, so the cold denominator includes admission time — at this
+//!   scale the eight joint admission plans cost as much as tens of
+//!   thousands of segment pushes, and leaving them out of one side only
+//!   would make the ratio meaningless.
 //! * **Snapshot recovery** — wall time to restore from a checkpoint plus
 //!   the journal tail.
 //!
@@ -85,6 +90,33 @@ fn serve(
     t.elapsed().as_secs_f64()
 }
 
+/// Serve `range` rounds through `push_batch`, one epoch-sized batch per
+/// stream per pass. Round-robin driving keeps every mailbox at the same
+/// depth, so one stream's remaining room is everyone's. The journal then
+/// carries fused `SegBatch` records, which recovery replays back through
+/// `push_batch` — the batched replay the `recover (replay)` leg measures.
+fn serve_batched(
+    rt: &mut IngestRuntime<'_>,
+    ids: &[StreamId],
+    segs: &[vetl_video::Segment],
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let t = Instant::now();
+    let mut cursor = range.start;
+    while cursor < range.end {
+        let room = rt
+            .mailbox_room(ids[0])
+            .expect("room")
+            .min(range.end - cursor);
+        for id in ids {
+            rt.push_batch(*id, &segs[cursor..cursor + room])
+                .expect("balanced driving never overloads");
+        }
+        cursor += room;
+    }
+    t.elapsed().as_secs_f64()
+}
+
 fn assert_bitwise(label: &str, a: &MultiOutcome, b: &MultiOutcome) {
     assert_eq!(a.streams.len(), b.streams.len(), "{label}");
     for (x, y) in a.streams.iter().zip(&b.streams) {
@@ -111,9 +143,13 @@ fn main() {
     let n = segs.len();
     let total_segs = STREAMS * n;
 
-    // In-memory baseline.
+    // In-memory baseline. Admission is timed separately: the replay leg
+    // re-runs admissions too, so the replay-vs-cold ratio compares full
+    // event sequences.
     let mut rt = IngestRuntime::new(config(&fitted, None, 1));
+    let t_admit = Instant::now();
     let ids = open_all(&mut rt, &fitted);
+    let mem_admit_secs = t_admit.elapsed().as_secs_f64();
     let mem_secs = serve(&mut rt, &ids, segs, 0..n);
     let mem_out = rt.finish().expect("finish");
 
@@ -142,7 +178,10 @@ fn main() {
     {
         let mut rt = IngestRuntime::new(config(&fitted, Some(&dir_replay), 0));
         let ids = open_all(&mut rt, &fitted);
-        let _ = serve(&mut rt, &ids, segs, 0..crash_round);
+        // Batched serve: the journal carries one fused SegBatch record per
+        // epoch-sized run, so replay re-drives the ingest path through
+        // push_batch instead of one record per segment.
+        let _ = serve_batched(&mut rt, &ids, segs, 0..crash_round);
         // Crash: dropped without finish().
     }
     let t = Instant::now();
@@ -163,7 +202,7 @@ fn main() {
         .iter()
         .map(|s| StreamId::from_index(s.slot))
         .collect();
-    let _ = serve(&mut rt, &ids, segs, crash_round..n);
+    let _ = serve_batched(&mut rt, &ids, segs, crash_round..n);
     let recovered_out = rt.finish().expect("finish");
     assert_bitwise(
         "recovered (replay) == uninterrupted",
@@ -233,9 +272,10 @@ fn main() {
         format!("{} tail segs", snap_report.replayed_segments),
     ]);
     table.print();
+    let replay_vs_cold = rate(replayed, replay_secs) / rate(total_segs, mem_admit_secs + mem_secs);
     println!(
-        "\nreplay runs at {:.2}x the cold ingest rate; snapshot recovery took {}s",
-        rate(replayed, replay_secs) / rate(total_segs, mem_secs),
+        "\nreplay runs at {replay_vs_cold:.2}x the cold rate over the same event \
+         sequence (admissions + segments); snapshot recovery took {}s",
         f2(snap_secs),
     );
 
@@ -245,6 +285,7 @@ fn main() {
         &jobj(&[
             ("streams", jnum(STREAMS as f64)),
             ("segments", jnum(total_segs as f64)),
+            ("mem_admit_secs", jnum(mem_admit_secs)),
             ("mem_serve_secs", jnum(mem_secs)),
             ("mem_segs_per_sec", jnum(rate(total_segs, mem_secs))),
             ("wal_serve_secs", jnum(wal_secs)),
@@ -254,10 +295,7 @@ fn main() {
             ("replay_segments", jnum(replayed as f64)),
             ("replay_recover_secs", jnum(replay_secs)),
             ("replay_segs_per_sec", jnum(rate(replayed, replay_secs))),
-            (
-                "replay_vs_cold_ratio",
-                jnum(rate(replayed, replay_secs) / rate(total_segs, mem_secs)),
-            ),
+            ("replay_vs_cold_ratio", jnum(replay_vs_cold)),
             ("snapshot_recover_secs", jnum(snap_secs)),
             (
                 "snapshot_tail_segments",

@@ -28,7 +28,7 @@ struct Drive {
     out: MultiOutcome,
 }
 
-fn drive(fitted: &Fitted, shards: usize) -> Drive {
+fn drive(fitted: &Fitted, shards: usize, batched: bool) -> Drive {
     let model = &fitted.model;
     let workload = fitted.spec.workload.as_ref();
     let cheapest_rate = model.configs[model.cheapest()].work_mean / model.seg_len;
@@ -60,9 +60,28 @@ fn drive(fitted: &Fitted, shards: usize) -> Drive {
 
     let segs = &fitted.spec.online[..SERVE_SEGS.min(fitted.spec.online.len())];
     let t1 = Instant::now();
-    for seg in segs {
-        for id in &ids {
-            rt.push(*id, seg).expect("balanced driving never overloads");
+    if batched {
+        // Epoch-sized batches per stream: every mailbox fills in one
+        // `push_batch` call and the last stream's batch fires the barrier.
+        // All mailboxes stay at equal depth, so one stream's room is
+        // everyone's room.
+        let mut cursor = 0usize;
+        while cursor < segs.len() {
+            let room = rt
+                .mailbox_room(ids[0])
+                .expect("room")
+                .min(segs.len() - cursor);
+            for id in &ids {
+                rt.push_batch(*id, &segs[cursor..cursor + room])
+                    .expect("balanced driving never overloads");
+            }
+            cursor += room;
+        }
+    } else {
+        for seg in segs {
+            for id in &ids {
+                rt.push(*id, seg).expect("balanced driving never overloads");
+            }
         }
     }
     let out = rt.finish().expect("finish");
@@ -93,11 +112,14 @@ fn main() {
 
     let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[2], scale);
 
-    let single = drive(&fitted, 1);
-    let multi = drive(&fitted, multi_shards);
+    let single = drive(&fitted, 1, false);
+    let multi = drive(&fitted, multi_shards, false);
+    let batched = drive(&fitted, 1, true);
 
-    // Determinism contract: shard count must not change a single bit.
+    // Determinism contract: neither the shard count nor the batched feed
+    // may change a single bit.
     assert_eq!(single.segments, multi.segments);
+    assert_eq!(single.segments, batched.segments);
     for (a, b) in single.out.streams.iter().zip(&multi.out.streams) {
         assert_eq!(
             a.outcome.mean_quality.to_bits(),
@@ -107,15 +129,32 @@ fn main() {
         );
         assert_eq!(a.outcome.overflows, 0, "Eq. 1 must hold while serving");
     }
+    for (a, b) in single.out.streams.iter().zip(&batched.out.streams) {
+        assert_eq!(
+            a.outcome.mean_quality.to_bits(),
+            b.outcome.mean_quality.to_bits(),
+            "stream {} diverged between push and push_batch",
+            a.workload_id
+        );
+        assert_eq!(
+            a.outcome.cloud_usd.to_bits(),
+            b.outcome.cloud_usd.to_bits(),
+            "push_batch must spend identically"
+        );
+    }
 
     let rate = |d: &Drive| d.segments as f64 / d.serve_secs.max(1e-9);
     let mut table = Table::new(
         "runtime serving throughput",
-        &["shards", "admit s", "serve s", "segs/s"],
+        &["leg", "admit s", "serve s", "segs/s"],
     );
-    for (shards, d) in [(1, &single), (multi_shards, &multi)] {
+    for (leg, d) in [
+        ("1 shard", &single),
+        (&format!("{multi_shards} shards") as &str, &multi),
+        ("1 shard batched", &batched),
+    ] {
         table.row(vec![
-            shards.to_string(),
+            leg.to_string(),
             f2(d.admit_secs),
             f2(d.serve_secs),
             format!("{:.0}", rate(d)),
@@ -123,9 +162,11 @@ fn main() {
     }
     table.print();
     let speedup = rate(&multi) / rate(&single).max(1e-9);
+    let batch_speedup = rate(&batched) / rate(&single).max(1e-9);
     println!(
         "\n{} segments × {STREAMS} streams; {multi_shards}-shard vs 1-shard \
-         speedup {speedup:.2}x (joint quality {:.2})",
+         speedup {speedup:.2}x; push_batch vs push {batch_speedup:.2}x \
+         (joint quality {:.2})",
         SERVE_SEGS, single.out.joint_quality
     );
 
@@ -143,6 +184,9 @@ fn main() {
             ("multi_shard_serve_secs", jnum(multi.serve_secs)),
             ("multi_shard_segs_per_sec", jnum(rate(&multi))),
             ("speedup", jnum(speedup)),
+            ("batched_serve_secs", jnum(batched.serve_secs)),
+            ("single_shard_segs_per_sec_batched", jnum(rate(&batched))),
+            ("batch_speedup", jnum(batch_speedup)),
         ]),
     );
 }

@@ -90,6 +90,17 @@ pub enum SkyError {
         /// The underlying per-push error.
         source: Box<SkyError>,
     },
+    /// A batched push failed partway through: the first `accepted` segments
+    /// were accepted (journaled and enqueued, exactly as a per-segment push
+    /// loop would have) before `source` stopped the batch. The caller resumes
+    /// from `accepted` after resolving the cause — no accepted segment may be
+    /// re-fed.
+    BatchFailed {
+        /// Segments of the batch accepted before the failure.
+        accepted: usize,
+        /// The error the per-segment push loop would have returned.
+        source: Box<SkyError>,
+    },
     /// A caller-supplied value is structurally invalid (non-positive segment
     /// length, zero categories, out-of-range label, …).
     InvalidInput {
@@ -213,6 +224,12 @@ impl std::fmt::Display for SkyError {
             SkyError::PushFailed { stream, source } => {
                 write!(f, "push to stream {stream} failed: {source}")
             }
+            SkyError::BatchFailed { accepted, source } => {
+                write!(
+                    f,
+                    "batched push failed after {accepted} accepted segment(s): {source}"
+                )
+            }
             SkyError::InvalidInput { what } => write!(f, "invalid input: {what}"),
             SkyError::NonFinite { what } => {
                 write!(f, "non-finite statistic in the offline phase: {what}")
@@ -302,6 +319,16 @@ mod tests {
         };
         assert!(e.to_string().contains("stream 5"));
         assert!(e.to_string().contains("install_plan"));
+        let e = SkyError::BatchFailed {
+            accepted: 17,
+            source: Box::new(SkyError::Overloaded {
+                stream: 2,
+                queued: 900,
+                capacity: 900,
+            }),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("overloaded"));
         assert!(SkyError::NoPlanInstalled
             .to_string()
             .contains("install_plan"));

@@ -38,7 +38,7 @@
 //! redistributed by the next joint plan ([`MultiStreamServer::last_joint_plan`]
 //! records each plan's inputs).
 
-use vetl_lp::{solve, LpProblem, Relation};
+use vetl_lp::{solve, solve_warm, LpBasis, LpProblem, Relation};
 use vetl_sim::CostModel;
 use vetl_video::Segment;
 
@@ -60,6 +60,30 @@ pub fn joint_plan(
     models: &[&FittedModel],
     rs: &[Vec<f64>],
     budget_per_seg_total: f64,
+) -> Result<Vec<KnobPlan>, SkyError> {
+    joint_plan_inner(models, rs, budget_per_seg_total, None)
+}
+
+/// [`joint_plan`] seeded from (and updating) the previous epoch's optimal
+/// basis. Bitwise identical to the cold path — warm solves only skip the
+/// simplex when the stored basis re-certifies as the unique optimum of the
+/// new LP, which is exactly when the cold solver would land on it too.
+/// Stream churn changes the LP's shape and automatically invalidates the
+/// basis.
+pub fn joint_plan_warm(
+    models: &[&FittedModel],
+    rs: &[Vec<f64>],
+    budget_per_seg_total: f64,
+    basis: &mut LpBasis,
+) -> Result<Vec<KnobPlan>, SkyError> {
+    joint_plan_inner(models, rs, budget_per_seg_total, Some(basis))
+}
+
+fn joint_plan_inner(
+    models: &[&FittedModel],
+    rs: &[Vec<f64>],
+    budget_per_seg_total: f64,
+    basis: Option<&mut LpBasis>,
 ) -> Result<Vec<KnobPlan>, SkyError> {
     if models.is_empty() {
         return Err(SkyError::NoStreams);
@@ -114,7 +138,11 @@ pub fn joint_plan(
         }
     }
 
-    match solve(&lp) {
+    let solved = match basis {
+        Some(b) => solve_warm(&lp, b),
+        None => solve(&lp),
+    };
+    match solved {
         Ok(sol) => Ok(models
             .iter()
             .enumerate()
@@ -332,6 +360,7 @@ pub(crate) fn plan_epoch(
     shared_budget_usd: f64,
     cost_model: &CostModel,
     interval_override: Option<f64>,
+    basis: &mut LpBasis,
 ) -> Result<(Vec<KnobPlan>, BarrierMath), SkyError> {
     if models.is_empty() {
         return Err(SkyError::NoStreams);
@@ -343,7 +372,7 @@ pub(crate) fn plan_epoch(
         cost_model,
         interval_override,
     );
-    let plans = joint_plan(models, rs, math.budget)?;
+    let plans = joint_plan_warm(models, rs, math.budget, basis)?;
     Ok((plans, math))
 }
 
@@ -394,6 +423,8 @@ pub struct MultiStreamServer<'a> {
     total_cores: Option<f64>,
     joint_plans: usize,
     last_joint_plan: Option<JointPlanRecord>,
+    /// Warm-start basis carried across epoch barriers.
+    joint_basis: LpBasis,
 }
 
 impl<'a> MultiStreamServer<'a> {
@@ -408,6 +439,7 @@ impl<'a> MultiStreamServer<'a> {
             total_cores: None,
             joint_plans: 0,
             last_joint_plan: None,
+            joint_basis: LpBasis::new(),
         }
     }
 
@@ -652,6 +684,7 @@ impl<'a> MultiStreamServer<'a> {
             self.shared_budget_usd,
             &self.cost_model,
             self.replan_interval,
+            &mut self.joint_basis,
         )?;
 
         // Commit: admission, plans, shares, leases, quotas.

@@ -124,12 +124,26 @@ impl FittedModel {
         workload: &W,
         content: &ContentState,
     ) -> usize {
-        let v: Vec<f64> = self
-            .configs
-            .iter()
-            .map(|p| workload.true_quality(&p.config, content))
-            .collect();
-        self.categories.classify_full(&v)
+        self.ground_truth_category_with(workload, content, &mut Vec::new())
+    }
+
+    /// [`Self::ground_truth_category`] with a caller-owned scratch buffer
+    /// for the quality vector. The ingest hot path evaluates the ground
+    /// truth once per segment; reusing the buffer keeps that evaluation off
+    /// the allocator without changing a bit of the result.
+    pub fn ground_truth_category_with<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        content: &ContentState,
+        scratch: &mut Vec<f64>,
+    ) -> usize {
+        scratch.clear();
+        scratch.extend(
+            self.configs
+                .iter()
+                .map(|p| workload.true_quality(&p.config, content)),
+        );
+        self.categories.classify_full(scratch)
     }
 
     /// Bit-exact fingerprint over every behavior-bearing field of the

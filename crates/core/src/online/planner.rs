@@ -14,7 +14,7 @@
 //! internally converts the user's cloud-credit budget into that unit
 //! (footnote 4) via [`vetl_sim::CostModel`].
 
-use vetl_lp::{solve, LpProblem, Relation};
+use vetl_lp::{solve_warm, LpBasis, LpProblem, Relation};
 
 use crate::error::SkyError;
 use crate::offline::FittedModel;
@@ -36,12 +36,25 @@ pub struct PlannerStats {
 pub struct KnobPlanner {
     /// Statistics of the last solve.
     pub last_stats: PlannerStats,
+    /// Optimal basis of the previous epoch's LP; consecutive replans drift
+    /// slowly, so most solves re-certify it and skip the simplex entirely.
+    pub(crate) basis: LpBasis,
 }
 
 impl KnobPlanner {
     /// Create a planner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Replans that re-certified the previous epoch's basis (no simplex).
+    pub fn warm_hits(&self) -> u64 {
+        self.basis.hits()
+    }
+
+    /// Replans that ran the exact cold simplex.
+    pub fn warm_misses(&self) -> u64 {
+        self.basis.misses()
     }
 
     /// Compute the optimal plan for forecast `r` (a distribution over
@@ -89,7 +102,7 @@ impl KnobPlanner {
             pivots: 0,
         };
 
-        match solve(&lp) {
+        match solve_warm(&lp, &mut self.basis) {
             Ok(sol) => {
                 self.last_stats.pivots = sol.pivots;
                 let alpha: Vec<Vec<f64>> = (0..n_c)

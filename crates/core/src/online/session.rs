@@ -44,7 +44,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use vetl_sim::{simulate, Backlog, CostModel, Trace, TracePoint};
+use vetl_sim::{simulate_into, Backlog, CostModel, SimScratch, TaskGraph, Trace, TracePoint};
 use vetl_video::Segment;
 
 use crate::error::SkyError;
@@ -494,6 +494,14 @@ fn enc_state(e: &mut Enc, s: &SessionState) {
     e.usize(s.planner.last_stats.n_vars);
     e.usize(s.planner.last_stats.n_constraints);
     e.usize(s.planner.last_stats.pivots);
+    // The warm-start basis travels with the checkpoint so a resumed session
+    // replans with the same warm/cold history (and therefore the same
+    // recorded pivot counts) as the uninterrupted run.
+    let basis_words = s.planner.basis.to_words();
+    e.usize(basis_words.len());
+    for &w in &basis_words {
+        e.u64(w);
+    }
     enc_opt(e, &s.switcher, |e, sw| {
         let (plan, usage, cur) = sw.parts();
         codec::enc_plan(e, plan);
@@ -571,13 +579,18 @@ fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
         *w = d.u64("state rng word")?;
     }
     let rng = StdRng::from_state_words(words);
-    let planner = KnobPlanner {
-        last_stats: crate::online::planner::PlannerStats {
-            n_vars: d.usize("state planner n_vars")?,
-            n_constraints: d.usize("state planner n_constraints")?,
-            pivots: d.usize("state planner pivots")?,
-        },
+    let last_stats = crate::online::planner::PlannerStats {
+        n_vars: d.usize("state planner n_vars")?,
+        n_constraints: d.usize("state planner n_constraints")?,
+        pivots: d.usize("state planner pivots")?,
     };
+    let n_basis_words = d.len(8, "state planner basis words")?;
+    let basis_words = (0..n_basis_words)
+        .map(|_| d.u64("state planner basis word"))
+        .collect::<DecodeResult<Vec<u64>>>()?;
+    let basis = vetl_lp::LpBasis::from_words(&basis_words)
+        .ok_or_else(|| "malformed planner basis".to_string())?;
+    let planner = KnobPlanner { last_stats, basis };
     let switcher = dec_opt(d, "state switcher", |d| {
         let plan = codec::dec_plan(d)?;
         let n = d.len(8, "state usage rows")?;
@@ -725,6 +738,23 @@ struct SessionState {
     capacity_override: Option<f64>,
 }
 
+/// Reusable hot-path buffers. Pure derived data — rebuilt from scratch on
+/// resume and deliberately **not** part of [`SessionCheckpoint`] — so the
+/// steady per-segment path (task graph, simulator arrays, ground-truth
+/// quality vector) never touches the allocator. Dropping or re-priming the
+/// scratch never changes a bit of any output.
+#[derive(Debug, Clone, Default)]
+struct HotScratch {
+    /// One cached task graph per knob configuration:
+    /// [`Workload::task_graph_into`] overwrites the node costs in place.
+    graphs: Vec<TaskGraph>,
+    /// Simulator finish/scheduled/core arrays ([`simulate_into`]).
+    sim: SimScratch,
+    /// Ground-truth quality vector
+    /// ([`FittedModel::ground_truth_category_with`]).
+    qualities: Vec<f64>,
+}
+
 /// A streaming ingestion session over one fitted stream.
 ///
 /// Feed segments as they arrive with [`push`](Self::push), inspect each
@@ -736,6 +766,7 @@ pub struct IngestSession<'a, W: Workload + ?Sized> {
     workload: &'a W,
     options: IngestOptions,
     state: SessionState,
+    scratch: HotScratch,
 }
 
 impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
@@ -830,6 +861,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             workload,
             options,
             state,
+            scratch: HotScratch::default(),
         }
     }
 
@@ -888,6 +920,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             workload,
             options: checkpoint.options,
             state: checkpoint.state,
+            scratch: HotScratch::default(),
         }
     }
 
@@ -1167,7 +1200,11 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
         // ---- Ground truth for this segment (accuracy stats + oracles). ----
         let gt_c = match &self.state.gt_feed {
             Some(feed) if i < feed.len() => feed[i],
-            _ => model.ground_truth_category(self.workload, &seg.content),
+            _ => model.ground_truth_category_with(
+                self.workload,
+                &seg.content,
+                &mut self.scratch.qualities,
+            ),
         };
 
         // ---- Classification (§5.6 modes). ----
@@ -1226,14 +1263,28 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
         }
 
         // ---- Execute the segment on the simulator. ----
+        // Per-config cached graph + reusable simulator scratch: after the
+        // first segment of each configuration, execution allocates nothing
+        // and stays bitwise-identical to the allocating
+        // `task_graph`/`simulate` pair (see `HotScratch`).
         let profile = &model.configs[d.config];
-        let graph = self.workload.task_graph(&profile.config, &seg.content);
+        if self.scratch.graphs.len() < model.configs.len() {
+            self.scratch
+                .graphs
+                .resize_with(model.configs.len(), TaskGraph::new);
+        }
+        self.workload.task_graph_into(
+            &profile.config,
+            &seg.content,
+            &mut self.scratch.graphs[d.config],
+        );
         let placement = &profile.placements[d.placement].placement;
-        let result = simulate(
-            &graph,
+        let result = simulate_into(
+            &self.scratch.graphs[d.config],
             placement,
             &model.hardware.cluster,
             &model.hardware.cloud,
+            &mut self.scratch.sim,
         );
         self.state.cloud_left -= result.cloud_usd;
         self.state.cloud_spent_total += result.cloud_usd;
@@ -1298,6 +1349,30 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             overflowed,
             drift_alarm,
         })
+    }
+
+    /// Ingest a run of segments — exactly a [`push`](Self::push) loop, one
+    /// report per segment, with the output buffer reserved once up front.
+    /// The session pipeline is inherently sequential (every push reads the
+    /// previous segment's state), so unlike the runtime's batched mailbox
+    /// path there is nothing to fuse here; the method exists so batch
+    /// drivers get the same call shape at both tiers. On a mid-batch error
+    /// the session keeps the state of every segment already ingested and
+    /// the error is wrapped in [`SkyError::BatchFailed`] with that count.
+    pub fn push_batch(&mut self, segs: &[Segment]) -> Result<Vec<StepReport>, SkyError> {
+        let mut reports = Vec::with_capacity(segs.len());
+        for seg in segs {
+            match self.push(seg) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    return Err(SkyError::BatchFailed {
+                        accepted: reports.len(),
+                        source: Box::new(e),
+                    })
+                }
+            }
+        }
+        Ok(reports)
     }
 
     /// Settle the session into the run's outcome.

@@ -85,6 +85,20 @@ impl Mailbox {
         true
     }
 
+    /// Enqueue a run of segments at once. The caller has already checked
+    /// room (exactly like [`try_push`](Self::try_push)'s capacity test);
+    /// one reserve covers the whole run, so a batched producer touches the
+    /// queue's allocator once per epoch instead of once per segment.
+    pub(crate) fn push_segments(&mut self, segs: &[Segment]) {
+        debug_assert!(
+            self.segments + segs.len() <= self.capacity,
+            "room pre-checked by the caller"
+        );
+        self.q.reserve(segs.len());
+        self.q.extend(segs.iter().map(|s| Envelope::Segment(*s)));
+        self.segments += segs.len();
+    }
+
     /// Enqueue the in-band close marker (always accepted).
     pub(crate) fn push_close(&mut self) {
         self.q.push_back(Envelope::Close);
@@ -124,6 +138,17 @@ impl Mailbox {
         // close_queued intentionally stays set: a drained close marker means
         // the stream is on its way to settled and accepts no new input.
         std::mem::take(&mut self.q)
+    }
+
+    /// [`drain`](Self::drain) into a caller-owned buffer, ping-pong style:
+    /// `out` is cleared, then swapped with the queue, so the mailbox inherits
+    /// `out`'s (empty but sized) allocation for the next epoch and the caller
+    /// gets the queued envelopes without either side allocating. Steady-state
+    /// dispatch reuses the same two buffers forever.
+    pub(crate) fn drain_into(&mut self, out: &mut VecDeque<Envelope>) {
+        self.segments = 0;
+        out.clear();
+        std::mem::swap(&mut self.q, out);
     }
 }
 
@@ -170,5 +195,36 @@ mod tests {
         let mut m = Mailbox::new(4);
         m.push_close();
         assert!(m.close_is_first());
+    }
+
+    #[test]
+    fn push_segments_counts_like_a_push_loop() {
+        let s = seg();
+        let mut m = Mailbox::new(4);
+        m.push_segments(&[s, s, s]);
+        assert_eq!(m.segments_queued(), 3);
+        assert!(m.try_push(&s));
+        assert!(!m.try_push(&s), "batched segments count against capacity");
+    }
+
+    #[test]
+    fn drain_into_swaps_buffers_without_losing_envelopes() {
+        let s = seg();
+        let mut m = Mailbox::new(4);
+        m.push_segments(&[s, s]);
+        m.push_close();
+        let mut out = VecDeque::from(vec![Envelope::Close]); // stale content
+        m.drain_into(&mut out);
+        assert_eq!(out.len(), 3, "stale buffer contents were cleared first");
+        assert!(m.is_empty());
+        assert_eq!(m.segments_queued(), 0);
+        assert!(m.close_queued(), "sticky close flag survives drain_into");
+        // Ping-pong: the next epoch reuses the handed-back allocation.
+        let cap_before = out.capacity();
+        m.push_segments(&[s]);
+        m.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out.capacity() >= 1);
+        let _ = cap_before;
     }
 }

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vetl_exec::ActorPool;
+use vetl_lp::LpBasis;
 use vetl_sim::CostModel;
 use vetl_video::Segment;
 
@@ -229,6 +230,10 @@ struct RtStream<'a> {
     /// `None` only transiently while a processed close marker settles.
     session: Option<IngestSession<'a, dyn Workload + 'a>>,
     mailbox: Mailbox,
+    /// Drain buffer ping-ponged with the mailbox queue
+    /// ([`Mailbox::drain_into`]): after warm-up, an epoch dispatch moves
+    /// envelopes between these two allocations without touching the heap.
+    scratch: std::collections::VecDeque<Envelope>,
     /// Segments processed in the current planning epoch.
     used: usize,
     /// Segment quota per epoch.
@@ -245,24 +250,41 @@ impl RtStream<'_> {
     /// Process one drained batch of envelopes on a shard worker. Returns
     /// the number of segments ingested.
     fn process_batch(&mut self) -> Result<usize, SkyError> {
-        let batch = self.mailbox.drain();
+        let mut batch = std::mem::take(&mut self.scratch);
+        self.mailbox.drain_into(&mut batch);
         let mut n = 0;
-        for env in batch {
+        let mut failed = None;
+        while let Some(env) = batch.pop_front() {
             match env {
                 Envelope::Segment(seg) => {
                     let session = self.session.as_mut().expect("active stream has a session");
-                    let report = session.push(&seg)?;
-                    self.last_report = Some(report);
-                    self.used += 1;
-                    self.processed += 1;
-                    n += 1;
+                    match session.push(&seg) {
+                        Ok(report) => {
+                            self.last_report = Some(report);
+                            self.used += 1;
+                            self.processed += 1;
+                            n += 1;
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
                 }
                 Envelope::Close => {
                     self.settle();
                 }
             }
         }
-        Ok(n)
+        // Hand the allocation back for the next epoch (a failed batch drops
+        // its unprocessed remainder, exactly as the draining loop always
+        // has).
+        batch.clear();
+        self.scratch = batch;
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(n),
+        }
     }
 
     /// Settle the session into the stream's outcome (idempotent).
@@ -309,6 +331,11 @@ pub struct IngestRuntime<'a> {
     total_cores: Option<f64>,
     joint_plans: usize,
     last_joint_plan: Option<JointPlanRecord>,
+    /// Warm-start basis carried across epoch barriers. Deliberately *not*
+    /// part of the durable snapshot: [`JointPlanRecord`] carries no pivot
+    /// counts, so a recovered runtime that cold-solves its first barrier
+    /// produces bitwise-identical plans and observable state.
+    joint_basis: LpBasis,
     /// A full epoch completed; the barrier (settle + joint replan) fires
     /// lazily when the next batch dispatches — exactly when the sequential
     /// server would replan on the first push of the next epoch.
@@ -357,6 +384,7 @@ impl<'a> IngestRuntime<'a> {
             total_cores: cfg.total_cores,
             joint_plans: 0,
             last_joint_plan: None,
+            joint_basis: LpBasis::new(),
             barrier_pending: false,
             epoch: 0,
             processed_total: 0,
@@ -456,6 +484,7 @@ impl<'a> IngestRuntime<'a> {
             id: workload_id.clone(),
             session: Some(IngestSession::external(model, workload, options)),
             mailbox: Mailbox::new(1),
+            scratch: std::collections::VecDeque::new(),
             used: 0,
             quota: 1,
             processed: 0,
@@ -536,6 +565,135 @@ impl<'a> IngestRuntime<'a> {
             self.poisoned = Some(e.to_string());
         }
         r
+    }
+
+    /// Enqueue a run of segments into a stream's ingress mailbox —
+    /// **semantically identical** to calling [`push`](Self::push) once per
+    /// segment, in order (property-tested in `tests/runtime.rs`), but on the
+    /// hot path the run is journaled as one fused
+    /// [`WalRecord::SegBatch`](wal) frame per accepted chunk and enqueued
+    /// with a single mailbox reservation instead of one of each per segment.
+    ///
+    /// The batch is applied in chunks bounded by the mailbox's remaining
+    /// epoch-quota room (see [`mailbox_room`](Self::mailbox_room)); a chunk
+    /// that fills the mailbox dispatches the epoch exactly where the
+    /// per-segment loop would, then the next chunk continues into the freed
+    /// mailbox. On any failure the error is wrapped in
+    /// [`SkyError::BatchFailed`] carrying how many leading segments were
+    /// accepted (journaled + enqueued, never to be re-fed); the wrapped
+    /// source is the error the per-segment loop's next `push` would have
+    /// returned — e.g. [`SkyError::Overloaded`] when lagging sibling streams
+    /// block the dispatch mid-batch.
+    pub fn push_batch(&mut self, stream: StreamId, segs: &[Segment]) -> Result<(), SkyError> {
+        let batch_err = |accepted: usize, e: SkyError| SkyError::BatchFailed {
+            accepted,
+            source: Box::new(e),
+        };
+        let mut accepted = 0usize;
+        while accepted < segs.len() {
+            self.check_poisoned().map_err(|e| batch_err(accepted, e))?;
+            let rest = &segs[accepted..];
+            // The per-segment push validates the segment *before* the slot
+            // checks; mirror that order on the chunk's first segment so the
+            // error class matches the loop's.
+            if let Err(e) = crate::multistream::validate_segment(&rest[0]) {
+                return Err(batch_err(accepted, e));
+            }
+            let room = match self.slots.get(stream.index()) {
+                None => {
+                    return Err(batch_err(
+                        accepted,
+                        SkyError::UnknownStream { id: stream.index() },
+                    ))
+                }
+                Some(RtSlot::Closed(_)) => {
+                    return Err(batch_err(
+                        accepted,
+                        SkyError::StreamClosed { id: stream.index() },
+                    ))
+                }
+                Some(RtSlot::Active(a)) => {
+                    if a.mailbox.close_queued() {
+                        return Err(batch_err(
+                            accepted,
+                            SkyError::StreamClosed { id: stream.index() },
+                        ));
+                    }
+                    let (queued, cap) = (a.mailbox.segments_queued(), a.mailbox.capacity());
+                    if queued >= cap {
+                        return Err(batch_err(
+                            accepted,
+                            SkyError::Overloaded {
+                                stream: stream.index(),
+                                queued,
+                                capacity: cap,
+                            },
+                        ));
+                    }
+                    cap - queued
+                }
+            };
+            // The chunk ends at the mailbox's remaining room — below it,
+            // the per-segment loop's intermediate `try_dispatch` calls are
+            // provably no-ops (this stream is not at capacity), so fusing
+            // them into one call at the chunk boundary changes nothing — or
+            // at the first invalid segment, whichever comes first.
+            let mut chunk_len = rest.len().min(room);
+            let mut pending_invalid = None;
+            for (i, seg) in rest[1..chunk_len].iter().enumerate() {
+                if let Err(e) = crate::multistream::validate_segment(seg) {
+                    chunk_len = i + 1;
+                    pending_invalid = Some(e);
+                    break;
+                }
+            }
+            let chunk = &rest[..chunk_len];
+            if self.wal_active() {
+                self.wal_append(&WalRecord::SegBatch {
+                    slot: stream.index(),
+                    segs: chunk.to_vec(),
+                })
+                .map_err(|e| batch_err(accepted, e))?;
+            }
+            let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
+                unreachable!("checked active above");
+            };
+            a.mailbox.push_segments(chunk);
+            accepted += chunk.len();
+            let before = self.epoch;
+            self.try_dispatch().map_err(|e| batch_err(accepted, e))?;
+            if self.epoch != before {
+                self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })
+                    .map_err(|e| batch_err(accepted, e))?;
+            }
+            if let Err(e) = self.maybe_snapshot() {
+                self.poisoned = Some(e.to_string());
+                return Err(batch_err(accepted, e));
+            }
+            if let Some(e) = pending_invalid {
+                return Err(batch_err(accepted, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Segments a batched push can currently enqueue for `stream` before the
+    /// dispatch boundary — the mailbox's remaining epoch-quota room. Batch
+    /// drivers size their runs with this hint to stay allocation- and
+    /// backpressure-free; pushing more is still correct, just chunked.
+    pub fn mailbox_room(&self, stream: StreamId) -> Result<usize, SkyError> {
+        match self.slots.get(stream.index()) {
+            None => Err(SkyError::UnknownStream { id: stream.index() }),
+            Some(RtSlot::Closed(_)) => Err(SkyError::StreamClosed { id: stream.index() }),
+            Some(RtSlot::Active(a)) => {
+                if a.mailbox.close_queued() {
+                    return Err(SkyError::StreamClosed { id: stream.index() });
+                }
+                Ok(a.mailbox
+                    .capacity()
+                    .saturating_sub(a.mailbox.segments_queued()))
+            }
+        }
     }
 
     /// Close a stream mid-run by queuing an in-band close marker: the
@@ -857,6 +1015,7 @@ impl<'a> IngestRuntime<'a> {
             budget,
             &self.cost_model,
             self.replan_interval,
+            &mut self.joint_basis,
         )?;
 
         if let Some(c) = candidate {
@@ -898,6 +1057,13 @@ impl<'a> IngestRuntime<'a> {
     /// directory that already holds a journal body or a snapshot is
     /// rejected — a dirty directory must go through
     /// [`recover`](Self::recover), not be silently appended to.
+    /// Journaling is live (durability configured and not replaying) — used
+    /// by the batched path to skip assembling a record that `wal_append`
+    /// would discard.
+    fn wal_active(&self) -> bool {
+        !self.replaying && self.dur.is_some()
+    }
+
     fn wal_append(&mut self, rec: &WalRecord) -> Result<(), SkyError> {
         if self.replaying || self.dur.is_none() {
             return Ok(());
@@ -1154,6 +1320,7 @@ impl<'a> IngestRuntime<'a> {
                             id,
                             session: Some(IngestSession::resume(model, workload, *session)),
                             mailbox,
+                            scratch: std::collections::VecDeque::new(),
                             used,
                             quota,
                             processed,
@@ -1180,6 +1347,12 @@ impl<'a> IngestRuntime<'a> {
         // writer (events are validated before journaling), so they mark a
         // crafted or inconsistent journal.
         let structural = |e: &SkyError| {
+            // Batched replays wrap the per-segment error; classify the
+            // source, not the wrapper.
+            let e = match e {
+                SkyError::BatchFailed { source, .. } => source.as_ref(),
+                other => other,
+            };
             matches!(
                 e,
                 SkyError::UnknownStream { .. }
@@ -1249,6 +1422,10 @@ impl<'a> IngestRuntime<'a> {
                 WalRecord::Seg { slot, seg } => {
                     replayed_segments += 1;
                     tolerate(rt.push(StreamId::from_index(slot), &seg))?;
+                }
+                WalRecord::SegBatch { slot, segs } => {
+                    replayed_segments += segs.len();
+                    tolerate(rt.push_batch(StreamId::from_index(slot), &segs))?;
                 }
                 WalRecord::Close { slot } => {
                     tolerate(rt.close_stream(StreamId::from_index(slot)))?;

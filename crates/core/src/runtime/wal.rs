@@ -96,6 +96,12 @@ pub(crate) enum WalRecord {
     },
     /// One accepted segment for a stream.
     Seg { slot: usize, seg: Segment },
+    /// A run of segments accepted together by a batched push — one fused
+    /// frame (one length/checksum header, one syscall) instead of one per
+    /// segment. Replay feeds the run back through the batched path;
+    /// semantically the record is exactly `segs.len()` consecutive [`Seg`]
+    /// records for the same slot.
+    SegBatch { slot: usize, segs: Vec<Segment> },
     /// An accepted in-band close marker.
     Close { slot: usize },
     /// The partial-epoch delivery an admission attempt forces *before* its
@@ -162,6 +168,14 @@ fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
             e.usize(*slot);
             enc_segment(&mut e, seg);
         }
+        WalRecord::SegBatch { slot, segs } => {
+            e.u8(7);
+            e.usize(*slot);
+            e.usize(segs.len());
+            for seg in segs {
+                enc_segment(&mut e, seg);
+            }
+        }
         WalRecord::Close { slot } => {
             e.u8(3);
             e.usize(*slot);
@@ -222,6 +236,17 @@ fn decode_record(body: &[u8]) -> DecodeResult<(u64, WalRecord)> {
             })?,
             total_cores: dec_opt(&mut d, "config total_cores", |d| d.f64("total_cores"))?,
         },
+        7 => {
+            let slot = d.usize("seg batch slot")?;
+            // One encoded segment is 49 bytes (u64 + 5 f64 + bool) — the
+            // length guard refuses a corrupt count before allocating.
+            let n = d.len(49, "seg batch len")?;
+            let mut segs = Vec::with_capacity(n);
+            for _ in 0..n {
+                segs.push(dec_segment(&mut d)?);
+            }
+            WalRecord::SegBatch { slot, segs }
+        }
         k => return Err(format!("unknown record kind {k}")),
     };
     codec::expect_finished(&d, "journal record")?;

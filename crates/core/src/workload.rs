@@ -36,6 +36,23 @@ pub trait Workload: Send + Sync {
     /// (more objects ⇒ more tracker work).
     fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph;
 
+    /// Rebuild the task graph for (`config`, `content`) **into** `g`,
+    /// reusing its allocations. The result must be bitwise-identical to
+    /// what [`Self::task_graph`] returns for the same arguments (the ingest
+    /// session property-tests this); `g` must be either empty or a graph
+    /// previously filled by *this* workload.
+    ///
+    /// The ingest hot path calls this once per segment with a per-session
+    /// cached graph. Workloads whose topology (node names and edges) does
+    /// not depend on config or content — all of the paper's pipelines —
+    /// should build the skeleton only when `g` is empty and then overwrite
+    /// the node costs/payloads in place, so the steady state never touches
+    /// the allocator. The default implementation just rebuilds from
+    /// scratch, which is always correct.
+    fn task_graph_into(&self, config: &KnobConfig, content: &ContentState, g: &mut TaskGraph) {
+        *g = self.task_graph(config, content);
+    }
+
     /// Ground-truth quality of `config` on `content`, in `[0, 1]` relative
     /// to the best achievable. Only the *Optimum* oracle and evaluation
     /// metrics may consult this.

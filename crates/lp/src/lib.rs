@@ -22,4 +22,4 @@ pub mod simplex;
 
 pub use knapsack::{knapsack_exact, knapsack_greedy, KnapsackItem, KnapsackSolution};
 pub use problem::{Constraint, LpProblem, LpSolution, Relation, VarId};
-pub use simplex::{solve, LpError};
+pub use simplex::{solve, solve_warm, LpBasis, LpError};

@@ -1,4 +1,4 @@
-//! Two-phase primal simplex on a dense tableau.
+//! Two-phase primal simplex on a dense tableau, with warm-started re-solves.
 //!
 //! The solver handles `maximize c·x` subject to mixed `≤ / ≥ / =` constraints
 //! over non-negative variables. Rows are normalized to non-negative
@@ -7,6 +7,29 @@
 //! phase 2 optimizes the real objective. Bland's rule breaks ties, which
 //! guarantees termination in the presence of degeneracy — the planner LPs are
 //! degenerate whenever a content category's forecast ratio `r_c` is zero.
+//!
+//! # Warm starts
+//!
+//! Skyscraper re-solves nearly identical planner LPs at every epoch barrier:
+//! the constraint *structure* is fixed and only the objective and a few
+//! coefficients drift. [`solve_warm`] exploits that by remembering the
+//! optimal basis of the previous solve in an [`LpBasis`]. A warm solve
+//! *verifies* the stored basis against the new problem — primal feasibility,
+//! dual feasibility, and strict nondegeneracy margins — with two small `m×m`
+//! triangular solves instead of running the simplex. When the verification
+//! passes, the basis is provably the unique optimal basis and the solution is
+//! read off the basis system directly; otherwise the solver falls back to the
+//! exact cold path and stores the new basis.
+//!
+//! Warm and cold results are **bitwise identical**: both paths extract the
+//! final solution through the same canonical basis solve
+//! (`B·x_B = b` factored from the original normalized constraint data), so
+//! whenever warm verification succeeds — which implies cold simplex would
+//! terminate on the very same basis — the extracted bits match exactly. The
+//! cross-check mode (`VETL_LP_CROSSCHECK=1`, default-on in debug builds)
+//! runs the cold solver next to every warm hit and asserts this.
+
+use std::sync::OnceLock;
 
 use crate::problem::{LpProblem, LpSolution, Relation};
 
@@ -36,6 +59,17 @@ impl std::error::Error for LpError {}
 
 const EPS: f64 = 1e-9;
 
+/// Strict margin for accepting a warm basis. Primal values and reduced costs
+/// must clear this (scaled) bound, which certifies the stored basis is the
+/// *unique* optimal basis — any degeneracy or alternate optimum forces the
+/// exact cold path instead, because there Bland's rule is what picks the
+/// winner and only the cold solver runs Bland's rule.
+const WARM_MARGIN: f64 = 1e-7;
+
+/// Pivots smaller than this during the basis-system factorization mean the
+/// candidate basis is numerically singular.
+const SINGULAR: f64 = 1e-12;
+
 /// Dense simplex tableau.
 struct Tableau {
     /// `rows × cols` coefficient matrix; the last column is the RHS.
@@ -59,11 +93,11 @@ impl Tableau {
         for v in self.a[row].iter_mut() {
             *v *= inv;
         }
-        let pivot_row = self.a[row].clone();
-        for (r, arow) in self.a.iter_mut().enumerate() {
-            if r == row {
-                continue;
-            }
+        // Split borrows: the pivot row is borrowed immutably while every
+        // other row is eliminated in place — no per-pivot clone.
+        let (before, rest) = self.a.split_at_mut(row);
+        let (pivot_row, after) = rest.split_first_mut().expect("pivot row in range");
+        for arow in before.iter_mut().chain(after.iter_mut()) {
             let factor = arow[col];
             if factor.abs() > EPS {
                 for (v, &p) in arow.iter_mut().zip(pivot_row.iter()) {
@@ -127,13 +161,456 @@ impl Tableau {
     }
 }
 
-/// Solve a linear program with the two-phase primal simplex method.
+/// Per-row normalization of the constraint system: non-negative RHS, the
+/// relation after a possible sign flip, and the slack/surplus/artificial
+/// column assigned to the row. Shared by the cold tableau build, the
+/// canonical extraction, and the warm verification so all three see the
+/// exact same normalized data.
+struct NormRows {
+    n: usize,
+    n_slack: usize,
+    n_artificial: usize,
+    /// `(flip, normalized relation)` per row.
+    specs: Vec<(bool, Relation)>,
+    /// Slack/surplus column per row (`Le`/`Ge` rows only).
+    slack_col: Vec<Option<usize>>,
+    /// Artificial column per row (`Ge`/`Eq` rows only).
+    art_col: Vec<Option<usize>>,
+    /// Normalized right-hand side per row.
+    rhs: Vec<f64>,
+}
+
+impl NormRows {
+    fn build(problem: &LpProblem) -> Self {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        let mut specs = Vec::with_capacity(m);
+        let mut n_slack = 0;
+        let mut n_artificial = 0;
+        for c in &problem.constraints {
+            let flip = c.rhs < 0.0;
+            let rel = match (c.relation, flip) {
+                (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+                (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+                (Relation::Eq, _) => Relation::Eq,
+            };
+            match rel {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_artificial += 1;
+                }
+                Relation::Eq => n_artificial += 1,
+            }
+            specs.push((flip, rel));
+        }
+        let mut slack_col = Vec::with_capacity(m);
+        let mut art_col = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut slack_cursor = n;
+        let mut art_cursor = n + n_slack;
+        for (r, c) in problem.constraints.iter().enumerate() {
+            let (flip, rel) = specs[r];
+            rhs.push(if flip { -c.rhs } else { c.rhs });
+            match rel {
+                Relation::Le => {
+                    slack_col.push(Some(slack_cursor));
+                    art_col.push(None);
+                    slack_cursor += 1;
+                }
+                Relation::Ge => {
+                    slack_col.push(Some(slack_cursor));
+                    slack_cursor += 1;
+                    art_col.push(Some(art_cursor));
+                    art_cursor += 1;
+                }
+                Relation::Eq => {
+                    slack_col.push(None);
+                    art_col.push(Some(art_cursor));
+                    art_cursor += 1;
+                }
+            }
+        }
+        Self {
+            n,
+            n_slack,
+            n_artificial,
+            specs,
+            slack_col,
+            art_col,
+            rhs,
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Structural + slack/surplus columns; artificial columns live after.
+    fn n_real(&self) -> usize {
+        self.n + self.n_slack
+    }
+
+    /// One byte per row describing its normalization: `rel << 1 | flip`.
+    /// Two problems with equal patterns (and equal `n`) have structurally
+    /// interchangeable bases.
+    fn pattern(&self) -> Vec<u8> {
+        self.specs
+            .iter()
+            .map(|&(flip, rel)| {
+                let r = match rel {
+                    Relation::Le => 0u8,
+                    Relation::Ge => 1,
+                    Relation::Eq => 2,
+                };
+                (r << 1) | u8::from(flip)
+            })
+            .collect()
+    }
+
+    /// Visit the normalized nonzero entries of row `r` as `(col, val)`, in
+    /// the same order the dense tableau build accumulates them (structural
+    /// terms first, then slack/surplus, then artificial). Duplicate
+    /// structural columns are emitted repeatedly, matching the tableau's
+    /// `+=` accumulation.
+    fn for_each_entry(&self, problem: &LpProblem, r: usize, mut f: impl FnMut(usize, f64)) {
+        let (flip, rel) = self.specs[r];
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (v, coeff) in &problem.constraints[r].terms {
+            f(v.0, sign * coeff);
+        }
+        match rel {
+            Relation::Le => f(self.slack_col[r].expect("Le row has slack"), 1.0),
+            Relation::Ge => {
+                f(self.slack_col[r].expect("Ge row has surplus"), -1.0);
+                f(self.art_col[r].expect("Ge row has artificial"), 1.0);
+            }
+            Relation::Eq => f(self.art_col[r].expect("Eq row has artificial"), 1.0),
+        }
+    }
+
+    /// Objective coefficient of column `col` (zero for slack/surplus and
+    /// artificial columns).
+    fn objective_coeff(&self, problem: &LpProblem, col: usize) -> f64 {
+        if col < self.n {
+            problem.objective[col]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// LU factorization (Doolittle, partial pivoting) of the `m×m` basis matrix.
+/// Row selection is deterministic — strictly larger magnitude wins, first
+/// occurrence on ties — so repeated factorizations of the same basis produce
+/// identical bits.
+struct FactoredBasis {
+    m: usize,
+    /// Packed L (unit diagonal, below) and U (on/above diagonal).
+    lu: Vec<f64>,
+    /// Row swapped with `k` at elimination step `k`.
+    perm: Vec<usize>,
+}
+
+impl FactoredBasis {
+    /// Build and factor the basis matrix whose columns are `basis_cols`
+    /// (sorted ascending) of the normalized constraint system. Returns
+    /// `None` when the matrix is numerically singular.
+    fn factor(problem: &LpProblem, norm: &NormRows, basis_cols: &[usize]) -> Option<Self> {
+        let m = norm.m();
+        debug_assert_eq!(basis_cols.len(), m, "basis must have one column per row");
+        let mut lu = vec![0.0; m * m];
+        for r in 0..m {
+            norm.for_each_entry(problem, r, |col, val| {
+                if let Ok(j) = basis_cols.binary_search(&col) {
+                    lu[r * m + j] += val;
+                }
+            });
+        }
+        let mut perm = Vec::with_capacity(m);
+        for k in 0..m {
+            let mut p = k;
+            let mut best = lu[k * m + k].abs();
+            for i in (k + 1)..m {
+                let v = lu[i * m + k].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= SINGULAR {
+                return None;
+            }
+            if p != k {
+                for j in 0..m {
+                    lu.swap(k * m + j, p * m + j);
+                }
+            }
+            perm.push(p);
+            let inv = 1.0 / lu[k * m + k];
+            for i in (k + 1)..m {
+                let f = lu[i * m + k] * inv;
+                lu[i * m + k] = f;
+                if f != 0.0 {
+                    for j in (k + 1)..m {
+                        lu[i * m + j] -= f * lu[k * m + j];
+                    }
+                }
+            }
+        }
+        Some(Self { m, lu, perm })
+    }
+
+    /// Solve `B·x = b` in place.
+    fn solve(&self, b: &mut [f64]) {
+        let m = self.m;
+        for (k, &p) in self.perm.iter().enumerate() {
+            b.swap(k, p);
+        }
+        for i in 1..m {
+            let mut s = b[i];
+            let row = &self.lu[i * m..i * m + i];
+            for (j, &l) in row.iter().enumerate() {
+                s -= l * b[j];
+            }
+            b[i] = s;
+        }
+        for i in (0..m).rev() {
+            let mut s = b[i];
+            let row = &self.lu[i * m + i + 1..(i + 1) * m];
+            for (k, &u) in row.iter().enumerate() {
+                s -= u * b[i + 1 + k];
+            }
+            b[i] = s / self.lu[i * m + i];
+        }
+    }
+
+    /// Solve `Bᵀ·x = c` in place (used for the dual vector).
+    fn solve_transposed(&self, c: &mut [f64]) {
+        let m = self.m;
+        // Bᵀ = Uᵀ Lᵀ P: forward with Uᵀ, backward with unit-diagonal Lᵀ,
+        // then undo the permutation.
+        for i in 0..m {
+            let mut s = c[i];
+            for (j, &cj) in c.iter().enumerate().take(i) {
+                s -= self.lu[j * m + i] * cj;
+            }
+            c[i] = s / self.lu[i * m + i];
+        }
+        for i in (0..m).rev() {
+            let mut s = c[i];
+            for (j, &cj) in c.iter().enumerate().skip(i + 1) {
+                s -= self.lu[j * m + i] * cj;
+            }
+            c[i] = s;
+        }
+        for (k, &p) in self.perm.iter().enumerate().rev() {
+            c.swap(k, p);
+        }
+    }
+}
+
+/// Canonical solution extraction: solve `B·x_B = b` from the original
+/// normalized constraint data for the given (sorted) basis and read off the
+/// structural values, clamped at zero. Both the cold and the warm path end
+/// here, which is what makes warm == cold bitwise whenever they agree on the
+/// basis. Returns `None` when the basis matrix is singular (redundant rows
+/// can leave a zero-level artificial basic; callers fall back to tableau
+/// values).
+fn extract_values(problem: &LpProblem, norm: &NormRows, basis_cols: &[usize]) -> Option<Vec<f64>> {
+    let factored = FactoredBasis::factor(problem, norm, basis_cols)?;
+    let mut x = norm.rhs.clone();
+    factored.solve(&mut x);
+    let mut values = vec![0.0; norm.n];
+    for (j, &col) in basis_cols.iter().enumerate() {
+        if col < norm.n {
+            values[col] = x[j].max(0.0);
+        }
+    }
+    Some(values)
+}
+
+// ---------------------------------------------------------------------------
+// Warm-started solving
+// ---------------------------------------------------------------------------
+
+/// Reusable solver state: the optimal basis of the previous [`solve_warm`]
+/// call plus the shape signature of the problem it solved.
 ///
-/// Returns the optimal solution or an [`LpError`]. A problem with zero
-/// variables trivially solves to the empty assignment.
-pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+/// The basis is invalidated (forcing a cold solve that stores a fresh one)
+/// whenever the variable count or the per-row normalization pattern changes,
+/// when it contains an artificial column (redundant rows), when the basis
+/// matrix turns singular, or when the strict optimality margins fail on the
+/// new problem — i.e. on any degeneracy or drift large enough to move the
+/// optimal vertex.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LpBasis {
+    /// Structural variable count of the problem the basis belongs to.
+    n: usize,
+    /// Per-row normalization pattern (`rel << 1 | flip`).
+    pattern: Vec<u8>,
+    /// Sorted basic column indices (structural/slack/artificial space).
+    cols: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LpBasis {
+    /// An empty basis; the first [`solve_warm`] call is a cold solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Warm solves that verified the stored basis and skipped the simplex.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Warm solves that fell back to the exact cold path.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// True before the first successful solve stores a basis.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty() && self.pattern.is_empty() && self.n == 0
+    }
+
+    /// Serialize to a flat word vector (for embedding in checkpoints).
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut w = Vec::with_capacity(5 + self.pattern.len() + self.cols.len());
+        w.push(1); // layout version
+        w.push(self.n as u64);
+        w.push(self.pattern.len() as u64);
+        w.extend(self.pattern.iter().map(|&p| p as u64));
+        w.push(self.cols.len() as u64);
+        w.extend(self.cols.iter().map(|&c| c as u64));
+        w.push(self.hits);
+        w.push(self.misses);
+        w
+    }
+
+    /// Inverse of [`to_words`](Self::to_words); `None` on malformed input.
+    pub fn from_words(words: &[u64]) -> Option<Self> {
+        let mut it = words.iter().copied();
+        if it.next()? != 1 {
+            return None;
+        }
+        let n = usize::try_from(it.next()?).ok()?;
+        let np = usize::try_from(it.next()?).ok()?;
+        if np > it.len() {
+            return None; // corrupt length — refuse before allocating
+        }
+        let mut pattern = Vec::with_capacity(np);
+        for _ in 0..np {
+            pattern.push(u8::try_from(it.next()?).ok()?);
+        }
+        let nc = usize::try_from(it.next()?).ok()?;
+        if nc > it.len() {
+            return None; // corrupt length — refuse before allocating
+        }
+        let mut cols = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            cols.push(usize::try_from(it.next()?).ok()?);
+        }
+        let hits = it.next()?;
+        let misses = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            n,
+            pattern,
+            cols,
+            hits,
+            misses,
+        })
+    }
+}
+
+/// Whether every warm hit must be re-verified against a full cold solve.
+/// Controlled by `VETL_LP_CROSSCHECK` (`1`/`0`); defaults to **on** in debug
+/// builds so the entire test suite exercises the bitwise guarantee.
+fn crosscheck_enabled() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| match std::env::var("VETL_LP_CROSSCHECK") {
+        Ok(v) => !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
+/// Verify the stored basis against the new problem. On success the basis is
+/// the unique optimal basis and the returned solution equals what the cold
+/// solver would extract, bit for bit.
+fn warm_attempt(problem: &LpProblem, norm: &NormRows, cols: &[usize]) -> Option<LpSolution> {
+    let m = norm.m();
+    let n_real = norm.n_real();
+    if cols.len() != m || cols.iter().any(|&c| c >= n_real) {
+        return None;
+    }
+    let factored = FactoredBasis::factor(problem, norm, cols)?;
+
+    // Primal: B·x_B = b must be strictly positive (feasible + nondegenerate).
+    let mut x = norm.rhs.clone();
+    factored.solve(&mut x);
+    let b_scale = 1.0 + norm.rhs.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    if x.iter().any(|&v| v <= WARM_MARGIN * b_scale) {
+        return None;
+    }
+
+    // Dual: Bᵀ·y = c_B, then every nonbasic reduced cost c_j − yᵀA_j must be
+    // strictly negative (optimal + no alternate optimum).
+    let mut y: Vec<f64> = cols
+        .iter()
+        .map(|&c| norm.objective_coeff(problem, c))
+        .collect();
+    factored.solve_transposed(&mut y);
+    let mut yta = vec![0.0; n_real];
+    for (r, &yr) in y.iter().enumerate() {
+        if yr != 0.0 {
+            norm.for_each_entry(problem, r, |col, val| {
+                if col < n_real {
+                    yta[col] += yr * val;
+                }
+            });
+        }
+    }
+    for (col, &yta_col) in yta.iter().enumerate() {
+        if cols.binary_search(&col).is_ok() {
+            continue;
+        }
+        let c_j = norm.objective_coeff(problem, col);
+        let reduced = c_j - yta_col;
+        if reduced >= -WARM_MARGIN * (1.0 + c_j.abs() + yta_col.abs()) {
+            return None;
+        }
+    }
+
+    // Certified: read the solution off the already-solved basis system using
+    // the canonical extraction rule (clamp at zero, objective recomputed
+    // from the structural values) — identical to the cold path's epilogue.
+    let mut values = vec![0.0; norm.n];
+    for (j, &col) in cols.iter().enumerate() {
+        if col < norm.n {
+            values[col] = x[j].max(0.0);
+        }
+    }
+    let objective = problem.objective_value(&values);
+    Some(LpSolution {
+        values,
+        objective,
+        pivots: 0,
+    })
+}
+
+/// Solve a linear program, seeding from (and updating) a stored basis.
+///
+/// Behaviourally identical to [`solve`] — same `Ok` bits, same errors — but
+/// when `basis` still verifies as the unique optimal basis of the new
+/// problem the simplex is skipped entirely. Pass a fresh [`LpBasis`] for a
+/// cold solve that primes the state.
+pub fn solve_warm(problem: &LpProblem, basis: &mut LpBasis) -> Result<LpSolution, LpError> {
     let n = problem.num_vars();
-    let m = problem.num_constraints();
     if n == 0 {
         return Ok(LpSolution {
             values: Vec::new(),
@@ -141,66 +618,96 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             pivots: 0,
         });
     }
-
-    // Count auxiliary columns. Each row gets either a slack (≤), a surplus +
-    // artificial (≥) or an artificial (=) after RHS normalization.
-    let mut n_slack = 0;
-    let mut n_artificial = 0;
-    let mut row_specs = Vec::with_capacity(m);
-    for c in &problem.constraints {
-        let flip = c.rhs < 0.0;
-        let rel = match (c.relation, flip) {
-            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
-            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
-            (Relation::Eq, _) => Relation::Eq,
-        };
-        match rel {
-            Relation::Le => n_slack += 1,
-            Relation::Ge => {
-                n_slack += 1;
-                n_artificial += 1;
+    let norm = NormRows::build(problem);
+    let pattern = norm.pattern();
+    if basis.n == n && basis.pattern == pattern {
+        if let Some(sol) = warm_attempt(problem, &norm, &basis.cols) {
+            basis.hits += 1;
+            if crosscheck_enabled() {
+                let cold = solve_cold(problem, &norm)
+                    .expect("warm solve verified a basis on a problem the cold solver rejects")
+                    .0;
+                assert!(
+                    cold.values.len() == sol.values.len()
+                        && cold
+                            .values
+                            .iter()
+                            .zip(&sol.values)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                        && cold.objective.to_bits() == sol.objective.to_bits(),
+                    "warm LP solve diverged from cold: warm {:?} (obj {}), cold {:?} (obj {})",
+                    sol.values,
+                    sol.objective,
+                    cold.values,
+                    cold.objective,
+                );
             }
-            Relation::Eq => n_artificial += 1,
+            return Ok(sol);
         }
-        row_specs.push((flip, rel));
     }
+    basis.misses += 1;
+    let (sol, cols) = solve_cold(problem, &norm)?;
+    basis.n = n;
+    basis.pattern = pattern;
+    basis.cols = cols;
+    Ok(sol)
+}
 
-    let n_real = n + n_slack;
-    let cols = n_real + n_artificial + 1; // +1 for RHS
+/// Solve a linear program with the two-phase primal simplex method.
+///
+/// Returns the optimal solution or an [`LpError`]. A problem with zero
+/// variables trivially solves to the empty assignment.
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    if problem.num_vars() == 0 {
+        return Ok(LpSolution {
+            values: Vec::new(),
+            objective: 0.0,
+            pivots: 0,
+        });
+    }
+    let norm = NormRows::build(problem);
+    solve_cold(problem, &norm).map(|(sol, _)| sol)
+}
+
+/// The exact two-phase simplex. Returns the solution together with the
+/// sorted final basis columns (for storing in an [`LpBasis`]).
+fn solve_cold(problem: &LpProblem, norm: &NormRows) -> Result<(LpSolution, Vec<usize>), LpError> {
+    let n = norm.n;
+    let m = norm.m();
+    let n_real = norm.n_real();
+    let cols = n_real + norm.n_artificial + 1; // +1 for RHS
     let rhs_col = cols - 1;
 
     let mut a = vec![vec![0.0; cols]; m];
     let mut basis = vec![usize::MAX; m];
-    let mut slack_cursor = n;
-    let mut art_cursor = n_real;
     let mut artificial_rows = Vec::new();
 
-    for (r, c) in problem.constraints.iter().enumerate() {
-        let (flip, rel) = row_specs[r];
+    for (r, arow) in a.iter_mut().enumerate() {
+        let (flip, rel) = norm.specs[r];
         let sign = if flip { -1.0 } else { 1.0 };
-        for (v, coeff) in &c.terms {
-            a[r][v.0] += sign * coeff;
+        for (v, coeff) in &problem.constraints[r].terms {
+            arow[v.0] += sign * coeff;
         }
-        a[r][rhs_col] = sign * c.rhs;
+        arow[rhs_col] = norm.rhs[r];
         match rel {
             Relation::Le => {
-                a[r][slack_cursor] = 1.0;
-                basis[r] = slack_cursor;
-                slack_cursor += 1;
+                let s = norm.slack_col[r].expect("Le row has slack");
+                arow[s] = 1.0;
+                basis[r] = s;
             }
             Relation::Ge => {
-                a[r][slack_cursor] = -1.0; // surplus
-                slack_cursor += 1;
-                a[r][art_cursor] = 1.0;
-                basis[r] = art_cursor;
+                let s = norm.slack_col[r].expect("Ge row has surplus");
+                arow[s] = -1.0;
+                let art = norm.art_col[r].expect("Ge row has artificial");
+                arow[art] = 1.0;
+                basis[r] = art;
                 artificial_rows.push(r);
-                art_cursor += 1;
             }
             Relation::Eq => {
-                a[r][art_cursor] = 1.0;
-                basis[r] = art_cursor;
+                let art = norm.art_col[r].expect("Eq row has artificial");
+                arow[art] = 1.0;
+                basis[r] = art;
                 artificial_rows.push(r);
-                art_cursor += 1;
             }
         }
     }
@@ -217,7 +724,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     // Phase 1: minimize the sum of artificials ⇔ maximize -(sum). The z-row
     // stores negated reduced costs: start with +1 on artificial columns and
     // eliminate basic artificial columns from the row.
-    if n_artificial > 0 {
+    if norm.n_artificial > 0 {
         for c in n_real..(cols - 1) {
             tab.z[c] = 1.0;
         }
@@ -259,32 +766,46 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             }
         }
     }
-    for r in 0..m {
-        let b = tab.basis[r];
-        if b < cols - 1 {
-            let factor = tab.z[b];
-            if factor.abs() > EPS {
-                let row = tab.a[r].clone();
-                for (v, &p) in tab.z.iter_mut().zip(row.iter()) {
-                    *v -= factor * p;
+    {
+        // Disjoint field borrows: z is edited against immutably borrowed
+        // tableau rows — no per-row clone.
+        let Tableau { a, z, basis, .. } = &mut tab;
+        for (r, arow) in a.iter().enumerate() {
+            let b = basis[r];
+            if b < cols - 1 {
+                let factor = z[b];
+                if factor.abs() > EPS {
+                    for (v, &p) in z.iter_mut().zip(arow.iter()) {
+                        *v -= factor * p;
+                    }
                 }
             }
         }
     }
     tab.optimize(n_real, max_pivots)?;
 
-    let mut values = vec![0.0; n];
-    for (r, &b) in tab.basis.iter().enumerate() {
-        if b < n {
-            values[b] = tab.a[r][rhs_col].max(0.0);
+    let mut final_basis = tab.basis.clone();
+    final_basis.sort_unstable();
+    // Canonical extraction from the original constraint data; fall back to
+    // tableau values when the basis matrix is singular (redundant rows).
+    let values = extract_values(problem, norm, &final_basis).unwrap_or_else(|| {
+        let mut values = vec![0.0; n];
+        for (r, &b) in tab.basis.iter().enumerate() {
+            if b < n {
+                values[b] = tab.a[r][rhs_col].max(0.0);
+            }
         }
-    }
+        values
+    });
     let objective = problem.objective_value(&values);
-    Ok(LpSolution {
-        values,
-        objective,
-        pivots: tab.pivots,
-    })
+    Ok((
+        LpSolution {
+            values,
+            objective,
+            pivots: tab.pivots,
+        },
+        final_basis,
+    ))
 }
 
 #[cfg(test)]
@@ -440,5 +961,141 @@ mod tests {
         let s = solve(&p).unwrap();
         assert_close(s.value(x), 1.5);
         assert_close(s.value(y), 0.5);
+    }
+
+    // --- warm-start tests -------------------------------------------------
+
+    /// A planner-shaped LP whose coefficients drift with `t`.
+    fn drifting_planner_lp(t: f64) -> LpProblem {
+        let r = [0.6 + 0.02 * t, 0.4 - 0.02 * t];
+        let qual = [[0.5, 0.8, 1.0], [0.2, 0.6 + 0.01 * t, 0.95]];
+        let cost = [1.0, 2.0, 4.0];
+        let budget = 2.3 + 0.05 * t;
+        let mut p = LpProblem::new();
+        let mut vars = [[None; 3]; 2];
+        for c in 0..2 {
+            for k in 0..3 {
+                vars[c][k] = Some(p.add_var(format!("a_{k}_{c}"), r[c] * qual[c][k]));
+            }
+        }
+        let budget_terms: Vec<_> = (0..2)
+            .flat_map(|c| (0..3).map(move |k| (c, k)))
+            .map(|(c, k)| (vars[c][k].unwrap(), r[c] * cost[k]))
+            .collect();
+        p.add_constraint(budget_terms, Relation::Le, budget);
+        for row in vars.iter().take(2) {
+            let terms: Vec<_> = row.iter().map(|v| (v.unwrap(), 1.0)).collect();
+            p.add_constraint(terms, Relation::Eq, 1.0);
+        }
+        p
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_bitwise_on_drifting_sequence() {
+        let mut basis = LpBasis::new();
+        for i in 0..20 {
+            let p = drifting_planner_lp(i as f64 * 0.1);
+            let warm = solve_warm(&p, &mut basis).unwrap();
+            let cold = solve(&p).unwrap();
+            assert_eq!(warm.values.len(), cold.values.len());
+            for (w, c) in warm.values.iter().zip(&cold.values) {
+                assert_eq!(w.to_bits(), c.to_bits(), "value bits diverged");
+            }
+            assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        }
+        assert!(
+            basis.hits() > 0,
+            "slow drift should re-certify the stored basis ({} misses)",
+            basis.misses()
+        );
+    }
+
+    #[test]
+    fn warm_hit_skips_the_simplex() {
+        let p = drifting_planner_lp(0.0);
+        let mut basis = LpBasis::new();
+        let first = solve_warm(&p, &mut basis).unwrap();
+        assert!(first.pivots > 0, "cold prime runs the simplex");
+        assert_eq!(basis.misses(), 1);
+        let second = solve_warm(&p, &mut basis).unwrap();
+        assert_eq!(second.pivots, 0, "warm hit must not pivot");
+        assert_eq!(basis.hits(), 1);
+        for (a, b) in first.values.iter().zip(&second.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn shape_change_invalidates_the_basis() {
+        let mut basis = LpBasis::new();
+        let p = drifting_planner_lp(0.0);
+        solve_warm(&p, &mut basis).unwrap();
+        // Different variable count: must cold-solve, not mis-apply the basis.
+        let mut q = LpProblem::new();
+        let x = q.add_var("x", 3.0);
+        q.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        let s = solve_warm(&q, &mut basis).unwrap();
+        assert_close(s.value(x), 4.0);
+        assert_eq!(basis.misses(), 2);
+        assert_eq!(basis.hits(), 0);
+    }
+
+    #[test]
+    fn degenerate_problems_fall_back_to_cold() {
+        // Alternate optima (two equally-priced configs): the strict margin
+        // must reject the warm basis every time rather than risk picking a
+        // different vertex than Bland's rule would.
+        let mut p = LpProblem::new();
+        let a = p.add_var("a", 1.0);
+        let b = p.add_var("b", 1.0);
+        p.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Eq, 1.0);
+        let mut basis = LpBasis::new();
+        let s1 = solve_warm(&p, &mut basis).unwrap();
+        let s2 = solve_warm(&p, &mut basis).unwrap();
+        assert_eq!(basis.hits(), 0, "degenerate optimum must never warm-hit");
+        for (x, y) in s1.values.iter().zip(&s2.values) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_errors_match_cold_errors() {
+        let mut basis = LpBasis::new();
+        let mut p = LpProblem::new();
+        let x = p.add_var("x", 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve_warm(&p, &mut basis).unwrap_err(), LpError::Infeasible);
+
+        let mut q = LpProblem::new();
+        let x = q.add_var("x", 1.0);
+        let y = q.add_var("y", 0.0);
+        q.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(solve_warm(&q, &mut basis).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn basis_words_round_trip() {
+        let mut basis = LpBasis::new();
+        let p = drifting_planner_lp(1.0);
+        solve_warm(&p, &mut basis).unwrap();
+        solve_warm(&p, &mut basis).unwrap();
+        let words = basis.to_words();
+        let back = LpBasis::from_words(&words).unwrap();
+        assert_eq!(back, basis);
+        // A restored basis keeps warm-hitting.
+        let mut restored = back;
+        let s = solve_warm(&p, &mut restored).unwrap();
+        assert_eq!(s.pivots, 0);
+        assert!(LpBasis::from_words(&words[..words.len() - 1]).is_none());
+        assert!(LpBasis::from_words(&[2, 0, 0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn empty_basis_reports_empty() {
+        assert!(LpBasis::new().is_empty());
+        let mut basis = LpBasis::new();
+        solve_warm(&drifting_planner_lp(0.0), &mut basis).unwrap();
+        assert!(!basis.is_empty());
     }
 }

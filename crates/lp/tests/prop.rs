@@ -1,7 +1,7 @@
 //! Property tests for the LP and knapsack solvers.
 
 use proptest::prelude::*;
-use vetl_lp::{solve, LpError, LpProblem, Relation};
+use vetl_lp::{solve, solve_warm, LpBasis, LpError, LpProblem, Relation};
 
 proptest! {
     /// Randomized planner-shaped LPs (k configs × c categories): the solve
@@ -57,6 +57,90 @@ proptest! {
             let total: f64 = row.iter().map(|&v| s.value(v)).sum();
             prop_assert!((total - 1.0).abs() < 1e-6);
         }
+    }
+
+    /// Warm-started solves over a randomized *drifting* problem sequence —
+    /// the planner's epoch-to-epoch shape, where qualities and budget move
+    /// a little each step — are bitwise identical to cold solves: same
+    /// value bits, same objective bits, and a basis whose hit/miss ledger
+    /// accounts for every step. A warm hit must also certify the carried
+    /// basis without running a single pivot.
+    #[test]
+    fn warm_solves_match_cold_bitwise_on_drifting_sequences(
+        n_k in 2usize..6,
+        n_c in 1usize..5,
+        quals in prop::collection::vec(0.05f64..1.0, 30),
+        drifts in prop::collection::vec(-0.02f64..0.02, 10),
+        budget_scale in 0.15f64..0.9,
+    ) {
+        let cost = |k: usize| 1.0 + 3.0 * k as f64;
+        let r = vec![1.0 / n_c as f64; n_c];
+        let base_qual: Vec<Vec<f64>> = (0..n_c)
+            .map(|c| {
+                let mut col: Vec<f64> =
+                    (0..n_k).map(|k| quals[(c * n_k + k) % quals.len()]).collect();
+                col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                col
+            })
+            .collect();
+
+        let build = |step: usize, drift: f64| {
+            // Qualities shear slightly (more at higher k, preserving the
+            // sorted order) and the budget creeps, the way consecutive
+            // epochs drift in the planner.
+            let budget = cost(0)
+                + (budget_scale + 0.01 * step as f64) * (cost(n_k - 1) - cost(0));
+            let mut lp = LpProblem::new();
+            let mut vars = vec![vec![]; n_c];
+            for (c, row) in vars.iter_mut().enumerate() {
+                for (k, &q) in base_qual[c].iter().enumerate() {
+                    let q = (q + drift * (k as f64 + 1.0) / n_k as f64).clamp(0.01, 2.0);
+                    row.push(lp.add_var(format!("a{k}_{c}"), r[c] * q));
+                }
+            }
+            let mut budget_terms = Vec::new();
+            for (c, row) in vars.iter().enumerate() {
+                for (k, &var) in row.iter().enumerate() {
+                    budget_terms.push((var, r[c] * cost(k)));
+                }
+            }
+            lp.add_constraint(budget_terms, Relation::Le, budget);
+            for row in &vars {
+                let terms: Vec<_> = row.iter().map(|&v| (v, 1.0)).collect();
+                lp.add_constraint(terms, Relation::Eq, 1.0);
+            }
+            lp
+        };
+
+        let mut basis = LpBasis::new();
+        for (step, &drift) in drifts.iter().enumerate() {
+            let lp = build(step, drift);
+            let warm = solve_warm(&lp, &mut basis).expect("feasible drifting LP");
+            let cold = solve(&lp).expect("feasible drifting LP");
+            prop_assert_eq!(
+                warm.objective.to_bits(),
+                cold.objective.to_bits(),
+                "step {}: objective bits",
+                step
+            );
+            prop_assert_eq!(warm.values.len(), cold.values.len());
+            for (i, (w, c)) in warm.values.iter().zip(&cold.values).enumerate() {
+                prop_assert_eq!(
+                    w.to_bits(),
+                    c.to_bits(),
+                    "step {}: value {} bits",
+                    step,
+                    i
+                );
+            }
+            if warm.pivots == 0 && cold.pivots > 0 {
+                // Pivot-free warm solves only happen on certified hits.
+                prop_assert!(basis.hits() > 0, "step {}: pivot-free but no hit", step);
+            }
+        }
+        // Every step is accounted as exactly one hit or one miss.
+        prop_assert_eq!(basis.hits() + basis.misses(), drifts.len() as u64);
+        prop_assert!(!basis.is_empty(), "the basis carries the last optimum");
     }
 
     /// Contradictory bounds must be reported infeasible, never mis-solved.

@@ -266,17 +266,55 @@ fn kmeans_plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec
     centers
 }
 
+/// Nearest-center scan, blocked four centers per pass: one load of each
+/// point coordinate feeds four independent distance chains (`k` defaults
+/// to 4, so the common case is one fused pass). Each chain accumulates in
+/// ascending dimension order — bit-identical to [`squared_distance`] — and
+/// the argmin scan keeps the strict `<` in ascending center order, so ties
+/// resolve to the lowest index exactly as the scalar loop did.
 fn nearest_center(point: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
-    for (c, center) in centers.iter().enumerate() {
+    let mut quads = centers.chunks_exact(4);
+    let mut c0 = 0;
+    for quad in &mut quads {
+        let ds = squared_distance4(point, &quad[0], &quad[1], &quad[2], &quad[3]);
+        for (i, d) in ds.into_iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best = c0 + i;
+            }
+        }
+        c0 += 4;
+    }
+    for (i, center) in quads.remainder().iter().enumerate() {
         let d = squared_distance(point, center);
         if d < best_d {
             best_d = d;
-            best = c;
+            best = c0 + i;
         }
     }
     (best, best_d)
+}
+
+/// Four squared Euclidean distances from `p` at once. Every distance adds
+/// in ascending dimension order, so each result bit-matches a standalone
+/// [`squared_distance`] call; the four chains are independent and overlap.
+fn squared_distance4(p: &[f64], a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> [f64; 4] {
+    let n = p.len().min(a.len()).min(b.len()).min(c.len()).min(d.len());
+    let (p, a, b, c, d) = (&p[..n], &a[..n], &b[..n], &c[..n], &d[..n]);
+    let mut out = [0.0f64; 4];
+    for j in 0..n {
+        let ta = p[j] - a[j];
+        out[0] += ta * ta;
+        let tb = p[j] - b[j];
+        out[1] += tb * tb;
+        let tc = p[j] - c[j];
+        out[2] += tc * tc;
+        let td = p[j] - d[j];
+        out[3] += td * td;
+    }
+    out
 }
 
 /// Squared Euclidean distance between two equal-length vectors.

@@ -1,11 +1,58 @@
 //! A minimal dense row-major matrix used by the neural network and the GMM.
 //!
 //! Only the operations the rest of the crate needs are implemented. The
-//! matrices involved are tiny (at most a few thousand elements), so the
-//! implementation favours obviousness over cache blocking or SIMD.
+//! matrices involved are small (at most a few thousand elements), but the
+//! matvec kernels sit on the online hot path (every segment classification
+//! runs the forecaster network), so they are written in an explicit
+//! eight-row **blocked** form: one load of `x[j]` feeds eight independent
+//! accumulator chains, which the CPU overlaps freely because no chain
+//! depends on another.
+//!
+//! The blocking never reorders a single output element's additions — each
+//! output still accumulates its dot product in ascending column (or row)
+//! order, so every result is **bit-identical** to the naive scalar loop
+//! (property-tested in `tests/prop.rs`). That is the repo-wide determinism
+//! bar: an optimization may change how fast bits arrive, never which bits.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Output rows processed per pass of the blocked kernels.
+const BLOCK: usize = 8;
+
+/// Split a `BLOCK * cols` slice into its eight consecutive row slices.
+#[inline(always)]
+fn split8(rows: &[f64], cols: usize) -> [&[f64]; BLOCK] {
+    let (r0, rest) = rows.split_at(cols);
+    let (r1, rest) = rest.split_at(cols);
+    let (r2, rest) = rest.split_at(cols);
+    let (r3, rest) = rest.split_at(cols);
+    let (r4, rest) = rest.split_at(cols);
+    let (r5, rest) = rest.split_at(cols);
+    let (r6, rest) = rest.split_at(cols);
+    let (r7, _) = rest.split_at(cols);
+    [r0, r1, r2, r3, r4, r5, r6, r7]
+}
+
+/// Eight dot products against `x`, one per row of the block. Each chain
+/// adds in ascending column order — bit-identical to eight scalar dots —
+/// while the eight chains stay independent for instruction-level overlap.
+#[inline(always)]
+fn dot8(rows: &[f64], cols: usize, x: &[f64]) -> [f64; BLOCK] {
+    let [r0, r1, r2, r3, r4, r5, r6, r7] = split8(rows, cols);
+    let mut a = [0.0f64; BLOCK];
+    for (j, &xj) in x.iter().enumerate() {
+        a[0] += r0[j] * xj;
+        a[1] += r1[j] * xj;
+        a[2] += r2[j] * xj;
+        a[3] += r3[j] * xj;
+        a[4] += r4[j] * xj;
+        a[5] += r5[j] * xj;
+        a[6] += r6[j] * xj;
+        a[7] += r7[j] * xj;
+    }
+    a
+}
 
 /// Dense row-major `rows × cols` matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -93,18 +140,32 @@ impl Matrix {
     /// Matrix-vector product writing into a caller-provided buffer
     /// (allocation-free hot path for NN inference).
     ///
-    /// Row iteration uses `chunks_exact`, which gives the compiler
-    /// constant-stride slices it can bounds-check once and auto-vectorize.
+    /// Blocked eight output rows per pass ([`dot8`]); the tail rows fall
+    /// back to the scalar loop the block is bit-identical to.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         assert_eq!(out.len(), self.rows, "output dimension mismatch in matvec");
-        for (row, o) in self.data.chunks_exact(self.cols).zip(out.iter_mut()) {
+        let cols = self.cols;
+        let mut rows = self.data.chunks_exact(cols * BLOCK);
+        let mut outs = out.chunks_exact_mut(BLOCK);
+        for (rb, ob) in (&mut rows).zip(&mut outs) {
+            ob.copy_from_slice(&dot8(rb, cols, x));
+        }
+        for (row, o) in rows
+            .remainder()
+            .chunks_exact(cols)
+            .zip(outs.into_remainder())
+        {
             *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
     }
 
     /// Fused `act_input = self * x + bias`, the network's per-layer affine
     /// step in one pass over the weights.
+    ///
+    /// Blocked like [`matvec_into`](Self::matvec_into); the bias is added
+    /// *after* the dot product settles, exactly where the scalar form adds
+    /// it, so the blocking stays bit-transparent.
     pub fn matvec_bias_into(&self, x: &[f64], bias: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec_bias");
         assert_eq!(
@@ -117,17 +178,32 @@ impl Matrix {
             self.rows,
             "output dimension mismatch in matvec_bias"
         );
-        for ((row, o), b) in self
-            .data
-            .chunks_exact(self.cols)
-            .zip(out.iter_mut())
-            .zip(bias)
+        let cols = self.cols;
+        let mut rows = self.data.chunks_exact(cols * BLOCK);
+        let mut outs = out.chunks_exact_mut(BLOCK);
+        let mut biases = bias.chunks_exact(BLOCK);
+        for ((rb, ob), bb) in (&mut rows).zip(&mut outs).zip(&mut biases) {
+            let d = dot8(rb, cols, x);
+            for k in 0..BLOCK {
+                ob[k] = bb[k] + d[k];
+            }
+        }
+        for ((row, o), b) in rows
+            .remainder()
+            .chunks_exact(cols)
+            .zip(outs.into_remainder())
+            .zip(biases.remainder())
         {
             *o = b + row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>();
         }
     }
 
     /// Transposed matrix-vector product `selfᵀ * x` (used by backprop).
+    ///
+    /// Blocked eight *input* rows per outer pass: each output element takes
+    /// its eight chained additions in ascending row order — the same chain
+    /// the row-at-a-time loop builds — while `out` is loaded and stored
+    /// once per block instead of once per row.
     pub fn matvec_transposed_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(
             x.len(),
@@ -136,7 +212,25 @@ impl Matrix {
         );
         assert_eq!(out.len(), self.cols, "output dimension mismatch");
         out.iter_mut().for_each(|o| *o = 0.0);
-        for (row, &xr) in self.data.chunks_exact(self.cols).zip(x.iter()) {
+        let cols = self.cols;
+        let mut rows = self.data.chunks_exact(cols * BLOCK);
+        let mut xs = x.chunks_exact(BLOCK);
+        for (rb, xb) in (&mut rows).zip(&mut xs) {
+            let [r0, r1, r2, r3, r4, r5, r6, r7] = split8(rb, cols);
+            for (c, o) in out.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += r0[c] * xb[0];
+                acc += r1[c] * xb[1];
+                acc += r2[c] * xb[2];
+                acc += r3[c] * xb[3];
+                acc += r4[c] * xb[4];
+                acc += r5[c] * xb[5];
+                acc += r6[c] * xb[6];
+                acc += r7[c] * xb[7];
+                *o = acc;
+            }
+        }
+        for (row, &xr) in rows.remainder().chunks_exact(cols).zip(xs.remainder()) {
             for (o, &w) in out.iter_mut().zip(row) {
                 *o += w * xr;
             }

@@ -70,3 +70,104 @@ proptest! {
             < Loss::CrossEntropy.value(&bad, &target));
     }
 }
+
+// ---- Blocked kernels == scalar reference kernels, bitwise. ----
+//
+// The matrix / kmeans hot loops run in 8-wide (4-wide for kmeans) blocked
+// form. The bar is *bit identity* with the naive scalar loops they replaced:
+// each output element's accumulation chain must be untouched, so the blocked
+// kernels may reorder work across outputs but never within one.
+
+proptest! {
+    /// `matvec_into`, `matvec_bias_into`, and `matvec_transposed_into` match
+    /// the naive per-row scalar loops bit for bit on random shapes —
+    /// including rows/cols that are not multiples of the 8-wide block, which
+    /// exercise the remainder paths.
+    #[test]
+    fn blocked_matvec_kernels_match_scalar_reference_bitwise(
+        rows in 1usize..21,
+        cols in 1usize..21,
+        pool in prop::collection::vec(-3.0f64..3.0, 64),
+    ) {
+        use vetl_ml::Matrix;
+
+        // Deterministic dense data drawn from the pool (shapes vary, the
+        // pool is fixed-size).
+        let at = |i: usize| pool[i % pool.len()] + (i / pool.len()) as f64 * 0.125;
+        let m = Matrix::from_fn(rows, cols, |r, c| at(r * cols + c));
+        let x: Vec<f64> = (0..cols).map(|c| at(1000 + c)).collect();
+        let bias: Vec<f64> = (0..rows).map(|r| at(2000 + r)).collect();
+        let xt: Vec<f64> = (0..rows).map(|r| at(3000 + r)).collect();
+
+        // Scalar reference: one sequential multiply-add chain per output.
+        let mut got = vec![0.0; rows];
+        m.matvec_into(&x, &mut got);
+        for (r, &g) in got.iter().enumerate() {
+            let want: f64 = m.row(r).iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert_eq!(g.to_bits(), want.to_bits(), "matvec row {}", r);
+        }
+
+        let mut got_bias = vec![0.0; rows];
+        m.matvec_bias_into(&x, &bias, &mut got_bias);
+        for r in 0..rows {
+            let want: f64 =
+                bias[r] + m.row(r).iter().zip(&x).map(|(a, b)| a * b).sum::<f64>();
+            prop_assert_eq!(got_bias[r].to_bits(), want.to_bits(), "bias row {}", r);
+        }
+
+        // Transposed: ascending-row accumulation into each output column.
+        let mut want_t = vec![0.0; cols];
+        for (r, &xr) in xt.iter().enumerate() {
+            for (o, &w) in want_t.iter_mut().zip(m.row(r)) {
+                *o += w * xr;
+            }
+        }
+        let mut got_t = vec![0.0; cols];
+        m.matvec_transposed_into(&xt, &mut got_t);
+        for c in 0..cols {
+            prop_assert_eq!(got_t[c].to_bits(), want_t[c].to_bits(), "transposed col {}", c);
+        }
+    }
+
+    /// The 4-wide blocked nearest-center scan behind `KMeans::predict` (and
+    /// the inertia it accumulates during `fit`) matches a scalar strict-`<`
+    /// argmin over `squared_distance`, bit for bit — `k` values around the
+    /// quad width exercise both the blocked pass and the remainder scan.
+    #[test]
+    fn blocked_nearest_center_matches_scalar_argmin_bitwise(
+        dim in 1usize..9,
+        n_pts in 12usize..40,
+        pool in prop::collection::vec(-5.0f64..5.0, 72),
+        k in 1usize..10,
+    ) {
+        use vetl_ml::kmeans::squared_distance;
+
+        // Points drawn from the fixed-size pool (the shape varies, the pool
+        // does not), de-duplicated by a small index-dependent offset.
+        let at = |i: usize| pool[i % pool.len()] + (i / pool.len()) as f64 * 0.0625;
+        let pts: Vec<Vec<f64>> = (0..n_pts)
+            .map(|i| (0..dim).map(|j| at(i * dim + j)).collect())
+            .collect();
+
+        let km = KMeans::fit(&pts, &KMeansConfig { k, ..Default::default() });
+        let mut scalar_inertia = 0.0;
+        for p in &pts {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in km.centers().iter().enumerate() {
+                let d = squared_distance(p, center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            prop_assert_eq!(km.predict(p), best, "argmin for {:?}", p);
+            scalar_inertia += best_d;
+        }
+        prop_assert_eq!(
+            km.inertia().to_bits(),
+            scalar_inertia.to_bits(),
+            "inertia is the same ordered sum of the same distance bits"
+        );
+    }
+}

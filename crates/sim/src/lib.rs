@@ -29,7 +29,7 @@ pub mod trace;
 pub use buffer::{Backlog, BufferOverflow, VideoBuffer};
 pub use cost::CostModel;
 pub use hardware::{CloudSpec, ClusterSpec, HardwareSpec};
-pub use makespan::{simulate, SimResult};
+pub use makespan::{simulate, simulate_into, SimResult, SimScratch, SimStats};
 pub use placement::{pareto_frontier, Placement, PlacementPoint};
 pub use task::{NodeId, TaskGraph, TaskNode};
 pub use trace::{Trace, TracePoint};

@@ -30,6 +30,44 @@ pub struct SimResult {
     pub cloud_busy_secs: f64,
 }
 
+/// Reusable buffers for [`simulate_into`]: the per-task finish/scheduled
+/// arrays and the per-core availability times. One scratch serves any
+/// graph/cluster size — buffers are resized (retaining capacity) on entry,
+/// so the steady serving state allocates nothing per simulated segment.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    finish: Vec<f64>,
+    scheduled: Vec<bool>,
+    core_avail: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-task finish times of the most recent [`simulate_into`] run.
+    pub fn finish_times(&self) -> &[f64] {
+        &self.finish
+    }
+}
+
+/// The scalar outcomes of one simulated execution — [`SimResult`] minus the
+/// owned `finish_times` vector (read those from [`SimScratch::finish_times`]
+/// when needed). Produced by the allocation-free [`simulate_into`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Wall-clock time at which the last task finishes (seconds).
+    pub makespan: f64,
+    /// Cloud dollars spent (billed compute + invocation fees).
+    pub cloud_usd: f64,
+    /// Core-seconds of on-premise occupancy.
+    pub onprem_busy_secs: f64,
+    /// Billed cloud compute seconds.
+    pub cloud_busy_secs: f64,
+}
+
 /// Simulate one execution of `graph` under `placement` on the given
 /// hardware.
 ///
@@ -42,16 +80,47 @@ pub fn simulate(
     cluster: &ClusterSpec,
     cloud: &CloudSpec,
 ) -> SimResult {
+    let mut scratch = SimScratch::new();
+    let stats = simulate_into(graph, placement, cluster, cloud, &mut scratch);
+    SimResult {
+        makespan: stats.makespan,
+        cloud_usd: stats.cloud_usd,
+        finish_times: scratch.finish,
+        onprem_busy_secs: stats.onprem_busy_secs,
+        cloud_busy_secs: stats.cloud_busy_secs,
+    }
+}
+
+/// [`simulate`] with caller-owned scratch buffers: bitwise-identical
+/// arithmetic (it *is* the implementation behind [`simulate`]), but the
+/// steady state touches no allocator — the ingest hot path calls this once
+/// per segment with a per-session [`SimScratch`].
+///
+/// # Panics
+/// Same contract as [`simulate`].
+pub fn simulate_into(
+    graph: &TaskGraph,
+    placement: &Placement,
+    cluster: &ClusterSpec,
+    cloud: &CloudSpec,
+    scratch: &mut SimScratch,
+) -> SimStats {
     assert_eq!(
         placement.len(),
         graph.len(),
         "placement/graph size mismatch"
     );
     let n = graph.len();
-    let mut finish = vec![f64::NAN; n];
-    let mut scheduled = vec![false; n];
+    scratch.finish.clear();
+    scratch.finish.resize(n, f64::NAN);
+    scratch.scheduled.clear();
+    scratch.scheduled.resize(n, false);
+    scratch.core_avail.clear();
+    scratch.core_avail.resize(cluster.cores, 0.0);
+    let finish = &mut scratch.finish;
+    let scheduled = &mut scratch.scheduled;
+    let core_avail = &mut scratch.core_avail;
 
-    let mut core_avail = vec![0.0f64; cluster.cores];
     let mut uplink_free = 0.0f64;
     let mut downlink_free = 0.0f64;
     let mut cloud_usd = 0.0f64;
@@ -141,10 +210,9 @@ pub fn simulate(
     }
 
     let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
-    SimResult {
+    SimStats {
         makespan,
         cloud_usd,
-        finish_times: finish,
         onprem_busy_secs: onprem_busy,
         cloud_busy_secs: cloud_busy,
     }
@@ -325,6 +393,52 @@ mod tests {
         // a: 0–1, b and c in parallel 1–2, d 2–3.
         assert!((r.makespan - 3.0).abs() < 1e-9);
         assert!(r.finish_times[3] >= r.finish_times[1].max(r.finish_times[2]));
+    }
+
+    #[test]
+    fn simulate_into_matches_simulate_bitwise_across_reuse() {
+        // One scratch reused across graphs of different sizes and shapes —
+        // including shrinking — must reproduce the allocating `simulate`
+        // bit for bit every time.
+        let mut scratch = SimScratch::new();
+        let diamond = {
+            let mut g = TaskGraph::new();
+            let a = g.add_node(TaskNode::new("a", 1.3, 0.5).with_payload(2e6, 1e5));
+            let b = g.add_node(TaskNode::new("b", 2.7, 1.0));
+            let c = g.add_node(TaskNode::new("c", 3.1, 1.5).with_payload(5e5, 5e4));
+            let d = g.add_node(TaskNode::new("d", 0.9, 0.5));
+            g.add_edge(a, b);
+            g.add_edge(a, c);
+            g.add_edge(b, d);
+            g.add_edge(c, d);
+            g
+        };
+        let cases = [
+            (diamond.clone(), Placement::all_onprem(4)),
+            (diamond.clone(), Placement::from_mask(4, 0b0101)),
+            (indep(7, 0.3), Placement::from_mask(7, 0b101_0101)),
+            (indep(2, 1.1), Placement::all_onprem(2)),
+        ];
+        for (g, placement) in &cases {
+            let cluster = ClusterSpec::with_cores(3);
+            let cloud = CloudSpec::default();
+            let want = simulate(g, placement, &cluster, &cloud);
+            let got = simulate_into(g, placement, &cluster, &cloud, &mut scratch);
+            assert_eq!(got.makespan.to_bits(), want.makespan.to_bits());
+            assert_eq!(got.cloud_usd.to_bits(), want.cloud_usd.to_bits());
+            assert_eq!(
+                got.onprem_busy_secs.to_bits(),
+                want.onprem_busy_secs.to_bits()
+            );
+            assert_eq!(
+                got.cloud_busy_secs.to_bits(),
+                want.cloud_busy_secs.to_bits()
+            );
+            assert_eq!(scratch.finish_times().len(), want.finish_times.len());
+            for (a, b) in scratch.finish_times().iter().zip(&want.finish_times) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -17,11 +17,11 @@
 use rand::rngs::StdRng;
 
 use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
-use vetl_sim::{TaskGraph, TaskNode};
+use vetl_sim::{NodeId, TaskGraph, TaskNode};
 use vetl_video::{ContentState, DecodeCostModel};
 
 use crate::models;
-use crate::response::{domain_position, logistic_quality, noisy};
+use crate::response::{capability_table, config_rank, domain_position, logistic_quality, noisy};
 
 /// Source frame rate of the shopping-street camera.
 const SOURCE_FPS: f64 = 30.0;
@@ -32,12 +32,15 @@ pub struct CovidWorkload {
     knobs: Vec<Knob>,
     seg_len: f64,
     decode: DecodeCostModel,
+    /// Capability per [`config_rank`] — filled once at construction from
+    /// `capability_formula`, so lookups are bitwise-identical to it.
+    cap: Vec<f64>,
 }
 
 impl CovidWorkload {
     /// Create with the paper's 2-second switching segments.
     pub fn new() -> Self {
-        Self {
+        let mut w = Self {
             knobs: vec![
                 Knob::new(
                     "frame_rate",
@@ -62,7 +65,10 @@ impl CovidWorkload {
             ],
             seg_len: 2.0,
             decode: DecodeCostModel::default(),
-        }
+            cap: Vec::new(),
+        };
+        w.cap = capability_table(&w.knobs, |c| w.capability_formula(c));
+        w
     }
 
     fn fps(&self, c: &KnobConfig) -> f64 {
@@ -84,6 +90,10 @@ impl CovidWorkload {
     /// be compensated by other knobs) and detection interval/tiling modulate
     /// it multiplicatively. Spans [0.25, 1.0].
     pub fn capability(&self, c: &KnobConfig) -> f64 {
+        self.cap[config_rank(&self.knobs, c)]
+    }
+
+    pub(crate) fn capability_formula(&self, c: &KnobConfig) -> f64 {
         let r = (self.fps(c) / 30.0).sqrt();
         let d = (1.0 / self.det_interval(c)).sqrt();
         let t = domain_position(c.index(2), 2);
@@ -111,6 +121,26 @@ impl Workload for CovidWorkload {
     }
 
     fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        self.task_graph_into(config, content, &mut g);
+        g
+    }
+
+    fn task_graph_into(&self, config: &KnobConfig, content: &ContentState, g: &mut TaskGraph) {
+        // Topology is fixed — only the costs depend on config/content — so
+        // a reused graph skips straight to the cost rewrite.
+        if g.is_empty() {
+            let decode = g.add_node(TaskNode::new("decode", 0.0, 0.0));
+            let detect = g.add_node(TaskNode::new("yolo", 0.0, 0.0));
+            let track = g.add_node(TaskNode::new("kcf", 0.0, 0.0));
+            let homography = g.add_node(TaskNode::new("homography", 0.0, 0.0));
+            let mask = g.add_node(TaskNode::new("mask_classifier", 0.0, 0.0));
+            g.add_edge(decode, detect);
+            g.add_edge(detect, track);
+            g.add_edge(track, homography);
+            g.add_edge(detect, mask);
+        }
+
         let fps = self.fps(config);
         let frames = self.seg_len * fps;
         let det_runs = (frames / self.det_interval(config)).max(1.0 / 30.0);
@@ -129,30 +159,25 @@ impl Workload for CovidWorkload {
         let frame_jpeg = 100_000.0 * 4.0 / 3.0;
         let crop_jpeg = 9_000.0 * 4.0 / 3.0;
 
-        let mut g = TaskGraph::new();
-        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
-        let detect = g.add_node(
-            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
-                .with_payload(det_runs * frame_jpeg, det_runs * 2_000.0),
-        );
-        let track = g.add_node(
-            TaskNode::new("kcf", track_cost, track_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * 4_000.0, frames * 1_000.0),
-        );
-        let homography = g.add_node(TaskNode::new("homography", homography_cost, 0.0));
-        let mask = g.add_node(
-            TaskNode::new(
-                "mask_classifier",
-                mask_cost,
-                mask_cost / models::CLOUD_SPEEDUP,
-            )
-            .with_payload(frames * objects * crop_jpeg, frames * 200.0),
-        );
-        g.add_edge(decode, detect);
-        g.add_edge(detect, track);
-        g.add_edge(track, homography);
-        g.add_edge(detect, mask);
-        g
+        let n = g.node_mut(NodeId(0));
+        n.onprem_secs = decode_cost;
+        let n = g.node_mut(NodeId(1));
+        n.onprem_secs = detect_cost;
+        n.cloud_compute_secs = detect_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = det_runs * frame_jpeg;
+        n.download_bytes = det_runs * 2_000.0;
+        let n = g.node_mut(NodeId(2));
+        n.onprem_secs = track_cost;
+        n.cloud_compute_secs = track_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * 4_000.0;
+        n.download_bytes = frames * 1_000.0;
+        let n = g.node_mut(NodeId(3));
+        n.onprem_secs = homography_cost;
+        let n = g.node_mut(NodeId(4));
+        n.onprem_secs = mask_cost;
+        n.cloud_compute_secs = mask_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * objects * crop_jpeg;
+        n.download_bytes = frames * 200.0;
     }
 
     fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
@@ -186,6 +211,19 @@ mod tests {
     fn config_space_is_forty() {
         let w = CovidWorkload::new();
         assert_eq!(w.config_space().size(), 5 * 4 * 2);
+    }
+
+    #[test]
+    fn capability_table_matches_formula_bitwise() {
+        let w = CovidWorkload::new();
+        for c in w.config_space().iter() {
+            assert_eq!(
+                w.capability(&c).to_bits(),
+                w.capability_formula(&c).to_bits(),
+                "config {:?}",
+                c.indices()
+            );
+        }
     }
 
     #[test]

@@ -9,11 +9,11 @@
 use rand::rngs::StdRng;
 
 use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
-use vetl_sim::{TaskGraph, TaskNode};
+use vetl_sim::{NodeId, TaskGraph, TaskNode};
 use vetl_video::{ContentState, DecodeCostModel};
 
 use crate::models;
-use crate::response::{domain_position, logistic_quality, noisy};
+use crate::response::{capability_table, config_rank, domain_position, logistic_quality, noisy};
 
 /// Source frame rate (Appendix F: `Skyscraper(..., fps=30)`).
 const SOURCE_FPS: f64 = 30.0;
@@ -24,12 +24,15 @@ pub struct EvWorkload {
     knobs: Vec<Knob>,
     seg_len: f64,
     decode: DecodeCostModel,
+    /// Capability per [`config_rank`] — filled once at construction from
+    /// `capability_formula`, so lookups are bitwise-identical to it.
+    cap: Vec<f64>,
 }
 
 impl EvWorkload {
     /// Create with 2-second switching segments.
     pub fn new() -> Self {
-        Self {
+        let mut w = Self {
             knobs: vec![
                 // Appendix F: sky.register_knob("det_interval", [1, 5, 10]) —
                 // cheapest (largest interval) first by our convention.
@@ -48,7 +51,10 @@ impl EvWorkload {
             ],
             seg_len: 2.0,
             decode: DecodeCostModel::default(),
-        }
+            cap: Vec::new(),
+        };
+        w.cap = capability_table(&w.knobs, |c| w.capability_formula(c));
+        w
     }
 
     fn det_interval(&self, c: &KnobConfig) -> f64 {
@@ -62,6 +68,10 @@ impl EvWorkload {
     /// Capability κ spanning ≈ [0.33, 1.0]: detection rate is the primary
     /// axis, model size modulates it.
     pub fn capability(&self, c: &KnobConfig) -> f64 {
+        self.cap[config_rank(&self.knobs, c)]
+    }
+
+    pub(crate) fn capability_formula(&self, c: &KnobConfig) -> f64 {
         let d = (1.0 / self.det_interval(c)).sqrt();
         let m = domain_position(c.index(1), 3);
         0.25 + 0.75 * d * (0.55 + 0.45 * m)
@@ -88,6 +98,20 @@ impl Workload for EvWorkload {
     }
 
     fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        self.task_graph_into(config, content, &mut g);
+        g
+    }
+
+    fn task_graph_into(&self, config: &KnobConfig, content: &ContentState, g: &mut TaskGraph) {
+        if g.is_empty() {
+            let decode = g.add_node(TaskNode::new("decode", 0.0, 0.0));
+            let detect = g.add_node(TaskNode::new("yolo", 0.0, 0.0));
+            let track = g.add_node(TaskNode::new("kcf", 0.0, 0.0));
+            g.add_edge(decode, detect);
+            g.add_edge(detect, track);
+        }
+
         let frames = self.seg_len * SOURCE_FPS;
         let det_runs = frames / self.det_interval(config);
         let objects = models::objects_at_activity(content.activity);
@@ -97,19 +121,18 @@ impl Workload for EvWorkload {
         let track_cost = (frames - det_runs).max(0.0) * models::KCF_SECS_PER_OBJECT * objects;
 
         let frame_jpeg = 100_000.0 * 4.0 / 3.0;
-        let mut g = TaskGraph::new();
-        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
-        let detect = g.add_node(
-            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
-                .with_payload(det_runs * frame_jpeg, det_runs * 2_000.0),
-        );
-        let track = g.add_node(
-            TaskNode::new("kcf", track_cost, track_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * 4_000.0, frames * 1_000.0),
-        );
-        g.add_edge(decode, detect);
-        g.add_edge(detect, track);
-        g
+        let n = g.node_mut(NodeId(0));
+        n.onprem_secs = decode_cost;
+        let n = g.node_mut(NodeId(1));
+        n.onprem_secs = detect_cost;
+        n.cloud_compute_secs = detect_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = det_runs * frame_jpeg;
+        n.download_bytes = det_runs * 2_000.0;
+        let n = g.node_mut(NodeId(2));
+        n.onprem_secs = track_cost;
+        n.cloud_compute_secs = track_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * 4_000.0;
+        n.download_bytes = frames * 1_000.0;
     }
 
     fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
@@ -146,6 +169,19 @@ mod tests {
         let w = EvWorkload::new();
         assert_eq!(w.knobs().len(), 2);
         assert_eq!(w.config_space().size(), 9);
+    }
+
+    #[test]
+    fn capability_table_matches_formula_bitwise() {
+        let w = EvWorkload::new();
+        for c in w.config_space().iter() {
+            assert_eq!(
+                w.capability(&c).to_bits(),
+                w.capability_formula(&c).to_bits(),
+                "config {:?}",
+                c.indices()
+            );
+        }
     }
 
     #[test]

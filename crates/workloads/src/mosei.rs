@@ -25,13 +25,13 @@
 use rand::rngs::StdRng;
 
 use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
-use vetl_sim::{TaskGraph, TaskNode};
+use vetl_sim::{NodeId, TaskGraph, TaskNode};
 use vetl_video::{
     ContentParams, ContentProcess, ContentState, MoseiMode, Segment, StreamCountProcess,
 };
 
 use crate::models;
-use crate::response::{domain_position, logistic_quality, noisy};
+use crate::response::{capability_table, config_rank, domain_position, logistic_quality, noisy};
 
 /// Which spike pattern the stream-count process injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,12 +60,15 @@ pub struct MoseiWorkload {
     knobs: Vec<Knob>,
     seg_len: f64,
     variant: MoseiVariant,
+    /// Capability per [`config_rank`] — filled once at construction from
+    /// `capability_formula`, so lookups are bitwise-identical to it.
+    cap: Vec<f64>,
 }
 
 impl MoseiWorkload {
     /// Create with the paper's 7-second switching segments (Appendix K.1).
     pub fn new(variant: MoseiVariant) -> Self {
-        Self {
+        let mut w = Self {
             knobs: vec![
                 Knob::new("sentence_skip", (0..7).rev().map(KnobValue::Int).collect()),
                 Knob::new(
@@ -99,7 +102,10 @@ impl MoseiWorkload {
             ],
             seg_len: 7.0,
             variant,
-        }
+            cap: Vec::new(),
+        };
+        w.cap = capability_table(&w.knobs, |c| w.capability_formula(c));
+        w
     }
 
     /// The spike variant.
@@ -127,6 +133,10 @@ impl MoseiWorkload {
     /// analysis frequency is the primary axis, frame fraction and model size
     /// modulate it.
     pub fn analysis_capability(&self, c: &KnobConfig) -> f64 {
+        self.cap[config_rank(&self.knobs, c)]
+    }
+
+    pub(crate) fn capability_formula(&self, c: &KnobConfig) -> f64 {
         let s = (1.0 / (1.0 + self.skip(c))).sqrt();
         let f = domain_position(c.index(1), 6);
         let m = domain_position(c.index(2), 3);
@@ -156,6 +166,20 @@ impl Workload for MoseiWorkload {
     }
 
     fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        self.task_graph_into(config, content, &mut g);
+        g
+    }
+
+    fn task_graph_into(&self, config: &KnobConfig, content: &ContentState, g: &mut TaskGraph) {
+        if g.is_empty() {
+            let transcribe = g.add_node(TaskNode::new("transcribe", 0.0, 0.0));
+            let features = g.add_node(TaskNode::new("features", 0.0, 0.0));
+            let sentiment = g.add_node(TaskNode::new("sentiment", 0.0, 0.0));
+            g.add_edge(transcribe, sentiment);
+            g.add_edge(features, sentiment);
+        }
+
         let streams = Self::streams_at(content);
         let analysed = (streams * self.streams_fraction(config)).max(1.0);
         let sentences = self.seg_len / models::SENTENCE_SECS;
@@ -173,34 +197,21 @@ impl Workload for MoseiWorkload {
         let sentence_frames_bytes = models::SENTENCE_SECS * 30.0 * 100_000.0 * 4.0 / 3.0;
         let feature_upload = analysed * analysed_sentences * frac * sentence_frames_bytes;
 
-        let mut g = TaskGraph::new();
-        let transcribe = g.add_node(
-            TaskNode::new(
-                "transcribe",
-                transcribe_cost,
-                transcribe_cost / models::CLOUD_SPEEDUP,
-            )
-            .with_payload(analysed * self.seg_len * 16_000.0, analysed * 2_000.0),
-        );
-        let features = g.add_node(
-            TaskNode::new(
-                "features",
-                feature_cost,
-                feature_cost / models::CLOUD_SPEEDUP,
-            )
-            .with_payload(feature_upload, analysed * analysed_sentences * 12_000.0),
-        );
-        let sentiment = g.add_node(
-            TaskNode::new(
-                "sentiment",
-                sentiment_cost,
-                sentiment_cost / models::CLOUD_SPEEDUP,
-            )
-            .with_payload(analysed * analysed_sentences * 14_000.0, analysed * 500.0),
-        );
-        g.add_edge(transcribe, sentiment);
-        g.add_edge(features, sentiment);
-        g
+        let n = g.node_mut(NodeId(0));
+        n.onprem_secs = transcribe_cost;
+        n.cloud_compute_secs = transcribe_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = analysed * self.seg_len * 16_000.0;
+        n.download_bytes = analysed * 2_000.0;
+        let n = g.node_mut(NodeId(1));
+        n.onprem_secs = feature_cost;
+        n.cloud_compute_secs = feature_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = feature_upload;
+        n.download_bytes = analysed * analysed_sentences * 12_000.0;
+        let n = g.node_mut(NodeId(2));
+        n.onprem_secs = sentiment_cost;
+        n.cloud_compute_secs = sentiment_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = analysed * analysed_sentences * 14_000.0;
+        n.download_bytes = analysed * 500.0;
     }
 
     fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
@@ -287,6 +298,19 @@ mod tests {
     fn config_space_is_504() {
         let w = MoseiWorkload::new(MoseiVariant::High);
         assert_eq!(w.config_space().size(), 7 * 6 * 3 * 4);
+    }
+
+    #[test]
+    fn capability_table_matches_formula_bitwise() {
+        let w = MoseiWorkload::new(MoseiVariant::High);
+        for c in w.config_space().iter() {
+            assert_eq!(
+                w.analysis_capability(&c).to_bits(),
+                w.capability_formula(&c).to_bits(),
+                "config {:?}",
+                c.indices()
+            );
+        }
     }
 
     #[test]

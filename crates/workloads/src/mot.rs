@@ -17,11 +17,11 @@
 use rand::rngs::StdRng;
 
 use skyscraper::{Knob, KnobConfig, KnobValue, Workload};
-use vetl_sim::{TaskGraph, TaskNode};
+use vetl_sim::{NodeId, TaskGraph, TaskNode};
 use vetl_video::{ContentState, DecodeCostModel};
 
 use crate::models;
-use crate::response::{domain_position, logistic_quality, noisy};
+use crate::response::{capability_table, config_rank, domain_position, logistic_quality, noisy};
 
 /// Source frame rate of the intersection camera.
 const SOURCE_FPS: f64 = 30.0;
@@ -32,12 +32,15 @@ pub struct MotWorkload {
     knobs: Vec<Knob>,
     seg_len: f64,
     decode: DecodeCostModel,
+    /// Capability per [`config_rank`] — filled once at construction from
+    /// `capability_formula`, so lookups are bitwise-identical to it.
+    cap: Vec<f64>,
 }
 
 impl MotWorkload {
     /// Create with the paper's 2-second switching segments.
     pub fn new() -> Self {
-        Self {
+        let mut w = Self {
             knobs: vec![
                 Knob::new(
                     "frame_interval",
@@ -69,7 +72,10 @@ impl MotWorkload {
             ],
             seg_len: 2.0,
             decode: DecodeCostModel::default(),
-        }
+            cap: Vec::new(),
+        };
+        w.cap = capability_table(&w.knobs, |c| w.capability_formula(c));
+        w
     }
 
     fn frames(&self, c: &KnobConfig) -> f64 {
@@ -95,6 +101,10 @@ impl MotWorkload {
     /// tracker cannot recover motion it never saw); tiling, history and
     /// model size modulate multiplicatively. Spans ≈ [0.25, 1.0].
     pub fn capability(&self, c: &KnobConfig) -> f64 {
+        self.cap[config_rank(&self.knobs, c)]
+    }
+
+    pub(crate) fn capability_formula(&self, c: &KnobConfig) -> f64 {
         let interval = c.value(&self.knobs, 0).as_float().expect("interval");
         let r = (1.0 / interval).sqrt();
         let t = domain_position(c.index(1), 2);
@@ -124,6 +134,22 @@ impl Workload for MotWorkload {
     }
 
     fn task_graph(&self, config: &KnobConfig, content: &ContentState) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        self.task_graph_into(config, content, &mut g);
+        g
+    }
+
+    fn task_graph_into(&self, config: &KnobConfig, content: &ContentState, g: &mut TaskGraph) {
+        if g.is_empty() {
+            let decode = g.add_node(TaskNode::new("decode", 0.0, 0.0));
+            let detect = g.add_node(TaskNode::new("yolo", 0.0, 0.0));
+            let embed = g.add_node(TaskNode::new("embed", 0.0, 0.0));
+            let transmot = g.add_node(TaskNode::new("transmot", 0.0, 0.0));
+            g.add_edge(decode, detect);
+            g.add_edge(detect, embed);
+            g.add_edge(embed, transmot);
+        }
+
         let frames = self.frames(config);
         let tiles = self.tiles(config);
         let history = self.history(config);
@@ -140,28 +166,23 @@ impl Workload for MotWorkload {
             * (0.6 + 0.6 * content.activity);
 
         let frame_jpeg = 100_000.0 * 4.0 / 3.0;
-        let mut g = TaskGraph::new();
-        let decode = g.add_node(TaskNode::new("decode", decode_cost, 0.0));
-        let detect = g.add_node(
-            TaskNode::new("yolo", detect_cost, detect_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * frame_jpeg, frames * 2_000.0),
-        );
-        let embed = g.add_node(
-            TaskNode::new("embed", embed_cost, embed_cost / models::CLOUD_SPEEDUP)
-                .with_payload(frames * objects * 8_000.0, frames * objects * 512.0),
-        );
-        let transmot = g.add_node(
-            TaskNode::new(
-                "transmot",
-                transmot_cost,
-                transmot_cost / models::CLOUD_SPEEDUP,
-            )
-            .with_payload(frames * objects * 2_048.0 * history, frames * 4_000.0),
-        );
-        g.add_edge(decode, detect);
-        g.add_edge(detect, embed);
-        g.add_edge(embed, transmot);
-        g
+        let n = g.node_mut(NodeId(0));
+        n.onprem_secs = decode_cost;
+        let n = g.node_mut(NodeId(1));
+        n.onprem_secs = detect_cost;
+        n.cloud_compute_secs = detect_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * frame_jpeg;
+        n.download_bytes = frames * 2_000.0;
+        let n = g.node_mut(NodeId(2));
+        n.onprem_secs = embed_cost;
+        n.cloud_compute_secs = embed_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * objects * 8_000.0;
+        n.download_bytes = frames * objects * 512.0;
+        let n = g.node_mut(NodeId(3));
+        n.onprem_secs = transmot_cost;
+        n.cloud_compute_secs = transmot_cost / models::CLOUD_SPEEDUP;
+        n.upload_bytes = frames * objects * 2_048.0 * history;
+        n.download_bytes = frames * 4_000.0;
     }
 
     fn true_quality(&self, config: &KnobConfig, content: &ContentState) -> f64 {
@@ -198,6 +219,19 @@ mod tests {
     fn config_space_is_ninety_six() {
         let w = MotWorkload::new();
         assert_eq!(w.config_space().size(), 4 * 2 * 4 * 3);
+    }
+
+    #[test]
+    fn capability_table_matches_formula_bitwise() {
+        let w = MotWorkload::new();
+        for c in w.config_space().iter() {
+            assert_eq!(
+                w.capability(&c).to_bits(),
+                w.capability_formula(&c).to_bits(),
+                "config {:?}",
+                c.indices()
+            );
+        }
     }
 
     #[test]

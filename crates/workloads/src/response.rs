@@ -22,6 +22,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use skyscraper::{ConfigSpace, Knob, KnobConfig};
+
 /// The logistic quality response `σ(12·(κ − 0.85·d) + 0.8)`.
 pub fn logistic_quality(capability: f64, difficulty: f64) -> f64 {
     let z = 12.0 * (capability - 0.85 * difficulty) + 0.8;
@@ -34,6 +36,36 @@ pub fn noisy(q: f64, sigma: f64, rng: &mut StdRng) -> f64 {
     let u2: f64 = rng.gen();
     let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     (q + sigma * g).clamp(0.0, 1.0)
+}
+
+/// Linear rank of a configuration in the row-major order of its knob
+/// domains — the index scheme of the workloads' precomputed capability
+/// tables (see [`capability_table`]).
+pub fn config_rank(knobs: &[Knob], c: &KnobConfig) -> usize {
+    let mut rank = 0usize;
+    for (i, k) in knobs.iter().enumerate() {
+        rank = rank * k.cardinality() + c.index(i);
+    }
+    rank
+}
+
+/// Evaluate `formula` over the whole configuration space, indexed by
+/// [`config_rank`].
+///
+/// Capability is pure in the configuration, so the ingest hot path — which
+/// evaluates quality for *every* profiled configuration on *every* segment
+/// (`FittedModel::ground_truth_category`) — looks capability up here
+/// instead of re-deriving knob values, square roots, and domain positions
+/// ~14 times per segment. Each entry is the formula's own output, so the
+/// lookup is bitwise-identical to evaluating the formula (asserted per
+/// workload in their unit tests).
+pub fn capability_table(knobs: &[Knob], formula: impl Fn(&KnobConfig) -> f64) -> Vec<f64> {
+    let space = ConfigSpace::new(knobs);
+    let mut table = vec![0.0; space.size()];
+    for c in space.iter() {
+        table[config_rank(knobs, &c)] = formula(&c);
+    }
+    table
 }
 
 /// Normalized position of index `i` within a domain of `n` values, in

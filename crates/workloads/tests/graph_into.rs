@@ -1,0 +1,74 @@
+//! `task_graph_into` == `task_graph`, bit for bit, across cache reuse.
+//!
+//! The ingest hot path rebuilds each segment's task graph into a per-config
+//! cached graph (`Workload::task_graph_into`) instead of allocating a fresh
+//! one. The contract is bit identity: a reused graph — even one previously
+//! filled for a *different* config or content — must come out identical to
+//! what the allocating builder returns, node names, edges, and every `f64`
+//! cost/payload bit included.
+
+use skyscraper::Workload;
+use vetl_sim::{NodeId, TaskGraph};
+use vetl_video::{ContentParams, ContentProcess, ContentState};
+use vetl_workloads::{CovidWorkload, EvWorkload, MoseiVariant, MoseiWorkload, MotWorkload};
+
+fn assert_graphs_bitwise_equal(workload: &str, fresh: &TaskGraph, reused: &TaskGraph) {
+    assert_eq!(fresh.len(), reused.len(), "{workload}: node count");
+    for i in 0..fresh.len() {
+        let id = NodeId(i);
+        let (a, b) = (fresh.node(id), reused.node(id));
+        assert_eq!(a.name, b.name, "{workload}: node {i} name");
+        for (field, x, y) in [
+            ("onprem_secs", a.onprem_secs, b.onprem_secs),
+            (
+                "cloud_compute_secs",
+                a.cloud_compute_secs,
+                b.cloud_compute_secs,
+            ),
+            ("upload_bytes", a.upload_bytes, b.upload_bytes),
+            ("download_bytes", a.download_bytes, b.download_bytes),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{workload}: node {i} {field}: {x} vs {y}"
+            );
+        }
+        let succ_a: Vec<_> = fresh.successors(id).collect();
+        let succ_b: Vec<_> = reused.successors(id).collect();
+        assert_eq!(succ_a, succ_b, "{workload}: node {i} successors");
+        let pred_a: Vec<_> = fresh.predecessors(id).collect();
+        let pred_b: Vec<_> = reused.predecessors(id).collect();
+        assert_eq!(pred_a, pred_b, "{workload}: node {i} predecessors");
+    }
+}
+
+fn exercise(w: &dyn Workload, contents: &[ContentState]) {
+    // ONE graph reused across every (config, content) pair — the cost
+    // rewrite must fully overwrite whatever the previous pair left behind.
+    let mut reused = TaskGraph::new();
+    for config in w.config_space().iter() {
+        for content in contents {
+            let fresh = w.task_graph(&config, content);
+            w.task_graph_into(&config, content, &mut reused);
+            assert_graphs_bitwise_equal(w.name(), &fresh, &reused);
+        }
+    }
+}
+
+#[test]
+fn task_graph_into_matches_task_graph_bitwise_for_all_workloads() {
+    let contents: Vec<ContentState> = ContentProcess::new(ContentParams::default(), 2.0)
+        .take(40)
+        .collect();
+    let spiky: Vec<ContentState> = ContentProcess::new(ContentParams::shopping_street(7), 2.0)
+        .take(40)
+        .collect();
+
+    for contents in [&contents, &spiky] {
+        exercise(&CovidWorkload::new(), contents);
+        exercise(&EvWorkload::new(), contents);
+        exercise(&MotWorkload::new(), contents);
+        exercise(&MoseiWorkload::new(MoseiVariant::High), contents);
+    }
+}

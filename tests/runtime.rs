@@ -8,12 +8,15 @@
 //! overridden with `VETL_SHARDS` (CI runs the property at two distinct
 //! counts).
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use vetl::prelude::*;
 use vetl::skyscraper::offline::run_offline;
-use vetl::skyscraper::testkit::{assert_multi_outcomes_bitwise_equal, ToyWorkload};
-use vetl::skyscraper::{FittedModel, MultiOutcome};
+use vetl::skyscraper::testkit::{
+    assert_multi_outcomes_bitwise_equal, assert_outcomes_bitwise_equal, ToyWorkload,
+};
+use vetl::skyscraper::{FittedModel, MultiOutcome, StepReport};
 
 const SHARED_BUDGET_USD: f64 = 0.5;
 const REPLAN_SECS: f64 = 1_800.0;
@@ -548,4 +551,407 @@ fn runtime_rejects_unknown_closed_and_under_provisioned_streams() {
         rt.close_stream(a).unwrap_err(),
         SkyError::StreamClosed { id: a.index() }
     );
+}
+
+// ---- Batched ingest: `push_batch` == the per-segment `push` loop. ----
+
+fn assert_step_reports_bitwise_equal(ctx: &str, a: &StepReport, b: &StepReport) {
+    assert_eq!(a.seg_index, b.seg_index, "{ctx}: seg_index");
+    assert_eq!(a.t_secs.to_bits(), b.t_secs.to_bits(), "{ctx}: t_secs");
+    assert_eq!(a.category, b.category, "{ctx}: category");
+    assert_eq!(a.config, b.config, "{ctx}: config");
+    assert_eq!(a.placement, b.placement, "{ctx}: placement");
+    assert_eq!(a.deviated, b.deviated, "{ctx}: deviated");
+    assert_eq!(a.switched, b.switched, "{ctx}: switched");
+    assert_eq!(a.replanned, b.replanned, "{ctx}: replanned");
+    assert_eq!(
+        a.buffer_bytes.to_bits(),
+        b.buffer_bytes.to_bits(),
+        "{ctx}: buffer_bytes"
+    );
+    assert_eq!(
+        a.backlog_work.to_bits(),
+        b.backlog_work.to_bits(),
+        "{ctx}: backlog_work"
+    );
+}
+
+#[test]
+fn session_push_batch_matches_push_loop_bitwise() {
+    let (w, m, segs) = &fixture()[0];
+    let n = 1_500;
+    let mk = || {
+        IngestSession::with_stream_stats(
+            m,
+            w,
+            IngestOptions::default(),
+            StreamStats::from_segments(&segs[..n]),
+        )
+    };
+
+    let mut by_loop = mk();
+    let mut loop_reports = Vec::with_capacity(n);
+    for seg in &segs[..n] {
+        loop_reports.push(by_loop.push(seg).expect("push"));
+    }
+
+    // Uneven chunks, sized so chunk boundaries never line up with replan
+    // boundaries: the batch path must reproduce every report bit for bit.
+    let mut by_batch = mk();
+    let mut batch_reports = Vec::with_capacity(n);
+    for chunk in segs[..n].chunks(313) {
+        batch_reports.extend(by_batch.push_batch(chunk).expect("push_batch"));
+    }
+
+    assert_eq!(loop_reports.len(), batch_reports.len());
+    for (i, (a, b)) in loop_reports.iter().zip(&batch_reports).enumerate() {
+        assert_step_reports_bitwise_equal(&format!("report {i}"), a, b);
+    }
+    assert_outcomes_bitwise_equal(
+        "session batch == loop",
+        &by_loop.finish(),
+        &by_batch.finish(),
+    );
+}
+
+fn batch_runtime(shards: usize, dir: Option<&PathBuf>) -> IngestRuntime<'static> {
+    IngestRuntime::new(RuntimeConfig {
+        shards,
+        shared_cloud_budget_usd: SHARED_BUDGET_USD,
+        seed: SEED,
+        replan_interval_secs: Some(REPLAN_SECS),
+        total_cores: Some(TOTAL_CORES),
+        durability: dir.map(|d| DurabilityConfig {
+            dir: d.clone(),
+            // Journal-only durability: recovery must replay the fused
+            // SegBatch records, not shortcut through a snapshot.
+            checkpoint_every_epochs: 0,
+        }),
+        ..RuntimeConfig::default()
+    })
+}
+
+/// Per-segment reference: two streams, round-robin, `serve` segments each.
+fn loop_reference(serve: usize) -> MultiOutcome {
+    let streams = fixture();
+    let mut rt = batch_runtime(2, None);
+    let a = rt
+        .open_stream(
+            "cam-0",
+            &streams[0].1,
+            &streams[0].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let b = rt
+        .open_stream(
+            "cam-1",
+            &streams[1].1,
+            &streams[1].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    for i in 0..serve {
+        rt.push(a, &streams[0].2[i]).expect("push");
+        rt.push(b, &streams[1].2[i]).expect("push");
+    }
+    rt.close_stream(a).expect("close");
+    rt.close_stream(b).expect("close");
+    rt.finish().expect("finish")
+}
+
+#[test]
+fn runtime_push_batch_matches_push_loop_bitwise_across_barriers() {
+    let streams = fixture();
+    let serve = 3 * QUOTA;
+    let reference = loop_reference(serve);
+
+    let mut rt = batch_runtime(2, None);
+    let a = rt
+        .open_stream(
+            "cam-0",
+            &streams[0].1,
+            &streams[0].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let b = rt
+        .open_stream(
+            "cam-1",
+            &streams[1].1,
+            &streams[1].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let s0 = &streams[0].2;
+    let s1 = &streams[1].2;
+
+    rt.push_batch(a, &[]).expect("empty batch is a no-op");
+    assert_eq!(rt.mailbox_room(a).expect("room"), QUOTA);
+
+    // Epoch 0: `a` in two uneven chunks, then one `b` batch that *straddles
+    // the epoch barrier* — it completes the epoch mid-call (dispatching and
+    // replanning inside push_batch) and spills 300 segments into epoch 1.
+    rt.push_batch(a, &s0[..613]).expect("chunk");
+    assert_eq!(rt.mailbox_room(a).expect("room"), QUOTA - 613);
+    rt.push_batch(a, &s0[613..QUOTA]).expect("chunk");
+    rt.push_batch(b, &s1[..QUOTA + 300])
+        .expect("straddling batch");
+    assert_eq!(rt.metrics().epoch, 2, "the barrier fired mid-batch");
+
+    // Epoch 1: exact-quota batch for `a`, another straddling batch for `b`.
+    rt.push_batch(a, &s0[QUOTA..2 * QUOTA]).expect("chunk");
+    rt.push_batch(b, &s1[QUOTA + 300..2 * QUOTA + 100])
+        .expect("straddling batch");
+
+    // Epoch 2: the remainders.
+    rt.push_batch(a, &s0[2 * QUOTA..serve]).expect("chunk");
+    rt.push_batch(b, &s1[2 * QUOTA + 100..serve])
+        .expect("chunk");
+
+    rt.close_stream(a).expect("close");
+    rt.close_stream(b).expect("close");
+    let out = rt.finish().expect("finish");
+    assert_multi_outcomes_bitwise_equal("push_batch == push loop", &reference, &out);
+}
+
+#[test]
+fn push_batch_overload_mid_batch_is_typed_and_keeps_the_accepted_prefix() {
+    let streams = fixture();
+    let serve = 2 * QUOTA;
+    let reference = loop_reference(serve);
+
+    let mut rt = batch_runtime(2, None);
+    let a = rt
+        .open_stream(
+            "cam-0",
+            &streams[0].1,
+            &streams[0].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let b = rt
+        .open_stream(
+            "cam-1",
+            &streams[1].1,
+            &streams[1].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let s0 = &streams[0].2;
+    let s1 = &streams[1].2;
+
+    // `b` lags, so the epoch cannot dispatch: a batch larger than one epoch
+    // quota accepts exactly the quota and then fails typed, exactly where
+    // the per-segment loop's next push would have failed.
+    let err = rt.push_batch(a, &s0[..QUOTA + 10]).unwrap_err();
+    match err {
+        SkyError::BatchFailed { accepted, source } => {
+            assert_eq!(accepted, QUOTA, "the quota prefix was accepted");
+            assert_eq!(
+                *source,
+                SkyError::Overloaded {
+                    stream: a.index(),
+                    queued: QUOTA,
+                    capacity: QUOTA,
+                }
+            );
+        }
+        other => panic!("expected BatchFailed, got {other}"),
+    }
+    assert_eq!(rt.metrics().streams[a.index()].lag_segments, QUOTA);
+    assert_eq!(rt.mailbox_room(a).expect("room"), 0);
+
+    // A full mailbox rejects immediately with an empty accepted prefix.
+    let err = rt.push_batch(a, &s0[QUOTA..QUOTA + 1]).unwrap_err();
+    assert!(
+        matches!(err, SkyError::BatchFailed { accepted: 0, ref source }
+            if matches!(**source, SkyError::Overloaded { .. })),
+        "{err}"
+    );
+
+    // Resume from the accepted prefix — never re-feed it — and the run is
+    // bitwise identical to the clean per-segment loop.
+    rt.push_batch(b, &s1[..QUOTA]).expect("sibling catches up");
+    rt.push_batch(a, &s0[QUOTA..serve]).expect("next epoch");
+    rt.push_batch(b, &s1[QUOTA..serve]).expect("next epoch");
+    rt.close_stream(a).expect("close");
+    rt.close_stream(b).expect("close");
+    let out = rt.finish().expect("finish");
+    assert_multi_outcomes_bitwise_equal("overloaded batch leaves no trace", &reference, &out);
+}
+
+#[test]
+fn push_batch_rejects_invalid_closed_and_unknown_streams_mid_batch() {
+    let streams = fixture();
+    let mut rt = batch_runtime(2, None);
+    let a = rt
+        .open_stream(
+            "cam-0",
+            &streams[0].1,
+            &streams[0].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let _b = rt
+        .open_stream(
+            "cam-1",
+            &streams[1].1,
+            &streams[1].0,
+            IngestOptions::default(),
+        )
+        .expect("admission");
+    let s0 = &streams[0].2;
+
+    // An invalid segment mid-batch: the valid prefix is accepted (queued,
+    // journaled), the batch fails typed at the offender.
+    let mut batch: Vec<Segment> = s0[..10].to_vec();
+    batch[5].duration = f64::NAN;
+    let err = rt.push_batch(a, &batch).unwrap_err();
+    assert!(
+        matches!(err, SkyError::BatchFailed { accepted: 5, ref source }
+            if matches!(**source, SkyError::InvalidInput { .. })),
+        "{err}"
+    );
+    assert_eq!(rt.metrics().streams[a.index()].lag_segments, 5);
+
+    // A batch after a queued in-band close marker is rejected whole: the
+    // stream is settling after the segments pushed *before* the marker.
+    rt.close_stream(a).expect("close");
+    let err = rt.push_batch(a, &s0[5..8]).unwrap_err();
+    assert!(
+        matches!(err, SkyError::BatchFailed { accepted: 0, ref source }
+            if matches!(**source, SkyError::StreamClosed { .. })),
+        "{err}"
+    );
+    assert!(matches!(
+        rt.mailbox_room(a),
+        Err(SkyError::StreamClosed { .. })
+    ));
+
+    // Unknown streams are typed the same way the per-segment push types them.
+    let mut rt2 = IngestRuntime::new(RuntimeConfig::default());
+    let _ = rt2
+        .open_stream("x", &streams[0].1, &streams[0].0, IngestOptions::default())
+        .unwrap();
+    let _ = rt2
+        .open_stream("y", &streams[1].1, &streams[1].0, IngestOptions::default())
+        .unwrap();
+    let foreign = StreamId::from_index(3);
+    let err = rt2.push_batch(foreign, &s0[..2]).unwrap_err();
+    assert!(
+        matches!(err, SkyError::BatchFailed { accepted: 0, ref source }
+            if matches!(**source, SkyError::UnknownStream { id: 3 })),
+        "{err}"
+    );
+    assert!(matches!(
+        rt2.mailbox_room(foreign),
+        Err(SkyError::UnknownStream { id: 3 })
+    ));
+}
+
+#[test]
+fn batched_ingest_wal_is_deterministic_and_replays_bitwise() {
+    let streams = fixture();
+    let serve = 3 * QUOTA;
+    let reference = loop_reference(serve);
+    let s0 = &streams[0].2;
+    let s1 = &streams[1].2;
+
+    // Drive the batched prefix (through a mid-epoch-2 crash point): two
+    // straddling `b` batches, exact-quota `a` batches.
+    let drive_prefix = |rt: &mut IngestRuntime<'static>| {
+        let a = rt
+            .open_stream(
+                "cam-0",
+                &streams[0].1,
+                &streams[0].0,
+                IngestOptions::default(),
+            )
+            .expect("admission");
+        let b = rt
+            .open_stream(
+                "cam-1",
+                &streams[1].1,
+                &streams[1].0,
+                IngestOptions::default(),
+            )
+            .expect("admission");
+        rt.push_batch(a, &s0[..613]).expect("chunk");
+        rt.push_batch(a, &s0[613..QUOTA]).expect("chunk");
+        rt.push_batch(b, &s1[..QUOTA + 300]).expect("straddle");
+        rt.push_batch(a, &s0[QUOTA..2 * QUOTA]).expect("chunk");
+        rt.push_batch(b, &s1[QUOTA + 300..2 * QUOTA + 100])
+            .expect("straddle");
+    };
+
+    let tmp = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "vetl-batch-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+
+    // The fused SegBatch framing is deterministic: two identical batched
+    // runs journal byte-identical files.
+    let (dir1, dir2) = (tmp("a"), tmp("b"));
+    {
+        let mut rt = batch_runtime(2, Some(&dir1));
+        drive_prefix(&mut rt);
+        // Crash: dropped without finish().
+    }
+    {
+        let mut rt = batch_runtime(2, Some(&dir2));
+        drive_prefix(&mut rt);
+    }
+    let wal1 = std::fs::read(vetl::skyscraper::runtime::wal_path(&dir1)).expect("wal 1");
+    let wal2 = std::fs::read(vetl::skyscraper::runtime::wal_path(&dir2)).expect("wal 2");
+    assert_eq!(wal1, wal2, "batched WAL bytes are deterministic");
+    let _ = std::fs::remove_dir_all(&dir2);
+
+    // Recover from the batched journal (replaying SegBatch records through
+    // push_batch), resume with batches, and finish: bitwise identical to
+    // the uninterrupted per-segment loop. The recovery even changes the
+    // shard count.
+    let resolve = |slot: usize, id: &str| {
+        assert_eq!(id, format!("cam-{slot}"));
+        let (w, m, _) = &fixture()[slot];
+        Some((m, w as &(dyn Workload + 'static)))
+    };
+    let (mut rt, report) = IngestRuntime::recover(
+        RuntimeConfig {
+            shards: 1,
+            shared_cloud_budget_usd: SHARED_BUDGET_USD,
+            seed: SEED,
+            replan_interval_secs: Some(REPLAN_SECS),
+            total_cores: Some(TOTAL_CORES),
+            durability: Some(DurabilityConfig {
+                dir: dir1.clone(),
+                checkpoint_every_epochs: 0,
+            }),
+            ..RuntimeConfig::default()
+        },
+        &resolve,
+    )
+    .expect("recover");
+    assert_eq!(report.replay_errors, 0);
+    assert_eq!(
+        report.streams[0].accepted_segments,
+        2 * QUOTA,
+        "every batched segment before the crash is durable"
+    );
+    assert_eq!(report.streams[1].accepted_segments, 2 * QUOTA + 100);
+
+    let (a, b) = (StreamId::from_index(0), StreamId::from_index(1));
+    rt.push_batch(a, &s0[2 * QUOTA..serve]).expect("resume");
+    rt.push_batch(b, &s1[2 * QUOTA + 100..serve])
+        .expect("resume");
+    rt.close_stream(a).expect("close");
+    rt.close_stream(b).expect("close");
+    let out = rt.finish().expect("finish");
+    assert_multi_outcomes_bitwise_equal("batched WAL replays bitwise", &reference, &out);
+    let _ = std::fs::remove_dir_all(&dir1);
 }
