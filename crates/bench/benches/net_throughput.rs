@@ -1,0 +1,312 @@
+//! Network front-end throughput: thousands of connections over a Unix
+//! socket vs the same schedule driven in-process.
+//!
+//! Fits one COVID model, registers it as a profile on an
+//! [`IngestService`], and serves it through a [`NetServer`] on a
+//! Unix-domain socket. `VETL_NET_CONNS` simulated camera connections
+//! (default 2048; CI smoke runs a small count) arrive in waves of
+//! `VETL_NET_ACTIVE` concurrently live streams: each connection opens a
+//! stream by profile name, pushes its segments in framed batches, closes,
+//! and disconnects — so the server sees continuous connection churn while
+//! the runtime's active set stays at the wave size. The identical wave
+//! schedule is then driven in-process through an [`IngestRuntime`], and
+//! the two joint outcomes must be **bitwise identical** — the socket
+//! front-end may add latency, never divergence. Appends a `net` section
+//! (connections, segs/s, p99 push round-trip) to `BENCH_offline.json`.
+
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::Instant;
+
+use skyscraper::runtime::{IngestRuntime, RuntimeConfig};
+use skyscraper::serve::IngestService;
+use skyscraper::testkit::assert_multi_outcomes_bitwise_equal;
+use skyscraper::{IngestOptions, MultiOutcome, StreamId};
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, merge_into};
+use vetl_bench::{data_scale, detect_cores, f2, Fitted, Table, SEED};
+use vetl_net::{Endpoint, NetClient, NetClientConfig, NetServer, ServerConfig};
+use vetl_sim::CostModel;
+use vetl_workloads::spec::DataScale;
+use vetl_workloads::{PaperWorkload, MACHINES};
+
+/// Segments each connection pushes (under one epoch quota, so waves are
+/// settled by the next wave's admission flush, not barrier dispatch).
+const SEGS_PER_CONN: usize = 60;
+/// Client-side batch size: two framed round trips per connection.
+const CHUNK: usize = 30;
+/// 120-segment planning epochs at 2 s segments.
+const REPLAN_SECS: f64 = 240.0;
+
+fn env_count(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Sequential admission tickets: connection `t` opens only after `t-1`'s
+/// open is acknowledged, making slot assignment — and with it the
+/// runtime's per-slot RNG derivation — identical to the in-process
+/// reference while pushes stay fully concurrent.
+struct Tickets {
+    turn: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Tickets {
+    fn new() -> Self {
+        Self {
+            turn: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+    fn wait_for(&self, t: usize) {
+        let mut turn = self.turn.lock().unwrap();
+        while *turn < t {
+            turn = self.cv.wait(turn).unwrap();
+        }
+    }
+    fn advance(&self) {
+        *self.turn.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+}
+
+fn runtime_config(active: usize, cheapest_rate: f64) -> RuntimeConfig {
+    RuntimeConfig {
+        shards: 0, // VETL_SHARDS override or one per detected core
+        shared_cloud_budget_usd: 2.0,
+        cost_model: CostModel::default(),
+        seed: SEED,
+        replan_interval_secs: Some(REPLAN_SECS),
+        // Provision exactly enough cluster for one wave of fair shares.
+        total_cores: Some(active as f64 * cheapest_rate.ceil().max(1.0)),
+        ..RuntimeConfig::default()
+    }
+}
+
+struct NetDrive {
+    serve_secs: f64,
+    out: MultiOutcome,
+    connections: usize,
+    push_latencies_ms: Vec<f64>,
+    retries: u64,
+    shards: usize,
+}
+
+/// Drive `waves × active` connections over a Unix socket: per wave, each
+/// of the `active` worker threads connects, opens its slot (ticketed),
+/// pushes `SEGS_PER_CONN` segments in `CHUNK`-sized batches, closes, and
+/// disconnects.
+fn drive_net(fitted: &Fitted, waves: usize, active: usize, rate: f64) -> NetDrive {
+    let mut service = IngestService::new(runtime_config(active, rate));
+    service.register_profile("covid", &fitted.model, fitted.spec.workload.as_ref());
+    let segs = &fitted.spec.online[..SEGS_PER_CONN];
+
+    let sock = std::env::temp_dir().join(format!("vetl-net-bench-{}.sock", std::process::id()));
+    let server = NetServer::bind(ServerConfig {
+        unix: Some(sock.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let ep = Endpoint::Unix(sock);
+
+    let tickets = Tickets::new();
+    let wave_gate = Barrier::new(active);
+    let t0 = Instant::now();
+    let (report, stats) = std::thread::scope(|s| {
+        let serve = s.spawn(move || server.serve(service).expect("serve"));
+        let (tickets, wave_gate, ep) = (&tickets, &wave_gate, &ep);
+        let workers: Vec<_> = (0..active)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut latencies = Vec::with_capacity(waves * 2);
+                    let mut retries = 0u64;
+                    let mut shards = 0usize;
+                    for w in 0..waves {
+                        let mut client =
+                            NetClient::connect(ep, NetClientConfig::default()).expect("connect");
+                        shards = client.hello().shards;
+                        let ticket = w * active + i;
+                        tickets.wait_for(ticket);
+                        let slot = client
+                            .open_stream(
+                                "covid",
+                                &format!("cam-{ticket:04}"),
+                                IngestOptions::default(),
+                            )
+                            .expect("open");
+                        assert_eq!(slot as usize, ticket, "ticketed slot order");
+                        tickets.advance();
+                        // The whole wave is admitted before anyone pushes:
+                        // an open taken mid-push would flush the partial
+                        // epoch queued so far and diverge from the
+                        // in-process reference's open-then-push order.
+                        wave_gate.wait();
+                        for part in segs.chunks(CHUNK) {
+                            let t = Instant::now();
+                            let st = client.push_batch(slot, part).expect("push");
+                            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                            retries += st.retries;
+                        }
+                        client.close_stream(slot).expect("close");
+                        drop(client);
+                        // Every close of this wave must be enqueued before
+                        // the next wave's admissions flush the epoch.
+                        wave_gate.wait();
+                    }
+                    (latencies, retries, shards)
+                })
+            })
+            .collect();
+        let stats: Vec<_> = workers
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
+        let mut coordinator = NetClient::connect(&ep.clone(), NetClientConfig::default())
+            .expect("coordinator connect");
+        coordinator.shutdown_server().expect("shutdown");
+        (serve.join().expect("serve thread"), stats)
+    });
+    let serve_secs = t0.elapsed().as_secs_f64();
+
+    let mut push_latencies_ms = Vec::new();
+    let mut retries = 0u64;
+    let mut shards = 0usize;
+    for (lat, r, sh) in stats {
+        push_latencies_ms.extend(lat);
+        retries += r;
+        shards = sh;
+    }
+    assert_eq!(report.malformed, 0, "a clean drive has no violations");
+    assert_eq!(report.autoclosed_streams, 0, "every close was explicit");
+    NetDrive {
+        serve_secs,
+        out: report.outcome,
+        connections: report.connections,
+        push_latencies_ms,
+        retries,
+        shards,
+    }
+}
+
+/// The same wave schedule driven in-process: the bitwise ground truth.
+fn drive_inprocess(fitted: &Fitted, waves: usize, active: usize, rate: f64) -> (f64, MultiOutcome) {
+    let model = &fitted.model;
+    let workload = fitted.spec.workload.as_ref();
+    let segs = &fitted.spec.online[..SEGS_PER_CONN];
+    let t0 = Instant::now();
+    let mut rt = IngestRuntime::new(runtime_config(active, rate));
+    for w in 0..waves {
+        let ids: Vec<StreamId> = (0..active)
+            .map(|i| {
+                rt.open_stream(
+                    format!("cam-{:04}", w * active + i),
+                    model,
+                    workload,
+                    IngestOptions::default(),
+                )
+                .expect("admission")
+            })
+            .collect();
+        for id in &ids {
+            rt.push_batch(*id, segs).expect("under-quota push");
+        }
+        for id in &ids {
+            rt.close_stream(*id).expect("close");
+        }
+    }
+    let out = rt.finish().expect("finish");
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+fn p99(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies[(latencies.len() - 1) * 99 / 100]
+}
+
+fn main() {
+    let scale = data_scale();
+    let conns_wanted = env_count(
+        "VETL_NET_CONNS",
+        if scale == DataScale::Paper {
+            4096
+        } else {
+            2048
+        },
+    );
+    let active = env_count("VETL_NET_ACTIVE", 32).min(conns_wanted);
+    let waves = (conns_wanted / active).max(1);
+    let conns = waves * active;
+    let cores = detect_cores();
+    println!(
+        "Network front-end throughput ({scale:?} scale, {conns} connections \
+         in {waves} waves of {active}, {cores} cores detected)"
+    );
+
+    let fitted = vetl_bench::fit_on(PaperWorkload::Covid, &MACHINES[2], scale);
+    let model = &fitted.model;
+    let rate = model.configs[model.cheapest()].work_mean / model.seg_len;
+
+    let net = drive_net(&fitted, waves, active, rate);
+    let (inproc_secs, reference) = drive_inprocess(&fitted, waves, active, rate);
+
+    // The front-end's determinism contract: a socket in the path may not
+    // change one bit of any outcome.
+    assert_multi_outcomes_bitwise_equal("net vs in-process", &reference, &net.out);
+    assert_eq!(net.out.streams.len(), conns);
+    assert_eq!(net.connections, conns + 1, "waves plus the coordinator");
+
+    let segments: usize = net.out.streams.iter().map(|s| s.outcome.segments).sum();
+    assert_eq!(segments, conns * SEGS_PER_CONN);
+    let net_rate = segments as f64 / net.serve_secs.max(1e-9);
+    let inproc_rate = segments as f64 / inproc_secs.max(1e-9);
+    let mut latencies = net.push_latencies_ms.clone();
+    let p99_ms = p99(&mut latencies);
+
+    let mut table = Table::new(
+        "network front-end vs in-process",
+        &["leg", "serve s", "segs/s", "p99 push ms"],
+    );
+    table.row(vec![
+        format!("net unix ({} shards)", net.shards),
+        f2(net.serve_secs),
+        format!("{net_rate:.0}"),
+        f2(p99_ms),
+    ]);
+    table.row(vec![
+        "in-process".into(),
+        f2(inproc_secs),
+        format!("{inproc_rate:.0}"),
+        "-".into(),
+    ]);
+    table.print();
+    println!(
+        "\n{conns} connections × {SEGS_PER_CONN} segments, bitwise identical \
+         to in-process; {} retryable rejections absorbed",
+        net.retries
+    );
+
+    merge_into(
+        bench_json_path(),
+        "net",
+        &jobj(&[
+            ("connections", jnum(conns as f64)),
+            ("active_streams", jnum(active as f64)),
+            ("waves", jnum(waves as f64)),
+            ("segments", jnum(segments as f64)),
+            ("cores_detected", jnum(cores as f64)),
+            ("shards", jnum(net.shards as f64)),
+            ("serve_secs", jnum(net.serve_secs)),
+            ("segs_per_sec", jnum(net_rate)),
+            ("p99_push_ms", jnum(p99_ms)),
+            ("retries", jnum(net.retries as f64)),
+            ("inprocess_serve_secs", jnum(inproc_secs)),
+            ("inprocess_segs_per_sec", jnum(inproc_rate)),
+            ("overhead_factor", jnum(inproc_rate / net_rate.max(1e-9))),
+        ]),
+    );
+}

@@ -50,25 +50,13 @@ pub const SEED: u64 = 7;
 /// default deep inside the pipeline made BENCH_offline.json record
 /// `"threads": 1` for the "parallel" leg whenever resolution failed,
 /// reporting a parallel speedup that never fanned out.
+///
+/// The detection logic itself lives with the serving tier
+/// ([`skyscraper::serve::detect_cores`]) so server startup and the
+/// benches resolve parallelism identically; this is a thin delegate kept
+/// for the benches' existing imports.
 pub fn detect_cores() -> usize {
-    if let Ok(v) = std::env::var("VETL_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    if let Ok(n) = std::thread::available_parallelism() {
-        return n.get();
-    }
-    std::fs::read_to_string("/proc/cpuinfo")
-        .map(|s| {
-            s.lines()
-                .filter(|l| l.starts_with("processor"))
-                .count()
-                .max(1)
-        })
-        .unwrap_or(1)
+    skyscraper::serve::detect_cores()
 }
 
 /// A worker pool sized to the machine, for benches that call the parallel

@@ -163,6 +163,32 @@ pub enum SkyError {
     },
 }
 
+impl SkyError {
+    /// Whether the operation that produced this error can be retried
+    /// verbatim once the engine makes progress. Retryable errors are the
+    /// typed backpressure shapes — [`SkyError::Overloaded`] (a full
+    /// mailbox) and [`SkyError::EpochBarrier`] (the joint replanning
+    /// barrier cannot fire yet) — plus the wrapper variants
+    /// ([`SkyError::BatchFailed`], [`SkyError::PushFailed`]) whose *cause*
+    /// is retryable. Everything else is terminal: re-sending the same
+    /// input yields the same rejection (admission failures, closed or
+    /// unknown streams, invalid input, corrupt persistence, …).
+    ///
+    /// The network front-end maps this directly onto the wire: a
+    /// retryable error becomes a `Rejected { retryable: true, .. }` reply
+    /// and the client backs off and re-feeds the unacknowledged suffix; a
+    /// terminal error is surfaced to the caller unchanged.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SkyError::Overloaded { .. } | SkyError::EpochBarrier { .. } => true,
+            SkyError::BatchFailed { source, .. } | SkyError::PushFailed { source, .. } => {
+                source.is_retryable()
+            }
+            _ => false,
+        }
+    }
+}
+
 impl std::fmt::Display for SkyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -368,5 +394,105 @@ mod tests {
         assert!(SkyError::InvalidInput { what: "seg_len" }
             .to_string()
             .contains("seg_len"));
+    }
+
+    /// The full classification table behind [`SkyError::is_retryable`]:
+    /// exactly the backpressure shapes (and wrappers around them) are
+    /// retryable, every terminal error stays terminal even when wrapped.
+    #[test]
+    fn retryable_classification_table() {
+        let overloaded = SkyError::Overloaded {
+            stream: 0,
+            queued: 900,
+            capacity: 900,
+        };
+        let barrier = SkyError::EpochBarrier {
+            stream: 1,
+            waiting_on: 2,
+        };
+        let retryable = [overloaded.clone(), barrier.clone()];
+        for e in &retryable {
+            assert!(e.is_retryable(), "{e} must be retryable");
+            // Wrappers inherit the cause's classification.
+            let batch = SkyError::BatchFailed {
+                accepted: 3,
+                source: Box::new(e.clone()),
+            };
+            assert!(batch.is_retryable(), "{batch} must be retryable");
+            let push = SkyError::PushFailed {
+                stream: 0,
+                source: Box::new(e.clone()),
+            };
+            assert!(push.is_retryable(), "{push} must be retryable");
+            // Double wrapping (batch of a failing per-stream push).
+            let nested = SkyError::BatchFailed {
+                accepted: 0,
+                source: Box::new(SkyError::PushFailed {
+                    stream: 0,
+                    source: Box::new(e.clone()),
+                }),
+            };
+            assert!(nested.is_retryable(), "{nested} must be retryable");
+        }
+
+        let terminal = [
+            SkyError::UnderProvisioned {
+                cheapest_work_rate: 3.0,
+                cluster_throughput: 2.0,
+            },
+            SkyError::PlannerLp(LpError::Infeasible),
+            SkyError::InsufficientData { what: "segments" },
+            SkyError::NotFitted,
+            SkyError::EmptyConfigSpace,
+            SkyError::NoPlanInstalled,
+            SkyError::NoStreams,
+            SkyError::StreamCountMismatch {
+                what: "forecast",
+                expected: 2,
+                got: 1,
+            },
+            SkyError::ForecastShape {
+                stream: 0,
+                expected: 3,
+                got: 2,
+            },
+            SkyError::UnknownStream { id: 7 },
+            SkyError::StreamClosed { id: 4 },
+            SkyError::InvalidInput { what: "segment" },
+            SkyError::NonFinite { what: "quality" },
+            SkyError::ArtifactVersionMismatch {
+                kind: "model",
+                found: 2,
+                supported: 1,
+            },
+            SkyError::StaleArtifact { what: "plan" },
+            SkyError::CorruptKnowledgeBase {
+                detail: "bad magic".into(),
+            },
+            SkyError::KnowledgeBaseIo {
+                path: "/tmp/kb".into(),
+                detail: "denied".into(),
+            },
+            SkyError::CorruptWal {
+                detail: "checksum".into(),
+            },
+            SkyError::WalIo {
+                path: "/tmp/wal".into(),
+                detail: "denied".into(),
+            },
+        ];
+        for e in &terminal {
+            assert!(!e.is_retryable(), "{e} must be terminal");
+            let batch = SkyError::BatchFailed {
+                accepted: 3,
+                source: Box::new(e.clone()),
+            };
+            assert!(!batch.is_retryable(), "{batch} must stay terminal");
+            let push = SkyError::PushFailed {
+                stream: 0,
+                source: Box::new(e.clone()),
+            };
+            assert!(!push.is_retryable(), "{push} must stay terminal");
+        }
     }
 }

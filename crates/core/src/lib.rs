@@ -41,6 +41,11 @@
 //!   with bounded ingress mailboxes, epoch-barrier joint replanning, and
 //!   mid-run stream churn — bitwise identical to the sequential server for
 //!   every shard count.
+//! * [`serve`] — the network-serving integration: a profile registry plus
+//!   [`serve::IngestService`] wrapping the runtime, and the versioned
+//!   binary wire protocol ([`serve::proto`]) spoken by the `vetl-net`
+//!   socket server — segments on the wire use the journal's exact
+//!   encoding, so served and in-process ingestion are bitwise identical.
 //! * [`api`] — a user-facing facade mirroring the Python API of Appendix F.
 //!
 //! ## Quality model
@@ -62,6 +67,7 @@ pub mod offline;
 pub mod online;
 pub mod profile;
 pub mod runtime;
+pub mod serve;
 #[doc(hidden)]
 pub mod testkit;
 pub mod workload;
@@ -88,4 +94,5 @@ pub use runtime::{
     DurabilityConfig, IngestRuntime, RecoveredStream, RecoveryReport, RuntimeConfig,
     RuntimeMetrics, StreamMetrics, StreamResolver,
 };
+pub use serve::{detect_cores, detect_shards, IngestService};
 pub use workload::Workload;

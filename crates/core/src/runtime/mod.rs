@@ -44,7 +44,7 @@
 
 mod mailbox;
 mod metrics;
-mod wal;
+pub(crate) mod wal;
 
 pub use metrics::{RuntimeMetrics, StreamMetrics};
 
@@ -369,9 +369,11 @@ impl<'a> IngestRuntime<'a> {
         let shards = if cfg.shards > 0 {
             cfg.shards
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            // `0` defers to deployment-level detection: the `VETL_SHARDS`
+            // override if set, otherwise the detected core count (see
+            // [`crate::serve::detect_shards`]). Shard count never changes
+            // an outcome bit, so the override is purely operational.
+            crate::serve::detect_shards()
         };
         Self {
             pool: ActorPool::new(shards),
@@ -571,7 +573,7 @@ impl<'a> IngestRuntime<'a> {
     /// **semantically identical** to calling [`push`](Self::push) once per
     /// segment, in order (property-tested in `tests/runtime.rs`), but on the
     /// hot path the run is journaled as one fused
-    /// [`WalRecord::SegBatch`](wal) frame per accepted chunk and enqueued
+    /// `WalRecord::SegBatch` frame per accepted chunk and enqueued
     /// with a single mailbox reservation instead of one of each per segment.
     ///
     /// The batch is applied in chunks bounded by the mailbox's remaining

@@ -125,7 +125,7 @@ pub(crate) enum WalRecord {
     },
 }
 
-fn enc_segment(e: &mut Enc, s: &Segment) {
+pub(crate) fn enc_segment(e: &mut Enc, s: &Segment) {
     e.u64(s.index);
     e.f64(s.duration);
     e.f64(s.content.time.as_secs());
@@ -135,7 +135,7 @@ fn enc_segment(e: &mut Enc, s: &Segment) {
     e.f64(s.bytes);
 }
 
-fn dec_segment(d: &mut Dec) -> DecodeResult<Segment> {
+pub(crate) fn dec_segment(d: &mut Dec) -> DecodeResult<Segment> {
     Ok(Segment {
         index: d.u64("segment index")?,
         duration: d.f64("segment duration")?,

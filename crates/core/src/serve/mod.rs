@@ -1,0 +1,246 @@
+//! Serving integration: the glue between a socket front-end and the
+//! sharded [`IngestRuntime`].
+//!
+//! The runtime itself is an in-process API borrowing fitted models; a
+//! network server cannot ship models over the wire (clients hold segment
+//! streams, not multi-megabyte knowledge bases). [`IngestService`] closes
+//! that gap: the embedder registers named **profiles** (a fitted model +
+//! workload pair per camera type), and remote clients open streams *by
+//! profile name*. Everything else — admission, typed backpressure, epoch
+//! barriers, the shared wallet — is the runtime's existing contract,
+//! reached through thin wrappers so a served deployment and an in-process
+//! one are bitwise identical over the same segment schedule.
+//!
+//! The wire messages live in [`proto`]; the socket transport (framing,
+//! connection threads, timeouts) lives in the `vetl-net` crate, which
+//! depends on this one.
+
+pub mod proto;
+
+use vetl_video::Segment;
+
+use crate::error::SkyError;
+use crate::multistream::{MultiOutcome, StreamId};
+use crate::offline::FittedModel;
+use crate::online::session::IngestOptions;
+use crate::runtime::{IngestRuntime, RuntimeConfig, RuntimeMetrics};
+use crate::workload::Workload;
+
+/// Detected worker parallelism: the `VETL_THREADS` override if set,
+/// otherwise [`std::thread::available_parallelism`], falling back to
+/// counting `/proc/cpuinfo` processors (containers without cgroup info),
+/// and finally `1`.
+pub fn detect_cores() -> usize {
+    if let Ok(v) = std::env::var("VETL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get();
+    }
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| {
+            s.lines()
+                .filter(|l| l.starts_with("processor"))
+                .count()
+                .max(1)
+        })
+        .unwrap_or(1)
+}
+
+/// Shard count for a runtime whose [`RuntimeConfig::shards`] is `0`: the
+/// `VETL_SHARDS` override if set (the CI chaos matrix pins it), otherwise
+/// [`detect_cores`]. Shard count never changes an outcome bit — the
+/// runtime's determinism contract — so this is purely an operational
+/// choice; servers log it in their `Hello` reply.
+pub fn detect_shards() -> usize {
+    if let Ok(v) = std::env::var("VETL_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    detect_cores()
+}
+
+/// A named model/workload pair remote clients can open streams under.
+struct Profile<'a> {
+    name: String,
+    model: &'a FittedModel,
+    workload: &'a (dyn Workload + 'a),
+}
+
+/// The protocol-agnostic serving facade over one [`IngestRuntime`].
+///
+/// Owns the runtime plus the profile registry and exposes exactly the
+/// operations the wire protocol carries. A socket server drives it from
+/// its connection-event loop; tests drive it directly. All methods are
+/// `&mut self` — the runtime is single-writer by design, and the
+/// front-end serializes connection events into it.
+pub struct IngestService<'a> {
+    rt: IngestRuntime<'a>,
+    profiles: Vec<Profile<'a>>,
+}
+
+impl<'a> IngestService<'a> {
+    /// Build a service over a fresh runtime. A `cfg.shards` of `0`
+    /// resolves through [`detect_shards`] (the `VETL_SHARDS` override or
+    /// the detected core count).
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Self {
+            rt: IngestRuntime::new(cfg),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Register a profile remote clients can open streams under. A
+    /// re-registered name replaces the previous profile.
+    pub fn register_profile(
+        &mut self,
+        name: impl Into<String>,
+        model: &'a FittedModel,
+        workload: &'a (dyn Workload + 'a),
+    ) {
+        let name = name.into();
+        if let Some(p) = self.profiles.iter_mut().find(|p| p.name == name) {
+            p.model = model;
+            p.workload = workload;
+        } else {
+            self.profiles.push(Profile {
+                name,
+                model,
+                workload,
+            });
+        }
+    }
+
+    /// Registered profile names, in registration order.
+    pub fn profile_names(&self) -> Vec<&str> {
+        self.profiles.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Worker shards serving the streams.
+    pub fn shards(&self) -> usize {
+        self.rt.shards()
+    }
+
+    /// Planning epochs completed — the backoff hint carried by every
+    /// [`proto::Reply::Rejected`].
+    pub fn epoch(&self) -> usize {
+        self.rt.epoch()
+    }
+
+    /// Admit a stream under a registered profile. Unknown profiles are a
+    /// terminal [`SkyError::InvalidInput`]; everything else is the
+    /// runtime's own admission contract (fair-share check, joint replan
+    /// with the newcomer).
+    pub fn open(
+        &mut self,
+        profile: &str,
+        name: impl Into<String>,
+        options: IngestOptions,
+    ) -> Result<StreamId, SkyError> {
+        let p = self
+            .profiles
+            .iter()
+            .find(|p| p.name == profile)
+            .ok_or(SkyError::InvalidInput {
+                what: "unknown stream profile",
+            })?;
+        self.rt.open_stream(name, p.model, p.workload, options)
+    }
+
+    /// Push a batch through the runtime's mailbox backpressure. Identical
+    /// semantics to [`IngestRuntime::push_batch`], including the
+    /// [`SkyError::BatchFailed`] resume-from-`accepted` contract.
+    pub fn push_batch(&mut self, stream: StreamId, segs: &[Segment]) -> Result<(), SkyError> {
+        self.rt.push_batch(stream, segs)
+    }
+
+    /// Enqueue an in-band close marker for a stream.
+    pub fn close(&mut self, stream: StreamId) -> Result<(), SkyError> {
+        self.rt.close_stream(stream)
+    }
+
+    /// Snapshot the runtime metrics (the `Stats` reply).
+    pub fn metrics(&self) -> RuntimeMetrics {
+        self.rt.metrics()
+    }
+
+    /// Graceful drain: deliver everything queued, settle every stream
+    /// across the final barrier, and return the joint outcome — the
+    /// server flushes per-stream [`proto::Reply::Outcome`]s from it.
+    pub fn drain(self) -> Result<MultiOutcome, SkyError> {
+        self.rt.finish()
+    }
+
+    /// Map an engine error onto the wire's rejection reply, carrying the
+    /// retryability classification, the current epoch as a backoff hint,
+    /// and the accepted-prefix length of a partially applied batch.
+    pub fn rejection(&self, err: &SkyError) -> proto::Reply {
+        let accepted = match err {
+            SkyError::BatchFailed { accepted, .. } => *accepted as u64,
+            _ => 0,
+        };
+        proto::Reply::Rejected {
+            retryable: err.is_retryable(),
+            reason: err.to_string(),
+            epoch: self.epoch() as u64,
+            accepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_shards_prefers_env_override() {
+        // Full env-dependent behavior is covered by the CI matrix; here we
+        // only pin the parsing contract on whatever environment exists.
+        let n = detect_shards();
+        assert!(n >= 1);
+        let c = detect_cores();
+        assert!(c >= 1);
+        if std::env::var("VETL_SHARDS").is_err() && std::env::var("VETL_THREADS").is_err() {
+            assert_eq!(n, c, "without overrides shards follow detected cores");
+        }
+    }
+
+    #[test]
+    fn rejection_maps_batch_failures() {
+        let svc = IngestService::new(RuntimeConfig {
+            shards: 1,
+            ..RuntimeConfig::default()
+        });
+        let err = SkyError::BatchFailed {
+            accepted: 17,
+            source: Box::new(SkyError::Overloaded {
+                stream: 0,
+                queued: 30,
+                capacity: 30,
+            }),
+        };
+        match svc.rejection(&err) {
+            proto::Reply::Rejected {
+                retryable,
+                accepted,
+                ..
+            } => {
+                assert!(retryable);
+                assert_eq!(accepted, 17);
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        let term = SkyError::UnknownStream { id: 3 };
+        match svc.rejection(&term) {
+            proto::Reply::Rejected { retryable, .. } => assert!(!retryable),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+}

@@ -140,7 +140,7 @@ impl Matrix {
     /// Matrix-vector product writing into a caller-provided buffer
     /// (allocation-free hot path for NN inference).
     ///
-    /// Blocked eight output rows per pass ([`dot8`]); the tail rows fall
+    /// Blocked eight output rows per pass (`dot8`); the tail rows fall
     /// back to the scalar loop the block is bit-identical to.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");

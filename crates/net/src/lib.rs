@@ -1,0 +1,35 @@
+//! # vetl-net — the network ingest front-end
+//!
+//! A framed socket server (TCP + Unix-domain) and client over the sharded
+//! [`skyscraper::IngestRuntime`], turning the in-process serving tier
+//! into something camera fleets can actually feed. The wire protocol —
+//! defined next to the engine in [`skyscraper::serve::proto`] — is a
+//! versioned, length-prefixed binary exchange reusing the checksummed
+//! framing discipline of the knowledge-base codec and the runtime
+//! journal, with segments encoded by the exact functions the write-ahead
+//! log uses.
+//!
+//! The design goal is the same determinism contract the runtime already
+//! holds: **outcomes served over a socket are bitwise identical to
+//! in-process ingestion of the same segment schedule**, for any client
+//! count, any shard count, and any number of retryable-rejection
+//! re-feeds. The server adds no queues of its own — backpressure is the
+//! runtime's bounded mailboxes, surfaced to clients as typed retryable
+//! rejections with an epoch hint.
+//!
+//! * [`NetServer`] — thread-per-connection front-end over one
+//!   [`skyscraper::serve::IngestService`]; graceful drain on shutdown
+//!   (barrier-settle, then per-stream `Outcome` flush); malformed, torn,
+//!   or checksum-bad frames answered typed and the connection closed —
+//!   never a panic, never a silently dropped segment.
+//! * [`NetClient`] — connect/retry/backoff, plus a
+//!   [`NetClient::push_batch`] that transparently re-feeds the
+//!   unacknowledged suffix on retryable rejections.
+
+mod client;
+mod frame;
+mod server;
+
+pub use client::{NetClient, NetClientConfig, PushStats, ServerHello, StreamResult};
+pub use frame::{write_frame, Endpoint, NetError, MAX_FRAME_BYTES};
+pub use server::{NetServer, ServeReport, ServerConfig, ServerHandle};

@@ -1,0 +1,139 @@
+//! Network ingestion: remote cameras feeding the sharded runtime over a
+//! framed Unix socket.
+//!
+//! ```text
+//! cargo run --release --example net_ingest
+//! ```
+//!
+//! One MOT model is fitted offline and registered as a named **profile**
+//! on an [`IngestService`]; a [`NetServer`] then serves it over a
+//! Unix-domain socket (a TCP listener is bound too, to show both
+//! families). Four camera clients connect with [`NetClient`], open
+//! streams by profile name, and push their segments in batches — mailbox
+//! backpressure comes back as typed retryable rejections that the client
+//! absorbs by re-feeding the unacknowledged suffix. A graceful shutdown
+//! drains the runtime and delivers every stream's settled outcome back
+//! over its own connection.
+
+use vetl::prelude::*;
+use vetl::skyscraper::offline::run_offline;
+use vetl::workloads::MotWorkload;
+
+/// 120-segment planning epochs at 2 s segments.
+const REPLAN_SECS: f64 = 240.0;
+const CAMERAS: usize = 4;
+const SEGS_PER_CAMERA: usize = 600;
+
+fn main() {
+    let mot = MotWorkload::new();
+    let hyper = SkyscraperConfig {
+        n_categories: 3,
+        planned_interval_secs: 4.0 * 3_600.0,
+        forecast_input_secs: 4.0 * 3_600.0,
+        forecast_input_splits: 4,
+        ..SkyscraperConfig::default()
+    };
+    let hardware = HardwareSpec::with_cores(16).with_buffer(4e9);
+
+    println!("fitting MOT @ traffic intersection…");
+    let mut cam = SyntheticCamera::new(ContentParams::traffic_intersection(41), 2.0);
+    let labeled = Recording::record(&mut cam, 20.0 * 60.0);
+    let unlabeled = Recording::record(&mut cam, 2.0 * 86_400.0);
+    let (model, _) = run_offline(&mot, &labeled, &unlabeled, hardware, &hyper).expect("fit");
+
+    // Each camera is an independent content process served by the same
+    // fitted profile (one model per camera *type*).
+    let feeds: Vec<Vec<Segment>> = (0..CAMERAS as u64)
+        .map(|v| {
+            let mut c = SyntheticCamera::new(ContentParams::traffic_intersection(50 + v), 2.0);
+            Recording::record(&mut c, 2.0 * SEGS_PER_CAMERA as f64)
+                .segments()
+                .to_vec()
+        })
+        .collect();
+
+    let mut service = IngestService::new(RuntimeConfig {
+        shards: 0, // VETL_SHARDS override or one per detected core
+        shared_cloud_budget_usd: 1.0,
+        replan_interval_secs: Some(REPLAN_SECS),
+        total_cores: Some(16.0),
+        seed: 77,
+        ..RuntimeConfig::default()
+    });
+    service.register_profile("mot-traffic", &model, &mot);
+
+    let sock = std::env::temp_dir().join(format!("vetl-net-ingest-{}.sock", std::process::id()));
+    let server = NetServer::bind(ServerConfig {
+        unix: Some(sock.clone()),
+        tcp: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    println!(
+        "serving on {} and tcp {}…",
+        sock.display(),
+        server.tcp_addr().expect("tcp addr")
+    );
+
+    let gate = std::sync::Barrier::new(CAMERAS);
+    let report = std::thread::scope(|s| {
+        let serve = s.spawn(move || server.serve(service).expect("serve"));
+        let (gate, sock, feeds) = (&gate, &sock, &feeds);
+        let cams: Vec<_> = (0..CAMERAS)
+            .map(|v| {
+                s.spawn(move || {
+                    let ep = Endpoint::Unix(sock.clone());
+                    let mut client =
+                        NetClient::connect(&ep, NetClientConfig::default()).expect("connect");
+                    if v == 0 {
+                        let h = client.hello();
+                        println!("connected to '{}' running {} shard(s)", h.server, h.shards);
+                    }
+                    let slot = client
+                        .open_stream(
+                            "mot-traffic",
+                            &format!("cam-{v:02}"),
+                            IngestOptions::default(),
+                        )
+                        .expect("open");
+                    let stats = client.push_batch(slot, &feeds[v]).expect("push");
+                    client.close_stream(slot).expect("close");
+                    println!(
+                        "cam-{v:02}: {} segments in {} round trips ({} retries, {} re-fed)",
+                        feeds[v].len(),
+                        stats.round_trips,
+                        stats.retries,
+                        stats.refed_segments,
+                    );
+                    gate.wait(); // every camera done before the shutdown
+                    if v == 0 {
+                        client.shutdown_server().expect("shutdown");
+                    }
+                    client.recv_outcomes(1).expect("outcome").remove(0)
+                })
+            })
+            .collect();
+        let mut results: Vec<_> = cams
+            .into_iter()
+            .map(|h| h.join().expect("camera"))
+            .collect();
+        results.sort_by_key(|r| r.stream);
+        for r in &results {
+            println!(
+                "  {}: quality {:.3}, {:.0} core-s on-prem, ${:.3} cloud, {} overflows",
+                r.workload_id,
+                r.outcome.mean_quality,
+                r.outcome.work_core_secs,
+                r.outcome.cloud_usd,
+                r.outcome.overflows,
+            );
+        }
+        serve.join().expect("serve thread")
+    });
+
+    println!(
+        "drained: {} connection(s), joint quality {:.3}, ${:.3} cloud total",
+        report.connections, report.outcome.joint_quality, report.outcome.cloud_usd,
+    );
+    assert_eq!(report.malformed, 0);
+}

@@ -15,6 +15,8 @@
 //! * [`exec`] — a thread-pool actor executor (the Ray stand-in).
 //! * [`workloads`] — COVID, MOT, MOSEI-HIGH/LONG and the EV example.
 //! * [`baselines`] — Static, Chameleon*, VideoStorm* and the Optimum oracle.
+//! * [`net`] — the framed socket front-end (TCP + Unix) serving the sharded
+//!   ingest runtime to remote clients.
 //!
 //! See `examples/quickstart.rs` for the fastest way in, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -25,6 +27,7 @@ pub use vetl_baselines as baselines;
 pub use vetl_exec as exec;
 pub use vetl_lp as lp;
 pub use vetl_ml as ml;
+pub use vetl_net as net;
 pub use vetl_sim as sim;
 pub use vetl_video as video;
 pub use vetl_workloads as workloads;
@@ -39,6 +42,8 @@ pub mod prelude {
         SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig, StepReport, StreamId,
         StreamMetrics, StreamStats, Workload,
     };
+    pub use skyscraper::{IngestService, StreamOutcome};
+    pub use vetl_net::{Endpoint, NetClient, NetClientConfig, NetServer, ServerConfig};
     pub use vetl_sim::{CostModel, HardwareSpec};
     pub use vetl_video::{ContentParams, Recording, Segment, SimTime, SyntheticCamera};
     pub use vetl_workloads::{CovidWorkload, EvWorkload, MoseiVariant, MoseiWorkload, MotWorkload};
