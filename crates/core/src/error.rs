@@ -144,6 +144,27 @@ pub enum SkyError {
         /// The underlying error, stringified.
         detail: String,
     },
+    /// The dedup cache was consulted under a scope or policy that does not
+    /// match the one it was built with (different model/workload identity,
+    /// different tolerance). Cached results would be answers to a
+    /// *different* extraction question, so the consult is rejected typed
+    /// instead of silently serving wrong bits. Terminal: re-sending the
+    /// same mismatched consult yields the same rejection.
+    CachePoisoned {
+        /// What disagreed between the consult and the cache.
+        detail: String,
+    },
+    /// A dedup cache hit aged past the staleness bound
+    /// (`DedupPolicy::max_age_epochs`) between barriers. Retryable in the
+    /// backpressure sense: the caller recomputes (refreshing the entry at
+    /// the next barrier) and the same segment succeeds — the session does
+    /// exactly that internally, counting the hit as stale.
+    StaleHit {
+        /// Epochs since the entry was published.
+        age_epochs: u64,
+        /// The policy's staleness bound.
+        max_age_epochs: u64,
+    },
     /// A runtime write-ahead log or checkpoint exists but cannot be decoded
     /// or replayed (bad magic, checksum mismatch mid-file, a replay that
     /// diverges from the journaled barrier sequence). A *torn tail* is not
@@ -180,7 +201,9 @@ impl SkyError {
     /// terminal error is surfaced to the caller unchanged.
     pub fn is_retryable(&self) -> bool {
         match self {
-            SkyError::Overloaded { .. } | SkyError::EpochBarrier { .. } => true,
+            SkyError::Overloaded { .. }
+            | SkyError::EpochBarrier { .. }
+            | SkyError::StaleHit { .. } => true,
             SkyError::BatchFailed { source, .. } | SkyError::PushFailed { source, .. } => {
                 source.is_retryable()
             }
@@ -278,6 +301,17 @@ impl std::fmt::Display for SkyError {
             SkyError::KnowledgeBaseIo { path, detail } => {
                 write!(f, "knowledge base I/O error at {path}: {detail}")
             }
+            SkyError::CachePoisoned { detail } => {
+                write!(f, "dedup cache consulted under a mismatched scope: {detail}")
+            }
+            SkyError::StaleHit {
+                age_epochs,
+                max_age_epochs,
+            } => write!(
+                f,
+                "dedup hit is stale: entry is {age_epochs} epoch(s) old, bound is \
+                 {max_age_epochs}; recompute and refresh"
+            ),
             SkyError::CorruptWal { detail } => {
                 write!(f, "corrupt write-ahead log: {detail}")
             }
@@ -378,6 +412,16 @@ mod tests {
             detail: "denied".into(),
         };
         assert!(e.to_string().contains("/tmp/kb"));
+        let e = SkyError::CachePoisoned {
+            detail: "scope mismatch".into(),
+        };
+        assert!(e.to_string().contains("scope mismatch"));
+        let e = SkyError::StaleHit {
+            age_epochs: 5,
+            max_age_epochs: 2,
+        };
+        assert!(e.to_string().contains("stale"));
+        assert!(e.to_string().contains('5'));
         let e = SkyError::CorruptWal {
             detail: "checksum mismatch at record 7".into(),
         };
@@ -410,7 +454,11 @@ mod tests {
             stream: 1,
             waiting_on: 2,
         };
-        let retryable = [overloaded.clone(), barrier.clone()];
+        let stale = SkyError::StaleHit {
+            age_epochs: 5,
+            max_age_epochs: 2,
+        };
+        let retryable = [overloaded.clone(), barrier.clone(), stale.clone()];
         for e in &retryable {
             assert!(e.is_retryable(), "{e} must be retryable");
             // Wrappers inherit the cause's classification.
@@ -472,6 +520,9 @@ mod tests {
             SkyError::KnowledgeBaseIo {
                 path: "/tmp/kb".into(),
                 detail: "denied".into(),
+            },
+            SkyError::CachePoisoned {
+                detail: "tolerance 0.05 vs cache tolerance 0".into(),
             },
             SkyError::CorruptWal {
                 detail: "checksum".into(),

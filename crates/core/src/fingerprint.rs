@@ -7,7 +7,7 @@
 //! sites. Fingerprints are pure `u64` arithmetic over value *bits*:
 //! deterministic across runs and platforms.
 
-use vetl_video::ContentState;
+use vetl_video::{ContentState, Segment};
 
 /// Incremental FNV-1a style bit folder.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +66,20 @@ pub(crate) fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The canonical fingerprint of a full segment: an FNV-1a fold over
+/// [`Segment::identity_words`] — every field the wire/journal codecs
+/// serialize, in wire order, as raw bits. Two segments have equal
+/// signatures iff (modulo the 64-bit fold) they would encode to the same
+/// bytes, so this is the one segment identity shared by codecs, dedup
+/// bookkeeping, and external callers.
+pub fn content_signature(seg: &Segment) -> u64 {
+    let mut f = Fnv::new();
+    for w in seg.identity_words() {
+        f.eat(w);
+    }
+    f.finish()
+}
+
 /// The bit-exact identity of a content state — THE single definition of
 /// which fields make two contents "the same evaluation input". Memo keys,
 /// RNG identities, and recording fingerprints all consume exactly this
@@ -83,7 +97,7 @@ pub(crate) fn content_identity_bits(content: &ContentState) -> [u64; 4] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vetl_video::SimTime;
+    use vetl_video::{ContentParams, ContentProcess, SimTime};
 
     #[test]
     fn fnv_is_order_and_length_sensitive() {
@@ -116,5 +130,38 @@ mod tests {
         let mut e = base;
         e.event_active = true;
         assert_ne!(content_identity_bits(&e), bits);
+    }
+
+    #[test]
+    fn content_signature_covers_every_wire_field() {
+        let mut p = ContentProcess::new(ContentParams::default(), 2.0);
+        let base = Segment {
+            index: 5,
+            duration: 2.0,
+            content: p.step(),
+            bytes: 120_000.0,
+        };
+        let sig = content_signature(&base);
+        let mut s = base;
+        s.index += 1;
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.duration += 0.25;
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.content.time = s.content.time.advance(1.0);
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.content.difficulty += 0.01;
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.content.activity += 0.01;
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.content.event_active = !s.content.event_active;
+        assert_ne!(content_signature(&s), sig);
+        let mut s = base;
+        s.bytes += 1.0;
+        assert_ne!(content_signature(&s), sig);
     }
 }

@@ -41,6 +41,13 @@
 //!   with bounded ingress mailboxes, epoch-barrier joint replanning, and
 //!   mid-run stream churn — bitwise identical to the sequential server for
 //!   every shard count.
+//! * [`dedupe`] — cross-stream content dedup: a bounded, epoch-aged
+//!   [`dedupe::DedupCache`] keyed by exact content signatures
+//!   ([`vetl_video::Segment::signature_words`]) short-circuits redundant
+//!   segments to cached extraction results across all streams, with
+//!   shard-count-independent epoch-barrier publication (new entries merge
+//!   at the barrier in stable slot order) and exact mode (tolerance 0)
+//!   bitwise identical to dedup-disabled.
 //! * [`serve`] — the network-serving integration: a profile registry plus
 //!   [`serve::IngestService`] wrapping the runtime, and the versioned
 //!   binary wire protocol ([`serve::proto`]) spoken by the `vetl-net`
@@ -59,8 +66,9 @@
 pub mod api;
 pub mod category;
 pub mod config;
+pub mod dedupe;
 pub mod error;
-mod fingerprint;
+pub mod fingerprint;
 pub mod knob;
 pub mod multistream;
 pub mod offline;
@@ -75,7 +83,9 @@ pub mod workload;
 pub use api::Skyscraper;
 pub use category::ContentCategories;
 pub use config::SkyscraperConfig;
+pub use dedupe::{DedupCache, DedupPolicy, DedupStats};
 pub use error::SkyError;
+pub use fingerprint::content_signature;
 pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
 pub use multistream::{JointPlanRecord, MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
 pub use offline::{

@@ -42,6 +42,7 @@ use vetl_lp::{solve, solve_warm, LpBasis, LpProblem, Relation};
 use vetl_sim::CostModel;
 use vetl_video::Segment;
 
+use crate::dedupe::{DedupCache, DedupPolicy};
 use crate::error::SkyError;
 use crate::offline::forecast::CategoryTimeline;
 use crate::offline::FittedModel;
@@ -425,6 +426,10 @@ pub struct MultiStreamServer<'a> {
     last_joint_plan: Option<JointPlanRecord>,
     /// Warm-start basis carried across epoch barriers.
     joint_basis: LpBasis,
+    /// Cross-stream dedup cache, shared by every admitted session. Frozen
+    /// between barriers; each barrier merges the sessions' pending entries
+    /// in stable slot order (see [`crate::dedupe`]).
+    dedup: Option<DedupCache>,
 }
 
 impl<'a> MultiStreamServer<'a> {
@@ -440,6 +445,7 @@ impl<'a> MultiStreamServer<'a> {
             joint_plans: 0,
             last_joint_plan: None,
             joint_basis: LpBasis::new(),
+            dedup: None,
         }
     }
 
@@ -455,6 +461,20 @@ impl<'a> MultiStreamServer<'a> {
     pub fn with_total_cores(mut self, cores: f64) -> Self {
         self.total_cores = Some(cores);
         self
+    }
+
+    /// Enable cross-stream dedup: one content-addressed result cache shared
+    /// by every admitted stream, consulted on each push and refreshed at
+    /// epoch barriers. The server's policy overrides whatever the per-stream
+    /// [`IngestOptions`] carry, so all sessions agree on the cache scope.
+    pub fn with_dedup(mut self, policy: DedupPolicy) -> Self {
+        self.dedup = Some(DedupCache::new(policy));
+        self
+    }
+
+    /// The shared dedup cache, when enabled.
+    pub fn dedup_cache(&self) -> Option<&DedupCache> {
+        self.dedup.as_ref()
     }
 
     /// Streams currently active (admitted and not closed).
@@ -522,6 +542,9 @@ impl<'a> MultiStreamServer<'a> {
         options.seed = self
             .seed
             .wrapping_add((slot as u64).wrapping_mul(STREAM_SEED_STRIDE));
+        // The server's dedup policy wins: every session must consult the
+        // shared cache under the same policy or the scope check trips.
+        options.dedup = self.dedup.as_ref().map(|c| *c.policy());
         let candidate = Box::new(ActiveStream {
             id: workload_id.into(),
             session: IngestSession::external(model, workload, options),
@@ -560,10 +583,14 @@ impl<'a> MultiStreamServer<'a> {
                 }
             }
         }
+        // Disjoint field borrows: the shared cache is read-only during the
+        // push while the stream's session mutates — the cache only changes
+        // at barriers.
+        let cache = self.dedup.as_ref();
         let StreamSlot::Active(a) = &mut self.slots[stream.0] else {
             unreachable!("checked active above");
         };
-        let report = a.session.push(seg)?;
+        let report = a.session.push_with_cache(seg, cache)?;
         a.used += 1;
         Ok(report)
     }
@@ -702,6 +729,20 @@ impl<'a> MultiStreamServer<'a> {
                 a.used = 0;
                 a.quota = epoch_quota(math.interval, seg_len);
             }
+        }
+        // Merge the epoch's pending dedup entries in stable slot order: the
+        // cache contents after a barrier are a pure function of the slot
+        // layout and the segments pushed, never of shard count or thread
+        // timing — the invariant that keeps the sharded runtime bitwise
+        // identical to this sequential server.
+        if let Some(cache) = self.dedup.as_mut() {
+            cache.begin_epoch();
+            for slot in &mut self.slots {
+                if let StreamSlot::Active(a) = slot {
+                    cache.publish(a.session.take_dedup_pending());
+                }
+            }
+            cache.enforce_capacity();
         }
         self.joint_plans += 1;
         self.last_joint_plan = Some(JointPlanRecord {

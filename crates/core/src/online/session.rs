@@ -41,13 +41,17 @@
 //! workload. A resumed session continues bit-for-bit where the checkpoint
 //! was taken.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use vetl_sim::{simulate_into, Backlog, CostModel, SimScratch, TaskGraph, Trace, TracePoint};
 use vetl_video::Segment;
 
+use crate::dedupe::{self, DedupCache, DedupEntry, DedupKey, DedupPolicy, DedupStats};
 use crate::error::SkyError;
+use crate::fingerprint::Fnv;
 use crate::offline::codec::{self, dec_opt, enc_opt, Dec, DecodeResult, Enc};
 use crate::offline::forecast::{CategoryTimeline, Forecaster};
 use crate::offline::FittedModel;
@@ -113,6 +117,11 @@ pub struct IngestOptions {
     pub detect_drift: bool,
     /// Fine-tune the forecaster online at every replanning point (§3.3).
     pub finetune_forecaster: bool,
+    /// Consult the cross-stream dedup cache before extraction
+    /// ([`crate::dedupe`]). Exact mode (`tolerance == 0`) is bitwise
+    /// invisible; tolerant mode short-circuits near-duplicates at zero
+    /// charged cost. `None` disables dedup entirely.
+    pub dedup: Option<DedupPolicy>,
 }
 
 impl Default for IngestOptions {
@@ -129,6 +138,7 @@ impl Default for IngestOptions {
             record_trace: false,
             detect_drift: false,
             finetune_forecaster: false,
+            dedup: None,
         }
     }
 }
@@ -161,6 +171,8 @@ pub struct IngestOutcome {
     pub duration_secs: f64,
     /// Segments at which the drift alarm fired (0 unless `detect_drift`).
     pub drift_alarms: usize,
+    /// Dedup counters (all zero unless [`IngestOptions::dedup`] was set).
+    pub dedup: DedupStats,
 }
 
 impl IngestOutcome {
@@ -356,6 +368,19 @@ impl SessionCheckpoint {
                 return Err("checkpoint forecaster category count mismatch".into());
             }
         }
+        let entry_in_range = |e: &crate::dedupe::DedupEntry| {
+            e.gt_category < n_c
+                && e.config < n_k
+                && e.placement < model.configs[e.config].placements.len()
+        };
+        if !s.dedup_pending.iter().all(|(_, e)| entry_in_range(e))
+            || !s
+                .dedup_own
+                .as_ref()
+                .is_none_or(|c| c.sorted_entries().iter().all(|(_, e)| entry_in_range(e)))
+        {
+            return Err("checkpoint dedup entry out of range".into());
+        }
         Ok(())
     }
 }
@@ -416,6 +441,7 @@ pub(crate) fn enc_outcome(e: &mut Enc, o: &IngestOutcome) {
     e.usize(o.segments);
     e.f64(o.duration_secs);
     e.usize(o.drift_alarms);
+    dedupe::enc_stats(e, &o.dedup);
 }
 
 pub(crate) fn dec_outcome(d: &mut Dec) -> DecodeResult<IngestOutcome> {
@@ -432,6 +458,7 @@ pub(crate) fn dec_outcome(d: &mut Dec) -> DecodeResult<IngestOutcome> {
         segments: d.usize("outcome segments")?,
         duration_secs: d.f64("outcome duration_secs")?,
         drift_alarms: d.usize("outcome drift_alarms")?,
+        dedup: dedupe::dec_stats(d)?,
     })
 }
 
@@ -456,6 +483,7 @@ pub(crate) fn enc_options(e: &mut Enc, o: &IngestOptions) {
     e.bool(o.record_trace);
     e.bool(o.detect_drift);
     e.bool(o.finetune_forecaster);
+    enc_opt(e, &o.dedup, dedupe::enc_policy);
 }
 
 pub(crate) fn dec_options(d: &mut Dec) -> DecodeResult<IngestOptions> {
@@ -484,6 +512,7 @@ pub(crate) fn dec_options(d: &mut Dec) -> DecodeResult<IngestOptions> {
         record_trace: d.bool("options record_trace")?,
         detect_drift: d.bool("options detect_drift")?,
         finetune_forecaster: d.bool("options finetune_forecaster")?,
+        dedup: dec_opt(d, "options dedup", dedupe::dec_policy)?,
     })
 }
 
@@ -571,6 +600,9 @@ fn enc_state(e: &mut Enc, s: &SessionState) {
     e.usize(s.drift_alarms);
     e.bool(s.external_planning);
     enc_opt(e, &s.capacity_override, |e, v| e.f64(*v));
+    dedupe::enc_pending(e, &s.dedup_pending);
+    dedupe::enc_stats(e, &s.dedup_stats);
+    enc_opt(e, &s.dedup_own, |e, c| dedupe::enc_cache(e, c));
 }
 
 fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
@@ -663,6 +695,29 @@ fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
     })?;
     let last_reported = dec_opt(d, "state last_reported", |d| d.f64("last_reported"))?;
     let prev_config = d.u64("state prev_config")? as usize;
+    let seg_index = d.usize("state seg_index")?;
+    let cloud_left = d.f64("state cloud_left")?;
+    let cloud_spent_total = d.f64("state cloud_spent_total")?;
+    let work_total = d.f64("state work_total")?;
+    let quality_total = d.f64("state quality_total")?;
+    let buffer_peak = d.f64("state buffer_peak")?;
+    let overflows = d.usize("state overflows")?;
+    let misclassified = d.usize("state misclassified")?;
+    let switches = d.usize("state switches")?;
+    let plans = d.usize("state plans")?;
+    let drift_alarms = d.usize("state drift_alarms")?;
+    let external_planning = d.bool("state external_planning")?;
+    let capacity_override = dec_opt(d, "state capacity_override", |d| d.f64("capacity_override"))?;
+    let dedup_pending = dedupe::dec_pending(d)?;
+    let dedup_pending_idx = dedup_pending
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| (*k, i))
+        .collect();
+    let dedup_stats = dedupe::dec_stats(d)?;
+    let dedup_own = dec_opt(d, "state dedup cache", |d| {
+        dedupe::dec_cache(d).map(Box::new)
+    })?;
     Ok(SessionState {
         rng,
         planner,
@@ -678,19 +733,23 @@ fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
         decision,
         last_reported,
         prev_config,
-        seg_index: d.usize("state seg_index")?,
-        cloud_left: d.f64("state cloud_left")?,
-        cloud_spent_total: d.f64("state cloud_spent_total")?,
-        work_total: d.f64("state work_total")?,
-        quality_total: d.f64("state quality_total")?,
-        buffer_peak: d.f64("state buffer_peak")?,
-        overflows: d.usize("state overflows")?,
-        misclassified: d.usize("state misclassified")?,
-        switches: d.usize("state switches")?,
-        plans: d.usize("state plans")?,
-        drift_alarms: d.usize("state drift_alarms")?,
-        external_planning: d.bool("state external_planning")?,
-        capacity_override: dec_opt(d, "state capacity_override", |d| d.f64("capacity_override"))?,
+        seg_index,
+        cloud_left,
+        cloud_spent_total,
+        work_total,
+        quality_total,
+        buffer_peak,
+        overflows,
+        misclassified,
+        switches,
+        plans,
+        drift_alarms,
+        external_planning,
+        capacity_override,
+        dedup_pending,
+        dedup_pending_idx,
+        dedup_stats,
+        dedup_own,
     })
 }
 
@@ -736,6 +795,39 @@ struct SessionState {
     /// allocates a share of a cluster (multi-stream fair share) instead of
     /// the model's full provisioning.
     capacity_override: Option<f64>,
+    /// Dedup entries recorded since the last publication, in recording
+    /// order — visible to this session immediately, merged into the shared
+    /// (or own) cache only at an epoch barrier.
+    dedup_pending: Vec<(DedupKey, DedupEntry)>,
+    /// Key → index into `dedup_pending` (kept in lockstep; rebuilt on
+    /// decode) so own-pending lookups stay O(1).
+    dedup_pending_idx: HashMap<DedupKey, usize>,
+    /// Per-stream dedup counters, settled into the outcome.
+    dedup_stats: DedupStats,
+    /// Private cache of a standalone (internally planned) session, whose
+    /// interval replans are its epoch barriers. Externally planned sessions
+    /// leave this `None` — the server/runtime injects its shared cache per
+    /// push instead.
+    dedup_own: Option<Box<DedupCache>>,
+}
+
+impl SessionState {
+    /// Record (or overwrite, latest-wins) a pending dedup entry.
+    fn record_dedup_pending(&mut self, key: DedupKey, entry: DedupEntry) {
+        match self.dedup_pending_idx.get(&key) {
+            Some(&ix) => self.dedup_pending[ix].1 = entry,
+            None => {
+                self.dedup_pending_idx.insert(key, self.dedup_pending.len());
+                self.dedup_pending.push((key, entry));
+            }
+        }
+    }
+
+    /// Drain the pending list for publication (clears the index too).
+    fn take_dedup_pending(&mut self) -> Vec<(DedupKey, DedupEntry)> {
+        self.dedup_pending_idx.clear();
+        std::mem::take(&mut self.dedup_pending)
+    }
 }
 
 /// Reusable hot-path buffers. Pure derived data — rebuilt from scratch on
@@ -767,6 +859,25 @@ pub struct IngestSession<'a, W: Workload + ?Sized> {
     options: IngestOptions,
     state: SessionState,
     scratch: HotScratch,
+    /// Dedup key scope (model + workload fingerprint) — derived, computed
+    /// once at construction; 0 when dedup is disabled.
+    dedup_scope: u64,
+}
+
+/// The dedup key scope: cached results are only answers to the *same*
+/// extraction question, so keys bind the model and workload identities.
+fn dedup_scope<W: Workload + ?Sized>(
+    model: &FittedModel,
+    workload: &W,
+    options: &IngestOptions,
+) -> u64 {
+    if options.dedup.is_none() {
+        return 0;
+    }
+    Fnv::new()
+        .eat(model.fingerprint())
+        .eat(workload.fingerprint())
+        .finish()
 }
 
 impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
@@ -855,8 +966,18 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             drift_alarms: 0,
             external_planning,
             capacity_override: None,
+            dedup_pending: Vec::new(),
+            dedup_pending_idx: HashMap::new(),
+            dedup_stats: DedupStats::default(),
+            // Standalone sessions own a private cache; externally planned
+            // sessions are fed the server/runtime's shared cache per push.
+            dedup_own: options
+                .dedup
+                .filter(|_| !external_planning)
+                .map(|p| Box::new(DedupCache::new(p))),
         };
         Self {
+            dedup_scope: dedup_scope(model, workload, &options),
             model,
             workload,
             options,
@@ -916,6 +1037,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
     /// Re-attach a checkpoint to its model and workload.
     pub fn resume(model: &'a FittedModel, workload: &'a W, checkpoint: SessionCheckpoint) -> Self {
         Self {
+            dedup_scope: dedup_scope(model, workload, &checkpoint.options),
             model,
             workload,
             options: checkpoint.options,
@@ -999,6 +1121,17 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
     /// Times the planner ran (internal or installed).
     pub fn plans(&self) -> usize {
         self.state.plans
+    }
+
+    /// Dedup counters accumulated so far (all zero when dedup is off).
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.state.dedup_stats
+    }
+
+    /// Drain the dedup entries this session computed since the last drain,
+    /// for publication into a shared cache at an epoch barrier.
+    pub(crate) fn take_dedup_pending(&mut self) -> Vec<(DedupKey, DedupEntry)> {
+        self.state.take_dedup_pending()
     }
 
     /// Forecast the category distribution for the next planned interval
@@ -1161,6 +1294,14 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
         if !initial {
             self.state.cloud_left = self.options.cloud_budget_usd;
         }
+        // A standalone session's interval replan is its epoch barrier:
+        // publish pending dedup entries into the private cache.
+        if let Some(mut cache) = self.state.dedup_own.take() {
+            cache.begin_epoch();
+            cache.publish(self.state.take_dedup_pending());
+            cache.enforce_capacity();
+            self.state.dedup_own = Some(cache);
+        }
         Ok(())
     }
 
@@ -1168,6 +1309,19 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
     /// settle buffer/backlog/credits. Replans first when a planned-interval
     /// boundary was crossed (internal planning only).
     pub fn push(&mut self, seg: &Segment) -> Result<StepReport, SkyError> {
+        self.push_with_cache(seg, None)
+    }
+
+    /// [`push`](Self::push) with a shared dedup cache injected — the call
+    /// shape the multi-stream server and the sharded runtime use, so one
+    /// cache serves entries across all their streams. When `shared` is
+    /// `None` a standalone session falls back to its private cache (if
+    /// [`IngestOptions::dedup`] is set).
+    pub fn push_with_cache(
+        &mut self,
+        seg: &Segment,
+        shared: Option<&DedupCache>,
+    ) -> Result<StepReport, SkyError> {
         let model = self.model;
         let seg_len = model.seg_len;
         let i = self.state.seg_index;
@@ -1197,14 +1351,57 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             replanned = true;
         }
 
-        // ---- Ground truth for this segment (accuracy stats + oracles). ----
+        // ---- Dedup consult (cross-stream result cache). A hit supplies
+        // only the pure, RNG-free computations below (ground-truth
+        // category, simulated execution, true quality); every RNG draw
+        // still runs, which is what keeps exact mode bitwise identical to
+        // dedup-disabled (see `crate::dedupe`). ----
+        let dedup_key = self
+            .options
+            .dedup
+            .map(|p| DedupKey::new(self.dedup_scope, seg, p.tolerance));
+        let mut dedup_hit: Option<DedupEntry> = None;
+        if let (Some(policy), Some(key)) = (self.options.dedup, &dedup_key) {
+            self.state.dedup_stats.lookups += 1;
+            // Own pending entries are visible immediately (per-stream order
+            // is shard-invariant); the shared/private cache only changes at
+            // epoch barriers.
+            dedup_hit = match self.state.dedup_pending_idx.get(key) {
+                Some(&ix) => Some(self.state.dedup_pending[ix].1),
+                None => {
+                    let cache = shared.or(self.state.dedup_own.as_deref());
+                    match cache {
+                        None => None,
+                        Some(c) => {
+                            c.check_policy(&policy)?;
+                            match c.lookup(key) {
+                                Ok(found) => found,
+                                Err(SkyError::StaleHit { .. }) => {
+                                    self.state.dedup_stats.stale += 1;
+                                    None
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
+        // ---- Ground truth for this segment (accuracy stats + oracles).
+        // A dedup hit skips the oracle — its cached category is the same
+        // pure function of the same content bits (exact mode) or the
+        // bucket representative's (tolerant mode). A pinned feed wins. ----
         let gt_c = match &self.state.gt_feed {
             Some(feed) if i < feed.len() => feed[i],
-            _ => model.ground_truth_category_with(
-                self.workload,
-                &seg.content,
-                &mut self.scratch.qualities,
-            ),
+            _ => match &dedup_hit {
+                Some(e) => e.gt_category,
+                None => model.ground_truth_category_with(
+                    self.workload,
+                    &seg.content,
+                    &mut self.scratch.qualities,
+                ),
+            },
         };
 
         // ---- Classification (§5.6 modes). ----
@@ -1262,37 +1459,103 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             self.state.prev_config = d.config;
         }
 
-        // ---- Execute the segment on the simulator. ----
-        // Per-config cached graph + reusable simulator scratch: after the
-        // first segment of each configuration, execution allocates nothing
-        // and stays bitwise-identical to the allocating
-        // `task_graph`/`simulate` pair (see `HotScratch`).
+        // ---- Execute the segment on the simulator — unless the dedup
+        // entry was computed under the very decision just taken (a *full*
+        // hit), in which case the cached execution result and true quality
+        // stand in for recomputation. ----
+        let full_hit = dedup_hit.filter(|e| e.config == d.config && e.placement == d.placement);
         let profile = &model.configs[d.config];
-        if self.scratch.graphs.len() < model.configs.len() {
-            self.scratch
-                .graphs
-                .resize_with(model.configs.len(), TaskGraph::new);
+        let (exec_usd, exec_onprem, exec_cloud_secs, true_q) = match &full_hit {
+            Some(e) => (
+                e.cloud_usd,
+                e.onprem_busy_secs,
+                e.cloud_busy_secs,
+                e.true_quality,
+            ),
+            None => {
+                // Per-config cached graph + reusable simulator scratch:
+                // after the first segment of each configuration, execution
+                // allocates nothing and stays bitwise-identical to the
+                // allocating `task_graph`/`simulate` pair (see
+                // `HotScratch`).
+                if self.scratch.graphs.len() < model.configs.len() {
+                    self.scratch
+                        .graphs
+                        .resize_with(model.configs.len(), TaskGraph::new);
+                }
+                self.workload.task_graph_into(
+                    &profile.config,
+                    &seg.content,
+                    &mut self.scratch.graphs[d.config],
+                );
+                let placement = &profile.placements[d.placement].placement;
+                let result = simulate_into(
+                    &self.scratch.graphs[d.config],
+                    placement,
+                    &model.hardware.cluster,
+                    &model.hardware.cloud,
+                    &mut self.scratch.sim,
+                );
+                let true_q = self.workload.true_quality(&profile.config, &seg.content);
+                (
+                    result.cloud_usd,
+                    result.onprem_busy_secs,
+                    result.cloud_busy_secs,
+                    true_q,
+                )
+            }
+        };
+
+        // A miss (or a hit whose decision moved) feeds the cache: record a
+        // pending entry, published at the next epoch barrier.
+        if full_hit.is_none() {
+            if let Some(key) = dedup_key {
+                self.state.record_dedup_pending(
+                    key,
+                    DedupEntry {
+                        gt_category: gt_c,
+                        config: d.config,
+                        placement: d.placement,
+                        true_quality: true_q,
+                        cloud_usd: exec_usd,
+                        onprem_busy_secs: exec_onprem,
+                        cloud_busy_secs: exec_cloud_secs,
+                        confidence: 1,
+                        born_epoch: 0, // stamped at publication
+                    },
+                );
+            }
         }
-        self.workload.task_graph_into(
-            &profile.config,
-            &seg.content,
-            &mut self.scratch.graphs[d.config],
-        );
-        let placement = &profile.placements[d.placement].placement;
-        let result = simulate_into(
-            &self.scratch.graphs[d.config],
-            placement,
-            &model.hardware.cluster,
-            &model.hardware.cloud,
-            &mut self.scratch.sim,
-        );
-        self.state.cloud_left -= result.cloud_usd;
-        self.state.cloud_spent_total += result.cloud_usd;
-        let step_work = result.onprem_busy_secs + result.cloud_busy_secs;
+
+        // ---- Charging. Exact mode charges a full hit exactly what
+        // recomputation would have (bitwise-equal numbers; the win is the
+        // skipped compute). Tolerant mode charges a full hit *nothing* —
+        // zero wallet spend, zero queued work — and books the avoided
+        // spend as savings. Either way the category history above feeds
+        // the forecaster normally, so Eqs. 7–9 inputs stay coherent. ----
+        let zero_charge = full_hit.is_some() && self.options.dedup.is_some_and(|p| !p.is_exact());
+        let (charge_usd, charge_onprem, charge_cloud_secs) = if zero_charge {
+            (0.0, 0.0, 0.0)
+        } else {
+            (exec_usd, exec_onprem, exec_cloud_secs)
+        };
+        if full_hit.is_some() {
+            self.state.dedup_stats.hits_full += 1;
+            self.state.dedup_stats.bytes_saved += seg.bytes;
+            self.state.dedup_stats.work_saved_secs += exec_onprem + exec_cloud_secs;
+            if zero_charge {
+                self.state.dedup_stats.spend_saved_usd += exec_usd;
+            }
+        } else if dedup_hit.is_some() {
+            self.state.dedup_stats.hits_gt += 1;
+        }
+        self.state.cloud_left -= charge_usd;
+        self.state.cloud_spent_total += charge_usd;
+        let step_work = charge_onprem + charge_cloud_secs;
         self.state.work_total += step_work;
 
         // ---- Buffer / backlog settlement (Eq. 1). ----
-        self.state.backlog.push(seg.bytes, result.onprem_busy_secs);
+        self.state.backlog.push(seg.bytes, charge_onprem);
         let _freed = self.state.backlog.process(capacity_per_seg);
         let buffered = self.state.backlog.bytes();
         self.state.buffer_peak = self.state.buffer_peak.max(buffered);
@@ -1302,7 +1565,6 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
         }
 
         // ---- Quality bookkeeping. ----
-        let true_q = self.workload.true_quality(&profile.config, &seg.content);
         self.state.quality_total += true_q;
         let reported =
             self.workload
@@ -1342,7 +1604,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             replanned,
             buffer_bytes: buffered,
             backlog_work: self.state.backlog.work(),
-            cloud_usd_step: result.cloud_usd,
+            cloud_usd_step: charge_usd,
             cloud_credits_left: self.state.cloud_left,
             work_core_secs: step_work,
             reported_quality: reported,
@@ -1392,6 +1654,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             segments: s.seg_index,
             duration_secs: s.seg_index as f64 * self.model.seg_len,
             drift_alarms: s.drift_alarms,
+            dedup: s.dedup_stats,
         }
     }
 }

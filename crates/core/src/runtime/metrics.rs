@@ -1,5 +1,7 @@
 //! Observability snapshots of the sharded ingest runtime.
 
+use crate::dedupe::DedupStats;
+
 /// Point-in-time state of one stream slot.
 #[derive(Debug, Clone)]
 pub struct StreamMetrics {
@@ -21,6 +23,8 @@ pub struct StreamMetrics {
     pub cloud_spent_usd: f64,
     /// Throughput-guarantee violations observed so far.
     pub overflows: usize,
+    /// Dedup counters for this stream (all zero when dedup is off).
+    pub dedup: DedupStats,
 }
 
 /// Point-in-time snapshot of the whole runtime
@@ -41,6 +45,11 @@ pub struct RuntimeMetrics {
     pub wall_secs: f64,
     /// Aggregate ingest throughput, segments per wall-clock second.
     pub segs_per_sec: f64,
+    /// Dedup counters aggregated over every stream (all zero when dedup is
+    /// off): lookups, hits, bytes and spend saved.
+    pub dedup: DedupStats,
+    /// Entries currently held by the shared dedup cache.
+    pub dedup_cache_entries: usize,
     /// Per-stream state, in admission order.
     pub streams: Vec<StreamMetrics>,
 }

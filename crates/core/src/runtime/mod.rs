@@ -57,6 +57,7 @@ use vetl_lp::LpBasis;
 use vetl_sim::CostModel;
 use vetl_video::Segment;
 
+use crate::dedupe::{DedupCache, DedupPolicy, DedupStats};
 use crate::error::SkyError;
 use crate::multistream::{
     admission_check, epoch_quota, plan_epoch, JointPlanRecord, MultiOutcome, StreamId,
@@ -206,6 +207,12 @@ pub struct RuntimeConfig {
     /// must be passed to [`IngestRuntime::recover`], or the replayed
     /// barriers refill a wallet the original run saw empty.
     pub chaos: Option<Arc<FailurePlan>>,
+    /// Cross-stream dedup: one content-addressed result cache shared by
+    /// every admitted stream (see [`crate::dedupe`]). The policy overrides
+    /// whatever the per-stream [`IngestOptions`] carry. Exact-mode dedup
+    /// (`DedupPolicy::exact()`) never changes an outcome bit relative to
+    /// `None`; tolerant policies trade bounded drift for skipped spend.
+    pub dedup: Option<DedupPolicy>,
 }
 
 impl Default for RuntimeConfig {
@@ -219,6 +226,7 @@ impl Default for RuntimeConfig {
             total_cores: None,
             durability: None,
             chaos: None,
+            dedup: None,
         }
     }
 }
@@ -247,9 +255,11 @@ struct RtStream<'a> {
 }
 
 impl RtStream<'_> {
-    /// Process one drained batch of envelopes on a shard worker. Returns
-    /// the number of segments ingested.
-    fn process_batch(&mut self) -> Result<usize, SkyError> {
+    /// Process one drained batch of envelopes on a shard worker, consulting
+    /// the shared dedup cache (frozen between barriers, so sharing a
+    /// reference across workers is race-free). Returns the number of
+    /// segments ingested.
+    fn process_batch(&mut self, cache: Option<&DedupCache>) -> Result<usize, SkyError> {
         let mut batch = std::mem::take(&mut self.scratch);
         self.mailbox.drain_into(&mut batch);
         let mut n = 0;
@@ -258,7 +268,7 @@ impl RtStream<'_> {
             match env {
                 Envelope::Segment(seg) => {
                     let session = self.session.as_mut().expect("active stream has a session");
-                    match session.push(&seg) {
+                    match session.push_with_cache(&seg, cache) {
                         Ok(report) => {
                             self.last_report = Some(report);
                             self.used += 1;
@@ -361,6 +371,10 @@ pub struct IngestRuntime<'a> {
     /// journaled (acknowledged) prefix.
     poisoned: Option<String>,
     chaos: Option<Arc<FailurePlan>>,
+    /// Cross-stream dedup cache shared by every session. Read-only while
+    /// batches dispatch; refreshed single-threaded at each epoch barrier in
+    /// stable slot order (see [`crate::dedupe`]).
+    dedup: Option<DedupCache>,
 }
 
 impl<'a> IngestRuntime<'a> {
@@ -397,6 +411,7 @@ impl<'a> IngestRuntime<'a> {
             replaying: false,
             poisoned: None,
             chaos: cfg.chaos,
+            dedup: cfg.dedup.map(DedupCache::new),
         }
     }
 
@@ -423,6 +438,11 @@ impl<'a> IngestRuntime<'a> {
     /// Inputs and splits of the most recent joint plan.
     pub fn last_joint_plan(&self) -> Option<&JointPlanRecord> {
         self.last_joint_plan.as_ref()
+    }
+
+    /// The shared cross-stream dedup cache, when enabled.
+    pub fn dedup_cache(&self) -> Option<&DedupCache> {
+        self.dedup.as_ref()
     }
 
     /// Unspent cloud credits across the active streams' current leases.
@@ -482,6 +502,10 @@ impl<'a> IngestRuntime<'a> {
         options.seed = self
             .seed
             .wrapping_add((slot as u64).wrapping_mul(STREAM_SEED_STRIDE));
+        // The runtime's dedup policy wins (same forcing as the sequential
+        // server): every session must consult the shared cache under the
+        // same policy or the scope check trips.
+        options.dedup = self.dedup.as_ref().map(|c| *c.policy());
         let candidate = Box::new(RtStream {
             id: workload_id.clone(),
             session: Some(IngestSession::external(model, workload, options)),
@@ -505,7 +529,7 @@ impl<'a> IngestRuntime<'a> {
             workload_id,
             options: caller_options,
         })?;
-        self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+        self.wal_append_barrier()?;
         // No snapshot here: admissions advance the epoch counter, but a
         // snapshot per admission would make opening N streams O(N²) in
         // serialized session state. The Open record alone makes the
@@ -557,7 +581,7 @@ impl<'a> IngestRuntime<'a> {
         let before = self.epoch;
         self.try_dispatch()?;
         if self.epoch != before {
-            self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+            self.wal_append_barrier()?;
         }
         // The event is journaled and applied at this point: a snapshot
         // failure must not read as a rejected event (a retry would feed the
@@ -665,7 +689,7 @@ impl<'a> IngestRuntime<'a> {
             let before = self.epoch;
             self.try_dispatch().map_err(|e| batch_err(accepted, e))?;
             if self.epoch != before {
-                self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })
+                self.wal_append_barrier()
                     .map_err(|e| batch_err(accepted, e))?;
             }
             if let Err(e) = self.maybe_snapshot() {
@@ -723,7 +747,7 @@ impl<'a> IngestRuntime<'a> {
         let before = self.epoch;
         self.try_dispatch()?;
         if self.epoch != before {
-            self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+            self.wal_append_barrier()?;
         }
         // The event is journaled and applied at this point: a snapshot
         // failure must not read as a rejected event (a retry would feed the
@@ -745,16 +769,23 @@ impl<'a> IngestRuntime<'a> {
             .enumerate()
             .map(|(slot, s)| match s {
                 RtSlot::Active(a) => {
-                    let (buffer_bytes, backlog_work, cloud, overflows) = match &a.session {
+                    let (buffer_bytes, backlog_work, cloud, overflows, dedup) = match &a.session {
                         Some(sess) => (
                             sess.buffer_bytes(),
                             sess.backlog_work(),
                             sess.cloud_spent_usd(),
                             sess.overflows(),
+                            sess.dedup_stats(),
                         ),
                         None => {
                             let o = a.outcome.as_ref().expect("settled without session");
-                            (0.0, 0.0, o.outcome.cloud_usd, o.outcome.overflows)
+                            (
+                                0.0,
+                                0.0,
+                                o.outcome.cloud_usd,
+                                o.outcome.overflows,
+                                o.outcome.dedup,
+                            )
                         }
                     };
                     StreamMetrics {
@@ -767,6 +798,7 @@ impl<'a> IngestRuntime<'a> {
                         backlog_work,
                         cloud_spent_usd: cloud,
                         overflows,
+                        dedup,
                     }
                 }
                 RtSlot::Closed(o) => StreamMetrics {
@@ -779,9 +811,14 @@ impl<'a> IngestRuntime<'a> {
                     backlog_work: 0.0,
                     cloud_spent_usd: o.outcome.cloud_usd,
                     overflows: o.outcome.overflows,
+                    dedup: o.outcome.dedup,
                 },
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let mut dedup = DedupStats::default();
+        for s in &streams {
+            dedup.absorb(&s.dedup);
+        }
         RuntimeMetrics {
             shards: self.shards,
             epoch: self.epoch,
@@ -790,6 +827,8 @@ impl<'a> IngestRuntime<'a> {
             segments_processed: self.processed_total,
             wall_secs,
             segs_per_sec: self.processed_total as f64 / wall_secs.max(1e-9),
+            dedup,
+            dedup_cache_entries: self.dedup.as_ref().map_or(0, DedupCache::len),
             streams,
         }
     }
@@ -887,6 +926,9 @@ impl<'a> IngestRuntime<'a> {
             self.chaos.clone()
         };
         let epoch = self.epoch;
+        // Shared read-only cache reference for the workers: the cache only
+        // mutates at barriers, which run single-threaded before this fan-out.
+        let cache = self.dedup.as_ref();
         let results = self.pool.shard_map_mut(&mut items, |i, (slot, rt)| {
             if let Some(plan) = &chaos {
                 // Invert shard_map_mut's balanced contiguous partition
@@ -898,7 +940,7 @@ impl<'a> IngestRuntime<'a> {
                     panic!("{CRASH_PAYLOAD} (epoch {epoch}, shard {shard})");
                 }
             }
-            (*slot, rt.process_batch())
+            (*slot, rt.process_batch(cache))
         });
         drop(items);
         for (slot, r) in results {
@@ -1036,6 +1078,21 @@ impl<'a> IngestRuntime<'a> {
                 a.mailbox.set_capacity(a.quota);
             }
         }
+        // Merge the settled epoch's pending dedup entries in stable slot
+        // order — the same single-threaded commit the sequential server
+        // performs, so the cache contents after a barrier are independent
+        // of shard count and thread timing.
+        if let Some(cache) = self.dedup.as_mut() {
+            cache.begin_epoch();
+            for slot in &mut self.slots {
+                if let RtSlot::Active(a) = slot {
+                    if let Some(session) = a.session.as_mut() {
+                        cache.publish(session.take_dedup_pending());
+                    }
+                }
+            }
+            cache.enforce_capacity();
+        }
         self.joint_plans += 1;
         self.epoch += 1;
         self.barrier_pending = false;
@@ -1083,6 +1140,7 @@ impl<'a> IngestRuntime<'a> {
                 cost_model: self.cost_model,
                 replan_interval: self.replan_interval,
                 total_cores: self.total_cores,
+                dedup: self.dedup.as_ref().map(|c| *c.policy()),
             };
             wal.append(&config)?;
         }
@@ -1103,6 +1161,43 @@ impl<'a> IngestRuntime<'a> {
             self.poisoned = Some(e.to_string());
         }
         r
+    }
+
+    /// Journal a barrier settlement, followed — when dedup is enabled — by
+    /// the cumulative dedup counters the settled epochs produced. Replay
+    /// cross-checks both, so a recovered cache that replays a hit as a miss
+    /// (or vice versa) surfaces as typed journal divergence instead of a
+    /// silent drift.
+    fn wal_append_barrier(&mut self) -> Result<(), SkyError> {
+        self.wal_append_committed(&WalRecord::Barrier { epoch: self.epoch })?;
+        if self.dedup.is_some() {
+            let (hits, lookups) = self.dedup_totals();
+            self.wal_append_committed(&WalRecord::DedupHit { hits, lookups })?;
+        }
+        Ok(())
+    }
+
+    /// Cumulative dedup hits and lookups over every slot — active sessions,
+    /// settling streams, and closed outcomes alike.
+    fn dedup_totals(&self) -> (u64, u64) {
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        for slot in &self.slots {
+            let s = match slot {
+                RtSlot::Active(a) => match &a.session {
+                    Some(sess) => sess.dedup_stats(),
+                    None => a
+                        .outcome
+                        .as_ref()
+                        .map(|o| o.outcome.dedup)
+                        .unwrap_or_default(),
+                },
+                RtSlot::Closed(o) => o.outcome.dedup,
+            };
+            hits += s.hits();
+            lookups += s.lookups;
+        }
+        (hits, lookups)
     }
 
     /// Reject every operation once memory and journal have diverged.
@@ -1238,6 +1333,7 @@ impl<'a> IngestRuntime<'a> {
             processed_total: self.processed_total,
             barrier_pending: self.barrier_pending,
             last_joint_plan: self.last_joint_plan.clone(),
+            dedup: self.dedup.clone(),
             slots,
         }
     }
@@ -1291,6 +1387,7 @@ impl<'a> IngestRuntime<'a> {
             rt.processed_total = snap.processed_total;
             rt.barrier_pending = snap.barrier_pending;
             rt.last_joint_plan = snap.last_joint_plan;
+            rt.dedup = snap.dedup;
             for (slot, s) in snap.slots.into_iter().enumerate() {
                 rt.slots.push(match s {
                     SlotSnapshot::Active {
@@ -1388,12 +1485,14 @@ impl<'a> IngestRuntime<'a> {
                     cost_model,
                     replan_interval,
                     total_cores,
+                    dedup,
                 } => {
                     rt.seed = seed;
                     rt.shared_budget_usd = shared_budget_usd;
                     rt.cost_model = cost_model;
                     rt.replan_interval = replan_interval;
                     rt.total_cores = total_cores;
+                    rt.dedup = dedup.map(DedupCache::new);
                 }
                 WalRecord::Flush => tolerate(rt.flush())?,
                 WalRecord::Open {
@@ -1439,6 +1538,17 @@ impl<'a> IngestRuntime<'a> {
                                 "replay diverged at seq {seq}: journal settled epoch {epoch}, \
                                  replay stands at {}",
                                 rt.epoch
+                            ),
+                        });
+                    }
+                }
+                WalRecord::DedupHit { hits, lookups } => {
+                    let (h, l) = rt.dedup_totals();
+                    if (h, l) != (hits, lookups) {
+                        return Err(SkyError::CorruptWal {
+                            detail: format!(
+                                "replay diverged at seq {seq}: journal settled {hits} dedup \
+                                 hits / {lookups} lookups, replay stands at {h} / {l}",
                             ),
                         });
                     }

@@ -39,6 +39,7 @@ use std::path::{Path, PathBuf};
 
 use vetl_video::Segment;
 
+use crate::dedupe::{self, DedupCache, DedupPolicy};
 use crate::error::SkyError;
 use crate::multistream::{JointPlanRecord, StreamOutcome};
 use crate::offline::codec::{self, dec_opt, enc_opt, Dec, DecodeResult, Enc};
@@ -48,7 +49,7 @@ use crate::online::session::{
 
 const WAL_MAGIC: &[u8; 6] = b"SKYWAL";
 const CKPT_MAGIC: &[u8; 6] = b"SKYCKP";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Bytes of the journal's file header (magic + version). Public to the
 /// crate so the chaos helpers can avoid tearing into the header.
@@ -122,7 +123,14 @@ pub(crate) enum WalRecord {
         cost_model: vetl_sim::CostModel,
         replan_interval: Option<f64>,
         total_cores: Option<f64>,
+        dedup: Option<DedupPolicy>,
     },
+    /// Cumulative dedup counters (hits and lookups summed over every slot,
+    /// settled and active) right after a barrier settlement — journaled
+    /// only when dedup is enabled. Like [`Barrier`](Self::Barrier), replay
+    /// re-derives the counters from the input records and this record only
+    /// cross-checks that the cache behaved bit-identically.
+    DedupHit { hits: u64, lookups: u64 },
 }
 
 pub(crate) fn enc_segment(e: &mut Enc, s: &Segment) {
@@ -191,6 +199,7 @@ fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
             cost_model,
             replan_interval,
             total_cores,
+            dedup,
         } => {
             e.u8(6);
             e.u64(*seed);
@@ -199,6 +208,12 @@ fn encode_record(seq: u64, rec: &WalRecord) -> Vec<u8> {
             e.f64(cost_model.cloud_onprem_ratio);
             enc_opt(&mut e, replan_interval, |e, v| e.f64(*v));
             enc_opt(&mut e, total_cores, |e, v| e.f64(*v));
+            enc_opt(&mut e, dedup, dedupe::enc_policy);
+        }
+        WalRecord::DedupHit { hits, lookups } => {
+            e.u8(8);
+            e.u64(*hits);
+            e.u64(*lookups);
         }
     }
     e.into_bytes()
@@ -235,6 +250,7 @@ fn decode_record(body: &[u8]) -> DecodeResult<(u64, WalRecord)> {
                 d.f64("replan_interval")
             })?,
             total_cores: dec_opt(&mut d, "config total_cores", |d| d.f64("total_cores"))?,
+            dedup: dec_opt(&mut d, "config dedup", dedupe::dec_policy)?,
         },
         7 => {
             let slot = d.usize("seg batch slot")?;
@@ -247,6 +263,10 @@ fn decode_record(body: &[u8]) -> DecodeResult<(u64, WalRecord)> {
             }
             WalRecord::SegBatch { slot, segs }
         }
+        8 => WalRecord::DedupHit {
+            hits: d.u64("dedup hits")?,
+            lookups: d.u64("dedup lookups")?,
+        },
         k => return Err(format!("unknown record kind {k}")),
     };
     codec::expect_finished(&d, "journal record")?;
@@ -529,6 +549,9 @@ pub(crate) struct RuntimeSnapshot {
     pub(crate) processed_total: usize,
     pub(crate) barrier_pending: bool,
     pub(crate) last_joint_plan: Option<JointPlanRecord>,
+    /// The shared dedup cache — policy, epoch counter, and entries in
+    /// sorted key order, so the snapshot bytes are deterministic.
+    pub(crate) dedup: Option<DedupCache>,
     pub(crate) slots: Vec<SlotSnapshot>,
 }
 
@@ -551,6 +574,7 @@ fn encode_snapshot(s: &RuntimeSnapshot) -> Vec<u8> {
         e.f64(p.fair_cores);
         e.f64(p.lease_usd);
     });
+    enc_opt(&mut e, &s.dedup, dedupe::enc_cache);
     e.usize(s.slots.len());
     for slot in &s.slots {
         match slot {
@@ -614,6 +638,7 @@ fn decode_snapshot(bytes: &[u8]) -> DecodeResult<RuntimeSnapshot> {
             lease_usd: d.f64("plan lease_usd")?,
         })
     })?;
+    let dedup = dec_opt(&mut d, "snapshot dedup cache", dedupe::dec_cache)?;
     let n = d.len(1, "snapshot slots")?;
     let mut slots = Vec::with_capacity(n);
     for _ in 0..n {
@@ -660,6 +685,7 @@ fn decode_snapshot(bytes: &[u8]) -> DecodeResult<RuntimeSnapshot> {
         processed_total,
         barrier_pending,
         last_joint_plan,
+        dedup,
         slots,
     })
 }
@@ -765,6 +791,10 @@ mod tests {
                 slot: 0,
                 seg: seg(1),
             },
+            WalRecord::DedupHit {
+                hits: 3,
+                lookups: 9,
+            },
             WalRecord::Close { slot: 0 },
         ]
     }
@@ -776,10 +806,10 @@ mod tests {
         for rec in &sample_records() {
             wal.append(rec).expect("append");
         }
-        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(wal.next_seq(), 7);
         let scan = read_journal(&dir).expect("scan");
         assert_eq!(scan.discarded_bytes, 0);
-        assert_eq!(scan.records.len(), 6);
+        assert_eq!(scan.records.len(), 7);
         for (i, (seq, rec)) in scan.records.iter().enumerate() {
             assert_eq!(*seq, i as u64);
             match (rec, &sample_records()[i]) {
@@ -819,10 +849,76 @@ mod tests {
                 (WalRecord::Close { slot }, WalRecord::Close { slot: s2 }) => {
                     assert_eq!(slot, s2)
                 }
+                (
+                    WalRecord::DedupHit { hits, lookups },
+                    WalRecord::DedupHit {
+                        hits: h2,
+                        lookups: l2,
+                    },
+                ) => {
+                    assert_eq!(hits, h2);
+                    assert_eq!(lookups, l2);
+                }
                 (a, b) => panic!("record {i} mismatch: {a:?} vs {b:?}"),
             }
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The 49-byte segment wire image is a compatibility surface: journals
+    /// written by earlier builds must keep decoding, so the encoding is
+    /// pinned against hand-written little-endian bytes — not just a
+    /// round-trip, which would also pass if both directions drifted
+    /// together. The same test nails the codec to
+    /// [`Segment::identity_words`]: the wire fields are exactly the
+    /// identity fields in exactly the identity order, so fingerprints and
+    /// codecs can never disagree about what "the same segment" means.
+    #[test]
+    fn segment_encoding_is_pinned_byte_for_byte() {
+        let s = Segment {
+            index: 0x0123_4567_89AB_CDEF,
+            duration: 2.0,
+            content: vetl_video::ContentState {
+                time: vetl_video::SimTime::from_secs(6.0),
+                difficulty: 0.5,
+                activity: 0.25,
+                event_active: true,
+            },
+            bytes: 3.5e6,
+        };
+        let mut e = Enc::new();
+        enc_segment(&mut e, &s);
+        let got = e.into_bytes();
+
+        let mut want = Vec::new();
+        want.extend_from_slice(&0x0123_4567_89AB_CDEF_u64.to_le_bytes());
+        for v in [2.0_f64, 6.0, 0.5, 0.25] {
+            want.extend_from_slice(&v.to_le_bytes());
+        }
+        want.push(1); // event_active
+        want.extend_from_slice(&3.5e6_f64.to_le_bytes());
+        assert_eq!(want.len(), 49);
+        assert_eq!(got, want, "segment wire image drifted");
+
+        // Codec ↔ identity: decoding the wire words in order must
+        // reproduce `identity_words` verbatim.
+        let words = s.identity_words();
+        let wire_words: Vec<u64> = [
+            u64::from_le_bytes(got[0..8].try_into().unwrap()),
+            u64::from_le_bytes(got[8..16].try_into().unwrap()),
+            u64::from_le_bytes(got[16..24].try_into().unwrap()),
+            u64::from_le_bytes(got[24..32].try_into().unwrap()),
+            u64::from_le_bytes(got[32..40].try_into().unwrap()),
+            got[40] as u64,
+            u64::from_le_bytes(got[41..49].try_into().unwrap()),
+        ]
+        .to_vec();
+        assert_eq!(wire_words, words.to_vec(), "codec and identity disagree");
+
+        // And the decoder inverts the pinned bytes to the same segment.
+        let mut d = Dec::new(&got);
+        let back = dec_segment(&mut d).expect("decode pinned bytes");
+        assert_eq!(back.identity_words(), words);
     }
 
     #[test]
@@ -838,7 +934,7 @@ mod tests {
         for cut in (HEADER_LEN as usize)..full.len() {
             fs::write(wal_file(&dir), &full[..cut]).expect("write cut");
             let scan = read_journal(&dir).expect("scan must not fail on a torn tail");
-            assert!(scan.records.len() <= 6);
+            assert!(scan.records.len() <= 7);
             for (i, (seq, _)) in scan.records.iter().enumerate() {
                 assert_eq!(*seq, i as u64, "prefix property at cut {cut}");
             }
@@ -895,7 +991,7 @@ mod tests {
             bad[i] ^= 0xA5;
             fs::write(wal_file(&dir), &bad).expect("write");
             match read_journal(&dir) {
-                Ok(scan) => assert!(scan.records.len() <= 6),
+                Ok(scan) => assert!(scan.records.len() <= 7),
                 Err(SkyError::CorruptWal { .. }) => {}
                 Err(e) => panic!("unexpected error class: {e}"),
             }
@@ -918,7 +1014,7 @@ mod tests {
         wal.append(&WalRecord::Flush).expect("append after reset");
         let scan = read_journal(&dir).expect("scan");
         assert_eq!(scan.records.len(), 1);
-        assert_eq!(scan.records[0].0, 6, "sequence numbers keep counting");
+        assert_eq!(scan.records[0].0, 7, "sequence numbers keep counting");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -46,7 +46,8 @@ use crate::runtime::wal::{dec_segment, enc_segment};
 /// Connection-preamble magic, sent once per direction before any frame.
 pub const NET_MAGIC: &[u8; 6] = b"SKYNET";
 /// Protocol version carried in the preamble; bumped on any wire change.
-pub const NET_VERSION: u16 = 1;
+/// Version 2 added the dedup counters to the `Stats` reply.
+pub const NET_VERSION: u16 = 2;
 /// Bytes of the connection preamble (magic + little-endian version).
 pub const PREAMBLE_LEN: usize = 8;
 
@@ -188,6 +189,16 @@ pub enum Reply {
         segments_processed: u64,
         /// Unspent cloud credits across current leases, dollars.
         wallet_left_usd: f64,
+        /// Dedup cache lookups across all streams (0 when dedup is off).
+        dedup_lookups: u64,
+        /// Dedup cache hits (full + ground-truth-only) across all streams.
+        dedup_hits: u64,
+        /// Inference input bytes skipped thanks to full dedup hits.
+        dedup_bytes_saved: f64,
+        /// Cloud dollars saved by zero-charged tolerant dedup hits.
+        dedup_spend_saved_usd: f64,
+        /// Entries currently held by the shared dedup cache.
+        dedup_cache_entries: u64,
     },
     /// Answer to [`Request::Shutdown`]: the server stops accepting work
     /// and flushes `Outcome`s to surviving connections.
@@ -396,6 +407,11 @@ impl Reply {
                 active_streams,
                 segments_processed,
                 wallet_left_usd,
+                dedup_lookups,
+                dedup_hits,
+                dedup_bytes_saved,
+                dedup_spend_saved_usd,
+                dedup_cache_entries,
             } => {
                 e.u8(REP_STATS);
                 e.u64(*shards);
@@ -404,6 +420,11 @@ impl Reply {
                 e.u64(*active_streams);
                 e.u64(*segments_processed);
                 e.f64(*wallet_left_usd);
+                e.u64(*dedup_lookups);
+                e.u64(*dedup_hits);
+                e.f64(*dedup_bytes_saved);
+                e.f64(*dedup_spend_saved_usd);
+                e.u64(*dedup_cache_entries);
             }
             Reply::ShuttingDown => e.u8(REP_SHUTTING_DOWN),
             Reply::Error { detail } => {
@@ -483,6 +504,11 @@ impl Reply {
                 let active_streams = d.u64("active streams")?;
                 let segments_processed = d.u64("segments processed")?;
                 let wallet_left_usd = d.f64("wallet left")?;
+                let dedup_lookups = d.u64("dedup lookups")?;
+                let dedup_hits = d.u64("dedup hits")?;
+                let dedup_bytes_saved = d.f64("dedup bytes saved")?;
+                let dedup_spend_saved_usd = d.f64("dedup spend saved")?;
+                let dedup_cache_entries = d.u64("dedup cache entries")?;
                 finish(
                     &d,
                     Reply::Stats {
@@ -492,6 +518,11 @@ impl Reply {
                         active_streams,
                         segments_processed,
                         wallet_left_usd,
+                        dedup_lookups,
+                        dedup_hits,
+                        dedup_bytes_saved,
+                        dedup_spend_saved_usd,
+                        dedup_cache_entries,
                     },
                     "Stats",
                 )
@@ -619,6 +650,11 @@ mod tests {
                 active_streams: 3,
                 segments_processed: 2_700,
                 wallet_left_usd: 0.75,
+                dedup_lookups: 2_700,
+                dedup_hits: 1_200,
+                dedup_bytes_saved: 1.8e9,
+                dedup_spend_saved_usd: 0.42,
+                dedup_cache_entries: 900,
             },
             Reply::ShuttingDown,
             Reply::Error {

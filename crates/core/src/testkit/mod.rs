@@ -53,6 +53,28 @@ pub fn assert_outcomes_bitwise_equal(ctx: &str, a: &IngestOutcome, b: &IngestOut
         "{ctx}: duration_secs"
     );
     assert_eq!(a.drift_alarms, b.drift_alarms, "{ctx}: drift_alarms");
+    assert_eq!(a.dedup.lookups, b.dedup.lookups, "{ctx}: dedup lookups");
+    assert_eq!(
+        a.dedup.hits_full, b.dedup.hits_full,
+        "{ctx}: dedup hits_full"
+    );
+    assert_eq!(a.dedup.hits_gt, b.dedup.hits_gt, "{ctx}: dedup hits_gt");
+    assert_eq!(a.dedup.stale, b.dedup.stale, "{ctx}: dedup stale");
+    assert_eq!(
+        a.dedup.bytes_saved.to_bits(),
+        b.dedup.bytes_saved.to_bits(),
+        "{ctx}: dedup bytes_saved"
+    );
+    assert_eq!(
+        a.dedup.spend_saved_usd.to_bits(),
+        b.dedup.spend_saved_usd.to_bits(),
+        "{ctx}: dedup spend_saved_usd"
+    );
+    assert_eq!(
+        a.dedup.work_saved_secs.to_bits(),
+        b.dedup.work_saved_secs.to_bits(),
+        "{ctx}: dedup work_saved_secs"
+    );
     assert_eq!(a.trace.len(), b.trace.len(), "{ctx}: trace length");
 }
 

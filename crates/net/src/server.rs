@@ -562,6 +562,11 @@ fn handle_request(
                 active_streams: m.streams.iter().filter(|s| s.active).count() as u64,
                 segments_processed: m.segments_processed as u64,
                 wallet_left_usd: m.wallet_left_usd,
+                dedup_lookups: m.dedup.lookups,
+                dedup_hits: m.dedup.hits(),
+                dedup_bytes_saved: m.dedup.bytes_saved,
+                dedup_spend_saved_usd: m.dedup.spend_saved_usd,
+                dedup_cache_entries: m.dedup_cache_entries as u64,
             }
         }
         Request::Shutdown => unreachable!("handled by the service loop"),

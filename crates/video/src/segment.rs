@@ -36,6 +36,59 @@ impl Segment {
     pub fn frames(&self, fps: f64) -> f64 {
         self.duration * fps
     }
+
+    /// The bit-exact identity of the segment, one word per field in wire
+    /// order (`index · duration · time · difficulty · activity ·
+    /// event_active · bytes`). THE single definition of which fields make
+    /// two segments "the same segment": the journal/wire codecs serialize
+    /// exactly these fields in exactly this order, and full-segment
+    /// fingerprints fold exactly this array, so the two can never disagree
+    /// about a field.
+    pub fn identity_words(&self) -> [u64; 7] {
+        [
+            self.index,
+            self.duration.to_bits(),
+            self.content.time.as_secs().to_bits(),
+            self.content.difficulty.to_bits(),
+            self.content.activity.to_bits(),
+            self.content.event_active as u64,
+            self.bytes.to_bits(),
+        ]
+    }
+
+    /// The content signature of the segment for cross-stream dedup: which
+    /// fields make two segments "the same extraction input".
+    ///
+    /// Unlike [`identity_words`](Self::identity_words) this deliberately
+    /// excludes `index` and `bytes` — neither affects what extraction
+    /// computes (byte volume only matters to the buffer, which always
+    /// charges the *actual* segment). With `tolerance == 0.0` (exact mode)
+    /// every remaining field is raw f64 bits, so equal signatures imply
+    /// bit-identical extraction inputs. With `tolerance > 0.0` the
+    /// perceptual fields (difficulty, activity) are quantized into buckets
+    /// of that width, so near-duplicates within the tolerance collide into
+    /// one signature. Time stays bit-exact in both modes: co-located
+    /// cameras share a content-process timeline, so cross-stream
+    /// duplicates agree on time, while a time-free signature would silently
+    /// assume workloads are time-invariant. The last word discriminates the
+    /// two modes so exact and quantized signatures never alias.
+    pub fn signature_words(&self, tolerance: f64) -> [u64; 6] {
+        let bucket = |v: f64| -> u64 {
+            if tolerance > 0.0 {
+                (v / tolerance).round() as i64 as u64
+            } else {
+                v.to_bits()
+            }
+        };
+        [
+            self.duration.to_bits(),
+            self.content.time.as_secs().to_bits(),
+            bucket(self.content.difficulty),
+            bucket(self.content.activity),
+            self.content.event_active as u64,
+            (tolerance > 0.0) as u64,
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -56,5 +109,85 @@ mod tests {
         assert_eq!(seg.start().as_secs(), 0.0);
         assert_eq!(seg.end().as_secs(), 2.0);
         assert_eq!(seg.frames(30.0), 60.0);
+    }
+
+    fn sample_segment() -> Segment {
+        let mut p = ContentProcess::new(ContentParams::default(), 2.0);
+        let content = p.step();
+        Segment {
+            index: 3,
+            duration: 2.0,
+            content,
+            bytes: 180_000.0,
+        }
+    }
+
+    #[test]
+    fn identity_words_cover_every_field() {
+        let base = sample_segment();
+        let bits = base.identity_words();
+        let mut s = base;
+        s.index += 1;
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.duration += 0.5;
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.content.time = s.content.time.advance(1.0);
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.content.difficulty += 0.01;
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.content.activity += 0.01;
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.content.event_active = !s.content.event_active;
+        assert_ne!(s.identity_words(), bits);
+        let mut s = base;
+        s.bytes += 1.0;
+        assert_ne!(s.identity_words(), bits);
+    }
+
+    #[test]
+    fn exact_signature_is_bit_identity_over_extraction_inputs() {
+        let base = sample_segment();
+        let sig = base.signature_words(0.0);
+        // index and bytes do not affect extraction: excluded by design.
+        let mut s = base;
+        s.index += 7;
+        s.bytes *= 2.0;
+        assert_eq!(s.signature_words(0.0), sig);
+        // Every extraction-bearing field perturbs the exact signature.
+        let mut s = base;
+        s.duration += 0.5;
+        assert_ne!(s.signature_words(0.0), sig);
+        let mut s = base;
+        s.content.time = s.content.time.advance(1.0);
+        assert_ne!(s.signature_words(0.0), sig);
+        let mut s = base;
+        s.content.difficulty = f64::from_bits(s.content.difficulty.to_bits() + 1);
+        assert_ne!(s.signature_words(0.0), sig, "exact mode is bit-identity");
+        let mut s = base;
+        s.content.event_active = !s.content.event_active;
+        assert_ne!(s.signature_words(0.0), sig);
+    }
+
+    #[test]
+    fn tolerant_signature_buckets_near_duplicates() {
+        let base = sample_segment();
+        let tol = 0.05;
+        let sig = base.signature_words(tol);
+        // A perturbation well inside the bucket collides…
+        let mut near = base;
+        near.content.difficulty += tol / 100.0;
+        near.content.activity -= tol / 100.0;
+        assert_eq!(near.signature_words(tol), sig);
+        // …a perturbation of several buckets does not.
+        let mut far = base;
+        far.content.difficulty += 3.0 * tol;
+        assert_ne!(far.signature_words(tol), sig);
+        // Exact and quantized signatures never alias (mode discriminator).
+        assert_ne!(base.signature_words(0.0), base.signature_words(tol));
     }
 }

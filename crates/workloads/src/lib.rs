@@ -36,5 +36,7 @@ pub use covid::CovidWorkload;
 pub use ev::EvWorkload;
 pub use mosei::{MoseiVariant, MoseiWorkload};
 pub use mot::MotWorkload;
-pub use scenario::{machine_by_name, total_cost_usd, Machine, CORE_TFLOPS, MACHINES};
+pub use scenario::{
+    co_located_fleet, machine_by_name, total_cost_usd, Machine, CORE_TFLOPS, MACHINES,
+};
 pub use spec::{paper_workloads, PaperWorkload, WorkloadSpec};

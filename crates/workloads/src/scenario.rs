@@ -1,11 +1,15 @@
-//! Hardware scenarios and pricing (§5.3, Appendix L).
+//! Hardware scenarios and pricing (§5.3, Appendix L), plus fleet-shaped
+//! stream scenarios for the cross-stream dedup experiments.
 //!
 //! The paper provisions Skyscraper and the baselines with Google Cloud VM
 //! instances standing in for on-premise servers, and prices runs as
 //! `VM rental / 1.8 + AWS Lambda spend` (the Appendix-L cloud:on-premise
 //! ratio).
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vetl_sim::{CostModel, HardwareSpec};
+use vetl_video::{ContentParams, Segment, SyntheticCamera};
 
 /// Conversion from reference-core work to the paper's TFLOP/s axis
 /// (Fig. 3): one reference core retires ≈ 0.1 TFLOP/s.
@@ -79,6 +83,60 @@ pub fn total_cost_usd(
     cost_model.vm_rental_as_onprem_usd(machine.rental_usd(duration_secs)) + lambda_usd
 }
 
+/// Decorrelates per-camera jitter generators (the golden-ratio SplitMix64
+/// increment, same constant the runtime uses to stride per-stream seeds).
+const CAMERA_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fleet of `cameras` co-located cameras watching the **same** content
+/// process — the high-redundancy workload shape of PAPER.md §1 (adjacent
+/// cameras on one street corner see the same crowd).
+///
+/// One base camera records the shared timeline once; each fleet member gets
+/// that timeline with its perceptual fields (`difficulty`, `activity`)
+/// perturbed by a per-camera seeded generator, scaled by `jitter` and
+/// clamped back to `[0, 1]`. The time axis, segment durations and encoded
+/// byte sizes are identical across the fleet — co-located cameras share a
+/// codec ladder and a wall clock.
+///
+/// `jitter == 0.0` skips perturbation entirely, so every camera's segments
+/// are **bit-identical** to the base timeline — the exact-mode dedup
+/// cache's best case, and the input the bitwise-equivalence property tests
+/// feed. Small positive jitter (≲ the dedup tolerance) keeps segments
+/// within one perceptual bucket, exercising near-duplicate hits.
+pub fn co_located_fleet(
+    params: ContentParams,
+    seg_len: f64,
+    cameras: usize,
+    jitter: f64,
+    duration_secs: f64,
+    seed: u64,
+) -> Vec<Vec<Segment>> {
+    let mut base_cam = SyntheticCamera::new(params, seg_len);
+    let n = (duration_secs / seg_len).ceil().max(1.0) as usize;
+    let base = base_cam.take_segments(n);
+    (0..cameras)
+        .map(|cam| {
+            if jitter <= 0.0 {
+                return base.clone();
+            }
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add((cam as u64).wrapping_mul(CAMERA_SEED_STRIDE)),
+            );
+            base.iter()
+                .map(|s| {
+                    let mut s = *s;
+                    let c = &mut s.content;
+                    c.difficulty =
+                        (c.difficulty + jitter * (2.0 * rng.gen::<f64>() - 1.0)).clamp(0.0, 1.0);
+                    c.activity =
+                        (c.activity + jitter * (2.0 * rng.gen::<f64>() - 1.0)).clamp(0.0, 1.0);
+                    s
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +173,54 @@ mod tests {
         let base = total_cost_usd(&MACHINES[0], 3_600.0, 0.0, &cm);
         let with = total_cost_usd(&MACHINES[0], 3_600.0, 2.5, &cm);
         assert!((with - base - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jitter_fleet_is_bit_identical_across_cameras() {
+        let fleet = co_located_fleet(ContentParams::shopping_street(7), 2.0, 4, 0.0, 120.0, 7);
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[0].len(), 60);
+        for cam in &fleet[1..] {
+            for (a, b) in fleet[0].iter().zip(cam) {
+                assert_eq!(a.identity_words(), b.identity_words());
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_fleet_shares_timeline_but_perturbs_perception() {
+        let jitter = 0.05;
+        let fleet = co_located_fleet(ContentParams::shopping_street(7), 2.0, 3, jitter, 120.0, 7);
+        let base = &fleet[0];
+        let mut any_differs = false;
+        for cam in &fleet[1..] {
+            for (a, b) in base.iter().zip(cam) {
+                // Shared clock, shared codec ladder.
+                assert_eq!(a.index, b.index);
+                assert_eq!(
+                    a.content.time.as_secs().to_bits(),
+                    b.content.time.as_secs().to_bits()
+                );
+                assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+                assert_eq!(a.bytes.to_bits(), b.bytes.to_bits());
+                assert_eq!(a.content.event_active, b.content.event_active);
+                // Perception perturbed, but bounded and clamped.
+                assert!((a.content.difficulty - b.content.difficulty).abs() <= 2.0 * jitter);
+                assert!((0.0..=1.0).contains(&b.content.difficulty));
+                assert!((0.0..=1.0).contains(&b.content.activity));
+                any_differs |= a.content.difficulty != b.content.difficulty;
+            }
+        }
+        assert!(any_differs, "jitter must actually perturb the fleet");
+    }
+
+    #[test]
+    fn fleet_cameras_are_mutually_decorrelated() {
+        let fleet = co_located_fleet(ContentParams::shopping_street(7), 2.0, 3, 0.05, 60.0, 7);
+        let differs = fleet[1]
+            .iter()
+            .zip(&fleet[2])
+            .any(|(a, b)| a.content.difficulty != b.content.difficulty);
+        assert!(differs, "distinct cameras must draw distinct jitter");
     }
 }

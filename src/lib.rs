@@ -35,12 +35,12 @@ pub use vetl_workloads as workloads;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use skyscraper::{
-        ClassificationMode, DurabilityConfig, ForecastMode, IngestOptions, IngestOutcome,
-        IngestRuntime, IngestSession, JointPlanRecord, Knob, KnobConfig, KnobPlan, KnobPlanner,
-        KnobSwitcher, KnobValue, KnowledgeBase, MultiStreamServer, OfflineArtifacts,
-        OfflinePipeline, RecoveredStream, RecoveryReport, RuntimeConfig, RuntimeMetrics,
-        SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig, StepReport, StreamId,
-        StreamMetrics, StreamStats, Workload,
+        ClassificationMode, DedupCache, DedupPolicy, DedupStats, DurabilityConfig, ForecastMode,
+        IngestOptions, IngestOutcome, IngestRuntime, IngestSession, JointPlanRecord, Knob,
+        KnobConfig, KnobPlan, KnobPlanner, KnobSwitcher, KnobValue, KnowledgeBase,
+        MultiStreamServer, OfflineArtifacts, OfflinePipeline, RecoveredStream, RecoveryReport,
+        RuntimeConfig, RuntimeMetrics, SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig,
+        StepReport, StreamId, StreamMetrics, StreamStats, Workload,
     };
     pub use skyscraper::{IngestService, StreamOutcome};
     pub use vetl_net::{Endpoint, NetClient, NetClientConfig, NetServer, ServerConfig};
