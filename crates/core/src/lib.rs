@@ -53,6 +53,11 @@
 //!   binary wire protocol ([`serve::proto`]) spoken by the `vetl-net`
 //!   socket server — segments on the wire use the journal's exact
 //!   encoding, so served and in-process ingestion are bitwise identical.
+//! * [`obs`] — observability: a deterministic metrics registry (counters,
+//!   gauges, pinned log-scale latency histograms), a bounded flight
+//!   recorder of structured trace events, and the injectable [`obs::Clock`]
+//!   behind the rate metrics — recording is bitwise-invisible to every
+//!   engine decision.
 //! * [`api`] — a user-facing facade mirroring the Python API of Appendix F.
 //!
 //! ## Quality model
@@ -71,6 +76,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod knob;
 pub mod multistream;
+pub mod obs;
 pub mod offline;
 pub mod online;
 pub mod profile;
@@ -88,6 +94,10 @@ pub use error::SkyError;
 pub use fingerprint::content_signature;
 pub use knob::{ConfigSpace, Knob, KnobConfig, KnobValue};
 pub use multistream::{JointPlanRecord, MultiOutcome, MultiStreamServer, StreamId, StreamOutcome};
+pub use obs::{
+    Clock, FlightRecorder, ManualClock, MetricsRegistry, MetricsSnapshot, MonotonicClock, Obs,
+    TraceEvent,
+};
 pub use offline::{
     run_offline, CategoryArtifact, EvalMemo, FittedModel, ForecastArtifact, KnowledgeBase,
     OfflineArtifacts, OfflinePipeline, OfflineReport, PlanArtifact, ProfileArtifact,

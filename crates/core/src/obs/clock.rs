@@ -1,0 +1,101 @@
+//! Injectable wall clocks for the runtime's rate metrics.
+//!
+//! `RuntimeMetrics::wall_secs` / `segs_per_sec` are the only
+//! non-deterministic fields the runtime reports. Hiding the time source
+//! behind [`Clock`] keeps them out of test assertions: production uses
+//! [`MonotonicClock`] (the default), tests inject a [`ManualClock`] and
+//! assert exact values instead of `> 0.0`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic wall-clock source, seconds since an arbitrary epoch.
+/// Implementations must be cheap — the runtime reads the clock once per
+/// metrics snapshot, never on the push path.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Seconds elapsed since the clock's own epoch.
+    fn now_secs(&self) -> f64;
+}
+
+/// The production clock: [`Instant`]-backed, anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    anchor: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonotonicClock {
+    /// A clock anchored at "now".
+    pub fn new() -> Self {
+        Self {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_secs(&self) -> f64 {
+        self.anchor.elapsed().as_secs_f64()
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time only moves when
+/// the test calls [`set`](Self::set) or [`advance`](Self::advance).
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at `now_secs`.
+    pub fn new(now_secs: f64) -> Self {
+        Self {
+            now_bits: AtomicU64::new(now_secs.to_bits()),
+        }
+    }
+
+    /// Jump to an absolute time, seconds.
+    pub fn set(&self, now_secs: f64) {
+        self.now_bits.store(now_secs.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Move forward by `secs`.
+    pub fn advance(&self, secs: f64) {
+        self.set(self.now_secs() + secs);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_secs(&self) -> f64 {
+        f64::from_bits(self.now_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new(10.0);
+        assert_eq!(c.now_secs(), 10.0);
+        c.advance(2.5);
+        assert_eq!(c.now_secs(), 12.5);
+        c.set(100.0);
+        assert_eq!(c.now_secs(), 100.0);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_secs();
+        let b = c.now_secs();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

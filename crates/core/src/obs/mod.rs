@@ -1,0 +1,77 @@
+//! Observability: the metrics registry, the flight recorder, and the
+//! injectable clock behind the runtime's rate metrics.
+//!
+//! The module exists to answer two questions the point-in-time
+//! [`RuntimeMetrics`](crate::runtime::RuntimeMetrics) snapshot cannot:
+//! *which stage* ate the budget (per-stage latency histograms with pinned
+//! buckets — [`MetricsRegistry`]) and *what happened, in what order* (a
+//! bounded ring of structured trace events — [`FlightRecorder`]).
+//!
+//! ## The invariant: recording is bitwise-invisible
+//!
+//! The engine's load-bearing guarantee is determinism: any shard count
+//! produces bitwise-identical per-stream outcomes, plan records, WAL
+//! bytes, and wire replies. Observability must not bend that, so it obeys
+//! one rule: **no engine decision ever reads observability state**.
+//! Metrics and trace events are written, never consulted; the recorder
+//! lives outside checkpoints, the WAL, and (except for the dedicated
+//! `Metrics` reply) the wire. Attach an [`Obs`] or don't — every outcome,
+//! plan record, journal byte, and reply is identical either way, and
+//! `tests/obs.rs` property-tests exactly that across the shard matrix.
+//!
+//! ## Usage
+//!
+//! ```
+//! use std::sync::Arc;
+//! use skyscraper::obs::{CounterId, HistId, Obs};
+//!
+//! let obs = Arc::new(Obs::new());
+//! // Hand `obs` to the runtime via `RuntimeConfig::obs`, then:
+//! obs.registry.inc(CounterId::SessionPushes);
+//! let snap = obs.registry.snapshot();
+//! println!("{}", snap.render_prometheus());
+//! assert_eq!(snap.counter("session_pushes"), Some(1));
+//! assert_eq!(snap.histogram("wal_fsync").unwrap().count, 0);
+//! # let _ = HistId::WalFsync;
+//! ```
+
+mod clock;
+mod flight;
+mod registry;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use flight::{FlightRecorder, PanicDumpGuard, TraceEvent, DEFAULT_FLIGHT_CAP, FLIGHT_DUMP_ENV};
+pub use registry::{
+    CounterId, GaugeId, HistId, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    HIST_BUCKETS,
+};
+
+pub(crate) use registry::{dec_snapshot, enc_snapshot};
+
+/// One observability attachment: a registry plus a flight recorder,
+/// shared with the runtime as `Arc<Obs>` via
+/// [`RuntimeConfig::obs`](crate::runtime::RuntimeConfig). `None` means
+/// recording off — the hot path then does no observability work at all.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Counters, gauges, and latency histograms.
+    pub registry: MetricsRegistry,
+    /// The structured trace-event ring.
+    pub flight: FlightRecorder,
+}
+
+impl Obs {
+    /// A fresh attachment with a zeroed registry and an empty ring of
+    /// default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh attachment whose flight ring keeps `cap` events.
+    pub fn with_flight_cap(cap: usize) -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            flight: FlightRecorder::new(cap),
+        }
+    }
+}

@@ -862,6 +862,11 @@ pub struct IngestSession<'a, W: Workload + ?Sized> {
     /// Dedup key scope (model + workload fingerprint) — derived, computed
     /// once at construction; 0 when dedup is disabled.
     dedup_scope: u64,
+    /// Observability attachment, shared with the owning runtime. Like the
+    /// [`HotScratch`], this is derived wiring: never checkpointed, never
+    /// consulted by a decision, re-attached on resume. `None` = recording
+    /// off (zero obs work on the push path).
+    obs: Option<std::sync::Arc<crate::obs::Obs>>,
 }
 
 /// The dedup key scope: cached results are only answers to the *same*
@@ -983,6 +988,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             options,
             state,
             scratch: HotScratch::default(),
+            obs: None,
         }
     }
 
@@ -1043,7 +1049,14 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             options: checkpoint.options,
             state: checkpoint.state,
             scratch: HotScratch::default(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle (dedup-lookup timing and counters on
+    /// the push path). Recording is bitwise-invisible — see [`crate::obs`].
+    pub(crate) fn attach_obs(&mut self, obs: std::sync::Arc<crate::obs::Obs>) {
+        self.obs = Some(obs);
     }
 
     /// Install a plan computed outside the session (joint multi-stream LP)
@@ -1361,6 +1374,14 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             .dedup
             .map(|p| DedupKey::new(self.dedup_scope, seg, p.tolerance));
         let mut dedup_hit: Option<DedupEntry> = None;
+        // Lookup timing only when recording is on *and* dedup is on: the
+        // dedup-off push path must not pay even the `Instant` read.
+        let t_dedup = if self.obs.is_some() && dedup_key.is_some() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let stale_before = self.state.dedup_stats.stale;
         if let (Some(policy), Some(key)) = (self.options.dedup, &dedup_key) {
             self.state.dedup_stats.lookups += 1;
             // Own pending entries are visible immediately (per-stream order
@@ -1386,6 +1407,17 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
                     }
                 }
             };
+        }
+        if let (Some(o), Some(t)) = (self.obs.as_deref(), t_dedup) {
+            o.registry
+                .record(crate::obs::HistId::DedupLookup, t.elapsed());
+            o.registry.inc(crate::obs::CounterId::DedupLookups);
+            if dedup_hit.is_some() {
+                o.registry.inc(crate::obs::CounterId::DedupHits);
+            }
+            if self.state.dedup_stats.stale > stale_before {
+                o.registry.inc(crate::obs::CounterId::DedupStale);
+            }
         }
 
         // ---- Ground truth for this segment (accuracy stats + oracles).

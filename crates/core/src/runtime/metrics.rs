@@ -1,6 +1,7 @@
 //! Observability snapshots of the sharded ingest runtime.
 
 use crate::dedupe::DedupStats;
+use crate::obs::{GaugeId, MetricsRegistry};
 
 /// Point-in-time state of one stream slot.
 #[derive(Debug, Clone)]
@@ -55,13 +56,40 @@ pub struct RuntimeMetrics {
 }
 
 impl RuntimeMetrics {
-    /// Total ingress lag across active streams, segments.
+    /// Total ingress lag across active streams, segments. Closed slots are
+    /// excluded: a settled stream can retain its final lag reading in its
+    /// slot, and counting it would overstate live ingress pressure under
+    /// open/close churn.
     pub fn total_lag(&self) -> usize {
-        self.streams.iter().map(|s| s.lag_segments).sum()
+        self.streams
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.lag_segments)
+            .sum()
     }
 
     /// Total cloud spend across all streams, dollars.
     pub fn total_cloud_usd(&self) -> f64 {
         self.streams.iter().map(|s| s.cloud_spent_usd).sum()
+    }
+
+    /// Project this snapshot onto the registry's gauge section. This is
+    /// the **single** mapping between `RuntimeMetrics` and the
+    /// [`MetricsRegistry`]: the runtime calls it on every
+    /// [`metrics()`](crate::runtime::IngestRuntime::metrics) snapshot, so
+    /// the two exposition surfaces cannot drift apart. The
+    /// non-deterministic rate fields (`wall_secs`, `segs_per_sec`) are
+    /// deliberately not mirrored — registry snapshots stay deterministic.
+    pub fn sync_registry(&self, reg: &MetricsRegistry) {
+        reg.set_gauge(GaugeId::Epoch, self.epoch as f64);
+        reg.set_gauge(GaugeId::JointPlans, self.joint_plans as f64);
+        reg.set_gauge(
+            GaugeId::ActiveStreams,
+            self.streams.iter().filter(|s| s.active).count() as f64,
+        );
+        reg.set_gauge(GaugeId::SegmentsProcessed, self.segments_processed as f64);
+        reg.set_gauge(GaugeId::WalletLeftUsd, self.wallet_left_usd);
+        reg.set_gauge(GaugeId::TotalLagSegments, self.total_lag() as f64);
+        reg.set_gauge(GaugeId::DedupCacheEntries, self.dedup_cache_entries as f64);
     }
 }

@@ -63,6 +63,7 @@ use crate::multistream::{
     admission_check, epoch_quota, plan_epoch, JointPlanRecord, MultiOutcome, StreamId,
     StreamOutcome, STREAM_SEED_STRIDE,
 };
+use crate::obs::{Clock, CounterId, HistId, MonotonicClock, Obs, TraceEvent};
 use crate::offline::FittedModel;
 use crate::online::session::{IngestOptions, IngestSession, StepReport};
 use crate::testkit::chaos::{FailurePlan, CRASH_PAYLOAD};
@@ -213,6 +214,18 @@ pub struct RuntimeConfig {
     /// (`DedupPolicy::exact()`) never changes an outcome bit relative to
     /// `None`; tolerant policies trade bounded drift for skipped spend.
     pub dedup: Option<DedupPolicy>,
+    /// Observability attachment ([`crate::obs`]): metrics registry plus
+    /// flight recorder. `None` means recording off. Recording is
+    /// **bitwise-invisible**: no engine decision ever reads observability
+    /// state, so a run with an attachment is bitwise identical — outcomes,
+    /// plan records, WAL bytes, wire replies — to one without
+    /// (property-tested in `tests/obs.rs`).
+    pub obs: Option<Arc<Obs>>,
+    /// Wall-clock source behind the rate metrics (`wall_secs`,
+    /// `segs_per_sec`). `None` uses the monotonic system clock; tests
+    /// inject an [`crate::obs::ManualClock`] to assert exact rates. The
+    /// clock feeds *only* those two reported fields — never a decision.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for RuntimeConfig {
@@ -227,6 +240,8 @@ impl Default for RuntimeConfig {
             durability: None,
             chaos: None,
             dedup: None,
+            obs: None,
+            clock: None,
         }
     }
 }
@@ -259,9 +274,26 @@ impl RtStream<'_> {
     /// the shared dedup cache (frozen between barriers, so sharing a
     /// reference across workers is race-free). Returns the number of
     /// segments ingested.
-    fn process_batch(&mut self, cache: Option<&DedupCache>) -> Result<usize, SkyError> {
+    ///
+    /// Instrumentation is amortized per batch, never per segment: one
+    /// `Instant` pair around the drain, one around the push loop (booked as
+    /// the per-segment mean via
+    /// [`record_split`](crate::obs::MetricsRegistry::record_split)), and
+    /// one counter add each — so recording stays inside the CI throughput
+    /// gate.
+    fn process_batch(
+        &mut self,
+        cache: Option<&DedupCache>,
+        obs: Option<&Obs>,
+    ) -> Result<usize, SkyError> {
         let mut batch = std::mem::take(&mut self.scratch);
+        let t_drain = obs.map(|_| Instant::now());
         self.mailbox.drain_into(&mut batch);
+        if let (Some(o), Some(t)) = (obs, t_drain) {
+            o.registry.record(HistId::MailboxDrain, t.elapsed());
+            o.registry.add(CounterId::MailboxDrains, batch.len() as u64);
+        }
+        let t_push = obs.map(|_| Instant::now());
         let mut n = 0;
         let mut failed = None;
         while let Some(env) = batch.pop_front() {
@@ -291,6 +323,10 @@ impl RtStream<'_> {
         // has).
         batch.clear();
         self.scratch = batch;
+        if let (Some(o), Some(t)) = (obs, t_push) {
+            o.registry.record_split(HistId::SessionPush, t.elapsed(), n);
+            o.registry.add(CounterId::SessionPushes, n as u64);
+        }
         match failed {
             Some(e) => Err(e),
             None => Ok(n),
@@ -352,7 +388,15 @@ pub struct IngestRuntime<'a> {
     barrier_pending: bool,
     epoch: usize,
     processed_total: usize,
-    started: Instant,
+    /// Wall-clock source behind the rate metrics; anchored at creation.
+    /// Like the observability attachment below, the clock feeds only
+    /// *reported* values, never a decision.
+    clock: Arc<dyn Clock>,
+    started_secs: f64,
+    /// Observability attachment (metrics registry + flight recorder).
+    /// `None` = recording off; the hot path then does no obs work at all.
+    /// Never read by any decision — see [`RuntimeConfig::obs`].
+    obs: Option<Arc<Obs>>,
     /// Durability wiring (see [`DurabilityConfig`]). The journal handle
     /// opens lazily on the first accepted event.
     dur: Option<DurabilityConfig>,
@@ -389,6 +433,8 @@ impl<'a> IngestRuntime<'a> {
             // an outcome bit, so the override is purely operational.
             crate::serve::detect_shards()
         };
+        let clock: Arc<dyn Clock> = cfg.clock.unwrap_or_else(|| Arc::new(MonotonicClock::new()));
+        let started_secs = clock.now_secs();
         Self {
             pool: ActorPool::new(shards),
             shards,
@@ -404,7 +450,9 @@ impl<'a> IngestRuntime<'a> {
             barrier_pending: false,
             epoch: 0,
             processed_total: 0,
-            started: Instant::now(),
+            clock,
+            started_secs,
+            obs: cfg.obs,
             dur: cfg.durability,
             wal: None,
             last_ckpt_epoch: 0,
@@ -443,6 +491,22 @@ impl<'a> IngestRuntime<'a> {
     /// The shared cross-stream dedup cache, when enabled.
     pub fn dedup_cache(&self) -> Option<&DedupCache> {
         self.dedup.as_ref()
+    }
+
+    /// The observability attachment, when recording is on.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Record a poisoning in the flight recorder and dump the ring —
+    /// the post-mortem a poisoned runtime leaves behind.
+    fn obs_poison(&self, detail: &str) {
+        if let Some(o) = &self.obs {
+            o.flight.record(TraceEvent::Poisoned {
+                detail: detail.to_string(),
+            });
+            o.flight.dump("poisoned");
+        }
     }
 
     /// Unspent cloud credits across the active streams' current leases.
@@ -493,7 +557,16 @@ impl<'a> IngestRuntime<'a> {
             .filter_map(|s| s.session.as_ref())
             .map(|s| s.model())
             .collect();
-        admission_check(&active_models, model, total)?;
+        if let Err(e) = admission_check(&active_models, model, total) {
+            if let Some(o) = &self.obs {
+                o.registry.inc(CounterId::AdmissionsRejected);
+                o.flight.record(TraceEvent::AdmissionRejected {
+                    workload_id: workload_id.clone(),
+                    reason: e.to_string(),
+                });
+            }
+            return Err(e);
+        }
         let prev_total = self.total_cores;
         self.total_cores = Some(total);
 
@@ -506,9 +579,13 @@ impl<'a> IngestRuntime<'a> {
         // server): every session must consult the shared cache under the
         // same policy or the scope check trips.
         options.dedup = self.dedup.as_ref().map(|c| *c.policy());
+        let mut session = IngestSession::external(model, workload, options);
+        if let Some(o) = &self.obs {
+            session.attach_obs(o.clone());
+        }
         let candidate = Box::new(RtStream {
             id: workload_id.clone(),
-            session: Some(IngestSession::external(model, workload, options)),
+            session: Some(session),
             mailbox: Mailbox::new(1),
             scratch: std::collections::VecDeque::new(),
             used: 0,
@@ -519,7 +596,21 @@ impl<'a> IngestRuntime<'a> {
         });
         if let Err(e) = self.barrier(Some(candidate)) {
             self.total_cores = prev_total;
+            if let Some(o) = &self.obs {
+                o.registry.inc(CounterId::AdmissionsRejected);
+                o.flight.record(TraceEvent::AdmissionRejected {
+                    workload_id: workload_id.clone(),
+                    reason: e.to_string(),
+                });
+            }
             return Err(e);
+        }
+        if let Some(o) = &self.obs {
+            o.registry.inc(CounterId::AdmissionsAccepted);
+            o.flight.record(TraceEvent::AdmissionAccepted {
+                slot,
+                workload_id: workload_id.clone(),
+            });
         }
         // The admission is committed: these records are post-commit by
         // necessity (the slot and epoch only exist now), so a failed append
@@ -561,6 +652,14 @@ impl<'a> IngestRuntime<'a> {
                     return Err(SkyError::StreamClosed { id: stream.index() });
                 }
                 if a.mailbox.segments_queued() >= a.mailbox.capacity() {
+                    if let Some(o) = &self.obs {
+                        o.registry.inc(CounterId::BackpressureRejections);
+                        o.flight.record(TraceEvent::Backpressure {
+                            slot: stream.index(),
+                            queued: a.mailbox.segments_queued(),
+                            capacity: a.mailbox.capacity(),
+                        });
+                    }
                     return Err(SkyError::Overloaded {
                         stream: stream.index(),
                         queued: a.mailbox.segments_queued(),
@@ -578,6 +677,11 @@ impl<'a> IngestRuntime<'a> {
         };
         let accepted = a.mailbox.try_push(seg);
         debug_assert!(accepted, "capacity pre-checked above");
+        if let Some(o) = &self.obs {
+            // Counter-only on the enqueue path: one relaxed atomic add, no
+            // `Instant` — per-push timing would dominate the push itself.
+            o.registry.inc(CounterId::MailboxEnqueues);
+        }
         let before = self.epoch;
         self.try_dispatch()?;
         if self.epoch != before {
@@ -589,6 +693,7 @@ impl<'a> IngestRuntime<'a> {
         let r = self.maybe_snapshot();
         if let Err(e) = &r {
             self.poisoned = Some(e.to_string());
+            self.obs_poison(&e.to_string());
         }
         r
     }
@@ -647,6 +752,14 @@ impl<'a> IngestRuntime<'a> {
                     }
                     let (queued, cap) = (a.mailbox.segments_queued(), a.mailbox.capacity());
                     if queued >= cap {
+                        if let Some(o) = &self.obs {
+                            o.registry.inc(CounterId::BackpressureRejections);
+                            o.flight.record(TraceEvent::Backpressure {
+                                slot: stream.index(),
+                                queued,
+                                capacity: cap,
+                            });
+                        }
                         return Err(batch_err(
                             accepted,
                             SkyError::Overloaded {
@@ -686,6 +799,10 @@ impl<'a> IngestRuntime<'a> {
             };
             a.mailbox.push_segments(chunk);
             accepted += chunk.len();
+            if let Some(o) = &self.obs {
+                o.registry
+                    .add(CounterId::MailboxEnqueues, chunk.len() as u64);
+            }
             let before = self.epoch;
             self.try_dispatch().map_err(|e| batch_err(accepted, e))?;
             if self.epoch != before {
@@ -694,6 +811,7 @@ impl<'a> IngestRuntime<'a> {
             }
             if let Err(e) = self.maybe_snapshot() {
                 self.poisoned = Some(e.to_string());
+                self.obs_poison(&e.to_string());
                 return Err(batch_err(accepted, e));
             }
             if let Some(e) = pending_invalid {
@@ -744,6 +862,9 @@ impl<'a> IngestRuntime<'a> {
             unreachable!("checked active above");
         };
         a.mailbox.push_close();
+        if let Some(o) = &self.obs {
+            o.registry.inc(CounterId::MailboxEnqueues);
+        }
         let before = self.epoch;
         self.try_dispatch()?;
         if self.epoch != before {
@@ -755,14 +876,18 @@ impl<'a> IngestRuntime<'a> {
         let r = self.maybe_snapshot();
         if let Err(e) = &r {
             self.poisoned = Some(e.to_string());
+            self.obs_poison(&e.to_string());
         }
         r
     }
 
     /// Point-in-time snapshot: per-stream lag, buffer fill, spend, and
-    /// aggregate throughput.
+    /// aggregate throughput. With an observability attachment, the snapshot
+    /// is also projected onto the registry's gauges
+    /// ([`RuntimeMetrics::sync_registry`] — the single mapping that keeps
+    /// the two exposition surfaces from drifting).
     pub fn metrics(&self) -> RuntimeMetrics {
-        let wall_secs = self.started.elapsed().as_secs_f64();
+        let wall_secs = (self.clock.now_secs() - self.started_secs).max(0.0);
         let streams = self
             .slots
             .iter()
@@ -819,7 +944,7 @@ impl<'a> IngestRuntime<'a> {
         for s in &streams {
             dedup.absorb(&s.dedup);
         }
-        RuntimeMetrics {
+        let m = RuntimeMetrics {
             shards: self.shards,
             epoch: self.epoch,
             joint_plans: self.joint_plans,
@@ -830,7 +955,11 @@ impl<'a> IngestRuntime<'a> {
             dedup,
             dedup_cache_entries: self.dedup.as_ref().map_or(0, DedupCache::len),
             streams,
+        };
+        if let Some(o) = &self.obs {
+            m.sync_registry(&o.registry);
         }
+        m
     }
 
     /// Deliver all remaining queued input and settle every stream — active
@@ -887,6 +1016,12 @@ impl<'a> IngestRuntime<'a> {
     /// with a close marker settle before the barrier (they closed at the
     /// epoch boundary and must not join the next joint plan).
     fn dispatch(&mut self) -> Result<(), SkyError> {
+        // Arm the flight recorder's panic dump for the whole dispatch: an
+        // injected chaos crash (or a real one) in a worker flushes the
+        // trace timeline before the panic propagates. The Arc clone keeps
+        // the guard's borrow off `self`.
+        let obs = self.obs.clone();
+        let _panic_dump = obs.as_ref().map(|o| o.flight.panic_dump_guard());
         if self.barrier_pending {
             for slot in &mut self.slots {
                 if let RtSlot::Active(a) = slot {
@@ -929,6 +1064,8 @@ impl<'a> IngestRuntime<'a> {
         // Shared read-only cache reference for the workers: the cache only
         // mutates at barriers, which run single-threaded before this fan-out.
         let cache = self.dedup.as_ref();
+        let worker_obs = obs.as_deref();
+        let t_dispatch = worker_obs.map(|_| Instant::now());
         let results = self.pool.shard_map_mut(&mut items, |i, (slot, rt)| {
             if let Some(plan) = &chaos {
                 // Invert shard_map_mut's balanced contiguous partition
@@ -937,12 +1074,23 @@ impl<'a> IngestRuntime<'a> {
                 // so the crash lands in the worker that owns this item.
                 let shard = (shards_eff * (i + 1) - 1) / n_items.max(1);
                 if plan.crash_now(epoch, shard) {
+                    if let Some(o) = worker_obs {
+                        o.registry.inc(CounterId::ChaosCrashes);
+                        o.flight.record(TraceEvent::ChaosCrash {
+                            epoch: epoch as u64,
+                            shard,
+                        });
+                    }
                     panic!("{CRASH_PAYLOAD} (epoch {epoch}, shard {shard})");
                 }
             }
-            (*slot, rt.process_batch(cache))
+            (*slot, rt.process_batch(cache, worker_obs))
         });
         drop(items);
+        if let (Some(o), Some(t)) = (worker_obs, t_dispatch) {
+            o.registry.record(HistId::BatchDispatch, t.elapsed());
+            o.registry.inc(CounterId::BatchDispatches);
+        }
         for (slot, r) in results {
             match r {
                 Ok(n) => self.processed_total += n,
@@ -968,10 +1116,13 @@ impl<'a> IngestRuntime<'a> {
 
     /// Convert streams whose close marker was processed into closed slots.
     fn seal_settled(&mut self) {
-        for slot in &mut self.slots {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
             if let RtSlot::Active(a) = slot {
                 if let Some(outcome) = a.outcome.take() {
                     *slot = RtSlot::Closed(outcome);
+                    if let Some(o) = &self.obs {
+                        o.flight.record(TraceEvent::StreamClosed { slot: i });
+                    }
                 }
             }
         }
@@ -1019,6 +1170,13 @@ impl<'a> IngestRuntime<'a> {
     /// sequential server performs, computed through the shared
     /// [`plan_epoch`].
     fn barrier(&mut self, candidate: Option<Box<RtStream<'a>>>) -> Result<(), SkyError> {
+        let obs = self.obs.clone();
+        if let Some(o) = obs.as_deref() {
+            o.flight.record(TraceEvent::EpochClose {
+                epoch: self.epoch as u64,
+            });
+        }
+        let t_settle = obs.as_deref().map(|_| Instant::now());
         let candidate_slot = self.slots.len();
         let mut stream_slots: Vec<usize> = self
             .slots
@@ -1049,9 +1207,24 @@ impl<'a> IngestRuntime<'a> {
         // part of the (deterministic) input timeline and applies equally to
         // reference runs and recovery replays.
         let budget = match &self.chaos {
-            Some(plan) if plan.outage_at(self.epoch + 1) => 0.0,
+            Some(plan) if plan.outage_at(self.epoch + 1) => {
+                if let Some(o) = obs.as_deref() {
+                    o.registry.inc(CounterId::ChaosOutages);
+                    o.flight.record(TraceEvent::ChaosOutage {
+                        epoch: (self.epoch + 1) as u64,
+                    });
+                }
+                0.0
+            }
             _ => self.shared_budget_usd,
         };
+        if let (Some(o), Some(t)) = (obs.as_deref(), t_settle) {
+            o.registry.record(HistId::BarrierSettle, t.elapsed());
+        }
+        // Cold vs warm is a property of the carried basis *before* the
+        // solve — the classification the histograms split on.
+        let cold_solve = self.joint_basis.is_empty();
+        let t_lp = obs.as_deref().map(|_| Instant::now());
         let (plans, math) = plan_epoch(
             &models,
             &rs,
@@ -1061,7 +1234,18 @@ impl<'a> IngestRuntime<'a> {
             self.replan_interval,
             &mut self.joint_basis,
         )?;
+        if let (Some(o), Some(t)) = (obs.as_deref(), t_lp) {
+            let elapsed = t.elapsed();
+            if cold_solve {
+                o.registry.inc(CounterId::LpSolvesCold);
+                o.registry.record(HistId::BarrierLpSolveCold, elapsed);
+            } else {
+                o.registry.inc(CounterId::LpSolvesWarm);
+                o.registry.record(HistId::BarrierLpSolveWarm, elapsed);
+            }
+        }
 
+        let t_resplit = obs.as_deref().map(|_| Instant::now());
         if let Some(c) = candidate {
             self.slots.push(RtSlot::Active(c));
         }
@@ -1078,6 +1262,10 @@ impl<'a> IngestRuntime<'a> {
                 a.mailbox.set_capacity(a.quota);
             }
         }
+        if let (Some(o), Some(t)) = (obs.as_deref(), t_resplit) {
+            o.registry.record(HistId::BarrierWalletResplit, t.elapsed());
+        }
+        let t_broadcast = obs.as_deref().map(|_| Instant::now());
         // Merge the settled epoch's pending dedup entries in stable slot
         // order — the same single-threaded commit the sequential server
         // performs, so the cache contents after a barrier are independent
@@ -1096,6 +1284,20 @@ impl<'a> IngestRuntime<'a> {
         self.joint_plans += 1;
         self.epoch += 1;
         self.barrier_pending = false;
+        if let (Some(o), Some(t)) = (obs.as_deref(), t_broadcast) {
+            o.registry.record(HistId::BarrierBroadcast, t.elapsed());
+            o.registry.inc(CounterId::EpochBarriers);
+            o.flight.record(TraceEvent::PlanChange {
+                epoch: self.epoch as u64,
+                streams: stream_slots.len(),
+                fair_cores: math.fair,
+                lease_usd: math.lease,
+                budget_per_seg_total: math.budget,
+            });
+            o.flight.record(TraceEvent::EpochOpen {
+                epoch: self.epoch as u64,
+            });
+        }
         self.last_joint_plan = Some(JointPlanRecord {
             streams: stream_slots,
             budget_per_seg_total: math.budget,
@@ -1144,10 +1346,15 @@ impl<'a> IngestRuntime<'a> {
             };
             wal.append(&config)?;
         }
+        let t = self.obs.as_ref().map(|_| Instant::now());
         self.wal
             .as_mut()
             .expect("journal just opened")
             .append(rec)?;
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), t) {
+            o.registry.record(HistId::WalAppend, t.elapsed());
+            o.registry.inc(CounterId::WalAppends);
+        }
         Ok(())
     }
 
@@ -1159,6 +1366,7 @@ impl<'a> IngestRuntime<'a> {
         let r = self.wal_append(rec);
         if let Err(e) = &r {
             self.poisoned = Some(e.to_string());
+            self.obs_poison(&e.to_string());
         }
         r
     }
@@ -1278,7 +1486,12 @@ impl<'a> IngestRuntime<'a> {
         // after a checkpoint the directory as a whole is power-loss
         // consistent up to the snapshot.
         if let Some(w) = self.wal.as_mut() {
+            let t = self.obs.as_ref().map(|_| Instant::now());
             w.sync()?;
+            if let (Some(o), Some(t)) = (self.obs.as_ref(), t) {
+                o.registry.record(HistId::WalFsync, t.elapsed());
+                o.registry.inc(CounterId::WalFsyncs);
+            }
         }
         let snapshot = self.snapshot(covered_seq);
         wal::write_snapshot(&dur.dir, &snapshot)?;
@@ -1415,9 +1628,16 @@ impl<'a> IngestRuntime<'a> {
                             }),
                             close_queued,
                         );
+                        let mut restored = IngestSession::resume(model, workload, *session);
+                        if let Some(o) = &rt.obs {
+                            // Like the rest of the session's hot scratch,
+                            // the obs handle is derived wiring, not part of
+                            // the checkpoint — re-attach it on resume.
+                            restored.attach_obs(o.clone());
+                        }
                         RtSlot::Active(Box::new(RtStream {
                             id,
-                            session: Some(IngestSession::resume(model, workload, *session)),
+                            session: Some(restored),
                             mailbox,
                             scratch: std::collections::VecDeque::new(),
                             used,
@@ -1465,6 +1685,15 @@ impl<'a> IngestRuntime<'a> {
             }
             next_seq = seq + 1;
             replayed_records += 1;
+            if let Some(o) = &rt.obs {
+                o.registry.inc(CounterId::ReplayedRecords);
+                if replayed_records % 256 == 0 {
+                    o.flight.record(TraceEvent::ReplayProgress {
+                        records: replayed_records as u64,
+                        segments: replayed_segments as u64,
+                    });
+                }
+            }
             let diverged = |e: SkyError| SkyError::CorruptWal {
                 detail: format!("replay diverged at seq {seq}: {e}"),
             };
@@ -1556,6 +1785,14 @@ impl<'a> IngestRuntime<'a> {
             }
         }
         rt.replaying = false;
+        if replayed_records > 0 {
+            if let Some(o) = &rt.obs {
+                o.flight.record(TraceEvent::ReplayProgress {
+                    records: replayed_records as u64,
+                    segments: replayed_segments as u64,
+                });
+            }
+        }
 
         // Resume journaling where the durable prefix ended; when anything
         // was actually recovered, persist a fresh snapshot so the next

@@ -171,6 +171,34 @@ impl<'a> IngestService<'a> {
         self.rt.metrics()
     }
 
+    /// The runtime's observability attachment, when recording is on.
+    pub fn obs(&self) -> Option<&std::sync::Arc<crate::obs::Obs>> {
+        self.rt.obs()
+    }
+
+    /// Snapshot the full observability registry (the `Metrics` reply).
+    ///
+    /// Always refreshes the gauge section from a fresh [`RuntimeMetrics`]
+    /// first — [`RuntimeMetrics::sync_registry`] is the one mapping
+    /// between the two surfaces, so the wire snapshot can never disagree
+    /// with the `Stats` reply taken at the same instant. With recording
+    /// off, the reply is a zeroed registry carrying only that gauge
+    /// projection (counters and histograms need an attachment to count).
+    pub fn metrics_snapshot(&self) -> crate::obs::MetricsSnapshot {
+        match self.rt.obs() {
+            // `metrics()` itself syncs the registry when obs is attached.
+            Some(o) => {
+                let _ = self.rt.metrics();
+                o.registry.snapshot()
+            }
+            None => {
+                let reg = crate::obs::MetricsRegistry::new();
+                self.rt.metrics().sync_registry(&reg);
+                reg.snapshot()
+            }
+        }
+    }
+
     /// Graceful drain: deliver everything queued, settle every stream
     /// across the final barrier, and return the joint outcome — the
     /// server flushes per-stream [`proto::Reply::Outcome`]s from it.

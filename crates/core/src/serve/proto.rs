@@ -25,6 +25,7 @@
 //! | `PushSegments` | `Accepted` \| `Rejected`                       |
 //! | `CloseStream`  | `StreamClosed` \| `Rejected`                   |
 //! | `GetStats`     | `Stats`                                        |
+//! | `GetMetrics`   | `Metrics` (full registry snapshot)             |
 //! | `Shutdown`     | `ShuttingDown`, then per-stream `Outcome`s     |
 //!
 //! Any malformed frame or undecodable body is answered with `Error` and a
@@ -37,6 +38,7 @@
 
 use vetl_video::Segment;
 
+use crate::obs::{dec_snapshot, enc_snapshot, MetricsSnapshot};
 use crate::offline::codec::{Dec, DecodeResult, Enc};
 use crate::online::session::{
     dec_options, dec_outcome, enc_options, enc_outcome, IngestOptions, IngestOutcome,
@@ -46,8 +48,10 @@ use crate::runtime::wal::{dec_segment, enc_segment};
 /// Connection-preamble magic, sent once per direction before any frame.
 pub const NET_MAGIC: &[u8; 6] = b"SKYNET";
 /// Protocol version carried in the preamble; bumped on any wire change.
-/// Version 2 added the dedup counters to the `Stats` reply.
-pub const NET_VERSION: u16 = 2;
+/// Version 2 added the dedup counters to the `Stats` reply. Version 3
+/// added the `GetMetrics` request and its `Metrics` registry-snapshot
+/// reply.
+pub const NET_VERSION: u16 = 3;
 /// Bytes of the connection preamble (magic + little-endian version).
 pub const PREAMBLE_LEN: usize = 8;
 
@@ -113,6 +117,10 @@ pub enum Request {
     },
     /// Snapshot the runtime metrics.
     GetStats,
+    /// Snapshot the full observability registry (counters, gauges,
+    /// latency histograms) — the wire face of
+    /// [`crate::obs::MetricsRegistry::snapshot`].
+    GetMetrics,
     /// Stop accepting work, settle every stream, flush `Outcome`s.
     Shutdown,
 }
@@ -200,6 +208,16 @@ pub enum Reply {
         /// Entries currently held by the shared dedup cache.
         dedup_cache_entries: u64,
     },
+    /// Answer to [`Request::GetMetrics`]: the server's full observability
+    /// registry at service time. With recording off the snapshot is a
+    /// zeroed registry whose gauges carry the same
+    /// [`RuntimeMetrics`](crate::runtime::RuntimeMetrics) projection a
+    /// recording server reports (see
+    /// [`IngestService::metrics_snapshot`](crate::serve::IngestService::metrics_snapshot)).
+    Metrics {
+        /// The registry snapshot, in pinned exposition order.
+        snapshot: MetricsSnapshot,
+    },
     /// Answer to [`Request::Shutdown`]: the server stops accepting work
     /// and flushes `Outcome`s to surviving connections.
     ShuttingDown,
@@ -217,6 +235,7 @@ const REQ_PUSH: u8 = 3;
 const REQ_CLOSE: u8 = 4;
 const REQ_STATS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_METRICS: u8 = 7;
 
 const REP_HELLO: u8 = 1;
 const REP_OPENED: u8 = 2;
@@ -227,6 +246,7 @@ const REP_OUTCOME: u8 = 6;
 const REP_STATS: u8 = 7;
 const REP_SHUTTING_DOWN: u8 = 8;
 const REP_ERROR: u8 = 9;
+const REP_METRICS: u8 = 10;
 
 fn finish<T>(d: &Dec<'_>, v: T, what: &str) -> DecodeResult<T> {
     if d.finished() {
@@ -272,6 +292,11 @@ impl Request {
             Request::GetStats => {
                 let mut e = Enc::new();
                 e.u8(REQ_STATS);
+                e.into_bytes()
+            }
+            Request::GetMetrics => {
+                let mut e = Enc::new();
+                e.u8(REQ_METRICS);
                 e.into_bytes()
             }
             Request::Shutdown => {
@@ -343,6 +368,7 @@ impl Request {
                 finish(&d, Request::CloseStream { stream }, "CloseStream")
             }
             REQ_STATS => finish(&d, Request::GetStats, "GetStats"),
+            REQ_METRICS => finish(&d, Request::GetMetrics, "GetMetrics"),
             REQ_SHUTDOWN => finish(&d, Request::Shutdown, "Shutdown"),
             t => Err(format!("unknown request tag {t}")),
         }
@@ -425,6 +451,10 @@ impl Reply {
                 e.f64(*dedup_bytes_saved);
                 e.f64(*dedup_spend_saved_usd);
                 e.u64(*dedup_cache_entries);
+            }
+            Reply::Metrics { snapshot } => {
+                e.u8(REP_METRICS);
+                enc_snapshot(&mut e, snapshot);
             }
             Reply::ShuttingDown => e.u8(REP_SHUTTING_DOWN),
             Reply::Error { detail } => {
@@ -527,6 +557,10 @@ impl Reply {
                     "Stats",
                 )
             }
+            REP_METRICS => {
+                let snapshot = dec_snapshot(&mut d)?;
+                finish(&d, Reply::Metrics { snapshot }, "Metrics")
+            }
             REP_SHUTTING_DOWN => finish(&d, Reply::ShuttingDown, "ShuttingDown"),
             REP_ERROR => {
                 let detail = d.str("error detail")?;
@@ -594,6 +628,7 @@ mod tests {
             },
             Request::CloseStream { stream: 3 },
             Request::GetStats,
+            Request::GetMetrics,
             Request::Shutdown,
         ];
         for r in reqs {
@@ -655,6 +690,18 @@ mod tests {
                 dedup_bytes_saved: 1.8e9,
                 dedup_spend_saved_usd: 0.42,
                 dedup_cache_entries: 900,
+            },
+            Reply::Metrics {
+                snapshot: {
+                    let reg = crate::obs::MetricsRegistry::new();
+                    reg.inc(crate::obs::CounterId::NetRequests);
+                    reg.set_gauge(crate::obs::GaugeId::WalletLeftUsd, 0.25);
+                    reg.record(
+                        crate::obs::HistId::NetRequest,
+                        std::time::Duration::from_micros(17),
+                    );
+                    reg.snapshot()
+                },
             },
             Reply::ShuttingDown,
             Reply::Error {

@@ -13,6 +13,7 @@
 
 use std::time::{Duration, Instant};
 
+use skyscraper::obs::MetricsSnapshot;
 use skyscraper::serve::proto::{Reply, Request};
 use skyscraper::IngestOptions;
 use vetl_video::Segment;
@@ -322,6 +323,17 @@ impl NetClient {
             s @ Reply::Stats { .. } => Ok(s),
             Reply::Error { detail } => Err(NetError::Server { detail }),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Fetch the server's full observability registry (counters, gauges,
+    /// latency histograms). With recording off server-side, the snapshot
+    /// carries only the gauge projection of the runtime metrics.
+    pub fn get_metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
+        match self.request(&Request::GetMetrics)? {
+            Reply::Metrics { snapshot } => Ok(snapshot),
+            Reply::Error { detail } => Err(NetError::Server { detail }),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

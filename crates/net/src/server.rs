@@ -36,8 +36,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use skyscraper::obs::{CounterId, HistId};
 use skyscraper::serve::proto::{Reply, Request};
 use skyscraper::serve::IngestService;
 use skyscraper::{MultiOutcome, SkyError, StreamId};
@@ -502,6 +503,11 @@ fn handle_request(
     let Some(c) = conns.get_mut(&conn) else {
         return None; // connection already torn down; drop the request
     };
+    // Request service time, booked only when the runtime records; the
+    // clock starts before dispatch so the histogram covers the whole
+    // handler, not just the reply construction.
+    let t_req = service.obs().is_some().then(Instant::now);
+    let mut booked = false;
     let reply = match req {
         Request::Hello { client: _ } => Reply::Hello {
             server: server_name.to_string(),
@@ -569,8 +575,28 @@ fn handle_request(
                 dedup_cache_entries: m.dedup_cache_entries as u64,
             }
         }
+        Request::GetMetrics => {
+            // Book this request *before* taking the snapshot so the reply
+            // already reflects it: a test holding the same `Obs` handle
+            // can then compare the wire snapshot against a local
+            // `registry.snapshot()` bit for bit.
+            if let (Some(o), Some(t)) = (service.obs(), t_req) {
+                o.registry.inc(CounterId::NetRequests);
+                o.registry.record(HistId::NetRequest, t.elapsed());
+            }
+            booked = true;
+            Reply::Metrics {
+                snapshot: service.metrics_snapshot(),
+            }
+        }
         Request::Shutdown => unreachable!("handled by the service loop"),
     };
+    if !booked {
+        if let (Some(o), Some(t)) = (service.obs(), t_req) {
+            o.registry.inc(CounterId::NetRequests);
+            o.registry.record(HistId::NetRequest, t.elapsed());
+        }
+    }
     let _ = c.tx.send(reply);
     None
 }

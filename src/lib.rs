@@ -42,6 +42,10 @@ pub mod prelude {
         RuntimeConfig, RuntimeMetrics, SessionCheckpoint, SkyError, Skyscraper, SkyscraperConfig,
         StepReport, StreamId, StreamMetrics, StreamStats, Workload,
     };
+    pub use skyscraper::{
+        Clock, FlightRecorder, ManualClock, MetricsRegistry, MetricsSnapshot, MonotonicClock, Obs,
+        TraceEvent,
+    };
     pub use skyscraper::{IngestService, StreamOutcome};
     pub use vetl_net::{Endpoint, NetClient, NetClientConfig, NetServer, ServerConfig};
     pub use vetl_sim::{CostModel, HardwareSpec};
