@@ -1,0 +1,175 @@
+//! Degraded-network conditions: quality / spend / throughput under a
+//! hostile delivery schedule vs the clean network.
+//!
+//! Fits one COVID model, then serves the same 1800 online segments through
+//! the sharded ingest runtime twice: once in capture order over a clean
+//! network (reorder gate disabled), once through a seeded hostile
+//! network-condition model (`vetl_workloads::netcond`) — jitter above the
+//! segment gap, slow-path reordering, 2 % loss — with a reorder gate sized
+//! below the schedule's worst displacement, so both holds and forced
+//! watermark advances are exercised. Appends a `degraded` section to
+//! `BENCH_offline.json` comparing the two runs.
+
+use std::time::Instant;
+
+use skyscraper::error::SkyError;
+use skyscraper::runtime::{IngestRuntime, RuntimeConfig};
+use skyscraper::{IngestOptions, MultiOutcome};
+use vetl_bench::benchjson::{bench_json_path, jnum, jobj, merge_into};
+use vetl_bench::{data_scale, f2, pct, Fitted, Table, SEED};
+use vetl_sim::CostModel;
+use vetl_video::Segment;
+use vetl_workloads::{NetConditions, PaperWorkload, MACHINES};
+
+const SERVE_SEGS: usize = 1_800;
+const REPLAN_SECS: f64 = 1_800.0;
+const WINDOW: usize = 8;
+
+struct Drive {
+    wall_secs: f64,
+    delivered: usize,
+    late_rejected: usize,
+    out: MultiOutcome,
+}
+
+fn drive(fitted: &Fitted, window: Option<usize>, arrivals: &[Segment]) -> Drive {
+    let mut rt = IngestRuntime::new(RuntimeConfig {
+        shards: 2,
+        shared_cloud_budget_usd: 0.5,
+        cost_model: CostModel::default(),
+        seed: SEED,
+        replan_interval_secs: Some(REPLAN_SECS),
+        ..RuntimeConfig::default()
+    });
+    let id = rt
+        .open_stream(
+            "cam-0",
+            &fitted.model,
+            fitted.spec.workload.as_ref(),
+            IngestOptions {
+                reorder_window: window,
+                ..IngestOptions::default()
+            },
+        )
+        .expect("admission");
+    let t0 = Instant::now();
+    let mut late_rejected = 0usize;
+    for seg in arrivals {
+        match rt.push(id, seg) {
+            Ok(()) => {}
+            Err(SkyError::LateSegment { .. }) => late_rejected += 1,
+            Err(e) => panic!("degraded drive hit a non-lateness error: {e}"),
+        }
+    }
+    let out = rt.finish().expect("finish");
+    Drive {
+        wall_secs: t0.elapsed().as_secs_f64(),
+        delivered: arrivals.len(),
+        late_rejected,
+        out,
+    }
+}
+
+fn main() {
+    let scale = data_scale();
+    let machine = &MACHINES[2];
+    println!(
+        "Degraded-network conditions ({scale:?} scale, {})",
+        machine.name
+    );
+
+    let fitted = vetl_bench::fit_on(PaperWorkload::Covid, machine, scale);
+    let segs = &fitted.spec.online[..SERVE_SEGS.min(fitted.spec.online.len())];
+
+    // A hostile cellular-like path with 2 % loss. The first segment is
+    // pinned to lead (the session open and the stream head travel
+    // together); everything after it reorders freely.
+    let cond = NetConditions {
+        drop_prob: 0.02,
+        ..NetConditions::hostile(fitted.model.seg_len, SEED)
+    };
+    let mut sched = cond.delivery_schedule(segs);
+    let lead = sched
+        .order
+        .iter()
+        .position(|&p| p == 0)
+        .expect("head delivered");
+    let first = sched.order.remove(lead);
+    sched.order.insert(0, first);
+    let dropped = sched.dropped.len();
+    let displacement = sched.max_displacement();
+    let arrivals = sched.apply(segs);
+
+    let clean = drive(&fitted, None, segs);
+    let degraded = drive(&fitted, Some(WINDOW), &arrivals);
+
+    let q_clean = clean.out.streams[0].outcome.mean_quality;
+    let q_degraded = degraded.out.streams[0].outcome.mean_quality;
+    let retention = q_degraded / q_clean.max(1e-9);
+    let rate = |d: &Drive| d.delivered as f64 / d.wall_secs.max(1e-9);
+
+    let mut table = Table::new(
+        "clean vs degraded delivery",
+        &[
+            "run",
+            "quality",
+            "cloud $",
+            "delivered",
+            "dropped",
+            "late",
+            "segs/s",
+        ],
+    );
+    table.row(vec![
+        "clean".into(),
+        pct(q_clean),
+        f2(clean.out.cloud_usd),
+        clean.delivered.to_string(),
+        "0".into(),
+        "0".into(),
+        f2(rate(&clean)),
+    ]);
+    table.row(vec![
+        format!("degraded (w={WINDOW})"),
+        pct(q_degraded),
+        f2(degraded.out.cloud_usd),
+        degraded.delivered.to_string(),
+        dropped.to_string(),
+        degraded.late_rejected.to_string(),
+        f2(rate(&degraded)),
+    ]);
+    table.print();
+    println!(
+        "\nschedule: {} arrivals, {dropped} dropped, worst displacement {displacement} \
+         (gate window {WINDOW}); quality retention {:.1}%",
+        arrivals.len(),
+        100.0 * retention
+    );
+
+    assert_eq!(clean.late_rejected, 0, "clean delivery is never late");
+    assert!(
+        degraded.out.streams[0].outcome.segments == degraded.delivered - degraded.late_rejected,
+        "every accepted arrival is processed"
+    );
+    assert!(q_degraded > 0.0, "degraded run still extracts");
+
+    merge_into(
+        bench_json_path(),
+        "degraded",
+        &jobj(&[
+            ("segments", jnum(segs.len() as f64)),
+            ("delivered", jnum(arrivals.len() as f64)),
+            ("dropped", jnum(dropped as f64)),
+            ("late_rejected", jnum(degraded.late_rejected as f64)),
+            ("max_displacement", jnum(displacement as f64)),
+            ("reorder_window", jnum(WINDOW as f64)),
+            ("clean_quality", jnum(q_clean)),
+            ("degraded_quality", jnum(q_degraded)),
+            ("quality_retention", jnum(retention)),
+            ("clean_cloud_usd", jnum(clean.out.cloud_usd)),
+            ("degraded_cloud_usd", jnum(degraded.out.cloud_usd)),
+            ("clean_segs_per_sec", jnum(rate(&clean))),
+            ("degraded_segs_per_sec", jnum(rate(&degraded))),
+        ]),
+    );
+}

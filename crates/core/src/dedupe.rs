@@ -560,6 +560,31 @@ mod tests {
         assert!(c.is_empty());
     }
 
+    /// Boundary audit: `max_age_epochs == 0` means "never expires" — both
+    /// halves of the aging machinery (the lookup staleness check and the
+    /// barrier sweep) must honor it. A regression on either side would
+    /// surface as `StaleHit { max_age_epochs: 0 }` on every aged lookup,
+    /// or as the sweep draining the whole cache each barrier.
+    #[test]
+    fn max_age_zero_disables_aging_entirely() {
+        assert_eq!(DedupPolicy::exact().max_age_epochs, 0);
+        let mut c = DedupCache::new(DedupPolicy::exact());
+        c.begin_epoch();
+        c.publish(vec![(key(7, 1), entry(0))]);
+        for _ in 0..100 {
+            c.begin_epoch();
+        }
+        let e = c
+            .lookup(&key(7, 1))
+            .expect("an unbounded-age entry is never a StaleHit")
+            .expect("an unbounded-age entry is never swept");
+        assert_eq!(e.born_epoch, 1);
+        assert_eq!(c.len(), 1);
+        // Age 100 at bound 1 would be long gone — the zero bound is what
+        // kept it alive, not a short timeline.
+        assert_eq!(c.epoch(), 101);
+    }
+
     #[test]
     fn capacity_evicts_oldest_first_deterministically() {
         let mut c = DedupCache::new(DedupPolicy {

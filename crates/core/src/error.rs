@@ -73,6 +73,32 @@ pub enum SkyError {
         /// Mailbox capacity in segments (one epoch quota).
         capacity: usize,
     },
+    /// A segment arrived behind its stream's reorder watermark: segments up
+    /// to `expected` were already released for processing (or declared
+    /// lost), so this arrival can never be ingested in order. Terminal —
+    /// late data cannot become timely by retrying; the stream itself keeps
+    /// serving. Only raised when an out-of-order tolerance window
+    /// ([`IngestOptions::reorder_window`](crate::IngestOptions::reorder_window))
+    /// is configured; without one every arrival is processed as-is.
+    LateSegment {
+        /// The arriving segment's index.
+        index: u64,
+        /// The watermark: the next index the stream will release.
+        expected: u64,
+        /// The configured out-of-order tolerance window, segments.
+        window: usize,
+    },
+    /// A stream admission was deferred under a synchronized open storm:
+    /// `pending` streams were already admitted since the runtime last
+    /// dispatched ingest work, reaching the configured flash-crowd cap.
+    /// Retryable backpressure — push segments (letting an epoch dispatch)
+    /// or wait, then re-open; the same admission then succeeds.
+    AdmissionDeferred {
+        /// Streams admitted since the last dispatch.
+        pending: usize,
+        /// The configured cap on admissions per dispatch interval.
+        cap: usize,
+    },
     /// A push would advance a stream past the current planning epoch while
     /// other streams have not finished theirs: the joint replanning barrier
     /// cannot fire yet. Feed the lagging streams (or close them) first.
@@ -188,8 +214,10 @@ impl SkyError {
     /// Whether the operation that produced this error can be retried
     /// verbatim once the engine makes progress. Retryable errors are the
     /// typed backpressure shapes — [`SkyError::Overloaded`] (a full
-    /// mailbox) and [`SkyError::EpochBarrier`] (the joint replanning
-    /// barrier cannot fire yet) — plus the wrapper variants
+    /// mailbox), [`SkyError::EpochBarrier`] (the joint replanning
+    /// barrier cannot fire yet), [`SkyError::StaleHit`] (recompute and
+    /// refresh), and [`SkyError::AdmissionDeferred`] (a flash-crowd open
+    /// storm; re-open once ingest dispatches) — plus the wrapper variants
     /// ([`SkyError::BatchFailed`], [`SkyError::PushFailed`]) whose *cause*
     /// is retryable. Everything else is terminal: re-sending the same
     /// input yields the same rejection (admission failures, closed or
@@ -203,7 +231,8 @@ impl SkyError {
         match self {
             SkyError::Overloaded { .. }
             | SkyError::EpochBarrier { .. }
-            | SkyError::StaleHit { .. } => true,
+            | SkyError::StaleHit { .. }
+            | SkyError::AdmissionDeferred { .. } => true,
             SkyError::BatchFailed { source, .. } | SkyError::PushFailed { source, .. } => {
                 source.is_retryable()
             }
@@ -264,6 +293,20 @@ impl std::fmt::Display for SkyError {
                 f,
                 "stream {stream} is overloaded: mailbox holds {queued} of {capacity} segments \
                  and the epoch cannot dispatch until lagging streams catch up"
+            ),
+            SkyError::LateSegment {
+                index,
+                expected,
+                window,
+            } => write!(
+                f,
+                "segment {index} arrived behind the reorder watermark (next expected \
+                 {expected}, tolerance window {window}); late data cannot be ingested in order"
+            ),
+            SkyError::AdmissionDeferred { pending, cap } => write!(
+                f,
+                "admission deferred: {pending} stream(s) already admitted since the last \
+                 dispatch (flash-crowd cap {cap}); push segments or wait, then retry"
             ),
             SkyError::EpochBarrier { stream, waiting_on } => write!(
                 f,
@@ -422,6 +465,16 @@ mod tests {
         };
         assert!(e.to_string().contains("stale"));
         assert!(e.to_string().contains('5'));
+        let e = SkyError::LateSegment {
+            index: 3,
+            expected: 9,
+            window: 4,
+        };
+        assert!(e.to_string().contains("behind the reorder watermark"));
+        assert!(e.to_string().contains('9'));
+        let e = SkyError::AdmissionDeferred { pending: 8, cap: 8 };
+        assert!(e.to_string().contains("admission deferred"));
+        assert!(e.to_string().contains('8'));
         let e = SkyError::CorruptWal {
             detail: "checksum mismatch at record 7".into(),
         };
@@ -458,7 +511,13 @@ mod tests {
             age_epochs: 5,
             max_age_epochs: 2,
         };
-        let retryable = [overloaded.clone(), barrier.clone(), stale.clone()];
+        let deferred = SkyError::AdmissionDeferred { pending: 4, cap: 4 };
+        let retryable = [
+            overloaded.clone(),
+            barrier.clone(),
+            stale.clone(),
+            deferred.clone(),
+        ];
         for e in &retryable {
             assert!(e.is_retryable(), "{e} must be retryable");
             // Wrappers inherit the cause's classification.
@@ -506,6 +565,11 @@ mod tests {
             },
             SkyError::UnknownStream { id: 7 },
             SkyError::StreamClosed { id: 4 },
+            SkyError::LateSegment {
+                index: 2,
+                expected: 5,
+                window: 3,
+            },
             SkyError::InvalidInput { what: "segment" },
             SkyError::NonFinite { what: "quality" },
             SkyError::ArtifactVersionMismatch {

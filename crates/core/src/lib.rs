@@ -105,7 +105,7 @@ pub use offline::{
 pub use online::plan::KnobPlan;
 pub use online::planner::KnobPlanner;
 pub use online::session::{
-    ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession,
+    ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession, ReorderStats,
     SessionCheckpoint, StepReport, StreamStats,
 };
 pub use online::switcher::{Decision, KnobSwitcher, SwitcherLimits};

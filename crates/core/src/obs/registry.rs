@@ -97,6 +97,12 @@ metric_ids! {
         ChaosCrashes => "chaos_crashes",
         /// Injected wallet-refill outages (chaos harness).
         ChaosOutages => "chaos_outages",
+        /// Admissions deferred by the flash-crowd cap (retryable).
+        AdmissionsDeferred => "admissions_deferred",
+        /// Arrivals rejected behind the reorder watermark.
+        LateSegmentRejections => "late_segment_rejections",
+        /// Arrivals held by a reorder gate awaiting a gap.
+        ReorderHolds => "reorder_holds",
     }
 }
 
@@ -566,6 +572,56 @@ mod tests {
         assert_eq!(bytes, e2.into_bytes(), "codec is canonical");
         // Same registry state → identical snapshot values.
         assert_eq!(snap, reg.snapshot());
+    }
+
+    /// Saturation boundaries: observations at the top of the `u64` range
+    /// and out-of-range `q` values must clamp to the documented bucket
+    /// lower bounds — never panic, index past the bucket array, or
+    /// overflow the quantile target arithmetic.
+    #[test]
+    fn quantile_clamps_at_bucket_saturation() {
+        let reg = MetricsRegistry::new();
+        let h = reg.hist(HistId::SessionPush);
+        h.record_many_ns(u64::MAX, 3); // top bucket; sum saturates, no panic
+        h.record_ns(u64::MAX);
+        let snap = reg.snapshot();
+        let h = snap.histogram("session_push").expect("registered");
+        let top = Histogram::bucket_lower_ns(HIST_BUCKETS - 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(*h.buckets.last().expect("64 buckets"), 4);
+        assert_eq!(h.quantile_ns(0.5), top);
+        assert_eq!(h.quantile_ns(1.0), top);
+        // Out-of-range q clamps into [0, 1] instead of scanning past the
+        // bucket array (q > 1) or below the first observation (q < 0).
+        assert_eq!(h.quantile_ns(2.0), top);
+        assert_eq!(h.quantile_ns(-1.0), top);
+    }
+
+    /// Relaxed atomics can snapshot `count` ahead of the bucket counts; a
+    /// scan that exhausts every bucket short of the target must return the
+    /// top bucket's documented lower bound, not panic or read out of range.
+    #[test]
+    fn quantile_on_a_racy_snapshot_clamps_to_the_top_bucket() {
+        let racy = HistogramSnapshot {
+            name: "racy".into(),
+            count: 5,
+            sum_ns: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        let top = Histogram::bucket_lower_ns(HIST_BUCKETS - 1);
+        assert_eq!(racy.quantile_ns(0.99), top);
+        // Degenerate q values (including NaN) fall through the same clamp.
+        assert_eq!(racy.quantile_ns(f64::NAN), top);
+        assert_eq!(
+            HistogramSnapshot {
+                name: "empty".into(),
+                count: 0,
+                sum_ns: 0,
+                buckets: vec![0; HIST_BUCKETS],
+            }
+            .quantile_ns(f64::NAN),
+            0
+        );
     }
 
     #[test]

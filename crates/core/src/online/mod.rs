@@ -15,7 +15,7 @@ pub use drift::DriftDetector;
 pub use plan::KnobPlan;
 pub use planner::{KnobPlanner, PlannerStats};
 pub use session::{
-    ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession,
+    ClassificationMode, ForecastMode, IngestOptions, IngestOutcome, IngestSession, ReorderStats,
     SessionCheckpoint, StepReport, StreamStats,
 };
 pub use switcher::{Decision, KnobSwitcher, SwitcherLimits};

@@ -122,6 +122,17 @@ pub struct IngestOptions {
     /// invisible; tolerant mode short-circuits near-duplicates at zero
     /// charged cost. `None` disables dedup entirely.
     pub dedup: Option<DedupPolicy>,
+    /// Out-of-order tolerance for the arrival path
+    /// ([`IngestSession::push_arrival`] and the runtime's ingest front
+    /// door): up to this many segments are held awaiting a gap before the
+    /// watermark is forced past it (the skipped indices are declared lost,
+    /// never silently dropped). Arrivals behind the watermark are rejected
+    /// with typed [`SkyError::LateSegment`].
+    /// `None` disables the gate entirely: every arrival is processed as-is
+    /// and in-order runs are bitwise unchanged. `Some(w)` on in-order
+    /// input is also bitwise identical to `None` — the gate only acts on
+    /// actual reordering.
+    pub reorder_window: Option<usize>,
 }
 
 impl Default for IngestOptions {
@@ -139,6 +150,7 @@ impl Default for IngestOptions {
             detect_drift: false,
             finetune_forecaster: false,
             dedup: None,
+            reorder_window: None,
         }
     }
 }
@@ -484,6 +496,7 @@ pub(crate) fn enc_options(e: &mut Enc, o: &IngestOptions) {
     e.bool(o.detect_drift);
     e.bool(o.finetune_forecaster);
     enc_opt(e, &o.dedup, dedupe::enc_policy);
+    enc_opt(e, &o.reorder_window, |e, v| e.usize(*v));
 }
 
 pub(crate) fn dec_options(d: &mut Dec) -> DecodeResult<IngestOptions> {
@@ -513,6 +526,7 @@ pub(crate) fn dec_options(d: &mut Dec) -> DecodeResult<IngestOptions> {
         detect_drift: d.bool("options detect_drift")?,
         finetune_forecaster: d.bool("options finetune_forecaster")?,
         dedup: dec_opt(d, "options dedup", dedupe::dec_policy)?,
+        reorder_window: dec_opt(d, "options reorder_window", |d| d.usize("reorder_window"))?,
     })
 }
 
@@ -603,6 +617,7 @@ fn enc_state(e: &mut Enc, s: &SessionState) {
     dedupe::enc_pending(e, &s.dedup_pending);
     dedupe::enc_stats(e, &s.dedup_stats);
     enc_opt(e, &s.dedup_own, |e, c| dedupe::enc_cache(e, c));
+    enc_opt(e, &s.gate, enc_reorder_gate);
 }
 
 fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
@@ -718,6 +733,7 @@ fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
     let dedup_own = dec_opt(d, "state dedup cache", |d| {
         dedupe::dec_cache(d).map(Box::new)
     })?;
+    let gate = dec_opt(d, "state reorder gate", dec_reorder_gate)?;
     Ok(SessionState {
         rng,
         planner,
@@ -750,6 +766,7 @@ fn dec_state(d: &mut Dec) -> DecodeResult<SessionState> {
         dedup_pending_idx,
         dedup_stats,
         dedup_own,
+        gate,
     })
 }
 
@@ -809,6 +826,10 @@ struct SessionState {
     /// leave this `None` — the server/runtime injects its shared cache per
     /// push instead.
     dedup_own: Option<Box<DedupCache>>,
+    /// Out-of-order arrival gate ([`IngestOptions::reorder_window`]).
+    /// `None` when the window is disabled; lives in the checkpointed state
+    /// so held segments and the watermark survive checkpoint/resume.
+    gate: Option<ReorderGate>,
 }
 
 impl SessionState {
@@ -828,6 +849,162 @@ impl SessionState {
         self.dedup_pending_idx.clear();
         std::mem::take(&mut self.dedup_pending)
     }
+}
+
+/// Counters for the out-of-order arrival gate, settled per stream. These
+/// describe only *accepted* arrivals (holds and forced-advance losses);
+/// late rejections happen before any state change and are deliberately not
+/// tracked here — a rejected arrival must leave no trace in checkpointable
+/// state, or recovery (which never sees rejected arrivals) would diverge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Arrivals that were held (arrived ahead of the watermark).
+    pub held_events: u64,
+    /// Peak number of simultaneously held segments.
+    pub held_peak: usize,
+    /// Segment indices skipped by forced watermark advances — gaps that
+    /// were declared lost when the hold window filled, plus gaps released
+    /// at session close.
+    pub lost: u64,
+}
+
+/// Bounded reorder buffer in front of the ingest path.
+///
+/// The gate anchors its watermark at the first arrival's index, releases
+/// in-order arrivals immediately, holds ahead-of-watermark arrivals (up to
+/// `window` of them), and rejects behind-the-watermark arrivals with
+/// [`SkyError::LateSegment`] *before* any state changes. When more than
+/// `window` segments are held, the watermark is forced past the oldest gap
+/// and the skipped indices are counted in [`ReorderStats::lost`] — never a
+/// panic, never a silent drop. On in-order input the gate passes every
+/// segment straight through and its state stays trivial, which is why
+/// enabling a window on a clean link is bitwise identical to disabling it.
+#[derive(Debug, Clone)]
+struct ReorderGate {
+    window: usize,
+    /// Next index the downstream pipeline expects. Meaningless until
+    /// `anchored`.
+    expected: u64,
+    anchored: bool,
+    /// Held segments, sorted by index, no duplicates. At most
+    /// `window` entries after every `admit`.
+    held: Vec<Segment>,
+    stats: ReorderStats,
+}
+
+impl ReorderGate {
+    fn new(window: usize) -> Self {
+        Self {
+            window,
+            expected: 0,
+            anchored: false,
+            held: Vec::new(),
+            stats: ReorderStats::default(),
+        }
+    }
+
+    /// Would this arrival be rejected as late? Pure — safe to call before
+    /// journaling. Late means behind the watermark, or a duplicate of a
+    /// held index.
+    fn check(&self, seg: &Segment) -> Result<(), SkyError> {
+        let late = self.anchored
+            && (seg.index < self.expected || self.held.iter().any(|h| h.index == seg.index));
+        if late {
+            return Err(SkyError::LateSegment {
+                index: seg.index,
+                expected: self.expected,
+                window: self.window,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admit an arrival that passed [`check`](Self::check) and return the
+    /// segments released for processing, in index order.
+    fn admit(&mut self, seg: Segment) -> Vec<Segment> {
+        if !self.anchored {
+            // Anchor lazily at the first arrival so a stream whose numbering
+            // starts anywhere (e.g. resumed mid-stream) works unchanged.
+            self.anchored = true;
+            self.expected = seg.index;
+        }
+        let mut released = Vec::new();
+        if seg.index == self.expected {
+            self.expected += 1;
+            released.push(seg);
+        } else {
+            debug_assert!(seg.index > self.expected);
+            let at = self.held.partition_point(|h| h.index < seg.index);
+            self.held.insert(at, seg);
+            self.stats.held_events += 1;
+            self.stats.held_peak = self.stats.held_peak.max(self.held.len());
+        }
+        loop {
+            if self.held.first().is_some_and(|h| h.index == self.expected) {
+                let h = self.held.remove(0);
+                self.expected += 1;
+                released.push(h);
+            } else if self.held.len() > self.window {
+                // Window full: force the watermark past the oldest gap and
+                // declare the skipped indices lost.
+                let front = self.held.remove(0);
+                self.stats.lost += front.index - self.expected;
+                self.expected = front.index + 1;
+                released.push(front);
+            } else {
+                break;
+            }
+        }
+        released
+    }
+
+    /// Release everything still held, in index order, declaring remaining
+    /// gaps lost. Used at close/finish so accepted segments are never
+    /// dropped.
+    fn drain_all(&mut self) -> Vec<Segment> {
+        let mut released = Vec::new();
+        for h in std::mem::take(&mut self.held) {
+            self.stats.lost += h.index - self.expected;
+            self.expected = h.index + 1;
+            released.push(h);
+        }
+        released
+    }
+}
+
+fn enc_reorder_gate(e: &mut Enc, g: &ReorderGate) {
+    e.usize(g.window);
+    e.u64(g.expected);
+    e.bool(g.anchored);
+    e.usize(g.held.len());
+    for seg in &g.held {
+        crate::runtime::wal::enc_segment(e, seg);
+    }
+    e.u64(g.stats.held_events);
+    e.usize(g.stats.held_peak);
+    e.u64(g.stats.lost);
+}
+
+fn dec_reorder_gate(d: &mut Dec) -> DecodeResult<ReorderGate> {
+    let window = d.usize("gate window")?;
+    let expected = d.u64("gate expected")?;
+    let anchored = d.bool("gate anchored")?;
+    let n = d.len(8, "gate held")?;
+    let held = (0..n)
+        .map(|_| crate::runtime::wal::dec_segment(d))
+        .collect::<DecodeResult<Vec<_>>>()?;
+    let stats = ReorderStats {
+        held_events: d.u64("gate held_events")?,
+        held_peak: d.usize("gate held_peak")?,
+        lost: d.u64("gate lost")?,
+    };
+    Ok(ReorderGate {
+        window,
+        expected,
+        anchored,
+        held,
+        stats,
+    })
 }
 
 /// Reusable hot-path buffers. Pure derived data — rebuilt from scratch on
@@ -980,6 +1157,7 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
                 .dedup
                 .filter(|_| !external_planning)
                 .map(|p| Box::new(DedupCache::new(p))),
+            gate: options.reorder_window.map(ReorderGate::new),
         };
         Self {
             dedup_scope: dedup_scope(model, workload, &options),
@@ -1667,6 +1845,110 @@ impl<'a, W: Workload + ?Sized> IngestSession<'a, W> {
             }
         }
         Ok(reports)
+    }
+
+    /// Ingest one *arrival* — a segment as the network delivered it, not
+    /// necessarily in index order. With [`IngestOptions::reorder_window`]
+    /// set, the arrival passes through the reorder gate: in-order arrivals
+    /// process immediately, ahead-of-watermark arrivals are held (releasing
+    /// zero or more segments once their gap fills or the window forces the
+    /// watermark forward), and behind-the-watermark arrivals are rejected
+    /// with [`SkyError::LateSegment`] before any state changes. Returns one
+    /// [`StepReport`] per segment actually processed by this call — possibly
+    /// none (arrival held), possibly several (a gap just filled).
+    ///
+    /// Without a window this is exactly [`push`](Self::push) (one report).
+    /// Callers using this API must
+    /// [`flush_reorder_gate`](Self::flush_reorder_gate) before
+    /// [`finish`](Self::finish), or
+    /// segments still held at the end would be dropped.
+    ///
+    /// A mid-release processing error is wrapped in
+    /// [`SkyError::BatchFailed`] with the count of segments already
+    /// processed, like [`push_batch`](Self::push_batch).
+    pub fn push_arrival(&mut self, seg: &Segment) -> Result<Vec<StepReport>, SkyError> {
+        if self.state.gate.is_none() {
+            return Ok(vec![self.push(seg)?]);
+        }
+        self.gate_check(seg)?;
+        let released = self.gate_admit(*seg);
+        self.push_released(released)
+    }
+
+    /// Release everything the reorder gate still holds (remaining gaps are
+    /// declared lost in [`ReorderStats::lost`]) and process it. A no-op
+    /// returning an empty `Vec` when no window is configured or nothing is
+    /// held.
+    pub fn flush_reorder_gate(&mut self) -> Result<Vec<StepReport>, SkyError> {
+        let released = self.gate_drain();
+        self.push_released(released)
+    }
+
+    fn push_released(&mut self, released: Vec<Segment>) -> Result<Vec<StepReport>, SkyError> {
+        let mut reports = Vec::with_capacity(released.len());
+        for seg in &released {
+            match self.push(seg) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    return Err(SkyError::BatchFailed {
+                        accepted: reports.len(),
+                        source: Box::new(e),
+                    })
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Counters for the reorder gate (all zero when no window is
+    /// configured).
+    pub fn reorder_stats(&self) -> ReorderStats {
+        self.state
+            .gate
+            .as_ref()
+            .map(|g| g.stats)
+            .unwrap_or_default()
+    }
+
+    /// Number of segments currently held by the reorder gate.
+    pub fn reorder_held(&self) -> usize {
+        self.state.gate.as_ref().map_or(0, |g| g.held.len())
+    }
+
+    /// Whether a reorder gate is configured. The runtime's ingest front
+    /// door checks this once per push so the gate-less hot path stays
+    /// allocation-free.
+    pub(crate) fn gate_active(&self) -> bool {
+        self.state.gate.is_some()
+    }
+
+    /// Pure lateness check against the gate watermark — safe to call before
+    /// journaling; `Ok` when no gate is configured.
+    pub(crate) fn gate_check(&self, seg: &Segment) -> Result<(), SkyError> {
+        match &self.state.gate {
+            Some(g) => g.check(seg),
+            None => Ok(()),
+        }
+    }
+
+    /// Admit an arrival into the gate, returning the segments released for
+    /// processing in index order. Must only be called when
+    /// [`gate_active`](Self::gate_active); the caller owns delivering the
+    /// released segments downstream.
+    pub(crate) fn gate_admit(&mut self, seg: Segment) -> Vec<Segment> {
+        match &mut self.state.gate {
+            Some(g) => g.admit(seg),
+            None => vec![seg],
+        }
+    }
+
+    /// Drain every held segment (gaps become [`ReorderStats::lost`]);
+    /// empty when no gate is configured.
+    pub(crate) fn gate_drain(&mut self) -> Vec<Segment> {
+        match &mut self.state.gate {
+            Some(g) => g.drain_all(),
+            None => Vec::new(),
+        }
     }
 
     /// Settle the session into the run's outcome.

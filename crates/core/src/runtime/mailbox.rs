@@ -99,6 +99,17 @@ impl Mailbox {
         self.segments += segs.len();
     }
 
+    /// Enqueue a segment unconditionally, even past capacity. Reserved for
+    /// reorder-gate releases: one gate-filling arrival can release up to
+    /// `window + 1` already-accepted (journaled) segments at once, and
+    /// those must never be dropped even when they overshoot the epoch
+    /// quota. The overshoot is bounded by the gate window and the dispatch
+    /// loop already tolerates `used > quota`.
+    pub(crate) fn force_push(&mut self, seg: &Segment) {
+        self.q.push_back(Envelope::Segment(*seg));
+        self.segments += 1;
+    }
+
     /// Enqueue the in-band close marker (always accepted).
     pub(crate) fn push_close(&mut self) {
         self.q.push_back(Envelope::Close);

@@ -226,6 +226,15 @@ pub struct RuntimeConfig {
     /// inject an [`crate::obs::ManualClock`] to assert exact rates. The
     /// clock feeds *only* those two reported fields — never a decision.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Flash-crowd admission damping: at most this many streams may be
+    /// admitted between segment dispatches. Beyond the cap,
+    /// [`IngestRuntime::open_stream`] returns retryable
+    /// [`SkyError::AdmissionDeferred`] *before* any state or journal
+    /// change — a synchronized fleet reconnect degrades into a paced
+    /// admission queue instead of an unbounded re-planning storm. `None`
+    /// (the default) disables the cap and is bitwise identical to builds
+    /// without the feature.
+    pub admission_epoch_cap: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -242,6 +251,7 @@ impl Default for RuntimeConfig {
             dedup: None,
             obs: None,
             clock: None,
+            admission_epoch_cap: None,
         }
     }
 }
@@ -419,6 +429,15 @@ pub struct IngestRuntime<'a> {
     /// batches dispatch; refreshed single-threaded at each epoch barrier in
     /// stable slot order (see [`crate::dedupe`]).
     dedup: Option<DedupCache>,
+    /// Flash-crowd damping ([`RuntimeConfig::admission_epoch_cap`]).
+    admission_epoch_cap: Option<usize>,
+    /// Streams admitted since the last segment dispatch; checked against
+    /// the cap before an admission touches state or journal, reset by
+    /// [`dispatch`](Self::dispatch). Part of the durable snapshot, and the
+    /// replayed counter sequence matches the original run's exactly (only
+    /// *successful* admissions are journaled), so journaled `Open`s can
+    /// never spuriously defer on recovery.
+    opens_since_dispatch: usize,
 }
 
 impl<'a> IngestRuntime<'a> {
@@ -460,6 +479,8 @@ impl<'a> IngestRuntime<'a> {
             poisoned: None,
             chaos: cfg.chaos,
             dedup: cfg.dedup.map(DedupCache::new),
+            admission_epoch_cap: cfg.admission_epoch_cap,
+            opens_since_dispatch: 0,
         }
     }
 
@@ -542,6 +563,28 @@ impl<'a> IngestRuntime<'a> {
     ) -> Result<StreamId, SkyError> {
         self.check_poisoned()?;
         let workload_id = workload_id.into();
+        // Flash-crowd damping fires before *anything* — no journal record,
+        // no flush, no state change — so a deferred admission is traceless
+        // and the caller simply retries after pushing segments (which
+        // dispatches and resets the counter).
+        if let Some(cap) = self.admission_epoch_cap {
+            if self.opens_since_dispatch >= cap {
+                if let Some(o) = &self.obs {
+                    o.registry.inc(CounterId::AdmissionsDeferred);
+                    o.flight.record(TraceEvent::AdmissionRejected {
+                        workload_id: workload_id.clone(),
+                        reason: format!(
+                            "deferred: {} admissions since the last dispatch (cap {cap})",
+                            self.opens_since_dispatch
+                        ),
+                    });
+                }
+                return Err(SkyError::AdmissionDeferred {
+                    pending: self.opens_since_dispatch,
+                    cap,
+                });
+            }
+        }
         // The pre-admission flush delivers partial epochs and moves the
         // epoch structure even when the admission is then rejected — it
         // must be journaled unconditionally, *before* it runs.
@@ -605,6 +648,7 @@ impl<'a> IngestRuntime<'a> {
             }
             return Err(e);
         }
+        self.opens_since_dispatch += 1;
         if let Some(o) = &self.obs {
             o.registry.inc(CounterId::AdmissionsAccepted);
             o.flight.record(TraceEvent::AdmissionAccepted {
@@ -644,6 +688,7 @@ impl<'a> IngestRuntime<'a> {
         // also keeps the journal replayable: a segment that could only
         // fail *during* dispatch must be rejected before it is journaled.
         crate::multistream::validate_segment(seg)?;
+        let mut gated = false;
         match self.slots.get(stream.index()) {
             None => return Err(SkyError::UnknownStream { id: stream.index() }),
             Some(RtSlot::Closed(_)) => return Err(SkyError::StreamClosed { id: stream.index() }),
@@ -666,6 +711,20 @@ impl<'a> IngestRuntime<'a> {
                         capacity: a.mailbox.capacity(),
                     });
                 }
+                // Lateness check is pure and runs before journaling, so a
+                // rejected late arrival leaves neither state nor journal
+                // behind — exactly like the backpressure rejection above.
+                if let Some(sess) = a.session.as_ref() {
+                    gated = sess.gate_active();
+                    if gated {
+                        if let Err(e) = sess.gate_check(seg) {
+                            if let Some(o) = &self.obs {
+                                o.registry.inc(CounterId::LateSegmentRejections);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
             }
         }
         self.wal_append(&WalRecord::Seg {
@@ -675,12 +734,55 @@ impl<'a> IngestRuntime<'a> {
         let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
             unreachable!("checked active above");
         };
-        let accepted = a.mailbox.try_push(seg);
-        debug_assert!(accepted, "capacity pre-checked above");
-        if let Some(o) = &self.obs {
-            // Counter-only on the enqueue path: one relaxed atomic add, no
-            // `Instant` — per-push timing would dominate the push itself.
-            o.registry.inc(CounterId::MailboxEnqueues);
+        if gated {
+            // Route the accepted arrival through the reorder gate. A hold
+            // enqueues nothing; a gap-fill releases a burst of up to
+            // `window + 1` segments at once. Releases enqueue one at a
+            // time, dispatching whenever the mailbox reaches the epoch
+            // quota — exactly where the in-order push sequence would — so a
+            // within-window degraded run shares its epoch boundaries (and
+            // hence its outcome, bit for bit) with the in-order run. When
+            // lagging sibling streams block that dispatch, the release
+            // falls back to overshooting the quota (bounded by the window):
+            // released segments are journaled input that must never be
+            // dropped, and the dispatch loop tolerates `used > quota`.
+            let session = a.session.as_mut().expect("checked active above");
+            let released = session.gate_admit(*seg);
+            if let Some(o) = &self.obs {
+                if released.is_empty() {
+                    o.registry.inc(CounterId::ReorderHolds);
+                } else {
+                    o.registry
+                        .add(CounterId::MailboxEnqueues, released.len() as u64);
+                }
+            }
+            for r in &released {
+                let full = matches!(
+                    self.slots.get(stream.index()),
+                    Some(RtSlot::Active(a))
+                        if a.mailbox.segments_queued() >= a.mailbox.capacity()
+                );
+                if full {
+                    let before = self.epoch;
+                    self.try_dispatch()?;
+                    if self.epoch != before {
+                        self.wal_append_barrier()?;
+                    }
+                }
+                let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
+                    unreachable!("checked active above");
+                };
+                a.mailbox.force_push(r);
+            }
+        } else {
+            let accepted = a.mailbox.try_push(seg);
+            debug_assert!(accepted, "capacity pre-checked above");
+            if let Some(o) = &self.obs {
+                // Counter-only on the enqueue path: one relaxed atomic add,
+                // no `Instant` — per-push timing would dominate the push
+                // itself.
+                o.registry.inc(CounterId::MailboxEnqueues);
+            }
         }
         let before = self.epoch;
         self.try_dispatch()?;
@@ -720,6 +822,18 @@ impl<'a> IngestRuntime<'a> {
             accepted,
             source: Box::new(e),
         };
+        // A reorder-gated stream takes the per-segment path: each arrival
+        // may hold or release a variable run of segments, so the fused
+        // room pre-check below (which assumes one enqueue per input) does
+        // not apply. Gate-less streams are unaffected.
+        if let Some(RtSlot::Active(a)) = self.slots.get(stream.index()) {
+            if a.session.as_ref().is_some_and(IngestSession::gate_active) {
+                for (i, seg) in segs.iter().enumerate() {
+                    self.push(stream, seg).map_err(|e| batch_err(i, e))?;
+                }
+                return Ok(());
+            }
+        }
         let mut accepted = 0usize;
         while accepted < segs.len() {
             self.check_poisoned().map_err(|e| batch_err(accepted, e))?;
@@ -861,6 +975,23 @@ impl<'a> IngestRuntime<'a> {
         let Some(RtSlot::Active(a)) = self.slots.get_mut(stream.index()) else {
             unreachable!("checked active above");
         };
+        // Release the reorder gate ahead of the close marker: held segments
+        // are journaled (accepted) input, so the close pins the stream's
+        // settlement *after* them; remaining gaps become
+        // [`ReorderStats::lost`]. Runs identically live and on replay (the
+        // drain happens after the Close record on both paths).
+        if let Some(sess) = a.session.as_mut() {
+            if sess.gate_active() {
+                let released = sess.gate_drain();
+                for r in &released {
+                    a.mailbox.force_push(r);
+                }
+                if let Some(o) = &self.obs {
+                    o.registry
+                        .add(CounterId::MailboxEnqueues, released.len() as u64);
+                }
+            }
+        }
         a.mailbox.push_close();
         if let Some(o) = &self.obs {
             o.registry.inc(CounterId::MailboxEnqueues);
@@ -918,7 +1049,11 @@ impl<'a> IngestRuntime<'a> {
                         workload_id: a.id.clone(),
                         active: a.session.is_some(),
                         segments_processed: a.processed,
-                        lag_segments: a.mailbox.segments_queued(),
+                        // Lateness-aware lag: segments held by the reorder
+                        // gate are accepted-but-unprocessed exactly like
+                        // mailbox-queued ones, so they count as lag.
+                        lag_segments: a.mailbox.segments_queued()
+                            + a.session.as_ref().map_or(0, IngestSession::reorder_held),
                         buffer_bytes,
                         backlog_work,
                         cloud_spent_usd: cloud,
@@ -967,6 +1102,21 @@ impl<'a> IngestRuntime<'a> {
     /// Identical in shape to [`MultiStreamServer::finish`].
     pub fn finish(mut self) -> Result<MultiOutcome, SkyError> {
         self.check_poisoned()?;
+        // Release every reorder gate first: held segments are accepted
+        // (journaled) input and must be processed, never dropped; remaining
+        // gaps are declared lost. Deterministic — a re-run of finish after
+        // a crash drains the same recovered gate state the same way.
+        for slot in &mut self.slots {
+            if let RtSlot::Active(a) = slot {
+                if let Some(sess) = a.session.as_mut() {
+                    if sess.gate_active() {
+                        for seg in sess.gate_drain() {
+                            a.mailbox.force_push(&seg);
+                        }
+                    }
+                }
+            }
+        }
         self.flush()?;
         let mut out = MultiOutcome::default();
         for slot in self.slots.drain(..) {
@@ -1111,6 +1261,8 @@ impl<'a> IngestRuntime<'a> {
             self.barrier_pending = true;
         }
         self.refresh_mailbox_caps();
+        // Segments made progress: the flash-crowd admission window reopens.
+        self.opens_since_dispatch = 0;
         Ok(())
     }
 
@@ -1545,6 +1697,7 @@ impl<'a> IngestRuntime<'a> {
             joint_plans: self.joint_plans,
             processed_total: self.processed_total,
             barrier_pending: self.barrier_pending,
+            opens_since_dispatch: self.opens_since_dispatch,
             last_joint_plan: self.last_joint_plan.clone(),
             dedup: self.dedup.clone(),
             slots,
@@ -1599,6 +1752,7 @@ impl<'a> IngestRuntime<'a> {
             rt.joint_plans = snap.joint_plans;
             rt.processed_total = snap.processed_total;
             rt.barrier_pending = snap.barrier_pending;
+            rt.opens_since_dispatch = snap.opens_since_dispatch;
             rt.last_joint_plan = snap.last_joint_plan;
             rt.dedup = snap.dedup;
             for (slot, s) in snap.slots.into_iter().enumerate() {
@@ -1677,6 +1831,11 @@ impl<'a> IngestRuntime<'a> {
                 SkyError::UnknownStream { .. }
                     | SkyError::StreamClosed { .. }
                     | SkyError::Overloaded { .. }
+                    // Only *accepted* arrivals are journaled, and a replayed
+                    // arrival passes the same gate with the same watermark —
+                    // so a late rejection during replay marks an
+                    // inconsistent journal, not a reproduced outcome.
+                    | SkyError::LateSegment { .. }
             )
         };
         for (seq, rec) in scan.records {
@@ -1813,7 +1972,11 @@ impl<'a> IngestRuntime<'a> {
                 RtSlot::Active(a) => RecoveredStream {
                     slot,
                     workload_id: a.id.clone(),
-                    accepted_segments: a.processed + a.mailbox.segments_queued(),
+                    // Gate-held segments are accepted input too: the driver
+                    // must not re-feed them.
+                    accepted_segments: a.processed
+                        + a.mailbox.segments_queued()
+                        + a.session.as_ref().map_or(0, IngestSession::reorder_held),
                     closed: a.mailbox.close_queued(),
                 },
                 RtSlot::Closed(o) => RecoveredStream {

@@ -49,7 +49,7 @@ use crate::online::session::{
 
 const WAL_MAGIC: &[u8; 6] = b"SKYWAL";
 const CKPT_MAGIC: &[u8; 6] = b"SKYCKP";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// Bytes of the journal's file header (magic + version). Public to the
 /// crate so the chaos helpers can avoid tearing into the header.
@@ -548,6 +548,10 @@ pub(crate) struct RuntimeSnapshot {
     pub(crate) joint_plans: usize,
     pub(crate) processed_total: usize,
     pub(crate) barrier_pending: bool,
+    /// Streams admitted since the last epoch dispatch — the flash-crowd
+    /// admission counter, so a recovered runtime enforces the cap from
+    /// exactly where the original left off.
+    pub(crate) opens_since_dispatch: usize,
     pub(crate) last_joint_plan: Option<JointPlanRecord>,
     /// The shared dedup cache — policy, epoch counter, and entries in
     /// sorted key order, so the snapshot bytes are deterministic.
@@ -568,6 +572,7 @@ fn encode_snapshot(s: &RuntimeSnapshot) -> Vec<u8> {
     e.usize(s.joint_plans);
     e.usize(s.processed_total);
     e.bool(s.barrier_pending);
+    e.usize(s.opens_since_dispatch);
     enc_opt(&mut e, &s.last_joint_plan, |e, p| {
         e.usizes(&p.streams);
         e.f64(p.budget_per_seg_total);
@@ -630,6 +635,7 @@ fn decode_snapshot(bytes: &[u8]) -> DecodeResult<RuntimeSnapshot> {
     let joint_plans = d.usize("snapshot joint_plans")?;
     let processed_total = d.usize("snapshot processed_total")?;
     let barrier_pending = d.bool("snapshot barrier_pending")?;
+    let opens_since_dispatch = d.usize("snapshot opens_since_dispatch")?;
     let last_joint_plan = dec_opt(&mut d, "snapshot joint plan", |d| {
         Ok(JointPlanRecord {
             streams: d.usizes("plan streams")?,
@@ -684,6 +690,7 @@ fn decode_snapshot(bytes: &[u8]) -> DecodeResult<RuntimeSnapshot> {
         joint_plans,
         processed_total,
         barrier_pending,
+        opens_since_dispatch,
         last_joint_plan,
         dedup,
         slots,

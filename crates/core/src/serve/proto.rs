@@ -50,8 +50,9 @@ pub const NET_MAGIC: &[u8; 6] = b"SKYNET";
 /// Protocol version carried in the preamble; bumped on any wire change.
 /// Version 2 added the dedup counters to the `Stats` reply. Version 3
 /// added the `GetMetrics` request and its `Metrics` registry-snapshot
-/// reply.
-pub const NET_VERSION: u16 = 3;
+/// reply. Version 4 added `reorder_window` to the ingest options carried
+/// by `Open`.
+pub const NET_VERSION: u16 = 4;
 /// Bytes of the connection preamble (magic + little-endian version).
 pub const PREAMBLE_LEN: usize = 8;
 

@@ -135,6 +135,85 @@ impl FailurePlan {
     }
 }
 
+/// A deterministic delivery schedule for one stream's segments: the order
+/// the network hands them to the ingest front door, plus which ones it
+/// dropped entirely. Produced by the network-condition model in
+/// `vetl-workloads` (`netcond`), consumed by degraded-run tests and
+/// benches; defined here so the core testkit can assert schedule
+/// properties without depending on the generator crate.
+///
+/// The schedule is pure data: `order[i]` is the index (into the original
+/// in-order segment slice) of the `i`-th arrival, and `dropped` lists the
+/// indices that never arrive. Same seed ⇒ bitwise-identical schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliverySchedule {
+    /// Arrival order: positions into the original segment slice.
+    pub order: Vec<usize>,
+    /// Segments the network lost (sorted ascending, disjoint from `order`).
+    pub dropped: Vec<usize>,
+}
+
+impl DeliverySchedule {
+    /// The clean-network schedule over `n` segments: in order, no drops.
+    pub fn clean(n: usize) -> Self {
+        Self {
+            order: (0..n).collect(),
+            dropped: Vec::new(),
+        }
+    }
+
+    /// In-order and lossless — a degraded model configured with zero
+    /// impairments must produce exactly this.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && self.order.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// Materialize the arrival sequence from the in-order segment slice.
+    ///
+    /// Panics if the schedule refers past `segments.len()` — a schedule is
+    /// only meaningful for the stream length it was generated for.
+    pub fn apply(&self, segments: &[Segment]) -> Vec<Segment> {
+        self.order.iter().map(|&p| segments[p]).collect()
+    }
+
+    /// Largest backward displacement across the schedule: how far (in
+    /// positions) any segment arrives behind one with a higher index that
+    /// preceded it. A reorder gate with `window >= max_displacement` holds
+    /// every out-of-order arrival without forced watermark advances.
+    pub fn max_displacement(&self) -> usize {
+        let mut max_seen = None::<usize>;
+        let mut disp = 0usize;
+        for &p in &self.order {
+            match max_seen {
+                Some(m) if p < m => disp = disp.max(m - p),
+                Some(m) => max_seen = Some(m.max(p)),
+                None => max_seen = Some(p),
+            }
+        }
+        disp
+    }
+
+    /// An order-sensitive fingerprint of the whole schedule (FNV-1a over
+    /// positions and drops) — lets tests assert seed-reproducibility
+    /// without storing the schedule.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.order.len() as u64);
+        for &p in &self.order {
+            mix(p as u64);
+        }
+        mix(self.dropped.len() as u64);
+        for &p in &self.dropped {
+            mix(p as u64);
+        }
+        h
+    }
+}
+
 fn wal_io(path: &Path, e: std::io::Error) -> SkyError {
     SkyError::WalIo {
         path: path.display().to_string(),

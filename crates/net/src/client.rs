@@ -30,8 +30,16 @@ pub struct NetClientConfig {
     pub client_name: String,
     /// Connection attempts before giving up (each backing off).
     pub connect_attempts: u32,
-    /// Initial connect backoff; doubles per attempt up to 500 ms.
+    /// Initial connect backoff; doubles per attempt up to
+    /// `connect_backoff_max`.
     pub connect_backoff: Duration,
+    /// Ceiling on the doubling connect backoff.
+    pub connect_backoff_max: Duration,
+    /// Extra per-attempt jitter added on top of the doubled backoff,
+    /// drawn deterministically from `[0, connect_jitter]` — spreads a
+    /// synchronized reconnect herd without making retries irreproducible.
+    /// Zero (the default) disables it.
+    pub connect_jitter: Duration,
     /// How long to wait for any single reply.
     pub reply_timeout: Duration,
     /// Socket read timeout — the tick at which waits re-check deadlines.
@@ -56,6 +64,8 @@ impl Default for NetClientConfig {
             client_name: "vetl-net".into(),
             connect_attempts: 20,
             connect_backoff: Duration::from_millis(10),
+            connect_backoff_max: Duration::from_millis(500),
+            connect_jitter: Duration::ZERO,
             reply_timeout: Duration::from_secs(60),
             read_tick: Duration::from_millis(10),
             write_timeout: Duration::from_secs(5),
@@ -112,7 +122,6 @@ pub struct NetClient {
 impl NetClient {
     /// Connect with retry/backoff, exchange preambles, and say `Hello`.
     pub fn connect(ep: &Endpoint, cfg: NetClientConfig) -> Result<NetClient, NetError> {
-        let mut backoff = cfg.connect_backoff;
         let mut last = String::from("no attempts made");
         for attempt in 0..cfg.connect_attempts.max(1) {
             match Sock::connect(ep) {
@@ -120,8 +129,7 @@ impl NetClient {
                 Err(e) => {
                     last = e.to_string();
                     if attempt + 1 < cfg.connect_attempts.max(1) {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(Duration::from_millis(500));
+                        std::thread::sleep(connect_backoff_for(&cfg, attempt));
                     }
                 }
             }
@@ -375,9 +383,40 @@ impl NetClient {
 
 fn stall_ticks(cfg: &NetClientConfig) -> u32 {
     // Allow a partially received frame to stall for the full reply
-    // timeout before declaring it torn.
-    let tick = cfg.read_tick.as_millis().max(1) as u64;
-    (cfg.reply_timeout.as_millis() as u64 / tick).max(4) as u32
+    // timeout before declaring it torn: the tick count must *cover*
+    // `reply_timeout`, so round up. Truncating division undershot the
+    // window for ticks that don't divide the timeout, and the old
+    // `.max(4)` floor overshot it fourfold for coarse ticks.
+    let tick_ms = cfg.read_tick.as_millis().max(1) as u64;
+    let timeout_ms = cfg.reply_timeout.as_millis() as u64;
+    timeout_ms.div_ceil(tick_ms).clamp(1, u32::MAX as u64) as u32
+}
+
+/// Backoff slept after failed connect attempt `attempt` (0-based):
+/// `connect_backoff` doubled per completed attempt, saturating at
+/// `connect_backoff_max`, plus a deterministic per-attempt jitter in
+/// `[0, connect_jitter]`.
+fn connect_backoff_for(cfg: &NetClientConfig, attempt: u32) -> Duration {
+    let mut backoff = cfg.connect_backoff;
+    for _ in 0..attempt {
+        backoff = backoff.saturating_mul(2);
+        if backoff >= cfg.connect_backoff_max {
+            break;
+        }
+    }
+    backoff = backoff.min(cfg.connect_backoff_max);
+    if cfg.connect_jitter > Duration::ZERO {
+        // splitmix64 of the attempt number: the draw is a pure function of
+        // the attempt, so retry schedules stay reproducible while distinct
+        // attempts (and the herd's distinct progress points) de-correlate.
+        let mut z = (attempt as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let span = (cfg.connect_jitter.as_nanos() as u64).saturating_add(1);
+        backoff = backoff.saturating_add(Duration::from_nanos(z % span));
+    }
+    backoff
 }
 
 fn io(op: &'static str) -> impl Fn(std::io::Error) -> NetError {
@@ -390,5 +429,107 @@ fn io(op: &'static str) -> impl Fn(std::io::Error) -> NetError {
 fn unexpected(wanted: &str, got: &Reply) -> NetError {
     NetError::Proto {
         detail: format!("expected {wanted}, got {got:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(tick_ms: u64, timeout_ms: u64) -> NetClientConfig {
+        NetClientConfig {
+            read_tick: Duration::from_millis(tick_ms),
+            reply_timeout: Duration::from_millis(timeout_ms),
+            ..NetClientConfig::default()
+        }
+    }
+
+    /// The tick budget covers the configured timeout exactly (ceiling
+    /// division), never truncating below it and never inflating a
+    /// sub-tick timeout the way the old `.max(4)` floor did.
+    #[test]
+    fn stall_ticks_covers_the_configured_timeout() {
+        // Exact division: unchanged.
+        assert_eq!(stall_ticks(&cfg(10, 60_000)), 6_000);
+        // Non-dividing tick: rounds up, so ticks × tick ≥ timeout.
+        assert_eq!(stall_ticks(&cfg(7, 60_000)), 8_572);
+        // Coarse tick, short timeout: 2 ticks (3000 ms) cover 1500 ms;
+        // the old floor would have waited 4 s.
+        assert_eq!(stall_ticks(&cfg(1_000, 1_500)), 2);
+        // Timeout below one tick: a single tick, not four.
+        assert_eq!(stall_ticks(&cfg(10, 5)), 1);
+        // Degenerate configs still yield a usable (≥ 1 tick) window.
+        assert_eq!(stall_ticks(&cfg(0, 3)), 3);
+        assert_eq!(stall_ticks(&cfg(10, 0)), 1);
+        // Effective window always covers the timeout for boundary combos.
+        for (tick, timeout) in [
+            (1, 1),
+            (3, 10),
+            (10, 10),
+            (10, 11),
+            (33, 100),
+            (250, 60_000),
+        ] {
+            let ticks = stall_ticks(&cfg(tick, timeout)) as u64;
+            assert!(
+                ticks * tick.max(1) >= timeout,
+                "tick {tick} ms × {ticks} must cover {timeout} ms"
+            );
+            assert!(ticks >= 1);
+        }
+    }
+
+    /// The documented doubling-to-cap sequence, for the default cap and a
+    /// user-configured one — the old hardcoded 500 ms ceiling ignored the
+    /// config entirely.
+    #[test]
+    fn connect_backoff_doubles_to_the_configured_cap() {
+        let c = NetClientConfig::default();
+        let got: Vec<u64> = (0..8)
+            .map(|a| connect_backoff_for(&c, a).as_millis() as u64)
+            .collect();
+        assert_eq!(got, [10, 20, 40, 80, 160, 320, 500, 500]);
+
+        let c = NetClientConfig {
+            connect_backoff: Duration::from_millis(10),
+            connect_backoff_max: Duration::from_millis(100),
+            ..NetClientConfig::default()
+        };
+        let got: Vec<u64> = (0..6)
+            .map(|a| connect_backoff_for(&c, a).as_millis() as u64)
+            .collect();
+        assert_eq!(got, [10, 20, 40, 80, 100, 100]);
+
+        // A cap below the initial backoff clamps immediately.
+        let c = NetClientConfig {
+            connect_backoff: Duration::from_millis(40),
+            connect_backoff_max: Duration::from_millis(25),
+            ..NetClientConfig::default()
+        };
+        assert_eq!(connect_backoff_for(&c, 0), Duration::from_millis(25));
+    }
+
+    /// Jitter stays within `[0, connect_jitter]`, is deterministic per
+    /// attempt, and differs across attempts (herd spreading).
+    #[test]
+    fn connect_jitter_is_bounded_and_deterministic() {
+        let c = NetClientConfig {
+            connect_jitter: Duration::from_millis(5),
+            ..NetClientConfig::default()
+        };
+        let base = NetClientConfig::default();
+        let mut draws = Vec::new();
+        for a in 0..8 {
+            let with = connect_backoff_for(&c, a);
+            let without = connect_backoff_for(&base, a);
+            assert!(with >= without, "jitter never shortens the backoff");
+            assert!(with <= without + Duration::from_millis(5));
+            assert_eq!(with, connect_backoff_for(&c, a), "same attempt, same draw");
+            draws.push(with - without);
+        }
+        assert!(
+            draws.windows(2).any(|w| w[0] != w[1]),
+            "distinct attempts must not all share one jitter draw"
+        );
     }
 }

@@ -28,6 +28,7 @@ pub mod ev;
 pub mod models;
 pub mod mosei;
 pub mod mot;
+pub mod netcond;
 pub mod response;
 pub mod scenario;
 pub mod spec;
@@ -36,6 +37,9 @@ pub use covid::CovidWorkload;
 pub use ev::EvWorkload;
 pub use mosei::{MoseiVariant, MoseiWorkload};
 pub use mot::MotWorkload;
+pub use netcond::{
+    churn_intervals, diurnal_opens, flash_crowd_opens, BandwidthPhase, NetConditions,
+};
 pub use scenario::{
     co_located_fleet, machine_by_name, total_cost_usd, Machine, CORE_TFLOPS, MACHINES,
 };

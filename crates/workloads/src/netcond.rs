@@ -1,0 +1,332 @@
+//! Seeded network-condition model: what a camera fleet's best-effort links
+//! do to a segment stream before it reaches the ingest front door.
+//!
+//! The PAPERS.md best-effort-networks survey catalogs the menagerie —
+//! bandwidth collapse, jitter, reordering, loss, diurnal load, synchronized
+//! flash crowds — and this module turns each into a **pure, seeded
+//! function** of the input stream: no wall clock, no sampling at delivery
+//! time, same seed ⇒ bitwise-identical schedule. The output is a
+//! [`DeliverySchedule`] (defined in `skyscraper::testkit::chaos` so core
+//! tests can reason about schedules without this crate): the arrival order
+//! plus the dropped indices, which degraded-run tests and benches replay
+//! against the runtime's reorder gate and lateness policies.
+//!
+//! Mechanically, each segment gets an *arrival time*:
+//!
+//! ```text
+//! depart  = capture time (the segment's own timeline)
+//! finish  = transmission end under the piecewise bandwidth schedule
+//!           (a single-queue link: max(prev finish, depart) + bytes/rate)
+//! arrival = finish + base_delay + jitter·U + reorder penalty
+//! ```
+//!
+//! then the schedule is the stable sort of segments by arrival time. Drops
+//! are decided per segment before any timing draw, so toggling `drop_prob`
+//! does not shift the other impairments' random draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skyscraper::testkit::chaos::DeliverySchedule;
+use vetl_video::Segment;
+
+/// One piece of a piecewise-constant bandwidth schedule: from
+/// `start_secs` (on the stream's capture timeline) the link sustains
+/// `bytes_per_sec`. Phases must be sorted by `start_secs`; the schedule
+/// before the first phase is unlimited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPhase {
+    /// Phase start on the capture timeline, seconds.
+    pub start_secs: f64,
+    /// Sustained link rate during the phase, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// A seeded model of one camera's network path.
+///
+/// [`NetConditions::clean`] (all impairments zero) produces the identity
+/// schedule for every input — asserted by the clean-network bitwise tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConditions {
+    /// Fixed propagation delay added to every arrival, seconds.
+    pub base_delay_secs: f64,
+    /// Uniform jitter bound: each arrival is delayed by `U(0, jitter)`
+    /// seconds. Jitter larger than the inter-segment gap reorders.
+    pub jitter_secs: f64,
+    /// Per-segment loss probability in `[0, 1]`. Dropped segments never
+    /// arrive — they appear in [`DeliverySchedule::dropped`].
+    pub drop_prob: f64,
+    /// Probability that a segment takes a slow path and is additionally
+    /// delayed by up to [`reorder_span`](Self::reorder_span) segment
+    /// durations — the controllable reordering knob.
+    pub reorder_prob: f64,
+    /// Maximum slow-path penalty, in whole segment durations.
+    pub reorder_span: usize,
+    /// Piecewise-constant bandwidth schedule (sorted by `start_secs`).
+    /// Empty = unlimited link; a phase whose rate cannot keep up with the
+    /// stream's byte rate builds a transmission queue, delaying (and with
+    /// jitter, reordering) everything behind it.
+    pub bandwidth: Vec<BandwidthPhase>,
+    /// Seed for every random draw the model makes.
+    pub seed: u64,
+}
+
+impl NetConditions {
+    /// The unimpaired path: zero delay, jitter, loss, and reordering on an
+    /// unlimited link. Produces [`DeliverySchedule::clean`] for any input.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            base_delay_secs: 0.0,
+            jitter_secs: 0.0,
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_span: 0,
+            bandwidth: Vec::new(),
+            seed,
+        }
+    }
+
+    /// A moderately hostile cellular-like path: 80 ms base delay, jitter on
+    /// the order of a segment, 1 % loss, occasional slow-path reordering.
+    pub fn hostile(seg_len_secs: f64, seed: u64) -> Self {
+        Self {
+            base_delay_secs: 0.08,
+            jitter_secs: 1.5 * seg_len_secs,
+            drop_prob: 0.01,
+            reorder_prob: 0.05,
+            reorder_span: 3,
+            bandwidth: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Link rate at `t` under the piecewise schedule (`None` = unlimited).
+    fn rate_at(&self, t: f64) -> Option<f64> {
+        self.bandwidth
+            .iter()
+            .rev()
+            .find(|p| p.start_secs <= t)
+            .map(|p| p.bytes_per_sec)
+    }
+
+    /// Compute the delivery schedule the modelled path imposes on an
+    /// in-order segment stream. Pure: same conditions + same stream ⇒
+    /// bitwise-identical schedule.
+    pub fn delivery_schedule(&self, segments: &[Segment]) -> DeliverySchedule {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut arrivals: Vec<(f64, usize)> = Vec::with_capacity(segments.len());
+        let mut dropped = Vec::new();
+        let mut link_free_at = 0.0f64;
+        for (i, s) in segments.iter().enumerate() {
+            // Draw order is fixed per segment (drop, jitter, reorder) so a
+            // schedule is a stable function of the condition parameters.
+            if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+                dropped.push(i);
+                continue;
+            }
+            let depart = s.content.time.as_secs();
+            let start = link_free_at.max(depart);
+            let finish = match self.rate_at(start) {
+                Some(rate) if rate > 0.0 => start + s.bytes / rate,
+                Some(_) => start + s.duration, // stalled link: one segment per slot
+                None => depart,
+            };
+            link_free_at = finish;
+            let mut arrival = finish + self.base_delay_secs;
+            if self.jitter_secs > 0.0 {
+                arrival += rng.gen::<f64>() * self.jitter_secs;
+            }
+            if self.reorder_prob > 0.0 && rng.gen::<f64>() < self.reorder_prob {
+                let span = rng.gen_range(1..=self.reorder_span.max(1));
+                arrival += span as f64 * s.duration;
+            }
+            arrivals.push((arrival, i));
+        }
+        // Stable sort by arrival time: ties (and the clean path, where every
+        // arrival equals its departure) keep capture order.
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        DeliverySchedule {
+            order: arrivals.into_iter().map(|(_, i)| i).collect(),
+            dropped,
+        }
+    }
+}
+
+/// Synchronized flash-crowd opens: `cameras` sessions all (re)connect at
+/// `at_secs`, smeared over `spread_secs` by a seeded uniform draw. Returned
+/// sorted ascending — the order the front door sees the `open` storm.
+pub fn flash_crowd_opens(cameras: usize, at_secs: f64, spread_secs: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut opens: Vec<f64> = (0..cameras)
+        .map(|_| at_secs + rng.gen::<f64>() * spread_secs)
+        .collect();
+    opens.sort_by(f64::total_cmp);
+    opens
+}
+
+/// Diurnal open times: `cameras` session starts over `period_secs` (one
+/// "day"), with density following `1 + cos` peaking at `peak_secs` —
+/// morning rush hours produce clustered opens, night a thin trickle.
+/// Sampled by seeded rejection; sorted ascending.
+pub fn diurnal_opens(cameras: usize, period_secs: f64, peak_secs: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let density = |t: f64| {
+        let phase = (t - peak_secs) / period_secs * std::f64::consts::TAU;
+        (1.0 + phase.cos()) / 2.0
+    };
+    let mut opens = Vec::with_capacity(cameras);
+    while opens.len() < cameras {
+        let t = rng.gen::<f64>() * period_secs;
+        if rng.gen::<f64>() < density(t) {
+            opens.push(t);
+        }
+    }
+    opens.sort_by(f64::total_cmp);
+    opens
+}
+
+/// Rolling disconnect/reconnect churn for one session: alternating
+/// connected intervals `(up_start, up_end)` over `duration_secs`, with
+/// exponential-ish up/down times drawn from a seeded generator (inverse
+/// transform of `U(0,1)`, mean `mean_up_secs` / `mean_down_secs`). The
+/// gaps between intervals are the outages — segments captured there arrive
+/// late (after reconnect) or not at all.
+pub fn churn_intervals(
+    duration_secs: f64,
+    mean_up_secs: f64,
+    mean_down_secs: f64,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |mean: f64| -> f64 {
+        // Inverse-transform exponential; clamp the uniform away from 0 so
+        // the log stays finite.
+        -mean * (1.0 - rng.gen::<f64>()).max(1e-12).ln()
+    };
+    let mut intervals = Vec::new();
+    let mut t = 0.0;
+    while t < duration_secs {
+        let up_end = (t + draw(mean_up_secs)).min(duration_secs);
+        if up_end > t {
+            intervals.push((t, up_end));
+        }
+        t = up_end + draw(mean_down_secs);
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vetl_video::{ContentParams, SyntheticCamera};
+
+    fn stream(n: usize) -> Vec<Segment> {
+        SyntheticCamera::new(ContentParams::traffic_intersection(3), 2.0).take_segments(n)
+    }
+
+    #[test]
+    fn clean_conditions_produce_the_identity_schedule() {
+        let segs = stream(200);
+        let sched = NetConditions::clean(42).delivery_schedule(&segs);
+        assert!(sched.is_clean());
+        assert_eq!(sched, DeliverySchedule::clean(segs.len()));
+        assert_eq!(sched.max_displacement(), 0);
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_reproducible_and_seeds_decorrelate() {
+        let segs = stream(300);
+        let cond = NetConditions::hostile(2.0, 7);
+        let a = cond.delivery_schedule(&segs);
+        let b = cond.delivery_schedule(&segs);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = NetConditions::hostile(2.0, 8).delivery_schedule(&segs);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn hostile_conditions_actually_reorder_and_drop() {
+        let segs = stream(400);
+        let sched = NetConditions::hostile(2.0, 11).delivery_schedule(&segs);
+        assert!(!sched.is_clean());
+        assert!(
+            sched.max_displacement() > 0,
+            "jitter above the segment gap must reorder"
+        );
+        assert!(!sched.dropped.is_empty(), "1% loss over 400 segments");
+        // Conservation: every index is delivered exactly once or dropped.
+        let mut seen = vec![0u8; segs.len()];
+        for &p in &sched.order {
+            seen[p] += 1;
+        }
+        for &p in &sched.dropped {
+            seen[p] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bandwidth_collapse_queues_but_preserves_order_without_jitter() {
+        let segs = stream(100);
+        let byte_rate = segs.iter().map(|s| s.bytes).sum::<f64>() / (100.0 * 2.0);
+        let cond = NetConditions {
+            // Half the stream's byte rate from t=60: a growing queue.
+            bandwidth: vec![BandwidthPhase {
+                start_secs: 60.0,
+                bytes_per_sec: byte_rate / 2.0,
+            }],
+            ..NetConditions::clean(3)
+        };
+        let sched = cond.delivery_schedule(&segs);
+        assert_eq!(
+            sched.order,
+            (0..100).collect::<Vec<_>>(),
+            "a FIFO queue never reorders"
+        );
+        assert!(sched.dropped.is_empty());
+    }
+
+    #[test]
+    fn flash_crowd_opens_are_sorted_bounded_and_reproducible() {
+        let a = flash_crowd_opens(50, 120.0, 5.0, 9);
+        let b = flash_crowd_opens(50, 120.0, 5.0, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| (120.0..125.0).contains(&t)));
+    }
+
+    #[test]
+    fn diurnal_opens_cluster_at_the_peak() {
+        let period = 86_400.0;
+        let peak = 8.0 * 3_600.0;
+        let opens = diurnal_opens(600, period, peak, 13);
+        assert_eq!(opens.len(), 600);
+        assert!(opens.windows(2).all(|w| w[0] <= w[1]));
+        let near = opens
+            .iter()
+            .filter(|&&t| (t - peak).abs() < period / 8.0)
+            .count();
+        let far = opens
+            .iter()
+            .filter(|&&t| {
+                let d = (t - peak).abs();
+                let d = d.min(period - d); // circular distance
+                d > 3.0 * period / 8.0
+            })
+            .count();
+        assert!(
+            near > 2 * far,
+            "peak density {near} must dominate trough {far}"
+        );
+    }
+
+    #[test]
+    fn churn_intervals_tile_the_duration_without_overlap() {
+        let iv = churn_intervals(3_600.0, 300.0, 60.0, 21);
+        assert!(!iv.is_empty());
+        assert!(iv.iter().all(|&(a, b)| a < b && b <= 3_600.0));
+        assert!(iv.windows(2).all(|w| w[0].1 < w[1].0), "outage between ups");
+        assert_eq!(iv, churn_intervals(3_600.0, 300.0, 60.0, 21));
+    }
+}
